@@ -1,0 +1,55 @@
+//! Ablation — comparison-index capacity.
+//!
+//! Every `CmpIndex` is a *bounded* priority queue (§4): streams are
+//! unbounded, so the index must cap its memory, trading retained
+//! comparisons for footprint. This sweep bounds I-PCS's index on the
+//! dbpedia fast stream, where the candidate volume is largest.
+
+use pier_bench::{experiment_cost, params_for, FigureReport};
+use pier_core::PierConfig;
+use pier_datagen::StandardDataset;
+use pier_matching::JaccardMatcher;
+use pier_sim::experiment::{run_method, Method, StreamPlan};
+use pier_sim::SimConfig;
+
+fn main() {
+    let params = params_for(StandardDataset::Dbpedia);
+    let dataset = StandardDataset::Dbpedia.generate();
+    let plan = StreamPlan::streaming(params.increments, 32.0);
+    println!(
+        "Ablation: index capacity on `{}` (I-PCS, JS, 32 ΔD/s, budget {:.0}s)\n",
+        dataset.name, params.budget
+    );
+    let mut report = FigureReport::new("ablation_bounds");
+    let mut summary: Vec<(f64, f64)> = Vec::new();
+    for capacity in [1usize << 10, 1 << 14, 1 << 18, 1 << 22] {
+        let pier = PierConfig {
+            index_capacity: capacity,
+            ..PierConfig::default()
+        };
+        let sim = SimConfig {
+            time_budget: params.budget,
+            cost: experiment_cost(),
+            ..SimConfig::default()
+        };
+        let out = run_method(
+            Method::IPcs,
+            &dataset,
+            &plan,
+            &JaccardMatcher::default(),
+            &sim,
+            pier,
+        );
+        println!(
+            "  capacity {:<9} PC@50%={:.3} PC final={:.3} cmp={}",
+            capacity,
+            out.trajectory.pc_at_time(params.budget * 0.5),
+            out.pc(),
+            out.comparisons
+        );
+        summary.push((capacity as f64, out.pc()));
+        report.add_time_series(format!("cap-{capacity}"), &out, params.budget);
+    }
+    report.add_series("pc-final-vs-capacity", "capacity", summary);
+    report.emit();
+}

@@ -1,0 +1,63 @@
+//! Ablation — meta-blocking weighting schemes.
+//!
+//! The paper fixes CBS ("the fastest to compute among the proposed
+//! alternatives") and notes that I-PES "compensates poor performance of
+//! weighting schemes". This ablation swaps the scheme driving I-WNP and
+//! the comparison indexes (CBS / ECBS / JS / ARCS) for both I-PCS (fully
+//! dependent on the scheme) and I-PES (designed to be robust to it).
+
+use pier_bench::{experiment_cost, params_for, FigureReport};
+use pier_core::PierConfig;
+use pier_datagen::StandardDataset;
+use pier_matching::EditDistanceMatcher;
+use pier_metablocking::WeightingScheme;
+use pier_sim::experiment::{run_method, Method, StreamPlan};
+use pier_sim::SimConfig;
+
+fn main() {
+    let params = params_for(StandardDataset::Movies);
+    let dataset = StandardDataset::Movies.generate();
+    let plan = StreamPlan::static_data(params.increments);
+    println!(
+        "Ablation: weighting schemes on `{}` (ED, budget {:.0}s)\n",
+        dataset.name, params.budget
+    );
+    let mut report = FigureReport::new("ablation_schemes");
+    for method in [Method::IPcs, Method::IPes] {
+        println!("{}:", method.name());
+        for scheme in WeightingScheme::all() {
+            let pier = PierConfig {
+                scheme,
+                ..PierConfig::default()
+            };
+            let sim = SimConfig {
+                time_budget: params.budget,
+                cost: experiment_cost(),
+                ..SimConfig::default()
+            };
+            let out = run_method(
+                method,
+                &dataset,
+                &plan,
+                &EditDistanceMatcher::default(),
+                &sim,
+                pier,
+            );
+            println!(
+                "  {:<5} PC@10%={:.3} PC final={:.3} AUC={:.3} cmp={}",
+                scheme.name(),
+                out.trajectory.pc_at_time(params.budget * 0.1),
+                out.pc(),
+                out.trajectory.auc_time(params.budget),
+                out.comparisons
+            );
+            report.add_time_series(
+                format!("{}-{}", method.name(), scheme.name()),
+                &out,
+                params.budget,
+            );
+        }
+        println!();
+    }
+    report.emit();
+}

@@ -1,0 +1,67 @@
+//! Figure 2 — PPS-GLOBAL / PPS-LOCAL / I-BASE / I-PES on the movies data
+//! under slow vs. fast × short vs. long streams.
+//!
+//! The paper's motivating figure: straightforward adaptations of
+//! progressive ER to increments either see nothing (LOCAL) or drown in
+//! re-initialization on fast/long streams (GLOBAL), the incremental
+//! baseline lacks early quality, and I-PES dominates throughout.
+//!
+//! Scaled setup: a 5.5k-profile movies corpus; slow = 0.1 ΔD/s, fast =
+//! 10 ΔD/s; short = 10 increments, long = 400 increments; JS matcher.
+
+use pier_bench::{run, FigureReport, Matcher};
+use pier_datagen::{generate_movies, MoviesConfig};
+use pier_sim::{Method, StreamPlan};
+
+fn main() {
+    let dataset = generate_movies(&MoviesConfig {
+        seed: 0x30713,
+        source0_size: 3000,
+        source1_size: 2500,
+        matches: 2400,
+    });
+    println!(
+        "Figure 2: streams over `{}` ({} profiles, {} matches), JS matcher\n",
+        dataset.name,
+        dataset.len(),
+        dataset.ground_truth.len()
+    );
+    let methods = [
+        Method::PpsGlobal,
+        Method::PpsLocal,
+        Method::IBase,
+        Method::IPes,
+    ];
+    let panels = [
+        ("slow-short", 10usize, 0.1f64),
+        ("fast-short", 10, 10.0),
+        ("slow-long", 400, 0.1),
+        ("fast-long", 400, 10.0),
+    ];
+    let mut report = FigureReport::new("fig2");
+    for (panel, increments, rate) in panels {
+        // Budget: stream duration plus head-room to finish pending work.
+        let stream_secs = increments as f64 / rate;
+        let budget = (stream_secs * 1.25).max(300.0);
+        println!("panel {panel}: {increments} increments @ {rate} ΔD/s, budget {budget:.0}s");
+        for method in methods {
+            let plan = StreamPlan::streaming(increments, rate);
+            let out = run(method, &dataset, &plan, Matcher::Js, budget);
+            let label = match method {
+                Method::PpsGlobal => "PPS-GLOBAL".to_string(),
+                _ => out.name.clone(),
+            };
+            println!(
+                "  {:<11} PC@25%={:.3} PC@50%={:.3} PC final={:.3} consumed={}",
+                label,
+                out.trajectory.pc_at_time(budget * 0.25),
+                out.trajectory.pc_at_time(budget * 0.5),
+                out.pc(),
+                pier_bench::fmt_consumed(out.consumed_at),
+            );
+            report.add_time_series(format!("{panel}-{label}"), &out, budget);
+        }
+        println!();
+    }
+    report.emit();
+}

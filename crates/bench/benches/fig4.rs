@@ -1,0 +1,55 @@
+//! Figure 4 — PC over time in the progressive (static) setting.
+//!
+//! All four datasets × {JS, ED} × {PPS, PBS, I-PCS, I-PBS, I-PES}. Batch
+//! progressive baselines see the whole dataset upfront (their ideal
+//! situation); the PIER methods process it as back-to-back increments.
+//! Time budgets follow the paper: 300 s (scaled 5 min) for the small
+//! datasets, 600 s (scaled 80 min) for the large ones.
+
+use pier_bench::{params_for, run, static_plan, FigureReport, Matcher};
+use pier_datagen::StandardDataset;
+use pier_sim::Method;
+
+fn main() {
+    let methods = [
+        Method::PpsGlobal,
+        Method::Pbs,
+        Method::IPcs,
+        Method::IPbs,
+        Method::IPes,
+    ];
+    let mut report = FigureReport::new("fig4");
+    for ds in StandardDataset::all() {
+        let params = params_for(ds);
+        let dataset = ds.generate();
+        for matcher in [Matcher::Js, Matcher::Ed] {
+            println!(
+                "-- {} / {} (budget {:.0}s, {} increments for PIER) --",
+                ds.name(),
+                matcher.name(),
+                params.budget,
+                params.increments
+            );
+            for method in methods {
+                let plan = static_plan(method, params.increments);
+                let out = run(method, &dataset, &plan, matcher, params.budget);
+                println!(
+                    "  {:<7} PC@10%={:.3} PC@50%={:.3} PC final={:.3} AUC={:.3} cmp={}",
+                    out.name,
+                    out.trajectory.pc_at_time(params.budget * 0.1),
+                    out.trajectory.pc_at_time(params.budget * 0.5),
+                    out.pc(),
+                    out.trajectory.auc_time(params.budget),
+                    out.comparisons,
+                );
+                report.add_time_series(
+                    format!("{}-{}-{}", ds.name(), matcher.name(), out.name),
+                    &out,
+                    params.budget,
+                );
+            }
+            println!();
+        }
+    }
+    report.emit();
+}

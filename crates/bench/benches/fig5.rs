@@ -1,0 +1,48 @@
+//! Figure 5 — PC per emitted comparison in the static setting, run to
+//! completion (no time budget).
+//!
+//! The comparison axis exposes how much effort each method wastes on
+//! non-matching pairs independent of matcher speed: PPS spends its
+//! comparisons best, I-PCS/I-PBS burn many more to reach the same PC
+//! (their CBS/blocksize heuristics over-rank verbose non-matches).
+
+use pier_bench::{params_for, run, static_plan, FigureReport, Matcher};
+use pier_datagen::StandardDataset;
+use pier_sim::Method;
+
+fn main() {
+    let methods = [
+        Method::PpsGlobal,
+        Method::Pbs,
+        Method::IPcs,
+        Method::IPbs,
+        Method::IPes,
+    ];
+    let mut report = FigureReport::new("fig5");
+    for ds in StandardDataset::all() {
+        let params = params_for(ds);
+        let dataset = ds.generate();
+        for matcher in [Matcher::Js, Matcher::Ed] {
+            println!("-- {} / {} (to completion) --", ds.name(), matcher.name());
+            for method in methods {
+                let plan = static_plan(method, params.increments);
+                // "Completion": a budget far beyond any method's needs.
+                let out = run(method, &dataset, &plan, matcher, 1.0e7);
+                let half = out.comparisons / 2;
+                println!(
+                    "  {:<7} cmp={:9}  PC@50%cmp={:.3}  PC final={:.3}",
+                    out.name,
+                    out.comparisons,
+                    out.trajectory.pc_at_comparisons(half),
+                    out.pc(),
+                );
+                report.add_comparison_series(
+                    format!("{}-{}-{}", ds.name(), matcher.name(), out.name),
+                    &out,
+                );
+            }
+            println!();
+        }
+    }
+    report.emit();
+}

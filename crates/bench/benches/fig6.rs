@@ -1,0 +1,64 @@
+//! Figure 6 — influence of increment size on `dbpedia` with the ED
+//! matcher.
+//!
+//! I-PES and I-PBS process the static dataset as either many small
+//! increments (scaled 3000 ≈ the paper's 30000 × ~100-profile increments)
+//! or few large ones (scaled 30 ≈ the paper's 300 × 10000). Larger
+//! increments buy a better global comparison order (closer to the batch
+//! baselines) at the price of longer per-increment pre-analysis. PPS and
+//! PBS are included as the batch reference curves.
+
+use pier_bench::{params_for, run, FigureReport, Matcher};
+use pier_datagen::StandardDataset;
+use pier_sim::{Method, StreamPlan};
+
+fn main() {
+    let params = params_for(StandardDataset::Dbpedia);
+    let dataset = StandardDataset::Dbpedia.generate();
+    println!(
+        "Figure 6: increment-size influence on `{}` ({} profiles), ED matcher, budget {:.0}s\n",
+        dataset.name,
+        dataset.len(),
+        params.budget
+    );
+    let mut report = FigureReport::new("fig6");
+
+    // Batch reference curves.
+    for method in [Method::PpsGlobal, Method::Pbs] {
+        let out = run(
+            method,
+            &dataset,
+            &StreamPlan::static_data(1),
+            Matcher::Ed,
+            params.budget,
+        );
+        println!(
+            "  {:<12} PC@50%={:.3} PC final={:.3} cmp={}",
+            out.name,
+            out.trajectory.pc_at_time(params.budget * 0.5),
+            out.pc(),
+            out.comparisons
+        );
+        report.add_time_series(format!("{}(batch)", out.name), &out, params.budget);
+        report.add_comparison_series(format!("{}(batch)-cmp", out.name), &out);
+    }
+
+    // PIER methods at two increment granularities.
+    for n_increments in [3000usize, 30] {
+        for method in [Method::IPes, Method::IPbs] {
+            let plan = StreamPlan::static_data(n_increments);
+            let out = run(method, &dataset, &plan, Matcher::Ed, params.budget);
+            let label = format!("{}({n_increments})", out.name);
+            println!(
+                "  {:<12} PC@50%={:.3} PC final={:.3} cmp={}",
+                label,
+                out.trajectory.pc_at_time(params.budget * 0.5),
+                out.pc(),
+                out.comparisons
+            );
+            report.add_time_series(label.clone(), &out, params.budget);
+            report.add_comparison_series(format!("{label}-cmp"), &out);
+        }
+    }
+    report.emit();
+}

@@ -1,0 +1,63 @@
+//! Figure 8 — varying the increment input rate (4 / 8 / 16 ΔD/s).
+//!
+//! Same setup as Figure 7 with slower streams: on slow streams I-BASE can
+//! keep up and approaches the PIER algorithms; as the rate grows the PIER
+//! advantage on early quality widens because they exploit the idle time
+//! between arrivals on globally-best comparisons.
+
+use pier_bench::{fmt_consumed, params_for, run, FigureReport, Matcher};
+use pier_datagen::StandardDataset;
+use pier_sim::{Method, StreamPlan};
+
+fn main() {
+    let methods = [
+        Method::PpsGlobal,
+        Method::IBase,
+        Method::IPcs,
+        Method::IPbs,
+        Method::IPes,
+    ];
+    let mut report = FigureReport::new("fig8");
+    for ds in [StandardDataset::Census, StandardDataset::Dbpedia] {
+        let params = params_for(ds);
+        let dataset = ds.generate();
+        for matcher in [Matcher::Js, Matcher::Ed] {
+            for rate in [4.0f64, 8.0, 16.0] {
+                let plan = StreamPlan::streaming(params.increments, rate);
+                let stream_secs = params.increments as f64 / rate;
+                let budget = (stream_secs * 1.2).max(params.budget);
+                println!(
+                    "-- {} / {} @ {rate} ΔD/s (stream {:.0}s, budget {:.0}s) --",
+                    ds.name(),
+                    matcher.name(),
+                    stream_secs,
+                    budget
+                );
+                for method in methods {
+                    let out = run(method, &dataset, &plan, matcher, budget);
+                    let label = match method {
+                        Method::PpsGlobal => "PPS-GLOBAL".to_string(),
+                        _ => out.name.clone(),
+                    };
+                    println!(
+                        "  {:<11} PC@25%={:.3} PC@75%={:.3} PC final={:.3} lat(p50)={} {}",
+                        label,
+                        out.trajectory.pc_at_time(budget * 0.25),
+                        out.trajectory.pc_at_time(budget * 0.75),
+                        out.pc(),
+                        out.latency_percentile(0.5)
+                            .map_or("—".to_string(), |l| format!("{l:.1}s")),
+                        fmt_consumed(out.consumed_at),
+                    );
+                    report.add_time_series(
+                        format!("{}-{}-r{rate}-{label}", ds.name(), matcher.name()),
+                        &out,
+                        budget,
+                    );
+                }
+                println!();
+            }
+        }
+    }
+    report.emit();
+}

@@ -1,0 +1,282 @@
+//! Shared harness for the experiment benches.
+//!
+//! Every table and figure of the paper has a `harness = false` bench target
+//! in `benches/` that prints the same rows/series the paper reports and
+//! additionally dumps CSVs under `target/experiments/<id>/` for plotting.
+//! This module holds the pieces they share: the calibrated cost model, the
+//! scaled dataset registry, series collection/printing, and the standard
+//! run wrapper.
+//!
+//! Calibration (see DESIGN.md §2): stage A (blocking + prioritization,
+//! single-threaded as in the paper's pipeline) at 1 M ops/s; the matcher at
+//! 10 M ops/s. Virtual budgets scale the paper's 5 min (small datasets) and
+//! 80 min (large datasets) to the scaled-down corpora: 300 s and 600 s.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use pier_core::PierConfig;
+use pier_datagen::StandardDataset;
+use pier_matching::{EditDistanceMatcher, JaccardMatcher, MatchFunction};
+use pier_sim::experiment::{run_method, Method, StreamPlan};
+use pier_sim::{CostModel, SimConfig, SimOutcome};
+use pier_types::Dataset;
+
+/// The calibrated cost model used by all experiments.
+pub fn experiment_cost() -> CostModel {
+    CostModel {
+        stage_a_ops_per_sec: 1_000_000.0,
+        matcher_ops_per_sec: 10_000_000.0,
+    }
+}
+
+/// The two matcher configurations of §7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Matcher {
+    /// Cheap Jaccard similarity.
+    Js,
+    /// Expensive edit distance.
+    Ed,
+}
+
+impl Matcher {
+    /// Instantiates the match function.
+    pub fn build(self) -> Box<dyn MatchFunction> {
+        match self {
+            Matcher::Js => Box::new(JaccardMatcher::default()),
+            Matcher::Ed => Box::new(EditDistanceMatcher::default()),
+        }
+    }
+
+    /// Short name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Matcher::Js => "JS",
+            Matcher::Ed => "ED",
+        }
+    }
+}
+
+/// Per-dataset experiment parameters (Table 1 scaled; §7.2.1 increments).
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetParams {
+    /// Which corpus.
+    pub dataset: StandardDataset,
+    /// Number of stream increments (scaled from the paper's 1000/20000/30000).
+    pub increments: usize,
+    /// Virtual time budget in seconds (scaled from 5 min / 80 min).
+    pub budget: f64,
+}
+
+/// The standard parameters for each corpus.
+pub fn params_for(dataset: StandardDataset) -> DatasetParams {
+    match dataset {
+        StandardDataset::DblpAcm => DatasetParams {
+            dataset,
+            increments: 1000,
+            budget: 300.0,
+        },
+        StandardDataset::Movies => DatasetParams {
+            dataset,
+            increments: 1000,
+            budget: 300.0,
+        },
+        StandardDataset::Census => DatasetParams {
+            dataset,
+            increments: 2000,
+            budget: 600.0,
+        },
+        StandardDataset::Dbpedia => DatasetParams {
+            dataset,
+            increments: 3000,
+            budget: 600.0,
+        },
+    }
+}
+
+/// The standard simulation config for an experiment.
+pub fn sim_config(budget: f64) -> SimConfig {
+    SimConfig {
+        time_budget: budget,
+        cost: experiment_cost(),
+        ..SimConfig::default()
+    }
+}
+
+/// How a method is driven in the *static* setting of §7.2: batch
+/// algorithms see the whole dataset at once; incremental algorithms chew
+/// through `increments` increments back to back.
+pub fn static_plan(method: Method, increments: usize) -> StreamPlan {
+    match method {
+        Method::Batch
+        | Method::Pbs
+        | Method::PpsGlobal
+        | Method::LsPsn
+        | Method::GsPsn => StreamPlan::static_data(1),
+        _ => StreamPlan::static_data(increments),
+    }
+}
+
+/// Runs one configuration and returns the outcome.
+pub fn run(
+    method: Method,
+    dataset: &Dataset,
+    plan: &StreamPlan,
+    matcher: Matcher,
+    budget: f64,
+) -> SimOutcome {
+    let m = matcher.build();
+    run_method(
+        method,
+        dataset,
+        plan,
+        m.as_ref(),
+        &sim_config(budget),
+        PierConfig::default(),
+    )
+}
+
+/// One named series: `(name, x label, rows)`.
+type Series = (String, &'static str, Vec<(f64, f64)>);
+
+/// Collects named series and renders them as aligned text plus CSV files.
+pub struct FigureReport {
+    id: String,
+    series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// Creates a report for figure/table `id` (e.g. `"fig4"`).
+    pub fn new(id: impl Into<String>) -> Self {
+        FigureReport {
+            id: id.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a PC-over-time series sampled at `n` points up to `horizon`.
+    pub fn add_time_series(&mut self, name: impl Into<String>, out: &SimOutcome, horizon: f64) {
+        let rows = out.trajectory.sample_over_time(horizon, 21);
+        self.series.push((name.into(), "time_s", rows));
+    }
+
+    /// Adds a PC-over-comparisons series.
+    pub fn add_comparison_series(&mut self, name: impl Into<String>, out: &SimOutcome) {
+        let rows = out
+            .trajectory
+            .sample_over_comparisons(out.comparisons.max(1), 21)
+            .into_iter()
+            .map(|(c, pc)| (c as f64, pc))
+            .collect();
+        self.series.push((name.into(), "comparisons", rows));
+    }
+
+    /// Adds a raw series.
+    pub fn add_series(
+        &mut self,
+        name: impl Into<String>,
+        x_label: &'static str,
+        rows: Vec<(f64, f64)>,
+    ) {
+        self.series.push((name.into(), x_label, rows));
+    }
+
+    /// Prints all series as aligned text and writes one CSV per series to
+    /// `target/experiments/<id>/<series>.csv`.
+    pub fn emit(&self) {
+        let dir = output_dir(&self.id);
+        for (name, x_label, rows) in &self.series {
+            println!("--- {} :: {name} ({x_label}, pc) ---", self.id);
+            let mut line = String::new();
+            for (x, pc) in rows {
+                line.push_str(&format!("({x:.1}, {pc:.3}) "));
+            }
+            println!("{line}");
+            let path = dir.join(format!("{}.csv", sanitize(name)));
+            let mut file = std::fs::File::create(&path).expect("create CSV");
+            pier_types::csv::write_series(&mut file, x_label, rows).expect("write CSV");
+        }
+        println!("[csv written to {}]", dir.display());
+    }
+}
+
+/// The output directory for an experiment id (created on demand).
+///
+/// Resolves to `<workspace>/target/experiments/<id>` regardless of the
+/// bench process's working directory (benches run inside `crates/bench`).
+pub fn output_dir(id: &str) -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // crates/bench -> workspace root -> target
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    let dir = base.join("experiments").join(id);
+    std::fs::create_dir_all(&dir).expect("create experiment dir");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Writes one free-form text file next to the CSVs.
+pub fn write_note(id: &str, name: &str, content: &str) {
+    let path = output_dir(id).join(name);
+    let mut f = std::fs::File::create(path).expect("create note");
+    f.write_all(content.as_bytes()).expect("write note");
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats an optional consumption time like the paper's × marker.
+pub fn fmt_consumed(t: Option<f64>) -> String {
+    t.map_or("—".to_string(), |t| format!("×@{t:.0}s"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_cover_all_datasets() {
+        for d in StandardDataset::all() {
+            let p = params_for(d);
+            assert!(p.increments >= 1000);
+            assert!(p.budget >= 300.0);
+        }
+    }
+
+    #[test]
+    fn static_plan_splits_by_method_kind() {
+        assert_eq!(static_plan(Method::PpsGlobal, 100).n_increments, 1);
+        assert_eq!(static_plan(Method::IPes, 100).n_increments, 100);
+    }
+
+    #[test]
+    fn sanitize_makes_filenames() {
+        assert_eq!(sanitize("I-PES (JS)"), "I-PES__JS_");
+    }
+
+    #[test]
+    fn matcher_names() {
+        assert_eq!(Matcher::Js.name(), "JS");
+        assert_eq!(Matcher::Ed.build().name(), "ED");
+    }
+
+    #[test]
+    fn fmt_consumed_formats() {
+        assert_eq!(fmt_consumed(None), "—");
+        assert_eq!(fmt_consumed(Some(12.4)), "×@12s");
+    }
+}

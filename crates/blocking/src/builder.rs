@@ -1,0 +1,209 @@
+//! The Incremental Blocking pipeline stage.
+//!
+//! [`IncrementalBlocker`] is the stateful component at the head of the ER
+//! pipeline (Figure 3 of the paper): it receives data increments, tokenizes
+//! each profile, interns tokens, and maintains the block collection. It also
+//! acts as the *profile store* of the stream — downstream components (match
+//! functions, prioritizers) reference profiles by id.
+
+use pier_types::{EntityProfile, ErKind, ProfileId, TokenDictionary, TokenId, Tokenizer};
+
+use crate::collection::BlockCollection;
+use crate::purging::PurgePolicy;
+
+/// Incremental blocking state: tokenizer, token dictionary, block
+/// collection, and the profiles seen so far.
+///
+/// Profiles keep the ids they arrive with (streams interleave sources, so
+/// arrival order is not id order); per-profile state is stored sparsely.
+///
+/// ```
+/// use pier_blocking::IncrementalBlocker;
+/// use pier_types::{EntityProfile, ErKind, ProfileId, SourceId};
+///
+/// let mut blocker = IncrementalBlocker::new(ErKind::Dirty);
+/// blocker.process_increment(&[
+///     EntityProfile::new(ProfileId(0), SourceId(0)).with("name", "Ada Lovelace"),
+///     EntityProfile::new(ProfileId(1), SourceId(0)).with("who", "Ada Byron Lovelace"),
+/// ]);
+/// // Both profiles landed in the "ada" and "lovelace" token blocks.
+/// assert_eq!(blocker.collection().common_blocks(ProfileId(0), ProfileId(1)), 2);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalBlocker {
+    tokenizer: Tokenizer,
+    dictionary: TokenDictionary,
+    collection: BlockCollection,
+    profiles: Vec<Option<EntityProfile>>,
+    token_sets: Vec<Vec<TokenId>>,
+    arrival_order: Vec<ProfileId>,
+    profile_count: usize,
+}
+
+impl IncrementalBlocker {
+    /// Creates a blocker with the default tokenizer and purge policy.
+    pub fn new(kind: ErKind) -> Self {
+        Self::with_config(kind, Tokenizer::default(), PurgePolicy::default())
+    }
+
+    /// Creates a blocker with explicit tokenizer and purge policy.
+    pub fn with_config(kind: ErKind, tokenizer: Tokenizer, policy: PurgePolicy) -> Self {
+        IncrementalBlocker {
+            tokenizer,
+            dictionary: TokenDictionary::new(),
+            collection: BlockCollection::with_policy(kind, policy),
+            profiles: Vec::new(),
+            token_sets: Vec::new(),
+            arrival_order: Vec::new(),
+            profile_count: 0,
+        }
+    }
+
+    /// Ingests one increment of profiles, in arrival order, and returns
+    /// their ids.
+    pub fn process_increment(&mut self, increment: &[EntityProfile]) -> Vec<ProfileId> {
+        let mut ids = Vec::with_capacity(increment.len());
+        for p in increment {
+            ids.push(self.process_profile(p.clone()));
+        }
+        ids
+    }
+
+    /// Ingests a single profile under its own id.
+    ///
+    /// # Panics
+    /// Panics if a profile with the same id was already ingested.
+    pub fn process_profile(&mut self, profile: EntityProfile) -> ProfileId {
+        let id = profile.id;
+        if self.profiles.len() <= id.index() {
+            self.profiles.resize(id.index() + 1, None);
+            self.token_sets.resize(id.index() + 1, Vec::new());
+        }
+        assert!(
+            self.profiles[id.index()].is_none(),
+            "profile {id} ingested twice"
+        );
+        let tokens = self.dictionary.intern_profile(&self.tokenizer, &profile);
+        self.collection.add_profile(id, profile.source, &tokens);
+        self.token_sets[id.index()] = tokens;
+        self.profiles[id.index()] = Some(profile);
+        self.arrival_order.push(id);
+        self.profile_count += 1;
+        id
+    }
+
+    /// The maintained block collection `B_D`.
+    pub fn collection(&self) -> &BlockCollection {
+        &self.collection
+    }
+
+    /// A stored profile by id.
+    ///
+    /// # Panics
+    /// Panics if no profile with this id was ingested.
+    pub fn profile(&self, id: ProfileId) -> &EntityProfile {
+        self.profiles[id.index()]
+            .as_ref()
+            .expect("profile ingested")
+    }
+
+    /// The sorted distinct token ids of a stored profile.
+    pub fn tokens_of(&self, id: ProfileId) -> &[TokenId] {
+        &self.token_sets[id.index()]
+    }
+
+    /// All stored profiles, in id order.
+    pub fn profiles(&self) -> impl Iterator<Item = &EntityProfile> {
+        self.profiles.iter().filter_map(Option::as_ref)
+    }
+
+    /// All stored profiles, in arrival order (the order that determines
+    /// block membership order; used by checkpointing).
+    pub fn profiles_in_arrival_order(&self) -> impl Iterator<Item = &EntityProfile> {
+        self.arrival_order.iter().map(|id| self.profile(*id))
+    }
+
+    /// Number of profiles ingested so far.
+    pub fn profile_count(&self) -> usize {
+        self.profile_count
+    }
+
+    /// The token dictionary (grows monotonically across increments).
+    pub fn dictionary(&self) -> &TokenDictionary {
+        &self.dictionary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::SourceId;
+
+    fn p(id: u32, src: u8, text: &str) -> EntityProfile {
+        EntityProfile::new(ProfileId(id), SourceId(src)).with("text", text)
+    }
+
+    #[test]
+    fn increments_accumulate_state() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        let ids1 = b.process_increment(&[p(0, 0, "alpha beta"), p(1, 0, "beta gamma")]);
+        assert_eq!(ids1, vec![ProfileId(0), ProfileId(1)]);
+        let ids2 = b.process_increment(&[p(2, 0, "gamma alpha")]);
+        assert_eq!(ids2, vec![ProfileId(2)]);
+        assert_eq!(b.profile_count(), 3);
+        assert_eq!(b.collection().block_count(), 3);
+        // "beta" block holds profiles 0 and 1.
+        let beta = b.dictionary().get("beta").unwrap();
+        let block = b.collection().block(beta.into()).unwrap();
+        assert_eq!(block.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_preserved_and_may_be_sparse() {
+        // Streams interleave sources, so arrival order is not id order.
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        let id = b.process_profile(p(999, 0, "xx yy"));
+        assert_eq!(id, ProfileId(999));
+        assert_eq!(b.profile(id).id, ProfileId(999));
+        let id2 = b.process_profile(p(3, 0, "xx zz"));
+        assert_eq!(id2, ProfileId(3));
+        assert_eq!(b.profile_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ingested twice")]
+    fn duplicate_id_panics() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        b.process_profile(p(7, 0, "aa"));
+        b.process_profile(p(7, 0, "bb"));
+    }
+
+    #[test]
+    fn token_sets_are_stored_sorted() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        let id = b.process_profile(p(0, 0, "zeta alpha zeta"));
+        let toks = b.tokens_of(id);
+        assert_eq!(toks.len(), 2);
+        assert!(toks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn clean_clean_blocker_tracks_sources() {
+        let mut b = IncrementalBlocker::new(ErKind::CleanClean);
+        b.process_profile(p(0, 0, "shared token"));
+        b.process_profile(p(1, 1, "shared other"));
+        let shared = b.dictionary().get("shared").unwrap();
+        let block = b.collection().block(shared.into()).unwrap();
+        assert_eq!(block.members_of(SourceId(0)).len(), 1);
+        assert_eq!(block.members_of(SourceId(1)).len(), 1);
+        assert_eq!(block.cardinality(ErKind::CleanClean), 1);
+    }
+
+    #[test]
+    fn empty_increment_is_a_noop() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        let ids = b.process_increment(&[]);
+        assert!(ids.is_empty());
+        assert_eq!(b.profile_count(), 0);
+    }
+}

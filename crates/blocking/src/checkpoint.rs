@@ -1,0 +1,253 @@
+//! Checkpointing the incremental blocking state.
+//!
+//! Long-running stream consumers need to survive restarts without
+//! re-reading the stream. A checkpoint persists everything the blocker's
+//! state is derived from — the configuration and the profiles in *arrival
+//! order* — and restoring replays them through a fresh blocker, which
+//! reconstructs byte-identical state (tokenization and block membership
+//! order are deterministic functions of the arrival sequence).
+//!
+//! Prioritizer state (comparison indexes, Bloom filters) is deliberately
+//! *not* checkpointed: it is a cache over the blocking state, rebuilt
+//! cold after a restore; already-executed comparisons simply re-run, and
+//! downstream match dedup (e.g. [`pier_types::MatchLedger`]) absorbs the
+//! repeats. The format is a CSV header line plus the long-form profile
+//! rows of [`pier_types::csv`].
+
+use std::io::{BufRead, Write};
+
+use pier_types::csv::{write_record, CsvReader};
+use pier_types::{ErKind, PierError, Tokenizer};
+
+use crate::builder::IncrementalBlocker;
+use crate::purging::PurgePolicy;
+
+const MAGIC: &str = "pier-checkpoint";
+const VERSION: &str = "v1";
+
+/// Writes a checkpoint of `blocker` to `w`.
+pub fn save_checkpoint<W: Write>(
+    blocker: &IncrementalBlocker,
+    tokenizer: &Tokenizer,
+    policy: &PurgePolicy,
+    w: &mut W,
+) -> std::io::Result<()> {
+    let kind = match blocker.collection().kind() {
+        ErKind::Dirty => "dirty",
+        ErKind::CleanClean => "clean-clean",
+    };
+    let opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+    write_record(
+        w,
+        &[
+            MAGIC,
+            VERSION,
+            kind,
+            &tokenizer.min_len.to_string(),
+            &tokenizer.min_numeric_len.to_string(),
+            &opt(policy.max_size.map(|s| s as u64)),
+            &opt(policy.max_cardinality),
+        ],
+    )?;
+    for p in blocker.profiles_in_arrival_order() {
+        let id = p.id.0.to_string();
+        let src = p.source.0.to_string();
+        for a in &p.attributes {
+            write_record(w, &[&id, &src, &a.name, &a.value])?;
+        }
+        // Profile terminator row (profiles may interleave ids arbitrarily,
+        // and an attribute-less profile still needs a row).
+        write_record(w, &[&id, &src, "", ""])?;
+    }
+    Ok(())
+}
+
+/// Restores a blocker from a checkpoint written by [`save_checkpoint`].
+pub fn load_checkpoint<R: BufRead>(r: R) -> Result<IncrementalBlocker, PierError> {
+    let mut reader = CsvReader::new(r);
+    let header = reader.next_record()?.ok_or_else(|| PierError::Csv {
+        line: 0,
+        message: "empty checkpoint".into(),
+    })?;
+    if header.len() != 7 || header[0] != MAGIC || header[1] != VERSION {
+        return Err(PierError::Csv {
+            line: 1,
+            message: format!("not a {MAGIC} {VERSION} header: {header:?}"),
+        });
+    }
+    let kind = match header[2].as_str() {
+        "dirty" => ErKind::Dirty,
+        "clean-clean" => ErKind::CleanClean,
+        other => {
+            return Err(PierError::Csv {
+                line: 1,
+                message: format!("unknown ER kind {other:?}"),
+            })
+        }
+    };
+    let parse_usize = |s: &str, what: &'static str| -> Result<usize, PierError> {
+        s.parse().map_err(|_| PierError::Csv {
+            line: 1,
+            message: format!("bad {what}: {s:?}"),
+        })
+    };
+    let opt = |s: &str, what: &'static str| -> Result<Option<u64>, PierError> {
+        if s == "-" {
+            Ok(None)
+        } else {
+            s.parse().map(Some).map_err(|_| PierError::Csv {
+                line: 1,
+                message: format!("bad {what}: {s:?}"),
+            })
+        }
+    };
+    let tokenizer = Tokenizer {
+        min_len: parse_usize(&header[3], "min_len")?,
+        min_numeric_len: parse_usize(&header[4], "min_numeric_len")?,
+    };
+    let policy = PurgePolicy {
+        max_size: opt(&header[5], "max_size")?.map(|v| v as usize),
+        max_cardinality: opt(&header[6], "max_cardinality")?,
+    };
+    let mut blocker = IncrementalBlocker::with_config(kind, tokenizer, policy);
+
+    // Replay profiles in stored (arrival) order.
+    let mut current: Option<pier_types::EntityProfile> = None;
+    while let Some(rec) = reader.next_record()? {
+        if rec.len() != 4 {
+            return Err(PierError::Csv {
+                line: 0,
+                message: format!("expected 4 fields, got {}", rec.len()),
+            });
+        }
+        let id: u32 = rec[0].parse().map_err(|_| PierError::Csv {
+            line: 0,
+            message: format!("bad profile id {:?}", rec[0]),
+        })?;
+        let source: u8 = rec[1].parse().map_err(|_| PierError::Csv {
+            line: 0,
+            message: format!("bad source {:?}", rec[1]),
+        })?;
+        if rec[2].is_empty() && rec[3].is_empty() {
+            // Terminator: flush the profile.
+            let p = current.take().unwrap_or_else(|| {
+                pier_types::EntityProfile::new(
+                    pier_types::ProfileId(id),
+                    pier_types::SourceId(source),
+                )
+            });
+            blocker.process_profile(p);
+            continue;
+        }
+        let p = current.get_or_insert_with(|| {
+            pier_types::EntityProfile::new(
+                pier_types::ProfileId(id),
+                pier_types::SourceId(source),
+            )
+        });
+        p.attributes
+            .push(pier_types::Attribute::new(rec[2].clone(), rec[3].clone()));
+    }
+    Ok(blocker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{EntityProfile, ProfileId, SourceId};
+    use std::io::BufReader;
+
+    fn sample_blocker() -> (IncrementalBlocker, Tokenizer, PurgePolicy) {
+        let tokenizer = Tokenizer {
+            min_len: 3,
+            min_numeric_len: 2,
+        };
+        let policy = PurgePolicy::max_cardinality(500);
+        let mut b = IncrementalBlocker::with_config(ErKind::CleanClean, tokenizer.clone(), policy);
+        // Arrival order deliberately not id order.
+        b.process_profile(
+            EntityProfile::new(ProfileId(5), SourceId(0)).with("title", "shared tokens here"),
+        );
+        b.process_profile(
+            EntityProfile::new(ProfileId(1), SourceId(1)).with("name", "shared tokens there"),
+        );
+        b.process_profile(
+            EntityProfile::new(ProfileId(3), SourceId(0)).with("x", "unique, value: 42"),
+        );
+        (b, tokenizer, policy)
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_reconstructs_state() {
+        let (b, tokenizer, policy) = sample_blocker();
+        let mut buf = Vec::new();
+        save_checkpoint(&b, &tokenizer, &policy, &mut buf).unwrap();
+        let b2 = load_checkpoint(BufReader::new(&buf[..])).unwrap();
+
+        assert_eq!(b2.profile_count(), b.profile_count());
+        assert_eq!(b2.collection().kind(), b.collection().kind());
+        assert_eq!(b2.collection().block_count(), b.collection().block_count());
+        // Profiles identical.
+        for p in b.profiles() {
+            assert_eq!(b2.profile(p.id), p);
+            assert_eq!(b2.tokens_of(p.id), b.tokens_of(p.id));
+        }
+        // Block membership order identical (arrival order preserved).
+        let shared = b.dictionary().get("shared").unwrap();
+        let m1: Vec<_> = b.collection().block(shared.into()).unwrap().members().collect();
+        let m2: Vec<_> = b2.collection().block(shared.into()).unwrap().members().collect();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn checkpoint_preserves_config() {
+        let (b, tokenizer, policy) = sample_blocker();
+        let mut buf = Vec::new();
+        save_checkpoint(&b, &tokenizer, &policy, &mut buf).unwrap();
+        // A profile with a 2-char token must be filtered identically after
+        // restore (min_len 3).
+        let mut b2 = load_checkpoint(BufReader::new(&buf[..])).unwrap();
+        let id = b2.process_profile(
+            EntityProfile::new(ProfileId(9), SourceId(0)).with("t", "ab abc"),
+        );
+        assert_eq!(b2.tokens_of(id).len(), 1, "min_len 3 must be restored");
+    }
+
+    #[test]
+    fn restored_blocker_continues_the_stream() {
+        let (b, tokenizer, policy) = sample_blocker();
+        let mut buf = Vec::new();
+        save_checkpoint(&b, &tokenizer, &policy, &mut buf).unwrap();
+        let mut b2 = load_checkpoint(BufReader::new(&buf[..])).unwrap();
+        let id = b2.process_profile(
+            EntityProfile::new(ProfileId(0), SourceId(1)).with("t", "shared continuation"),
+        );
+        assert_eq!(id, ProfileId(0));
+        let shared = b2.dictionary().get("shared").unwrap();
+        assert_eq!(b2.collection().block(shared.into()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let junk = b"left,right\n1,2\n";
+        assert!(load_checkpoint(BufReader::new(&junk[..])).is_err());
+        let empty = b"";
+        assert!(load_checkpoint(BufReader::new(&empty[..])).is_err());
+    }
+
+    #[test]
+    fn values_with_commas_and_quotes_survive() {
+        let tokenizer = Tokenizer::default();
+        let policy = PurgePolicy::disabled();
+        let mut b = IncrementalBlocker::with_config(ErKind::Dirty, tokenizer.clone(), policy);
+        b.process_profile(
+            EntityProfile::new(ProfileId(0), SourceId(0))
+                .with("quote", "say \"hello\", world")
+                .with("newline", "two\nlines"),
+        );
+        let mut buf = Vec::new();
+        save_checkpoint(&b, &tokenizer, &policy, &mut buf).unwrap();
+        let b2 = load_checkpoint(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(b2.profile(ProfileId(0)), b.profile(ProfileId(0)));
+    }
+}

@@ -1,0 +1,421 @@
+//! The incrementally-maintained block collection.
+
+use std::collections::HashMap;
+
+use pier_types::{ErKind, ProfileId, SourceId, TokenId};
+
+use crate::purging::PurgePolicy;
+
+/// Identifier of a block. Token blocking uses the block's token id, so the
+/// two id spaces coincide; the newtype keeps them from being mixed up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The token this block was built from.
+    #[inline]
+    pub fn token(self) -> TokenId {
+        TokenId(self.0)
+    }
+}
+
+impl From<TokenId> for BlockId {
+    fn from(t: TokenId) -> Self {
+        BlockId(t.0)
+    }
+}
+
+/// One block: the profiles sharing a token, kept separated by source so
+/// Clean-Clean comparison cardinalities are cheap to compute.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    members: [Vec<ProfileId>; 2],
+    purged: bool,
+}
+
+impl Block {
+    /// Total number of profiles in the block (the paper's `|b|`).
+    pub fn len(&self) -> usize {
+        self.members[0].len() + self.members[1].len()
+    }
+
+    /// Whether the block has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Profiles of one source, in arrival order.
+    pub fn members_of(&self, source: SourceId) -> &[ProfileId] {
+        &self.members[source.0 as usize]
+    }
+
+    /// All member profiles, source 0 first, each in arrival order.
+    pub fn members(&self) -> impl Iterator<Item = ProfileId> + '_ {
+        self.members[0].iter().chain(self.members[1].iter()).copied()
+    }
+
+    /// Number of comparisons this block can generate (the paper's `||b||`):
+    /// `n·(n−1)/2` for Dirty ER, `|b∩S0| · |b∩S1|` for Clean-Clean ER.
+    pub fn cardinality(&self, kind: ErKind) -> u64 {
+        match kind {
+            ErKind::Dirty => {
+                let n = self.len() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+            ErKind::CleanClean => self.members[0].len() as u64 * self.members[1].len() as u64,
+        }
+    }
+
+    /// Whether this block was removed by block purging. Purged blocks stay
+    /// registered (their size keeps growing for statistics) but generate no
+    /// comparisons.
+    pub fn is_purged(&self) -> bool {
+        self.purged
+    }
+
+    /// Comparison partners of `p` inside this block: all other members
+    /// (Dirty) or members of the other source (Clean-Clean).
+    pub fn partners_of<'a>(
+        &'a self,
+        p: ProfileId,
+        source: SourceId,
+        kind: ErKind,
+    ) -> Box<dyn Iterator<Item = ProfileId> + 'a> {
+        match kind {
+            ErKind::Dirty => Box::new(self.members().filter(move |&q| q != p)),
+            ErKind::CleanClean => {
+                let other = SourceId(1 - source.0);
+                Box::new(self.members_of(other).iter().copied())
+            }
+        }
+    }
+}
+
+/// The block collection `B_D`, maintained incrementally as increments arrive.
+///
+/// Profiles may arrive in any order (streams interleave sources), so
+/// per-profile state is stored sparsely by id: ids only need to be unique
+/// and reasonably dense overall (they index vectors).
+#[derive(Debug)]
+pub struct BlockCollection {
+    kind: ErKind,
+    blocks: HashMap<BlockId, Block>,
+    /// Blocks of each profile, indexed by `ProfileId`; `None` = not seen.
+    profile_blocks: Vec<Option<Vec<BlockId>>>,
+    /// Source of each profile, indexed by `ProfileId`.
+    profile_sources: Vec<SourceId>,
+    profile_count: usize,
+    purge_policy: PurgePolicy,
+    purged_count: usize,
+}
+
+impl BlockCollection {
+    /// Creates an empty collection for the given ER kind, with the default
+    /// purge policy.
+    pub fn new(kind: ErKind) -> Self {
+        Self::with_policy(kind, PurgePolicy::default())
+    }
+
+    /// Creates an empty collection with an explicit purge policy.
+    pub fn with_policy(kind: ErKind, purge_policy: PurgePolicy) -> Self {
+        BlockCollection {
+            kind,
+            blocks: HashMap::new(),
+            profile_blocks: Vec::new(),
+            profile_sources: Vec::new(),
+            profile_count: 0,
+            purge_policy,
+            purged_count: 0,
+        }
+    }
+
+    /// The ER task kind this collection serves.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// Inserts a profile with its distinct token ids, updating or creating
+    /// one block per token and applying the purge policy to grown blocks.
+    ///
+    /// Profiles may arrive in any order; each id must be inserted at most
+    /// once.
+    ///
+    /// # Panics
+    /// Panics if `id` was already inserted.
+    pub fn add_profile(&mut self, id: ProfileId, source: SourceId, tokens: &[TokenId]) {
+        if self.profile_blocks.len() <= id.index() {
+            self.profile_blocks.resize(id.index() + 1, None);
+            self.profile_sources.resize(id.index() + 1, SourceId(0));
+        }
+        assert!(
+            self.profile_blocks[id.index()].is_none(),
+            "profile {id} inserted twice"
+        );
+        let mut blocks = Vec::with_capacity(tokens.len());
+        for &t in tokens {
+            let bid = BlockId::from(t);
+            let block = self.blocks.entry(bid).or_default();
+            block.members[source.0 as usize].push(id);
+            if !block.purged && self.purge_policy.should_purge(block, self.kind) {
+                block.purged = true;
+                self.purged_count += 1;
+            }
+            blocks.push(bid);
+        }
+        self.profile_blocks[id.index()] = Some(blocks);
+        self.profile_sources[id.index()] = source;
+        self.profile_count += 1;
+    }
+
+    /// The blocks containing profile `p` (the paper's `B(p)`), including
+    /// purged ones.
+    pub fn blocks_of(&self, p: ProfileId) -> &[BlockId] {
+        self.profile_blocks[p.index()]
+            .as_deref()
+            .expect("profile registered")
+    }
+
+    /// The blocks containing `p`, excluding purged blocks, paired with their
+    /// current sizes — the input to block ghosting.
+    pub fn active_blocks_of(&self, p: ProfileId) -> Vec<(BlockId, usize)> {
+        self.blocks_of(p)
+            .iter()
+            .filter_map(|&bid| {
+                let b = &self.blocks[&bid];
+                (!b.is_purged()).then(|| (bid, b.len()))
+            })
+            .collect()
+    }
+
+    /// Source of a registered profile.
+    pub fn source_of(&self, p: ProfileId) -> SourceId {
+        self.profile_sources[p.index()]
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(&id)
+    }
+
+    /// Number of blocks (including purged).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of purged blocks.
+    pub fn purged_count(&self) -> usize {
+        self.purged_count
+    }
+
+    /// Number of registered profiles.
+    pub fn profile_count(&self) -> usize {
+        self.profile_count
+    }
+
+    /// Iterates over `(id, block)` for all non-purged blocks, in unspecified
+    /// order.
+    pub fn active_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .filter(|(_, b)| !b.is_purged())
+            .map(|(&id, b)| (id, b))
+    }
+
+    /// Total comparisons over all active blocks (with redundancy).
+    pub fn total_cardinality(&self) -> u64 {
+        self.active_blocks()
+            .map(|(_, b)| b.cardinality(self.kind))
+            .sum()
+    }
+
+    /// Comparison partners of `p` across the given blocks, with the number
+    /// of those blocks each partner co-occurs in — i.e. the **CBS weight
+    /// restricted to `block_ids`** (the incremental CBS approximation used
+    /// by I-PCS/I-PES). Partners are restricted to the other source for
+    /// Clean-Clean ER and deduplicated.
+    pub fn partners_with_counts(
+        &self,
+        p: ProfileId,
+        block_ids: &[BlockId],
+    ) -> Vec<(ProfileId, u32)> {
+        let source = self.source_of(p);
+        let mut counts: HashMap<ProfileId, u32> = HashMap::new();
+        for &bid in block_ids {
+            let Some(block) = self.blocks.get(&bid) else {
+                continue;
+            };
+            if block.is_purged() {
+                continue;
+            }
+            for q in block.partners_of(p, source, self.kind) {
+                *counts.entry(q).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(ProfileId, u32)> = counts.into_iter().collect();
+        out.sort_unstable(); // deterministic order
+        out
+    }
+
+    /// Exact CBS weight of a pair over the full collection:
+    /// `|B(p_x) ∩ B(p_y)|`, counting only non-purged blocks.
+    ///
+    /// Runs as a linear merge: a profile's block list is sorted because
+    /// token blocking inserts blocks in (sorted) token-id order.
+    pub fn common_blocks(&self, x: ProfileId, y: ProfileId) -> u32 {
+        let bx = self.blocks_of(x);
+        let by = self.blocks_of(y);
+        debug_assert!(bx.windows(2).all(|w| w[0] < w[1]), "block lists sorted");
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0u32;
+        while i < bx.len() && j < by.len() {
+            match bx[i].cmp(&by[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if self.blocks.get(&bx[i]).is_some_and(|b| !b.is_purged()) {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> TokenId {
+        TokenId(i)
+    }
+
+    fn add(c: &mut BlockCollection, id: u32, src: u8, tokens: &[u32]) {
+        let toks: Vec<TokenId> = tokens.iter().map(|&t| tid(t)).collect();
+        c.add_profile(ProfileId(id), SourceId(src), &toks);
+    }
+
+    #[test]
+    fn blocks_group_by_token() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1, 2]);
+        add(&mut c, 1, 0, &[2, 3]);
+        assert_eq!(c.block_count(), 3);
+        let b2 = c.block(BlockId(2)).unwrap();
+        assert_eq!(b2.len(), 2);
+        assert_eq!(b2.cardinality(ErKind::Dirty), 1);
+        assert_eq!(c.blocks_of(ProfileId(0)), &[BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn out_of_order_ids_are_accepted() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 5, 0, &[1]);
+        add(&mut c, 1, 0, &[1]);
+        assert_eq!(c.profile_count(), 2);
+        assert_eq!(c.blocks_of(ProfileId(5)), &[BlockId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_profile_id_panics() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 1, 0, &[1]);
+        add(&mut c, 1, 0, &[2]);
+    }
+
+    #[test]
+    fn clean_clean_cardinality_is_cross_product() {
+        let mut c = BlockCollection::new(ErKind::CleanClean);
+        add(&mut c, 0, 0, &[7]);
+        add(&mut c, 1, 0, &[7]);
+        add(&mut c, 2, 1, &[7]);
+        let b = c.block(BlockId(7)).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.cardinality(ErKind::CleanClean), 2);
+        assert_eq!(b.cardinality(ErKind::Dirty), 3);
+    }
+
+    #[test]
+    fn partners_respect_clean_clean_sources() {
+        let mut c = BlockCollection::new(ErKind::CleanClean);
+        add(&mut c, 0, 0, &[7]);
+        add(&mut c, 1, 0, &[7]);
+        add(&mut c, 2, 1, &[7]);
+        let partners = c.partners_with_counts(ProfileId(0), &[BlockId(7)]);
+        assert_eq!(partners, vec![(ProfileId(2), 1)]);
+        let partners = c.partners_with_counts(ProfileId(2), &[BlockId(7)]);
+        assert_eq!(partners, vec![(ProfileId(0), 1), (ProfileId(1), 1)]);
+    }
+
+    #[test]
+    fn partners_count_common_blocks() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1, 2, 3]);
+        add(&mut c, 1, 0, &[1, 2]);
+        add(&mut c, 2, 0, &[3]);
+        let partners = c.partners_with_counts(ProfileId(0), c.blocks_of(ProfileId(0)));
+        assert_eq!(partners, vec![(ProfileId(1), 2), (ProfileId(2), 1)]);
+    }
+
+    #[test]
+    fn common_blocks_symmetric() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1, 2, 3]);
+        add(&mut c, 1, 0, &[2, 3, 4]);
+        assert_eq!(c.common_blocks(ProfileId(0), ProfileId(1)), 2);
+        assert_eq!(c.common_blocks(ProfileId(1), ProfileId(0)), 2);
+    }
+
+    #[test]
+    fn purged_blocks_generate_nothing() {
+        let policy = PurgePolicy::max_size(2);
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, policy);
+        add(&mut c, 0, 0, &[1]);
+        add(&mut c, 1, 0, &[1]);
+        add(&mut c, 2, 0, &[1]); // block 1 now has 3 members > 2 -> purged
+        assert_eq!(c.purged_count(), 1);
+        assert!(c.block(BlockId(1)).unwrap().is_purged());
+        assert!(c.partners_with_counts(ProfileId(0), &[BlockId(1)]).is_empty());
+        assert!(c.active_blocks_of(ProfileId(0)).is_empty());
+        assert_eq!(c.common_blocks(ProfileId(0), ProfileId(1)), 0);
+        assert_eq!(c.total_cardinality(), 0);
+    }
+
+    #[test]
+    fn active_blocks_of_reports_sizes() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1, 2]);
+        add(&mut c, 1, 0, &[2]);
+        let mut got = c.active_blocks_of(ProfileId(0));
+        got.sort_unstable();
+        assert_eq!(got, vec![(BlockId(1), 1), (BlockId(2), 2)]);
+    }
+
+    #[test]
+    fn total_cardinality_sums_blocks() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1]);
+        add(&mut c, 1, 0, &[1, 2]);
+        add(&mut c, 2, 0, &[1, 2]);
+        // block 1: 3 members -> 3 cmp; block 2: 2 members -> 1 cmp
+        assert_eq!(c.total_cardinality(), 4);
+    }
+
+    #[test]
+    fn dirty_partners_exclude_self() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[5]);
+        let partners = c.partners_with_counts(ProfileId(0), &[BlockId(5)]);
+        assert!(partners.is_empty());
+    }
+}

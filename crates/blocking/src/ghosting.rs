@@ -1,0 +1,100 @@
+//! Block ghosting — per-profile incremental block cleaning.
+//!
+//! When generating comparisons for a newly arrived profile `p_x`, not all of
+//! its blocks are equally informative: blocks much larger than the smallest
+//! block of `B_x` are dominated by frequent tokens. Block ghosting ([17],
+//! used in Algorithm 2 of the PIER paper) keeps only the most representative
+//! blocks: with `b_min` the smallest block of `B_x` and parameter `β ∈
+//! (0, 1]`, a block `b` survives iff `|b| ≤ |b_min| / β`.
+//!
+//! `β = 1` keeps only blocks as small as the smallest; `β → 0` keeps all
+//! blocks. The default across experiments is `β = 0.5` (blocks up to twice
+//! the smallest survive); the `ablation_ghosting` bench sweeps it.
+
+use pier_types::PierError;
+
+use crate::collection::BlockId;
+
+/// Applies block ghosting to the blocks of one profile.
+///
+/// `blocks` holds `(block id, current size)` pairs (from
+/// [`crate::BlockCollection::active_blocks_of`]); the survivors' ids are
+/// returned in the input order.
+///
+/// # Errors
+/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+pub fn block_ghosting(blocks: &[(BlockId, usize)], beta: f64) -> Result<Vec<BlockId>, PierError> {
+    if !(beta > 0.0 && beta <= 1.0) {
+        return Err(PierError::InvalidConfig {
+            parameter: "beta",
+            message: format!("block ghosting requires beta in (0, 1], got {beta}"),
+        });
+    }
+    let Some(min_size) = blocks.iter().map(|&(_, s)| s).min() else {
+        return Ok(Vec::new());
+    };
+    let threshold = min_size as f64 / beta;
+    Ok(blocks
+        .iter()
+        .filter(|&&(_, size)| size as f64 <= threshold)
+        .map(|&(id, _)| id)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u32) -> BlockId {
+        BlockId(i)
+    }
+
+    #[test]
+    fn keeps_blocks_up_to_threshold() {
+        let blocks = vec![(b(1), 2), (b(2), 4), (b(3), 5), (b(4), 10)];
+        // beta = 0.5 -> threshold = 2 / 0.5 = 4.
+        let kept = block_ghosting(&blocks, 0.5).unwrap();
+        assert_eq!(kept, vec![b(1), b(2)]);
+    }
+
+    #[test]
+    fn beta_one_keeps_only_minimum_sized() {
+        let blocks = vec![(b(1), 2), (b(2), 2), (b(3), 3)];
+        let kept = block_ghosting(&blocks, 1.0).unwrap();
+        assert_eq!(kept, vec![b(1), b(2)]);
+    }
+
+    #[test]
+    fn small_beta_keeps_everything() {
+        let blocks = vec![(b(1), 1), (b(2), 500)];
+        let kept = block_ghosting(&blocks, 0.001).unwrap();
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(block_ghosting(&[], 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_block_always_survives() {
+        let kept = block_ghosting(&[(b(9), 1000)], 1.0).unwrap();
+        assert_eq!(kept, vec![b(9)]);
+    }
+
+    #[test]
+    fn invalid_beta_is_rejected() {
+        assert!(block_ghosting(&[(b(1), 1)], 0.0).is_err());
+        assert!(block_ghosting(&[(b(1), 1)], 1.5).is_err());
+        assert!(block_ghosting(&[(b(1), 1)], -0.5).is_err());
+        assert!(block_ghosting(&[(b(1), 1)], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // min = 3, beta = 0.75 -> threshold = 4.0; size-4 block survives.
+        let blocks = vec![(b(1), 3), (b(2), 4), (b(3), 5)];
+        let kept = block_ghosting(&blocks, 0.75).unwrap();
+        assert_eq!(kept, vec![b(1), b(2)]);
+    }
+}

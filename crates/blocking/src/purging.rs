@@ -1,0 +1,134 @@
+//! Incremental block purging.
+//!
+//! Oversized blocks (stop-word-like tokens such as "the" or a ubiquitous
+//! year) yield an excessive number of comparisons with a negligible chance
+//! of contributing matches that no smaller block already covers. Following
+//! the incremental block-cleaning step of [17] (§3.2: "oversized blocks
+//! yielding an excessive number of comparisons are removed by block
+//! pruning"), a block is *purged* the moment it grows past a configurable
+//! bound. Purging is monotone — once purged, always purged — which keeps the
+//! incremental semantics trivial: a purged block simply stops generating
+//! comparisons.
+
+use pier_types::ErKind;
+
+use crate::collection::Block;
+
+/// When to purge a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PurgePolicy {
+    /// Purge when the number of member profiles `|b|` exceeds this bound.
+    pub max_size: Option<usize>,
+    /// Purge when the comparison cardinality `||b||` exceeds this bound.
+    pub max_cardinality: Option<u64>,
+}
+
+impl Default for PurgePolicy {
+    /// The default used across the experiments: cap block cardinality at
+    /// 10 000 comparisons (a block of ~142 profiles in Dirty ER), no size
+    /// cap.
+    fn default() -> Self {
+        PurgePolicy {
+            max_size: None,
+            max_cardinality: Some(10_000),
+        }
+    }
+}
+
+impl PurgePolicy {
+    /// Never purge (used by tests and by tiny datasets).
+    pub fn disabled() -> Self {
+        PurgePolicy {
+            max_size: None,
+            max_cardinality: None,
+        }
+    }
+
+    /// Purge blocks with more than `n` member profiles.
+    pub fn max_size(n: usize) -> Self {
+        PurgePolicy {
+            max_size: Some(n),
+            max_cardinality: None,
+        }
+    }
+
+    /// Purge blocks generating more than `n` comparisons.
+    pub fn max_cardinality(n: u64) -> Self {
+        PurgePolicy {
+            max_size: None,
+            max_cardinality: Some(n),
+        }
+    }
+
+    /// Whether `block` should be purged under this policy.
+    pub fn should_purge(&self, block: &Block, kind: ErKind) -> bool {
+        if let Some(max) = self.max_size {
+            if block.len() > max {
+                return true;
+            }
+        }
+        if let Some(max) = self.max_cardinality {
+            if block.cardinality(kind) > max {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::BlockCollection;
+    use pier_types::{ProfileId, SourceId, TokenId};
+
+    fn block_of_size(n: usize) -> Block {
+        // Build a block indirectly through a collection to keep Block's
+        // fields private.
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        for i in 0..n {
+            c.add_profile(ProfileId(i as u32), SourceId(0), &[TokenId(0)]);
+        }
+        c.block(crate::collection::BlockId(0)).unwrap().clone()
+    }
+
+    #[test]
+    fn disabled_never_purges() {
+        let p = PurgePolicy::disabled();
+        assert!(!p.should_purge(&block_of_size(10_000), ErKind::Dirty));
+    }
+
+    #[test]
+    fn size_cap_purges_strictly_above() {
+        let p = PurgePolicy::max_size(3);
+        assert!(!p.should_purge(&block_of_size(3), ErKind::Dirty));
+        assert!(p.should_purge(&block_of_size(4), ErKind::Dirty));
+    }
+
+    #[test]
+    fn cardinality_cap_respects_kind() {
+        let p = PurgePolicy::max_cardinality(10);
+        // 5 dirty profiles -> 10 comparisons: at the bound, kept.
+        assert!(!p.should_purge(&block_of_size(5), ErKind::Dirty));
+        // 6 -> 15: purged.
+        assert!(p.should_purge(&block_of_size(6), ErKind::Dirty));
+        // Same 6 members all in source 0 under Clean-Clean -> 0 comparisons.
+        assert!(!p.should_purge(&block_of_size(6), ErKind::CleanClean));
+    }
+
+    #[test]
+    fn default_policy_has_cardinality_cap() {
+        let p = PurgePolicy::default();
+        assert_eq!(p.max_cardinality, Some(10_000));
+        assert_eq!(p.max_size, None);
+    }
+
+    #[test]
+    fn both_caps_apply() {
+        let p = PurgePolicy {
+            max_size: Some(100),
+            max_cardinality: Some(3),
+        };
+        assert!(p.should_purge(&block_of_size(4), ErKind::Dirty)); // 6 cmp > 3
+    }
+}

@@ -1,0 +1,209 @@
+//! Block-collection statistics.
+//!
+//! The behaviour of every blocking-based ER method is governed by the
+//! block-size distribution: Zipf-skewed tokens produce a few huge blocks
+//! (purging targets), a long tail of small ones (where matches hide), and
+//! everything in between (ghosting's territory). This module computes the
+//! summary statistics used in analyses and by diagnostics.
+
+use pier_types::ErKind;
+
+use crate::collection::BlockCollection;
+
+/// Summary statistics of a block collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// Number of non-purged blocks.
+    pub active_blocks: usize,
+    /// Number of purged blocks.
+    pub purged_blocks: usize,
+    /// Mean size of active blocks.
+    pub avg_size: f64,
+    /// Largest active block.
+    pub max_size: usize,
+    /// Fraction of active blocks with exactly one member (they generate no
+    /// comparisons until they grow).
+    pub singleton_fraction: f64,
+    /// Gini coefficient of active block sizes in `[0, 1)`: 0 = all blocks
+    /// equal, →1 = extreme skew.
+    pub gini: f64,
+    /// Total comparisons generable from active blocks (`Σ‖b‖`).
+    pub total_cardinality: u64,
+    /// Histogram over log2 size buckets: `histogram[i]` counts active
+    /// blocks with `2^i <= size < 2^(i+1)`.
+    pub size_histogram: Vec<usize>,
+}
+
+/// Computes [`BlockStats`] for a collection.
+pub fn block_stats(collection: &BlockCollection, kind: ErKind) -> BlockStats {
+    let mut sizes: Vec<usize> = collection
+        .active_blocks()
+        .map(|(_, b)| b.len())
+        .collect();
+    sizes.sort_unstable();
+    let active = sizes.len();
+    let purged = collection.purged_count();
+    if active == 0 {
+        return BlockStats {
+            active_blocks: 0,
+            purged_blocks: purged,
+            avg_size: 0.0,
+            max_size: 0,
+            singleton_fraction: 0.0,
+            gini: 0.0,
+            total_cardinality: 0,
+            size_histogram: Vec::new(),
+        };
+    }
+    let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let singletons = sizes.iter().filter(|&&s| s == 1).count();
+    let max_size = *sizes.last().expect("non-empty");
+
+    // Gini from the sorted sizes: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
+    let weighted: f64 = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as f64 + 1.0) * s as f64)
+        .sum();
+    let n = active as f64;
+    let gini = ((2.0 * weighted) / (n * total as f64) - (n + 1.0) / n).max(0.0);
+
+    let mut histogram = vec![0usize; (max_size as f64).log2() as usize + 1];
+    for &s in &sizes {
+        histogram[(s as f64).log2() as usize] += 1;
+    }
+    let total_cardinality = collection
+        .active_blocks()
+        .map(|(_, b)| b.cardinality(kind))
+        .sum();
+
+    BlockStats {
+        active_blocks: active,
+        purged_blocks: purged,
+        avg_size: total as f64 / n,
+        max_size,
+        singleton_fraction: singletons as f64 / n,
+        gini,
+        total_cardinality,
+        size_histogram: histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::purging::PurgePolicy;
+    use pier_types::{ProfileId, SourceId, TokenId};
+
+    fn collection_with_sizes(sizes: &[usize]) -> BlockCollection {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        let mut next_id = 0u32;
+        // Build per-profile token lists so that block t has sizes[t] members.
+        let mut memberships: Vec<Vec<TokenId>> = Vec::new();
+        for (t, &s) in sizes.iter().enumerate() {
+            for k in 0..s {
+                if memberships.len() <= k {
+                    memberships.push(Vec::new());
+                }
+                memberships[k].push(TokenId(t as u32));
+            }
+        }
+        for tokens in memberships {
+            c.add_profile(ProfileId(next_id), SourceId(0), &tokens);
+            next_id += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_sizes_have_zero_gini() {
+        let c = collection_with_sizes(&[4, 4, 4]);
+        let s = block_stats(&c, ErKind::Dirty);
+        assert_eq!(s.active_blocks, 3);
+        assert_eq!(s.avg_size, 4.0);
+        assert!(s.gini < 1e-9);
+        assert_eq!(s.max_size, 4);
+        assert_eq!(s.singleton_fraction, 0.0);
+        // 3 blocks of 4 -> 3 * C(4,2) = 18 comparisons.
+        assert_eq!(s.total_cardinality, 18);
+    }
+
+    #[test]
+    fn skewed_sizes_have_positive_gini() {
+        let c = collection_with_sizes(&[1, 1, 1, 1, 20]);
+        let s = block_stats(&c, ErKind::Dirty);
+        assert!(s.gini > 0.5, "gini = {}", s.gini);
+        assert_eq!(s.max_size, 20);
+        assert!((s.singleton_fraction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let c = collection_with_sizes(&[1, 2, 3, 4, 8]);
+        let s = block_stats(&c, ErKind::Dirty);
+        // Buckets: [1], [2,3], [4], [8]
+        assert_eq!(s.size_histogram, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_collection_is_defined() {
+        let c = BlockCollection::new(ErKind::Dirty);
+        let s = block_stats(&c, ErKind::Dirty);
+        assert_eq!(s.active_blocks, 0);
+        assert_eq!(s.total_cardinality, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn purged_blocks_are_counted_separately() {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::max_size(2));
+        for i in 0..4u32 {
+            c.add_profile(ProfileId(i), SourceId(0), &[TokenId(0)]);
+        }
+        let s = block_stats(&c, ErKind::Dirty);
+        assert_eq!(s.active_blocks, 0);
+        assert_eq!(s.purged_blocks, 1);
+    }
+
+    #[test]
+    fn real_generator_distribution_is_skewed() {
+        // Zipf vocabularies must produce a skewed block-size distribution
+        // — the property purging/ghosting exist for.
+        use crate::builder::IncrementalBlocker;
+        let d = pier_datagen_free_movies();
+        let mut b = IncrementalBlocker::with_config(
+            ErKind::CleanClean,
+            pier_types::Tokenizer::default(),
+            PurgePolicy::disabled(),
+        );
+        for p in d {
+            b.process_profile(p);
+        }
+        let s = block_stats(b.collection(), ErKind::CleanClean);
+        assert!(s.gini > 0.4, "generator blocks too uniform: gini {}", s.gini);
+        assert!(s.singleton_fraction > 0.2);
+    }
+
+    /// Tiny inline "movie-like" corpus so this crate needn't depend on
+    /// pier-datagen: Zipf-ish skew via repeated common tokens.
+    fn pier_datagen_free_movies() -> Vec<pier_types::EntityProfile> {
+        use pier_types::EntityProfile;
+        let common = ["the", "of", "film"];
+        (0..120u32)
+            .map(|i| {
+                let mut text = format!("title{} director{}", i, i % 37);
+                if i % 2 == 0 {
+                    text.push_str(" the");
+                }
+                if i % 3 == 0 {
+                    text.push_str(" of");
+                }
+                if i % 5 == 0 {
+                    text.push_str(" film");
+                }
+                let _ = &common;
+                EntityProfile::new(ProfileId(i), SourceId((i % 2) as u8)).with("t", text)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,190 @@
+//! Min-heap with lazy invalidation for mutable keys.
+//!
+//! I-PBS (Algorithm 3) repeatedly needs `b_min`: the block whose cardinality
+//! index entry `CI(b)` is currently minimal, while `CI` entries are bumped on
+//! every arriving profile. Rebuilding a heap per update would be `O(n)`;
+//! instead each update pushes a new `(key, version, value)` entry and bumps
+//! the value's version, so stale heap entries are skipped on pop. This is the
+//! classic "lazy deletion" pattern; amortized cost stays `O(log n)` per
+//! update as long as each value is updated a bounded number of times between
+//! pops (true here: a block is touched once per profile insertion).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+/// A min-priority queue over `(value, key)` associations with cheap key
+/// updates and removals.
+#[derive(Debug, Clone)]
+pub struct LazyMinHeap<K: Ord + Copy, V: Eq + Hash + Copy> {
+    heap: BinaryHeap<Reverse<(K, u64, V)>>,
+    /// Live key and version for each value.
+    live: HashMap<V, (K, u64)>,
+    next_version: u64,
+}
+
+impl<K: Ord + Copy, V: Eq + Hash + Copy + Ord> Default for LazyMinHeap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy, V: Eq + Hash + Copy + Ord> LazyMinHeap<K, V> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        LazyMinHeap {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_version: 0,
+        }
+    }
+
+    /// Sets (inserts or updates) the key of `value`.
+    pub fn set(&mut self, value: V, key: K) {
+        let version = self.next_version;
+        self.next_version += 1;
+        self.live.insert(value, (key, version));
+        self.heap.push(Reverse((key, version, value)));
+    }
+
+    /// Current key of `value`, if present.
+    pub fn get(&self, value: &V) -> Option<K> {
+        self.live.get(value).map(|&(k, _)| k)
+    }
+
+    /// Removes `value` from the heap (lazy: its entries are skipped later).
+    /// Returns its key if it was present.
+    pub fn remove(&mut self, value: &V) -> Option<K> {
+        self.live.remove(value).map(|(k, _)| k)
+    }
+
+    /// The `(value, key)` pair with the minimal key, without removing it.
+    /// Stale entries encountered on the way are discarded.
+    pub fn peek_min(&mut self) -> Option<(V, K)> {
+        while let Some(Reverse((key, version, value))) = self.heap.peek().copied() {
+            match self.live.get(&value) {
+                Some(&(live_key, live_version))
+                    if live_version == version && live_key == key =>
+                {
+                    return Some((value, key));
+                }
+                _ => {
+                    self.heap.pop(); // stale
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the `(value, key)` pair with the minimal key.
+    pub fn pop_min(&mut self) -> Option<(V, K)> {
+        let (value, key) = self.peek_min()?;
+        self.heap.pop();
+        self.live.remove(&value);
+        Some((value, key))
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live value remains.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_min_orders_by_key() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        h.set(1, 30);
+        h.set(2, 10);
+        h.set(3, 20);
+        assert_eq!(h.pop_min(), Some((2, 10)));
+        assert_eq!(h.pop_min(), Some((3, 20)));
+        assert_eq!(h.pop_min(), Some((1, 30)));
+        assert_eq!(h.pop_min(), None);
+    }
+
+    #[test]
+    fn update_moves_value() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        h.set(1, 5);
+        h.set(2, 10);
+        // Value 2 becomes the minimum after the update.
+        h.set(2, 1);
+        assert_eq!(h.peek_min(), Some((2, 1)));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.pop_min(), Some((2, 1)));
+        assert_eq!(h.pop_min(), Some((1, 5)));
+    }
+
+    #[test]
+    fn update_to_larger_key_skips_stale_entry() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        h.set(1, 5);
+        h.set(1, 50); // old entry (5) is now stale
+        h.set(2, 20);
+        assert_eq!(h.pop_min(), Some((2, 20)));
+        assert_eq!(h.pop_min(), Some((1, 50)));
+    }
+
+    #[test]
+    fn remove_hides_value() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        h.set(1, 5);
+        h.set(2, 10);
+        assert_eq!(h.remove(&1), Some(5));
+        assert_eq!(h.remove(&1), None);
+        assert_eq!(h.peek_min(), Some((2, 10)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn get_returns_live_key() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        h.set(7, 3);
+        assert_eq!(h.get(&7), Some(3));
+        h.set(7, 9);
+        assert_eq!(h.get(&7), Some(9));
+        assert_eq!(h.get(&8), None);
+    }
+
+    #[test]
+    fn many_updates_still_correct() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        // Simulate CI-style counter bumps.
+        for round in 1..=100u64 {
+            for v in 0..10u32 {
+                h.set(v, round * (v as u64 + 1));
+            }
+        }
+        // Final keys: v -> 100*(v+1); min is v=0.
+        assert_eq!(h.pop_min(), Some((0, 100)));
+        assert_eq!(h.pop_min(), Some((1, 200)));
+        assert_eq!(h.len(), 8);
+    }
+
+    #[test]
+    fn empty_heap_behaves() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.peek_min(), None);
+        assert_eq!(h.pop_min(), None);
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let mut h: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        h.set(5, 1);
+        h.set(3, 1);
+        // Same key: insertion version decides (first inserted wins).
+        assert_eq!(h.pop_min(), Some((5, 1)));
+        assert_eq!(h.pop_min(), Some((3, 1)));
+    }
+}

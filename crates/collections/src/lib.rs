@@ -1,0 +1,21 @@
+//! Specialized collections backing the PIER prioritization algorithms.
+//!
+//! * [`bounded_heap`] — a bounded max-priority queue that evicts its lowest
+//!   priority element on overflow. Every `CmpIndex` in the paper ("a bounded
+//!   priority queue returning as first element the comparison with highest
+//!   weight") is built on this.
+//! * [`lazy_heap`] — a min-heap with O(1) key updates via lazy invalidation,
+//!   used by I-PBS to find `b_min`, the pending block with the fewest
+//!   unexecuted comparisons.
+//! * [`bloom`] — a scalable Bloom filter (Almeida et al.), the comparison
+//!   filter `CF` of Algorithm 3, per the paper's reference [16].
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod bounded_heap;
+pub mod lazy_heap;
+
+pub use bloom::ScalableBloomFilter;
+pub use bounded_heap::BoundedMaxHeap;
+pub use lazy_heap::LazyMinHeap;

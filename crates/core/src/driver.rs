@@ -1,0 +1,244 @@
+//! A synchronous, single-threaded PIER pipeline for library users.
+//!
+//! The simulator (`pier-sim`) and threaded runtime (`pier-runtime`) exist
+//! for experiments and deployments; most applications just want to push
+//! increments and receive duplicates. [`PierPipeline`] wires the four
+//! framework components — incremental blocking, a prioritization strategy,
+//! adaptive batching, and incremental classification — behind two calls:
+//!
+//! ```
+//! use pier_core::driver::PierPipeline;
+//! use pier_core::{PierConfig, Strategy};
+//! use pier_matching::JaccardMatcher;
+//! use pier_types::{EntityProfile, ErKind, ProfileId, SourceId};
+//!
+//! let mut pipeline = PierPipeline::new(
+//!     ErKind::Dirty,
+//!     Strategy::Pes,
+//!     PierConfig::default(),
+//!     JaccardMatcher::default(),
+//! );
+//! pipeline.push_increment(&[
+//!     EntityProfile::new(ProfileId(0), SourceId(0)).with("name", "Grace Hopper"),
+//!     EntityProfile::new(ProfileId(1), SourceId(0)).with("who", "Grace  Hopper"),
+//! ]);
+//! // Work between increments: classify the best pending comparisons.
+//! let found = pipeline.drain(100);
+//! assert_eq!(found.len(), 1);
+//! ```
+
+use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_matching::{ClassifiedMatch, IncrementalClassifier, MatchFunction, MatchInput};
+use pier_types::{EntityProfile, ErKind, Tokenizer};
+
+use crate::framework::{ComparisonEmitter, PierConfig};
+use crate::selector::Strategy;
+
+/// The synchronous PIER pipeline.
+pub struct PierPipeline<M: MatchFunction> {
+    blocker: IncrementalBlocker,
+    emitter: Box<dyn ComparisonEmitter>,
+    classifier: IncrementalClassifier<M>,
+    /// Comparisons pulled per round while draining.
+    pub batch_size: usize,
+}
+
+impl<M: MatchFunction> PierPipeline<M> {
+    /// Creates a pipeline with the default tokenizer and purge policy.
+    pub fn new(kind: ErKind, strategy: Strategy, config: PierConfig, matcher: M) -> Self {
+        Self::with_policy(kind, strategy, config, matcher, PurgePolicy::default())
+    }
+
+    /// Creates a pipeline with an explicit purge policy.
+    pub fn with_policy(
+        kind: ErKind,
+        strategy: Strategy,
+        config: PierConfig,
+        matcher: M,
+        policy: PurgePolicy,
+    ) -> Self {
+        PierPipeline {
+            blocker: IncrementalBlocker::with_config(kind, Tokenizer::default(), policy),
+            emitter: strategy.build(config),
+            classifier: IncrementalClassifier::new(matcher),
+            batch_size: 256,
+        }
+    }
+
+    /// Ingests one increment: blocking + prioritizer update. Returns the
+    /// assigned profile ids.
+    pub fn push_increment(&mut self, profiles: &[EntityProfile]) -> Vec<pier_types::ProfileId> {
+        let ids = self.blocker.process_increment(profiles);
+        self.emitter.on_increment(&self.blocker, &ids);
+        ids
+    }
+
+    /// Executes up to `max_comparisons` of the best pending comparisons
+    /// and returns the *new* duplicates found. Call between increments —
+    /// this is the progressive work loop.
+    pub fn drain(&mut self, max_comparisons: usize) -> Vec<ClassifiedMatch> {
+        let before = self.classifier.duplicates().len();
+        let mut executed = 0usize;
+        while executed < max_comparisons {
+            let want = self.batch_size.min(max_comparisons - executed);
+            let batch = self.emitter.next_batch(&self.blocker, want);
+            if batch.is_empty() {
+                break;
+            }
+            for cmp in batch {
+                let input = MatchInput {
+                    profile_a: self.blocker.profile(cmp.a),
+                    tokens_a: self.blocker.tokens_of(cmp.a),
+                    profile_b: self.blocker.profile(cmp.b),
+                    tokens_b: self.blocker.tokens_of(cmp.b),
+                };
+                self.classifier.classify(cmp, input);
+                executed += 1;
+            }
+        }
+        self.classifier.duplicates()[before..].to_vec()
+    }
+
+    /// Like [`PierPipeline::drain`] but keeps sending idle ticks (the
+    /// empty increments of §3.2) so the `GetComparisons` fallback can
+    /// contribute — use when the input is known to be idle or finished.
+    pub fn drain_idle(&mut self, max_comparisons: usize) -> Vec<ClassifiedMatch> {
+        let before = self.classifier.duplicates().len();
+        let mut executed = 0usize;
+        loop {
+            let room = max_comparisons - executed;
+            if room == 0 {
+                break;
+            }
+            let found_before = self.classifier.duplicates().len();
+            let drained = {
+                let start = self.classifier.comparisons();
+                self.drain(room);
+                (self.classifier.comparisons() - start) as usize
+            };
+            let _ = found_before;
+            executed += drained;
+            if drained == 0 {
+                // Idle tick; stop once it generates no further work.
+                let _ = self.emitter.drain_ops();
+                self.emitter.on_increment(&self.blocker, &[]);
+                if self.emitter.drain_ops() == 0 {
+                    break;
+                }
+            }
+        }
+        self.classifier.duplicates()[before..].to_vec()
+    }
+
+    /// All duplicates found so far (`M_D`).
+    pub fn duplicates(&self) -> &[ClassifiedMatch] {
+        self.classifier.duplicates()
+    }
+
+    /// The entity clusters implied by the duplicates.
+    pub fn clusters(&mut self) -> &mut pier_types::IncrementalClusters {
+        self.classifier.clusters()
+    }
+
+    /// The underlying blocker (profiles, blocks, token dictionary).
+    pub fn blocker(&self) -> &IncrementalBlocker {
+        &self.blocker
+    }
+
+    /// Total comparisons classified.
+    pub fn comparisons(&self) -> u64 {
+        self.classifier.comparisons()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_matching::JaccardMatcher;
+    use pier_types::{ProfileId, SourceId};
+
+    fn p(id: u32, text: &str) -> EntityProfile {
+        EntityProfile::new(ProfileId(id), SourceId(0)).with("text", text)
+    }
+
+    fn pipeline() -> PierPipeline<JaccardMatcher> {
+        PierPipeline::new(
+            ErKind::Dirty,
+            Strategy::Pes,
+            PierConfig::default(),
+            JaccardMatcher::default(),
+        )
+    }
+
+    #[test]
+    fn push_and_drain_finds_duplicates() {
+        let mut pl = pipeline();
+        pl.push_increment(&[p(0, "alpha beta gamma"), p(1, "alpha beta gamma")]);
+        let found = pl.drain(100);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].pair,
+            pier_types::Comparison::new(ProfileId(0), ProfileId(1))
+        );
+        assert_eq!(pl.duplicates().len(), 1);
+    }
+
+    #[test]
+    fn drain_respects_the_comparison_budget() {
+        let mut pl = pipeline();
+        let profiles: Vec<EntityProfile> =
+            (0..10).map(|i| p(i, "shared token here")).collect();
+        pl.push_increment(&profiles);
+        pl.drain(3);
+        assert!(pl.comparisons() <= 3 + pl.batch_size as u64);
+        assert_eq!(pl.comparisons(), 3);
+    }
+
+    #[test]
+    fn duplicates_accumulate_across_increments() {
+        let mut pl = pipeline();
+        pl.push_increment(&[p(0, "first pair match"), p(1, "first pair match")]);
+        let a = pl.drain(100);
+        pl.push_increment(&[p(2, "second pair match"), p(3, "second pair match")]);
+        let b = pl.drain(100);
+        assert_eq!(a.len(), 1);
+        // The second drain reports only the NEW duplicates (which may
+        // include cross-increment pairs like (0,2) sharing tokens).
+        assert!(b
+            .iter()
+            .any(|m| m.pair == pier_types::Comparison::new(ProfileId(2), ProfileId(3))));
+        assert!(pl.duplicates().len() >= 2);
+    }
+
+    #[test]
+    fn drain_idle_uses_the_fallback() {
+        let mut pl = pipeline();
+        // A weakly-connected group: per-profile generation prunes some
+        // pairs; the idle fallback recovers them.
+        pl.push_increment(&[
+            p(0, "tok aa1 aa2 aa3"),
+            p(1, "tok aa1 aa2 aa3"),
+            p(2, "tok bb1 bb2"),
+        ]);
+        let eager = pl.drain(1000).len();
+        let with_idle = pl.drain_idle(1000);
+        assert!(
+            pl.comparisons() >= 3,
+            "fallback should cover all in-block pairs (got {})",
+            pl.comparisons()
+        );
+        let _ = (eager, with_idle);
+    }
+
+    #[test]
+    fn clusters_are_queryable() {
+        let mut pl = pipeline();
+        pl.push_increment(&[
+            p(0, "cluster seed words"),
+            p(1, "cluster seed words"),
+            p(2, "cluster seed words"),
+        ]);
+        pl.drain_idle(1000);
+        assert!(pl.clusters().same_entity(ProfileId(0), ProfileId(2)));
+    }
+}

@@ -1,0 +1,208 @@
+//! `findK()` — the adaptive batch-size controller of Algorithm 1.
+//!
+//! The number `K` of comparisons emitted per prioritization round adapts to
+//! how fast the downstream matcher consumes them relative to how fast
+//! increments arrive (§3.2): *"If the average input rate is lower than the
+//! system service rate, usually determined by the matcher, it increases K.
+//! Otherwise, it decreases K."*
+//!
+//! Rates are estimated as exponentially-weighted moving averages of the
+//! increment interarrival time and of the per-batch service time; `K` moves
+//! multiplicatively between configurable bounds. A cheap matcher (JS) lets
+//! `K` grow large; an expensive matcher (ED) drives it down so the pipeline
+//! re-prioritizes frequently instead of committing to stale comparisons.
+
+/// Exponentially-weighted moving average with bias-corrected warm-up.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    initialized: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` ∈ (0, 1]; larger alpha
+    /// reacts faster.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma {
+            alpha,
+            value: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.initialized {
+            self.value += self.alpha * (x - self.value);
+        } else {
+            self.value = x;
+            self.initialized = true;
+        }
+    }
+
+    /// Current average, or `None` before the first observation.
+    pub fn get(&self) -> Option<f64> {
+        self.initialized.then_some(self.value)
+    }
+}
+
+/// The adaptive `K` controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveK {
+    k: f64,
+    /// Lower bound for `K`.
+    pub k_min: usize,
+    /// Upper bound for `K`.
+    pub k_max: usize,
+    /// Multiplicative step applied per adjustment.
+    pub gain: f64,
+    interarrival: Ewma,
+    service: Ewma,
+    last_arrival_at: Option<f64>,
+}
+
+impl Default for AdaptiveK {
+    fn default() -> Self {
+        Self::new(64, 4, 65_536)
+    }
+}
+
+impl AdaptiveK {
+    /// Creates a controller starting at `initial`, bounded to
+    /// `[k_min, k_max]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < k_min <= initial <= k_max`.
+    pub fn new(initial: usize, k_min: usize, k_max: usize) -> Self {
+        assert!(k_min > 0 && k_min <= initial && initial <= k_max);
+        AdaptiveK {
+            k: initial as f64,
+            k_min,
+            k_max,
+            gain: 1.3,
+            interarrival: Ewma::new(0.3),
+            service: Ewma::new(0.3),
+            last_arrival_at: None,
+        }
+    }
+
+    /// Records that an increment arrived at absolute time `now` (seconds).
+    pub fn record_arrival(&mut self, now: f64) {
+        if let Some(prev) = self.last_arrival_at {
+            let dt = (now - prev).max(0.0);
+            if dt > 0.0 {
+                self.interarrival.observe(dt);
+            }
+        }
+        self.last_arrival_at = Some(now);
+    }
+
+    /// Records that the matcher finished a batch that took `elapsed`
+    /// seconds, and adjusts `K`.
+    pub fn record_batch(&mut self, elapsed: f64) {
+        if elapsed > 0.0 {
+            self.service.observe(elapsed);
+        }
+        let (Some(interarrival), Some(service)) = (self.interarrival.get(), self.service.get())
+        else {
+            return; // not enough signal yet
+        };
+        if service < interarrival {
+            // Matcher keeps up: allow more work per round.
+            self.k *= self.gain;
+        } else {
+            // Matcher is the bottleneck: shrink rounds so new increments
+            // get re-prioritized promptly.
+            self.k /= self.gain;
+        }
+        self.k = self.k.clamp(self.k_min as f64, self.k_max as f64);
+    }
+
+    /// The current batch size `K`.
+    pub fn k(&self) -> usize {
+        self.k.round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_tracks_mean() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        e.observe(10.0);
+        assert_eq!(e.get(), Some(10.0));
+        e.observe(20.0);
+        assert_eq!(e.get(), Some(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn ewma_bad_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn k_grows_when_matcher_keeps_up() {
+        let mut a = AdaptiveK::new(64, 4, 4096);
+        // Increments every second, batches take 0.1s.
+        for i in 0..20 {
+            a.record_arrival(i as f64);
+            a.record_batch(0.1);
+        }
+        assert!(a.k() > 64, "k = {}", a.k());
+    }
+
+    #[test]
+    fn k_shrinks_when_matcher_lags() {
+        let mut a = AdaptiveK::new(512, 4, 4096);
+        // Increments every 0.1s, batches take 1s.
+        for i in 0..20 {
+            a.record_arrival(i as f64 * 0.1);
+            a.record_batch(1.0);
+        }
+        assert!(a.k() < 512, "k = {}", a.k());
+    }
+
+    #[test]
+    fn k_respects_bounds() {
+        let mut a = AdaptiveK::new(8, 4, 16);
+        for i in 0..100 {
+            a.record_arrival(i as f64);
+            a.record_batch(0.001);
+        }
+        assert_eq!(a.k(), 16);
+        for i in 100..200 {
+            a.record_arrival(100.0 + (i - 100) as f64 * 0.001);
+            a.record_batch(10.0);
+        }
+        assert_eq!(a.k(), 4);
+    }
+
+    #[test]
+    fn no_adjustment_without_signal() {
+        let mut a = AdaptiveK::new(64, 4, 4096);
+        a.record_batch(0.5); // no arrivals yet -> no interarrival estimate
+        assert_eq!(a.k(), 64);
+        a.record_arrival(0.0); // single arrival -> still no interarrival
+        a.record_batch(0.5);
+        assert_eq!(a.k(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_panic() {
+        let _ = AdaptiveK::new(2, 4, 16);
+    }
+
+    #[test]
+    fn default_is_reasonable() {
+        let a = AdaptiveK::default();
+        assert_eq!(a.k(), 64);
+        assert!(a.k_min < a.k_max);
+    }
+}

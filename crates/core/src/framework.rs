@@ -1,0 +1,359 @@
+//! The shared emitter abstraction and common generation helpers.
+//!
+//! Every comparison-producing component — the three PIER strategies, the
+//! incremental baseline I-BASE, and the batch progressive algorithms in
+//! their GLOBAL/LOCAL adaptations — implements [`ComparisonEmitter`]: it is
+//! told about increments after blocking, and it is asked for batches of
+//! comparisons when the matcher is ready. The drivers (the discrete-event
+//! simulator and the threaded runtime) own timing, rates and the adaptive
+//! `K`; the emitters own *which comparisons come next*.
+
+use pier_blocking::{block_ghosting, BlockCollection, BlockId, IncrementalBlocker};
+use pier_metablocking::{iwnp, IwnpConfig, WeightingScheme};
+use pier_types::{Comparison, ProfileId, WeightedComparison};
+
+/// Configuration shared by the PIER strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct PierConfig {
+    /// Block-ghosting parameter β ∈ (0, 1] (Algorithm 2). Default 0.5.
+    pub beta: f64,
+    /// Weighting scheme for I-WNP and the comparison indexes. Default CBS.
+    pub scheme: WeightingScheme,
+    /// Capacity bound of the global comparison index. Default 1 << 20.
+    pub index_capacity: usize,
+}
+
+impl Default for PierConfig {
+    fn default() -> Self {
+        PierConfig {
+            beta: 0.5,
+            scheme: WeightingScheme::Cbs,
+            index_capacity: 1 << 20,
+        }
+    }
+}
+
+impl PierConfig {
+    /// The I-WNP configuration implied by this PIER configuration.
+    pub fn iwnp(&self) -> IwnpConfig {
+        IwnpConfig {
+            scheme: self.scheme,
+            prune_below_average: true,
+        }
+    }
+}
+
+/// A streaming comparison emitter — the "Incremental Comparison
+/// Prioritization" stage of the framework, or a baseline playing that role.
+pub trait ComparisonEmitter {
+    /// Notifies the emitter that the blocker ingested the profiles
+    /// `new_ids` (empty slice = the periodic empty-increment tick of §3.2).
+    fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]);
+
+    /// Returns the next batch of at most `k` comparisons, best first.
+    /// Non-adaptive emitters (e.g. I-BASE) may ignore `k`. An empty result
+    /// means no comparison is currently available.
+    fn next_batch(&mut self, blocker: &IncrementalBlocker, k: usize) -> Vec<Comparison>;
+
+    /// Abstract work (ops) performed since the last call, for virtual-time
+    /// accounting. Implementations accumulate internally and reset here.
+    fn drain_ops(&mut self) -> u64;
+
+    /// Whether the emitter believes it can still produce comparisons
+    /// without further input (used to decide stream completion).
+    fn has_pending(&self) -> bool;
+
+    /// Display name for experiment output (e.g. `"I-PES"`).
+    fn name(&self) -> String;
+}
+
+/// Runs the per-profile generation pipeline of Algorithm 2, lines 2–8:
+/// active blocks of `p_x` → block ghosting(β) → I-WNP. Returns the retained
+/// weighted comparisons and the ops spent (proportional to the partner
+/// occurrences scanned).
+pub fn generate_for_profile(
+    blocker: &IncrementalBlocker,
+    p_x: ProfileId,
+    config: &PierConfig,
+) -> (Vec<WeightedComparison>, u64) {
+    let collection = blocker.collection();
+    let blocks = collection.active_blocks_of(p_x);
+    // Scan cost: one op per member of each surviving block.
+    let ghosted = block_ghosting(&blocks, config.beta).expect("beta validated at construction");
+    let ops: u64 = ghosted
+        .iter()
+        .filter_map(|bid| collection.block(*bid))
+        .map(|b| b.len() as u64)
+        .sum::<u64>()
+        + blocks.len() as u64;
+    let list = iwnp(collection, p_x, &ghosted, config.iwnp());
+    (list, ops)
+}
+
+/// Stateful cursor over the blocks of a collection from smallest to largest
+/// — the `GetComparisons(B)` fallback of Algorithm 2 that keeps the pipeline
+/// busy while the input is idle.
+///
+/// Each call to [`BlockCursor::next_block`] picks the smallest block with
+/// pending work and materializes its comparisons. A consumed block records
+/// a per-source *watermark* (how many members it had); if it grows later,
+/// it is revisited and only the pairs involving post-watermark members are
+/// emitted, so no in-block pair is ever lost to early consumption and none
+/// is materialized twice by the cursor.
+#[derive(Debug, Default)]
+pub struct BlockCursor {
+    /// Per-block member watermarks `(source 0, source 1)` at consumption.
+    watermarks: std::collections::HashMap<BlockId, (usize, usize)>,
+    /// Cached size-ascending order of pending blocks, valid while the
+    /// collection's profile count is unchanged (the fallback phase is
+    /// exactly the no-new-input phase, so the cache almost always holds).
+    order: Vec<BlockId>,
+    order_pos: usize,
+    order_profile_count: usize,
+    /// Set when a snapshot came up empty; repeated calls are then free
+    /// until new profiles arrive.
+    exhausted: bool,
+    consumptions: usize,
+}
+
+impl BlockCursor {
+    /// Creates a cursor with nothing consumed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `block` still has unmaterialized pairs for this cursor.
+    fn has_pending_work(
+        &self,
+        bid: BlockId,
+        block: &pier_blocking::Block,
+        kind: pier_types::ErKind,
+    ) -> bool {
+        let (w0, w1) = self.watermarks.get(&bid).copied().unwrap_or((0, 0));
+        let n0 = block.members_of(pier_types::SourceId(0)).len();
+        let n1 = block.members_of(pier_types::SourceId(1)).len();
+        if n0 == w0 && n1 == w1 {
+            return false;
+        }
+        match kind {
+            pier_types::ErKind::Dirty => n0 >= 2 && n0 > w0,
+            pier_types::ErKind::CleanClean => {
+                (n0 > w0 && n1 > 0) || (n1 > w1 && n0 > 0)
+            }
+        }
+    }
+
+    /// Pops the smallest pending block's new comparisons, or `None` when no
+    /// block has pending work. Also returns the ops spent scanning.
+    pub fn next_block(&mut self, collection: &BlockCollection) -> Option<(Vec<Comparison>, u64)> {
+        let kind = collection.kind();
+        let mut scanned = 0u64;
+        if self.order_profile_count != collection.profile_count() {
+            self.exhausted = false;
+        }
+        if self.exhausted {
+            return None;
+        }
+        if self.order_profile_count != collection.profile_count()
+            || self.order_pos >= self.order.len()
+        {
+            // (Re-)snapshot the pending blocks sorted ascending by size.
+            let mut sized: Vec<(usize, BlockId)> = collection
+                .active_blocks()
+                .filter(|&(bid, b)| self.has_pending_work(bid, b, kind))
+                .map(|(bid, b)| (b.len(), bid))
+                .collect();
+            sized.sort_unstable();
+            scanned += collection.block_count() as u64;
+            self.order = sized.into_iter().map(|(_, bid)| bid).collect();
+            self.order_pos = 0;
+            self.order_profile_count = collection.profile_count();
+            if self.order.is_empty() {
+                self.exhausted = true;
+                return None;
+            }
+        }
+        let bid = self.order[self.order_pos];
+        self.order_pos += 1;
+        let block = collection.block(bid).expect("active block exists");
+        // Cached order entries may have lost their pending work to an
+        // interleaved arrival + re-snapshot; re-check cheaply.
+        if !self.has_pending_work(bid, block, kind) {
+            return Some((Vec::new(), scanned + 1));
+        }
+        let (w0, w1) = self.watermarks.get(&bid).copied().unwrap_or((0, 0));
+        let m0 = block.members_of(pier_types::SourceId(0));
+        let m1 = block.members_of(pier_types::SourceId(1));
+        let mut cmps = Vec::new();
+        match kind {
+            pier_types::ErKind::Dirty => {
+                // old × new, then new × new.
+                for (i, &x) in m0.iter().enumerate().skip(w0) {
+                    for &y in &m0[..i] {
+                        cmps.push(Comparison::new(x, y));
+                    }
+                }
+            }
+            pier_types::ErKind::CleanClean => {
+                // new0 × all1, then old0 × new1.
+                for &x in &m0[w0..] {
+                    for &y in m1 {
+                        cmps.push(Comparison::new(x, y));
+                    }
+                }
+                for &x in &m0[..w0] {
+                    for &y in &m1[w1..] {
+                        cmps.push(Comparison::new(x, y));
+                    }
+                }
+            }
+        }
+        self.watermarks.insert(bid, (m0.len(), m1.len()));
+        self.consumptions += 1;
+        let ops = scanned + cmps.len() as u64 + 1;
+        Some((cmps, ops))
+    }
+
+    /// Number of block consumptions performed (revisits count again).
+    pub fn consumed_count(&self) -> usize {
+        self.consumptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{EntityProfile, ErKind, SourceId};
+
+    fn blocker_with(texts: &[(&str, u8)]) -> IncrementalBlocker {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        for (i, (t, src)) in texts.iter().enumerate() {
+            b.process_profile(
+                EntityProfile::new(ProfileId(i as u32), SourceId(*src)).with("text", *t),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn generate_for_profile_runs_ghosting_and_iwnp() {
+        let b = blocker_with(&[
+            ("alpha beta gamma", 0),
+            ("delta epsilon", 0),
+            ("alpha beta gamma zeta", 0),
+        ]);
+        let cfg = PierConfig::default();
+        let (list, ops) = generate_for_profile(&b, ProfileId(2), &cfg);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].cmp, Comparison::new(ProfileId(0), ProfileId(2)));
+        assert_eq!(list[0].weight, 3.0);
+        assert!(ops > 0);
+    }
+
+    #[test]
+    fn generate_for_isolated_profile_is_empty() {
+        let b = blocker_with(&[("unique tokens here", 0)]);
+        let (list, _) = generate_for_profile(&b, ProfileId(0), &PierConfig::default());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn cursor_visits_blocks_smallest_first() {
+        // tokens: "aa" in p0,p1 (size 2); "bb" in p0,p1,p2 (size 3).
+        let b = blocker_with(&[("aa bb", 0), ("aa bb", 0), ("bb", 0)]);
+        let mut cur = BlockCursor::new();
+        let (first, _) = cur.next_block(b.collection()).unwrap();
+        assert_eq!(first.len(), 1); // size-2 block: one pair
+        let (second, _) = cur.next_block(b.collection()).unwrap();
+        assert_eq!(second.len(), 3); // size-3 block: three pairs
+        assert!(cur.next_block(b.collection()).is_none());
+        assert_eq!(cur.consumed_count(), 2);
+    }
+
+    #[test]
+    fn cursor_skips_cardinality_zero_blocks() {
+        let mut b = IncrementalBlocker::new(ErKind::CleanClean);
+        b.process_profile(
+            EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "lonely token"),
+        );
+        let mut cur = BlockCursor::new();
+        // Single-source blocks have zero Clean-Clean cardinality.
+        assert!(cur.next_block(b.collection()).is_none());
+    }
+
+    #[test]
+    fn cursor_respects_clean_clean_sources() {
+        let mut b = IncrementalBlocker::new(ErKind::CleanClean);
+        b.process_profile(EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "shared"));
+        b.process_profile(EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "shared"));
+        b.process_profile(EntityProfile::new(ProfileId(2), SourceId(1)).with("t", "shared"));
+        let mut cur = BlockCursor::new();
+        let (cmps, _) = cur.next_block(b.collection()).unwrap();
+        assert_eq!(cmps.len(), 2); // cross-source only
+    }
+
+    #[test]
+    fn cursor_revisits_grown_blocks_without_duplicates() {
+        let mut b = blocker_with(&[("aa bb", 0), ("aa bb", 0)]);
+        let mut cur = BlockCursor::new();
+        // First pass: consume both size-2 blocks.
+        let mut first = Vec::new();
+        while let Some((cmps, _)) = cur.next_block(b.collection()) {
+            first.extend(cmps);
+        }
+        assert_eq!(first.len(), 2); // (0,1) from aa and bb
+        // Grow block "aa" with a new member.
+        b.process_profile(
+            EntityProfile::new(ProfileId(2), SourceId(0)).with("text", "aa"),
+        );
+        let mut second = Vec::new();
+        while let Some((cmps, _)) = cur.next_block(b.collection()) {
+            second.extend(cmps);
+        }
+        // Only the new member's pairs appear, (0,1) is not repeated.
+        second.sort_unstable();
+        assert_eq!(
+            second,
+            vec![
+                Comparison::new(ProfileId(0), ProfileId(2)),
+                Comparison::new(ProfileId(1), ProfileId(2)),
+            ]
+        );
+        // Fully exhausted afterwards.
+        assert!(cur.next_block(b.collection()).is_none());
+    }
+
+    #[test]
+    fn cursor_covers_all_pairs_under_interleaved_growth() {
+        // Alternate ingestion and consumption; the union of everything
+        // emitted must equal the full in-block pair set.
+        let texts = ["tok xx0", "tok xx1", "tok xx2", "tok xx3", "tok xx4"];
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        let mut cur = BlockCursor::new();
+        let mut got = std::collections::HashSet::new();
+        for (i, t) in texts.iter().enumerate() {
+            b.process_profile(
+                EntityProfile::new(ProfileId(i as u32), SourceId(0)).with("text", *t),
+            );
+            while let Some((cmps, _)) = cur.next_block(b.collection()) {
+                for c in cmps {
+                    assert!(got.insert(c), "duplicate {c}");
+                }
+            }
+        }
+        // Block "tok" holds all 5 profiles: C(5,2) = 10 pairs.
+        assert_eq!(got.iter().filter(|c| {
+            b.tokens_of(c.a).iter().any(|t| b.tokens_of(c.b).contains(t))
+        }).count(), got.len());
+        assert!(got.len() >= 10);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = PierConfig::default();
+        assert!(c.beta > 0.0 && c.beta <= 1.0);
+        assert_eq!(c.scheme, WeightingScheme::Cbs);
+        assert!(c.index_capacity > 0);
+        assert!(c.iwnp().prune_below_average);
+    }
+}

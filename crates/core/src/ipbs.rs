@@ -1,0 +1,337 @@
+//! I-PBS — Incremental Progressive Block Scheduling (Algorithm 3).
+//!
+//! The block-centric strategy, built on the hypothesis that *smaller blocks
+//! are more likely to contain duplicates*. Two global indexes track pending
+//! work: the cardinality index `CI` (block → number of unexecuted
+//! comparisons contributed by newly arrived profiles) and the profile index
+//! `PI` (block → unexecuted profiles). The block `b_min` with minimal
+//! `CI(b)` is materialized into the comparison index when the index is
+//! empty or when the index's top comparison originates from a block smaller
+//! than `b_min` (the paper's literal line-9 condition; see DESIGN.md §3).
+//! Comparison redundancy is filtered with a scalable Bloom filter `CF`
+//! (reference [16]).
+//!
+//! The comparison index orders by `(bsize, weight)`: smaller generating
+//! block first, then higher CBS weight.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use pier_blocking::{BlockId, IncrementalBlocker};
+use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
+use pier_types::{Comparison, ProfileId};
+
+use crate::framework::{ComparisonEmitter, PierConfig};
+
+/// An entry of the I-PBS comparison index. The paper's weight is the pair
+/// `⟨bsize, weight⟩`: comparisons from smaller blocks rank higher, CBS
+/// weight breaks ties within a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PbsEntry {
+    bsize: usize,
+    weight: f64,
+    cmp: Comparison,
+}
+
+impl Eq for PbsEntry {}
+
+impl PartialOrd for PbsEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PbsEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: "greater" = better = smaller bsize, then larger weight,
+        // then smaller pair (for determinism).
+        other
+            .bsize
+            .cmp(&self.bsize)
+            .then_with(|| {
+                self.weight
+                    .partial_cmp(&other.weight)
+                    .expect("non-NaN weights")
+            })
+            .then_with(|| other.cmp.cmp(&self.cmp))
+    }
+}
+
+/// The I-PBS emitter.
+pub struct Ipbs {
+    index: BoundedMaxHeap<PbsEntry>,
+    /// `CI`: pending-comparison counts with an O(log n) argmin.
+    ci: LazyMinHeap<u64, BlockId>,
+    /// `PI`: unexecuted profiles per block.
+    pi: HashMap<BlockId, Vec<ProfileId>>,
+    /// `CF`: the scalable Bloom comparison filter.
+    cf: ScalableBloomFilter,
+    ops: u64,
+}
+
+impl Ipbs {
+    /// Creates an I-PBS emitter.
+    pub fn new(config: PierConfig) -> Self {
+        Ipbs {
+            index: BoundedMaxHeap::new(config.index_capacity),
+            ci: LazyMinHeap::new(),
+            pi: HashMap::new(),
+            cf: ScalableBloomFilter::for_comparisons(),
+            ops: 0,
+        }
+    }
+
+    /// Current number of comparisons held in the comparison index.
+    pub fn index_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of blocks with pending (un-materialized) work.
+    pub fn pending_blocks(&self) -> usize {
+        self.ci.len()
+    }
+
+    /// Algorithm 3 lines 6–16: if the refresh condition holds, materialize
+    /// the comparisons of `b_min` into the index and reset its `CI`/`PI`
+    /// entries. Returns whether anything was materialized.
+    fn try_refill(&mut self, blocker: &IncrementalBlocker) -> bool {
+        let collection = blocker.collection();
+        let Some((b_min, _count)) = self.ci.peek_min() else {
+            return false;
+        };
+        let Some(block) = collection.block(b_min) else {
+            // Block vanished (cannot happen today, defensive).
+            self.ci.remove(&b_min);
+            self.pi.remove(&b_min);
+            return false;
+        };
+        let b_min_size = block.len();
+        // Line 9: update only when the index is exhausted or its best
+        // comparison stems from a block smaller than b_min.
+        if let Some(top) = self.index.peek() {
+            if top.bsize >= b_min_size {
+                return false;
+            }
+        }
+        self.ci.remove(&b_min);
+        let unexecuted = self.pi.remove(&b_min).unwrap_or_default();
+        let kind = collection.kind();
+        let mut added = false;
+        for &p_x in &unexecuted {
+            let source = collection.source_of(p_x);
+            for p_y in block.partners_of(p_x, source, kind) {
+                self.ops += 1;
+                let cmp = Comparison::new(p_x, p_y);
+                if !self.cf.insert(cmp.key()) {
+                    continue; // redundant (line 11)
+                }
+                let weight = collection.common_blocks(cmp.a, cmp.b) as f64;
+                self.ops += collection
+                    .blocks_of(cmp.a)
+                    .len()
+                    .min(collection.blocks_of(cmp.b).len()) as u64;
+                self.index.push(PbsEntry {
+                    bsize: b_min_size,
+                    weight,
+                    cmp,
+                });
+                added = true;
+            }
+        }
+        added || !unexecuted.is_empty()
+    }
+}
+
+impl ComparisonEmitter for Ipbs {
+    fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
+        let collection = blocker.collection();
+        let kind = collection.kind();
+        // Lines 1–5: bump CI and PI for every block of every new profile.
+        for &p in new_ids {
+            let source = collection.source_of(p);
+            for (bid, _) in collection.active_blocks_of(p) {
+                let block = collection.block(bid).expect("active block");
+                let new_cmps = block.partners_of(p, source, kind).count() as u64;
+                self.ops += 1;
+                let current = self.ci.get(&bid).unwrap_or(0);
+                self.ci.set(bid, current + new_cmps);
+                self.pi.entry(bid).or_default().push(p);
+            }
+        }
+        // Lines 6–16: one refresh attempt per update, as in the paper.
+        self.try_refill(blocker);
+    }
+
+    fn next_batch(&mut self, blocker: &IncrementalBlocker, k: usize) -> Vec<Comparison> {
+        let mut batch = Vec::with_capacity(k.min(self.index.len()));
+        while batch.len() < k {
+            if self.index.is_empty() && !self.try_refill(blocker) {
+                break;
+            }
+            if let Some(entry) = self.index.pop() {
+                self.ops += 1;
+                batch.push(entry.cmp);
+            }
+        }
+        batch
+    }
+
+    fn drain_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.ops)
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.index.is_empty() || !self.ci.is_empty()
+    }
+
+    fn name(&self) -> String {
+        "I-PBS".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{EntityProfile, ErKind, SourceId};
+
+    fn blocker(texts: &[&str]) -> IncrementalBlocker {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        for (i, t) in texts.iter().enumerate() {
+            b.process_profile(
+                EntityProfile::new(ProfileId(i as u32), SourceId(0)).with("text", *t),
+            );
+        }
+        b
+    }
+
+    fn feed(e: &mut Ipbs, b: &IncrementalBlocker, n: u32) {
+        let ids: Vec<ProfileId> = (0..n).map(ProfileId).collect();
+        e.on_increment(b, &ids);
+    }
+
+    #[test]
+    fn smaller_blocks_are_emitted_first() {
+        // "rare" appears in 2 profiles (small block), "common" in 4.
+        let b = blocker(&[
+            "rare common",
+            "rare common",
+            "common filler1",
+            "common filler2",
+        ]);
+        let mut e = Ipbs::new(PierConfig::default());
+        feed(&mut e, &b, 4);
+        let first = e.next_batch(&b, 1);
+        // The pair sharing the rare (smallest) block comes first.
+        assert_eq!(first, vec![Comparison::new(ProfileId(0), ProfileId(1))]);
+    }
+
+    #[test]
+    fn all_comparisons_eventually_emitted_without_duplicates() {
+        let b = blocker(&["aa bb", "aa bb", "aa cc", "bb cc"]);
+        let mut e = Ipbs::new(PierConfig::default());
+        feed(&mut e, &b, 4);
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            let batch = e.next_batch(&b, 8);
+            if batch.is_empty() {
+                break;
+            }
+            for c in batch {
+                assert!(seen.insert(c), "duplicate {c}");
+            }
+        }
+        // Pairs: (0,1) via a&b, (0,2),(1,2) via a..wait c in p2,p3.
+        // Blocks: a={0,1,2}, b={0,1,3}, c={2,3}.
+        // Distinct pairs: (0,1),(0,2),(1,2),(0,3),(1,3),(2,3) = 6.
+        assert_eq!(seen.len(), 6);
+        assert!(!e.has_pending());
+    }
+
+    #[test]
+    fn weight_breaks_ties_within_a_block() {
+        // Block "x" = {0,1,2}; pair (0,1) also shares "y" (CBS 2), (0,2)
+        // and (1,2) share only "x" (CBS 1).
+        let b = blocker(&["xx yy", "xx yy", "xx zz"]);
+        let mut e = Ipbs::new(PierConfig::default());
+        feed(&mut e, &b, 3);
+        // Drain until we see comparisons from the size-3 block "x".
+        let mut order = Vec::new();
+        loop {
+            let batch = e.next_batch(&b, 1);
+            if batch.is_empty() {
+                break;
+            }
+            order.push(batch[0]);
+        }
+        let c01 = Comparison::new(ProfileId(0), ProfileId(1));
+        let c02 = Comparison::new(ProfileId(0), ProfileId(2));
+        let c12 = Comparison::new(ProfileId(1), ProfileId(2));
+        let pos = |c| order.iter().position(|&x| x == c).unwrap();
+        assert!(pos(c01) < pos(c02));
+        assert!(pos(c01) < pos(c12));
+    }
+
+    #[test]
+    fn refill_waits_while_top_is_from_smaller_block() {
+        // First increment: two profiles sharing a rare token (block size 2).
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        b.process_profile(EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "tiny"));
+        b.process_profile(EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "tiny"));
+        let mut e = Ipbs::new(PierConfig::default());
+        e.on_increment(&b, &[ProfileId(0), ProfileId(1)]);
+        assert_eq!(e.index_len(), 1); // (0,1) materialized, bsize 2
+        // Second increment: three profiles in a bigger block.
+        for i in 2..5u32 {
+            b.process_profile(EntityProfile::new(ProfileId(i), SourceId(0)).with("t", "big"));
+        }
+        e.on_increment(&b, &[ProfileId(2), ProfileId(3), ProfileId(4)]);
+        // Top bsize (2) < |b_min| (3) -> the paper's condition *does*
+        // materialize the bigger block behind the top.
+        assert!(e.index_len() > 1);
+        // And the small-block pair is still emitted first.
+        let first = e.next_batch(&b, 1);
+        assert_eq!(first, vec![Comparison::new(ProfileId(0), ProfileId(1))]);
+    }
+
+    #[test]
+    fn clean_clean_pairs_are_cross_source() {
+        let mut b = IncrementalBlocker::new(ErKind::CleanClean);
+        b.process_profile(EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "tok"));
+        b.process_profile(EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "tok"));
+        b.process_profile(EntityProfile::new(ProfileId(2), SourceId(1)).with("t", "tok"));
+        let mut e = Ipbs::new(PierConfig::default());
+        feed(&mut e, &b, 3);
+        let mut all = Vec::new();
+        loop {
+            let batch = e.next_batch(&b, 8);
+            if batch.is_empty() {
+                break;
+            }
+            all.extend(batch);
+        }
+        assert_eq!(all.len(), 2);
+        for c in all {
+            assert_ne!(
+                b.collection().source_of(c.a),
+                b.collection().source_of(c.b)
+            );
+        }
+    }
+
+    #[test]
+    fn ops_are_charged() {
+        let b = blocker(&["qq rr", "qq rr"]);
+        let mut e = Ipbs::new(PierConfig::default());
+        feed(&mut e, &b, 2);
+        e.next_batch(&b, 4);
+        assert!(e.drain_ops() > 0);
+    }
+
+    #[test]
+    fn empty_emitter_has_no_pending() {
+        let b = blocker(&[]);
+        let e = Ipbs::new(PierConfig::default());
+        let _ = &b;
+        assert!(!e.has_pending());
+    }
+}

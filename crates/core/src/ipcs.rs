@@ -1,0 +1,225 @@
+//! I-PCS — Incremental Progressive Comparison Scheduling (Algorithm 2).
+//!
+//! The comparison-centric strategy: a single bounded priority queue
+//! (`CmpIndex`) holds the best unexecuted comparisons over all profiles
+//! seen so far, weighted by the incremental CBS approximation. For each
+//! arriving profile, its candidate comparisons are generated (block
+//! ghosting → I-WNP) and enqueued; the best `K` are dequeued per round.
+//! When both the stream and the index are exhausted, `GetComparisons`
+//! (the [`BlockCursor`] fallback) feeds comparisons from the smallest
+//! remaining blocks so the time budget keeps being used.
+//!
+//! Its strength is simplicity; its weakness (§4, §7) is total dependence on
+//! the weighting scheme: CBS over-ranks verbose non-matches, which gets
+//! expensive with the ED matcher.
+
+use pier_blocking::IncrementalBlocker;
+use pier_collections::{BoundedMaxHeap, ScalableBloomFilter};
+use pier_types::{Comparison, ProfileId, WeightedComparison};
+
+use crate::framework::{generate_for_profile, BlockCursor, ComparisonEmitter, PierConfig};
+
+/// The I-PCS emitter.
+pub struct Ipcs {
+    config: PierConfig,
+    index: BoundedMaxHeap<WeightedComparison>,
+    /// Pairs ever enqueued (and therefore eventually emitted): the Bloom
+    /// filter guard that keeps the index free of redundant comparisons.
+    enqueued: ScalableBloomFilter,
+    cursor: BlockCursor,
+    ops: u64,
+}
+
+impl Ipcs {
+    /// Creates an I-PCS emitter.
+    pub fn new(config: PierConfig) -> Self {
+        Ipcs {
+            index: BoundedMaxHeap::new(config.index_capacity),
+            enqueued: ScalableBloomFilter::for_comparisons(),
+            cursor: BlockCursor::new(),
+            config,
+            ops: 0,
+        }
+    }
+
+    /// Current number of comparisons held in the global index.
+    pub fn index_len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn enqueue(&mut self, wc: WeightedComparison) {
+        if self.enqueued.insert(wc.cmp.key()) {
+            self.index.push(wc);
+            self.ops += 1;
+        }
+    }
+
+    /// `GetComparisons(B)`: pull one block's worth of comparisons from the
+    /// smallest unconsumed block, weighting them by exact CBS.
+    fn refill_from_blocks(&mut self, blocker: &IncrementalBlocker) {
+        let collection = blocker.collection();
+        if let Some((cmps, ops)) = self.cursor.next_block(collection) {
+            self.ops += ops;
+            for cmp in cmps {
+                let w = collection.common_blocks(cmp.a, cmp.b) as f64;
+                self.ops += 1;
+                self.enqueue(WeightedComparison::new(cmp, w));
+            }
+        }
+    }
+}
+
+impl ComparisonEmitter for Ipcs {
+    fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
+        for &p in new_ids {
+            let (list, ops) = generate_for_profile(blocker, p, &self.config);
+            self.ops += ops;
+            for wc in list {
+                self.enqueue(wc);
+            }
+        }
+        // Algorithm 2, lines 10-11: empty increment and empty index —
+        // continue with comparisons from the smallest remaining blocks.
+        if new_ids.is_empty() && self.index.is_empty() {
+            self.refill_from_blocks(blocker);
+        }
+    }
+
+    fn next_batch(&mut self, _blocker: &IncrementalBlocker, k: usize) -> Vec<Comparison> {
+        // Only the index is drained here; the `GetComparisons` fallback
+        // runs exclusively on empty-increment ticks (Algorithm 2, lines
+        // 10-11), i.e. when blocking signals that the input is idle —
+        // consuming blocks mid-stream would freeze them at partial size.
+        let mut batch = Vec::with_capacity(k.min(self.index.len()));
+        while batch.len() < k {
+            let Some(wc) = self.index.pop() else {
+                break;
+            };
+            self.ops += 1;
+            batch.push(wc.cmp);
+        }
+        batch
+    }
+
+    fn drain_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.ops)
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.index.is_empty()
+    }
+
+    fn name(&self) -> String {
+        "I-PCS".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{EntityProfile, ErKind, SourceId};
+
+    fn blocker(texts: &[&str]) -> IncrementalBlocker {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        for (i, t) in texts.iter().enumerate() {
+            b.process_profile(
+                EntityProfile::new(ProfileId(i as u32), SourceId(0)).with("text", *t),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn emits_best_weighted_first() {
+        let b = blocker(&[
+            "alpha beta gamma delta",
+            "alpha beta gamma delta", // strong match with p0 (4 shared)
+            "alpha unrelated words here",
+        ]);
+        let mut e = Ipcs::new(PierConfig::default());
+        e.on_increment(&b, &[ProfileId(0), ProfileId(1), ProfileId(2)]);
+        let batch = e.next_batch(&b, 1);
+        assert_eq!(batch, vec![Comparison::new(ProfileId(0), ProfileId(1))]);
+    }
+
+    #[test]
+    fn never_emits_a_pair_twice() {
+        let b = blocker(&["xx yy zz", "xx yy zz", "xx yy zz"]);
+        let mut e = Ipcs::new(PierConfig::default());
+        e.on_increment(&b, &[ProfileId(0), ProfileId(1), ProfileId(2)]);
+        // Drain everything, including block-cursor refills.
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            let batch = e.next_batch(&b, 16);
+            if batch.is_empty() {
+                break;
+            }
+            for c in batch {
+                assert!(seen.insert(c), "duplicate emission of {c}");
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn empty_tick_triggers_block_fallback() {
+        let b = blocker(&["pp qq", "pp qq"]);
+        let mut e = Ipcs::new(PierConfig::default());
+        // Never told about the profiles — only an empty tick.
+        e.on_increment(&b, &[]);
+        assert!(e.has_pending());
+        let batch = e.next_batch(&b, 10);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn k_bounds_the_batch() {
+        let b = blocker(&["aa bb", "aa bb", "aa cc", "bb cc"]);
+        let mut e = Ipcs::new(PierConfig::default());
+        e.on_increment(&b, &[ProfileId(0), ProfileId(1), ProfileId(2), ProfileId(3)]);
+        let batch = e.next_batch(&b, 2);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn ops_accumulate_and_drain() {
+        let b = blocker(&["mm nn", "mm nn"]);
+        let mut e = Ipcs::new(PierConfig::default());
+        e.on_increment(&b, &[ProfileId(0), ProfileId(1)]);
+        assert!(e.drain_ops() > 0);
+        assert_eq!(e.drain_ops(), 0);
+    }
+
+    #[test]
+    fn bounded_index_evicts_lowest() {
+        let cfg = PierConfig {
+            index_capacity: 2,
+            ..PierConfig::default()
+        };
+        let b = blocker(&["aa bb cc", "aa bb cc", "aa x1", "bb x2", "cc x3"]);
+        let mut e = Ipcs::new(cfg);
+        e.on_increment(
+            &b,
+            &[
+                ProfileId(0),
+                ProfileId(1),
+                ProfileId(2),
+                ProfileId(3),
+                ProfileId(4),
+            ],
+        );
+        assert!(e.index_len() <= 2);
+        // The strongest pair must have survived the evictions.
+        let batch = e.next_batch(&b, 1);
+        assert_eq!(batch, vec![Comparison::new(ProfileId(0), ProfileId(1))]);
+    }
+
+    #[test]
+    fn exhausted_emitter_returns_empty() {
+        let b = blocker(&["solo profile"]);
+        let mut e = Ipcs::new(PierConfig::default());
+        e.on_increment(&b, &[ProfileId(0)]);
+        assert!(e.next_batch(&b, 5).is_empty());
+        assert!(!e.has_pending());
+    }
+}

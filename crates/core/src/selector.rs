@@ -1,0 +1,226 @@
+//! Strategy selection heuristic — the paper's future work, implemented.
+//!
+//! §8: *"Future work includes the integration of a heuristic for
+//! determining the best appropriate method to use for the given data."*
+//! The evaluation gives the decision rule: block-centric I-PBS wins on
+//! relational-style data with short, homogeneous values — there "the
+//! smallest blocks are highly informative" (§7.2.3, the `D_2M` census
+//! case) — while entity-centric I-PES is the method of choice everywhere
+//! else, being least sensitive to the weighting scheme on heterogeneous,
+//! verbose data.
+//!
+//! [`recommend`] measures exactly those two traits on the profiles seen so
+//! far (typically the first increments of a stream): average value length
+//! and schema heterogeneity (distinct attribute-name signatures). Short +
+//! homogeneous → I-PBS; anything else → I-PES.
+
+use std::collections::HashSet;
+
+use pier_blocking::IncrementalBlocker;
+
+use crate::framework::{ComparisonEmitter, PierConfig};
+use crate::{Ipbs, Ipcs, Ipes};
+
+/// The three PIER prioritization strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Comparison-centric (Algorithm 2).
+    Pcs,
+    /// Block-centric (Algorithm 3).
+    Pbs,
+    /// Entity-centric (Algorithm 4).
+    Pes,
+}
+
+impl Strategy {
+    /// Instantiates the emitter for this strategy.
+    pub fn build(self, config: PierConfig) -> Box<dyn ComparisonEmitter> {
+        match self {
+            Strategy::Pcs => Box::new(Ipcs::new(config)),
+            Strategy::Pbs => Box::new(Ipbs::new(config)),
+            Strategy::Pes => Box::new(Ipes::new(config)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Pcs => "I-PCS",
+            Strategy::Pbs => "I-PBS",
+            Strategy::Pes => "I-PES",
+        }
+    }
+}
+
+/// Traits measured on the data sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataTraits {
+    /// Profiles inspected.
+    pub profiles: usize,
+    /// Mean characters across all attribute values per profile.
+    pub avg_value_chars: f64,
+    /// Mean distinct tokens per profile.
+    pub avg_tokens: f64,
+    /// Distinct attribute-name signatures divided by profiles: near 0 for
+    /// relational data (one schema), near 1 for fully heterogeneous data.
+    pub schema_variety: f64,
+}
+
+/// A recommendation with its measured evidence.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The strategy to use.
+    pub strategy: Strategy,
+    /// The measured traits backing the decision.
+    pub traits: DataTraits,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Value-length threshold (chars/profile) below which data counts as
+/// "short" (census records average well under this; web data far above).
+pub const SHORT_VALUES_CHARS: f64 = 90.0;
+
+/// Schema-variety threshold below which data counts as homogeneous.
+pub const HOMOGENEOUS_VARIETY: f64 = 0.2;
+
+/// Measures the data traits over everything the blocker has ingested.
+pub fn measure(blocker: &IncrementalBlocker) -> DataTraits {
+    let mut profiles = 0usize;
+    let mut chars = 0u64;
+    let mut tokens = 0u64;
+    let mut signatures: HashSet<Vec<&str>> = HashSet::new();
+    for p in blocker.profiles() {
+        profiles += 1;
+        chars += p.value_len() as u64;
+        tokens += blocker.tokens_of(p.id).len() as u64;
+        let mut sig: Vec<&str> = p.attributes.iter().map(|a| a.name.as_str()).collect();
+        sig.sort_unstable();
+        signatures.insert(sig);
+    }
+    let n = profiles.max(1) as f64;
+    DataTraits {
+        profiles,
+        avg_value_chars: chars as f64 / n,
+        avg_tokens: tokens as f64 / n,
+        schema_variety: signatures.len() as f64 / n,
+    }
+}
+
+/// Recommends a PIER strategy for the data the blocker has seen so far.
+///
+/// Call after the first increments have been ingested (a few hundred
+/// profiles give a stable signal); the recommendation can be re-evaluated
+/// as the stream evolves.
+pub fn recommend(blocker: &IncrementalBlocker) -> Recommendation {
+    let traits = measure(blocker);
+    let short = traits.avg_value_chars < SHORT_VALUES_CHARS;
+    let homogeneous = traits.schema_variety < HOMOGENEOUS_VARIETY;
+    if short && homogeneous {
+        Recommendation {
+            strategy: Strategy::Pbs,
+            rationale: format!(
+                "short values ({:.0} chars/profile) with a fixed schema \
+                 (variety {:.3}): smallest blocks are highly informative, \
+                 favoring block-centric I-PBS (§7.2.3)",
+                traits.avg_value_chars, traits.schema_variety
+            ),
+            traits,
+        }
+    } else {
+        Recommendation {
+            strategy: Strategy::Pes,
+            rationale: format!(
+                "heterogeneous or verbose data ({:.0} chars/profile, \
+                 schema variety {:.3}): entity-centric I-PES is least \
+                 sensitive to weighting-scheme noise (§7.3.3)",
+                traits.avg_value_chars, traits.schema_variety
+            ),
+            traits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_datagen::{
+        generate_census, generate_dbpedia, generate_movies, CensusConfig, DbpediaConfig,
+        MoviesConfig,
+    };
+    use pier_types::ErKind;
+
+    fn ingest(dataset: &pier_types::Dataset, n: usize) -> IncrementalBlocker {
+        let mut b = IncrementalBlocker::new(dataset.kind);
+        for p in dataset.profiles.iter().take(n) {
+            b.process_profile(p.clone());
+        }
+        b
+    }
+
+    #[test]
+    fn census_data_selects_ipbs() {
+        let d = generate_census(&CensusConfig {
+            seed: 1,
+            target_profiles: 400,
+        });
+        let b = ingest(&d, 400);
+        let rec = recommend(&b);
+        assert_eq!(rec.strategy, Strategy::Pbs, "{}", rec.rationale);
+        assert!(rec.traits.avg_value_chars < SHORT_VALUES_CHARS);
+    }
+
+    #[test]
+    fn dbpedia_data_selects_ipes() {
+        let d = generate_dbpedia(&DbpediaConfig {
+            seed: 1,
+            source0_size: 150,
+            source1_size: 250,
+            matches: 100,
+        });
+        let b = ingest(&d, 400);
+        let rec = recommend(&b);
+        assert_eq!(rec.strategy, Strategy::Pes, "{}", rec.rationale);
+        assert!(rec.traits.avg_value_chars > SHORT_VALUES_CHARS);
+    }
+
+    #[test]
+    fn movies_data_selects_ipes() {
+        let d = generate_movies(&MoviesConfig {
+            seed: 1,
+            source0_size: 200,
+            source1_size: 170,
+            matches: 150,
+        });
+        let b = ingest(&d, 370);
+        let rec = recommend(&b);
+        assert_eq!(rec.strategy, Strategy::Pes, "{}", rec.rationale);
+    }
+
+    #[test]
+    fn measure_on_empty_blocker_is_defined() {
+        let b = IncrementalBlocker::new(ErKind::Dirty);
+        let t = measure(&b);
+        assert_eq!(t.profiles, 0);
+        assert_eq!(t.avg_value_chars, 0.0);
+    }
+
+    #[test]
+    fn strategies_build_their_emitters() {
+        for s in [Strategy::Pcs, Strategy::Pbs, Strategy::Pes] {
+            let e = s.build(PierConfig::default());
+            assert_eq!(e.name(), s.name());
+        }
+    }
+
+    #[test]
+    fn recommendation_is_stable_under_resampling() {
+        let d = generate_census(&CensusConfig {
+            seed: 2,
+            target_profiles: 600,
+        });
+        let r1 = recommend(&ingest(&d, 200)).strategy;
+        let r2 = recommend(&ingest(&d, 600)).strategy;
+        assert_eq!(r1, r2);
+    }
+}

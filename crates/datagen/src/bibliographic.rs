@@ -1,0 +1,298 @@
+//! Bibliographic Clean-Clean generator (stand-in for `D_da` = dblp-acm).
+//!
+//! Two duplicate-free sources describing publications. Source 0 ("dblp")
+//! and source 1 ("acm") share most entities but format them differently:
+//! abbreviated author given names, acronym vs. full venue names, and
+//! occasional typos. Default sizes reproduce Table 1 exactly
+//! (2.62k / 2.29k profiles, 2.22k matches) — the dataset is small enough to
+//! generate at full scale.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pier_types::{Dataset, EntityProfile, ErKind, GroundTruth, ProfileId, SourceId};
+
+use crate::perturb::typo;
+use crate::vocab::{NamePool, Vocabulary};
+
+/// Configuration for [`generate_bibliographic`].
+#[derive(Debug, Clone)]
+pub struct BibliographicConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Profiles in source 0 (dblp-like).
+    pub source0_size: usize,
+    /// Profiles in source 1 (acm-like).
+    pub source1_size: usize,
+    /// Number of cross-source matches; must not exceed either source size.
+    pub matches: usize,
+}
+
+impl Default for BibliographicConfig {
+    fn default() -> Self {
+        BibliographicConfig {
+            seed: 0xda,
+            source0_size: 2620,
+            source1_size: 2290,
+            matches: 2220,
+        }
+    }
+}
+
+/// One publication as generated for source 0, kept so source 1's rendition
+/// can be derived from the same underlying entity.
+struct Paper {
+    title: String,
+    authors: Vec<(String, String)>, // (given, surname)
+    venue_acronym: String,
+    venue_full: String,
+    year: u32,
+}
+
+struct BibGen {
+    rng: StdRng,
+    title_vocab: Vocabulary,
+    names: NamePool,
+    venues: Vec<(String, String)>, // (acronym, full name)
+}
+
+impl BibGen {
+    fn paper(&mut self) -> Paper {
+        let n_words = self.rng.random_range(5..11usize);
+        let title = self.title_vocab.sentence(&mut self.rng, n_words);
+        let n_authors = self.rng.random_range(1..5usize);
+        let authors = (0..n_authors)
+            .map(|_| {
+                (
+                    self.names.given(&mut self.rng).to_string(),
+                    self.names.surname(&mut self.rng).to_string(),
+                )
+            })
+            .collect();
+        let venue = self.venues[self.rng.random_range(0..self.venues.len())].clone();
+        Paper {
+            title,
+            authors,
+            venue_acronym: venue.0,
+            venue_full: venue.1,
+            year: self.rng.random_range(1990..2011u32),
+        }
+    }
+
+    /// Renders a paper as a dblp-style profile (full author names, acronym
+    /// venue).
+    fn render_source0(&mut self, paper: &Paper) -> Vec<(String, String)> {
+        let authors = paper
+            .authors
+            .iter()
+            .map(|(g, s)| format!("{g} {s}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        vec![
+            ("title".into(), paper.title.clone()),
+            ("authors".into(), authors),
+            ("venue".into(), paper.venue_acronym.clone()),
+            ("year".into(), paper.year.to_string()),
+        ]
+    }
+
+    /// Renders a paper as an acm-style profile: abbreviated given names,
+    /// full venue name, occasional typos in the title.
+    fn render_source1(&mut self, paper: &Paper) -> Vec<(String, String)> {
+        let authors = paper
+            .authors
+            .iter()
+            .map(|(g, s)| {
+                let initial: String = g.chars().take(1).collect();
+                format!("{initial}. {s}")
+            })
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let mut title = paper.title.clone();
+        if self.rng.random_bool(0.3) {
+            title = typo(&mut self.rng, &title);
+        }
+        vec![
+            ("name".into(), title),
+            ("author_list".into(), authors),
+            ("publication_venue".into(), paper.venue_full.clone()),
+            ("published".into(), paper.year.to_string()),
+        ]
+    }
+}
+
+/// `(source, fields, shared-entity index or usize::MAX)` before shuffling.
+type RawRecord = (u8, Vec<(String, String)>, usize);
+
+/// Generates the bibliographic Clean-Clean dataset.
+///
+/// # Panics
+/// Panics if `matches` exceeds either source size.
+pub fn generate_bibliographic(config: &BibliographicConfig) -> Dataset {
+    assert!(
+        config.matches <= config.source0_size && config.matches <= config.source1_size,
+        "matches cannot exceed source sizes"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let venues: Vec<(String, String)> = {
+        let vocab = Vocabulary::new(config.seed ^ 0x7e, 60, 0.0);
+        (0..20)
+            .map(|i| {
+                let word1 = vocab.word(i * 3).to_string();
+                let word2 = vocab.word(i * 3 + 1).to_string();
+                let acronym: String = word1
+                    .chars()
+                    .take(2)
+                    .chain(word2.chars().take(2))
+                    .collect::<String>()
+                    .to_uppercase();
+                (
+                    acronym,
+                    format!("international conference on {word1} {word2}"),
+                )
+            })
+            .collect()
+    };
+    let mut gen = BibGen {
+        rng: StdRng::seed_from_u64(config.seed ^ 0xb1b),
+        title_vocab: Vocabulary::new(config.seed ^ 0x71, 2000, 1.05),
+        names: NamePool::new(config.seed, 300, 900),
+        venues,
+    };
+
+    // Shared papers first, then per-source extras.
+    let shared: Vec<Paper> = (0..config.matches).map(|_| gen.paper()).collect();
+    let extra0 = config.source0_size - config.matches;
+    let extra1 = config.source1_size - config.matches;
+
+    let mut raw: Vec<RawRecord> = Vec::new();
+    for (i, paper) in shared.iter().enumerate() {
+        raw.push((0, gen.render_source0(paper), i));
+        raw.push((1, gen.render_source1(paper), i));
+    }
+    for _ in 0..extra0 {
+        let p = gen.paper();
+        raw.push((0, gen.render_source0(&p), usize::MAX));
+    }
+    for _ in 0..extra1 {
+        let p = gen.paper();
+        raw.push((1, gen.render_source1(&p), usize::MAX));
+    }
+
+    // Shuffle arrival order.
+    for i in (1..raw.len()).rev() {
+        let j = rng.random_range(0..=i);
+        raw.swap(i, j);
+    }
+
+    let mut profiles = Vec::with_capacity(raw.len());
+    let mut shared_ids: Vec<[Option<ProfileId>; 2]> = vec![[None, None]; config.matches];
+    for (i, (source, fields, shared_idx)) in raw.into_iter().enumerate() {
+        let id = ProfileId(i as u32);
+        let mut p = EntityProfile::new(id, SourceId(source));
+        for (name, value) in fields {
+            p = p.with(name, value);
+        }
+        profiles.push(p);
+        if shared_idx != usize::MAX {
+            shared_ids[shared_idx][source as usize] = Some(id);
+        }
+    }
+    let mut gt = GroundTruth::new();
+    for pair in shared_ids {
+        let (Some(a), Some(b)) = (pair[0], pair[1]) else {
+            unreachable!("every shared paper is rendered in both sources")
+        };
+        gt.insert(a, b);
+    }
+
+    Dataset::new("dblp-acm", ErKind::CleanClean, profiles, gt)
+        .expect("generator produces dense ids")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate_bibliographic(&BibliographicConfig {
+            seed: 4,
+            source0_size: 260,
+            source1_size: 230,
+            matches: 220,
+        })
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let d = small();
+        assert_eq!(d.len(), 490);
+        let sizes = d.source_sizes();
+        assert_eq!(sizes, vec![260, 230]);
+        assert_eq!(d.ground_truth.len(), 220);
+        assert_eq!(d.kind, ErKind::CleanClean);
+    }
+
+    #[test]
+    fn default_matches_table1() {
+        let c = BibliographicConfig::default();
+        assert_eq!(c.source0_size, 2620);
+        assert_eq!(c.source1_size, 2290);
+        assert_eq!(c.matches, 2220);
+    }
+
+    #[test]
+    fn matches_are_cross_source() {
+        let d = small();
+        for c in d.ground_truth.iter() {
+            assert_ne!(d.profile(c.a).source, d.profile(c.b).source);
+        }
+    }
+
+    #[test]
+    fn sources_use_different_schemas() {
+        let d = small();
+        let p0 = d.profiles.iter().find(|p| p.source == SourceId(0)).unwrap();
+        let p1 = d.profiles.iter().find(|p| p.source == SourceId(1)).unwrap();
+        assert!(p0.value_of("title").is_some());
+        assert!(p0.value_of("name").is_none());
+        assert!(p1.value_of("name").is_some());
+        assert!(p1.value_of("title").is_none());
+    }
+
+    #[test]
+    fn matched_pairs_share_title_tokens() {
+        let d = small();
+        let tok = pier_types::Tokenizer::default();
+        let mut ok = 0;
+        let mut total = 0;
+        for c in d.ground_truth.iter().take(60) {
+            let ta = tok.profile_tokens(d.profile(c.a));
+            let tb = tok.profile_tokens(d.profile(c.b));
+            let sa: std::collections::HashSet<_> = ta.iter().collect();
+            if tb.iter().filter(|t| sa.contains(t)).count() >= 3 {
+                ok += 1;
+            }
+            total += 1;
+        }
+        assert!(ok * 10 >= total * 8, "{ok}/{total}");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.profiles, b.profiles);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches cannot exceed")]
+    fn oversized_matches_panic() {
+        let _ = generate_bibliographic(&BibliographicConfig {
+            seed: 1,
+            source0_size: 10,
+            source1_size: 10,
+            matches: 11,
+        });
+    }
+}

@@ -1,0 +1,259 @@
+//! String perturbations for duplicate generation.
+//!
+//! Duplicate profiles differ from their originals through realistic noise:
+//! character-level typos (the Febrl model: insert, delete, substitute,
+//! transpose), OCR-style confusions, token drops/swaps, and abbreviation.
+//! The amount of shared tokens between a duplicate and its original governs
+//! how easily blocking finds the pair — generators tune the perturbation
+//! count per duplicate to hit realistic difficulty.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Applies one random character-level typo (insert / delete / substitute /
+/// transpose) to `s`. Empty strings are returned unchanged.
+pub fn typo(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let mut out = chars.clone();
+    match rng.random_range(0..4u8) {
+        0 => {
+            // insert
+            let pos = rng.random_range(0..=out.len());
+            out.insert(pos, random_letter(rng));
+        }
+        1 => {
+            // delete
+            let pos = rng.random_range(0..out.len());
+            out.remove(pos);
+        }
+        2 => {
+            // substitute
+            let pos = rng.random_range(0..out.len());
+            out[pos] = random_letter(rng);
+        }
+        _ => {
+            // transpose adjacent
+            if out.len() >= 2 {
+                let pos = rng.random_range(0..out.len() - 1);
+                out.swap(pos, pos + 1);
+            } else {
+                out[0] = random_letter(rng);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter(rng: &mut StdRng) -> char {
+    (b'a' + rng.random_range(0..26u8)) as char
+}
+
+/// OCR-style confusion: replaces one occurrence of a visually confusable
+/// character (`o↔0`, `l↔1`, `s↔5`, `b↔8`, `e↔3`), if present; otherwise
+/// falls back to a [`typo`].
+pub fn ocr_confusion(rng: &mut StdRng, s: &str) -> String {
+    const PAIRS: &[(char, char)] = &[('o', '0'), ('l', '1'), ('s', '5'), ('b', '8'), ('e', '3')];
+    let positions: Vec<(usize, char)> = s
+        .char_indices()
+        .filter_map(|(i, c)| {
+            PAIRS
+                .iter()
+                .find_map(|&(a, b)| {
+                    if c == a {
+                        Some(b)
+                    } else if c == b {
+                        Some(a)
+                    } else {
+                        None
+                    }
+                })
+                .map(|r| (i, r))
+        })
+        .collect();
+    if positions.is_empty() {
+        return typo(rng, s);
+    }
+    let (byte, replacement) = positions[rng.random_range(0..positions.len())];
+    let mut out = String::with_capacity(s.len());
+    for (i, c) in s.char_indices() {
+        out.push(if i == byte { replacement } else { c });
+    }
+    out
+}
+
+/// Drops one random token (whitespace-separated word) from `s`. Strings
+/// with at most one token are returned unchanged.
+pub fn drop_token(rng: &mut StdRng, s: &str) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() <= 1 {
+        return s.to_string();
+    }
+    let victim = rng.random_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != victim)
+        .map(|(_, t)| *t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Swaps two adjacent tokens of `s` (word-order noise).
+pub fn swap_tokens(rng: &mut StdRng, s: &str) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    let pos = rng.random_range(0..tokens.len() - 1);
+    tokens.swap(pos, pos + 1);
+    tokens.join(" ")
+}
+
+/// Abbreviates one token to its first letter plus a period
+/// ("Gregory House" → "G. House"), as bibliographic sources do with author
+/// given names.
+pub fn abbreviate_token(rng: &mut StdRng, s: &str) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.is_empty() {
+        return s.to_string();
+    }
+    let pos = rng.random_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i == pos {
+                let first: String = t.chars().take(1).collect();
+                format!("{first}.")
+            } else {
+                (*t).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Applies `n` random perturbations drawn from the character- and
+/// token-level repertoire.
+pub fn perturb(rng: &mut StdRng, s: &str, n: usize) -> String {
+    let mut out = s.to_string();
+    for _ in 0..n {
+        out = match rng.random_range(0..6u8) {
+            0 | 1 => typo(rng, &out), // typos twice as likely
+            2 => ocr_confusion(rng, &out),
+            3 => drop_token(rng, &out),
+            4 => swap_tokens(rng, &out),
+            _ => abbreviate_token(rng, &out),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn typo_changes_length_by_at_most_one() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let out = typo(&mut r, "example");
+            let diff = out.chars().count() as i64 - 7;
+            assert!(diff.abs() <= 1, "{out}");
+        }
+    }
+
+    #[test]
+    fn typo_on_empty_is_empty() {
+        assert_eq!(typo(&mut rng(), ""), "");
+    }
+
+    #[test]
+    fn typo_on_single_char_stays_single_ish() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = typo(&mut r, "x");
+            assert!(out.chars().count() <= 2);
+        }
+    }
+
+    #[test]
+    fn ocr_swaps_confusable_chars() {
+        let mut r = rng();
+        let out = ocr_confusion(&mut r, "0");
+        assert_eq!(out, "o");
+        let out = ocr_confusion(&mut r, "l");
+        assert_eq!(out, "1");
+    }
+
+    #[test]
+    fn ocr_falls_back_to_typo() {
+        let mut r = rng();
+        let out = ocr_confusion(&mut r, "xyz"); // no confusable chars
+        assert_ne!(out, "xyz");
+    }
+
+    #[test]
+    fn drop_token_removes_exactly_one() {
+        let mut r = rng();
+        let out = drop_token(&mut r, "alpha beta gamma");
+        assert_eq!(out.split(' ').count(), 2);
+        assert_eq!(drop_token(&mut r, "single"), "single");
+    }
+
+    #[test]
+    fn swap_tokens_preserves_set() {
+        let mut r = rng();
+        let out = swap_tokens(&mut r, "a b c d");
+        let mut toks: Vec<&str> = out.split(' ').collect();
+        toks.sort_unstable();
+        assert_eq!(toks, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn abbreviate_produces_initial() {
+        let mut r = rng();
+        let out = abbreviate_token(&mut r, "Gregory");
+        assert_eq!(out, "G.");
+    }
+
+    #[test]
+    fn perturb_is_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = perturb(&mut r1, "the quick brown fox", 3);
+        let b = perturb(&mut r2, "the quick brown fox", 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perturb_zero_is_identity() {
+        assert_eq!(perturb(&mut rng(), "unchanged text", 0), "unchanged text");
+    }
+
+    #[test]
+    fn perturbed_duplicates_keep_most_tokens() {
+        // The property blocking relies on: 1-2 perturbations leave most
+        // tokens intact.
+        let mut r = rng();
+        let original = "wolfgang amadeus mozart symphony number forty";
+        let mut kept_total = 0usize;
+        for _ in 0..100 {
+            let dup = perturb(&mut r, original, 2);
+            let orig_toks: std::collections::HashSet<&str> =
+                original.split(' ').collect();
+            let kept = dup.split(' ').filter(|t| orig_toks.contains(t)).count();
+            kept_total += kept;
+        }
+        // On average at least 3.5 of 6 tokens survive two perturbations.
+        assert!(kept_total >= 350, "kept {kept_total}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic vocabularies and Zipf sampling.
+//!
+//! Real-world text has heavily skewed token frequencies; token blocking
+//! turns the most frequent tokens into oversized blocks. To reproduce that,
+//! generators draw words from synthetic vocabularies through a [`Zipf`]
+//! sampler. Words are pronounceable consonant-vowel syllable strings, so
+//! generated profiles tokenize exactly like natural text (all-alphabetic,
+//! length ≥ 2) without shipping word lists.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A Zipf(s) distribution over ranks `0..n`, sampled by inverse-CDF binary
+/// search over the precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`
+    /// (`s = 0` is uniform; `s ≈ 1` is natural-language-like skew).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (cannot happen through
+    /// [`Zipf::new`], provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+    "st", "tr", "ch", "br", "pl",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou", "ea"];
+
+/// Generates one pronounceable word of `syllables` consonant-vowel
+/// syllables.
+pub fn synth_word(rng: &mut StdRng, syllables: usize) -> String {
+    let mut w = String::with_capacity(syllables * 3);
+    for _ in 0..syllables.max(1) {
+        w.push_str(CONSONANTS[rng.random_range(0..CONSONANTS.len())]);
+        w.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+    }
+    w
+}
+
+/// A fixed, seeded vocabulary of distinct synthetic words with a Zipf
+/// sampler over them.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    zipf: Zipf,
+}
+
+impl Vocabulary {
+    /// Builds `n` distinct words from `seed`, Zipf exponent `s`.
+    pub fn new(seed: u64, n: usize, s: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        while words.len() < n {
+            let syllables = 1 + words.len() % 3 + rng.random_range(0..2);
+            let w = synth_word(&mut rng, syllables);
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        Vocabulary {
+            words,
+            zipf: Zipf::new(n, s),
+        }
+    }
+
+    /// Samples a word Zipf-weighted (low ranks are frequent).
+    pub fn sample<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        &self.words[self.zipf.sample(rng)]
+    }
+
+    /// Samples a word uniformly (used for rare/identifying tokens).
+    pub fn sample_uniform<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        &self.words[rng.random_range(0..self.words.len())]
+    }
+
+    /// A specific word by rank (0 = most frequent under Zipf sampling).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never true via [`Vocabulary::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Samples a "sentence" of `len` Zipf-weighted words joined by spaces.
+    pub fn sentence(&self, rng: &mut StdRng, len: usize) -> String {
+        let mut s = String::new();
+        for i in 0..len {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(self.sample(rng));
+        }
+        s
+    }
+}
+
+/// A pool of synthetic person names (given + surname), used by the census
+/// and bibliographic generators.
+#[derive(Debug, Clone)]
+pub struct NamePool {
+    given: Vec<String>,
+    surnames: Vec<String>,
+    given_zipf: Zipf,
+    surname_zipf: Zipf,
+}
+
+impl NamePool {
+    /// Builds a pool of `n_given` given names and `n_surnames` surnames.
+    pub fn new(seed: u64, n_given: usize, n_surnames: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6e61_6d65); // "name"
+        let mut mk = |n: usize, syll: usize| -> Vec<String> {
+            let mut out = Vec::with_capacity(n);
+            let mut seen = std::collections::HashSet::new();
+            while out.len() < n {
+                let mut w = synth_word(&mut rng, syll + out.len() % 2);
+                // Capitalize like a name.
+                let mut chars = w.chars();
+                if let Some(c) = chars.next() {
+                    w = c.to_uppercase().collect::<String>() + chars.as_str();
+                }
+                if seen.insert(w.clone()) {
+                    out.push(w);
+                }
+            }
+            out
+        };
+        let given = mk(n_given, 2);
+        let surnames = mk(n_surnames, 2);
+        NamePool {
+            given,
+            surnames,
+            // Name frequencies are skewed in real populations too.
+            given_zipf: Zipf::new(n_given, 0.8),
+            surname_zipf: Zipf::new(n_surnames, 0.8),
+        }
+    }
+
+    /// Samples a given name (Zipf-weighted).
+    pub fn given<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        &self.given[self.given_zipf.sample(rng)]
+    }
+
+    /// Samples a surname (Zipf-weighted).
+    pub fn surname<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        &self.surnames[self.surname_zipf.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        assert!(counts[0] > 500, "rank 0 should be very frequent");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700 && c < 1300));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn synth_words_are_alphabetic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let w = synth_word(&mut rng, 2);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(w.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn vocabulary_is_deterministic() {
+        let v1 = Vocabulary::new(7, 50, 1.0);
+        let v2 = Vocabulary::new(7, 50, 1.0);
+        assert_eq!(v1.word(0), v2.word(0));
+        assert_eq!(v1.word(49), v2.word(49));
+        let v3 = Vocabulary::new(8, 50, 1.0);
+        assert_ne!(
+            (0..50).map(|i| v1.word(i).to_string()).collect::<Vec<_>>(),
+            (0..50).map(|i| v3.word(i).to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn vocabulary_words_are_distinct() {
+        let v = Vocabulary::new(9, 200, 1.0);
+        let set: std::collections::HashSet<&str> = (0..200).map(|i| v.word(i)).collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn sentence_has_requested_word_count() {
+        let v = Vocabulary::new(1, 100, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = v.sentence(&mut rng, 6);
+        assert_eq!(s.split(' ').count(), 6);
+    }
+
+    #[test]
+    fn name_pool_produces_capitalized_names() {
+        let p = NamePool::new(5, 30, 40);
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = p.given(&mut rng);
+        let s = p.surname(&mut rng);
+        assert!(g.chars().next().unwrap().is_uppercase());
+        assert!(s.chars().next().unwrap().is_uppercase());
+    }
+}

@@ -1,0 +1,180 @@
+//! The Incremental Classification pipeline component.
+//!
+//! The last stage of the framework (Figure 3 of the paper): it receives
+//! lists of comparisons "processed in received order", classifies each
+//! pair with the configured match function, and maintains the set of
+//! discovered duplicates `M_D` across increments — never re-classifying a
+//! pair and never re-reporting a duplicate (§2.3's "without reconsidering
+//! the already discovered duplicates").
+
+use std::collections::HashSet;
+
+use pier_types::{Comparison, IncrementalClusters};
+
+use crate::matcher::{MatchFunction, MatchInput, MatchOutcome};
+
+/// A confirmed duplicate with its similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifiedMatch {
+    /// The duplicate pair.
+    pub pair: Comparison,
+    /// Similarity reported by the match function.
+    pub similarity: f64,
+}
+
+/// Stateful incremental classifier: match function + the duplicate set
+/// `M_D` + entity clusters, maintained across increments.
+pub struct IncrementalClassifier<M: MatchFunction> {
+    matcher: M,
+    evaluated: HashSet<Comparison>,
+    duplicates: Vec<ClassifiedMatch>,
+    clusters: IncrementalClusters,
+    comparisons: u64,
+    ops: u64,
+}
+
+impl<M: MatchFunction> IncrementalClassifier<M> {
+    /// Creates a classifier around a match function.
+    pub fn new(matcher: M) -> Self {
+        IncrementalClassifier {
+            matcher,
+            evaluated: HashSet::new(),
+            duplicates: Vec::new(),
+            clusters: IncrementalClusters::new(),
+            comparisons: 0,
+            ops: 0,
+        }
+    }
+
+    /// Classifies one comparison. Returns the outcome if the pair is new,
+    /// or `None` if it was already classified (repeated emissions — e.g.
+    /// after a checkpoint restore — are absorbed here).
+    pub fn classify(&mut self, cmp: Comparison, input: MatchInput<'_>) -> Option<MatchOutcome> {
+        if !self.evaluated.insert(cmp) {
+            return None;
+        }
+        let outcome = self.matcher.evaluate(input);
+        self.comparisons += 1;
+        self.ops += outcome.ops;
+        if outcome.is_match {
+            self.duplicates.push(ClassifiedMatch {
+                pair: cmp,
+                similarity: outcome.similarity,
+            });
+            self.clusters.add_match(cmp);
+        }
+        Some(outcome)
+    }
+
+    /// The duplicates discovered so far (`M_D`), in discovery order.
+    pub fn duplicates(&self) -> &[ClassifiedMatch] {
+        &self.duplicates
+    }
+
+    /// The entity clusters implied by the duplicates so far.
+    pub fn clusters(&mut self) -> &mut IncrementalClusters {
+        &mut self.clusters
+    }
+
+    /// Comparisons actually evaluated (excluding absorbed repeats).
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Total matcher work performed, in ops.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The wrapped match function.
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::JaccardMatcher;
+    use pier_types::{EntityProfile, ProfileId, SourceId, TokenId};
+
+    fn toks(ids: &[u32]) -> Vec<TokenId> {
+        ids.iter().map(|&i| TokenId(i)).collect()
+    }
+
+    fn input<'a>(
+        pa: &'a EntityProfile,
+        ta: &'a [TokenId],
+        pb: &'a EntityProfile,
+        tb: &'a [TokenId],
+    ) -> MatchInput<'a> {
+        MatchInput {
+            profile_a: pa,
+            tokens_a: ta,
+            profile_b: pb,
+            tokens_b: tb,
+        }
+    }
+
+    #[test]
+    fn classifies_and_accumulates_duplicates() {
+        let mut c = IncrementalClassifier::new(JaccardMatcher { threshold: 0.5 });
+        let pa = EntityProfile::new(ProfileId(0), SourceId(0));
+        let pb = EntityProfile::new(ProfileId(1), SourceId(0));
+        let ta = toks(&[1, 2, 3]);
+        let tb = toks(&[1, 2, 3, 4]);
+        let cmp = Comparison::new(ProfileId(0), ProfileId(1));
+        let out = c.classify(cmp, input(&pa, &ta, &pb, &tb)).unwrap();
+        assert!(out.is_match);
+        assert_eq!(c.duplicates().len(), 1);
+        assert_eq!(c.comparisons(), 1);
+        assert!(c.ops() > 0);
+    }
+
+    #[test]
+    fn repeated_pairs_are_absorbed() {
+        let mut c = IncrementalClassifier::new(JaccardMatcher::default());
+        let pa = EntityProfile::new(ProfileId(0), SourceId(0));
+        let pb = EntityProfile::new(ProfileId(1), SourceId(0));
+        let t = toks(&[1, 2]);
+        let cmp = Comparison::new(ProfileId(0), ProfileId(1));
+        assert!(c.classify(cmp, input(&pa, &t, &pb, &t)).is_some());
+        assert!(c.classify(cmp, input(&pa, &t, &pb, &t)).is_none());
+        assert_eq!(c.comparisons(), 1);
+        assert_eq!(c.duplicates().len(), 1, "duplicate reported once");
+    }
+
+    #[test]
+    fn clusters_follow_matches() {
+        let mut c = IncrementalClassifier::new(JaccardMatcher { threshold: 0.5 });
+        let p: Vec<EntityProfile> = (0..3)
+            .map(|i| EntityProfile::new(ProfileId(i), SourceId(0)))
+            .collect();
+        let t = toks(&[1, 2, 3]);
+        c.classify(
+            Comparison::new(ProfileId(0), ProfileId(1)),
+            input(&p[0], &t, &p[1], &t),
+        );
+        c.classify(
+            Comparison::new(ProfileId(1), ProfileId(2)),
+            input(&p[1], &t, &p[2], &t),
+        );
+        assert!(c.clusters().same_entity(ProfileId(0), ProfileId(2)));
+        assert_eq!(c.clusters().cluster_size(ProfileId(0)), 3);
+    }
+
+    #[test]
+    fn non_matches_accumulate_nothing() {
+        let mut c = IncrementalClassifier::new(JaccardMatcher { threshold: 0.9 });
+        let pa = EntityProfile::new(ProfileId(0), SourceId(0));
+        let pb = EntityProfile::new(ProfileId(1), SourceId(0));
+        let ta = toks(&[1, 2]);
+        let tb = toks(&[3, 4]);
+        let out = c
+            .classify(Comparison::new(ProfileId(0), ProfileId(1)), input(&pa, &ta, &pb, &tb))
+            .unwrap();
+        assert!(!out.is_match);
+        assert!(c.duplicates().is_empty());
+        assert_eq!(c.clusters().cluster_count(), 0);
+    }
+}

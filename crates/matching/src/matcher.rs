@@ -1,0 +1,287 @@
+//! The [`MatchFunction`] trait and the paper's two matcher configurations.
+
+use pier_types::{EntityProfile, TokenId};
+
+use crate::similarity::{edit_similarity, jaccard_tokens};
+
+/// Everything a match function may look at for one comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchInput<'a> {
+    /// First profile.
+    pub profile_a: &'a EntityProfile,
+    /// Sorted distinct token ids of the first profile.
+    pub tokens_a: &'a [TokenId],
+    /// Second profile.
+    pub profile_b: &'a EntityProfile,
+    /// Sorted distinct token ids of the second profile.
+    pub tokens_b: &'a [TokenId],
+}
+
+/// The result of evaluating one comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchOutcome {
+    /// Classification: do the two profiles refer to the same entity?
+    pub is_match: bool,
+    /// The raw similarity in `[0, 1]`.
+    pub similarity: f64,
+    /// Abstract work performed, in elementary operations. The simulator
+    /// divides by its calibrated ops/second to obtain virtual time; the
+    /// threaded runtime ignores it (real time elapses instead).
+    pub ops: u64,
+}
+
+/// A pluggable match function (§2.1: similarity measure + threshold).
+pub trait MatchFunction: Send + Sync {
+    /// Evaluates one comparison.
+    fn evaluate(&self, input: MatchInput<'_>) -> MatchOutcome;
+
+    /// A per-profile size statistic from which the pair cost derives
+    /// (token count for JS, clipped character count for ED). Drivers may
+    /// cache it per profile — profiles are immutable once ingested.
+    fn profile_size(&self, profile: &EntityProfile, tokens: &[TokenId]) -> u64;
+
+    /// Work in ops for a pair of profiles with the given size statistics.
+    fn pair_ops(&self, size_a: u64, size_b: u64) -> u64;
+
+    /// Estimated work in ops for the pair *without* evaluating it — used by
+    /// cost-model-only simulation where classification is irrelevant (PC
+    /// only counts emissions).
+    fn estimate_ops(&self, input: MatchInput<'_>) -> u64 {
+        self.pair_ops(
+            self.profile_size(input.profile_a, input.tokens_a),
+            self.profile_size(input.profile_b, input.tokens_b),
+        )
+    }
+
+    /// Short stable name used in experiment output ("JS", "ED", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// The cheap matcher: Jaccard similarity over distinct token sets.
+///
+/// Work is linear in the token counts, making the downstream matcher fast —
+/// the configuration where Algorithm 1's adaptive `K` grows large.
+#[derive(Debug, Clone, Copy)]
+pub struct JaccardMatcher {
+    /// Similarity at or above which a pair is classified as a match.
+    pub threshold: f64,
+}
+
+impl Default for JaccardMatcher {
+    fn default() -> Self {
+        JaccardMatcher { threshold: 0.5 }
+    }
+}
+
+impl MatchFunction for JaccardMatcher {
+    fn evaluate(&self, input: MatchInput<'_>) -> MatchOutcome {
+        let similarity = jaccard_tokens(input.tokens_a, input.tokens_b);
+        MatchOutcome {
+            is_match: similarity >= self.threshold,
+            similarity,
+            ops: self.estimate_ops(input),
+        }
+    }
+
+    fn profile_size(&self, _profile: &EntityProfile, tokens: &[TokenId]) -> u64 {
+        tokens.len() as u64
+    }
+
+    fn pair_ops(&self, size_a: u64, size_b: u64) -> u64 {
+        (size_a + size_b).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "JS"
+    }
+}
+
+/// The expensive matcher: normalized Levenshtein distance over the
+/// flattened profile text.
+///
+/// Work is quadratic in the value lengths; with long heterogeneous values
+/// (dbpedia-like data) this matcher dominates the pipeline and `K` shrinks.
+/// `max_chars` caps the compared prefix (and the charged cost) so a single
+/// pathological profile cannot stall a run; the default of 256 characters
+/// comfortably covers the flattened text of the benchmark generators.
+#[derive(Debug, Clone, Copy)]
+pub struct EditDistanceMatcher {
+    /// Similarity at or above which a pair is classified as a match.
+    pub threshold: f64,
+    /// Maximum number of characters of flattened text compared per profile.
+    pub max_chars: usize,
+}
+
+impl Default for EditDistanceMatcher {
+    fn default() -> Self {
+        EditDistanceMatcher {
+            threshold: 0.55,
+            max_chars: 256,
+        }
+    }
+}
+
+impl EditDistanceMatcher {
+    fn clipped(&self, p: &EntityProfile) -> String {
+        let text = p.flattened_text();
+        match text.char_indices().nth(self.max_chars) {
+            Some((byte, _)) => text[..byte].to_string(),
+            None => text,
+        }
+    }
+}
+
+impl MatchFunction for EditDistanceMatcher {
+    fn evaluate(&self, input: MatchInput<'_>) -> MatchOutcome {
+        let a = self.clipped(input.profile_a);
+        let b = self.clipped(input.profile_b);
+        let similarity = edit_similarity(&a, &b);
+        MatchOutcome {
+            is_match: similarity >= self.threshold,
+            similarity,
+            ops: self.estimate_ops(input),
+        }
+    }
+
+    fn profile_size(&self, profile: &EntityProfile, _tokens: &[TokenId]) -> u64 {
+        profile.value_len().min(self.max_chars).max(1) as u64
+    }
+
+    fn pair_ops(&self, size_a: u64, size_b: u64) -> u64 {
+        size_a * size_b
+    }
+
+    fn name(&self) -> &'static str {
+        "ED"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{ProfileId, SourceId};
+
+    fn profile(id: u32, text: &str) -> EntityProfile {
+        EntityProfile::new(ProfileId(id), SourceId(0)).with("text", text)
+    }
+
+    fn toks(ids: &[u32]) -> Vec<TokenId> {
+        ids.iter().map(|&i| TokenId(i)).collect()
+    }
+
+    #[test]
+    fn jaccard_matcher_classifies_by_threshold() {
+        let m = JaccardMatcher { threshold: 0.5 };
+        let pa = profile(0, "x");
+        let pb = profile(1, "y");
+        let ta = toks(&[1, 2, 3]);
+        let tb = toks(&[2, 3, 4]);
+        let out = m.evaluate(MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &tb,
+        });
+        assert!(out.is_match); // similarity exactly 0.5
+        assert!((out.similarity - 0.5).abs() < 1e-12);
+        assert_eq!(out.ops, 6);
+    }
+
+    #[test]
+    fn jaccard_ops_are_linear() {
+        let m = JaccardMatcher::default();
+        let pa = profile(0, "");
+        let ta = toks(&[1, 2, 3, 4, 5]);
+        let tb = toks(&[6, 7]);
+        let input = MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pa,
+            tokens_b: &tb,
+        };
+        assert_eq!(m.estimate_ops(input), 7);
+    }
+
+    #[test]
+    fn edit_matcher_detects_typo_duplicates() {
+        let m = EditDistanceMatcher::default();
+        let pa = profile(0, "The Shawshank Redemption 1994");
+        let pb = profile(1, "The Shawshank Redemtion 1994");
+        let ta = toks(&[]);
+        let out = m.evaluate(MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &ta,
+        });
+        assert!(out.is_match);
+        assert!(out.similarity > 0.9);
+    }
+
+    #[test]
+    fn edit_matcher_rejects_unrelated() {
+        let m = EditDistanceMatcher::default();
+        let pa = profile(0, "completely different text about gardening");
+        let pb = profile(1, "quantum chromodynamics lattice simulations");
+        let ta = toks(&[]);
+        let out = m.evaluate(MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &ta,
+        });
+        assert!(!out.is_match);
+    }
+
+    #[test]
+    fn edit_ops_are_quadratic_and_capped() {
+        let m = EditDistanceMatcher {
+            threshold: 0.5,
+            max_chars: 10,
+        };
+        let long = "x".repeat(100);
+        let pa = profile(0, &long);
+        let pb = profile(1, "short");
+        let ta = toks(&[]);
+        let input = MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &ta,
+        };
+        assert_eq!(m.estimate_ops(input), 10 * 5);
+    }
+
+    #[test]
+    fn ed_is_costlier_than_js_for_same_pair() {
+        // The premise of the paper's two configurations.
+        let js = JaccardMatcher::default();
+        let ed = EditDistanceMatcher::default();
+        let pa = profile(0, "some reasonably long attribute value here");
+        let pb = profile(1, "another reasonably long attribute value there");
+        let ta = toks(&[1, 2, 3, 4, 5, 6]);
+        let input = MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &ta,
+        };
+        assert!(ed.estimate_ops(input) > 10 * js.estimate_ops(input));
+    }
+
+    #[test]
+    fn clipping_respects_char_boundaries() {
+        let m = EditDistanceMatcher {
+            threshold: 0.5,
+            max_chars: 3,
+        };
+        let pa = profile(0, "héllo wörld");
+        assert_eq!(m.clipped(&pa), "hél");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(JaccardMatcher::default().name(), "JS");
+        assert_eq!(EditDistanceMatcher::default().name(), "ED");
+    }
+}

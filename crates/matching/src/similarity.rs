@@ -1,0 +1,191 @@
+//! Similarity measures.
+
+use pier_types::TokenId;
+
+/// Jaccard similarity of two **sorted, deduplicated** token-id slices:
+/// `|A ∩ B| / |A ∪ B|`, in `[0, 1]`. Runs in `O(|A| + |B|)` via a merge.
+///
+/// # Panics
+/// Debug-asserts that inputs are sorted and deduplicated.
+pub fn jaccard_tokens(a: &[TokenId], b: &[TokenId]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted+dedup");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Cosine similarity of two **sorted, deduplicated** token-id slices under
+/// binary (set) weights: `|A ∩ B| / sqrt(|A| · |B|)`, in `[0, 1]`.
+/// Less sensitive than Jaccard to size imbalance between the profiles —
+/// useful when one source is much more verbose than the other.
+pub fn cosine_tokens(a: &[TokenId], b: &[TokenId]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted+dedup");
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+/// Levenshtein edit distance between two strings, `O(|a|·|b|)` time and
+/// `O(min(|a|, |b|))` space (two-row DP over chars).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Iterate over the longer string, keep rows sized by the shorter one.
+    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if inner.is_empty() {
+        return outer.len();
+    }
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ic) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oc != ic);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+/// Normalized edit similarity: `1 − lev(a, b) / max(|a|, |b|)`, in `[0, 1]`.
+/// Two empty strings are defined as similarity 0 (an empty profile carries
+/// no evidence of a match).
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(ids: &[u32]) -> Vec<TokenId> {
+        ids.iter().map(|&i| TokenId(i)).collect()
+    }
+
+    #[test]
+    fn jaccard_identical_sets() {
+        let a = toks(&[1, 2, 3]);
+        assert_eq!(jaccard_tokens(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets() {
+        assert_eq!(jaccard_tokens(&toks(&[1, 2]), &toks(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // inter=2, union=4 -> 0.5
+        let s = jaccard_tokens(&toks(&[1, 2, 3]), &toks(&[2, 3, 4]));
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_inputs() {
+        assert_eq!(jaccard_tokens(&[], &[]), 0.0);
+        assert_eq!(jaccard_tokens(&toks(&[1]), &[]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric() {
+        let a = toks(&[1, 5, 9]);
+        let b = toks(&[1, 2, 9, 10]);
+        assert_eq!(jaccard_tokens(&a, &b), jaccard_tokens(&b, &a));
+    }
+
+    #[test]
+    fn cosine_bounds_and_cases() {
+        let a = toks(&[1, 2, 3, 4]);
+        let b = toks(&[3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+        let c = cosine_tokens(&a, &b);
+        assert!(c > 0.0 && c < 1.0);
+        assert_eq!(cosine_tokens(&a, &a), 1.0);
+        assert_eq!(cosine_tokens(&a, &[]), 0.0);
+        assert_eq!(cosine_tokens(&toks(&[1]), &toks(&[2])), 0.0);
+        // Cosine forgives size imbalance more than Jaccard.
+        assert!(c > jaccard_tokens(&a, &b));
+    }
+
+    #[test]
+    fn cosine_is_symmetric() {
+        let a = toks(&[1, 5, 9]);
+        let b = toks(&[1, 2, 9, 10]);
+        assert_eq!(cosine_tokens(&a, &b), cosine_tokens(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("same", "same"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        assert_eq!(edit_similarity("", ""), 0.0);
+        let s = edit_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_similarity_detects_near_duplicates() {
+        let s = edit_similarity("The Shawshank Redemption", "The Shawshank Redemtion");
+        assert!(s > 0.9);
+    }
+}

@@ -1,0 +1,217 @@
+//! The batch blocking graph.
+//!
+//! Nodes are profiles; an edge connects two profiles sharing at least one
+//! non-purged block. Edge weights follow a [`WeightingScheme`]. The batch
+//! progressive baselines (PPS, PBS and their GLOBAL adaptations) build this
+//! graph during their initialization phase — exactly the expensive step the
+//! PIER algorithms avoid (§6: "the incremental building, maintaining, and
+//! updating of the meta-blocking graph is very costly").
+
+use std::collections::HashMap;
+
+use pier_blocking::BlockCollection;
+use pier_types::{Comparison, ProfileId};
+
+use crate::schemes::WeightingScheme;
+
+/// A materialized, weighted blocking graph.
+#[derive(Debug, Clone)]
+pub struct BlockingGraph {
+    edges: HashMap<Comparison, f64>,
+    adjacency: HashMap<ProfileId, Vec<ProfileId>>,
+    /// Number of elementary pair co-occurrences processed while building
+    /// (`Σ_b ||b||`) — the cost driver of initialization.
+    work: u64,
+}
+
+impl BlockingGraph {
+    /// Builds the graph for all non-purged blocks of `collection`, weighting
+    /// every distinct pair with `scheme`.
+    ///
+    /// Complexity is `O(Σ_b ||b||)`; this is the batch pre-analysis cost
+    /// that grows with the whole dataset.
+    pub fn build(collection: &BlockCollection, scheme: WeightingScheme) -> Self {
+        // First pass: CBS counts and (if needed) ARCS sums per pair.
+        let mut cbs: HashMap<Comparison, u32> = HashMap::new();
+        let mut arcs: HashMap<Comparison, f64> = HashMap::new();
+        let mut work = 0u64;
+        let kind = collection.kind();
+        for (_, block) in collection.active_blocks() {
+            let card = block.cardinality(kind).max(1) as f64;
+            let members: Vec<ProfileId> = block.members().collect();
+            for (i, &x) in members.iter().enumerate() {
+                for &y in &members[i + 1..] {
+                    if kind == pier_types::ErKind::CleanClean
+                        && collection.source_of(x) == collection.source_of(y)
+                    {
+                        continue;
+                    }
+                    let c = Comparison::new(x, y);
+                    *cbs.entry(c).or_insert(0) += 1;
+                    if scheme.needs_block_cardinalities() {
+                        *arcs.entry(c).or_insert(0.0) += 1.0 / card;
+                    }
+                    work += 1;
+                }
+            }
+        }
+        let total_blocks = collection.block_count();
+        let mut edges = HashMap::with_capacity(cbs.len());
+        let mut adjacency: HashMap<ProfileId, Vec<ProfileId>> = HashMap::new();
+        for (c, count) in cbs {
+            let w = scheme.weigh(
+                count,
+                collection.blocks_of(c.a).len(),
+                collection.blocks_of(c.b).len(),
+                total_blocks,
+                arcs.get(&c).copied().unwrap_or(0.0),
+            );
+            edges.insert(c, w);
+            adjacency.entry(c.a).or_default().push(c.b);
+            adjacency.entry(c.b).or_default().push(c.a);
+        }
+        for neighbors in adjacency.values_mut() {
+            neighbors.sort_unstable();
+        }
+        BlockingGraph {
+            edges,
+            adjacency,
+            work,
+        }
+    }
+
+    /// Weight of an edge, if present.
+    pub fn weight(&self, c: Comparison) -> Option<f64> {
+        self.edges.get(&c).copied()
+    }
+
+    /// Neighbors of a profile (sorted by id).
+    pub fn neighbors(&self, p: ProfileId) -> &[ProfileId] {
+        self.adjacency.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all `(comparison, weight)` edges, unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = (Comparison, f64)> + '_ {
+        self.edges.iter().map(|(&c, &w)| (c, w))
+    }
+
+    /// Number of distinct edges (non-redundant comparisons).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of graph nodes that have at least one edge.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Iterates over all nodes with at least one edge, unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = ProfileId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Elementary pair co-occurrences processed during construction — the
+    /// simulator charges initialization time proportional to this.
+    pub fn build_work(&self) -> u64 {
+        self.work
+    }
+
+    /// Average of a node's incident edge weights (0.0 for isolated nodes).
+    pub fn node_average_weight(&self, p: ProfileId) -> f64 {
+        let neighbors = self.neighbors(p);
+        if neighbors.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = neighbors
+            .iter()
+            .map(|&q| self.edges[&Comparison::new(p, q)])
+            .sum();
+        sum / neighbors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_blocking::PurgePolicy;
+    use pier_types::{ErKind, SourceId, TokenId};
+
+    /// 3 profiles: 0 and 1 share tokens {1,2}; 2 shares token {2} with both.
+    fn dirty_collection() -> BlockCollection {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1), TokenId(2)]);
+        c.add_profile(ProfileId(1), SourceId(0), &[TokenId(1), TokenId(2)]);
+        c.add_profile(ProfileId(2), SourceId(0), &[TokenId(2)]);
+        c
+    }
+
+    #[test]
+    fn cbs_graph_counts_common_blocks() {
+        let g = BlockingGraph::build(&dirty_collection(), WeightingScheme::Cbs);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(
+            g.weight(Comparison::new(ProfileId(0), ProfileId(1))),
+            Some(2.0)
+        );
+        assert_eq!(
+            g.weight(Comparison::new(ProfileId(0), ProfileId(2))),
+            Some(1.0)
+        );
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let g = BlockingGraph::build(&dirty_collection(), WeightingScheme::Cbs);
+        assert_eq!(g.neighbors(ProfileId(2)), &[ProfileId(0), ProfileId(1)]);
+        assert_eq!(g.neighbors(ProfileId(0)), &[ProfileId(1), ProfileId(2)]);
+    }
+
+    #[test]
+    fn clean_clean_skips_same_source_pairs() {
+        let mut c = BlockCollection::with_policy(ErKind::CleanClean, PurgePolicy::disabled());
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(1), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(2), SourceId(1), &[TokenId(1)]);
+        let g = BlockingGraph::build(&c, WeightingScheme::Cbs);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g
+            .weight(Comparison::new(ProfileId(0), ProfileId(1)))
+            .is_none());
+    }
+
+    #[test]
+    fn arcs_weights_sum_reciprocal_cardinalities() {
+        let g = BlockingGraph::build(&dirty_collection(), WeightingScheme::Arcs);
+        // Block 1 = {0,1}: ||b||=1. Block 2 = {0,1,2}: ||b||=3.
+        let w01 = g.weight(Comparison::new(ProfileId(0), ProfileId(1))).unwrap();
+        assert!((w01 - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+        let w02 = g.weight(Comparison::new(ProfileId(0), ProfileId(2))).unwrap();
+        assert!((w02 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_work_counts_cooccurrences() {
+        let g = BlockingGraph::build(&dirty_collection(), WeightingScheme::Cbs);
+        // Block 1 contributes 1 pair, block 2 contributes 3 pairs.
+        assert_eq!(g.build_work(), 4);
+    }
+
+    #[test]
+    fn node_average_weight() {
+        let g = BlockingGraph::build(&dirty_collection(), WeightingScheme::Cbs);
+        // Node 0: edges to 1 (w=2) and 2 (w=1) -> avg 1.5.
+        assert!((g.node_average_weight(ProfileId(0)) - 1.5).abs() < 1e-12);
+        assert_eq!(g.node_average_weight(ProfileId(99)), 0.0);
+    }
+
+    #[test]
+    fn purged_blocks_are_excluded() {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::max_size(2));
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(1), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(2), SourceId(0), &[TokenId(1)]);
+        let g = BlockingGraph::build(&c, WeightingScheme::Cbs);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

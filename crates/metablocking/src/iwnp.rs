@@ -1,0 +1,222 @@
+//! I-WNP — incremental comparison cleaning.
+//!
+//! The incremental counterpart of WNP from [17], used by I-PCS and I-PES
+//! (Algorithm 2, line 8): given the blocks retained for a newly arrived
+//! profile `p_x` (after block ghosting), it
+//!
+//! 1. generates the candidate partners of `p_x` with their *local* CBS
+//!    counts (common blocks restricted to the retained blocks — the
+//!    "approximation of CBS" of §4),
+//! 2. weighs every candidate with the configured scheme, and
+//! 3. drops candidates whose weight is below the average of the candidate
+//!    list, returning the survivors as weighted comparisons.
+//!
+//! Unlike batch WNP it never touches previously processed profiles, so its
+//! cost is proportional to the new profile's neighborhood only.
+
+use std::collections::HashMap;
+
+use pier_blocking::{BlockCollection, BlockId};
+use pier_types::{Comparison, ProfileId, WeightedComparison};
+
+use crate::schemes::WeightingScheme;
+
+/// Configuration for [`iwnp`].
+#[derive(Debug, Clone, Copy)]
+pub struct IwnpConfig {
+    /// Weighting scheme for candidate comparisons (paper default: CBS).
+    pub scheme: WeightingScheme,
+    /// If `false`, the below-average pruning step is skipped and all
+    /// candidates are returned weighted (used by ablations).
+    pub prune_below_average: bool,
+}
+
+impl Default for IwnpConfig {
+    fn default() -> Self {
+        IwnpConfig {
+            scheme: WeightingScheme::Cbs,
+            prune_below_average: true,
+        }
+    }
+}
+
+/// Runs I-WNP for profile `p_x` over its (ghosted) blocks `block_ids`.
+///
+/// Returns the retained weighted comparisons, sorted by descending weight
+/// (deterministic tie-break on the pair ids).
+pub fn iwnp(
+    collection: &BlockCollection,
+    p_x: ProfileId,
+    block_ids: &[BlockId],
+    config: IwnpConfig,
+) -> Vec<WeightedComparison> {
+    // Gather candidates: local CBS count and, if needed, ARCS sums.
+    let source = collection.source_of(p_x);
+    let kind = collection.kind();
+    let mut cbs: HashMap<ProfileId, u32> = HashMap::new();
+    let mut arcs: HashMap<ProfileId, f64> = HashMap::new();
+    for &bid in block_ids {
+        let Some(block) = collection.block(bid) else {
+            continue;
+        };
+        if block.is_purged() {
+            continue;
+        }
+        let card = block.cardinality(kind).max(1) as f64;
+        for q in block.partners_of(p_x, source, kind) {
+            *cbs.entry(q).or_insert(0) += 1;
+            if config.scheme.needs_block_cardinalities() {
+                *arcs.entry(q).or_insert(0.0) += 1.0 / card;
+            }
+        }
+    }
+    if cbs.is_empty() {
+        return Vec::new();
+    }
+
+    let total_blocks = collection.block_count();
+    let blocks_x = collection.blocks_of(p_x).len();
+    let mut weighted: Vec<WeightedComparison> = cbs
+        .into_iter()
+        .map(|(q, count)| {
+            let w = config.scheme.weigh(
+                count,
+                blocks_x,
+                collection.blocks_of(q).len(),
+                total_blocks,
+                arcs.get(&q).copied().unwrap_or(0.0),
+            );
+            WeightedComparison::new(Comparison::new(p_x, q), w)
+        })
+        .collect();
+
+    if config.prune_below_average {
+        let avg: f64 =
+            weighted.iter().map(|wc| wc.weight).sum::<f64>() / weighted.len() as f64;
+        weighted.retain(|wc| wc.weight >= avg);
+    }
+    weighted.sort_unstable_by(|a, b| b.cmp(a));
+    weighted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_blocking::PurgePolicy;
+    use pier_types::{ErKind, SourceId, TokenId};
+
+    /// p3 arrives last sharing: 3 tokens with p0, 1 with p1, 1 with p2.
+    fn setup() -> (BlockCollection, Vec<BlockId>) {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        c.add_profile(
+            ProfileId(0),
+            SourceId(0),
+            &[TokenId(1), TokenId(2), TokenId(3)],
+        );
+        c.add_profile(ProfileId(1), SourceId(0), &[TokenId(4)]);
+        c.add_profile(ProfileId(2), SourceId(0), &[TokenId(5)]);
+        c.add_profile(
+            ProfileId(3),
+            SourceId(0),
+            &[TokenId(1), TokenId(2), TokenId(3), TokenId(4), TokenId(5)],
+        );
+        let blocks = c.blocks_of(ProfileId(3)).to_vec();
+        (c, blocks)
+    }
+
+    #[test]
+    fn prunes_below_average_candidates() {
+        let (c, blocks) = setup();
+        let kept = iwnp(&c, ProfileId(3), &blocks, IwnpConfig::default());
+        // Weights: p0=3, p1=1, p2=1; avg = 5/3 ≈ 1.67 -> only p0 survives.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].cmp, Comparison::new(ProfileId(0), ProfileId(3)));
+        assert_eq!(kept[0].weight, 3.0);
+    }
+
+    #[test]
+    fn pruning_can_be_disabled() {
+        let (c, blocks) = setup();
+        let cfg = IwnpConfig {
+            prune_below_average: false,
+            ..IwnpConfig::default()
+        };
+        let kept = iwnp(&c, ProfileId(3), &blocks, cfg);
+        assert_eq!(kept.len(), 3);
+        // Sorted by descending weight.
+        assert!(kept.windows(2).all(|w| w[0].weight >= w[1].weight));
+    }
+
+    #[test]
+    fn uniform_weights_all_survive() {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(1), SourceId(0), &[TokenId(2)]);
+        c.add_profile(ProfileId(2), SourceId(0), &[TokenId(1), TokenId(2)]);
+        let blocks = c.blocks_of(ProfileId(2)).to_vec();
+        let kept = iwnp(&c, ProfileId(2), &blocks, IwnpConfig::default());
+        // Both candidates have weight 1 = avg -> both retained (>= avg).
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn no_candidates_returns_empty() {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1)]);
+        let blocks = c.blocks_of(ProfileId(0)).to_vec();
+        assert!(iwnp(&c, ProfileId(0), &blocks, IwnpConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn restricting_blocks_restricts_weights() {
+        let (c, blocks) = setup();
+        // Only pass the first block: local CBS of p0 drops to 1.
+        let kept = iwnp(
+            &c,
+            ProfileId(3),
+            &blocks[..1],
+            IwnpConfig {
+                prune_below_average: false,
+                ..IwnpConfig::default()
+            },
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].weight, 1.0);
+    }
+
+    #[test]
+    fn clean_clean_candidates_are_cross_source() {
+        let mut c = BlockCollection::with_policy(ErKind::CleanClean, PurgePolicy::disabled());
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(1), SourceId(1), &[TokenId(1)]);
+        c.add_profile(ProfileId(2), SourceId(1), &[TokenId(1)]);
+        let blocks = c.blocks_of(ProfileId(2)).to_vec();
+        let kept = iwnp(&c, ProfileId(2), &blocks, IwnpConfig::default());
+        // Only p0 (other source) is a candidate, not p1.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].cmp, Comparison::new(ProfileId(0), ProfileId(2)));
+    }
+
+    #[test]
+    fn arcs_scheme_works_incrementally() {
+        let (c, blocks) = setup();
+        let cfg = IwnpConfig {
+            scheme: WeightingScheme::Arcs,
+            prune_below_average: false,
+        };
+        let kept = iwnp(&c, ProfileId(3), &blocks, cfg);
+        assert_eq!(kept.len(), 3);
+        for wc in &kept {
+            assert!(wc.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn purged_blocks_do_not_contribute() {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::max_size(1));
+        c.add_profile(ProfileId(0), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(1), SourceId(0), &[TokenId(1)]);
+        let blocks = c.blocks_of(ProfileId(1)).to_vec();
+        assert!(iwnp(&c, ProfileId(1), &blocks, IwnpConfig::default()).is_empty());
+    }
+}

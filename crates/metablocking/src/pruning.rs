@@ -1,0 +1,135 @@
+//! Batch comparison cleaning: WNP and CNP edge pruning.
+//!
+//! * **WNP** (Weighted Node Pruning): each node keeps the incident edges
+//!   whose weight is at least the average weight of its neighborhood; an
+//!   edge survives globally if at least one endpoint keeps it (the
+//!   "redundancy-positive" semantics of Papadakis et al.).
+//! * **CNP** (Cardinality Node Pruning): each node keeps its top-`k`
+//!   incident edges; an edge survives if either endpoint keeps it.
+//!
+//! These run on the materialized [`BlockingGraph`] and are used by the batch
+//! baselines; the incremental counterpart is [`crate::iwnp`].
+
+use std::collections::HashSet;
+
+use pier_types::{Comparison, WeightedComparison};
+
+use crate::graph::BlockingGraph;
+
+/// Weighted Node Pruning. Returns the surviving edges, unsorted.
+pub fn wnp(graph: &BlockingGraph) -> Vec<WeightedComparison> {
+    let mut kept: HashSet<Comparison> = HashSet::new();
+    for p in graph.nodes() {
+        let avg = graph.node_average_weight(p);
+        for &q in graph.neighbors(p) {
+            let c = Comparison::new(p, q);
+            let w = graph.weight(c).expect("edge exists");
+            if w >= avg {
+                kept.insert(c);
+            }
+        }
+    }
+    kept.into_iter()
+        .map(|c| WeightedComparison::new(c, graph.weight(c).expect("edge exists")))
+        .collect()
+}
+
+/// Cardinality Node Pruning with per-node budget `k`.
+pub fn cnp(graph: &BlockingGraph, k: usize) -> Vec<WeightedComparison> {
+    assert!(k > 0, "k must be positive");
+    let mut kept: HashSet<Comparison> = HashSet::new();
+    for p in graph.nodes() {
+        let mut incident: Vec<WeightedComparison> = graph
+            .neighbors(p)
+            .iter()
+            .map(|&q| {
+                let c = Comparison::new(p, q);
+                WeightedComparison::new(c, graph.weight(c).expect("edge exists"))
+            })
+            .collect();
+        incident.sort_unstable_by(|a, b| b.cmp(a));
+        for wc in incident.into_iter().take(k) {
+            kept.insert(wc.cmp);
+        }
+    }
+    kept.into_iter()
+        .map(|c| WeightedComparison::new(c, graph.weight(c).expect("edge exists")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_blocking::{BlockCollection, PurgePolicy};
+    use pier_types::{ErKind, ProfileId, SourceId, TokenId};
+
+    /// Profiles 0,1 share 3 tokens; 0,2 and 1,2 share 1 token each.
+    fn graph() -> BlockingGraph {
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        c.add_profile(
+            ProfileId(0),
+            SourceId(0),
+            &[TokenId(1), TokenId(2), TokenId(3), TokenId(4)],
+        );
+        c.add_profile(
+            ProfileId(1),
+            SourceId(0),
+            &[TokenId(1), TokenId(2), TokenId(3)],
+        );
+        c.add_profile(ProfileId(2), SourceId(0), &[TokenId(4)]);
+        BlockingGraph::build(&c, crate::schemes::WeightingScheme::Cbs)
+    }
+
+    #[test]
+    fn wnp_keeps_above_average_edges() {
+        let g = graph();
+        let kept = wnp(&g);
+        let pairs: HashSet<Comparison> = kept.iter().map(|w| w.cmp).collect();
+        // Node 0: edges w=3 (to 1), w=1 (to 2); avg 2 -> keeps (0,1).
+        assert!(pairs.contains(&Comparison::new(ProfileId(0), ProfileId(1))));
+        // Node 2 has a single edge (0,2) with w=1 = avg -> kept by node 2.
+        assert!(pairs.contains(&Comparison::new(ProfileId(0), ProfileId(2))));
+        // Node 1's only other edge doesn't exist; (1,2) shares no token.
+        assert!(!pairs.contains(&Comparison::new(ProfileId(1), ProfileId(2))));
+    }
+
+    #[test]
+    fn wnp_weights_match_graph() {
+        let g = graph();
+        for wc in wnp(&g) {
+            assert_eq!(Some(wc.weight), g.weight(wc.cmp));
+        }
+    }
+
+    #[test]
+    fn cnp_limits_per_node() {
+        let g = graph();
+        let kept = cnp(&g, 1);
+        let pairs: HashSet<Comparison> = kept.iter().map(|w| w.cmp).collect();
+        // Node 0 keeps its best edge (0,1); node 2 keeps its only edge (0,2).
+        assert!(pairs.contains(&Comparison::new(ProfileId(0), ProfileId(1))));
+        assert!(pairs.contains(&Comparison::new(ProfileId(0), ProfileId(2))));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn cnp_with_large_k_keeps_everything() {
+        let g = graph();
+        assert_eq!(cnp(&g, 100).len(), g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn cnp_zero_k_panics() {
+        let g = graph();
+        let _ = cnp(&g, 0);
+    }
+
+    #[test]
+    fn pruned_sets_are_subsets_of_edges() {
+        let g = graph();
+        for wc in wnp(&g).into_iter().chain(cnp(&g, 2)) {
+            assert!(g.weight(wc.cmp).is_some());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Edge weighting schemes of meta-blocking.
+//!
+//! All schemes are functions of per-pair block statistics. With `B(p)` the
+//! blocks of profile `p` and `cbs = |B(p_x) ∩ B(p_y)|`:
+//!
+//! * **CBS** (Common Blocks Scheme): `cbs`. The scheme used by all PIER
+//!   algorithms — cheapest to compute and to maintain incrementally (§4).
+//! * **ECBS** (Enhanced CBS): `cbs · ln(|B|/|B(p_x)|) · ln(|B|/|B(p_y)|)` —
+//!   discounts profiles that appear in many blocks.
+//! * **JS** (Jaccard Scheme): `cbs / (|B(p_x)| + |B(p_y)| − cbs)`.
+//! * **ARCS** (Aggregate Reciprocal Comparisons): `Σ_{b ∈ common} 1/||b||` —
+//!   needs the cardinality of each common block, so it takes a different
+//!   input shape.
+
+/// A meta-blocking edge weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightingScheme {
+    /// Common Blocks Scheme — the paper's default.
+    Cbs,
+    /// Enhanced Common Blocks Scheme.
+    Ecbs,
+    /// Jaccard Scheme over block sets.
+    Js,
+    /// Aggregate Reciprocal Comparisons Scheme.
+    Arcs,
+}
+
+impl WeightingScheme {
+    /// Computes the edge weight from pair statistics.
+    ///
+    /// * `cbs` — number of common (non-purged) blocks of the pair;
+    /// * `blocks_x`, `blocks_y` — `|B(p_x)|`, `|B(p_y)|`;
+    /// * `total_blocks` — `|B|`, the number of blocks in the collection;
+    /// * `arcs_sum` — `Σ 1/||b||` over the pair's common blocks; only read
+    ///   by [`WeightingScheme::Arcs`] (pass 0.0 otherwise).
+    ///
+    /// Returns 0.0 for degenerate inputs (no common blocks).
+    pub fn weigh(
+        self,
+        cbs: u32,
+        blocks_x: usize,
+        blocks_y: usize,
+        total_blocks: usize,
+        arcs_sum: f64,
+    ) -> f64 {
+        if cbs == 0 {
+            return 0.0;
+        }
+        match self {
+            WeightingScheme::Cbs => cbs as f64,
+            WeightingScheme::Ecbs => {
+                let total = total_blocks.max(1) as f64;
+                let ix = (total / blocks_x.max(1) as f64).ln().max(0.0);
+                let iy = (total / blocks_y.max(1) as f64).ln().max(0.0);
+                cbs as f64 * ix * iy
+            }
+            WeightingScheme::Js => {
+                let union = blocks_x + blocks_y - cbs as usize;
+                if union == 0 {
+                    0.0
+                } else {
+                    cbs as f64 / union as f64
+                }
+            }
+            WeightingScheme::Arcs => arcs_sum,
+        }
+    }
+
+    /// Whether the scheme needs per-common-block cardinalities
+    /// (`arcs_sum`). Incremental candidate generation gathers those lazily
+    /// only when required.
+    pub fn needs_block_cardinalities(self) -> bool {
+        matches!(self, WeightingScheme::Arcs)
+    }
+
+    /// All supported schemes (for the ablation sweep).
+    pub fn all() -> [WeightingScheme; 4] {
+        [
+            WeightingScheme::Cbs,
+            WeightingScheme::Ecbs,
+            WeightingScheme::Js,
+            WeightingScheme::Arcs,
+        ]
+    }
+
+    /// Short stable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightingScheme::Cbs => "CBS",
+            WeightingScheme::Ecbs => "ECBS",
+            WeightingScheme::Js => "JS",
+            WeightingScheme::Arcs => "ARCS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbs_is_the_raw_count() {
+        assert_eq!(WeightingScheme::Cbs.weigh(3, 10, 20, 100, 0.0), 3.0);
+    }
+
+    #[test]
+    fn zero_common_blocks_is_zero_for_all() {
+        for s in WeightingScheme::all() {
+            assert_eq!(s.weigh(0, 10, 20, 100, 0.5), 0.0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn ecbs_discounts_ubiquitous_profiles() {
+        // Same cbs, but y appears in far more blocks in the second case.
+        let rare = WeightingScheme::Ecbs.weigh(2, 10, 10, 1000, 0.0);
+        let common = WeightingScheme::Ecbs.weigh(2, 10, 900, 1000, 0.0);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn ecbs_matches_formula() {
+        let w = WeightingScheme::Ecbs.weigh(2, 10, 20, 100, 0.0);
+        let expected = 2.0 * (100.0f64 / 10.0).ln() * (100.0f64 / 20.0).ln();
+        assert!((w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_is_jaccard_over_block_sets() {
+        // |Bx|=4, |By|=6, cbs=2 -> 2 / (4+6-2) = 0.25
+        let w = WeightingScheme::Js.weigh(2, 4, 6, 100, 0.0);
+        assert!((w - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_is_bounded_by_one() {
+        let w = WeightingScheme::Js.weigh(5, 5, 5, 100, 0.0);
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arcs_uses_the_precomputed_sum() {
+        let w = WeightingScheme::Arcs.weigh(3, 4, 6, 100, 0.75);
+        assert_eq!(w, 0.75);
+        assert!(WeightingScheme::Arcs.needs_block_cardinalities());
+        assert!(!WeightingScheme::Cbs.needs_block_cardinalities());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = WeightingScheme::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["CBS", "ECBS", "JS", "ARCS"]);
+    }
+}

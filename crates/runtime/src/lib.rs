@@ -1,0 +1,26 @@
+//! Real-time multi-threaded PIER pipeline.
+//!
+//! Where [`pier-sim`](../pier_sim/index.html) reproduces the paper's
+//! experiments on a virtual clock, this crate runs the same components as
+//! an actual streaming system — the role Akka Streams plays in the paper's
+//! Scala implementation (§7.1):
+//!
+//! * a **source** thread replays increments at a configurable rate;
+//! * a **blocking** thread (stage A) maintains the incremental blocker and
+//!   feeds the prioritizer;
+//! * a **matching** thread (stage B) pulls batches of the adaptively-sized
+//!   `K` best comparisons and classifies them;
+//! * match events flow to the caller as they are found, with real
+//!   timestamps.
+//!
+//! Shared state uses `parking_lot` locks (blocker behind an `RwLock` —
+//! written by stage A, read by stage B — and the emitter behind a `Mutex`);
+//! threads communicate over `crossbeam` channels.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod streaming;
+
+pub use report::{MatchEvent, RuntimeReport};
+pub use streaming::{run_streaming, RuntimeConfig};

@@ -1,0 +1,67 @@
+//! Results of a real-time pipeline run.
+
+use std::time::Duration;
+
+use pier_types::Comparison;
+
+/// One classified match, timestamped relative to pipeline start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchEvent {
+    /// When the match was confirmed by the matcher.
+    pub at: Duration,
+    /// The matching pair.
+    pub pair: Comparison,
+    /// Similarity reported by the match function.
+    pub similarity: f64,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// All matches in confirmation order.
+    pub matches: Vec<MatchEvent>,
+    /// Total comparisons executed.
+    pub comparisons: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Profiles ingested.
+    pub profiles: usize,
+}
+
+impl RuntimeReport {
+    /// Number of matches confirmed within `horizon` of the start — the
+    /// real-time analogue of early quality.
+    pub fn matches_within(&self, horizon: Duration) -> usize {
+        self.matches.iter().filter(|m| m.at <= horizon).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::ProfileId;
+
+    #[test]
+    fn matches_within_filters_by_time() {
+        let pair = Comparison::new(ProfileId(0), ProfileId(1));
+        let report = RuntimeReport {
+            matches: vec![
+                MatchEvent {
+                    at: Duration::from_millis(5),
+                    pair,
+                    similarity: 0.9,
+                },
+                MatchEvent {
+                    at: Duration::from_millis(50),
+                    pair: Comparison::new(ProfileId(2), ProfileId(3)),
+                    similarity: 0.8,
+                },
+            ],
+            comparisons: 10,
+            elapsed: Duration::from_millis(60),
+            profiles: 4,
+        };
+        assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
+        assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
+    }
+}

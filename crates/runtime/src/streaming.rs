@@ -1,0 +1,320 @@
+//! The threaded streaming pipeline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+
+use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_core::{AdaptiveK, ComparisonEmitter};
+use pier_matching::{MatchFunction, MatchInput};
+use pier_types::{EntityProfile, ErKind, Tokenizer};
+
+use crate::report::{MatchEvent, RuntimeReport};
+
+/// Configuration of a real-time run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Time between consecutive increments at the source.
+    pub interarrival: Duration,
+    /// Block purging for the shared blocker.
+    pub purge_policy: PurgePolicy,
+    /// Initial / minimal / maximal adaptive `K`.
+    pub k: (usize, usize, usize),
+    /// Safety cap on total comparisons (the pipeline stops afterwards).
+    pub max_comparisons: u64,
+    /// Hard wall-clock deadline; the pipeline winds down when it passes.
+    pub deadline: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            interarrival: Duration::from_millis(10),
+            purge_policy: PurgePolicy::default(),
+            k: (64, 4, 65_536),
+            max_comparisons: 10_000_000,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Runs `emitter` + `matcher` over `increments` replayed in real time.
+///
+/// Blocks the calling thread until the run completes (stream fully
+/// consumed and emitter drained) or the deadline/comparison cap is hit,
+/// and returns the report. Matches are also delivered incrementally
+/// through `on_match` as they are confirmed.
+pub fn run_streaming(
+    kind: ErKind,
+    increments: Vec<Vec<EntityProfile>>,
+    mut emitter: Box<dyn ComparisonEmitter + Send>,
+    matcher: Arc<dyn MatchFunction>,
+    config: RuntimeConfig,
+    mut on_match: impl FnMut(MatchEvent),
+) -> RuntimeReport {
+    let start = Instant::now();
+    let total_profiles: usize = increments.iter().map(Vec::len).sum();
+    let blocker = Arc::new(RwLock::new(IncrementalBlocker::with_config(
+        kind,
+        Tokenizer::default(),
+        config.purge_policy,
+    )));
+    let (inc_tx, inc_rx) = channel::bounded::<Vec<EntityProfile>>(1024);
+    let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
+    let ingest_done = Arc::new(AtomicBool::new(false));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let executed_total = Arc::new(AtomicU64::new(0));
+    let adaptive = Arc::new(Mutex::new(AdaptiveK::new(
+        config.k.0,
+        config.k.1,
+        config.k.2,
+    )));
+
+    // Source: replay increments at the configured rate.
+    let source = {
+        let interarrival = config.interarrival;
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for (i, inc) in increments.into_iter().enumerate() {
+                if i > 0 {
+                    std::thread::sleep(interarrival);
+                }
+                if shutdown.load(Ordering::SeqCst) || inc_tx.send(inc).is_err() {
+                    break; // pipeline shut down early
+                }
+            }
+            // Dropping inc_tx closes the stream.
+        })
+    };
+
+    // The emitter is owned by a dedicated mutex shared by stages A and B.
+    let emitter_slot: Arc<Mutex<&mut (dyn ComparisonEmitter + Send)>> =
+        Arc::new(Mutex::new(emitter.as_mut()));
+
+    let mut matches: Vec<MatchEvent> = Vec::new();
+
+    std::thread::scope(|scope| {
+        // Stage A: blocking + prioritizer update.
+        {
+            let blocker = Arc::clone(&blocker);
+            let emitter_slot = Arc::clone(&emitter_slot);
+            let ingest_done = Arc::clone(&ingest_done);
+            let adaptive = Arc::clone(&adaptive);
+            scope.spawn(move || {
+                for inc in inc_rx.iter() {
+                    adaptive
+                        .lock()
+                        .record_arrival(start.elapsed().as_secs_f64());
+                    let mut blocker = blocker.write();
+                    let ids = blocker.process_increment(&inc);
+                    let mut emitter = emitter_slot.lock();
+                    emitter.on_increment(&blocker, &ids);
+                    let _ = emitter.drain_ops();
+                }
+                ingest_done.store(true, Ordering::SeqCst);
+            });
+        }
+
+        // Stage B: pull batches, classify, emit match events.
+        {
+            let blocker = Arc::clone(&blocker);
+            let emitter_slot = Arc::clone(&emitter_slot);
+            let ingest_done = Arc::clone(&ingest_done);
+            let adaptive = Arc::clone(&adaptive);
+            let matcher = Arc::clone(&matcher);
+            let shutdown = Arc::clone(&shutdown);
+            let executed_total = Arc::clone(&executed_total);
+            let max_comparisons = config.max_comparisons;
+            let deadline = config.deadline;
+            scope.spawn(move || {
+                let mut executed = 0u64;
+                loop {
+                    if start.elapsed() >= deadline || executed >= max_comparisons {
+                        break;
+                    }
+                    let k = adaptive.lock().k();
+                    // Pull under locks, then materialize the pairs so
+                    // classification runs lock-free.
+                    let batch: Vec<(EntityProfile, Vec<_>, EntityProfile, Vec<_>)> = {
+                        let blocker = blocker.read();
+                        let mut emitter = emitter_slot.lock();
+                        let cmps = emitter.next_batch(&blocker, k);
+                        let _ = emitter.drain_ops();
+                        cmps.into_iter()
+                            .map(|c| {
+                                (
+                                    blocker.profile(c.a).clone(),
+                                    blocker.tokens_of(c.a).to_vec(),
+                                    blocker.profile(c.b).clone(),
+                                    blocker.tokens_of(c.b).to_vec(),
+                                )
+                            })
+                            .collect()
+                    };
+                    if batch.is_empty() {
+                        // Idle tick (the empty increment of §3.2): lets the
+                        // GetComparisons fallback generate work from older
+                        // data while the input is quiet.
+                        let tick_made_work = {
+                            let blocker = blocker.read();
+                            let mut emitter = emitter_slot.lock();
+                            emitter.on_increment(&blocker, &[]);
+                            emitter.drain_ops() > 0 || emitter.has_pending()
+                        };
+                        if !tick_made_work && ingest_done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if !tick_made_work {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        continue;
+                    }
+                    let t0 = start.elapsed().as_secs_f64();
+                    for (pa, ta, pb, tb) in &batch {
+                        let outcome = matcher.evaluate(MatchInput {
+                            profile_a: pa,
+                            tokens_a: ta,
+                            profile_b: pb,
+                            tokens_b: tb,
+                        });
+                        executed += 1;
+                        if outcome.is_match {
+                            let _ = match_tx.send(MatchEvent {
+                                at: start.elapsed(),
+                                pair: pier_types::Comparison::new(pa.id, pb.id),
+                                similarity: outcome.similarity,
+                            });
+                        }
+                        if executed >= max_comparisons || start.elapsed() >= deadline {
+                            break;
+                        }
+                    }
+                    adaptive
+                        .lock()
+                        .record_batch(start.elapsed().as_secs_f64() - t0);
+                }
+                executed_total.store(executed, Ordering::SeqCst);
+                // Stop the source (if still replaying) and let the
+                // collector finish by closing the match channel.
+                shutdown.store(true, Ordering::SeqCst);
+                drop(match_tx);
+            });
+        }
+
+        // Collector (this thread): stream match events to the caller.
+        for event in match_rx.iter() {
+            on_match(event);
+            matches.push(event);
+        }
+    });
+
+    let comparisons = executed_total.load(Ordering::SeqCst);
+    source.join().expect("source thread never panics");
+
+    RuntimeReport {
+        matches,
+        comparisons,
+        elapsed: start.elapsed(),
+        profiles: total_profiles,
+    }
+}
+
+use std::sync::atomic::AtomicU64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_core::{Ipes, PierConfig};
+    use pier_matching::JaccardMatcher;
+    use pier_types::{ProfileId, SourceId};
+
+    fn increments() -> Vec<Vec<EntityProfile>> {
+        vec![
+            vec![
+                EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha beta gamma"),
+                EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "alpha beta gamma"),
+            ],
+            vec![
+                EntityProfile::new(ProfileId(2), SourceId(0)).with("t", "delta epsilon"),
+                EntityProfile::new(ProfileId(3), SourceId(0)).with("t", "delta epsilon"),
+            ],
+        ]
+    }
+
+    #[test]
+    fn pipeline_finds_matches_in_real_time() {
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(5),
+            deadline: Duration::from_secs(10),
+            ..RuntimeConfig::default()
+        };
+        let mut streamed = 0;
+        let report = run_streaming(
+            ErKind::Dirty,
+            increments(),
+            emitter,
+            matcher,
+            config,
+            |_| streamed += 1,
+        );
+        assert_eq!(report.matches.len(), 2);
+        assert_eq!(streamed, 2);
+        assert_eq!(report.profiles, 4);
+        assert!(report.comparisons >= 2);
+        // Timestamps are non-decreasing and within the run.
+        assert!(report
+            .matches
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at));
+        assert!(report.matches.iter().all(|m| m.at <= report.elapsed));
+    }
+
+    #[test]
+    fn second_increment_match_arrives_after_first() {
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(30),
+            deadline: Duration::from_secs(10),
+            ..RuntimeConfig::default()
+        };
+        let report =
+            run_streaming(ErKind::Dirty, increments(), emitter, matcher, config, |_| {});
+        let find = |a: u32, b: u32| {
+            report
+                .matches
+                .iter()
+                .find(|m| m.pair == pier_types::Comparison::new(ProfileId(a), ProfileId(b)))
+                .map(|m| m.at)
+                .expect("match found")
+        };
+        // The pair from the delayed increment cannot precede its arrival.
+        assert!(find(2, 3) >= Duration::from_millis(30));
+        assert!(find(2, 3) > find(0, 1));
+    }
+
+    #[test]
+    fn deadline_stops_the_pipeline() {
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(200),
+            deadline: Duration::from_millis(50),
+            ..RuntimeConfig::default()
+        };
+        // 100 increments at 200ms each would take 20s; the deadline cuts in.
+        let many: Vec<Vec<EntityProfile>> = (0..100u32)
+            .map(|i| {
+                vec![EntityProfile::new(ProfileId(i), SourceId(0))
+                    .with("t", format!("tok{i} tok{}", i / 2))]
+            })
+            .collect();
+        let report = run_streaming(ErKind::Dirty, many, emitter, matcher, config, |_| {});
+        assert!(report.elapsed < Duration::from_secs(25));
+    }
+}

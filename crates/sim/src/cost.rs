@@ -1,0 +1,70 @@
+//! Conversion between abstract work (ops) and virtual seconds.
+
+use pier_types::EntityProfile;
+
+/// Calibration of the two pipeline resources.
+///
+/// Defaults approximate a single modern core: ~10 M elementary operations
+/// per second on either stage. What matters for reproducing the paper is
+/// not the absolute constants but their *ratios* across configurations —
+/// an ED comparison on long dbpedia-like values costs thousands of times a
+/// JS comparison, and blocking is never the bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Throughput of stage A (reading, blocking, prioritization), ops/sec.
+    pub stage_a_ops_per_sec: f64,
+    /// Throughput of stage B (the matcher), ops/sec.
+    pub matcher_ops_per_sec: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            stage_a_ops_per_sec: 10_000_000.0,
+            matcher_ops_per_sec: 10_000_000.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Virtual seconds for `ops` on stage A.
+    #[inline]
+    pub fn stage_a_secs(&self, ops: u64) -> f64 {
+        ops as f64 / self.stage_a_ops_per_sec
+    }
+
+    /// Virtual seconds for `ops` on stage B.
+    #[inline]
+    pub fn matcher_secs(&self, ops: u64) -> f64 {
+        ops as f64 / self.matcher_ops_per_sec
+    }
+
+    /// Blocking cost of ingesting one profile: linear in its text size
+    /// (tokenization dominates; hash inserts are amortized O(1) per token).
+    #[inline]
+    pub fn blocking_ops(profile: &EntityProfile) -> u64 {
+        profile.value_len() as u64 + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{ProfileId, SourceId};
+
+    #[test]
+    fn conversions_are_linear() {
+        let c = CostModel::default();
+        assert!((c.stage_a_secs(10_000_000) - 1.0).abs() < 1e-9);
+        assert!((c.matcher_secs(5_000_000) - 0.5).abs() < 1e-9);
+        assert_eq!(c.stage_a_secs(0), 0.0);
+    }
+
+    #[test]
+    fn blocking_ops_scale_with_text() {
+        let small = EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "ab");
+        let large =
+            EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "x".repeat(500));
+        assert!(CostModel::blocking_ops(&large) > CostModel::blocking_ops(&small) * 10);
+    }
+}

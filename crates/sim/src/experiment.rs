@@ -1,0 +1,366 @@
+//! Experiment-level helpers: method factory, stream plans, high-level runs.
+
+use pier_baselines::{BatchEr, GsPsn, IBase, LsPsn, Pbs, Pps, PpsScope};
+use pier_core::{ComparisonEmitter, Ipbs, Ipcs, Ipes, PierConfig};
+use pier_matching::MatchFunction;
+use pier_types::{Dataset, EntityProfile};
+
+use crate::pipeline::{PipelineSim, SimConfig, SimOutcome};
+
+/// Every algorithm the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Plain batch ER (`F_batch`).
+    Batch,
+    /// PBS [36]; per-increment driving makes it PBS-GLOBAL.
+    Pbs,
+    /// PPS [36] over all data (PPS-GLOBAL in incremental settings).
+    PpsGlobal,
+    /// PPS over the last increment only (PPS-LOCAL).
+    PpsLocal,
+    /// The incremental baseline I-BASE [17].
+    IBase,
+    /// PIER, comparison-centric (Algorithm 2).
+    IPcs,
+    /// PIER, block-centric (Algorithm 3).
+    IPbs,
+    /// PIER, entity-centric (Algorithm 4).
+    IPes,
+    /// LS-PSN [36], an extra progressive baseline (sorted neighborhood).
+    LsPsn,
+    /// GS-PSN [36], the globally-weighted sorted-neighborhood variant.
+    GsPsn,
+}
+
+impl Method {
+    /// Instantiates the emitter.
+    pub fn build(self, config: PierConfig) -> Box<dyn ComparisonEmitter> {
+        match self {
+            Method::Batch => Box::new(BatchEr::new()),
+            Method::Pbs => Box::new(Pbs::new()),
+            Method::PpsGlobal => Box::new(Pps::new(PpsScope::Global)),
+            Method::PpsLocal => Box::new(Pps::new(PpsScope::Local)),
+            Method::IBase => Box::new(IBase::new(config)),
+            Method::IPcs => Box::new(Ipcs::new(config)),
+            Method::IPbs => Box::new(Ipbs::new(config)),
+            Method::IPes => Box::new(Ipes::new(config)),
+            Method::LsPsn => Box::new(LsPsn::new()),
+            Method::GsPsn => Box::new(GsPsn::new()),
+        }
+    }
+
+    /// Stable display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Batch => "BATCH",
+            Method::Pbs => "PBS",
+            // The emitter is the same object in batch and GLOBAL driving;
+            // benches add the "-GLOBAL" suffix contextually.
+            Method::PpsGlobal => "PPS",
+            Method::PpsLocal => "PPS-LOCAL",
+            Method::IBase => "I-BASE",
+            Method::IPcs => "I-PCS",
+            Method::IPbs => "I-PBS",
+            Method::IPes => "I-PES",
+            Method::LsPsn => "LS-PSN",
+            Method::GsPsn => "GS-PSN",
+        }
+    }
+
+    /// The three PIER strategies.
+    pub fn pier() -> [Method; 3] {
+        [Method::IPcs, Method::IPbs, Method::IPes]
+    }
+}
+
+/// The temporal shape of a stream ("increments stream in at a possibly
+/// varying rate", §1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Constant interarrival time `1/rate` (the paper's experiments).
+    Uniform,
+    /// Poisson arrivals: exponentially distributed interarrivals with the
+    /// given mean rate, deterministic in the seed.
+    Poisson {
+        /// RNG seed; equal seeds produce identical schedules.
+        seed: u64,
+    },
+    /// Bursts of `burst_len` increments arriving together, with quiet gaps
+    /// sized so the long-run average rate is preserved.
+    Bursty {
+        /// Increments per burst.
+        burst_len: usize,
+    },
+}
+
+/// How a dataset is turned into a stream of increments.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamPlan {
+    /// Number of equi-sized increments.
+    pub n_increments: usize,
+    /// Increments per second (long-run average); `None` means all
+    /// increments are available at t = 0 (the *static* setting of §7.2,
+    /// where incremental methods still process increment by increment but
+    /// never wait).
+    pub rate: Option<f64>,
+    /// Temporal shape of the arrivals.
+    pub pattern: ArrivalPattern,
+}
+
+impl StreamPlan {
+    /// A static (all-at-once) plan with `n` increments.
+    pub fn static_data(n: usize) -> Self {
+        StreamPlan {
+            n_increments: n,
+            rate: None,
+            pattern: ArrivalPattern::Uniform,
+        }
+    }
+
+    /// A streaming plan: `n` increments at `rate` ΔD/s, uniform spacing.
+    pub fn streaming(n: usize, rate: f64) -> Self {
+        Self::streaming_with(n, rate, ArrivalPattern::Uniform)
+    }
+
+    /// A streaming plan with an explicit arrival pattern.
+    pub fn streaming_with(n: usize, rate: f64, pattern: ArrivalPattern) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        if let ArrivalPattern::Bursty { burst_len } = pattern {
+            assert!(burst_len >= 1, "burst length must be at least 1");
+        }
+        StreamPlan {
+            n_increments: n,
+            rate: Some(rate),
+            pattern,
+        }
+    }
+}
+
+/// SplitMix64 step, used for dependency-free deterministic sampling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Arrival times for `n` increments at long-run `rate` under `pattern`.
+/// Times are non-decreasing and start at 0.
+pub fn arrival_times(n: usize, rate: f64, pattern: ArrivalPattern) -> Vec<f64> {
+    match pattern {
+        ArrivalPattern::Uniform => (0..n).map(|i| i as f64 / rate).collect(),
+        ArrivalPattern::Poisson { seed } => {
+            let mut state = seed ^ 0xa2c2_8e4b_f3a1_d5e7;
+            let mut t = 0.0;
+            (0..n)
+                .map(|i| {
+                    if i > 0 {
+                        // Inverse-CDF exponential sample in (0, 1].
+                        let u = ((splitmix64(&mut state) >> 11) as f64 + 1.0)
+                            / (1u64 << 53) as f64;
+                        t += -u.ln() / rate;
+                    }
+                    t
+                })
+                .collect()
+        }
+        ArrivalPattern::Bursty { burst_len } => (0..n)
+            .map(|i| (i / burst_len) as f64 * burst_len as f64 / rate)
+            .collect(),
+    }
+}
+
+/// Builds the `(arrival time, profiles)` schedule for a dataset under a
+/// plan (all times 0 for static plans).
+pub fn arrival_schedule(
+    dataset: &Dataset,
+    plan: &StreamPlan,
+) -> Vec<(f64, Vec<EntityProfile>)> {
+    let increments = dataset
+        .into_increments(plan.n_increments)
+        .expect("valid increment count");
+    let times = match plan.rate {
+        Some(rate) => arrival_times(plan.n_increments, rate, plan.pattern),
+        None => vec![0.0; plan.n_increments],
+    };
+    times
+        .into_iter()
+        .zip(increments)
+        .map(|(t, inc)| (t, inc.profiles))
+        .collect()
+}
+
+/// Runs one method over one dataset under a stream plan — the unit of every
+/// figure bench.
+pub fn run_method(
+    method: Method,
+    dataset: &Dataset,
+    plan: &StreamPlan,
+    matcher: &dyn MatchFunction,
+    sim_config: &SimConfig,
+    pier_config: PierConfig,
+) -> SimOutcome {
+    let arrivals = arrival_schedule(dataset, plan);
+    let mut emitter = method.build(pier_config);
+    let mut sim = PipelineSim::new(emitter.as_mut(), matcher, sim_config.clone());
+    sim.run(dataset.kind, &arrivals, &dataset.ground_truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_datagen::{generate_movies, MoviesConfig};
+    use pier_matching::JaccardMatcher;
+
+    fn tiny_movies() -> Dataset {
+        generate_movies(&MoviesConfig {
+            seed: 5,
+            source0_size: 120,
+            source1_size: 100,
+            matches: 90,
+        })
+    }
+
+    #[test]
+    fn schedule_respects_rate() {
+        let d = tiny_movies();
+        let sched = arrival_schedule(&d, &StreamPlan::streaming(10, 2.0));
+        assert_eq!(sched.len(), 10);
+        assert!((sched[1].0 - 0.5).abs() < 1e-12);
+        assert!((sched[9].0 - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_with_right_mean() {
+        let a = arrival_times(2000, 5.0, ArrivalPattern::Poisson { seed: 9 });
+        let b = arrival_times(2000, 5.0, ArrivalPattern::Poisson { seed: 9 });
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        assert_eq!(a[0], 0.0);
+        // Mean interarrival ~ 1/rate = 0.2s (law of large numbers).
+        let mean = a.last().unwrap() / (a.len() - 1) as f64;
+        assert!((mean - 0.2).abs() < 0.02, "mean interarrival {mean}");
+        // Different seeds differ.
+        let c = arrival_times(2000, 5.0, ArrivalPattern::Poisson { seed: 10 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bursty_schedule_groups_and_preserves_rate() {
+        let t = arrival_times(12, 2.0, ArrivalPattern::Bursty { burst_len: 4 });
+        // Bursts of 4 at t = 0, 2, 4 (4 increments / 2 per second = 2s gap).
+        assert_eq!(&t[..4], &[0.0; 4]);
+        assert_eq!(&t[4..8], &[2.0; 4]);
+        assert_eq!(&t[8..], &[4.0; 4]);
+    }
+
+    #[test]
+    fn bursty_streams_still_resolve() {
+        let d = tiny_movies();
+        let matcher = JaccardMatcher::default();
+        let cfg = SimConfig {
+            time_budget: 120.0,
+            ..SimConfig::default()
+        };
+        let plan = StreamPlan::streaming_with(20, 4.0, ArrivalPattern::Bursty { burst_len: 5 });
+        let out = run_method(Method::IPes, &d, &plan, &matcher, &cfg, PierConfig::default());
+        assert!(out.pc() > 0.9, "pc = {}", out.pc());
+    }
+
+    #[test]
+    fn static_schedule_is_all_at_zero() {
+        let d = tiny_movies();
+        let sched = arrival_schedule(&d, &StreamPlan::static_data(5));
+        assert!(sched.iter().all(|(t, _)| *t == 0.0));
+    }
+
+    #[test]
+    fn every_method_builds_and_runs() {
+        let d = tiny_movies();
+        let matcher = JaccardMatcher::default();
+        let cfg = SimConfig {
+            time_budget: 60.0,
+            ..SimConfig::default()
+        };
+        for method in [
+            Method::Batch,
+            Method::Pbs,
+            Method::PpsGlobal,
+            Method::PpsLocal,
+            Method::IBase,
+            Method::IPcs,
+            Method::IPbs,
+            Method::IPes,
+        ] {
+            let out = run_method(
+                method,
+                &d,
+                &StreamPlan::static_data(4),
+                &matcher,
+                &cfg,
+                PierConfig::default(),
+            );
+            assert_eq!(out.name, method.name());
+            assert!(out.comparisons > 0, "{} executed nothing", method.name());
+        }
+    }
+
+    #[test]
+    fn pier_methods_find_most_matches_on_tiny_data() {
+        let d = tiny_movies();
+        let matcher = JaccardMatcher::default();
+        let cfg = SimConfig {
+            time_budget: 120.0,
+            ..SimConfig::default()
+        };
+        for method in Method::pier() {
+            let out = run_method(
+                method,
+                &d,
+                &StreamPlan::static_data(4),
+                &matcher,
+                &cfg,
+                PierConfig::default(),
+            );
+            assert!(
+                out.pc() > 0.5,
+                "{} reached only PC={}",
+                method.name(),
+                out.pc()
+            );
+        }
+    }
+
+    #[test]
+    fn pps_local_misses_matches_on_streams() {
+        let d = tiny_movies();
+        let matcher = JaccardMatcher::default();
+        let cfg = SimConfig {
+            time_budget: 120.0,
+            ..SimConfig::default()
+        };
+        let local = run_method(
+            Method::PpsLocal,
+            &d,
+            &StreamPlan::static_data(20),
+            &matcher,
+            &cfg,
+            PierConfig::default(),
+        );
+        let ipes = run_method(
+            Method::IPes,
+            &d,
+            &StreamPlan::static_data(20),
+            &matcher,
+            &cfg,
+            PierConfig::default(),
+        );
+        assert!(
+            local.pc() < ipes.pc(),
+            "LOCAL {} should trail I-PES {}",
+            local.pc(),
+            ipes.pc()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Discrete-event simulation of the PIER streaming pipeline.
+//!
+//! The paper's pipeline (Figure 3) runs as an Akka Streams graph on a
+//! 16-core server; its experiments measure pair completeness over wall-clock
+//! time under varying stream rates. This crate reproduces those dynamics on
+//! a *virtual clock* so experiments are deterministic, machine-independent
+//! and laptop-fast:
+//!
+//! * two pipeline **resources** are modeled — stage A (data reading +
+//!   incremental blocking + prioritizer update) and stage B (the matcher) —
+//!   that run concurrently, with increments queueing in front of stage A
+//!   exactly like a tandem queue;
+//! * every component reports its work in abstract **ops**; the
+//!   [`cost::CostModel`] converts ops to virtual seconds (JS comparisons
+//!   are linear in token counts, ED comparisons quadratic in value lengths,
+//!   so the cheap/expensive matcher configurations of §7.1 emerge from the
+//!   data itself);
+//! * pair completeness is credited at the virtual instant the comparison
+//!   *finishes* on stage B, yielding the PC-over-time and
+//!   PC-over-comparisons trajectories of Figures 2 and 4–8.
+//!
+//! See DESIGN.md §2 for why this substitution preserves the paper's
+//! claims, and [`pier_runtime`](https://docs.rs/pier-runtime) for the real
+//! multi-threaded runtime over the same components.
+//!
+//! One deliberate simplification: a stage's state mutation is applied when
+//! the stage *starts* an item rather than when it finishes (the service
+//! time is still charged in full). This lets the simulator avoid deferred-
+//! effect buffers; the distortion is at most one increment's service time
+//! and does not affect any cross-method comparison.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod experiment;
+pub mod pipeline;
+
+pub use cost::CostModel;
+pub use experiment::{arrival_schedule, arrival_times, ArrivalPattern, Method, StreamPlan};
+pub use pipeline::{MatcherMode, PipelineSim, SimConfig, SimOutcome};

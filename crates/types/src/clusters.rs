@@ -1,0 +1,229 @@
+//! Incremental entity clustering over the match stream.
+//!
+//! ER's final output is usually not a pair list but *entity clusters*: the
+//! transitive closure of the discovered matches. In the incremental
+//! setting matches arrive one by one, so the closure must be maintained
+//! online; this module provides a union-find (disjoint-set) structure with
+//! path halving and union by size — amortized near-O(1) per match — that
+//! downstream applications (the paper's anti-fraud and construction
+//! examples) can query at any moment.
+
+use std::collections::HashMap;
+
+use crate::comparison::Comparison;
+use crate::profile::ProfileId;
+
+/// Incrementally maintained entity clusters (disjoint sets of profiles).
+///
+/// ```
+/// use pier_types::{Comparison, IncrementalClusters, ProfileId};
+/// let mut clusters = IncrementalClusters::new();
+/// clusters.add_match(Comparison::new(ProfileId(1), ProfileId(2)));
+/// clusters.add_match(Comparison::new(ProfileId(2), ProfileId(3)));
+/// assert!(clusters.same_entity(ProfileId(1), ProfileId(3)));
+/// assert_eq!(clusters.cluster_size(ProfileId(1)), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalClusters {
+    /// parent[i] = parent slot of profile i; usize::MAX = unregistered.
+    parent: Vec<u32>,
+    /// size[i] = cluster size if i is a root.
+    size: Vec<u32>,
+    registered: usize,
+    merges: usize,
+}
+
+const UNSET: u32 = u32::MAX;
+
+impl IncrementalClusters {
+    /// Creates an empty clustering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, p: ProfileId) {
+        let i = p.index();
+        if self.parent.len() <= i {
+            self.parent.resize(i + 1, UNSET);
+            self.size.resize(i + 1, 0);
+        }
+        if self.parent[i] == UNSET {
+            self.parent[i] = i as u32;
+            self.size[i] = 1;
+            self.registered += 1;
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        // Path halving.
+        while self.parent[i] as usize != i {
+            let grandparent = self.parent[self.parent[i] as usize];
+            self.parent[i] = grandparent;
+            i = grandparent as usize;
+        }
+        i
+    }
+
+    /// Records a confirmed match; returns `true` if it merged two clusters
+    /// (false if the profiles were already transitively linked).
+    pub fn add_match(&mut self, cmp: Comparison) -> bool {
+        self.ensure(cmp.a);
+        self.ensure(cmp.b);
+        let ra = self.find(cmp.a.index());
+        let rb = self.find(cmp.b.index());
+        if ra == rb {
+            return false;
+        }
+        // Union by size.
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.merges += 1;
+        true
+    }
+
+    /// The cluster representative of `p`, if `p` appeared in any match.
+    pub fn root_of(&mut self, p: ProfileId) -> Option<ProfileId> {
+        let i = p.index();
+        if i >= self.parent.len() || self.parent[i] == UNSET {
+            return None;
+        }
+        Some(ProfileId(self.find(i) as u32))
+    }
+
+    /// Whether two profiles are (transitively) the same entity.
+    pub fn same_entity(&mut self, a: ProfileId, b: ProfileId) -> bool {
+        match (self.root_of(a), self.root_of(b)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+
+    /// Size of `p`'s cluster (0 if unregistered).
+    pub fn cluster_size(&mut self, p: ProfileId) -> usize {
+        match self.root_of(p) {
+            Some(r) => self.size[r.index()] as usize,
+            None => 0,
+        }
+    }
+
+    /// Number of profiles that appeared in at least one match.
+    pub fn registered_profiles(&self) -> usize {
+        self.registered
+    }
+
+    /// Number of current clusters (registered profiles minus merges).
+    pub fn cluster_count(&self) -> usize {
+        self.registered - self.merges
+    }
+
+    /// Materializes all clusters with at least `min_size` members, each
+    /// sorted by profile id, ordered by (descending size, first member).
+    pub fn clusters(&mut self, min_size: usize) -> Vec<Vec<ProfileId>> {
+        let mut by_root: HashMap<usize, Vec<ProfileId>> = HashMap::new();
+        for i in 0..self.parent.len() {
+            if self.parent[i] == UNSET {
+                continue;
+            }
+            let root = self.find(i);
+            by_root.entry(root).or_default().push(ProfileId(i as u32));
+        }
+        let mut out: Vec<Vec<ProfileId>> = by_root
+            .into_values()
+            .filter(|c| c.len() >= min_size)
+            .collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(a: u32, b: u32) -> Comparison {
+        Comparison::new(ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn matches_merge_transitively() {
+        let mut cl = IncrementalClusters::new();
+        assert!(cl.add_match(c(1, 2)));
+        assert!(cl.add_match(c(2, 3)));
+        assert!(cl.same_entity(ProfileId(1), ProfileId(3)));
+        assert_eq!(cl.cluster_size(ProfileId(1)), 3);
+        assert_eq!(cl.cluster_count(), 1);
+    }
+
+    #[test]
+    fn redundant_match_does_not_merge() {
+        let mut cl = IncrementalClusters::new();
+        cl.add_match(c(1, 2));
+        cl.add_match(c(2, 3));
+        assert!(!cl.add_match(c(1, 3)), "already transitively linked");
+        assert_eq!(cl.cluster_count(), 1);
+    }
+
+    #[test]
+    fn unrelated_profiles_stay_apart() {
+        let mut cl = IncrementalClusters::new();
+        cl.add_match(c(1, 2));
+        cl.add_match(c(10, 11));
+        assert!(!cl.same_entity(ProfileId(1), ProfileId(10)));
+        assert_eq!(cl.cluster_count(), 2);
+        assert_eq!(cl.registered_profiles(), 4);
+    }
+
+    #[test]
+    fn unregistered_profiles_have_no_cluster() {
+        let mut cl = IncrementalClusters::new();
+        cl.add_match(c(1, 2));
+        assert_eq!(cl.root_of(ProfileId(99)), None);
+        assert_eq!(cl.cluster_size(ProfileId(99)), 0);
+        assert!(!cl.same_entity(ProfileId(1), ProfileId(99)));
+    }
+
+    #[test]
+    fn clusters_materialize_sorted() {
+        let mut cl = IncrementalClusters::new();
+        cl.add_match(c(5, 1));
+        cl.add_match(c(1, 9));
+        cl.add_match(c(20, 21));
+        let all = cl.clusters(1);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], vec![ProfileId(1), ProfileId(5), ProfileId(9)]);
+        assert_eq!(all[1], vec![ProfileId(20), ProfileId(21)]);
+        // min_size filter.
+        assert_eq!(cl.clusters(3).len(), 1);
+    }
+
+    #[test]
+    fn long_chains_stay_fast_and_correct() {
+        let mut cl = IncrementalClusters::new();
+        for i in 0..10_000u32 {
+            cl.add_match(c(i, i + 1));
+        }
+        assert_eq!(cl.cluster_size(ProfileId(0)), 10_001);
+        assert!(cl.same_entity(ProfileId(0), ProfileId(10_000)));
+        assert_eq!(cl.cluster_count(), 1);
+    }
+
+    #[test]
+    fn interleaved_merges_union_by_size() {
+        let mut cl = IncrementalClusters::new();
+        // Two clusters of different sizes, then a bridge.
+        cl.add_match(c(1, 2));
+        cl.add_match(c(2, 3)); // {1,2,3}
+        cl.add_match(c(10, 11)); // {10,11}
+        cl.add_match(c(3, 10));
+        assert_eq!(cl.cluster_size(ProfileId(11)), 5);
+        assert_eq!(cl.cluster_count(), 1);
+    }
+}

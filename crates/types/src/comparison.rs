@@ -1,0 +1,187 @@
+//! Canonical profile-pair comparisons.
+//!
+//! A *comparison* `c_{x,y}` is the unit of work of the matching step: the
+//! unordered pair of two profiles that some blocking/prioritization step
+//! decided are worth comparing. Pairs are canonicalized as
+//! `(min(id), max(id))` so that the same pair always hashes identically,
+//! which is what redundancy filters (hash sets, Bloom filters) rely on.
+
+use std::fmt;
+
+use crate::profile::ProfileId;
+
+/// An unordered, canonicalized pair of profile identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comparison {
+    /// The smaller profile id.
+    pub a: ProfileId,
+    /// The larger profile id.
+    pub b: ProfileId,
+}
+
+impl Comparison {
+    /// Builds the canonical comparison for two distinct profiles.
+    ///
+    /// # Panics
+    /// Panics if `x == y` — self-comparisons are never meaningful and always
+    /// indicate a bug in a generation step.
+    #[inline]
+    pub fn new(x: ProfileId, y: ProfileId) -> Self {
+        assert_ne!(x, y, "self-comparison {x} is not a valid comparison");
+        if x < y {
+            Comparison { a: x, b: y }
+        } else {
+            Comparison { a: y, b: x }
+        }
+    }
+
+    /// A stable 64-bit key packing both ids; used by Bloom filters and other
+    /// hashed structures.
+    #[inline]
+    pub fn key(self) -> u64 {
+        ((self.a.0 as u64) << 32) | self.b.0 as u64
+    }
+
+    /// Whether `p` participates in this comparison.
+    #[inline]
+    pub fn involves(self, p: ProfileId) -> bool {
+        self.a == p || self.b == p
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `p` is not an endpoint.
+    #[inline]
+    pub fn other(self, p: ProfileId) -> ProfileId {
+        if self.a == p {
+            self.b
+        } else {
+            assert_eq!(self.b, p, "{p} is not part of comparison {self}");
+            self.a
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.a, self.b)
+    }
+}
+
+/// A comparison annotated with a match-likelihood weight (e.g. a CBS
+/// meta-blocking weight).
+///
+/// Ordering is by weight, with the canonical pair as a deterministic
+/// tie-break (larger pair ids lose), so weighted comparisons can be placed
+/// directly into priority queues with total, reproducible order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedComparison {
+    /// The profile pair.
+    pub cmp: Comparison,
+    /// Match-likelihood weight; higher means more promising.
+    pub weight: f64,
+}
+
+impl WeightedComparison {
+    /// Creates a weighted comparison.
+    ///
+    /// # Panics
+    /// Panics if `weight` is NaN — NaN weights would poison ordering.
+    pub fn new(cmp: Comparison, weight: f64) -> Self {
+        assert!(!weight.is_nan(), "comparison weight must not be NaN");
+        WeightedComparison { cmp, weight }
+    }
+}
+
+impl Eq for WeightedComparison {}
+
+impl PartialOrd for WeightedComparison {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WeightedComparison {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Weights are non-NaN by construction.
+        self.weight
+            .partial_cmp(&other.weight)
+            .expect("non-NaN weights")
+            // Deterministic tie-break: smaller pair ids rank higher.
+            .then_with(|| other.cmp.cmp(&self.cmp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_canonicalized() {
+        let c1 = Comparison::new(ProfileId(5), ProfileId(2));
+        let c2 = Comparison::new(ProfileId(2), ProfileId(5));
+        assert_eq!(c1, c2);
+        assert_eq!(c1.a, ProfileId(2));
+        assert_eq!(c1.b, ProfileId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-comparison")]
+    fn self_comparison_panics() {
+        let _ = Comparison::new(ProfileId(3), ProfileId(3));
+    }
+
+    #[test]
+    fn key_is_injective_for_distinct_pairs() {
+        let c1 = Comparison::new(ProfileId(1), ProfileId(2));
+        let c2 = Comparison::new(ProfileId(2), ProfileId(1));
+        let c3 = Comparison::new(ProfileId(1), ProfileId(3));
+        assert_eq!(c1.key(), c2.key());
+        assert_ne!(c1.key(), c3.key());
+    }
+
+    #[test]
+    fn involves_and_other() {
+        let c = Comparison::new(ProfileId(1), ProfileId(9));
+        assert!(c.involves(ProfileId(1)));
+        assert!(c.involves(ProfileId(9)));
+        assert!(!c.involves(ProfileId(5)));
+        assert_eq!(c.other(ProfileId(1)), ProfileId(9));
+        assert_eq!(c.other(ProfileId(9)), ProfileId(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_panics_for_non_member() {
+        let c = Comparison::new(ProfileId(1), ProfileId(9));
+        let _ = c.other(ProfileId(2));
+    }
+
+    #[test]
+    fn weighted_comparisons_order_by_weight() {
+        let lo = WeightedComparison::new(Comparison::new(ProfileId(0), ProfileId(1)), 1.0);
+        let hi = WeightedComparison::new(Comparison::new(ProfileId(2), ProfileId(3)), 2.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn weighted_tie_break_is_deterministic() {
+        let a = WeightedComparison::new(Comparison::new(ProfileId(0), ProfileId(1)), 1.0);
+        let b = WeightedComparison::new(Comparison::new(ProfileId(0), ProfileId(2)), 1.0);
+        // Same weight: the lexicographically smaller pair ranks higher.
+        assert!(a > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_weight_panics() {
+        let _ = WeightedComparison::new(Comparison::new(ProfileId(0), ProfileId(1)), f64::NAN);
+    }
+
+    #[test]
+    fn display_formats_pair() {
+        let c = Comparison::new(ProfileId(3), ProfileId(1));
+        assert_eq!(c.to_string(), "(p1, p3)");
+    }
+}

@@ -1,0 +1,337 @@
+//! Minimal, dependency-free CSV support.
+//!
+//! Used to export generated datasets and experiment trajectories (the series
+//! behind each figure) and to re-import datasets, so experiments can be
+//! re-run on identical data. Implements the RFC-4180 subset: comma
+//! separation, `"` quoting, doubled quotes inside quoted fields, and
+//! embedded newlines inside quoted fields.
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::{Dataset, ErKind, GroundTruth};
+use crate::error::PierError;
+use crate::profile::{Attribute, EntityProfile, ProfileId, SourceId};
+
+/// Quotes a single CSV field if needed.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes one CSV record.
+pub fn write_record<W: Write>(w: &mut W, fields: &[&str]) -> std::io::Result<()> {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            w.write_all(b",")?;
+        }
+        w.write_all(escape_field(f).as_bytes())?;
+        first = false;
+    }
+    w.write_all(b"\n")
+}
+
+/// Streaming CSV record parser over any `BufRead`.
+///
+/// Yields records as `Vec<String>`; handles quoted fields spanning lines.
+pub struct CsvReader<R: BufRead> {
+    reader: R,
+    line: usize,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        CsvReader { reader, line: 0 }
+    }
+
+    /// Reads the next record, or `Ok(None)` at end of input.
+    pub fn next_record(&mut self) -> Result<Option<Vec<String>>, PierError> {
+        let mut raw = String::new();
+        let n = self.reader.read_line(&mut raw)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        // Keep reading while inside an unterminated quoted field.
+        while !quotes_balanced(&raw) {
+            let more = self.reader.read_line(&mut raw)?;
+            if more == 0 {
+                return Err(PierError::Csv {
+                    line: self.line,
+                    message: "unterminated quoted field at end of input".into(),
+                });
+            }
+            self.line += 1;
+        }
+        parse_record(&raw, self.line).map(Some)
+    }
+}
+
+fn quotes_balanced(s: &str) -> bool {
+    s.bytes().filter(|&b| b == b'"').count() % 2 == 0
+}
+
+fn parse_record(raw: &str, line: usize) -> Result<Vec<String>, PierError> {
+    let raw = raw.strip_suffix('\n').unwrap_or(raw);
+    let raw = raw.strip_suffix('\r').unwrap_or(raw);
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = raw.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() && !in_quotes => in_quotes = true,
+            '"' => {
+                return Err(PierError::Csv {
+                    line,
+                    message: "quote inside unquoted field".into(),
+                });
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(PierError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Writes a dataset's profiles in "long" form: one row per attribute with
+/// header `profile_id,source,attribute,value`.
+pub fn write_profiles<W: Write>(w: &mut W, dataset: &Dataset) -> std::io::Result<()> {
+    write_record(w, &["profile_id", "source", "attribute", "value"])?;
+    for p in &dataset.profiles {
+        let id = p.id.0.to_string();
+        let src = p.source.0.to_string();
+        for a in &p.attributes {
+            write_record(w, &[&id, &src, &a.name, &a.value])?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the ground truth with header `left,right`.
+pub fn write_ground_truth<W: Write>(w: &mut W, gt: &GroundTruth) -> std::io::Result<()> {
+    write_record(w, &["left", "right"])?;
+    let mut pairs: Vec<_> = gt.iter().collect();
+    pairs.sort_unstable();
+    for c in pairs {
+        write_record(w, &[&c.a.0.to_string(), &c.b.0.to_string()])?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset previously written with [`write_profiles`] and
+/// [`write_ground_truth`].
+pub fn read_dataset<R1: BufRead, R2: BufRead>(
+    name: &str,
+    kind: ErKind,
+    profiles_csv: R1,
+    ground_truth_csv: R2,
+) -> Result<Dataset, PierError> {
+    let mut reader = CsvReader::new(profiles_csv);
+    let header = reader.next_record()?.ok_or_else(|| PierError::Csv {
+        line: 0,
+        message: "missing profiles header".into(),
+    })?;
+    if header != ["profile_id", "source", "attribute", "value"] {
+        return Err(PierError::Csv {
+            line: 1,
+            message: format!("unexpected profiles header {header:?}"),
+        });
+    }
+    let mut profiles: Vec<EntityProfile> = Vec::new();
+    while let Some(rec) = reader.next_record()? {
+        if rec.len() != 4 {
+            return Err(PierError::Csv {
+                line: 0,
+                message: format!("expected 4 fields, got {}", rec.len()),
+            });
+        }
+        let id: u32 = rec[0].parse().map_err(|_| PierError::Csv {
+            line: 0,
+            message: format!("bad profile id {:?}", rec[0]),
+        })?;
+        let source: u8 = rec[1].parse().map_err(|_| PierError::Csv {
+            line: 0,
+            message: format!("bad source id {:?}", rec[1]),
+        })?;
+        if profiles.len() <= id as usize {
+            while profiles.len() <= id as usize {
+                let next = ProfileId(profiles.len() as u32);
+                profiles.push(EntityProfile::new(next, SourceId(source)));
+            }
+        }
+        let p = &mut profiles[id as usize];
+        p.source = SourceId(source);
+        p.attributes.push(Attribute::new(rec[2].clone(), rec[3].clone()));
+    }
+
+    let mut gt_reader = CsvReader::new(ground_truth_csv);
+    let gt_header = gt_reader.next_record()?.ok_or_else(|| PierError::Csv {
+        line: 0,
+        message: "missing ground-truth header".into(),
+    })?;
+    if gt_header != ["left", "right"] {
+        return Err(PierError::Csv {
+            line: 1,
+            message: format!("unexpected ground-truth header {gt_header:?}"),
+        });
+    }
+    let mut gt = GroundTruth::new();
+    while let Some(rec) = gt_reader.next_record()? {
+        let l: u32 = rec[0].parse().map_err(|_| PierError::Csv {
+            line: 0,
+            message: format!("bad id {:?}", rec[0]),
+        })?;
+        let r: u32 = rec[1].parse().map_err(|_| PierError::Csv {
+            line: 0,
+            message: format!("bad id {:?}", rec[1]),
+        })?;
+        gt.insert(ProfileId(l), ProfileId(r));
+    }
+    Dataset::new(name, kind, profiles, gt)
+}
+
+/// Writes a `(x, pc)` series with a caller-chosen x-axis name.
+pub fn write_series<W: Write>(
+    w: &mut W,
+    x_name: &str,
+    rows: &[(f64, f64)],
+) -> std::io::Result<()> {
+    write_record(w, &[x_name, "pc"])?;
+    for (x, pc) in rows {
+        write_record(w, &[&format!("{x}"), &format!("{pc}")])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn escape_plain_field_is_identity() {
+        assert_eq!(escape_field("hello"), "hello");
+    }
+
+    #[test]
+    fn escape_quotes_commas_and_newlines() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn roundtrip_record() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &["a", "b,c", "d\"e", "f\ng"]).unwrap();
+        let mut r = CsvReader::new(BufReader::new(&buf[..]));
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec, vec!["a", "b,c", "d\"e", "f\ng"]);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_empty_fields() {
+        let data = b"a,,c\n";
+        let mut r = CsvReader::new(BufReader::new(&data[..]));
+        assert_eq!(r.next_record().unwrap().unwrap(), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let data = b"\"abc\n";
+        let mut r = CsvReader::new(BufReader::new(&data[..]));
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn crlf_records_parse() {
+        let data = b"x,y\r\n1,2\r\n";
+        let mut r = CsvReader::new(BufReader::new(&data[..]));
+        assert_eq!(r.next_record().unwrap().unwrap(), vec!["x", "y"]);
+        assert_eq!(r.next_record().unwrap().unwrap(), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let profiles = vec![
+            EntityProfile::new(ProfileId(0), SourceId(0))
+                .with("title", "Heat, the movie")
+                .with("year", "1995"),
+            EntityProfile::new(ProfileId(1), SourceId(1)).with("name", "Heat \"95\""),
+        ];
+        let gt = GroundTruth::from_pairs([(ProfileId(0), ProfileId(1))]);
+        let d = Dataset::new("rt", ErKind::CleanClean, profiles, gt).unwrap();
+
+        let mut pbuf = Vec::new();
+        let mut gbuf = Vec::new();
+        write_profiles(&mut pbuf, &d).unwrap();
+        write_ground_truth(&mut gbuf, &d.ground_truth).unwrap();
+
+        let d2 = read_dataset(
+            "rt",
+            ErKind::CleanClean,
+            BufReader::new(&pbuf[..]),
+            BufReader::new(&gbuf[..]),
+        )
+        .unwrap();
+        assert_eq!(d2.len(), 2);
+        assert_eq!(d2.profiles, d.profiles);
+        assert_eq!(d2.ground_truth.len(), 1);
+    }
+
+    #[test]
+    fn read_rejects_bad_header() {
+        let p = b"wrong,header\n";
+        let g = b"left,right\n";
+        let res = read_dataset(
+            "x",
+            ErKind::Dirty,
+            BufReader::new(&p[..]),
+            BufReader::new(&g[..]),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn write_series_emits_header_and_rows() {
+        let mut buf = Vec::new();
+        write_series(&mut buf, "time", &[(0.0, 0.0), (1.5, 0.25)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time,pc");
+        assert_eq!(lines[1], "0,0");
+        assert_eq!(lines[2], "1.5,0.25");
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared error type for the PIER workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the PIER library crates.
+///
+/// The library is largely infallible at runtime (all inputs are in-memory
+/// and validated on construction), so this enum stays small: configuration
+/// mistakes, I/O around CSV import/export, and malformed CSV input.
+#[derive(Debug)]
+pub enum PierError {
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// An underlying I/O operation failed (CSV import/export).
+    Io(std::io::Error),
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A profile identifier referenced an unknown profile.
+    UnknownProfile(u32),
+}
+
+impl fmt::Display for PierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PierError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            PierError::Io(e) => write!(f, "I/O error: {e}"),
+            PierError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            PierError::UnknownProfile(id) => write!(f, "unknown profile id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for PierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PierError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PierError {
+    fn from(e: std::io::Error) -> Self {
+        PierError::Io(e)
+    }
+}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PierError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_config() {
+        let e = PierError::InvalidConfig {
+            parameter: "beta",
+            message: "must be in (0, 1]".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `beta`: must be in (0, 1]"
+        );
+    }
+
+    #[test]
+    fn display_csv() {
+        let e = PierError::Csv {
+            line: 3,
+            message: "unterminated quote".to_string(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = PierError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn unknown_profile_display() {
+        assert_eq!(
+            PierError::UnknownProfile(42).to_string(),
+            "unknown profile id 42"
+        );
+    }
+}

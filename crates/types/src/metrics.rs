@@ -1,0 +1,376 @@
+//! Quality metrics for progressive and incremental ER.
+//!
+//! The paper evaluates all methods with **Pair Completeness (PC)**: the
+//! fraction of ground-truth matches whose comparison has been emitted by the
+//! blocking/prioritization step. This module records PC as a *trajectory*
+//! over (virtual) time and over the number of executed comparisons, which is
+//! exactly the data behind Figures 2 and 4–8, and derives summary statistics
+//! (AUC, time-to-recall) used by the ablation benches.
+
+use crate::comparison::Comparison;
+use crate::dataset::GroundTruth;
+
+/// One sample of a progressive run: cumulative state after some comparison
+/// finished executing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressPoint {
+    /// Virtual or wall-clock seconds since the start of the run.
+    pub time: f64,
+    /// Number of comparisons executed so far.
+    pub comparisons: u64,
+    /// Number of distinct ground-truth matches found so far.
+    pub matches: u64,
+}
+
+/// The full progress record of one ER run.
+///
+/// Points are appended in non-decreasing time / comparison order; a point is
+/// stored only when the match count changes (plus an explicit final point),
+/// keeping trajectories compact even for millions of comparisons.
+#[derive(Debug, Clone)]
+pub struct ProgressTrajectory {
+    /// Total number of ground-truth matches (PC denominator).
+    total_matches: u64,
+    points: Vec<ProgressPoint>,
+    comparisons: u64,
+    matches: u64,
+    last_time: f64,
+}
+
+impl ProgressTrajectory {
+    /// Creates an empty trajectory for a task with `total_matches`
+    /// ground-truth duplicates.
+    pub fn new(total_matches: u64) -> Self {
+        ProgressTrajectory {
+            total_matches,
+            points: vec![ProgressPoint {
+                time: 0.0,
+                comparisons: 0,
+                matches: 0,
+            }],
+            comparisons: 0,
+            matches: 0,
+            last_time: 0.0,
+        }
+    }
+
+    /// Convenience constructor from a ground truth.
+    pub fn for_ground_truth(gt: &GroundTruth) -> Self {
+        Self::new(gt.len() as u64)
+    }
+
+    /// Records that one comparison finished at `time`; `was_match` says
+    /// whether it was a *new* ground-truth match (the caller is responsible
+    /// for de-duplicating repeated emissions of the same pair).
+    pub fn record(&mut self, time: f64, was_match: bool) {
+        debug_assert!(
+            time >= self.last_time - 1e-9,
+            "time must be non-decreasing: {time} < {}",
+            self.last_time
+        );
+        self.comparisons += 1;
+        self.last_time = time;
+        if was_match {
+            self.matches += 1;
+            self.points.push(ProgressPoint {
+                time,
+                comparisons: self.comparisons,
+                matches: self.matches,
+            });
+        }
+    }
+
+    /// Appends the closing point of the run (so the flat tail after the last
+    /// match is represented).
+    pub fn finish(&mut self, time: f64) {
+        self.last_time = self.last_time.max(time);
+        self.points.push(ProgressPoint {
+            time: self.last_time,
+            comparisons: self.comparisons,
+            matches: self.matches,
+        });
+    }
+
+    /// Total comparisons executed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Distinct matches found so far.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    /// Ground-truth size used as the PC denominator.
+    pub fn total_matches(&self) -> u64 {
+        self.total_matches
+    }
+
+    /// Current pair completeness in `[0, 1]`.
+    pub fn pc(&self) -> f64 {
+        if self.total_matches == 0 {
+            return 0.0;
+        }
+        self.matches as f64 / self.total_matches as f64
+    }
+
+    /// Pairs quality so far: matches / comparisons (precision of the emitted
+    /// comparison stream).
+    pub fn pq(&self) -> f64 {
+        if self.comparisons == 0 {
+            return 0.0;
+        }
+        self.matches as f64 / self.comparisons as f64
+    }
+
+    /// The recorded points, starting with the origin.
+    pub fn points(&self) -> &[ProgressPoint] {
+        &self.points
+    }
+
+    /// PC at a given time (step function: the PC after the last point with
+    /// `point.time <= time`).
+    pub fn pc_at_time(&self, time: f64) -> f64 {
+        if self.total_matches == 0 {
+            return 0.0;
+        }
+        let mut best = 0u64;
+        for p in &self.points {
+            if p.time <= time {
+                best = p.matches;
+            } else {
+                break;
+            }
+        }
+        best as f64 / self.total_matches as f64
+    }
+
+    /// PC after a given number of executed comparisons.
+    pub fn pc_at_comparisons(&self, comparisons: u64) -> f64 {
+        if self.total_matches == 0 {
+            return 0.0;
+        }
+        let mut best = 0u64;
+        for p in &self.points {
+            if p.comparisons <= comparisons {
+                best = p.matches;
+            } else {
+                break;
+            }
+        }
+        best as f64 / self.total_matches as f64
+    }
+
+    /// Earliest time at which PC reached `target` (in `[0,1]`), if ever.
+    pub fn time_to_pc(&self, target: f64) -> Option<f64> {
+        let needed = (target * self.total_matches as f64).ceil() as u64;
+        self.points
+            .iter()
+            .find(|p| p.matches >= needed && (p.matches > 0 || needed == 0))
+            .map(|p| p.time)
+    }
+
+    /// Normalized area under the PC-over-time curve up to `horizon`.
+    ///
+    /// 1.0 means all matches were found instantly at t=0; 0.0 means nothing
+    /// was found within the horizon. This is the standard scalar summary of
+    /// progressive behaviour ("early quality").
+    pub fn auc_time(&self, horizon: f64) -> f64 {
+        assert!(horizon > 0.0, "horizon must be positive");
+        if self.total_matches == 0 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_m = 0u64;
+        for p in &self.points {
+            let t = p.time.min(horizon);
+            area += (t - prev_t).max(0.0) * prev_m as f64;
+            if p.time >= horizon {
+                prev_m = p.matches.max(prev_m);
+                prev_t = horizon;
+                break;
+            }
+            prev_t = t;
+            prev_m = p.matches;
+        }
+        if prev_t < horizon {
+            area += (horizon - prev_t) * prev_m as f64;
+        }
+        area / (horizon * self.total_matches as f64)
+    }
+
+    /// Samples PC at `n` evenly spaced times in `[0, horizon]`, returning
+    /// `(time, pc)` rows — the series plotted in the paper's figures.
+    pub fn sample_over_time(&self, horizon: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        (0..n)
+            .map(|i| {
+                let t = horizon * i as f64 / (n - 1) as f64;
+                (t, self.pc_at_time(t))
+            })
+            .collect()
+    }
+
+    /// Samples PC at `n` evenly spaced comparison counts in
+    /// `[0, max_comparisons]`.
+    pub fn sample_over_comparisons(&self, max_comparisons: u64, n: usize) -> Vec<(u64, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        (0..n)
+            .map(|i| {
+                let c = (max_comparisons as f64 * i as f64 / (n - 1) as f64).round() as u64;
+                (c, self.pc_at_comparisons(c))
+            })
+            .collect()
+    }
+}
+
+/// Tracks which ground-truth matches have already been credited, so repeated
+/// emissions of the same pair do not inflate PC.
+#[derive(Debug, Default)]
+pub struct MatchLedger {
+    found: std::collections::HashSet<Comparison>,
+}
+
+impl MatchLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` iff `cmp` is a ground-truth match not seen before, and
+    /// records it.
+    pub fn credit(&mut self, gt: &GroundTruth, cmp: Comparison) -> bool {
+        gt.is_match(cmp) && self.found.insert(cmp)
+    }
+
+    /// Number of distinct matches credited.
+    pub fn len(&self) -> usize {
+        self.found.len()
+    }
+
+    /// Whether nothing has been credited yet.
+    pub fn is_empty(&self) -> bool {
+        self.found.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileId;
+
+    fn traj() -> ProgressTrajectory {
+        let mut t = ProgressTrajectory::new(4);
+        t.record(1.0, true); // 1 match @ 1s, 1 cmp
+        t.record(2.0, false); // 2 cmps
+        t.record(3.0, true); // 2 matches @ 3s, 3 cmps
+        t.finish(10.0);
+        t
+    }
+
+    #[test]
+    fn pc_and_pq_track_counts() {
+        let t = traj();
+        assert_eq!(t.matches(), 2);
+        assert_eq!(t.comparisons(), 3);
+        assert!((t.pc() - 0.5).abs() < 1e-12);
+        assert!((t.pq() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pc_at_time_is_a_step_function() {
+        let t = traj();
+        assert_eq!(t.pc_at_time(0.5), 0.0);
+        assert!((t.pc_at_time(1.0) - 0.25).abs() < 1e-12);
+        assert!((t.pc_at_time(2.9) - 0.25).abs() < 1e-12);
+        assert!((t.pc_at_time(3.0) - 0.5).abs() < 1e-12);
+        assert!((t.pc_at_time(100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pc_at_comparisons_steps() {
+        let t = traj();
+        assert_eq!(t.pc_at_comparisons(0), 0.0);
+        assert!((t.pc_at_comparisons(1) - 0.25).abs() < 1e-12);
+        assert!((t.pc_at_comparisons(2) - 0.25).abs() < 1e-12);
+        assert!((t.pc_at_comparisons(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_pc_finds_first_crossing() {
+        let t = traj();
+        assert_eq!(t.time_to_pc(0.25), Some(1.0));
+        assert_eq!(t.time_to_pc(0.5), Some(3.0));
+        assert_eq!(t.time_to_pc(0.75), None);
+    }
+
+    #[test]
+    fn auc_bounds() {
+        let t = traj();
+        let auc = t.auc_time(10.0);
+        assert!(auc > 0.0 && auc < 0.5, "auc = {auc}");
+
+        // Everything found instantly -> AUC ~= PC.
+        let mut instant = ProgressTrajectory::new(1);
+        instant.record(0.0, true);
+        instant.finish(10.0);
+        assert!((instant.auc_time(10.0) - 1.0).abs() < 1e-9);
+
+        // Nothing found -> 0.
+        let mut nothing = ProgressTrajectory::new(5);
+        nothing.record(1.0, false);
+        nothing.finish(10.0);
+        assert_eq!(nothing.auc_time(10.0), 0.0);
+    }
+
+    #[test]
+    fn auc_exact_value() {
+        // 4 total; 1 match at t=1, 2nd at t=3, horizon 10:
+        // area = 0*(1-0) + 1*(3-1) + 2*(10-3) = 16 match-seconds
+        // normalized: 16 / (10*4) = 0.4
+        let t = traj();
+        assert!((t.auc_time(10.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_over_time_has_requested_shape() {
+        let t = traj();
+        let rows = t.sample_over_time(10.0, 11);
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0], (0.0, 0.0));
+        assert!((rows[10].1 - 0.5).abs() < 1e-12);
+        // Monotone non-decreasing PC.
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn sample_over_comparisons_monotone() {
+        let t = traj();
+        let rows = t.sample_over_comparisons(3, 4);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn zero_ground_truth_is_safe() {
+        let mut t = ProgressTrajectory::new(0);
+        t.record(1.0, false);
+        assert_eq!(t.pc(), 0.0);
+        assert_eq!(t.pc_at_time(5.0), 0.0);
+        assert_eq!(t.auc_time(10.0), 0.0);
+    }
+
+    #[test]
+    fn ledger_credits_each_match_once() {
+        let gt = GroundTruth::from_pairs([(ProfileId(0), ProfileId(1))]);
+        let mut ledger = MatchLedger::new();
+        let hit = Comparison::new(ProfileId(0), ProfileId(1));
+        let miss = Comparison::new(ProfileId(0), ProfileId(2));
+        assert!(ledger.credit(&gt, hit));
+        assert!(!ledger.credit(&gt, hit), "second credit must be rejected");
+        assert!(!ledger.credit(&gt, miss));
+        assert_eq!(ledger.len(), 1);
+        assert!(!ledger.is_empty());
+    }
+}

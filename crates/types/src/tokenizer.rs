@@ -1,0 +1,245 @@
+//! Schema-agnostic tokenization.
+//!
+//! Token blocking (the block-building technique used throughout the paper)
+//! places a profile into one block per *distinct token* appearing in any of
+//! its attribute values, ignoring attribute names entirely. This module
+//! provides the tokenizer and a token dictionary that interns token strings
+//! into dense [`TokenId`]s, so the blocking layer can work with integers.
+
+use std::collections::HashMap;
+
+use crate::profile::EntityProfile;
+
+/// Dense identifier for an interned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Configuration for schema-agnostic tokenization.
+///
+/// Values are lower-cased and split on any non-alphanumeric character;
+/// tokens shorter than [`Tokenizer::min_len`] are dropped (they produce
+/// enormous, uninformative blocks), as are purely numeric tokens shorter
+/// than [`Tokenizer::min_numeric_len`].
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Minimum number of characters for an alphabetic/alphanumeric token.
+    pub min_len: usize,
+    /// Minimum number of characters for an all-digit token (e.g. years are
+    /// kept with the default of 2, single digits are dropped).
+    pub min_numeric_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            min_len: 2,
+            min_numeric_len: 2,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Tokenizes a single string value into lower-cased tokens, in order of
+    /// appearance, duplicates included.
+    pub fn tokenize_value<'a>(&'a self, value: &'a str) -> impl Iterator<Item = String> + 'a {
+        value
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(move |t| self.keep(t))
+            .map(|t| t.to_lowercase())
+    }
+
+    /// The *distinct* token set of a whole profile (all attribute values,
+    /// attribute names ignored), sorted lexicographically.
+    ///
+    /// Sorting makes the output deterministic and enables linear-time set
+    /// intersection in the Jaccard match function.
+    pub fn profile_tokens(&self, profile: &EntityProfile) -> Vec<String> {
+        let mut tokens: Vec<String> = profile
+            .values()
+            .flat_map(|v| self.tokenize_value(v))
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+
+    fn keep(&self, raw: &str) -> bool {
+        let n = raw.chars().count();
+        if n == 0 {
+            return false;
+        }
+        if raw.chars().all(|c| c.is_ascii_digit()) {
+            n >= self.min_numeric_len
+        } else {
+            n >= self.min_len
+        }
+    }
+}
+
+/// Interns token strings into dense [`TokenId`]s.
+///
+/// The dictionary only ever grows: incremental blocking keeps it alive for
+/// the lifetime of a stream so token ids are stable across increments.
+#[derive(Debug, Default)]
+pub struct TokenDictionary {
+    ids: HashMap<String, TokenId>,
+    tokens: Vec<String>,
+}
+
+impl TokenDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `token`, interning it if unseen.
+    pub fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = TokenId(self.tokens.len() as u32);
+        self.ids.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Looks up an already-interned token.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.ids.get(token).copied()
+    }
+
+    /// The string for an interned id, if valid.
+    pub fn resolve(&self, id: TokenId) -> Option<&str> {
+        self.tokens.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Tokenizes `profile` with `tokenizer` and interns every distinct
+    /// token, returning the sorted distinct [`TokenId`]s.
+    pub fn intern_profile(
+        &mut self,
+        tokenizer: &Tokenizer,
+        profile: &EntityProfile,
+    ) -> Vec<TokenId> {
+        let mut ids: Vec<TokenId> = tokenizer
+            .profile_tokens(profile)
+            .iter()
+            .map(|t| self.intern(t))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ProfileId, SourceId};
+
+    fn profile(values: &[&str]) -> EntityProfile {
+        let mut p = EntityProfile::new(ProfileId(0), SourceId(0));
+        for (i, v) in values.iter().enumerate() {
+            p = p.with(format!("a{i}"), *v);
+        }
+        p
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        let t = Tokenizer::default();
+        let toks: Vec<String> = t.tokenize_value("The Matrix: Reloaded (2003)").collect();
+        assert_eq!(toks, vec!["the", "matrix", "reloaded", "2003"]);
+    }
+
+    #[test]
+    fn short_tokens_are_dropped() {
+        let t = Tokenizer::default();
+        let toks: Vec<String> = t.tokenize_value("a I 7 of 42").collect();
+        // "a", "I", "7" dropped; "of" (len 2) and "42" kept.
+        assert_eq!(toks, vec!["of", "42"]);
+    }
+
+    #[test]
+    fn min_len_is_configurable() {
+        let t = Tokenizer {
+            min_len: 4,
+            min_numeric_len: 4,
+        };
+        let toks: Vec<String> = t.tokenize_value("the 1999 matrix ab").collect();
+        assert_eq!(toks, vec!["1999", "matrix"]);
+    }
+
+    #[test]
+    fn profile_tokens_are_distinct_and_sorted() {
+        let t = Tokenizer::default();
+        let p = profile(&["alpha beta", "beta gamma", "ALPHA"]);
+        assert_eq!(t.profile_tokens(&p), vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn profile_tokens_ignore_attribute_names() {
+        let t = Tokenizer::default();
+        let p = EntityProfile::new(ProfileId(0), SourceId(0)).with("director_name", "kubrick");
+        assert_eq!(t.profile_tokens(&p), vec!["kubrick"]);
+    }
+
+    #[test]
+    fn unicode_values_tokenize() {
+        let t = Tokenizer::default();
+        let toks: Vec<String> = t.tokenize_value("Amélie—Paris").collect();
+        assert_eq!(toks, vec!["amélie", "paris"]);
+    }
+
+    #[test]
+    fn dictionary_interns_stably() {
+        let mut d = TokenDictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        let a2 = d.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.resolve(a), Some("alpha"));
+        assert_eq!(d.get("beta"), Some(b));
+        assert_eq!(d.get("gamma"), None);
+    }
+
+    #[test]
+    fn intern_profile_returns_sorted_distinct_ids() {
+        let mut d = TokenDictionary::new();
+        let t = Tokenizer::default();
+        // Pre-intern so ids are not in lexicographic order.
+        d.intern("zebra");
+        let p = profile(&["zebra apple", "apple"]);
+        let ids = d.intern_profile(&t, &p);
+        assert_eq!(ids.len(), 2);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_dictionary_reports_empty() {
+        let d = TokenDictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.resolve(TokenId(0)), None);
+    }
+}

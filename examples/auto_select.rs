@@ -1,0 +1,68 @@
+//! Automatic strategy selection — the paper's future work in action.
+//!
+//! Peeks at the first increments of three very different streams and lets
+//! [`pier::core::selector`] choose between the block-centric and
+//! entity-centric PIER strategies, then validates the choice by running
+//! both on the full stream.
+//!
+//! Run with: `cargo run --release --example auto_select`
+
+use pier::prelude::*;
+use pier::sim::experiment::run_method;
+
+fn main() {
+    let datasets = vec![
+        generate_census(&CensusConfig {
+            seed: 42,
+            target_profiles: 4000,
+        }),
+        generate_movies(&MoviesConfig {
+            seed: 42,
+            source0_size: 2200,
+            source1_size: 1800,
+            matches: 1700,
+        }),
+        generate_dbpedia(&DbpediaConfig {
+            seed: 42,
+            source0_size: 1500,
+            source1_size: 2700,
+            matches: 1100,
+        }),
+    ];
+
+    for dataset in &datasets {
+        // Peek: ingest the first ~300 profiles, as a stream consumer would
+        // after the first increments.
+        let mut peek = IncrementalBlocker::new(dataset.kind);
+        for p in dataset.profiles.iter().take(300) {
+            peek.process_profile(p.clone());
+        }
+        let rec = recommend(&peek);
+        println!("dataset `{}`:", dataset.name);
+        println!("  recommendation: {} — {}", rec.strategy.name(), rec.rationale);
+
+        // Validate: run both candidates on a fast stream with ED matching
+        // and compare early quality.
+        let plan = StreamPlan::streaming(200, 32.0);
+        let sim = SimConfig {
+            time_budget: 120.0,
+            cost: CostModel {
+                stage_a_ops_per_sec: 1_000_000.0,
+                matcher_ops_per_sec: 10_000_000.0,
+            },
+            ..SimConfig::default()
+        };
+        let matcher = EditDistanceMatcher::default();
+        for method in [Method::IPbs, Method::IPes] {
+            let out = run_method(method, dataset, &plan, &matcher, &sim, PierConfig::default());
+            println!(
+                "  {:<6} AUC={:.3} PC@30s={:.3} PC final={:.3}",
+                out.name,
+                out.trajectory.auc_time(120.0),
+                out.trajectory.pc_at_time(30.0),
+                out.pc()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,87 @@
+//! Side-by-side comparison of all eight algorithms on a fast stream.
+//!
+//! Reproduces, in miniature, the comparative story of the paper's §7.3:
+//! straightforward progressive adaptations (PPS-GLOBAL / PPS-LOCAL) fail on
+//! streams, the incremental baseline I-BASE lacks early quality and stalls
+//! under an expensive matcher, and the PIER algorithms deliver both early
+//! and eventual quality.
+//!
+//! Run with: `cargo run --release --example compare_methods`
+
+use pier::prelude::*;
+use pier::sim::experiment::run_method;
+
+fn main() {
+    let dataset = generate_movies(&MoviesConfig {
+        seed: 11,
+        source0_size: 2400,
+        source1_size: 2000,
+        matches: 1900,
+    });
+    // 200 increments at 16 ΔD/s: the stream takes 12.5s to arrive.
+    let plan = StreamPlan::streaming(200, 16.0);
+    let budget = 120.0;
+
+    for (label, matcher) in [
+        ("JS (cheap matcher)", MatcherChoice::Js),
+        ("ED (expensive matcher)", MatcherChoice::Ed),
+    ] {
+        println!("== {label}, 200 increments @ 16 ΔD/s, {budget:.0}s budget ==");
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>9} {:>10} {:>10}",
+            "method", "PC@15s", "PC@60s", "PC final", "AUC", "cmp", "consumed"
+        );
+        for method in [
+            Method::PpsLocal,
+            Method::PpsGlobal,
+            Method::Pbs,
+            Method::LsPsn,
+            Method::GsPsn,
+            Method::IBase,
+            Method::IPcs,
+            Method::IPbs,
+            Method::IPes,
+        ] {
+            let sim = SimConfig {
+                time_budget: budget,
+                ..SimConfig::default()
+            };
+            let out = match matcher {
+                MatcherChoice::Js => run_method(
+                    method,
+                    &dataset,
+                    &plan,
+                    &JaccardMatcher::default(),
+                    &sim,
+                    PierConfig::default(),
+                ),
+                MatcherChoice::Ed => run_method(
+                    method,
+                    &dataset,
+                    &plan,
+                    &EditDistanceMatcher::default(),
+                    &sim,
+                    PierConfig::default(),
+                ),
+            };
+            let t = &out.trajectory;
+            println!(
+                "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>9.3} {:>10} {:>10}",
+                out.name,
+                t.pc_at_time(15.0),
+                t.pc_at_time(60.0),
+                out.pc(),
+                t.auc_time(budget),
+                out.comparisons,
+                out.consumed_at
+                    .map_or("—".to_string(), |c| format!("{c:.1}s")),
+            );
+        }
+        println!();
+    }
+}
+
+enum MatcherChoice {
+    Js,
+    Ed,
+}

@@ -1,0 +1,73 @@
+//! Matching heterogeneous engineering data as it streams in.
+//!
+//! The paper's second motivating application (§1) is adaptive building and
+//! construction: design components, pre-fabrication records and on-site
+//! monitoring data describe *the same physical parts* in wildly different
+//! semi-structured formats, and matches found early let the fabrication
+//! line adjust in time. This example emulates that setting with the
+//! highly heterogeneous dbpedia-like generator (per-profile attribute
+//! sets, renamed attributes, long drifting descriptions — the same
+//! structural challenges as IFC vs. AutomationML data) and shows how
+//! schema-agnostic PIER finds cross-format matches without any mapping.
+//!
+//! Run with: `cargo run --release --example construction_site`
+
+use pier::prelude::*;
+use pier::sim::experiment::run_method;
+
+fn main() {
+    // Source 0 = design-side part descriptions; source 1 = site-side
+    // records (renamed attributes, extra facts, drifted values).
+    let dataset = generate_dbpedia(&DbpediaConfig {
+        seed: 99,
+        source0_size: 800,
+        source1_size: 1400,
+        matches: 650,
+    });
+    println!(
+        "streaming {} part records from two schemas ({} true part links)",
+        dataset.len(),
+        dataset.ground_truth.len()
+    );
+
+    // Peek at the heterogeneity: a matched pair uses different attributes.
+    let pair = dataset.ground_truth.iter().next().expect("has matches");
+    let (a, b) = (dataset.profile(pair.a), dataset.profile(pair.b));
+    println!("\nexample matched pair across schemas:");
+    println!(
+        "  {}: {} attributes, e.g. `{}`",
+        a.id,
+        a.attributes.len(),
+        a.attributes[1].name
+    );
+    println!(
+        "  {}: {} attributes, e.g. `{}`",
+        b.id,
+        b.attributes.len(),
+        b.attributes[1].name
+    );
+
+    // Monitoring data streams in bursts; matching (edit distance over long
+    // descriptions) is the bottleneck — exactly where adaptive K helps.
+    let plan = StreamPlan::streaming(100, 8.0);
+    let matcher = EditDistanceMatcher::default();
+    let sim = SimConfig {
+        time_budget: 180.0,
+        ..SimConfig::default()
+    };
+
+    println!("\n{:<8} {:>10} {:>10} {:>12}", "method", "PC@30s", "PC final", "time to 50%");
+    for method in [Method::IBase, Method::IPes] {
+        let out = run_method(method, &dataset, &plan, &matcher, &sim, PierConfig::default());
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>12}",
+            out.name,
+            out.trajectory.pc_at_time(30.0),
+            out.pc(),
+            out.trajectory
+                .time_to_pc(0.5)
+                .map_or("never".to_string(), |t| format!("{t:.1}s")),
+        );
+    }
+    println!("\nEarly links mean the pre-fabrication line can react while parts are still queued.");
+}

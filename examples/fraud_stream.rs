@@ -1,0 +1,86 @@
+//! Real-time duplicate detection on a person-record stream.
+//!
+//! The paper motivates PIER with anti-financial-crime applications: the
+//! earlier a new record is linked to an existing identity, the earlier an
+//! illicit pattern can be stopped. This example replays a Febrl-style
+//! census stream through the **real multi-threaded runtime** (source →
+//! blocking → I-PES prioritization → edit-distance matching) and prints
+//! identity matches the moment they are confirmed.
+//!
+//! Run with: `cargo run --release --example fraud_stream`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pier::prelude::*;
+
+fn main() {
+    let dataset = generate_census(&CensusConfig {
+        seed: 7,
+        target_profiles: 2000,
+    });
+    println!(
+        "streaming {} person records ({} true identity links)...\n",
+        dataset.len(),
+        dataset.ground_truth.len()
+    );
+    let increments: Vec<Vec<EntityProfile>> = dataset
+        .into_increments(100)
+        .expect("valid split")
+        .into_iter()
+        .map(|inc| inc.profiles)
+        .collect();
+
+    let emitter = Box::new(Ipes::new(PierConfig::default()));
+    let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
+    let config = RuntimeConfig {
+        interarrival: Duration::from_millis(5),
+        deadline: Duration::from_secs(30),
+        ..RuntimeConfig::default()
+    };
+
+    let mut shown = 0usize;
+    let report = run_streaming(
+        ErKind::Dirty,
+        increments,
+        emitter,
+        matcher,
+        config,
+        |event| {
+            shown += 1;
+            if shown <= 15 {
+                println!(
+                    "  [{:8.3}s] ALERT: {} and {} look like the same person (sim {:.2})",
+                    event.at.as_secs_f64(),
+                    event.pair.a,
+                    event.pair.b,
+                    event.similarity
+                );
+            } else if shown == 16 {
+                println!("  ... (suppressing further alerts)");
+            }
+        },
+    );
+
+    let gt = &dataset.ground_truth;
+    let true_links = report
+        .matches
+        .iter()
+        .filter(|m| gt.is_match(m.pair))
+        .count();
+    println!(
+        "\nprocessed {} comparisons in {:.2}s wall-clock",
+        report.comparisons,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "confirmed {} identity links ({} correct, precision {:.2})",
+        report.matches.len(),
+        true_links,
+        true_links as f64 / report.matches.len().max(1) as f64
+    );
+    println!(
+        "links confirmed within the first second: {}",
+        report.matches_within(Duration::from_secs(1))
+    );
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Plot the CSV series produced by the experiment benches.
+
+Usage:
+    cargo bench --workspace                 # writes target/experiments/<id>/*.csv
+    python3 scripts/plot_experiments.py     # writes target/experiments/<id>.svg
+
+Each figure directory becomes one SVG with all its series overlaid —
+matching the layout of the corresponding figure in the paper. Requires
+matplotlib; falls back to a textual summary when it is unavailable.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+_CANDIDATES = [
+    ROOT / "target" / "experiments",
+    ROOT / "crates" / "bench" / "target" / "experiments",  # older runs
+]
+EXPERIMENTS = next((p for p in _CANDIDATES if p.is_dir()), _CANDIDATES[0])
+
+
+def load_series(path: Path) -> tuple[str, list[float], list[float]]:
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        xs, ys = [], []
+        for row in reader:
+            xs.append(float(row[0]))
+            ys.append(float(row[1]))
+    return header[0], xs, ys
+
+
+def main() -> int:
+    if not EXPERIMENTS.is_dir():
+        print(f"no {EXPERIMENTS} — run `cargo bench --workspace` first", file=sys.stderr)
+        return 1
+    try:
+        import matplotlib
+
+        matplotlib.use("svg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable — printing summaries only", file=sys.stderr)
+
+    for figure_dir in sorted(p for p in EXPERIMENTS.iterdir() if p.is_dir()):
+        csvs = sorted(figure_dir.glob("*.csv"))
+        if not csvs:
+            continue
+        if plt is None:
+            for path in csvs:
+                x_name, xs, ys = load_series(path)
+                final = ys[-1] if ys else float("nan")
+                print(f"{figure_dir.name}/{path.stem}: final pc={final:.3f} over {x_name}")
+            continue
+        fig, ax = plt.subplots(figsize=(8, 5))
+        x_label = "x"
+        for path in csvs:
+            x_name, xs, ys = load_series(path)
+            x_label = x_name
+            ax.plot(xs, ys, label=path.stem, linewidth=1.2)
+        ax.set_xlabel(x_label)
+        ax.set_ylabel("pair completeness")
+        ax.set_title(figure_dir.name)
+        ax.set_ylim(-0.02, 1.02)
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=6, ncol=2, loc="lower right")
+        out = EXPERIMENTS / f"{figure_dir.name}.svg"
+        fig.savefig(out, bbox_inches="tight")
+        plt.close(fig)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+//! # pier — Progressive Entity Resolution over Incremental Data
+//!
+//! A from-scratch Rust implementation of the PIER system (Gazzarri &
+//! Herschel, EDBT 2023): schema-agnostic entity resolution over streaming
+//! data that is simultaneously *incremental* (reuses all state across
+//! increments) and *progressive* (executes the globally most promising
+//! comparisons first, adaptively throttled by the matcher).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pier::prelude::*;
+//!
+//! // A tiny Dirty-ER stream: two increments with one duplicate pair each.
+//! let increments = vec![
+//!     vec![
+//!         EntityProfile::new(ProfileId(0), SourceId(0)).with("name", "Ada Lovelace"),
+//!         EntityProfile::new(ProfileId(1), SourceId(0)).with("full_name", "Ada  Lovelace"),
+//!     ],
+//!     vec![
+//!         EntityProfile::new(ProfileId(2), SourceId(0)).with("name", "Alan Turing"),
+//!         EntityProfile::new(ProfileId(3), SourceId(0)).with("who", "Alan Turing"),
+//!     ],
+//! ];
+//!
+//! // Feed them through incremental blocking + the I-PES prioritizer.
+//! let mut blocker = IncrementalBlocker::new(ErKind::Dirty);
+//! let mut prioritizer = Ipes::new(PierConfig::default());
+//! let matcher = JaccardMatcher::default();
+//!
+//! let mut matches = Vec::new();
+//! for increment in &increments {
+//!     let ids = blocker.process_increment(increment);
+//!     prioritizer.on_increment(&blocker, &ids);
+//!     // Between increments, execute the best pending comparisons.
+//!     for cmp in prioritizer.next_batch(&blocker, 16) {
+//!         let outcome = matcher.evaluate(MatchInput {
+//!             profile_a: blocker.profile(cmp.a),
+//!             tokens_a: blocker.tokens_of(cmp.a),
+//!             profile_b: blocker.profile(cmp.b),
+//!             tokens_b: blocker.tokens_of(cmp.b),
+//!         });
+//!         if outcome.is_match {
+//!             matches.push(cmp);
+//!         }
+//!     }
+//! }
+//! assert_eq!(matches.len(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`types`] | entity profiles, tokenization, datasets, PC/PQ metrics |
+//! | [`collections`] | bounded priority queues, lazy min-heap, scalable Bloom filter |
+//! | [`blocking`] | incremental token blocking, purging, ghosting |
+//! | [`metablocking`] | CBS & friends, blocking graph, WNP/CNP, I-WNP |
+//! | [`matching`] | Jaccard / edit-distance matchers with cost reporting |
+//! | [`core`] | the PIER framework + I-PCS, I-PBS, I-PES |
+//! | [`baselines`] | batch ER, PBS, PPS(-GLOBAL/-LOCAL), I-BASE |
+//! | [`datagen`] | seeded generators for the paper's four corpora |
+//! | [`sim`] | virtual-clock pipeline simulator behind every figure |
+//! | [`runtime`] | real multi-threaded streaming runtime |
+
+#![warn(missing_docs)]
+
+pub use pier_baselines as baselines;
+pub use pier_blocking as blocking;
+pub use pier_collections as collections;
+pub use pier_core as core;
+pub use pier_datagen as datagen;
+pub use pier_matching as matching;
+pub use pier_metablocking as metablocking;
+pub use pier_runtime as runtime;
+pub use pier_sim as sim;
+pub use pier_types as types;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use pier_baselines::{BatchEr, GsPsn, IBase, LsPsn, Pbs, Pps, PpsScope};
+    pub use pier_blocking::{
+        block_ghosting, block_stats, load_checkpoint, save_checkpoint, BlockCollection,
+        BlockId, BlockStats, IncrementalBlocker, PurgePolicy,
+    };
+    pub use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
+    pub use pier_core::{
+        recommend, AdaptiveK, BlockCursor, ComparisonEmitter, Ipbs, Ipcs, Ipes,
+        PierConfig, PierPipeline, Recommendation, Strategy,
+    };
+    pub use pier_datagen::{
+        generate_bibliographic, generate_census, generate_dbpedia, generate_movies,
+        BibliographicConfig, CensusConfig, DbpediaConfig, MoviesConfig, StandardDataset,
+    };
+    pub use pier_matching::{
+        ClassifiedMatch, CosineMatcher, EditDistanceMatcher, HybridMatcher,
+        IncrementalClassifier, JaccardMatcher, MatchFunction, MatchInput, MatchOutcome,
+        OracleMatcher,
+    };
+    pub use pier_metablocking::{iwnp, BlockingGraph, IwnpConfig, WeightingScheme};
+    pub use pier_runtime::{run_streaming, MatchEvent, RuntimeConfig, RuntimeReport};
+    pub use pier_sim::{
+        arrival_schedule, arrival_times, ArrivalPattern, CostModel, MatcherMode, Method,
+        PipelineSim, SimConfig, SimOutcome, StreamPlan,
+    };
+    pub use pier_types::{
+        Comparison, Dataset, EntityProfile, ErKind, GroundTruth, Increment, IncrementalClusters, MatchLedger,
+        PierError, ProfileId, ProgressTrajectory, SourceId, TokenDictionary, TokenId, Tokenizer,
+        WeightedComparison,
+    };
+}

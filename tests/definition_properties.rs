@@ -1,0 +1,182 @@
+//! Integration tests of the four PIER conditions (Definition 3 of the
+//! paper): improved early quality, comparable eventual quality,
+//! incrementality, and globality — each checked end-to-end through the
+//! simulator.
+
+use pier::prelude::*;
+use pier::sim::experiment::{run_method, StreamPlan};
+use pier::sim::{Method, SimConfig};
+
+fn movies() -> Dataset {
+    generate_movies(&MoviesConfig {
+        seed: 9,
+        source0_size: 900,
+        source1_size: 750,
+        matches: 700,
+    })
+}
+
+fn sim_config(budget: f64) -> SimConfig {
+    SimConfig {
+        time_budget: budget,
+        cost: CostModel {
+            stage_a_ops_per_sec: 1_000_000.0,
+            matcher_ops_per_sec: 10_000_000.0,
+        },
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn improved_early_quality_over_batch() {
+    // |F_pier(D)[t]| > |F_batch(D)[t]| for a mid-run t (static data, ED).
+    let d = movies();
+    let cfg = sim_config(300.0);
+    let matcher = EditDistanceMatcher::default();
+    let batch = run_method(
+        Method::Batch,
+        &d,
+        &StreamPlan::static_data(1),
+        &matcher,
+        &cfg,
+        PierConfig::default(),
+    );
+    for method in Method::pier() {
+        let pier = run_method(
+            method,
+            &d,
+            &StreamPlan::static_data(100),
+            &matcher,
+            &cfg,
+            PierConfig::default(),
+        );
+        // Probe a quarter of the way through the batch run.
+        let t = batch.final_time * 0.25;
+        assert!(
+            pier.trajectory.pc_at_time(t) > batch.trajectory.pc_at_time(t),
+            "{}: early quality {:.3} not better than batch {:.3} at t={t:.1}",
+            method.name(),
+            pier.trajectory.pc_at_time(t),
+            batch.trajectory.pc_at_time(t)
+        );
+    }
+}
+
+#[test]
+fn comparable_eventual_quality() {
+    // F̄_pier(D_n) ≈ F_batch(D_n) when both run to completion.
+    let d = movies();
+    let cfg = sim_config(10_000.0);
+    let matcher = JaccardMatcher::default();
+    let batch = run_method(
+        Method::Batch,
+        &d,
+        &StreamPlan::static_data(1),
+        &matcher,
+        &cfg,
+        PierConfig::default(),
+    );
+    for method in Method::pier() {
+        let pier = run_method(
+            method,
+            &d,
+            &StreamPlan::static_data(100),
+            &matcher,
+            &cfg,
+            PierConfig::default(),
+        );
+        assert!(
+            pier.pc() >= batch.pc() - 0.03,
+            "{}: eventual PC {:.3} not comparable to batch {:.3}",
+            method.name(),
+            pier.pc(),
+            batch.pc()
+        );
+    }
+}
+
+#[test]
+fn incrementality_beats_rebuilding() {
+    // Processing one more increment must be much cheaper than batch
+    // re-initialization over the whole dataset: compare the ops I-PES
+    // spends on the last increment with a full PPS rebuild.
+    let d = movies();
+    let increments = d.into_increments(50).unwrap();
+    let mut blocker = IncrementalBlocker::new(d.kind);
+    let mut ipes = Ipes::new(PierConfig::default());
+    let mut last_ipes_ops = 0;
+    for inc in &increments {
+        let ids = blocker.process_increment(&inc.profiles);
+        ipes.on_increment(&blocker, &ids);
+        last_ipes_ops = ipes.drain_ops();
+    }
+    let mut pps = Pps::new(PpsScope::Global);
+    pps.on_increment(&blocker, &[ProfileId(0)]); // trigger full rebuild
+    let rebuild_ops = pps.drain_ops();
+    assert!(
+        rebuild_ops > last_ipes_ops * 20,
+        "incremental step ({last_ipes_ops} ops) should be far cheaper than a rebuild ({rebuild_ops} ops)"
+    );
+}
+
+#[test]
+fn globality_prioritizes_older_better_comparisons() {
+    // A strong pair arrives early, then a weakly-connected increment: the
+    // next emission must be the old strong pair, not something from the
+    // newest increment.
+    let mut blocker = IncrementalBlocker::new(ErKind::Dirty);
+    let mut ipes = Ipes::new(PierConfig::default());
+
+    // Increment 1: a strong duplicate pair (many shared tokens).
+    let inc1 = vec![
+        EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "aaa bbb ccc ddd eee"),
+        EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "aaa bbb ccc ddd eee"),
+    ];
+    let ids = blocker.process_increment(&inc1);
+    ipes.on_increment(&blocker, &ids);
+    // The matcher is busy; nothing gets pulled yet.
+
+    // Increment 2: two profiles sharing a single token with each other.
+    let inc2 = vec![
+        EntityProfile::new(ProfileId(2), SourceId(0)).with("t", "zzz filler1"),
+        EntityProfile::new(ProfileId(3), SourceId(0)).with("t", "zzz filler2"),
+    ];
+    let ids = blocker.process_increment(&inc2);
+    ipes.on_increment(&blocker, &ids);
+
+    // Globality: the best remaining pair over ΔD_1 ⊎ ΔD_2 is the old one.
+    let batch = ipes.next_batch(&blocker, 1);
+    assert_eq!(batch, vec![Comparison::new(ProfileId(0), ProfileId(1))]);
+}
+
+#[test]
+fn adaptive_k_tracks_matcher_speed() {
+    // Under the same stream, the cheap matcher must allow more executed
+    // comparisons within the stream window than the expensive one — the
+    // observable effect of findK's adaptivity (§3.2).
+    let d = movies();
+    let cfg = sim_config(40.0);
+    let plan = StreamPlan::streaming(200, 8.0); // 25s stream
+    let js = run_method(
+        Method::IPes,
+        &d,
+        &plan,
+        &JaccardMatcher::default(),
+        &cfg,
+        PierConfig::default(),
+    );
+    let ed = run_method(
+        Method::IPes,
+        &d,
+        &plan,
+        &EditDistanceMatcher::default(),
+        &cfg,
+        PierConfig::default(),
+    );
+    assert!(
+        js.comparisons > ed.comparisons,
+        "JS ({}) should execute more comparisons than ED ({}) in the same window",
+        js.comparisons,
+        ed.comparisons
+    );
+}

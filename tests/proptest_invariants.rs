@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the PIER stack.
+
+use proptest::prelude::*;
+
+use pier::prelude::*;
+use pier::types::csv;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- comparisons -----------------------------------------------------
+
+    #[test]
+    fn comparison_is_canonical(a in 0u32..10_000, b in 0u32..10_000) {
+        prop_assume!(a != b);
+        let c1 = Comparison::new(ProfileId(a), ProfileId(b));
+        let c2 = Comparison::new(ProfileId(b), ProfileId(a));
+        prop_assert_eq!(c1, c2);
+        prop_assert!(c1.a < c1.b);
+        prop_assert_eq!(c1.key(), c2.key());
+    }
+
+    // ---- bounded heap ----------------------------------------------------
+
+    #[test]
+    fn bounded_heap_keeps_the_top_k(mut values in prop::collection::vec(-1000i64..1000, 1..200), cap in 1usize..50) {
+        let mut heap = BoundedMaxHeap::new(cap);
+        for &v in &values {
+            heap.push(v);
+        }
+        let got = heap.into_sorted_vec_desc();
+        // Reference: the k largest distinct values.
+        values.sort_unstable();
+        values.dedup();
+        values.reverse();
+        let expected: Vec<i64> = values.into_iter().take(cap).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bounded_heap_pop_is_sorted(values in prop::collection::vec(0u64..1_000_000, 0..128)) {
+        let mut heap = BoundedMaxHeap::unbounded();
+        for &v in &values {
+            heap.push(v);
+        }
+        let mut prev = u64::MAX;
+        while let Some(v) = heap.pop() {
+            prop_assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    // ---- lazy min-heap ---------------------------------------------------
+
+    #[test]
+    fn lazy_heap_matches_reference(ops in prop::collection::vec((0u32..40, 0u64..1000), 1..300)) {
+        let mut heap: LazyMinHeap<u64, u32> = LazyMinHeap::new();
+        let mut reference: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for &(v, k) in &ops {
+            heap.set(v, k);
+            reference.insert(v, k);
+        }
+        prop_assert_eq!(heap.len(), reference.len());
+        if let Some((v, k)) = heap.peek_min() {
+            let min = reference.values().copied().min().unwrap();
+            prop_assert_eq!(k, min);
+            prop_assert_eq!(reference[&v], k);
+        }
+    }
+
+    // ---- bloom filter ----------------------------------------------------
+
+    #[test]
+    fn bloom_has_no_false_negatives(keys in prop::collection::hash_set(0u64..u64::MAX, 0..500)) {
+        let mut f = ScalableBloomFilter::new(64, 0.01);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    // ---- similarity ------------------------------------------------------
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in prop::collection::btree_set(0u32..200, 0..40),
+                                   b in prop::collection::btree_set(0u32..200, 0..40)) {
+        let ta: Vec<TokenId> = a.iter().map(|&i| TokenId(i)).collect();
+        let tb: Vec<TokenId> = b.iter().map(|&i| TokenId(i)).collect();
+        let s = pier::matching::similarity::jaccard_tokens(&ta, &tb);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, pier::matching::similarity::jaccard_tokens(&tb, &ta));
+        if !ta.is_empty() && ta == tb {
+            prop_assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn levenshtein_metric_properties(a in ".{0,20}", b in ".{0,20}", c in ".{0,12}") {
+        use pier::matching::similarity::levenshtein;
+        let dab = levenshtein(&a, &b);
+        prop_assert_eq!(dab, levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        // Triangle inequality.
+        prop_assert!(dab <= levenshtein(&a, &c) + levenshtein(&c, &b));
+        // Length bound.
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        prop_assert!(dab <= la.max(lb));
+        prop_assert!(dab >= la.abs_diff(lb));
+    }
+
+    // ---- tokenizer ------------------------------------------------------
+
+    #[test]
+    fn tokenizer_output_is_sorted_dedup_and_long_enough(text in ".{0,120}") {
+        let t = Tokenizer::default();
+        let p = EntityProfile::new(ProfileId(0), SourceId(0)).with("v", text);
+        let tokens = t.profile_tokens(&p);
+        prop_assert!(tokens.windows(2).all(|w| w[0] < w[1]));
+        for tok in &tokens {
+            prop_assert!(tok.chars().count() >= 2, "short token {tok:?}");
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+        }
+    }
+
+    // ---- block ghosting --------------------------------------------------
+
+    #[test]
+    fn ghosting_respects_threshold(sizes in prop::collection::vec(1usize..500, 1..30),
+                                   beta in 0.05f64..1.0) {
+        let blocks: Vec<(pier::blocking::BlockId, usize)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (pier::blocking::BlockId(i as u32), s))
+            .collect();
+        let kept = block_ghosting(&blocks, beta).unwrap();
+        let min = *sizes.iter().min().unwrap();
+        let threshold = min as f64 / beta;
+        // Exactly the blocks within threshold survive.
+        for (bid, size) in &blocks {
+            let should_keep = *size as f64 <= threshold;
+            prop_assert_eq!(kept.contains(bid), should_keep);
+        }
+        // The smallest block always survives.
+        prop_assert!(!kept.is_empty());
+    }
+
+    // ---- dataset increments ----------------------------------------------
+
+    #[test]
+    fn increments_partition_profiles(n_profiles in 2usize..120, n_increments in 1usize..40) {
+        prop_assume!(n_increments <= n_profiles);
+        let profiles: Vec<EntityProfile> = (0..n_profiles)
+            .map(|i| {
+                EntityProfile::new(ProfileId(i as u32), SourceId((i % 2) as u8))
+                    .with("v", format!("value{i}"))
+            })
+            .collect();
+        let d = Dataset::new("p", ErKind::CleanClean, profiles, GroundTruth::new()).unwrap();
+        let incs = d.into_increments(n_increments).unwrap();
+        prop_assert_eq!(incs.len(), n_increments);
+        let mut ids: Vec<u32> = incs
+            .iter()
+            .flat_map(|i| i.profiles.iter().map(|p| p.id.0))
+            .collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n_profiles as u32).collect::<Vec<_>>());
+        let sizes: Vec<usize> = incs.iter().map(|i| i.len()).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    // ---- CSV -------------------------------------------------------------
+
+    #[test]
+    fn csv_field_roundtrip(fields in prop::collection::vec(".{0,30}", 1..8)) {
+        let mut buf = Vec::new();
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        csv::write_record(&mut buf, &refs).unwrap();
+        let mut reader = csv::CsvReader::new(std::io::BufReader::new(&buf[..]));
+        let parsed = reader.next_record().unwrap().unwrap();
+        // CRLF normalization: bare \r at end of a line is stripped by the
+        // reader only as part of a \r\n sequence inside quoted fields it is
+        // preserved; we avoid trailing-\r inputs in this property.
+        prop_assume!(!fields.iter().any(|f| f.ends_with('\r')));
+        prop_assert_eq!(parsed, fields);
+    }
+
+    // ---- trajectory ------------------------------------------------------
+
+    #[test]
+    fn trajectory_is_monotone(events in prop::collection::vec((0.0f64..100.0, any::<bool>()), 0..200)) {
+        let mut times: Vec<f64> = events.iter().map(|e| e.0).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut t = ProgressTrajectory::new(events.len().max(1) as u64);
+        for (time, hit) in times.iter().zip(events.iter().map(|e| e.1)) {
+            t.record(*time, hit);
+        }
+        t.finish(100.0);
+        let pts = t.points();
+        prop_assert!(pts.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(pts.windows(2).all(|w| w[0].matches <= w[1].matches));
+        prop_assert!(t.pc() <= 1.0);
+        let auc = t.auc_time(100.0);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    // ---- weighting schemes -----------------------------------------------
+
+    #[test]
+    fn schemes_are_nonnegative_and_zero_on_no_overlap(
+        cbs in 0u32..50, bx in 1usize..100, by in 1usize..100, total in 1usize..10_000, arcs in 0.0f64..10.0
+    ) {
+        prop_assume!((cbs as usize) <= bx.min(by));
+        prop_assume!(total >= bx.max(by));
+        for s in WeightingScheme::all() {
+            let w = s.weigh(cbs, bx, by, total, arcs);
+            prop_assert!(w >= 0.0, "{} gave {w}", s.name());
+            if cbs == 0 {
+                prop_assert_eq!(w, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end: strategy selection + the synchronous pipeline on all three
+//! corpus shapes, with entity clusters as the final output.
+
+use pier::prelude::*;
+
+fn run_with_selector(dataset: &Dataset) -> (Strategy, usize, f64) {
+    // Peek at the head of the stream to pick a strategy.
+    let mut peek = IncrementalBlocker::new(dataset.kind);
+    for p in dataset.profiles.iter().take(250) {
+        peek.process_profile(p.clone());
+    }
+    let rec = recommend(&peek);
+
+    // Drive the full stream through the synchronous pipeline.
+    let mut pipeline = PierPipeline::new(
+        dataset.kind,
+        rec.strategy,
+        PierConfig::default(),
+        JaccardMatcher { threshold: 0.4 },
+    );
+    for inc in dataset.into_increments(10).unwrap() {
+        pipeline.push_increment(&inc.profiles);
+        pipeline.drain(5_000);
+    }
+    pipeline.drain_idle(500_000);
+
+    // Quality against ground truth.
+    let found = pipeline
+        .duplicates()
+        .iter()
+        .filter(|m| dataset.ground_truth.is_match(m.pair))
+        .count();
+    let recall = found as f64 / dataset.ground_truth.len() as f64;
+    (rec.strategy, pipeline.duplicates().len(), recall)
+}
+
+#[test]
+fn census_pipeline_with_selected_strategy() {
+    let d = generate_census(&CensusConfig {
+        seed: 31,
+        target_profiles: 600,
+    });
+    let (strategy, _, recall) = run_with_selector(&d);
+    assert_eq!(strategy, Strategy::Pbs);
+    assert!(recall > 0.8, "recall {recall}");
+}
+
+#[test]
+fn movies_pipeline_with_selected_strategy() {
+    let d = generate_movies(&MoviesConfig {
+        seed: 31,
+        source0_size: 300,
+        source1_size: 250,
+        matches: 230,
+    });
+    let (strategy, _, recall) = run_with_selector(&d);
+    assert_eq!(strategy, Strategy::Pes);
+    assert!(recall > 0.8, "recall {recall}");
+}
+
+#[test]
+fn dbpedia_pipeline_with_selected_strategy() {
+    let d = generate_dbpedia(&DbpediaConfig {
+        seed: 31,
+        source0_size: 200,
+        source1_size: 360,
+        matches: 150,
+    });
+    let (strategy, _, recall) = run_with_selector(&d);
+    assert_eq!(strategy, Strategy::Pes);
+    assert!(recall > 0.8, "recall {recall}");
+}
+
+#[test]
+fn clusters_group_census_households() {
+    // Census clusters have up to 4 members; the pipeline's cluster view
+    // must reflect multi-member groups, not just pairs.
+    let d = generate_census(&CensusConfig {
+        seed: 32,
+        target_profiles: 500,
+    });
+    let mut pipeline = PierPipeline::new(
+        d.kind,
+        Strategy::Pbs,
+        PierConfig::default(),
+        OracleMatcher::new(d.ground_truth.clone(), 1),
+    );
+    for inc in d.into_increments(5).unwrap() {
+        pipeline.push_increment(&inc.profiles);
+        pipeline.drain(100_000);
+    }
+    pipeline.drain_idle(1_000_000);
+    let clusters = pipeline.clusters().clusters(2);
+    assert!(!clusters.is_empty());
+    let largest = clusters[0].len();
+    assert!(
+        (2..=4).contains(&largest),
+        "census cluster sizes are 2–4, got {largest}"
+    );
+    // Every clustered pair must be transitively backed by ground truth —
+    // with an oracle matcher, clusters are exactly the GT components.
+    for cluster in &clusters {
+        for pair in cluster.windows(2) {
+            assert!(pipeline.clusters().same_entity(pair[0], pair[1]));
+        }
+    }
+}
