@@ -38,9 +38,7 @@ impl BatchEr {
         let kind = collection.kind();
         let mut block_ids: Vec<BlockId> = collection
             .active_blocks()
-            .filter(|(bid, b)| {
-                !self.generated_blocks.contains(bid) && b.cardinality(kind) > 0
-            })
+            .filter(|(bid, b)| !self.generated_blocks.contains(bid) && b.cardinality(kind) > 0)
             .map(|(bid, _)| bid)
             .collect();
         block_ids.sort_unstable();

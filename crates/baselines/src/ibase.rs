@@ -138,12 +138,7 @@ mod tests {
     fn iwnp_prunes_weak_candidates() {
         // p3 shares 3 tokens with p0 and 1 token with p1/p2: I-WNP keeps
         // only the strong candidate.
-        let b = blocker(&[
-            "t1 t2 t3",
-            "t4 filler0",
-            "t5 filler1",
-            "t1 t2 t3 t4 t5",
-        ]);
+        let b = blocker(&["t1 t2 t3", "t4 filler0", "t5 filler1", "t1 t2 t3 t4 t5"]);
         let mut e = IBase::new(PierConfig::default());
         e.on_increment(&b, &[ProfileId(3)]);
         let batch = e.next_batch(&b, 100);

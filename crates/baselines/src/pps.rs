@@ -101,13 +101,14 @@ impl Pps {
             .iter()
             .map(|(&p, list)| {
                 let best = list.iter().map(|w| w.weight).fold(f64::MIN, f64::max);
-                let avg: f64 =
-                    list.iter().map(|w| w.weight).sum::<f64>() / list.len() as f64;
+                let avg: f64 = list.iter().map(|w| w.weight).sum::<f64>() / list.len() as f64;
                 (p, best, avg)
             })
             .collect();
         profiles.sort_unstable_by(|a, b| {
-            (b.1, b.2, a.0).partial_cmp(&(a.1, a.2, b.0)).expect("finite")
+            (b.1, b.2, a.0)
+                .partial_cmp(&(a.1, a.2, b.0))
+                .expect("finite")
         });
         // Phase 1: the single best comparison of each profile, globally
         // sorted by weight.

@@ -244,8 +244,7 @@ impl GsPsn {
                 *weights.entry(cmp).or_insert(0) += (self.max_window - w + 1) as u64;
             }
         }
-        let mut ranked: Vec<(u64, Comparison)> =
-            weights.into_iter().map(|(c, w)| (w, c)).collect();
+        let mut ranked: Vec<(u64, Comparison)> = weights.into_iter().map(|(c, w)| (w, c)).collect();
         // Descending weight, pair id as deterministic tie-break.
         ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         self.ops += ranked.len() as u64;
@@ -379,10 +378,7 @@ mod tests {
             all.extend(batch);
         }
         for c in &all {
-            assert_ne!(
-                b.collection().source_of(c.a),
-                b.collection().source_of(c.b)
-            );
+            assert_ne!(b.collection().source_of(c.a), b.collection().source_of(c.b));
         }
         assert!(!all.is_empty());
     }

@@ -56,11 +56,7 @@ fn main() {
                     .map_or("—".to_string(), |l| format!("{l:.2}s")),
                 fmt_consumed(out.consumed_at),
             );
-            report.add_time_series(
-                format!("{}-{label}", method.name()),
-                &out,
-                params.budget,
-            );
+            report.add_time_series(format!("{}-{label}", method.name()), &out, params.budget);
         }
         println!();
     }

@@ -1,0 +1,166 @@
+//! The zero-overhead contract of `pier-observe`, measured.
+//!
+//! Compares per-profile candidate generation (block ghosting + I-WNP —
+//! the hottest instrumented path) across four configurations:
+//!
+//! 1. `seed`       — the pristine, never-instrumented code path
+//!                   (`generate_for_profile`, kept hook-free on purpose);
+//! 2. `disabled`   — the instrumented path with `Observer::disabled()`
+//!                   (one `Option` branch per hook, no event construction);
+//! 3. `noop`       — an *enabled* observer whose sink does nothing
+//!                   (events are built and dispatched, then dropped);
+//! 4. `stats`      — an enabled `StatsObserver` (atomic counters).
+//!
+//! The contract: `disabled` stays within ~2% of `seed`. A driver-level
+//! end-to-end comparison (full pipeline, disabled observer) is reported as
+//! well. Run with `cargo bench --bench observer_overhead`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, Criterion};
+
+use pier_blocking::IncrementalBlocker;
+use pier_core::framework::{generate_for_profile, generate_for_profile_observed};
+use pier_core::{PierConfig, PierPipeline, Strategy};
+use pier_datagen::{generate_movies, MoviesConfig};
+use pier_matching::JaccardMatcher;
+use pier_observe::{NoopObserver, Observer, StatsObserver};
+use pier_types::{ErKind, ProfileId};
+
+fn movies_blocker() -> (IncrementalBlocker, usize) {
+    let d = generate_movies(&MoviesConfig {
+        seed: 11,
+        source0_size: 1000,
+        source1_size: 800,
+        matches: 700,
+    });
+    let mut b = IncrementalBlocker::new(ErKind::CleanClean);
+    let n = d.len();
+    for p in &d.profiles {
+        b.process_profile(p.clone());
+    }
+    (b, n)
+}
+
+fn overhead_pct(base_ns: f64, other_ns: f64) -> f64 {
+    (other_ns / base_ns - 1.0) * 100.0
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let (blocker, n) = movies_blocker();
+    let config = PierConfig::default();
+    // A representative spread of profiles (cheap and expensive token sets).
+    let ids: Vec<ProfileId> = (0..n as u32).step_by(97).map(ProfileId).collect();
+
+    let seed = c.measure("generate/seed", &mut |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &p in &ids {
+                let (list, _) = generate_for_profile(&blocker, black_box(p), &config);
+                total += list.len();
+            }
+            total
+        })
+    });
+
+    let disabled = c.measure("generate/observed-disabled", &mut |bench| {
+        let observer = Observer::disabled();
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &p in &ids {
+                let (list, _) =
+                    generate_for_profile_observed(&blocker, black_box(p), &config, &observer);
+                total += list.len();
+            }
+            total
+        })
+    });
+
+    let noop = c.measure("generate/observed-noop", &mut |bench| {
+        let observer = Observer::from_sink(NoopObserver);
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &p in &ids {
+                let (list, _) =
+                    generate_for_profile_observed(&blocker, black_box(p), &config, &observer);
+                total += list.len();
+            }
+            total
+        })
+    });
+
+    let stats_sink = Arc::new(StatsObserver::new());
+    let stats = c.measure("generate/observed-stats", &mut |bench| {
+        let observer = Observer::new(stats_sink.clone());
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &p in &ids {
+                let (list, _) =
+                    generate_for_profile_observed(&blocker, black_box(p), &config, &observer);
+                total += list.len();
+            }
+            total
+        })
+    });
+
+    // End-to-end: the full synchronous pipeline with its (disabled)
+    // observer hooks vs. the same pipeline with an enabled StatsObserver.
+    let d = generate_movies(&MoviesConfig {
+        seed: 12,
+        source0_size: 300,
+        source1_size: 250,
+        matches: 200,
+    });
+    let run_pipeline = |observer: Option<Observer>| {
+        let mut pl = PierPipeline::new(
+            ErKind::CleanClean,
+            Strategy::Pes,
+            PierConfig::default(),
+            JaccardMatcher::default(),
+        );
+        if let Some(obs) = observer {
+            pl.set_observer(obs);
+        }
+        for chunk in d.profiles.chunks(50) {
+            pl.push_increment(chunk);
+            pl.drain(2_000);
+        }
+        pl.duplicates().len()
+    };
+    let e2e_disabled = c.measure("pipeline/disabled", &mut |bench| {
+        bench.iter(|| run_pipeline(None))
+    });
+    let e2e_stats_sink = Arc::new(StatsObserver::new());
+    let e2e_stats = c.measure("pipeline/stats", &mut |bench| {
+        bench.iter(|| run_pipeline(Some(Observer::new(e2e_stats_sink.clone()))))
+    });
+
+    println!("\n=== observer overhead (median ns/iter) ===");
+    for m in [&seed, &disabled, &noop, &stats] {
+        println!(
+            "{:28} {:>12.0} ns  ({:+6.2}% vs seed)",
+            m.name,
+            m.median_ns,
+            overhead_pct(seed.median_ns, m.median_ns)
+        );
+    }
+    println!(
+        "{:28} {:>12.0} ns",
+        e2e_disabled.name, e2e_disabled.median_ns
+    );
+    println!(
+        "{:28} {:>12.0} ns  ({:+6.2}% vs disabled)",
+        e2e_stats.name,
+        e2e_stats.median_ns,
+        overhead_pct(e2e_disabled.median_ns, e2e_stats.median_ns)
+    );
+
+    let pct = overhead_pct(seed.median_ns, disabled.median_ns);
+    println!("\ninstrumented-but-disabled overhead: {pct:+.2}% (contract: within ~2%)");
+    // Micro-benchmarks jitter; fail loudly only on a clear regression.
+    assert!(
+        pct < 5.0,
+        "disabled-observer overhead {pct:.2}% exceeds the zero-cost contract"
+    );
+}

@@ -110,11 +110,9 @@ pub fn sim_config(budget: f64) -> SimConfig {
 /// through `increments` increments back to back.
 pub fn static_plan(method: Method, increments: usize) -> StreamPlan {
     match method {
-        Method::Batch
-        | Method::Pbs
-        | Method::PpsGlobal
-        | Method::LsPsn
-        | Method::GsPsn => StreamPlan::static_data(1),
+        Method::Batch | Method::Pbs | Method::PpsGlobal | Method::LsPsn | Method::GsPsn => {
+            StreamPlan::static_data(1)
+        }
         _ => StreamPlan::static_data(increments),
     }
 }

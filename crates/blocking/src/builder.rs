@@ -92,6 +92,12 @@ impl IncrementalBlocker {
         id
     }
 
+    /// Attaches a pipeline observer to the block collection (which reports
+    /// block creation and purging through it).
+    pub fn set_observer(&mut self, observer: pier_observe::Observer) {
+        self.collection.set_observer(observer);
+    }
+
     /// The maintained block collection `B_D`.
     pub fn collection(&self) -> &BlockCollection {
         &self.collection

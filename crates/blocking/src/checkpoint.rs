@@ -140,10 +140,7 @@ pub fn load_checkpoint<R: BufRead>(r: R) -> Result<IncrementalBlocker, PierError
             continue;
         }
         let p = current.get_or_insert_with(|| {
-            pier_types::EntityProfile::new(
-                pier_types::ProfileId(id),
-                pier_types::SourceId(source),
-            )
+            pier_types::EntityProfile::new(pier_types::ProfileId(id), pier_types::SourceId(source))
         });
         p.attributes
             .push(pier_types::Attribute::new(rec[2].clone(), rec[3].clone()));
@@ -194,8 +191,18 @@ mod tests {
         }
         // Block membership order identical (arrival order preserved).
         let shared = b.dictionary().get("shared").unwrap();
-        let m1: Vec<_> = b.collection().block(shared.into()).unwrap().members().collect();
-        let m2: Vec<_> = b2.collection().block(shared.into()).unwrap().members().collect();
+        let m1: Vec<_> = b
+            .collection()
+            .block(shared.into())
+            .unwrap()
+            .members()
+            .collect();
+        let m2: Vec<_> = b2
+            .collection()
+            .block(shared.into())
+            .unwrap()
+            .members()
+            .collect();
         assert_eq!(m1, m2);
     }
 
@@ -207,9 +214,8 @@ mod tests {
         // A profile with a 2-char token must be filtered identically after
         // restore (min_len 3).
         let mut b2 = load_checkpoint(BufReader::new(&buf[..])).unwrap();
-        let id = b2.process_profile(
-            EntityProfile::new(ProfileId(9), SourceId(0)).with("t", "ab abc"),
-        );
+        let id =
+            b2.process_profile(EntityProfile::new(ProfileId(9), SourceId(0)).with("t", "ab abc"));
         assert_eq!(b2.tokens_of(id).len(), 1, "min_len 3 must be restored");
     }
 

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use pier_observe::{Event, Observer};
 use pier_types::{ErKind, ProfileId, SourceId, TokenId};
 
 use crate::purging::PurgePolicy;
@@ -57,7 +58,10 @@ impl Block {
 
     /// All member profiles, source 0 first, each in arrival order.
     pub fn members(&self) -> impl Iterator<Item = ProfileId> + '_ {
-        self.members[0].iter().chain(self.members[1].iter()).copied()
+        self.members[0]
+            .iter()
+            .chain(self.members[1].iter())
+            .copied()
     }
 
     /// Number of comparisons this block can generate (the paper's `||b||`):
@@ -113,6 +117,7 @@ pub struct BlockCollection {
     profile_count: usize,
     purge_policy: PurgePolicy,
     purged_count: usize,
+    observer: Observer,
 }
 
 impl BlockCollection {
@@ -132,7 +137,14 @@ impl BlockCollection {
             profile_count: 0,
             purge_policy,
             purged_count: 0,
+            observer: Observer::disabled(),
         }
+    }
+
+    /// Attaches a pipeline observer; the collection reports
+    /// [`Event::BlockBuilt`] and [`Event::BlockPurged`] through it.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     /// The ER task kind this collection serves.
@@ -160,11 +172,17 @@ impl BlockCollection {
         let mut blocks = Vec::with_capacity(tokens.len());
         for &t in tokens {
             let bid = BlockId::from(t);
-            let block = self.blocks.entry(bid).or_default();
+            let observer = &self.observer;
+            let block = self.blocks.entry(bid).or_insert_with(|| {
+                observer.emit(|| Event::BlockBuilt { block: bid.0 });
+                Block::default()
+            });
             block.members[source.0 as usize].push(id);
             if !block.purged && self.purge_policy.should_purge(block, self.kind) {
                 block.purged = true;
                 self.purged_count += 1;
+                let size = block.len();
+                observer.emit(|| Event::BlockPurged { block: bid.0, size });
             }
             blocks.push(bid);
         }
@@ -385,7 +403,9 @@ mod tests {
         add(&mut c, 2, 0, &[1]); // block 1 now has 3 members > 2 -> purged
         assert_eq!(c.purged_count(), 1);
         assert!(c.block(BlockId(1)).unwrap().is_purged());
-        assert!(c.partners_with_counts(ProfileId(0), &[BlockId(1)]).is_empty());
+        assert!(c
+            .partners_with_counts(ProfileId(0), &[BlockId(1)])
+            .is_empty());
         assert!(c.active_blocks_of(ProfileId(0)).is_empty());
         assert_eq!(c.common_blocks(ProfileId(0), ProfileId(1)), 0);
         assert_eq!(c.total_cardinality(), 0);

@@ -11,7 +11,8 @@
 //! blocks. The default across experiments is `β = 0.5` (blocks up to twice
 //! the smallest survive); the `ablation_ghosting` bench sweeps it.
 
-use pier_types::PierError;
+use pier_observe::{Event, Observer};
+use pier_types::{PierError, ProfileId};
 
 use crate::collection::BlockId;
 
@@ -39,6 +40,28 @@ pub fn block_ghosting(blocks: &[(BlockId, usize)], beta: f64) -> Result<Vec<Bloc
         .filter(|&&(_, size)| size as f64 <= threshold)
         .map(|&(id, _)| id)
         .collect())
+}
+
+/// [`block_ghosting`] with instrumentation: reports the kept/dropped split
+/// for `profile` as an [`Event::BlockGhosted`]. Behaviour and result are
+/// identical to the unobserved function (which remains the pristine
+/// reference path for the zero-overhead contract bench).
+///
+/// # Errors
+/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+pub fn block_ghosting_observed(
+    blocks: &[(BlockId, usize)],
+    beta: f64,
+    profile: ProfileId,
+    observer: &Observer,
+) -> Result<Vec<BlockId>, PierError> {
+    let kept = block_ghosting(blocks, beta)?;
+    observer.emit(|| Event::BlockGhosted {
+        profile,
+        kept: kept.len(),
+        dropped: blocks.len() - kept.len(),
+    });
+    Ok(kept)
 }
 
 #[cfg(test)]

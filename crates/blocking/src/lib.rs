@@ -29,6 +29,6 @@ pub mod stats;
 pub use builder::IncrementalBlocker;
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use collection::{Block, BlockCollection, BlockId};
-pub use ghosting::block_ghosting;
+pub use ghosting::{block_ghosting, block_ghosting_observed};
 pub use purging::PurgePolicy;
 pub use stats::{block_stats, BlockStats};

@@ -36,10 +36,7 @@ pub struct BlockStats {
 
 /// Computes [`BlockStats`] for a collection.
 pub fn block_stats(collection: &BlockCollection, kind: ErKind) -> BlockStats {
-    let mut sizes: Vec<usize> = collection
-        .active_blocks()
-        .map(|(_, b)| b.len())
-        .collect();
+    let mut sizes: Vec<usize> = collection.active_blocks().map(|(_, b)| b.len()).collect();
     sizes.sort_unstable();
     let active = sizes.len();
     let purged = collection.purged_count();
@@ -166,6 +163,42 @@ mod tests {
     }
 
     #[test]
+    fn all_singleton_collection_generates_no_comparisons() {
+        let c = collection_with_sizes(&[1, 1, 1, 1]);
+        let s = block_stats(&c, ErKind::Dirty);
+        assert_eq!(s.active_blocks, 4);
+        assert_eq!(s.total_cardinality, 0, "singletons yield zero pairs");
+        assert_eq!(s.singleton_fraction, 1.0);
+        assert!(s.gini < 1e-9, "equal sizes must have zero gini");
+        assert_eq!(s.size_histogram, vec![4]);
+    }
+
+    #[test]
+    fn single_block_collection_is_defined() {
+        // n = 1 exercises the (n+1)/n Gini term and a one-bucket histogram.
+        let c = collection_with_sizes(&[8]);
+        let s = block_stats(&c, ErKind::Dirty);
+        assert_eq!(s.active_blocks, 1);
+        assert_eq!(s.avg_size, 8.0);
+        assert_eq!(s.max_size, 8);
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.size_histogram, vec![0, 0, 0, 1]);
+        assert_eq!(s.total_cardinality, 28); // C(8,2)
+    }
+
+    #[test]
+    fn clean_clean_cardinality_counts_cross_source_only() {
+        // 2 profiles per source in one block: ‖b‖ = 2·2 = 4 cross pairs,
+        // not C(4,2) = 6.
+        let mut c = BlockCollection::with_policy(ErKind::CleanClean, PurgePolicy::disabled());
+        for i in 0..4u32 {
+            c.add_profile(ProfileId(i), SourceId((i % 2) as u8), &[TokenId(0)]);
+        }
+        let s = block_stats(&c, ErKind::CleanClean);
+        assert_eq!(s.total_cardinality, 4);
+    }
+
+    #[test]
     fn real_generator_distribution_is_skewed() {
         // Zipf vocabularies must produce a skewed block-size distribution
         // — the property purging/ghosting exist for.
@@ -180,7 +213,11 @@ mod tests {
             b.process_profile(p);
         }
         let s = block_stats(b.collection(), ErKind::CleanClean);
-        assert!(s.gini > 0.4, "generator blocks too uniform: gini {}", s.gini);
+        assert!(
+            s.gini > 0.4,
+            "generator blocks too uniform: gini {}",
+            s.gini
+        );
         assert!(s.singleton_fraction > 0.2);
     }
 

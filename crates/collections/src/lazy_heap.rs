@@ -63,9 +63,7 @@ impl<K: Ord + Copy, V: Eq + Hash + Copy + Ord> LazyMinHeap<K, V> {
     pub fn peek_min(&mut self) -> Option<(V, K)> {
         while let Some(Reverse((key, version, value))) = self.heap.peek().copied() {
             match self.live.get(&value) {
-                Some(&(live_key, live_version))
-                    if live_version == version && live_key == key =>
-                {
+                Some(&(live_key, live_version)) if live_version == version && live_key == key => {
                     return Some((value, key));
                 }
                 _ => {

@@ -27,8 +27,11 @@
 //! assert_eq!(found.len(), 1);
 //! ```
 
+use std::time::Instant;
+
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_matching::{ClassifiedMatch, IncrementalClassifier, MatchFunction, MatchInput};
+use pier_observe::{Event, Observer, Phase};
 use pier_types::{EntityProfile, ErKind, Tokenizer};
 
 use crate::framework::{ComparisonEmitter, PierConfig};
@@ -41,6 +44,8 @@ pub struct PierPipeline<M: MatchFunction> {
     classifier: IncrementalClassifier<M>,
     /// Comparisons pulled per round while draining.
     pub batch_size: usize,
+    observer: Observer,
+    increments: u64,
 }
 
 impl<M: MatchFunction> PierPipeline<M> {
@@ -62,14 +67,46 @@ impl<M: MatchFunction> PierPipeline<M> {
             emitter: strategy.build(config),
             classifier: IncrementalClassifier::new(matcher),
             batch_size: 256,
+            observer: Observer::disabled(),
+            increments: 0,
         }
+    }
+
+    /// Attaches a pipeline observer and propagates it to every component
+    /// (blocker, emitter, classifier). The pipeline itself reports
+    /// [`Event::IncrementIngested`] and [`Event::PhaseTiming`].
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.blocker.set_observer(observer.clone());
+        self.emitter.set_observer(observer.clone());
+        self.classifier.set_observer(observer.clone());
+        self.observer = observer;
     }
 
     /// Ingests one increment: blocking + prioritizer update. Returns the
     /// assigned profile ids.
     pub fn push_increment(&mut self, profiles: &[EntityProfile]) -> Vec<pier_types::ProfileId> {
+        let t0 = self.observer.is_enabled().then(Instant::now);
         let ids = self.blocker.process_increment(profiles);
+        if let Some(t0) = t0 {
+            self.observer.emit(|| Event::PhaseTiming {
+                phase: Phase::Block,
+                secs: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let t1 = self.observer.is_enabled().then(Instant::now);
         self.emitter.on_increment(&self.blocker, &ids);
+        if let Some(t1) = t1 {
+            self.observer.emit(|| Event::PhaseTiming {
+                phase: Phase::Weight,
+                secs: t1.elapsed().as_secs_f64(),
+            });
+        }
+        let seq = self.increments;
+        self.increments += 1;
+        self.observer.emit(|| Event::IncrementIngested {
+            seq,
+            profiles: profiles.len(),
+        });
         ids
     }
 
@@ -81,10 +118,18 @@ impl<M: MatchFunction> PierPipeline<M> {
         let mut executed = 0usize;
         while executed < max_comparisons {
             let want = self.batch_size.min(max_comparisons - executed);
+            let t0 = self.observer.is_enabled().then(Instant::now);
             let batch = self.emitter.next_batch(&self.blocker, want);
+            if let Some(t0) = t0 {
+                self.observer.emit(|| Event::PhaseTiming {
+                    phase: Phase::Prune,
+                    secs: t0.elapsed().as_secs_f64(),
+                });
+            }
             if batch.is_empty() {
                 break;
             }
+            let t1 = self.observer.is_enabled().then(Instant::now);
             for cmp in batch {
                 let input = MatchInput {
                     profile_a: self.blocker.profile(cmp.a),
@@ -94,6 +139,12 @@ impl<M: MatchFunction> PierPipeline<M> {
                 };
                 self.classifier.classify(cmp, input);
                 executed += 1;
+            }
+            if let Some(t1) = t1 {
+                self.observer.emit(|| Event::PhaseTiming {
+                    phase: Phase::Classify,
+                    secs: t1.elapsed().as_secs_f64(),
+                });
             }
         }
         self.classifier.duplicates()[before..].to_vec()
@@ -186,8 +237,7 @@ mod tests {
     #[test]
     fn drain_respects_the_comparison_budget() {
         let mut pl = pipeline();
-        let profiles: Vec<EntityProfile> =
-            (0..10).map(|i| p(i, "shared token here")).collect();
+        let profiles: Vec<EntityProfile> = (0..10).map(|i| p(i, "shared token here")).collect();
         pl.push_increment(&profiles);
         pl.drain(3);
         assert!(pl.comparisons() <= 3 + pl.batch_size as u64);
@@ -228,6 +278,26 @@ mod tests {
             pl.comparisons()
         );
         let _ = (eager, with_idle);
+    }
+
+    #[test]
+    fn observer_sees_the_whole_pipeline() {
+        use pier_observe::StatsObserver;
+        use std::sync::Arc;
+
+        let stats = Arc::new(StatsObserver::new());
+        let mut pl = pipeline();
+        pl.set_observer(Observer::new(stats.clone()));
+        pl.push_increment(&[p(0, "observe me now"), p(1, "observe me now")]);
+        pl.drain(100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.increments, 1);
+        assert_eq!(snap.profiles, 2);
+        assert!(snap.blocks_built >= 3);
+        assert!(snap.comparisons_emitted >= 1);
+        assert_eq!(snap.matches_confirmed, 1);
+        // All four phases were timed at least once.
+        assert!(snap.phases.iter().all(|ph| ph.count >= 1));
     }
 
     #[test]

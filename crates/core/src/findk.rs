@@ -12,6 +12,8 @@
 //! `K` grow large; an expensive matcher (ED) drives it down so the pipeline
 //! re-prioritizes frequently instead of committing to stale comparisons.
 
+use pier_observe::{Event, Observer};
+
 /// Exponentially-weighted moving average with bias-corrected warm-up.
 #[derive(Debug, Clone, Copy)]
 pub struct Ewma {
@@ -61,6 +63,7 @@ pub struct AdaptiveK {
     interarrival: Ewma,
     service: Ewma,
     last_arrival_at: Option<f64>,
+    observer: Observer,
 }
 
 impl Default for AdaptiveK {
@@ -85,7 +88,14 @@ impl AdaptiveK {
             interarrival: Ewma::new(0.3),
             service: Ewma::new(0.3),
             last_arrival_at: None,
+            observer: Observer::disabled(),
         }
+    }
+
+    /// Attaches a pipeline observer ([`Event::AdaptiveKChanged`] on every
+    /// effective adjustment of `K`).
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     /// Records that an increment arrived at absolute time `now` (seconds).
@@ -109,6 +119,7 @@ impl AdaptiveK {
         else {
             return; // not enough signal yet
         };
+        let old_k = self.k();
         if service < interarrival {
             // Matcher keeps up: allow more work per round.
             self.k *= self.gain;
@@ -118,6 +129,11 @@ impl AdaptiveK {
             self.k /= self.gain;
         }
         self.k = self.k.clamp(self.k_min as f64, self.k_max as f64);
+        let new_k = self.k();
+        if new_k != old_k {
+            self.observer
+                .emit(|| Event::AdaptiveKChanged { old_k, new_k });
+        }
     }
 
     /// The current batch size `K`.

@@ -8,8 +8,11 @@
 //! simulator and the threaded runtime) own timing, rates and the adaptive
 //! `K`; the emitters own *which comparisons come next*.
 
-use pier_blocking::{block_ghosting, BlockCollection, BlockId, IncrementalBlocker};
+use pier_blocking::{
+    block_ghosting, block_ghosting_observed, BlockCollection, BlockId, IncrementalBlocker,
+};
 use pier_metablocking::{iwnp, IwnpConfig, WeightingScheme};
+use pier_observe::Observer;
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
 /// Configuration shared by the PIER strategies.
@@ -65,6 +68,11 @@ pub trait ComparisonEmitter {
 
     /// Display name for experiment output (e.g. `"I-PES"`).
     fn name(&self) -> String;
+
+    /// Attaches a pipeline observer. Instrumented emitters report
+    /// comparison emission, redundancy filtering and ghosting through it;
+    /// the default implementation (baselines) ignores it.
+    fn set_observer(&mut self, _observer: Observer) {}
 }
 
 /// Runs the per-profile generation pipeline of Algorithm 2, lines 2–8:
@@ -80,6 +88,30 @@ pub fn generate_for_profile(
     let blocks = collection.active_blocks_of(p_x);
     // Scan cost: one op per member of each surviving block.
     let ghosted = block_ghosting(&blocks, config.beta).expect("beta validated at construction");
+    let ops: u64 = ghosted
+        .iter()
+        .filter_map(|bid| collection.block(*bid))
+        .map(|b| b.len() as u64)
+        .sum::<u64>()
+        + blocks.len() as u64;
+    let list = iwnp(collection, p_x, &ghosted, config.iwnp());
+    (list, ops)
+}
+
+/// [`generate_for_profile`] with instrumentation: ghosting reports its
+/// kept/dropped split through `observer`. Identical result and ops; the
+/// unobserved function stays as the pristine reference path for the
+/// zero-overhead contract bench.
+pub fn generate_for_profile_observed(
+    blocker: &IncrementalBlocker,
+    p_x: ProfileId,
+    config: &PierConfig,
+    observer: &Observer,
+) -> (Vec<WeightedComparison>, u64) {
+    let collection = blocker.collection();
+    let blocks = collection.active_blocks_of(p_x);
+    let ghosted = block_ghosting_observed(&blocks, config.beta, p_x, observer)
+        .expect("beta validated at construction");
     let ops: u64 = ghosted
         .iter()
         .filter_map(|bid| collection.block(*bid))
@@ -137,9 +169,7 @@ impl BlockCursor {
         }
         match kind {
             pier_types::ErKind::Dirty => n0 >= 2 && n0 > w0,
-            pier_types::ErKind::CleanClean => {
-                (n0 > w0 && n1 > 0) || (n1 > w1 && n0 > 0)
-            }
+            pier_types::ErKind::CleanClean => (n0 > w0 && n1 > 0) || (n1 > w1 && n0 > 0),
         }
     }
 
@@ -273,9 +303,7 @@ mod tests {
     #[test]
     fn cursor_skips_cardinality_zero_blocks() {
         let mut b = IncrementalBlocker::new(ErKind::CleanClean);
-        b.process_profile(
-            EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "lonely token"),
-        );
+        b.process_profile(EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "lonely token"));
         let mut cur = BlockCursor::new();
         // Single-source blocks have zero Clean-Clean cardinality.
         assert!(cur.next_block(b.collection()).is_none());
@@ -302,10 +330,8 @@ mod tests {
             first.extend(cmps);
         }
         assert_eq!(first.len(), 2); // (0,1) from aa and bb
-        // Grow block "aa" with a new member.
-        b.process_profile(
-            EntityProfile::new(ProfileId(2), SourceId(0)).with("text", "aa"),
-        );
+                                    // Grow block "aa" with a new member.
+        b.process_profile(EntityProfile::new(ProfileId(2), SourceId(0)).with("text", "aa"));
         let mut second = Vec::new();
         while let Some((cmps, _)) = cur.next_block(b.collection()) {
             second.extend(cmps);
@@ -342,9 +368,16 @@ mod tests {
             }
         }
         // Block "tok" holds all 5 profiles: C(5,2) = 10 pairs.
-        assert_eq!(got.iter().filter(|c| {
-            b.tokens_of(c.a).iter().any(|t| b.tokens_of(c.b).contains(t))
-        }).count(), got.len());
+        assert_eq!(
+            got.iter()
+                .filter(|c| {
+                    b.tokens_of(c.a)
+                        .iter()
+                        .any(|t| b.tokens_of(c.b).contains(t))
+                })
+                .count(),
+            got.len()
+        );
         assert!(got.len() >= 10);
     }
 

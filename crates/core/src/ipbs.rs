@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use pier_blocking::{BlockId, IncrementalBlocker};
 use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
+use pier_observe::{Event, Observer};
 use pier_types::{Comparison, ProfileId};
 
 use crate::framework::{ComparisonEmitter, PierConfig};
@@ -67,6 +68,7 @@ pub struct Ipbs {
     /// `CF`: the scalable Bloom comparison filter.
     cf: ScalableBloomFilter,
     ops: u64,
+    observer: Observer,
 }
 
 impl Ipbs {
@@ -78,6 +80,7 @@ impl Ipbs {
             pi: HashMap::new(),
             cf: ScalableBloomFilter::for_comparisons(),
             ops: 0,
+            observer: Observer::disabled(),
         }
     }
 
@@ -123,6 +126,7 @@ impl Ipbs {
                 self.ops += 1;
                 let cmp = Comparison::new(p_x, p_y);
                 if !self.cf.insert(cmp.key()) {
+                    self.observer.emit(|| Event::CfFiltered { cmp });
                     continue; // redundant (line 11)
                 }
                 let weight = collection.common_blocks(cmp.a, cmp.b) as f64;
@@ -170,6 +174,10 @@ impl ComparisonEmitter for Ipbs {
             }
             if let Some(entry) = self.index.pop() {
                 self.ops += 1;
+                self.observer.emit(|| Event::ComparisonEmitted {
+                    cmp: entry.cmp,
+                    weight: entry.weight,
+                });
                 batch.push(entry.cmp);
             }
         }
@@ -186,6 +194,10 @@ impl ComparisonEmitter for Ipbs {
 
     fn name(&self) -> String {
         "I-PBS".to_string()
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 }
 
@@ -280,7 +292,7 @@ mod tests {
         let mut e = Ipbs::new(PierConfig::default());
         e.on_increment(&b, &[ProfileId(0), ProfileId(1)]);
         assert_eq!(e.index_len(), 1); // (0,1) materialized, bsize 2
-        // Second increment: three profiles in a bigger block.
+                                      // Second increment: three profiles in a bigger block.
         for i in 2..5u32 {
             b.process_profile(EntityProfile::new(ProfileId(i), SourceId(0)).with("t", "big"));
         }
@@ -311,10 +323,7 @@ mod tests {
         }
         assert_eq!(all.len(), 2);
         for c in all {
-            assert_ne!(
-                b.collection().source_of(c.a),
-                b.collection().source_of(c.b)
-            );
+            assert_ne!(b.collection().source_of(c.a), b.collection().source_of(c.b));
         }
     }
 

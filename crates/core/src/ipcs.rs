@@ -15,9 +15,10 @@
 
 use pier_blocking::IncrementalBlocker;
 use pier_collections::{BoundedMaxHeap, ScalableBloomFilter};
+use pier_observe::{Event, Observer};
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
-use crate::framework::{generate_for_profile, BlockCursor, ComparisonEmitter, PierConfig};
+use crate::framework::{generate_for_profile_observed, BlockCursor, ComparisonEmitter, PierConfig};
 
 /// The I-PCS emitter.
 pub struct Ipcs {
@@ -28,6 +29,7 @@ pub struct Ipcs {
     enqueued: ScalableBloomFilter,
     cursor: BlockCursor,
     ops: u64,
+    observer: Observer,
 }
 
 impl Ipcs {
@@ -39,6 +41,7 @@ impl Ipcs {
             cursor: BlockCursor::new(),
             config,
             ops: 0,
+            observer: Observer::disabled(),
         }
     }
 
@@ -51,6 +54,8 @@ impl Ipcs {
         if self.enqueued.insert(wc.cmp.key()) {
             self.index.push(wc);
             self.ops += 1;
+        } else {
+            self.observer.emit(|| Event::CfFiltered { cmp: wc.cmp });
         }
     }
 
@@ -72,7 +77,8 @@ impl Ipcs {
 impl ComparisonEmitter for Ipcs {
     fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
         for &p in new_ids {
-            let (list, ops) = generate_for_profile(blocker, p, &self.config);
+            let (list, ops) =
+                generate_for_profile_observed(blocker, p, &self.config, &self.observer);
             self.ops += ops;
             for wc in list {
                 self.enqueue(wc);
@@ -96,6 +102,10 @@ impl ComparisonEmitter for Ipcs {
                 break;
             };
             self.ops += 1;
+            self.observer.emit(|| Event::ComparisonEmitted {
+                cmp: wc.cmp,
+                weight: wc.weight,
+            });
             batch.push(wc.cmp);
         }
         batch
@@ -111,6 +121,10 @@ impl ComparisonEmitter for Ipcs {
 
     fn name(&self) -> String {
         "I-PCS".to_string()
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 }
 
@@ -176,7 +190,10 @@ mod tests {
     fn k_bounds_the_batch() {
         let b = blocker(&["aa bb", "aa bb", "aa cc", "bb cc"]);
         let mut e = Ipcs::new(PierConfig::default());
-        e.on_increment(&b, &[ProfileId(0), ProfileId(1), ProfileId(2), ProfileId(3)]);
+        e.on_increment(
+            &b,
+            &[ProfileId(0), ProfileId(1), ProfileId(2), ProfileId(3)],
+        );
         let batch = e.next_batch(&b, 2);
         assert_eq!(batch.len(), 2);
     }

@@ -25,9 +25,10 @@ use std::collections::{BinaryHeap, HashMap};
 
 use pier_blocking::IncrementalBlocker;
 use pier_collections::{BoundedMaxHeap, ScalableBloomFilter};
+use pier_observe::{Event, Observer};
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
-use crate::framework::{generate_for_profile, BlockCursor, ComparisonEmitter, PierConfig};
+use crate::framework::{generate_for_profile_observed, BlockCursor, ComparisonEmitter, PierConfig};
 
 /// An `EntityQueue` entry: `⟨profile, weight⟩`, max-ordered by weight.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +84,7 @@ pub struct Ipes {
     enqueued: ScalableBloomFilter,
     cursor: BlockCursor,
     ops: u64,
+    observer: Observer,
 }
 
 impl Ipes {
@@ -99,6 +101,7 @@ impl Ipes {
             cursor: BlockCursor::new(),
             config,
             ops: 0,
+            observer: Observer::disabled(),
         }
     }
 
@@ -118,6 +121,7 @@ impl Ipes {
     /// Distributes one weighted comparison per Algorithm 4, lines 1–14.
     fn distribute(&mut self, wc: WeightedComparison) {
         if !self.enqueued.insert(wc.cmp.key()) {
+            self.observer.emit(|| Event::CfFiltered { cmp: wc.cmp });
             return; // already routed (or emitted) once
         }
         let (p_x, p_y) = (wc.cmp.a, wc.cmp.b);
@@ -153,7 +157,12 @@ impl Ipes {
             let owner = if len_x <= len_y { p_x } else { p_y };
             // ...but only if it beats that entity's own running average
             // (the second half of the double pruning).
-            let avg = self.stats.get(&owner).copied().unwrap_or_default().average();
+            let avg = self
+                .stats
+                .get(&owner)
+                .copied()
+                .unwrap_or_default()
+                .average();
             if w > avg {
                 self.push_epq(owner, wc);
             } else {
@@ -222,7 +231,8 @@ impl ComparisonEmitter for Ipes {
     fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
         // Algorithm 2 lines 1–9 (shared generation pipeline)...
         for &p in new_ids {
-            let (list, ops) = generate_for_profile(blocker, p, &self.config);
+            let (list, ops) =
+                generate_for_profile_observed(blocker, p, &self.config, &self.observer);
             self.ops += ops;
             // ...then Algorithm 4's distribution instead of a flat enqueue.
             for wc in list {
@@ -241,12 +251,20 @@ impl ComparisonEmitter for Ipes {
         let mut batch = Vec::with_capacity(k);
         while batch.len() < k {
             if let Some(wc) = self.dequeue_entity_path() {
+                self.observer.emit(|| Event::ComparisonEmitted {
+                    cmp: wc.cmp,
+                    weight: wc.weight,
+                });
                 batch.push(wc.cmp);
                 continue;
             }
             // Entity structures dry: take the missing comparisons from PQ.
             if let Some(wc) = self.pq.pop() {
                 self.ops += 1;
+                self.observer.emit(|| Event::ComparisonEmitted {
+                    cmp: wc.cmp,
+                    weight: wc.weight,
+                });
                 batch.push(wc.cmp);
                 continue;
             }
@@ -265,6 +283,10 @@ impl ComparisonEmitter for Ipes {
 
     fn name(&self) -> String {
         "I-PES".to_string()
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 }
 
@@ -393,7 +415,7 @@ mod tests {
         e.distribute(mk(0, 1, 10.0)); // tops for 0
         e.distribute(mk(0, 2, 5.0)); // beats top of 2 -> E_PQ(2)
         e.distribute(mk(0, 3, 4.0)); // beats top of 3 -> E_PQ(3)
-        // Now a weight below every top and below global average -> PQ.
+                                     // Now a weight below every top and below global average -> PQ.
         e.distribute(mk(2, 3, 1.0));
         assert!(!e.pq.is_empty());
     }

@@ -119,8 +119,7 @@ impl CensusGen {
                             .map(|(i, _)| i)
                             .collect();
                         if !candidates.is_empty() {
-                            let victim =
-                                candidates[self.rng.random_range(0..candidates.len())];
+                            let victim = candidates[self.rng.random_range(0..candidates.len())];
                             fields.remove(victim);
                         }
                     }
@@ -197,8 +196,7 @@ pub fn generate_census(config: &CensusConfig) -> Dataset {
         }
     }
 
-    Dataset::new("census-2m", ErKind::Dirty, profiles, gt)
-        .expect("generator produces dense ids")
+    Dataset::new("census-2m", ErKind::Dirty, profiles, gt).expect("generator produces dense ids")
 }
 
 #[cfg(test)]

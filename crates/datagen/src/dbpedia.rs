@@ -229,8 +229,7 @@ pub fn generate_dbpedia(config: &DbpediaConfig) -> Dataset {
         gt.insert(a, b);
     }
 
-    Dataset::new("dbpedia", ErKind::CleanClean, profiles, gt)
-        .expect("generator produces dense ids")
+    Dataset::new("dbpedia", ErKind::CleanClean, profiles, gt).expect("generator produces dense ids")
 }
 
 #[cfg(test)]
@@ -259,7 +258,10 @@ mod tests {
         let d = small();
         let counts: std::collections::HashSet<usize> =
             d.profiles.iter().map(|p| p.attributes.len()).collect();
-        assert!(counts.len() >= 5, "attribute counts too uniform: {counts:?}");
+        assert!(
+            counts.len() >= 5,
+            "attribute counts too uniform: {counts:?}"
+        );
     }
 
     #[test]
@@ -267,8 +269,8 @@ mod tests {
         // ED cost is quadratic in value length — dbpedia profiles must be
         // much longer than census ones.
         let d = small();
-        let avg: f64 = d.profiles.iter().map(|p| p.value_len() as f64).sum::<f64>()
-            / d.len() as f64;
+        let avg: f64 =
+            d.profiles.iter().map(|p| p.value_len() as f64).sum::<f64>() / d.len() as f64;
         assert!(avg > 150.0, "average value length {avg} too short");
     }
 

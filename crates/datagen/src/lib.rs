@@ -57,9 +57,7 @@ impl StandardDataset {
     /// seed (the configuration used by the figure benches).
     pub fn generate(self) -> Dataset {
         match self {
-            StandardDataset::DblpAcm => {
-                generate_bibliographic(&BibliographicConfig::default())
-            }
+            StandardDataset::DblpAcm => generate_bibliographic(&BibliographicConfig::default()),
             StandardDataset::Movies => generate_movies(&MoviesConfig::default()),
             StandardDataset::Census => generate_census(&CensusConfig::default()),
             StandardDataset::Dbpedia => generate_dbpedia(&DbpediaConfig::default()),

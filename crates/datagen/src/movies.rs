@@ -48,8 +48,16 @@ struct Movie {
 }
 
 const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "horror", "romance", "action", "documentary", "western",
-    "animation", "crime",
+    "drama",
+    "comedy",
+    "thriller",
+    "horror",
+    "romance",
+    "action",
+    "documentary",
+    "western",
+    "animation",
+    "crime",
 ];
 
 struct MovieGen {
@@ -209,8 +217,7 @@ pub fn generate_movies(config: &MoviesConfig) -> Dataset {
         gt.insert(a, b);
     }
 
-    Dataset::new("movies", ErKind::CleanClean, profiles, gt)
-        .expect("generator produces dense ids")
+    Dataset::new("movies", ErKind::CleanClean, profiles, gt).expect("generator produces dense ids")
 }
 
 #[cfg(test)]
@@ -254,7 +261,10 @@ mod tests {
             .filter(|p| p.source == SourceId(1))
             .map(|p| p.attributes.len())
             .collect();
-        assert!(counts.len() >= 2, "attribute counts should vary: {counts:?}");
+        assert!(
+            counts.len() >= 2,
+            "attribute counts should vary: {counts:?}"
+        );
     }
 
     #[test]

@@ -248,8 +248,7 @@ mod tests {
         let mut kept_total = 0usize;
         for _ in 0..100 {
             let dup = perturb(&mut r, original, 2);
-            let orig_toks: std::collections::HashSet<&str> =
-                original.split(' ').collect();
+            let orig_toks: std::collections::HashSet<&str> = original.split(' ').collect();
             let kept = dup.split(' ').filter(|t| orig_toks.contains(t)).count();
             kept_total += kept;
         }

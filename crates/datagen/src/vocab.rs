@@ -58,8 +58,8 @@ impl Zipf {
 }
 
 const CONSONANTS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "st", "tr", "ch", "br", "pl",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "st",
+    "tr", "ch", "br", "pl",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou", "ea"];
 

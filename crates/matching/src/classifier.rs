@@ -8,7 +8,9 @@
 //! the already discovered duplicates").
 
 use std::collections::HashSet;
+use std::time::Instant;
 
+use pier_observe::{Event, Observer};
 use pier_types::{Comparison, IncrementalClusters};
 
 use crate::matcher::{MatchFunction, MatchInput, MatchOutcome};
@@ -31,6 +33,9 @@ pub struct IncrementalClassifier<M: MatchFunction> {
     clusters: IncrementalClusters,
     comparisons: u64,
     ops: u64,
+    observer: Observer,
+    /// Origin for the `at_secs` timestamp of [`Event::MatchConfirmed`].
+    epoch: Instant,
 }
 
 impl<M: MatchFunction> IncrementalClassifier<M> {
@@ -43,7 +48,15 @@ impl<M: MatchFunction> IncrementalClassifier<M> {
             clusters: IncrementalClusters::new(),
             comparisons: 0,
             ops: 0,
+            observer: Observer::disabled(),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Attaches a pipeline observer ([`Event::MatchConfirmed`] for every
+    /// new duplicate, stamped with seconds since the classifier was built).
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     /// Classifies one comparison. Returns the outcome if the pair is new,
@@ -62,6 +75,11 @@ impl<M: MatchFunction> IncrementalClassifier<M> {
                 similarity: outcome.similarity,
             });
             self.clusters.add_match(cmp);
+            self.observer.emit(|| Event::MatchConfirmed {
+                cmp,
+                similarity: outcome.similarity,
+                at_secs: self.epoch.elapsed().as_secs_f64(),
+            });
         }
         Some(outcome)
     }
@@ -171,7 +189,10 @@ mod tests {
         let ta = toks(&[1, 2]);
         let tb = toks(&[3, 4]);
         let out = c
-            .classify(Comparison::new(ProfileId(0), ProfileId(1)), input(&pa, &ta, &pb, &tb))
+            .classify(
+                Comparison::new(ProfileId(0), ProfileId(1)),
+                input(&pa, &ta, &pb, &tb),
+            )
             .unwrap();
         assert!(!out.is_match);
         assert!(c.duplicates().is_empty());

@@ -188,7 +188,7 @@ mod tests {
         let sa = m.profile_size(&pa, &ta);
         assert_eq!(sa & 0xFFFF, 2); // token count
         assert_eq!(sa >> 16, 12); // char count
-        // pair_ops is at least the quadratic term.
+                                  // pair_ops is at least the quadratic term.
         assert!(m.pair_ops(sa, sa) >= 144);
     }
 

@@ -42,7 +42,11 @@ impl MatchFunction for OracleMatcher {
         }
     }
 
-    fn profile_size(&self, _profile: &pier_types::EntityProfile, _tokens: &[pier_types::TokenId]) -> u64 {
+    fn profile_size(
+        &self,
+        _profile: &pier_types::EntityProfile,
+        _tokens: &[pier_types::TokenId],
+    ) -> u64 {
         1
     }
 

@@ -184,9 +184,13 @@ mod tests {
     fn arcs_weights_sum_reciprocal_cardinalities() {
         let g = BlockingGraph::build(&dirty_collection(), WeightingScheme::Arcs);
         // Block 1 = {0,1}: ||b||=1. Block 2 = {0,1,2}: ||b||=3.
-        let w01 = g.weight(Comparison::new(ProfileId(0), ProfileId(1))).unwrap();
+        let w01 = g
+            .weight(Comparison::new(ProfileId(0), ProfileId(1)))
+            .unwrap();
         assert!((w01 - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
-        let w02 = g.weight(Comparison::new(ProfileId(0), ProfileId(2))).unwrap();
+        let w02 = g
+            .weight(Comparison::new(ProfileId(0), ProfileId(2)))
+            .unwrap();
         assert!((w02 - 1.0 / 3.0).abs() < 1e-12);
     }
 

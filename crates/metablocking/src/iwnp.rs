@@ -91,8 +91,7 @@ pub fn iwnp(
         .collect();
 
     if config.prune_below_average {
-        let avg: f64 =
-            weighted.iter().map(|wc| wc.weight).sum::<f64>() / weighted.len() as f64;
+        let avg: f64 = weighted.iter().map(|wc| wc.weight).sum::<f64>() / weighted.len() as f64;
         weighted.retain(|wc| wc.weight >= avg);
     }
     weighted.sort_unstable_by(|a, b| b.cmp(a));

@@ -1,0 +1,581 @@
+//! JSON-Lines event export and replay.
+//!
+//! Every event becomes one flat JSON object per line, e.g.
+//!
+//! ```json
+//! {"seq":17,"t":0.0421,"event":"ComparisonEmitted","a":3,"b":9,"weight":2}
+//! ```
+//!
+//! `seq` is the write order, `t` the receive-time seconds since observer
+//! creation. Events carrying their own pipeline time (`MatchConfirmed`,
+//! `PhaseTiming`) keep it in their payload — for virtual-time (simulator)
+//! runs those payload times are the meaningful ones.
+//!
+//! The format is intentionally flat (no nesting, no arrays) so it can be
+//! parsed by the bundled minimal reader and by one `json.loads` per line in
+//! `scripts/plot_experiments.py`.
+
+use std::fmt::Write as _;
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pier_types::{Comparison, GroundTruth, MatchLedger, ProfileId, ProgressTrajectory};
+
+use crate::{Event, Phase, PipelineObserver};
+
+/// An observer that appends every event to a JSON-Lines file.
+///
+/// Writes are buffered and serialized behind one mutex, so lines never
+/// interleave even when multiple pipeline threads emit concurrently. The
+/// buffer is flushed on [`JsonlObserver::flush`] and on drop.
+pub struct JsonlObserver {
+    start: Instant,
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    writer: BufWriter<File>,
+    seq: u64,
+    line: String,
+}
+
+impl JsonlObserver {
+    /// Creates the conventional per-run export
+    /// `target/experiments/<run_id>/events.jsonl` (directories are created
+    /// as needed).
+    ///
+    /// The run id becomes a single path component: ids containing path
+    /// separators or `..` are rejected so a run can never write outside
+    /// `target/experiments/`. Use [`JsonlObserver::create`] for arbitrary
+    /// paths.
+    pub fn for_run(run_id: &str) -> io::Result<Self> {
+        if run_id.is_empty() || run_id == ".." || run_id.contains(['/', '\\']) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("run id {run_id:?} must be a single path component"),
+            ));
+        }
+        let dir = Path::new("target").join("experiments").join(run_id);
+        fs::create_dir_all(&dir)?;
+        Self::create(dir.join("events.jsonl"))
+    }
+
+    /// Creates (truncating) an export at an explicit path.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(JsonlObserver {
+            start: Instant::now(),
+            path,
+            inner: Mutex::new(Inner {
+                writer: BufWriter::new(file),
+                seq: 0,
+                line: String::with_capacity(160),
+            }),
+        })
+    }
+
+    /// Where the events are being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.inner.lock().writer.flush()
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.inner.lock().seq
+    }
+}
+
+impl PipelineObserver for JsonlObserver {
+    fn on_event(&self, event: &Event) {
+        let t = self.start.elapsed().as_secs_f64();
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let line = std::mem::take(&mut inner.line);
+        let mut line = write_line(line, seq, t, event);
+        line.push('\n');
+        // An export that stops writing mid-run is worse than a propagated
+        // error, but observers cannot fail — drop the line on I/O error
+        // (disk full); `flush()` surfaces the underlying error to callers.
+        let _ = inner.writer.write_all(line.as_bytes());
+        line.clear();
+        inner.line = line;
+    }
+}
+
+impl Drop for JsonlObserver {
+    fn drop(&mut self) {
+        let _ = self.inner.lock().writer.flush();
+    }
+}
+
+/// Serializes one event into `buf` (no trailing newline).
+fn write_line(mut buf: String, seq: u64, t: f64, event: &Event) -> String {
+    let _ = write!(buf, "{{\"seq\":{seq},\"t\":{}", json_f64(t));
+    match *event {
+        Event::IncrementIngested {
+            seq: inc_seq,
+            profiles,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"IncrementIngested\",\"inc\":{inc_seq},\"profiles\":{profiles}"
+            );
+        }
+        Event::BlockBuilt { block } => {
+            let _ = write!(buf, ",\"event\":\"BlockBuilt\",\"block\":{block}");
+        }
+        Event::BlockPurged { block, size } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"BlockPurged\",\"block\":{block},\"size\":{size}"
+            );
+        }
+        Event::BlockGhosted {
+            profile,
+            kept,
+            dropped,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"BlockGhosted\",\"profile\":{},\"kept\":{kept},\"dropped\":{dropped}",
+                profile.0
+            );
+        }
+        Event::ComparisonEmitted { cmp, weight } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"ComparisonEmitted\",\"a\":{},\"b\":{},\"weight\":{}",
+                cmp.a.0,
+                cmp.b.0,
+                json_f64(weight)
+            );
+        }
+        Event::CfFiltered { cmp } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"CfFiltered\",\"a\":{},\"b\":{}",
+                cmp.a.0, cmp.b.0
+            );
+        }
+        Event::AdaptiveKChanged { old_k, new_k } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"AdaptiveKChanged\",\"old_k\":{old_k},\"new_k\":{new_k}"
+            );
+        }
+        Event::MatchConfirmed {
+            cmp,
+            similarity,
+            at_secs,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"MatchConfirmed\",\"a\":{},\"b\":{},\"similarity\":{},\"at_secs\":{}",
+                cmp.a.0,
+                cmp.b.0,
+                json_f64(similarity),
+                json_f64(at_secs)
+            );
+        }
+        Event::PhaseTiming { phase, secs } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"PhaseTiming\",\"phase\":\"{}\",\"secs\":{}",
+                phase.name(),
+                json_f64(secs)
+            );
+        }
+    }
+    buf.push('}');
+    buf
+}
+
+/// Formats an `f64` as a JSON number (non-finite values, which no event
+/// legitimately produces, degrade to 0).
+fn json_f64(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// One parsed line of an `events.jsonl` file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Write-order sequence number (1-based).
+    pub seq: u64,
+    /// Receive-time seconds since observer creation.
+    pub t: f64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Reads back an `events.jsonl` file written by [`JsonlObserver`].
+///
+/// # Errors
+/// Returns an I/O error if the file cannot be read, or
+/// `InvalidData` for lines that do not parse as events.
+pub fn read_events(path: impl AsRef<Path>) -> io::Result<Vec<TimedEvent>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = parse_line(&line).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("events.jsonl line {}: unparseable event", lineno + 1),
+            )
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Replays the pair-completeness trajectory of an exported run: every
+/// `ComparisonEmitted` event is credited against `ground_truth` (each
+/// ground-truth match counted once), timestamped with the export's
+/// receive time.
+pub fn replay_trajectory(events: &[TimedEvent], ground_truth: &GroundTruth) -> ProgressTrajectory {
+    let mut trajectory = ProgressTrajectory::for_ground_truth(ground_truth);
+    let mut ledger = MatchLedger::new();
+    let mut last_t = 0.0f64;
+    for ev in events {
+        if let Event::ComparisonEmitted { cmp, .. } = ev.event {
+            // Receive times are monotone per observer; clamp defensively
+            // for hand-edited files.
+            last_t = last_t.max(ev.t);
+            trajectory.record(last_t, ledger.credit(ground_truth, cmp));
+        }
+    }
+    trajectory.finish(last_t);
+    trajectory
+}
+
+/// Counts distinct confirmed matches in an exported run — the replayed
+/// analogue of `RuntimeReport::matches.len()`.
+pub fn replay_match_count(events: &[TimedEvent]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    events
+        .iter()
+        .filter(|ev| match ev.event {
+            Event::MatchConfirmed { cmp, .. } => seen.insert(cmp),
+            _ => false,
+        })
+        .count()
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-JSON parsing (exactly the subset `write_line` produces).
+// ---------------------------------------------------------------------
+
+fn parse_line(line: &str) -> Option<TimedEvent> {
+    let fields = parse_flat_object(line)?;
+    let num = |k: &str| -> Option<f64> {
+        match fields.iter().find(|(key, _)| key == k)?.1 {
+            JsonValue::Num(n) => Some(n),
+            _ => None,
+        }
+    };
+    let text = |k: &str| -> Option<&str> {
+        match &fields.iter().find(|(key, _)| key == k)?.1 {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let pair = || -> Option<Comparison> {
+        Some(Comparison::new(
+            ProfileId(num("a")? as u32),
+            ProfileId(num("b")? as u32),
+        ))
+    };
+    let event = match text("event")? {
+        "IncrementIngested" => Event::IncrementIngested {
+            seq: num("inc")? as u64,
+            profiles: num("profiles")? as usize,
+        },
+        "BlockBuilt" => Event::BlockBuilt {
+            block: num("block")? as u32,
+        },
+        "BlockPurged" => Event::BlockPurged {
+            block: num("block")? as u32,
+            size: num("size")? as usize,
+        },
+        "BlockGhosted" => Event::BlockGhosted {
+            profile: ProfileId(num("profile")? as u32),
+            kept: num("kept")? as usize,
+            dropped: num("dropped")? as usize,
+        },
+        "ComparisonEmitted" => Event::ComparisonEmitted {
+            cmp: pair()?,
+            weight: num("weight")?,
+        },
+        "CfFiltered" => Event::CfFiltered { cmp: pair()? },
+        "AdaptiveKChanged" => Event::AdaptiveKChanged {
+            old_k: num("old_k")? as usize,
+            new_k: num("new_k")? as usize,
+        },
+        "MatchConfirmed" => Event::MatchConfirmed {
+            cmp: pair()?,
+            similarity: num("similarity")?,
+            at_secs: num("at_secs")?,
+        },
+        "PhaseTiming" => Event::PhaseTiming {
+            phase: Phase::from_name(text("phase")?)?,
+            secs: num("secs")?,
+        },
+        _ => return None,
+    };
+    Some(TimedEvent {
+        seq: num("seq")? as u64,
+        t: num("t")?,
+        event,
+    })
+}
+
+enum JsonValue {
+    Num(f64),
+    Str(String),
+}
+
+/// Parses `{"key":value,...}` where values are numbers or simple strings
+/// (escapes `\"`, `\\`, `\n`, `\t`, `\r` supported). Returns `None` on any
+/// deviation — strict enough for our own output.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let value = match chars.peek()? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            _ => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    num.push(c);
+                    chars.next();
+                }
+                JsonValue::Num(num.trim().parse().ok()?)
+            }
+        };
+        fields.push((key, value));
+    }
+    Some(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => out.push(match chars.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                c => c, // \" and \\ fall through as themselves
+            }),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Observer;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pier-observe-{}-{name}", std::process::id()))
+    }
+
+    fn all_event_kinds() -> Vec<Event> {
+        let cmp = Comparison::new(ProfileId(4), ProfileId(11));
+        vec![
+            Event::IncrementIngested {
+                seq: 1,
+                profiles: 20,
+            },
+            Event::BlockBuilt { block: 7 },
+            Event::BlockPurged { block: 7, size: 64 },
+            Event::BlockGhosted {
+                profile: ProfileId(4),
+                kept: 3,
+                dropped: 2,
+            },
+            Event::ComparisonEmitted { cmp, weight: 2.5 },
+            Event::CfFiltered { cmp },
+            Event::AdaptiveKChanged {
+                old_k: 64,
+                new_k: 83,
+            },
+            Event::MatchConfirmed {
+                cmp,
+                similarity: 0.875,
+                at_secs: 1.25,
+            },
+            Event::PhaseTiming {
+                phase: Phase::Prune,
+                secs: 0.003,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let path = temp_path("roundtrip.jsonl");
+        let events = all_event_kinds();
+        {
+            let obs = JsonlObserver::create(&path).unwrap();
+            for e in &events {
+                obs.on_event(e);
+            }
+            assert_eq!(obs.events_written(), events.len() as u64);
+        } // drop flushes
+        let read = read_events(&path).unwrap();
+        assert_eq!(read.len(), events.len());
+        for (i, (got, want)) in read.iter().zip(&events).enumerate() {
+            assert_eq!(got.seq, i as u64 + 1);
+            assert!(got.t >= 0.0);
+            assert_eq!(&got.event, want, "event {i}");
+        }
+        // seq and t are monotone.
+        assert!(read
+            .windows(2)
+            .all(|w| w[0].seq < w[1].seq && w[0].t <= w[1].t));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn for_run_creates_the_conventional_layout() {
+        let run_id = format!("jsonl-test-{}", std::process::id());
+        let obs = JsonlObserver::for_run(&run_id).unwrap();
+        assert!(obs
+            .path()
+            .ends_with(Path::new("experiments").join(&run_id).join("events.jsonl")));
+        obs.on_event(&Event::BlockBuilt { block: 1 });
+        obs.flush().unwrap();
+        assert_eq!(read_events(obs.path()).unwrap().len(), 1);
+        let dir = obs.path().parent().unwrap().to_path_buf();
+        drop(obs);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn replay_rebuilds_the_pc_trajectory() {
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
+        let path = temp_path("replay.jsonl");
+        {
+            let obs = JsonlObserver::create(&path).unwrap();
+            let emit = |a: u32, b: u32| {
+                obs.on_event(&Event::ComparisonEmitted {
+                    cmp: Comparison::new(ProfileId(a), ProfileId(b)),
+                    weight: 1.0,
+                })
+            };
+            emit(0, 1); // match
+            emit(0, 2); // miss
+            emit(0, 1); // repeat — must not double-credit
+            emit(2, 3); // match
+        }
+        let events = read_events(&path).unwrap();
+        let t = replay_trajectory(&events, &gt);
+        assert_eq!(t.matches(), 2);
+        assert_eq!(t.comparisons(), 4);
+        assert!((t.pc() - 1.0).abs() < 1e-12);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_match_count_deduplicates() {
+        let cmp = Comparison::new(ProfileId(0), ProfileId(1));
+        let mk = |event| TimedEvent {
+            seq: 0,
+            t: 0.0,
+            event,
+        };
+        let events = vec![
+            mk(Event::MatchConfirmed {
+                cmp,
+                similarity: 1.0,
+                at_secs: 0.0,
+            }),
+            mk(Event::MatchConfirmed {
+                cmp,
+                similarity: 1.0,
+                at_secs: 0.1,
+            }),
+            mk(Event::BlockBuilt { block: 0 }),
+        ];
+        assert_eq!(replay_match_count(&events), 1);
+    }
+
+    #[test]
+    fn unparseable_line_is_invalid_data() {
+        let path = temp_path("bad.jsonl");
+        fs::write(&path, "{\"seq\":1,\"t\":0,\"event\":\"NoSuchEvent\"}\n").unwrap();
+        let err = read_events(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn observer_handle_integration() {
+        let path = temp_path("handle.jsonl");
+        let obs = Observer::from_sink(JsonlObserver::create(&path).unwrap());
+        obs.emit(|| Event::BlockBuilt { block: 3 });
+        drop(obs); // flush via Drop
+        assert_eq!(read_events(&path).unwrap().len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn for_run_rejects_path_escapes() {
+        for bad in ["", "..", "a/b", "..\\up"] {
+            match JsonlObserver::for_run(bad) {
+                Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{bad:?}"),
+                Ok(o) => panic!("{bad:?} accepted, writes to {}", o.path().display()),
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Pipeline observability for PIER.
+//!
+//! Every stage of the pipeline — incremental blocking, comparison
+//! prioritization, adaptive batching, classification — reports what it is
+//! doing through a shared [`Observer`] handle carrying typed [`Event`]s.
+//! Observation is strictly opt-in and designed to cost nothing when off:
+//!
+//! * the handle is an `Option<Arc<dyn PipelineObserver>>`, so the disabled
+//!   path is a single branch on a `None`;
+//! * [`Observer::emit`] takes a closure, so event payloads are never even
+//!   constructed unless an observer is attached;
+//! * no hook acquires a lock, allocates, or reads a clock when disabled.
+//!
+//! Three observers ship with the crate:
+//!
+//! * [`NoopObserver`] — receives and discards everything; exists so the
+//!   enabled path can be benchmarked against the disabled one.
+//! * [`StatsObserver`] — lock-free counters, per-phase latency histograms,
+//!   and an optional live pair-completeness timeline against a ground
+//!   truth; snapshotable mid-run from any thread.
+//! * [`JsonlObserver`] — buffered JSON-Lines export of every event under
+//!   `target/experiments/<run-id>/events.jsonl`, with a matching reader
+//!   ([`read_events`]) and PC replay ([`replay_trajectory`]).
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use pier_types::{Comparison, ProfileId};
+
+mod jsonl;
+mod stats;
+
+pub use jsonl::{read_events, replay_match_count, replay_trajectory, JsonlObserver, TimedEvent};
+pub use stats::{PhaseSnapshot, StatsObserver, StatsSnapshot};
+
+/// The four timed stages of the PIER pipeline, in dataflow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Incremental blocking: tokenize + maintain the block collection.
+    Block,
+    /// Prioritizer update: per-profile generation and index maintenance.
+    Weight,
+    /// Batch extraction: pulling the best `K` comparisons from the index.
+    Prune,
+    /// Classification: evaluating the match function on a batch.
+    Classify,
+}
+
+impl Phase {
+    /// All phases, in dataflow order (also the canonical array index
+    /// order used by [`StatsObserver`]).
+    pub const ALL: [Phase; 4] = [Phase::Block, Phase::Weight, Phase::Prune, Phase::Classify];
+
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Block => "block",
+            Phase::Weight => "weight",
+            Phase::Prune => "prune",
+            Phase::Classify => "classify",
+        }
+    }
+
+    /// Canonical array index (position in [`Phase::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Block => 0,
+            Phase::Weight => 1,
+            Phase::Prune => 2,
+            Phase::Classify => 3,
+        }
+    }
+
+    /// Parses a [`Phase::name`] back into a phase.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// A typed pipeline event.
+///
+/// Events are cheap `Copy` payloads; identifiers are raw (`u32` block ids)
+/// where the defining type lives downstream of this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// The blocker ingested one data increment.
+    IncrementIngested {
+        /// 0-based increment sequence number within the run.
+        seq: u64,
+        /// Profiles contained in the increment (0 for idle ticks).
+        profiles: usize,
+    },
+    /// A new block was created in the block collection.
+    BlockBuilt {
+        /// Raw block id (the interned token id).
+        block: u32,
+    },
+    /// A block crossed the purge threshold and was excluded from
+    /// comparison generation.
+    BlockPurged {
+        /// Raw block id.
+        block: u32,
+        /// Block size at the moment of purging.
+        size: usize,
+    },
+    /// Block ghosting ran for one profile's block set.
+    BlockGhosted {
+        /// The profile whose blocks were cleaned.
+        profile: ProfileId,
+        /// Blocks that survived ghosting.
+        kept: usize,
+        /// Blocks dropped as dominated (`|b| > |b_min| / β`).
+        dropped: usize,
+    },
+    /// The prioritizer handed one comparison to the matcher.
+    ComparisonEmitted {
+        /// The emitted pair.
+        cmp: Comparison,
+        /// The weight it was scheduled under (scheme-dependent).
+        weight: f64,
+    },
+    /// The comparison filter (Bloom) rejected an already-routed pair.
+    CfFiltered {
+        /// The redundant pair.
+        cmp: Comparison,
+    },
+    /// `findK()` adjusted the adaptive batch size.
+    AdaptiveKChanged {
+        /// `K` before the adjustment.
+        old_k: usize,
+        /// `K` after the adjustment.
+        new_k: usize,
+    },
+    /// The classifier confirmed a duplicate.
+    MatchConfirmed {
+        /// The matching pair.
+        cmp: Comparison,
+        /// Similarity reported by the match function.
+        similarity: f64,
+        /// Pipeline-relative time of confirmation in seconds (wall clock
+        /// for the threaded runtime and driver, virtual for the simulator).
+        at_secs: f64,
+    },
+    /// One pipeline stage finished a unit of work.
+    PhaseTiming {
+        /// The stage that ran.
+        phase: Phase,
+        /// How long it ran, in seconds (wall or virtual, as above).
+        secs: f64,
+    },
+}
+
+/// A sink for pipeline events. Implementations must be cheap and
+/// thread-safe: hooks fire from multiple pipeline threads.
+pub trait PipelineObserver: Send + Sync {
+    /// Receives one event. Must not block for long — the pipeline's hot
+    /// loops call this inline.
+    fn on_event(&self, event: &Event);
+}
+
+/// An observer that receives and discards every event.
+///
+/// Useful for measuring the cost of the *enabled* hook path itself (see
+/// the `observer_overhead` bench); for the disabled path use
+/// [`Observer::disabled`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {
+    #[inline]
+    fn on_event(&self, _event: &Event) {}
+}
+
+/// The cheap, cloneable handle that pipeline components store.
+///
+/// `Observer::disabled()` (also the `Default`) holds no sink: emitting
+/// through it is one `Option` branch and the event closure is never run.
+#[derive(Clone, Default)]
+pub struct Observer(Option<Arc<dyn PipelineObserver>>);
+
+impl Observer {
+    /// A handle with no sink attached — the zero-overhead default.
+    pub fn disabled() -> Self {
+        Observer(None)
+    }
+
+    /// Wraps a shared observer into a handle.
+    pub fn new(sink: Arc<dyn PipelineObserver>) -> Self {
+        Observer(Some(sink))
+    }
+
+    /// Convenience: wrap a concrete observer value.
+    pub fn from_sink<O: PipelineObserver + 'static>(sink: O) -> Self {
+        Observer(Some(Arc::new(sink)))
+    }
+
+    /// Whether a sink is attached. Hooks use this to skip work (e.g.
+    /// clock reads) that only exists to build events.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits one event, lazily: `make` runs only if a sink is attached.
+    #[inline(always)]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.0 {
+            sink.on_event(&make());
+        }
+    }
+
+    /// The attached sink, if any (for snapshot access after a run).
+    pub fn sink(&self) -> Option<&Arc<dyn PipelineObserver>> {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Observer")
+            .field(&if self.is_enabled() {
+                "enabled"
+            } else {
+                "disabled"
+            })
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counting(AtomicU64);
+
+    impl PipelineObserver for Counting {
+        fn on_event(&self, _event: &Event) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn disabled_observer_never_builds_events() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        let mut built = false;
+        obs.emit(|| {
+            built = true;
+            Event::BlockBuilt { block: 0 }
+        });
+        assert!(!built, "event closure must not run when disabled");
+    }
+
+    #[test]
+    fn enabled_observer_receives_events() {
+        let sink = Arc::new(Counting(AtomicU64::new(0)));
+        let obs = Observer::new(sink.clone());
+        assert!(obs.is_enabled());
+        obs.emit(|| Event::BlockBuilt { block: 1 });
+        obs.emit(|| Event::CfFiltered {
+            cmp: Comparison::new(ProfileId(0), ProfileId(1)),
+        });
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = Arc::new(Counting(AtomicU64::new(0)));
+        let obs = Observer::new(sink.clone());
+        let obs2 = obs.clone();
+        obs.emit(|| Event::BlockBuilt { block: 1 });
+        obs2.emit(|| Event::BlockBuilt { block: 2 });
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+            assert_eq!(Phase::ALL[p.index()], p);
+        }
+        assert_eq!(Phase::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn noop_observer_is_callable() {
+        let obs = Observer::from_sink(NoopObserver);
+        obs.emit(|| Event::PhaseTiming {
+            phase: Phase::Classify,
+            secs: 0.5,
+        });
+        assert!(obs.is_enabled());
+        assert!(obs.sink().is_some());
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        assert!(format!("{:?}", Observer::disabled()).contains("disabled"));
+        assert!(format!("{:?}", Observer::from_sink(NoopObserver)).contains("enabled"));
+    }
+}

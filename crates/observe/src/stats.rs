@@ -1,0 +1,443 @@
+//! Live run statistics: lock-free counters, per-phase latency histograms,
+//! and an optional pair-completeness timeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pier_types::{GroundTruth, MatchLedger, ProgressTrajectory};
+
+use crate::{Event, Phase, PipelineObserver};
+
+/// Log₂-nanosecond histogram buckets: bucket `i` counts durations with
+/// `2^i ns <= d < 2^(i+1) ns`. 40 buckets cover ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// Latency accumulator for one pipeline phase.
+#[derive(Debug)]
+struct PhaseStats {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl PhaseStats {
+    fn new() -> Self {
+        PhaseStats {
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, secs: f64) {
+        let nanos = (secs.max(0.0) * 1e9) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, phase: Phase) -> PhaseSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Geometric midpoint of the bucket, in seconds.
+                    return (1u64 << i) as f64 * 1.5 / 1e9;
+                }
+            }
+            (1u64 << (BUCKETS - 1)) as f64 / 1e9
+        };
+        PhaseSnapshot {
+            phase,
+            count,
+            total_secs: self.total_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            p50_secs: percentile(0.50),
+            p95_secs: percentile(0.95),
+            p99_secs: percentile(0.99),
+        }
+    }
+}
+
+/// The pair-completeness timeline state, fed from emitted comparisons.
+#[derive(Debug)]
+struct PcTimeline {
+    ground_truth: GroundTruth,
+    ledger: MatchLedger,
+    trajectory: ProgressTrajectory,
+}
+
+/// An observer accumulating run statistics that can be snapshotted at any
+/// moment from any thread, mid-run included.
+///
+/// Counters and histograms are atomics; only the optional PC timeline sits
+/// behind a mutex (taken once per `ComparisonEmitted` event). Timeline
+/// timestamps are receive-time wall-clock seconds since the observer was
+/// created — accurate for live runs; for the virtual-time simulator use
+/// the [`crate::JsonlObserver`] export and replay instead.
+#[derive(Debug)]
+pub struct StatsObserver {
+    start: Instant,
+    increments: AtomicU64,
+    profiles: AtomicU64,
+    blocks_built: AtomicU64,
+    blocks_purged: AtomicU64,
+    ghost_kept: AtomicU64,
+    ghost_dropped: AtomicU64,
+    comparisons_emitted: AtomicU64,
+    cf_filtered: AtomicU64,
+    matches_confirmed: AtomicU64,
+    k_changes: AtomicU64,
+    /// Latest `K` reported by `AdaptiveKChanged` (0 = never reported).
+    current_k: AtomicU64,
+    phases: [PhaseStats; 4],
+    pc: Option<Mutex<PcTimeline>>,
+}
+
+impl Default for StatsObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsObserver {
+    /// Creates an observer with counters and phase histograms only.
+    pub fn new() -> Self {
+        StatsObserver {
+            start: Instant::now(),
+            increments: AtomicU64::new(0),
+            profiles: AtomicU64::new(0),
+            blocks_built: AtomicU64::new(0),
+            blocks_purged: AtomicU64::new(0),
+            ghost_kept: AtomicU64::new(0),
+            ghost_dropped: AtomicU64::new(0),
+            comparisons_emitted: AtomicU64::new(0),
+            cf_filtered: AtomicU64::new(0),
+            matches_confirmed: AtomicU64::new(0),
+            k_changes: AtomicU64::new(0),
+            current_k: AtomicU64::new(0),
+            phases: std::array::from_fn(|_| PhaseStats::new()),
+            pc: None,
+        }
+    }
+
+    /// Creates an observer that additionally maintains a live PC timeline
+    /// against `ground_truth`, credited from emitted comparisons (the
+    /// paper's PC definition).
+    pub fn with_ground_truth(ground_truth: GroundTruth) -> Self {
+        let total = ground_truth.len() as u64;
+        let mut obs = Self::new();
+        obs.pc = Some(Mutex::new(PcTimeline {
+            ground_truth,
+            ledger: MatchLedger::new(),
+            trajectory: ProgressTrajectory::new(total),
+        }));
+        obs
+    }
+
+    /// Takes a consistent-enough snapshot of all statistics. Counters are
+    /// read individually (relaxed), so totals may be skewed by events in
+    /// flight — fine for progress display.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let (pc, pc_matches) = match &self.pc {
+            Some(m) => {
+                let t = m.lock();
+                (Some(t.trajectory.pc()), t.trajectory.matches())
+            }
+            None => (None, 0),
+        };
+        StatsSnapshot {
+            uptime_secs: self.start.elapsed().as_secs_f64(),
+            increments: ld(&self.increments),
+            profiles: ld(&self.profiles),
+            blocks_built: ld(&self.blocks_built),
+            blocks_purged: ld(&self.blocks_purged),
+            ghost_kept: ld(&self.ghost_kept),
+            ghost_dropped: ld(&self.ghost_dropped),
+            comparisons_emitted: ld(&self.comparisons_emitted),
+            cf_filtered: ld(&self.cf_filtered),
+            matches_confirmed: ld(&self.matches_confirmed),
+            k_changes: ld(&self.k_changes),
+            current_k: match ld(&self.current_k) {
+                0 => None,
+                k => Some(k as usize),
+            },
+            pc,
+            pc_matches,
+            phases: Phase::ALL.map(|p| self.phases[p.index()].snapshot(p)),
+        }
+    }
+
+    /// A clone of the live PC trajectory, if ground truth was provided.
+    pub fn trajectory(&self) -> Option<ProgressTrajectory> {
+        self.pc.as_ref().map(|m| m.lock().trajectory.clone())
+    }
+}
+
+impl PipelineObserver for StatsObserver {
+    fn on_event(&self, event: &Event) {
+        match *event {
+            Event::IncrementIngested { profiles, .. } => {
+                self.increments.fetch_add(1, Ordering::Relaxed);
+                self.profiles.fetch_add(profiles as u64, Ordering::Relaxed);
+            }
+            Event::BlockBuilt { .. } => {
+                self.blocks_built.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::BlockPurged { .. } => {
+                self.blocks_purged.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::BlockGhosted { kept, dropped, .. } => {
+                self.ghost_kept.fetch_add(kept as u64, Ordering::Relaxed);
+                self.ghost_dropped
+                    .fetch_add(dropped as u64, Ordering::Relaxed);
+            }
+            Event::ComparisonEmitted { cmp, .. } => {
+                self.comparisons_emitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.pc {
+                    let now = self.start.elapsed().as_secs_f64();
+                    let t = &mut *m.lock();
+                    let was_match = t.ledger.credit(&t.ground_truth, cmp);
+                    t.trajectory.record(now, was_match);
+                }
+            }
+            Event::CfFiltered { .. } => {
+                self.cf_filtered.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::AdaptiveKChanged { new_k, .. } => {
+                self.k_changes.fetch_add(1, Ordering::Relaxed);
+                self.current_k.store(new_k as u64, Ordering::Relaxed);
+            }
+            Event::MatchConfirmed { .. } => {
+                self.matches_confirmed.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::PhaseTiming { phase, secs } => {
+                self.phases[phase.index()].record(secs);
+            }
+        }
+    }
+}
+
+/// Latency summary of one phase at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSnapshot {
+    /// Which phase.
+    pub phase: Phase,
+    /// Timed work units.
+    pub count: u64,
+    /// Total seconds spent in the phase.
+    pub total_secs: f64,
+    /// Median per-unit latency (log₂-bucket approximation), seconds.
+    pub p50_secs: f64,
+    /// 95th-percentile per-unit latency, seconds.
+    pub p95_secs: f64,
+    /// 99th-percentile per-unit latency, seconds.
+    pub p99_secs: f64,
+}
+
+/// A point-in-time view of a [`StatsObserver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since the observer was created.
+    pub uptime_secs: f64,
+    /// Increments ingested (idle ticks excluded — they carry 0 profiles
+    /// but still count as increments here).
+    pub increments: u64,
+    /// Profiles ingested.
+    pub profiles: u64,
+    /// Blocks created.
+    pub blocks_built: u64,
+    /// Blocks purged.
+    pub blocks_purged: u64,
+    /// Blocks kept by ghosting, summed over profiles.
+    pub ghost_kept: u64,
+    /// Blocks dropped by ghosting, summed over profiles.
+    pub ghost_dropped: u64,
+    /// Comparisons handed to the matcher.
+    pub comparisons_emitted: u64,
+    /// Pairs rejected by the redundancy (Bloom) filter.
+    pub cf_filtered: u64,
+    /// Duplicates confirmed by the classifier.
+    pub matches_confirmed: u64,
+    /// `AdaptiveKChanged` events seen.
+    pub k_changes: u64,
+    /// Latest adaptive `K`, if it ever changed.
+    pub current_k: Option<usize>,
+    /// Live pair completeness, if ground truth was provided.
+    pub pc: Option<f64>,
+    /// Ground-truth matches credited so far (0 without ground truth).
+    pub pc_matches: u64,
+    /// Per-phase latency summaries, in [`Phase::ALL`] order.
+    pub phases: [PhaseSnapshot; 4],
+}
+
+impl StatsSnapshot {
+    /// Emitted comparisons per second of uptime.
+    pub fn comparisons_per_second(&self) -> f64 {
+        if self.uptime_secs <= 0.0 {
+            return 0.0;
+        }
+        self.comparisons_emitted as f64 / self.uptime_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{Comparison, ProfileId};
+
+    fn cmp(a: u32, b: u32) -> Comparison {
+        Comparison::new(ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn counters_accumulate_per_event_kind() {
+        let s = StatsObserver::new();
+        s.on_event(&Event::IncrementIngested {
+            seq: 1,
+            profiles: 3,
+        });
+        s.on_event(&Event::BlockBuilt { block: 0 });
+        s.on_event(&Event::BlockBuilt { block: 1 });
+        s.on_event(&Event::BlockPurged { block: 0, size: 50 });
+        s.on_event(&Event::BlockGhosted {
+            profile: ProfileId(0),
+            kept: 2,
+            dropped: 5,
+        });
+        s.on_event(&Event::ComparisonEmitted {
+            cmp: cmp(0, 1),
+            weight: 2.0,
+        });
+        s.on_event(&Event::CfFiltered { cmp: cmp(0, 1) });
+        s.on_event(&Event::MatchConfirmed {
+            cmp: cmp(0, 1),
+            similarity: 0.9,
+            at_secs: 0.1,
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.increments, 1);
+        assert_eq!(snap.profiles, 3);
+        assert_eq!(snap.blocks_built, 2);
+        assert_eq!(snap.blocks_purged, 1);
+        assert_eq!(snap.ghost_kept, 2);
+        assert_eq!(snap.ghost_dropped, 5);
+        assert_eq!(snap.comparisons_emitted, 1);
+        assert_eq!(snap.cf_filtered, 1);
+        assert_eq!(snap.matches_confirmed, 1);
+        assert_eq!(snap.pc, None);
+    }
+
+    #[test]
+    fn adaptive_k_is_tracked() {
+        let s = StatsObserver::new();
+        assert_eq!(s.snapshot().current_k, None);
+        s.on_event(&Event::AdaptiveKChanged {
+            old_k: 64,
+            new_k: 83,
+        });
+        s.on_event(&Event::AdaptiveKChanged {
+            old_k: 83,
+            new_k: 64,
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.k_changes, 2);
+        assert_eq!(snap.current_k, Some(64));
+    }
+
+    #[test]
+    fn phase_histogram_yields_percentiles() {
+        let s = StatsObserver::new();
+        for _ in 0..90 {
+            s.on_event(&Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 1e-6,
+            });
+        }
+        for _ in 0..10 {
+            s.on_event(&Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 1e-3,
+            });
+        }
+        let snap = s.snapshot();
+        let classify = snap.phases[Phase::Classify.index()];
+        assert_eq!(classify.count, 100);
+        assert!(classify.total_secs > 1e-3);
+        assert!(classify.p50_secs < 1e-5, "p50 = {}", classify.p50_secs);
+        assert!(classify.p99_secs > 1e-4, "p99 = {}", classify.p99_secs);
+        assert!(classify.p50_secs <= classify.p95_secs);
+        assert!(classify.p95_secs <= classify.p99_secs);
+        // Other phases untouched.
+        assert_eq!(snap.phases[Phase::Block.index()].count, 0);
+        assert_eq!(snap.phases[Phase::Block.index()].p99_secs, 0.0);
+    }
+
+    #[test]
+    fn pc_timeline_credits_ground_truth_once() {
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
+        let s = StatsObserver::with_ground_truth(gt);
+        let emit = |c| {
+            s.on_event(&Event::ComparisonEmitted {
+                cmp: c,
+                weight: 1.0,
+            })
+        };
+        emit(cmp(0, 1)); // match
+        emit(cmp(0, 2)); // non-match
+        emit(cmp(0, 1)); // repeat: no double credit
+        let snap = s.snapshot();
+        assert_eq!(snap.pc, Some(0.5));
+        assert_eq!(snap.pc_matches, 1);
+        assert_eq!(snap.comparisons_emitted, 3);
+        let t = s.trajectory().expect("timeline enabled");
+        assert_eq!(t.matches(), 1);
+        assert_eq!(t.comparisons(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_usable_concurrently() {
+        let s = std::sync::Arc::new(StatsObserver::new());
+        let writer = {
+            let s = std::sync::Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..10_000u32 {
+                    s.on_event(&Event::BlockBuilt { block: i });
+                }
+            })
+        };
+        // Snapshot while the writer runs — must not block or panic.
+        for _ in 0..50 {
+            let _ = s.snapshot();
+        }
+        writer.join().unwrap();
+        assert_eq!(s.snapshot().blocks_built, 10_000);
+    }
+
+    #[test]
+    fn comparisons_per_second_is_finite() {
+        let s = StatsObserver::new();
+        s.on_event(&Event::ComparisonEmitted {
+            cmp: cmp(0, 1),
+            weight: 1.0,
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let snap = s.snapshot();
+        assert!(snap.comparisons_per_second() > 0.0);
+        assert!(snap.comparisons_per_second().is_finite());
+    }
+}

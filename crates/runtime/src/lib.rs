@@ -23,4 +23,4 @@ pub mod report;
 pub mod streaming;
 
 pub use report::{MatchEvent, RuntimeReport};
-pub use streaming::{run_streaming, RuntimeConfig};
+pub use streaming::{run_streaming, run_streaming_observed, RuntimeConfig};

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use pier_types::Comparison;
+use pier_types::{Comparison, GroundTruth, MatchLedger, ProgressTrajectory};
 
 /// One classified match, timestamped relative to pipeline start.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +34,69 @@ impl RuntimeReport {
     pub fn matches_within(&self, horizon: Duration) -> usize {
         self.matches.iter().filter(|m| m.at <= horizon).count()
     }
+
+    /// Comparisons executed per wall-clock second, or 0 for an instant run.
+    pub fn comparisons_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.comparisons as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (`q` ∈ [0, 1]) of match confirmation times
+    /// ([`MatchEvent::at`]), using the nearest-rank method. `None` when the
+    /// run confirmed no matches.
+    ///
+    /// This is latency from *pipeline start*, the paper's progressive-recall
+    /// axis: p50 answers "by when had half the duplicates been found?".
+    pub fn match_latency_percentile(&self, q: f64) -> Option<Duration> {
+        if self.matches.is_empty() {
+            return None;
+        }
+        let mut times: Vec<Duration> = self.matches.iter().map(|m| m.at).collect();
+        times.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((times.len() as f64 * q).ceil() as usize).clamp(1, times.len());
+        Some(times[rank - 1])
+    }
+
+    /// Median match confirmation time. `None` if there were no matches.
+    pub fn match_latency_p50(&self) -> Option<Duration> {
+        self.match_latency_percentile(0.50)
+    }
+
+    /// 95th-percentile match confirmation time.
+    pub fn match_latency_p95(&self) -> Option<Duration> {
+        self.match_latency_percentile(0.95)
+    }
+
+    /// 99th-percentile match confirmation time.
+    pub fn match_latency_p99(&self) -> Option<Duration> {
+        self.match_latency_percentile(0.99)
+    }
+
+    /// Builds the run's progressive-recall trajectory against a ground
+    /// truth: each confirmed match event is credited (duplicates counted
+    /// once, non-GT matches ignored) at its confirmation time.
+    ///
+    /// Unlike the simulator's trajectory (one sample per *executed*
+    /// comparison), the report only knows about confirmed matches, so the
+    /// comparison axis here advances per match event; the time axis is
+    /// exact.
+    pub fn progress_trajectory(&self, ground_truth: &GroundTruth) -> ProgressTrajectory {
+        let mut trajectory = ProgressTrajectory::for_ground_truth(ground_truth);
+        let mut ledger = MatchLedger::new();
+        let mut events: Vec<&MatchEvent> = self.matches.iter().collect();
+        events.sort_by_key(|m| m.at);
+        for m in events {
+            let was_match = ledger.credit(ground_truth, m.pair);
+            trajectory.record(m.at.as_secs_f64(), was_match);
+        }
+        trajectory.finish(self.elapsed.as_secs_f64());
+        trajectory
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +126,100 @@ mod tests {
         };
         assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
         assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
+    }
+
+    fn report_with(matches: Vec<MatchEvent>, comparisons: u64, elapsed_ms: u64) -> RuntimeReport {
+        RuntimeReport {
+            matches,
+            comparisons,
+            elapsed: Duration::from_millis(elapsed_ms),
+            profiles: 0,
+        }
+    }
+
+    fn ev(ms: u64, a: u32, b: u32) -> MatchEvent {
+        MatchEvent {
+            at: Duration::from_millis(ms),
+            pair: Comparison::new(ProfileId(a), ProfileId(b)),
+            similarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn comparisons_per_second_divides_by_elapsed() {
+        let report = report_with(vec![], 500, 2_000);
+        assert!((report.comparisons_per_second() - 250.0).abs() < 1e-9);
+        // Degenerate zero-duration run does not divide by zero.
+        let instant = report_with(vec![], 500, 0);
+        assert_eq!(instant.comparisons_per_second(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let matches: Vec<MatchEvent> = (1..=100).map(|i| ev(i, i as u32, 1000)).collect();
+        let report = report_with(matches, 100, 200);
+        assert_eq!(report.match_latency_p50(), Some(Duration::from_millis(50)));
+        assert_eq!(report.match_latency_p95(), Some(Duration::from_millis(95)));
+        assert_eq!(report.match_latency_p99(), Some(Duration::from_millis(99)));
+        assert_eq!(
+            report.match_latency_percentile(1.0),
+            Some(Duration::from_millis(100))
+        );
+        // q=0 clamps to the first event, out-of-range q is clamped too.
+        assert_eq!(
+            report.match_latency_percentile(0.0),
+            Some(Duration::from_millis(1))
+        );
+        assert_eq!(
+            report.match_latency_percentile(7.0),
+            Some(Duration::from_millis(100))
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_on_empty_report_are_none() {
+        let report = report_with(vec![], 10, 100);
+        assert_eq!(report.match_latency_p50(), None);
+        assert_eq!(report.match_latency_p95(), None);
+        assert_eq!(report.match_latency_p99(), None);
+    }
+
+    #[test]
+    fn progress_trajectory_credits_gt_matches_once() {
+        let gt = pier_types::GroundTruth::from_pairs([
+            (ProfileId(0), ProfileId(1)),
+            (ProfileId(2), ProfileId(3)),
+            (ProfileId(4), ProfileId(5)),
+        ]);
+        let report = report_with(
+            vec![
+                ev(10, 0, 1),
+                ev(20, 0, 1), // duplicate report: not credited again
+                ev(30, 8, 9), // false positive: not in GT
+                ev(40, 2, 3),
+            ],
+            50,
+            100,
+        );
+        let t = report.progress_trajectory(&gt);
+        assert_eq!(t.matches(), 2);
+        assert!((t.pc() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.pc_at_time(0.015) - 1.0 / 3.0).abs() < 1e-12);
+        // finish() extends the curve to the run's elapsed time.
+        assert!((t.points().last().unwrap().time - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_trajectory_sorts_out_of_order_events() {
+        // The collector preserves confirmation order, but a caller may have
+        // merged reports; the trajectory must still be built time-sorted.
+        let gt = pier_types::GroundTruth::from_pairs([
+            (ProfileId(0), ProfileId(1)),
+            (ProfileId(2), ProfileId(3)),
+        ]);
+        let report = report_with(vec![ev(40, 2, 3), ev(10, 0, 1)], 2, 100);
+        let t = report.progress_trajectory(&gt);
+        assert_eq!(t.matches(), 2);
+        assert!((t.pc_at_time(0.02) - 0.5).abs() < 1e-12);
     }
 }

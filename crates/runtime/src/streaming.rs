@@ -10,6 +10,7 @@ use parking_lot::{Mutex, RwLock};
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_core::{AdaptiveK, ComparisonEmitter};
 use pier_matching::{MatchFunction, MatchInput};
+use pier_observe::{Event, Observer, Phase};
 use pier_types::{EntityProfile, ErKind, Tokenizer};
 
 use crate::report::{MatchEvent, RuntimeReport};
@@ -50,28 +51,60 @@ impl Default for RuntimeConfig {
 pub fn run_streaming(
     kind: ErKind,
     increments: Vec<Vec<EntityProfile>>,
+    emitter: Box<dyn ComparisonEmitter + Send>,
+    matcher: Arc<dyn MatchFunction>,
+    config: RuntimeConfig,
+    on_match: impl FnMut(MatchEvent),
+) -> RuntimeReport {
+    run_streaming_observed(
+        kind,
+        increments,
+        emitter,
+        matcher,
+        config,
+        Observer::disabled(),
+        on_match,
+    )
+}
+
+/// [`run_streaming`] with a pipeline observer attached to every component.
+///
+/// The observer is propagated to the blocker, the emitter, and the adaptive
+/// `K` controller; the runtime itself reports [`Event::IncrementIngested`],
+/// per-stage [`Event::PhaseTiming`] (block/weight on the ingest thread,
+/// prune/classify on the matcher thread), and [`Event::MatchConfirmed`].
+/// With a disabled observer the run is identical to [`run_streaming`]
+/// (no clock reads, no event construction).
+///
+/// The observer's sink must tolerate concurrent events: stage A and stage B
+/// run on different threads (both [`pier_observe::StatsObserver`] and
+/// [`pier_observe::JsonlObserver`] are safe).
+pub fn run_streaming_observed(
+    kind: ErKind,
+    increments: Vec<Vec<EntityProfile>>,
     mut emitter: Box<dyn ComparisonEmitter + Send>,
     matcher: Arc<dyn MatchFunction>,
     config: RuntimeConfig,
+    observer: Observer,
     mut on_match: impl FnMut(MatchEvent),
 ) -> RuntimeReport {
     let start = Instant::now();
     let total_profiles: usize = increments.iter().map(Vec::len).sum();
-    let blocker = Arc::new(RwLock::new(IncrementalBlocker::with_config(
-        kind,
-        Tokenizer::default(),
-        config.purge_policy,
-    )));
+    let mut initial_blocker =
+        IncrementalBlocker::with_config(kind, Tokenizer::default(), config.purge_policy);
+    initial_blocker.set_observer(observer.clone());
+    emitter.set_observer(observer.clone());
+    let blocker = Arc::new(RwLock::new(initial_blocker));
     let (inc_tx, inc_rx) = channel::bounded::<Vec<EntityProfile>>(1024);
     let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
     let ingest_done = Arc::new(AtomicBool::new(false));
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
-    let adaptive = Arc::new(Mutex::new(AdaptiveK::new(
-        config.k.0,
-        config.k.1,
-        config.k.2,
-    )));
+    let adaptive = {
+        let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
+        k.set_observer(observer.clone());
+        Arc::new(Mutex::new(k))
+    };
 
     // Source: replay increments at the configured rate.
     let source = {
@@ -103,16 +136,35 @@ pub fn run_streaming(
             let emitter_slot = Arc::clone(&emitter_slot);
             let ingest_done = Arc::clone(&ingest_done);
             let adaptive = Arc::clone(&adaptive);
+            let observer = observer.clone();
             scope.spawn(move || {
-                for inc in inc_rx.iter() {
+                for (seq, inc) in inc_rx.iter().enumerate() {
                     adaptive
                         .lock()
                         .record_arrival(start.elapsed().as_secs_f64());
+                    let t0 = observer.is_enabled().then(Instant::now);
                     let mut blocker = blocker.write();
                     let ids = blocker.process_increment(&inc);
+                    if let Some(t0) = t0 {
+                        observer.emit(|| Event::PhaseTiming {
+                            phase: Phase::Block,
+                            secs: t0.elapsed().as_secs_f64(),
+                        });
+                    }
+                    let t1 = observer.is_enabled().then(Instant::now);
                     let mut emitter = emitter_slot.lock();
                     emitter.on_increment(&blocker, &ids);
                     let _ = emitter.drain_ops();
+                    if let Some(t1) = t1 {
+                        observer.emit(|| Event::PhaseTiming {
+                            phase: Phase::Weight,
+                            secs: t1.elapsed().as_secs_f64(),
+                        });
+                    }
+                    observer.emit(|| Event::IncrementIngested {
+                        seq: seq as u64,
+                        profiles: inc.len(),
+                    });
                 }
                 ingest_done.store(true, Ordering::SeqCst);
             });
@@ -129,6 +181,7 @@ pub fn run_streaming(
             let executed_total = Arc::clone(&executed_total);
             let max_comparisons = config.max_comparisons;
             let deadline = config.deadline;
+            let observer = observer.clone();
             scope.spawn(move || {
                 let mut executed = 0u64;
                 loop {
@@ -141,7 +194,14 @@ pub fn run_streaming(
                     let batch: Vec<(EntityProfile, Vec<_>, EntityProfile, Vec<_>)> = {
                         let blocker = blocker.read();
                         let mut emitter = emitter_slot.lock();
+                        let t0 = observer.is_enabled().then(Instant::now);
                         let cmps = emitter.next_batch(&blocker, k);
+                        if let Some(t0) = t0 {
+                            observer.emit(|| Event::PhaseTiming {
+                                phase: Phase::Prune,
+                                secs: t0.elapsed().as_secs_f64(),
+                            });
+                        }
                         let _ = emitter.drain_ops();
                         cmps.into_iter()
                             .map(|c| {
@@ -182,8 +242,14 @@ pub fn run_streaming(
                         });
                         executed += 1;
                         if outcome.is_match {
+                            let at = start.elapsed();
+                            observer.emit(|| Event::MatchConfirmed {
+                                cmp: pier_types::Comparison::new(pa.id, pb.id),
+                                similarity: outcome.similarity,
+                                at_secs: at.as_secs_f64(),
+                            });
                             let _ = match_tx.send(MatchEvent {
-                                at: start.elapsed(),
+                                at,
                                 pair: pier_types::Comparison::new(pa.id, pb.id),
                                 similarity: outcome.similarity,
                             });
@@ -192,9 +258,12 @@ pub fn run_streaming(
                             break;
                         }
                     }
-                    adaptive
-                        .lock()
-                        .record_batch(start.elapsed().as_secs_f64() - t0);
+                    let batch_secs = start.elapsed().as_secs_f64() - t0;
+                    observer.emit(|| Event::PhaseTiming {
+                        phase: Phase::Classify,
+                        secs: batch_secs,
+                    });
+                    adaptive.lock().record_batch(batch_secs);
                 }
                 executed_total.store(executed, Ordering::SeqCst);
                 // Stop the source (if still replaying) and let the
@@ -267,10 +336,7 @@ mod tests {
         assert_eq!(report.profiles, 4);
         assert!(report.comparisons >= 2);
         // Timestamps are non-decreasing and within the run.
-        assert!(report
-            .matches
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at));
+        assert!(report.matches.windows(2).all(|w| w[0].at <= w[1].at));
         assert!(report.matches.iter().all(|m| m.at <= report.elapsed));
     }
 
@@ -283,8 +349,14 @@ mod tests {
             deadline: Duration::from_secs(10),
             ..RuntimeConfig::default()
         };
-        let report =
-            run_streaming(ErKind::Dirty, increments(), emitter, matcher, config, |_| {});
+        let report = run_streaming(
+            ErKind::Dirty,
+            increments(),
+            emitter,
+            matcher,
+            config,
+            |_| {},
+        );
         let find = |a: u32, b: u32| {
             report
                 .matches
@@ -296,6 +368,43 @@ mod tests {
         // The pair from the delayed increment cannot precede its arrival.
         assert!(find(2, 3) >= Duration::from_millis(30));
         assert!(find(2, 3) > find(0, 1));
+    }
+
+    #[test]
+    fn observed_run_reports_pipeline_events() {
+        use pier_observe::StatsObserver;
+        use pier_types::GroundTruth;
+
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
+        let stats = Arc::new(StatsObserver::with_ground_truth(gt));
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(5),
+            deadline: Duration::from_secs(10),
+            ..RuntimeConfig::default()
+        };
+        let report = run_streaming_observed(
+            ErKind::Dirty,
+            increments(),
+            emitter,
+            matcher,
+            config,
+            Observer::new(stats.clone()),
+            |_| {},
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.increments, 2);
+        assert_eq!(snap.profiles, 4);
+        assert!(snap.blocks_built > 0);
+        assert!(snap.comparisons_emitted >= 2);
+        assert_eq!(snap.matches_confirmed as usize, report.matches.len());
+        // The live PC timeline credits both ground-truth pairs.
+        assert_eq!(snap.pc, Some(1.0));
+        // Block and weight phases ran once per increment; prune/classify at
+        // least once per batch.
+        assert!(snap.phases.iter().all(|ph| ph.count >= 1));
     }
 
     #[test]

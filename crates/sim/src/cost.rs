@@ -63,8 +63,7 @@ mod tests {
     #[test]
     fn blocking_ops_scale_with_text() {
         let small = EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "ab");
-        let large =
-            EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "x".repeat(500));
+        let large = EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "x".repeat(500));
         assert!(CostModel::blocking_ops(&large) > CostModel::blocking_ops(&small) * 10);
     }
 }

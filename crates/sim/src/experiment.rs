@@ -157,8 +157,7 @@ pub fn arrival_times(n: usize, rate: f64, pattern: ArrivalPattern) -> Vec<f64> {
                 .map(|i| {
                     if i > 0 {
                         // Inverse-CDF exponential sample in (0, 1].
-                        let u = ((splitmix64(&mut state) >> 11) as f64 + 1.0)
-                            / (1u64 << 53) as f64;
+                        let u = ((splitmix64(&mut state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
                         t += -u.ln() / rate;
                     }
                     t
@@ -173,10 +172,7 @@ pub fn arrival_times(n: usize, rate: f64, pattern: ArrivalPattern) -> Vec<f64> {
 
 /// Builds the `(arrival time, profiles)` schedule for a dataset under a
 /// plan (all times 0 for static plans).
-pub fn arrival_schedule(
-    dataset: &Dataset,
-    plan: &StreamPlan,
-) -> Vec<(f64, Vec<EntityProfile>)> {
+pub fn arrival_schedule(dataset: &Dataset, plan: &StreamPlan) -> Vec<(f64, Vec<EntityProfile>)> {
     let increments = dataset
         .into_increments(plan.n_increments)
         .expect("valid increment count");
@@ -264,7 +260,14 @@ mod tests {
             ..SimConfig::default()
         };
         let plan = StreamPlan::streaming_with(20, 4.0, ArrivalPattern::Bursty { burst_len: 5 });
-        let out = run_method(Method::IPes, &d, &plan, &matcher, &cfg, PierConfig::default());
+        let out = run_method(
+            Method::IPes,
+            &d,
+            &plan,
+            &matcher,
+            &cfg,
+            PierConfig::default(),
+        );
         assert!(out.pc() > 0.9, "pc = {}", out.pc());
     }
 

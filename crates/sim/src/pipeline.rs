@@ -3,9 +3,8 @@
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_core::{AdaptiveK, ComparisonEmitter};
 use pier_matching::{MatchFunction, MatchInput};
-use pier_types::{
-    EntityProfile, ErKind, GroundTruth, MatchLedger, ProgressTrajectory, Tokenizer,
-};
+use pier_observe::{Event, Observer, Phase};
+use pier_types::{EntityProfile, ErKind, GroundTruth, MatchLedger, ProgressTrajectory, Tokenizer};
 
 use crate::cost::CostModel;
 
@@ -47,6 +46,12 @@ impl KPolicy {
     fn record_batch(&mut self, elapsed: f64) {
         if let KPolicy::Adaptive(a) = self {
             a.record_batch(elapsed);
+        }
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        if let KPolicy::Adaptive(a) = self {
+            a.set_observer(observer);
         }
     }
 }
@@ -144,6 +149,7 @@ pub struct PipelineSim<'a> {
     emitter: &'a mut dyn ComparisonEmitter,
     matcher: &'a dyn MatchFunction,
     config: SimConfig,
+    observer: Observer,
 }
 
 impl<'a> PipelineSim<'a> {
@@ -157,7 +163,20 @@ impl<'a> PipelineSim<'a> {
             emitter,
             matcher,
             config,
+            observer: Observer::disabled(),
         }
+    }
+
+    /// Attaches a pipeline observer, propagated to the blocker, emitter and
+    /// adaptive `K` controller on the next [`PipelineSim::run`].
+    ///
+    /// Timestamps inside the events ([`Event::MatchConfirmed::at_secs`],
+    /// [`Event::PhaseTiming::secs`]) are **virtual** seconds of the
+    /// simulation clock, not wall time; a `StatsObserver`'s own receive-time
+    /// PC timeline is therefore meaningless here — replay the JSONL export
+    /// instead (`pier_observe::replay_trajectory` with `at_secs`).
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     /// Runs the pipeline over `arrivals` — `(arrival time, profiles)`
@@ -177,12 +196,13 @@ impl<'a> PipelineSim<'a> {
         );
         let budget = self.config.time_budget;
         let cost = self.config.cost;
+        let observer = self.observer.clone();
         let mut k_policy = self.config.k_policy.clone();
-        let mut blocker = IncrementalBlocker::with_config(
-            kind,
-            Tokenizer::default(),
-            self.config.purge_policy,
-        );
+        k_policy.set_observer(observer.clone());
+        self.emitter.set_observer(observer.clone());
+        let mut blocker =
+            IncrementalBlocker::with_config(kind, Tokenizer::default(), self.config.purge_policy);
+        blocker.set_observer(observer.clone());
         let mut trajectory = ProgressTrajectory::for_ground_truth(ground_truth);
         let mut ledger = MatchLedger::new();
 
@@ -198,8 +218,7 @@ impl<'a> PipelineSim<'a> {
                 size_cache.resize(idx + 1, u64::MAX);
             }
             if size_cache[idx] == u64::MAX {
-                size_cache[idx] =
-                    matcher.profile_size(blocker.profile(id), blocker.tokens_of(id));
+                size_cache[idx] = matcher.profile_size(blocker.profile(id), blocker.tokens_of(id));
             }
             size_cache[idx]
         };
@@ -219,8 +238,7 @@ impl<'a> PipelineSim<'a> {
 
         'sim: loop {
             // Candidate start times for the two resources.
-            let a_start = (arr_idx < arrivals.len())
-                .then(|| a_free.max(arrivals[arr_idx].0));
+            let a_start = (arr_idx < arrivals.len()).then(|| a_free.max(arrivals[arr_idx].0));
             let b_start = (!b_starved).then_some(b_free);
 
             let do_a = match (a_start, b_start) {
@@ -238,8 +256,7 @@ impl<'a> PipelineSim<'a> {
                 }
                 let (arrival_time, increment) = &arrivals[arr_idx];
                 k_policy.record_arrival(*arrival_time);
-                let blocking_ops: u64 =
-                    increment.iter().map(CostModel::blocking_ops).sum();
+                let blocking_ops: u64 = increment.iter().map(CostModel::blocking_ops).sum();
                 let ids = blocker.process_increment(increment);
                 for &id in &ids {
                     if arrived_at.len() <= id.index() {
@@ -251,6 +268,20 @@ impl<'a> PipelineSim<'a> {
                 let update_ops = self.emitter.drain_ops();
                 a_free = t0 + cost.stage_a_secs(blocking_ops + update_ops);
                 end_time = end_time.max(a_free.min(budget));
+                // Phase timings in *virtual* seconds, per the cost model.
+                observer.emit(|| Event::PhaseTiming {
+                    phase: Phase::Block,
+                    secs: cost.stage_a_secs(blocking_ops),
+                });
+                observer.emit(|| Event::PhaseTiming {
+                    phase: Phase::Weight,
+                    secs: cost.stage_a_secs(update_ops),
+                });
+                let seq = arr_idx as u64;
+                observer.emit(|| Event::IncrementIngested {
+                    seq,
+                    profiles: increment.len(),
+                });
                 arr_idx += 1;
                 if arr_idx == arrivals.len() {
                     all_ingested_at = Some(a_free).filter(|&t| t <= budget);
@@ -274,10 +305,14 @@ impl<'a> PipelineSim<'a> {
             let k = k_policy.k();
             let batch = self.emitter.next_batch(&blocker, k);
             let pull_ops = self.emitter.drain_ops();
+            if !batch.is_empty() {
+                observer.emit(|| Event::PhaseTiming {
+                    phase: Phase::Prune,
+                    secs: cost.stage_a_secs(pull_ops),
+                });
+            }
             if batch.is_empty() {
-                if consumed_at.is_none()
-                    && arr_idx == arrivals.len()
-                    && !self.emitter.has_pending()
+                if consumed_at.is_none() && arr_idx == arrivals.len() && !self.emitter.has_pending()
                 {
                     // The stream is fully consumed: everything ingested and
                     // the emitter's backlog drained (the × marker).
@@ -288,8 +323,8 @@ impl<'a> PipelineSim<'a> {
                 // emits an empty increment (§3.2), giving the emitter a
                 // chance to generate further work from older data
                 // (`GetComparisons`).
-                let a_idle = a_free <= t0
-                    && (arr_idx == arrivals.len() || arrivals[arr_idx].0 > t0);
+                let a_idle =
+                    a_free <= t0 && (arr_idx == arrivals.len() || arrivals[arr_idx].0 > t0);
                 if a_idle {
                     self.emitter.on_increment(&blocker, &[]);
                     let tick_ops = self.emitter.drain_ops();
@@ -315,8 +350,9 @@ impl<'a> PipelineSim<'a> {
                 continue;
             }
             let mut t = t0 + cost.stage_a_secs(pull_ops);
+            let classify_started = t;
             for cmp in batch {
-                let ops = match self.config.matcher_mode {
+                let (ops, similarity) = match self.config.matcher_mode {
                     MatcherMode::Real => {
                         let input = MatchInput {
                             profile_a: blocker.profile(cmp.a),
@@ -326,12 +362,14 @@ impl<'a> PipelineSim<'a> {
                         };
                         let outcome = self.matcher.evaluate(input);
                         classified += u64::from(outcome.is_match);
-                        outcome.ops
+                        (outcome.ops, outcome.similarity)
                     }
                     MatcherMode::CostOnly => {
                         let sa = profile_size(&blocker, self.matcher, cmp.a);
                         let sb = profile_size(&blocker, self.matcher, cmp.b);
-                        self.matcher.pair_ops(sa, sb)
+                        // PC counts ground-truth hits among emissions, so a
+                        // credited pair is reported with similarity 1.0.
+                        (self.matcher.pair_ops(sa, sb), 1.0)
                     }
                 };
                 t += cost.matcher_secs(ops);
@@ -345,6 +383,12 @@ impl<'a> PipelineSim<'a> {
                 if was_match {
                     let later = arrived_at[cmp.a.index()].max(arrived_at[cmp.b.index()]);
                     match_latencies.push((t - later).max(0.0));
+                    let at_secs = t;
+                    observer.emit(|| Event::MatchConfirmed {
+                        cmp,
+                        similarity,
+                        at_secs,
+                    });
                 }
                 if comparisons >= self.config.max_comparisons {
                     end_time = t;
@@ -353,11 +397,13 @@ impl<'a> PipelineSim<'a> {
             }
             b_free = t;
             end_time = end_time.max(t);
+            let classify_secs = t - classify_started;
+            observer.emit(|| Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: classify_secs,
+            });
             k_policy.record_batch(t - t0);
-            if consumed_at.is_none()
-                && arr_idx == arrivals.len()
-                && !self.emitter.has_pending()
-            {
+            if consumed_at.is_none() && arr_idx == arrivals.len() && !self.emitter.has_pending() {
                 consumed_at = Some(t);
             }
         }
@@ -395,10 +441,8 @@ mod tests {
             (0.0, dup_pair(0, "alpha beta gamma")),
             (1.0, dup_pair(2, "delta epsilon zeta")),
         ];
-        let gt = GroundTruth::from_pairs([
-            (ProfileId(0), ProfileId(1)),
-            (ProfileId(2), ProfileId(3)),
-        ]);
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
         let mut emitter = Ipes::new(PierConfig::default());
         let matcher = JaccardMatcher::default();
         let mut sim = PipelineSim::new(
@@ -469,9 +513,7 @@ mod tests {
         let arrivals = vec![(
             0.0,
             (0..10)
-                .map(|i| {
-                    EntityProfile::new(ProfileId(i), SourceId(0)).with("t", "shared token")
-                })
+                .map(|i| EntityProfile::new(ProfileId(i), SourceId(0)).with("t", "shared token"))
                 .collect::<Vec<_>>(),
         )];
         let gt = GroundTruth::new();
@@ -603,6 +645,55 @@ mod tests {
         assert!(out.match_latencies.is_empty());
         assert_eq!(out.mean_latency(), None);
         assert_eq!(out.latency_percentile(0.9), None);
+    }
+
+    #[test]
+    fn observed_sim_reports_virtual_time_events() {
+        use pier_observe::{Observer, PipelineObserver, StatsObserver};
+        use std::sync::Arc;
+
+        // Sink that captures MatchConfirmed timestamps (virtual seconds).
+        #[derive(Default)]
+        struct MatchTimes(std::sync::Mutex<Vec<f64>>);
+        impl PipelineObserver for MatchTimes {
+            fn on_event(&self, event: &pier_observe::Event) {
+                if let pier_observe::Event::MatchConfirmed { at_secs, .. } = event {
+                    self.0.lock().unwrap().push(*at_secs);
+                }
+            }
+        }
+
+        let arrivals = vec![
+            (0.0, dup_pair(0, "alpha beta gamma")),
+            (1.0, dup_pair(2, "delta epsilon zeta")),
+        ];
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
+        let stats = Arc::new(StatsObserver::new());
+        let times = Arc::new(MatchTimes::default());
+
+        let run = |sink: Arc<dyn PipelineObserver>| {
+            let mut emitter = Ipes::new(PierConfig::default());
+            let matcher = JaccardMatcher::default();
+            let mut sim = PipelineSim::new(&mut emitter, &matcher, SimConfig::default());
+            sim.set_observer(Observer::new(sink));
+            sim.run(ErKind::Dirty, &arrivals, &gt)
+        };
+        let out = run(stats.clone());
+        let snap = stats.snapshot();
+        assert_eq!(snap.increments, 2);
+        assert_eq!(snap.profiles, 4);
+        assert_eq!(snap.matches_confirmed, out.trajectory.matches());
+        assert_eq!(snap.comparisons_emitted, out.comparisons);
+        assert!(snap.phases.iter().all(|ph| ph.count >= 1));
+
+        // Virtual timestamps: the second pair's match cannot precede its
+        // t=1.0 arrival, even though the whole sim runs in microseconds of
+        // wall time.
+        let out2 = run(times.clone());
+        let captured = times.0.lock().unwrap().clone();
+        assert_eq!(captured.len() as u64, out2.trajectory.matches());
+        assert!(captured.iter().any(|&t| t >= 1.0), "times: {captured:?}");
     }
 
     #[test]

@@ -192,7 +192,8 @@ pub fn read_dataset<R1: BufRead, R2: BufRead>(
         }
         let p = &mut profiles[id as usize];
         p.source = SourceId(source);
-        p.attributes.push(Attribute::new(rec[2].clone(), rec[3].clone()));
+        p.attributes
+            .push(Attribute::new(rec[2].clone(), rec[3].clone()));
     }
 
     let mut gt_reader = CsvReader::new(ground_truth_csv);
@@ -222,11 +223,7 @@ pub fn read_dataset<R1: BufRead, R2: BufRead>(
 }
 
 /// Writes a `(x, pc)` series with a caller-chosen x-axis name.
-pub fn write_series<W: Write>(
-    w: &mut W,
-    x_name: &str,
-    rows: &[(f64, f64)],
-) -> std::io::Result<()> {
+pub fn write_series<W: Write>(w: &mut W, x_name: &str, rows: &[(f64, f64)]) -> std::io::Result<()> {
     write_record(w, &[x_name, "pc"])?;
     for (x, pc) in rows {
         write_record(w, &[&format!("{x}"), &format!("{pc}")])?;

@@ -140,7 +140,10 @@ impl Dataset {
             if kind == ErKind::Dirty && p.source != SourceId(0) {
                 return Err(PierError::InvalidConfig {
                     parameter: "profiles",
-                    message: format!("dirty ER requires a single source, {} has {}", p.id, p.source),
+                    message: format!(
+                        "dirty ER requires a single source, {} has {}",
+                        p.id, p.source
+                    ),
                 });
             }
         }

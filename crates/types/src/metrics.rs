@@ -362,6 +362,74 @@ mod tests {
     }
 
     #[test]
+    fn zero_comparisons_trajectory_is_well_defined() {
+        let mut t = ProgressTrajectory::new(3);
+        assert_eq!(t.comparisons(), 0);
+        assert_eq!(t.matches(), 0);
+        assert_eq!(t.pc(), 0.0);
+        assert_eq!(t.pq(), 0.0);
+        assert_eq!(t.pc_at_time(100.0), 0.0);
+        assert_eq!(t.pc_at_comparisons(100), 0.0);
+        assert_eq!(t.auc_time(10.0), 0.0);
+        assert_eq!(t.time_to_pc(0.5), None);
+        // finish() on an empty run just closes the flat curve.
+        t.finish(5.0);
+        assert_eq!(t.points().last().unwrap().time, 5.0);
+        assert_eq!(t.points().last().unwrap().matches, 0);
+    }
+
+    #[test]
+    fn empty_ground_truth_trajectory_stays_at_zero_pc() {
+        // total_matches = 0: every PC accessor must return 0, not NaN.
+        let mut t = ProgressTrajectory::new(0);
+        t.record(1.0, false);
+        t.finish(2.0);
+        assert_eq!(t.pc(), 0.0);
+        assert_eq!(t.pc_at_comparisons(1), 0.0);
+        assert!(t.pc().is_finite());
+        // time_to_pc(0.0) needs 0 matches — trivially satisfied at origin.
+        assert_eq!(t.time_to_pc(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn duplicate_match_reports_do_not_inflate_the_trajectory() {
+        // The ledger + trajectory pair is the dedup contract: repeated
+        // emissions of the same GT pair count as comparisons but never as
+        // additional matches.
+        let gt = GroundTruth::from_pairs([(ProfileId(0), ProfileId(1))]);
+        let mut ledger = MatchLedger::new();
+        let mut t = ProgressTrajectory::for_ground_truth(&gt);
+        let pair = Comparison::new(ProfileId(0), ProfileId(1));
+        for i in 0..5 {
+            t.record(i as f64, ledger.credit(&gt, pair));
+        }
+        assert_eq!(t.matches(), 1);
+        assert_eq!(t.comparisons(), 5);
+        assert!((t.pc() - 1.0).abs() < 1e-12);
+        assert!((t.pq() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_epsilon_time_jitter_is_tolerated() {
+        // Float noise from summing virtual-time costs may step backwards by
+        // less than the 1e-9 tolerance; that must not trip the monotonicity
+        // guard.
+        let mut t = ProgressTrajectory::new(2);
+        t.record(1.0, true);
+        t.record(1.0 - 5e-10, true);
+        assert_eq!(t.matches(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    #[cfg(debug_assertions)]
+    fn clearly_regressing_time_panics_in_debug() {
+        let mut t = ProgressTrajectory::new(1);
+        t.record(2.0, false);
+        t.record(1.0, false);
+    }
+
+    #[test]
     fn ledger_credits_each_match_once() {
         let gt = GroundTruth::from_pairs([(ProfileId(0), ProfileId(1))]);
         let mut ledger = MatchLedger::new();

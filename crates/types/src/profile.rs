@@ -109,7 +109,10 @@ impl EntityProfile {
     /// Total number of characters across all values. Used as the size proxy
     /// for the edit-distance cost model.
     pub fn value_len(&self) -> usize {
-        self.attributes.iter().map(|a| a.value.chars().count()).sum()
+        self.attributes
+            .iter()
+            .map(|a| a.value.chars().count())
+            .sum()
     }
 
     /// Concatenation of all values separated by single spaces, in attribute

@@ -39,7 +39,11 @@ fn main() {
         }
         let rec = recommend(&peek);
         println!("dataset `{}`:", dataset.name);
-        println!("  recommendation: {} — {}", rec.strategy.name(), rec.rationale);
+        println!(
+            "  recommendation: {} — {}",
+            rec.strategy.name(),
+            rec.rationale
+        );
 
         // Validate: run both candidates on a fast stream with ED matching
         // and compare early quality.
@@ -54,7 +58,14 @@ fn main() {
         };
         let matcher = EditDistanceMatcher::default();
         for method in [Method::IPbs, Method::IPes] {
-            let out = run_method(method, dataset, &plan, &matcher, &sim, PierConfig::default());
+            let out = run_method(
+                method,
+                dataset,
+                &plan,
+                &matcher,
+                &sim,
+                PierConfig::default(),
+            );
             println!(
                 "  {:<6} AUC={:.3} PC@30s={:.3} PC final={:.3}",
                 out.name,

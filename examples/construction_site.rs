@@ -56,9 +56,19 @@ fn main() {
         ..SimConfig::default()
     };
 
-    println!("\n{:<8} {:>10} {:>10} {:>12}", "method", "PC@30s", "PC final", "time to 50%");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12}",
+        "method", "PC@30s", "PC final", "time to 50%"
+    );
     for method in [Method::IBase, Method::IPes] {
-        let out = run_method(method, &dataset, &plan, &matcher, &sim, PierConfig::default());
+        let out = run_method(
+            method,
+            &dataset,
+            &plan,
+            &matcher,
+            &sim,
+            PierConfig::default(),
+        );
         println!(
             "{:<8} {:>10.3} {:>10.3} {:>12}",
             out.name,

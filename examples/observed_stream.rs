@@ -1,0 +1,141 @@
+//! Live observability of a streaming ER run.
+//!
+//! Attaches a [`StatsObserver`] to the threaded runtime and snapshots it
+//! from a monitor thread *while the pipeline runs*: increments ingested,
+//! blocks built/purged, comparisons emitted, matches confirmed, the live
+//! pair-completeness timeline, and per-phase latency percentiles.
+//!
+//! Run with: `cargo run --release --example observed_stream`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pier::prelude::*;
+
+fn main() {
+    // The bibliographic corpus: two clean sources with known duplicates.
+    let dataset = generate_bibliographic(&BibliographicConfig {
+        seed: 42,
+        source0_size: 600,
+        source1_size: 500,
+        matches: 450,
+    });
+    let increments: Vec<Vec<EntityProfile>> = dataset
+        .into_increments(20)
+        .unwrap()
+        .into_iter()
+        .map(|i| i.profiles)
+        .collect();
+    println!(
+        "streaming {} profiles in {} increments ({} true matches)",
+        increments.iter().map(Vec::len).sum::<usize>(),
+        increments.len(),
+        dataset.ground_truth.len()
+    );
+
+    // A StatsObserver with the ground truth keeps a live PC timeline.
+    let stats = Arc::new(StatsObserver::with_ground_truth(
+        dataset.ground_truth.clone(),
+    ));
+
+    // Monitor thread: print a progress line every 20 ms until the run ends.
+    let done = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let stats = Arc::clone(&stats);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(20));
+                let s = stats.snapshot();
+                println!(
+                    "[{:6.3}s] inc={:<3} blocks={:<5} emitted={:<6} matches={:<4} pc={}",
+                    s.uptime_secs,
+                    s.increments,
+                    s.blocks_built,
+                    s.comparisons_emitted,
+                    s.matches_confirmed,
+                    s.pc.map_or("n/a".into(), |pc| format!("{pc:.3}")),
+                );
+            }
+        })
+    };
+
+    let report = run_streaming_observed(
+        dataset.kind,
+        increments,
+        Box::new(Ipes::new(PierConfig::default())),
+        Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>,
+        RuntimeConfig {
+            interarrival: Duration::from_millis(10),
+            deadline: Duration::from_secs(30),
+            ..RuntimeConfig::default()
+        },
+        Observer::new(stats.clone()),
+        |_| {},
+    );
+    done.store(true, Ordering::Relaxed);
+    monitor.join().unwrap();
+
+    // Final snapshot: totals and per-phase latency histograms.
+    let s = stats.snapshot();
+    println!("\n=== final snapshot ===");
+    println!("increments        {}", s.increments);
+    println!("profiles          {}", s.profiles);
+    println!(
+        "blocks built      {} (purged {})",
+        s.blocks_built, s.blocks_purged
+    );
+    println!(
+        "ghosting          kept {} / dropped {} block entries",
+        s.ghost_kept, s.ghost_dropped
+    );
+    println!(
+        "comparisons       {} emitted, {} cf-filtered, {:.0}/s",
+        s.comparisons_emitted,
+        s.cf_filtered,
+        s.comparisons_per_second()
+    );
+    println!("matches confirmed {}", s.matches_confirmed);
+    if let Some(k) = s.current_k {
+        println!("adaptive K        {k} after {} changes", s.k_changes);
+    }
+    for ph in &s.phases {
+        if ph.count == 0 {
+            continue;
+        }
+        println!(
+            "phase {:8} n={:<5} total={:8.4}s p50={:.2e}s p95={:.2e}s p99={:.2e}s",
+            ph.phase.name(),
+            ph.count,
+            ph.total_secs,
+            ph.p50_secs,
+            ph.p95_secs,
+            ph.p99_secs,
+        );
+    }
+
+    // The RuntimeReport tells the same story from the match-event side.
+    println!("\n=== runtime report ===");
+    println!("matches           {}", report.matches.len());
+    println!("comparisons/s     {:.0}", report.comparisons_per_second());
+    for (label, v) in [
+        ("latency p50", report.match_latency_p50()),
+        ("latency p95", report.match_latency_p95()),
+        ("latency p99", report.match_latency_p99()),
+    ] {
+        if let Some(d) = v {
+            println!("{label}       {:.1} ms", d.as_secs_f64() * 1e3);
+        }
+    }
+    let trajectory = report.progress_trajectory(&dataset.ground_truth);
+    println!(
+        "final PC          {:.3} ({} of {} true matches)",
+        trajectory.pc(),
+        trajectory.matches(),
+        trajectory.total_matches()
+    );
+    if let Some(t) = trajectory.time_to_pc(0.5) {
+        println!("time to PC=0.5    {t:.3}s");
+    }
+}

@@ -45,7 +45,10 @@ fn main() {
 
     // 4. Report the progressive behaviour.
     println!("\n  time(s)    PC");
-    for (t, pc) in outcome.trajectory.sample_over_time(outcome.final_time.max(1.0), 11) {
+    for (t, pc) in outcome
+        .trajectory
+        .sample_over_time(outcome.final_time.max(1.0), 11)
+    {
         println!("  {t:7.2}  {pc:.3}");
     }
     println!(

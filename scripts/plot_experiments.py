@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""Plot the CSV series produced by the experiment benches.
+"""Plot the CSV series and JSONL event logs under target/experiments.
 
 Usage:
     cargo bench --workspace                 # writes target/experiments/<id>/*.csv
+    cargo run --example observed_stream     # a JsonlObserver writes .../events.jsonl
     python3 scripts/plot_experiments.py     # writes target/experiments/<id>.svg
 
 Each figure directory becomes one SVG with all its series overlaid —
-matching the layout of the corresponding figure in the paper. Requires
-matplotlib; falls back to a textual summary when it is unavailable.
+matching the layout of the corresponding figure in the paper. Directories
+holding an `events.jsonl` (written by pier-observe's JsonlObserver) become
+a timeline SVG instead: cumulative comparisons/matches, adaptive-K steps,
+and per-phase time share. Requires matplotlib; falls back to a textual
+summary when it is unavailable.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import sys
 from pathlib import Path
 
@@ -35,6 +40,101 @@ def load_series(path: Path) -> tuple[str, list[float], list[float]]:
     return header[0], xs, ys
 
 
+def load_events(path: Path) -> list[dict]:
+    """One flat JSON object per line, as written by JsonlObserver.
+
+    Unparseable lines are skipped with a warning: a run killed mid-write
+    legitimately leaves a truncated final line in the buffered log.
+    """
+    events = []
+    skipped = 0
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    if skipped:
+        print(f"warning: {path}: skipped {skipped} unparseable line(s)")
+    return events
+
+
+def cumulative(events: list[dict], kind: str) -> tuple[list[float], list[int]]:
+    """Receive-time timeline of the running count of one event kind."""
+    ts, counts = [], []
+    n = 0
+    for ev in events:
+        if ev["event"] == kind:
+            n += 1
+            ts.append(ev["t"])
+            counts.append(n)
+    return ts, counts
+
+
+def summarize_events(name: str, events: list[dict]) -> None:
+    by_kind: dict[str, int] = {}
+    for ev in events:
+        by_kind[ev["event"]] = by_kind.get(ev["event"], 0) + 1
+    span = events[-1]["t"] - events[0]["t"] if events else 0.0
+    kinds = ", ".join(f"{k}={n}" for k, n in sorted(by_kind.items()))
+    print(f"{name}/events.jsonl: {len(events)} events over {span:.3f}s ({kinds})")
+
+
+def plot_events(name: str, events: list[dict], out: Path, plt) -> None:
+    """Timeline figure: cumulative work, adaptive K, and phase time share."""
+    fig, (ax_top, ax_bottom) = plt.subplots(
+        2, 1, figsize=(8, 7), gridspec_kw={"height_ratios": [3, 1]}
+    )
+
+    for kind, style in [
+        ("ComparisonEmitted", dict(color="tab:blue", label="comparisons emitted")),
+        ("CfFiltered", dict(color="tab:gray", label="cf-filtered", linestyle=":")),
+        ("MatchConfirmed", dict(color="tab:green", label="matches confirmed")),
+    ]:
+        ts, counts = cumulative(events, kind)
+        if ts:
+            ax_top.plot(ts, counts, linewidth=1.2, **style)
+    ax_top.set_xlabel("seconds since run start")
+    ax_top.set_ylabel("cumulative events")
+    ax_top.set_title(f"{name} — event timeline")
+    ax_top.grid(True, alpha=0.3)
+
+    k_steps = [(ev["t"], ev["new_k"]) for ev in events if ev["event"] == "AdaptiveKChanged"]
+    if k_steps:
+        ax_k = ax_top.twinx()
+        ax_k.step(
+            [t for t, _ in k_steps],
+            [k for _, k in k_steps],
+            where="post",
+            color="tab:red",
+            linewidth=1.0,
+            label="adaptive K",
+        )
+        ax_k.set_ylabel("K", color="tab:red")
+    ax_top.legend(fontsize=7, loc="upper left")
+
+    # Bottom panel: where the pipeline spent its time, per phase.
+    phase_totals: dict[str, float] = {}
+    for ev in events:
+        if ev["event"] == "PhaseTiming":
+            phase_totals[ev["phase"]] = phase_totals.get(ev["phase"], 0.0) + ev["secs"]
+    if phase_totals:
+        phases = sorted(phase_totals)
+        ax_bottom.bar(phases, [phase_totals[p] for p in phases], color="tab:purple")
+        ax_bottom.set_ylabel("total seconds")
+        ax_bottom.set_title("time per phase", fontsize=9)
+        ax_bottom.grid(True, axis="y", alpha=0.3)
+    else:
+        ax_bottom.axis("off")
+
+    fig.savefig(out, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
 def main() -> int:
     if not EXPERIMENTS.is_dir():
         print(f"no {EXPERIMENTS} — run `cargo bench --workspace` first", file=sys.stderr)
@@ -49,6 +149,16 @@ def main() -> int:
         print("matplotlib unavailable — printing summaries only", file=sys.stderr)
 
     for figure_dir in sorted(p for p in EXPERIMENTS.iterdir() if p.is_dir()):
+        jsonl = figure_dir / "events.jsonl"
+        if jsonl.is_file():
+            events = load_events(jsonl)
+            if plt is None or not events:
+                summarize_events(figure_dir.name, events)
+            else:
+                plot_events(
+                    figure_dir.name, events, EXPERIMENTS / f"{figure_dir.name}.events.svg", plt
+                )
+            continue
         csvs = sorted(figure_dir.glob("*.csv"))
         if not csvs:
             continue

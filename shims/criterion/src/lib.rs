@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/API subset PIER's benches use — `black_box`,
+//! `Criterion::bench_function`, `Bencher::iter`, `criterion_group!` and
+//! `criterion_main!` — over a small self-timed harness: each benchmark is
+//! auto-calibrated to a target per-sample duration, timed over
+//! `sample_size` samples, and reported as the median ns/iteration with
+//! min/max spread. No statistics beyond that, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement settings plus the report sink.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            target_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One measured sample set for a named benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id as given to `bench_function`.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints a criterion-style report line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let m = self.measure(name, &mut f);
+        println!(
+            "{:<44} time: [{} {} {}]",
+            m.name,
+            format_ns(m.min_ns),
+            format_ns(m.median_ns),
+            format_ns(m.max_ns),
+        );
+        self
+    }
+
+    /// Runs one benchmark and returns the measurement (used by overhead
+    /// checks that need the numbers, not the printout).
+    pub fn measure<F>(&mut self, name: &str, f: &mut F) -> Measurement
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least `target_sample`.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.target_sample || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                (self.target_sample.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+        }
+        let mut per_iter: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        Measurement {
+            name: name.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().expect("non-empty samples"),
+            iters_per_sample: iters,
+        }
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().sample_size(3);
+        c.target_sample = Duration::from_micros(200);
+        let m = c.measure("spin", &mut |b: &mut Bencher| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -62,6 +62,7 @@
 //! | [`datagen`] | seeded generators for the paper's four corpora |
 //! | [`sim`] | virtual-clock pipeline simulator behind every figure |
 //! | [`runtime`] | real multi-threaded streaming runtime |
+//! | [`observe`] | zero-cost pipeline instrumentation, stats & JSONL export |
 
 #![warn(missing_docs)]
 
@@ -72,6 +73,7 @@ pub use pier_core as core;
 pub use pier_datagen as datagen;
 pub use pier_matching as matching;
 pub use pier_metablocking as metablocking;
+pub use pier_observe as observe;
 pub use pier_runtime as runtime;
 pub use pier_sim as sim;
 pub use pier_types as types;
@@ -80,32 +82,37 @@ pub use pier_types as types;
 pub mod prelude {
     pub use pier_baselines::{BatchEr, GsPsn, IBase, LsPsn, Pbs, Pps, PpsScope};
     pub use pier_blocking::{
-        block_ghosting, block_stats, load_checkpoint, save_checkpoint, BlockCollection,
-        BlockId, BlockStats, IncrementalBlocker, PurgePolicy,
+        block_ghosting, block_stats, load_checkpoint, save_checkpoint, BlockCollection, BlockId,
+        BlockStats, IncrementalBlocker, PurgePolicy,
     };
     pub use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
     pub use pier_core::{
-        recommend, AdaptiveK, BlockCursor, ComparisonEmitter, Ipbs, Ipcs, Ipes,
-        PierConfig, PierPipeline, Recommendation, Strategy,
+        recommend, AdaptiveK, BlockCursor, ComparisonEmitter, Ipbs, Ipcs, Ipes, PierConfig,
+        PierPipeline, Recommendation, Strategy,
     };
     pub use pier_datagen::{
         generate_bibliographic, generate_census, generate_dbpedia, generate_movies,
         BibliographicConfig, CensusConfig, DbpediaConfig, MoviesConfig, StandardDataset,
     };
     pub use pier_matching::{
-        ClassifiedMatch, CosineMatcher, EditDistanceMatcher, HybridMatcher,
-        IncrementalClassifier, JaccardMatcher, MatchFunction, MatchInput, MatchOutcome,
-        OracleMatcher,
+        ClassifiedMatch, CosineMatcher, EditDistanceMatcher, HybridMatcher, IncrementalClassifier,
+        JaccardMatcher, MatchFunction, MatchInput, MatchOutcome, OracleMatcher,
     };
     pub use pier_metablocking::{iwnp, BlockingGraph, IwnpConfig, WeightingScheme};
-    pub use pier_runtime::{run_streaming, MatchEvent, RuntimeConfig, RuntimeReport};
+    pub use pier_observe::{
+        read_events, replay_match_count, replay_trajectory, Event, JsonlObserver, NoopObserver,
+        Observer, Phase, PipelineObserver, StatsObserver, StatsSnapshot, TimedEvent,
+    };
+    pub use pier_runtime::{
+        run_streaming, run_streaming_observed, MatchEvent, RuntimeConfig, RuntimeReport,
+    };
     pub use pier_sim::{
         arrival_schedule, arrival_times, ArrivalPattern, CostModel, MatcherMode, Method,
         PipelineSim, SimConfig, SimOutcome, StreamPlan,
     };
     pub use pier_types::{
-        Comparison, Dataset, EntityProfile, ErKind, GroundTruth, Increment, IncrementalClusters, MatchLedger,
-        PierError, ProfileId, ProgressTrajectory, SourceId, TokenDictionary, TokenId, Tokenizer,
-        WeightedComparison,
+        Comparison, Dataset, EntityProfile, ErKind, GroundTruth, Increment, IncrementalClusters,
+        MatchLedger, PierError, ProfileId, ProgressTrajectory, SourceId, TokenDictionary, TokenId,
+        Tokenizer, WeightedComparison,
     };
 }

@@ -66,15 +66,13 @@ fn restore_mid_stream_matches_uninterrupted_run() {
     let policy = PurgePolicy::default();
 
     // Reference: one uninterrupted consumer.
-    let mut full_blocker =
-        IncrementalBlocker::with_config(d.kind, tokenizer.clone(), policy);
+    let mut full_blocker = IncrementalBlocker::with_config(d.kind, tokenizer.clone(), policy);
     let reference = consume(&mut full_blocker, &increments, &matcher);
     assert!(!reference.is_empty());
 
     // Interrupted consumer: first half, checkpoint, "crash", restore,
     // second half.
-    let mut first =
-        IncrementalBlocker::with_config(d.kind, tokenizer.clone(), policy);
+    let mut first = IncrementalBlocker::with_config(d.kind, tokenizer.clone(), policy);
     let half_found = consume(&mut first, &increments[..10], &matcher);
     let mut checkpoint = Vec::new();
     save_checkpoint(&first, &tokenizer, &policy, &mut checkpoint).unwrap();
@@ -106,13 +104,19 @@ fn restored_blocker_matches_original_block_structure() {
 
     assert_eq!(b2.profile_count(), b.profile_count());
     assert_eq!(b2.collection().block_count(), b.collection().block_count());
-    assert_eq!(b2.collection().purged_count(), b.collection().purged_count());
+    assert_eq!(
+        b2.collection().purged_count(),
+        b.collection().purged_count()
+    );
     assert_eq!(
         b2.collection().total_cardinality(),
         b.collection().total_cardinality()
     );
     // Per-profile CBS-relevant state identical.
     for p in b.profiles() {
-        assert_eq!(b2.collection().blocks_of(p.id), b.collection().blocks_of(p.id));
+        assert_eq!(
+            b2.collection().blocks_of(p.id),
+            b.collection().blocks_of(p.id)
+        );
     }
 }

@@ -26,8 +26,7 @@ struct RandomStream {
 
 fn random_stream() -> impl proptest::strategy::Strategy<Value = RandomStream> {
     let pool = prop::sample::select(vec![
-        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota",
-        "kappa",
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
     ]);
     let value = prop::collection::vec(pool, 1..5).prop_map(|ws| ws.join(" "));
     let profile_values = prop::collection::vec(value, 1..4);
@@ -54,7 +53,9 @@ fn random_stream() -> impl proptest::strategy::Strategy<Value = RandomStream> {
         let mut cuts = Vec::new();
         let mut s = cut_seed;
         for i in 1..profiles.len() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if s >> 62 == 0 {
                 cuts.push(i);
             }
