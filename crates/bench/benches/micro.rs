@@ -15,6 +15,7 @@ use pier_core::PierConfig;
 use pier_datagen::{generate_movies, MoviesConfig};
 use pier_matching::similarity::{jaccard_tokens, levenshtein};
 use pier_metablocking::{BlockingGraph, WeightingScheme};
+use pier_shard::{ShardMerger, ShardRouter};
 use pier_types::{Comparison, ErKind, ProfileId, TokenId, Tokenizer, WeightedComparison};
 
 fn movies_blocker() -> (IncrementalBlocker, usize) {
@@ -143,6 +144,63 @@ fn bench_graph(c: &mut Criterion) {
     });
 }
 
+fn bench_shard_router(c: &mut Criterion) {
+    let d = generate_movies(&MoviesConfig {
+        seed: 5,
+        source0_size: 600,
+        source1_size: 500,
+        matches: 450,
+    });
+    let router = ShardRouter::new(4);
+    c.bench_function("shard/route-1100-profiles", |bench| {
+        bench.iter(|| {
+            let mut fanout = 0usize;
+            for p in &d.profiles {
+                fanout += router.route_profile(black_box(p)).by_shard.len();
+            }
+            fanout
+        })
+    });
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    // Four pre-built per-shard streams of descending-weight comparisons;
+    // the merger pulls globally top-1024 batches until every stream runs
+    // dry, exercising the CF dedup on the way.
+    let streams: Vec<Vec<WeightedComparison>> = (0..4u32)
+        .map(|s| {
+            (0..4096u32)
+                .map(|i| {
+                    WeightedComparison::new(
+                        Comparison::new(ProfileId(s * 10_000 + i), ProfileId(s * 10_000 + i + 1)),
+                        (4096 - i) as f64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("shard/kway-merge-4x4096", |bench| {
+        bench.iter(|| {
+            let mut merger = ShardMerger::new(4);
+            let mut cursors = [0usize; 4];
+            let mut total = 0usize;
+            loop {
+                let batch = merger.next_batch_with(1024, |s, n| {
+                    let start = cursors[s];
+                    let end = (start + n).min(streams[s].len());
+                    cursors[s] = end;
+                    streams[s][start..end].to_vec()
+                });
+                if batch.is_empty() {
+                    break;
+                }
+                total += batch.len();
+            }
+            total
+        })
+    });
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
@@ -152,6 +210,8 @@ criterion_group!(
         bench_heaps,
         bench_similarity,
         bench_generation,
-        bench_graph
+        bench_graph,
+        bench_shard_router,
+        bench_kway_merge
 );
 criterion_main!(micro);

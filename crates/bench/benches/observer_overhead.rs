@@ -3,13 +3,13 @@
 //! Compares per-profile candidate generation (block ghosting + I-WNP —
 //! the hottest instrumented path) across four configurations:
 //!
-//! 1. `seed`       — the pristine, never-instrumented code path
-//!                   (`generate_for_profile`, kept hook-free on purpose);
-//! 2. `disabled`   — the instrumented path with `Observer::disabled()`
-//!                   (one `Option` branch per hook, no event construction);
-//! 3. `noop`       — an *enabled* observer whose sink does nothing
-//!                   (events are built and dispatched, then dropped);
-//! 4. `stats`      — an enabled `StatsObserver` (atomic counters).
+//! 1. `seed` — the pristine, never-instrumented code path
+//!    (`generate_for_profile`, kept hook-free on purpose);
+//! 2. `disabled` — the instrumented path with `Observer::disabled()`
+//!    (one `Option` branch per hook, no event construction);
+//! 3. `noop` — an *enabled* observer whose sink does nothing
+//!    (events are built and dispatched, then dropped);
+//! 4. `stats` — an enabled `StatsObserver` (atomic counters).
 //!
 //! The contract: `disabled` stays within ~2% of `seed`. A driver-level
 //! end-to-end comparison (full pipeline, disabled observer) is reported as

@@ -38,6 +38,10 @@ pub struct IncrementalBlocker {
     token_sets: Vec<Vec<TokenId>>,
     arrival_order: Vec<ProfileId>,
     profile_count: usize,
+    /// Per-profile global minimum block size (0 = unset), supplied by the
+    /// sharded router so per-shard block ghosting uses the same `|b_min|`
+    /// as the unsharded pipeline. See [`IncrementalBlocker::set_ghost_floor`].
+    ghost_floors: Vec<u32>,
 }
 
 impl IncrementalBlocker {
@@ -56,6 +60,7 @@ impl IncrementalBlocker {
             token_sets: Vec::new(),
             arrival_order: Vec::new(),
             profile_count: 0,
+            ghost_floors: Vec::new(),
         }
     }
 
@@ -90,6 +95,64 @@ impl IncrementalBlocker {
         self.arrival_order.push(id);
         self.profile_count += 1;
         id
+    }
+
+    /// Ingests a profile under an externally supplied token list instead
+    /// of running the built-in tokenizer — the entry point of the sharded
+    /// pipeline, where a router tokenizes each profile once and fans the
+    /// per-shard token subsets out to per-shard blockers. Duplicate tokens
+    /// are collapsed; the stored token set is sorted by interned id.
+    ///
+    /// # Panics
+    /// Panics if a profile with the same id was already ingested.
+    pub fn process_profile_with_tokens(
+        &mut self,
+        profile: EntityProfile,
+        tokens: &[String],
+    ) -> ProfileId {
+        let id = profile.id;
+        if self.profiles.len() <= id.index() {
+            self.profiles.resize(id.index() + 1, None);
+            self.token_sets.resize(id.index() + 1, Vec::new());
+        }
+        assert!(
+            self.profiles[id.index()].is_none(),
+            "profile {id} ingested twice"
+        );
+        let mut ids: Vec<TokenId> = tokens.iter().map(|t| self.dictionary.intern(t)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        self.collection.add_profile(id, profile.source, &ids);
+        self.token_sets[id.index()] = ids;
+        self.profiles[id.index()] = Some(profile);
+        self.arrival_order.push(id);
+        self.profile_count += 1;
+        id
+    }
+
+    /// Records the *global* minimum block size of a profile's blocks.
+    ///
+    /// A shard-local blocker only sees the blocks of its token subspace, so
+    /// the `|b_min|` that block ghosting divides by would be the shard-local
+    /// minimum — systematically larger than the unsharded one, which makes
+    /// each shard keep (and scan) oversized blocks the unsharded pipeline
+    /// ghosts. The sharded router knows every token's global frequency and
+    /// stores the true minimum here; generation then ghosts against
+    /// `min(local minimum, floor)`. Unsharded pipelines never set it.
+    pub fn set_ghost_floor(&mut self, id: ProfileId, floor: usize) {
+        if self.ghost_floors.len() <= id.index() {
+            self.ghost_floors.resize(id.index() + 1, 0);
+        }
+        self.ghost_floors[id.index()] = floor as u32;
+    }
+
+    /// The global minimum block size recorded for a profile, if any.
+    pub fn ghost_floor(&self, id: ProfileId) -> Option<usize> {
+        self.ghost_floors
+            .get(id.index())
+            .copied()
+            .filter(|&f| f > 0)
+            .map(|f| f as usize)
     }
 
     /// Attaches a pipeline observer to the block collection (which reports
@@ -203,6 +266,42 @@ mod tests {
         assert_eq!(block.members_of(SourceId(0)).len(), 1);
         assert_eq!(block.members_of(SourceId(1)).len(), 1);
         assert_eq!(block.cardinality(ErKind::CleanClean), 1);
+    }
+
+    #[test]
+    fn external_tokens_match_builtin_tokenization() {
+        let mut via_tokenizer = IncrementalBlocker::new(ErKind::Dirty);
+        let mut via_tokens = IncrementalBlocker::new(ErKind::Dirty);
+        let tokenizer = pier_types::Tokenizer::default();
+        for profile in [p(0, 0, "alpha beta beta"), p(1, 0, "beta gamma")] {
+            let tokens = tokenizer.profile_tokens(&profile);
+            via_tokenizer.process_profile(profile.clone());
+            via_tokens.process_profile_with_tokens(profile, &tokens);
+        }
+        for id in [ProfileId(0), ProfileId(1)] {
+            assert_eq!(via_tokenizer.tokens_of(id), via_tokens.tokens_of(id));
+        }
+        assert_eq!(
+            via_tokenizer.collection().block_count(),
+            via_tokens.collection().block_count()
+        );
+        assert_eq!(
+            via_tokenizer
+                .collection()
+                .common_blocks(ProfileId(0), ProfileId(1)),
+            via_tokens
+                .collection()
+                .common_blocks(ProfileId(0), ProfileId(1))
+        );
+    }
+
+    #[test]
+    fn external_token_subset_builds_only_its_blocks() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        b.process_profile_with_tokens(p(0, 0, "ignored"), &["alpha".into(), "beta".into()]);
+        b.process_profile_with_tokens(p(1, 0, "ignored"), &["beta".into()]);
+        assert_eq!(b.collection().block_count(), 2);
+        assert_eq!(b.collection().common_blocks(ProfileId(0), ProfileId(1)), 1);
     }
 
     #[test]

@@ -25,15 +25,35 @@ use crate::collection::BlockId;
 /// # Errors
 /// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
 pub fn block_ghosting(blocks: &[(BlockId, usize)], beta: f64) -> Result<Vec<BlockId>, PierError> {
+    block_ghosting_with_floor(blocks, beta, None)
+}
+
+/// [`block_ghosting`] with an externally supplied lower bound on `|b_min|`.
+///
+/// The sharded pipeline passes the *global* minimum block size of the
+/// profile here: a shard-local block list systematically overestimates
+/// `|b_min|` (the globally smallest blocks live on other shards), which
+/// inflates the ghosting threshold and makes shards scan oversized blocks
+/// the unsharded pipeline ghosts. The effective minimum is
+/// `min(local minimum, floor)`; `None` reproduces [`block_ghosting`].
+///
+/// # Errors
+/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+pub fn block_ghosting_with_floor(
+    blocks: &[(BlockId, usize)],
+    beta: f64,
+    floor: Option<usize>,
+) -> Result<Vec<BlockId>, PierError> {
     if !(beta > 0.0 && beta <= 1.0) {
         return Err(PierError::InvalidConfig {
             parameter: "beta",
             message: format!("block ghosting requires beta in (0, 1], got {beta}"),
         });
     }
-    let Some(min_size) = blocks.iter().map(|&(_, s)| s).min() else {
+    let Some(local_min) = blocks.iter().map(|&(_, s)| s).min() else {
         return Ok(Vec::new());
     };
+    let min_size = floor.map_or(local_min, |f| f.min(local_min));
     let threshold = min_size as f64 / beta;
     Ok(blocks
         .iter()
@@ -55,7 +75,22 @@ pub fn block_ghosting_observed(
     profile: ProfileId,
     observer: &Observer,
 ) -> Result<Vec<BlockId>, PierError> {
-    let kept = block_ghosting(blocks, beta)?;
+    block_ghosting_with_floor_observed(blocks, beta, None, profile, observer)
+}
+
+/// [`block_ghosting_with_floor`] with instrumentation, reporting the
+/// kept/dropped split as an [`Event::BlockGhosted`].
+///
+/// # Errors
+/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+pub fn block_ghosting_with_floor_observed(
+    blocks: &[(BlockId, usize)],
+    beta: f64,
+    floor: Option<usize>,
+    profile: ProfileId,
+    observer: &Observer,
+) -> Result<Vec<BlockId>, PierError> {
+    let kept = block_ghosting_with_floor(blocks, beta, floor)?;
     observer.emit(|| Event::BlockGhosted {
         profile,
         kept: kept.len(),
@@ -111,6 +146,29 @@ mod tests {
         assert!(block_ghosting(&[(b(1), 1)], 1.5).is_err());
         assert!(block_ghosting(&[(b(1), 1)], -0.5).is_err());
         assert!(block_ghosting(&[(b(1), 1)], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn floor_tightens_the_threshold() {
+        // Local min = 4 -> threshold 8 keeps everything; a global floor of
+        // 2 (the profile's smallest block lives on another shard) tightens
+        // the threshold to 4.
+        let blocks = vec![(b(1), 4), (b(2), 6), (b(3), 8)];
+        assert_eq!(
+            block_ghosting_with_floor(&blocks, 0.5, None).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            block_ghosting_with_floor(&blocks, 0.5, Some(2)).unwrap(),
+            vec![b(1)]
+        );
+        // A floor above the local minimum is ignored.
+        assert_eq!(
+            block_ghosting_with_floor(&blocks, 0.5, Some(100))
+                .unwrap()
+                .len(),
+            3
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub mod stats;
 pub use builder::IncrementalBlocker;
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use collection::{Block, BlockCollection, BlockId};
-pub use ghosting::{block_ghosting, block_ghosting_observed};
+pub use ghosting::{
+    block_ghosting, block_ghosting_observed, block_ghosting_with_floor,
+    block_ghosting_with_floor_observed,
+};
 pub use purging::PurgePolicy;
 pub use stats::{block_stats, BlockStats};

@@ -9,7 +9,8 @@
 //! `K`; the emitters own *which comparisons come next*.
 
 use pier_blocking::{
-    block_ghosting, block_ghosting_observed, BlockCollection, BlockId, IncrementalBlocker,
+    block_ghosting_with_floor, block_ghosting_with_floor_observed, BlockCollection, BlockId,
+    IncrementalBlocker,
 };
 use pier_metablocking::{iwnp, IwnpConfig, WeightingScheme};
 use pier_observe::Observer;
@@ -58,6 +59,22 @@ pub trait ComparisonEmitter {
     /// means no comparison is currently available.
     fn next_batch(&mut self, blocker: &IncrementalBlocker, k: usize) -> Vec<Comparison>;
 
+    /// Like [`next_batch`], but each comparison keeps the weight it was
+    /// scheduled under, so a k-way merger can order batches from several
+    /// emitters globally. Returns `None` when the emitter has no
+    /// meaningful weights to expose (the default); the sharded pipeline
+    /// then falls back to [`next_batch`] plus recomputed local weights.
+    ///
+    /// [`next_batch`]: ComparisonEmitter::next_batch
+    fn next_weighted_batch(
+        &mut self,
+        blocker: &IncrementalBlocker,
+        k: usize,
+    ) -> Option<Vec<WeightedComparison>> {
+        let _ = (blocker, k);
+        None
+    }
+
     /// Abstract work (ops) performed since the last call, for virtual-time
     /// accounting. Implementations accumulate internally and reset here.
     fn drain_ops(&mut self) -> u64;
@@ -86,8 +103,11 @@ pub fn generate_for_profile(
 ) -> (Vec<WeightedComparison>, u64) {
     let collection = blocker.collection();
     let blocks = collection.active_blocks_of(p_x);
-    // Scan cost: one op per member of each surviving block.
-    let ghosted = block_ghosting(&blocks, config.beta).expect("beta validated at construction");
+    // Scan cost: one op per member of each surviving block. The ghost
+    // floor (set only by the sharded router) keeps per-shard ghosting
+    // aligned with the global |b_min|.
+    let ghosted = block_ghosting_with_floor(&blocks, config.beta, blocker.ghost_floor(p_x))
+        .expect("beta validated at construction");
     let ops: u64 = ghosted
         .iter()
         .filter_map(|bid| collection.block(*bid))
@@ -110,8 +130,14 @@ pub fn generate_for_profile_observed(
 ) -> (Vec<WeightedComparison>, u64) {
     let collection = blocker.collection();
     let blocks = collection.active_blocks_of(p_x);
-    let ghosted = block_ghosting_observed(&blocks, config.beta, p_x, observer)
-        .expect("beta validated at construction");
+    let ghosted = block_ghosting_with_floor_observed(
+        &blocks,
+        config.beta,
+        blocker.ghost_floor(p_x),
+        p_x,
+        observer,
+    )
+    .expect("beta validated at construction");
     let ops: u64 = ghosted
         .iter()
         .filter_map(|bid| collection.block(*bid))

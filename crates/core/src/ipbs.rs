@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use pier_blocking::{BlockId, IncrementalBlocker};
 use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
 use pier_observe::{Event, Observer};
-use pier_types::{Comparison, ProfileId};
+use pier_types::{Comparison, ProfileId, WeightedComparison};
 
 use crate::framework::{ComparisonEmitter, PierConfig};
 
@@ -182,6 +182,32 @@ impl ComparisonEmitter for Ipbs {
             }
         }
         batch
+    }
+
+    fn next_weighted_batch(
+        &mut self,
+        blocker: &IncrementalBlocker,
+        k: usize,
+    ) -> Option<Vec<WeightedComparison>> {
+        // The exposed weight is the entry's CBS tie-breaker: a global
+        // merger then interleaves shards weight-ordered while each shard's
+        // own block-centric (bsize-first) order decided *which* pairs were
+        // materialized.
+        let mut batch = Vec::with_capacity(k.min(self.index.len()));
+        while batch.len() < k {
+            if self.index.is_empty() && !self.try_refill(blocker) {
+                break;
+            }
+            if let Some(entry) = self.index.pop() {
+                self.ops += 1;
+                self.observer.emit(|| Event::ComparisonEmitted {
+                    cmp: entry.cmp,
+                    weight: entry.weight,
+                });
+                batch.push(WeightedComparison::new(entry.cmp, entry.weight));
+            }
+        }
+        Some(batch)
     }
 
     fn drain_ops(&mut self) -> u64 {

@@ -111,6 +111,26 @@ impl ComparisonEmitter for Ipcs {
         batch
     }
 
+    fn next_weighted_batch(
+        &mut self,
+        _blocker: &IncrementalBlocker,
+        k: usize,
+    ) -> Option<Vec<WeightedComparison>> {
+        let mut batch = Vec::with_capacity(k.min(self.index.len()));
+        while batch.len() < k {
+            let Some(wc) = self.index.pop() else {
+                break;
+            };
+            self.ops += 1;
+            self.observer.emit(|| Event::ComparisonEmitted {
+                cmp: wc.cmp,
+                weight: wc.weight,
+            });
+            batch.push(wc);
+        }
+        Some(batch)
+    }
+
     fn drain_ops(&mut self) -> u64 {
         std::mem::take(&mut self.ops)
     }

@@ -273,6 +273,35 @@ impl ComparisonEmitter for Ipes {
         batch
     }
 
+    fn next_weighted_batch(
+        &mut self,
+        _blocker: &IncrementalBlocker,
+        k: usize,
+    ) -> Option<Vec<WeightedComparison>> {
+        let mut batch = Vec::with_capacity(k);
+        while batch.len() < k {
+            if let Some(wc) = self.dequeue_entity_path() {
+                self.observer.emit(|| Event::ComparisonEmitted {
+                    cmp: wc.cmp,
+                    weight: wc.weight,
+                });
+                batch.push(wc);
+                continue;
+            }
+            if let Some(wc) = self.pq.pop() {
+                self.ops += 1;
+                self.observer.emit(|| Event::ComparisonEmitted {
+                    cmp: wc.cmp,
+                    weight: wc.weight,
+                });
+                batch.push(wc);
+                continue;
+            }
+            break;
+        }
+        Some(batch)
+    }
+
     fn drain_ops(&mut self) -> u64 {
         std::mem::take(&mut self.ops)
     }

@@ -33,8 +33,9 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    /// Instantiates the emitter for this strategy.
-    pub fn build(self, config: PierConfig) -> Box<dyn ComparisonEmitter> {
+    /// Instantiates the emitter for this strategy. The box is `Send` so
+    /// it can move onto a shard worker thread.
+    pub fn build(self, config: PierConfig) -> Box<dyn ComparisonEmitter + Send> {
         match self {
             Strategy::Pcs => Box::new(Ipcs::new(config)),
             Strategy::Pbs => Box::new(Ipbs::new(config)),

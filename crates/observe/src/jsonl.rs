@@ -100,14 +100,14 @@ impl JsonlObserver {
     }
 }
 
-impl PipelineObserver for JsonlObserver {
-    fn on_event(&self, event: &Event) {
+impl JsonlObserver {
+    fn write_event(&self, shard: Option<u16>, event: &Event) {
         let t = self.start.elapsed().as_secs_f64();
         let mut inner = self.inner.lock();
         inner.seq += 1;
         let seq = inner.seq;
         let line = std::mem::take(&mut inner.line);
-        let mut line = write_line(line, seq, t, event);
+        let mut line = write_line(line, seq, t, shard, event);
         line.push('\n');
         // An export that stops writing mid-run is worse than a propagated
         // error, but observers cannot fail — drop the line on I/O error
@@ -118,6 +118,16 @@ impl PipelineObserver for JsonlObserver {
     }
 }
 
+impl PipelineObserver for JsonlObserver {
+    fn on_event(&self, event: &Event) {
+        self.write_event(None, event);
+    }
+
+    fn on_shard_event(&self, shard: u16, event: &Event) {
+        self.write_event(Some(shard), event);
+    }
+}
+
 impl Drop for JsonlObserver {
     fn drop(&mut self) {
         let _ = self.inner.lock().writer.flush();
@@ -125,8 +135,11 @@ impl Drop for JsonlObserver {
 }
 
 /// Serializes one event into `buf` (no trailing newline).
-fn write_line(mut buf: String, seq: u64, t: f64, event: &Event) -> String {
+fn write_line(mut buf: String, seq: u64, t: f64, shard: Option<u16>, event: &Event) -> String {
     let _ = write!(buf, "{{\"seq\":{seq},\"t\":{}", json_f64(t));
+    if let Some(shard) = shard {
+        let _ = write!(buf, ",\"shard\":{shard}");
+    }
     match *event {
         Event::IncrementIngested {
             seq: inc_seq,
@@ -223,6 +236,9 @@ pub struct TimedEvent {
     pub seq: u64,
     /// Receive-time seconds since observer creation.
     pub t: f64,
+    /// The stage-A shard the event was attributed to, if the emitting
+    /// handle was shard-tagged (see `Observer::for_shard`).
+    pub shard: Option<u16>,
     /// The event payload.
     pub event: Event,
 }
@@ -348,6 +364,7 @@ fn parse_line(line: &str) -> Option<TimedEvent> {
     Some(TimedEvent {
         seq: num("seq")? as u64,
         t: num("t")?,
+        shard: num("shard").map(|s| s as u16),
         event,
     })
 }
@@ -532,6 +549,7 @@ mod tests {
         let mk = |event| TimedEvent {
             seq: 0,
             t: 0.0,
+            shard: None,
             event,
         };
         let events = vec![
@@ -548,6 +566,27 @@ mod tests {
             mk(Event::BlockBuilt { block: 0 }),
         ];
         assert_eq!(replay_match_count(&events), 1);
+    }
+
+    #[test]
+    fn shard_tag_round_trips() {
+        let path = temp_path("shard.jsonl");
+        {
+            let obs = JsonlObserver::create(&path).unwrap();
+            obs.on_event(&Event::BlockBuilt { block: 1 });
+            obs.on_shard_event(3, &Event::BlockBuilt { block: 2 });
+            let handle = Observer::from_sink(obs).for_shard(5);
+            handle.emit(|| Event::CfFiltered {
+                cmp: Comparison::new(ProfileId(0), ProfileId(1)),
+            });
+        } // drop flushes
+        let read = read_events(&path).unwrap();
+        assert_eq!(read.len(), 3);
+        assert_eq!(read[0].shard, None);
+        assert_eq!(read[1].shard, Some(3));
+        assert_eq!(read[1].event, Event::BlockBuilt { block: 2 });
+        assert_eq!(read[2].shard, Some(5));
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

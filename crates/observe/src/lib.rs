@@ -32,7 +32,7 @@ mod jsonl;
 mod stats;
 
 pub use jsonl::{read_events, replay_match_count, replay_trajectory, JsonlObserver, TimedEvent};
-pub use stats::{PhaseSnapshot, StatsObserver, StatsSnapshot};
+pub use stats::{PhaseSnapshot, ShardSnapshot, StatsObserver, StatsSnapshot};
 
 /// The four timed stages of the PIER pipeline, in dataflow order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,6 +157,18 @@ pub trait PipelineObserver: Send + Sync {
     /// Receives one event. Must not block for long — the pipeline's hot
     /// loops call this inline.
     fn on_event(&self, event: &Event);
+
+    /// Receives one event attributed to a stage-A shard (see
+    /// [`Observer::for_shard`]). The default forwards to [`on_event`]
+    /// unchanged, so observers that do not care about shards need no
+    /// changes; shard-aware observers override this to additionally
+    /// account per-shard work.
+    ///
+    /// [`on_event`]: PipelineObserver::on_event
+    fn on_shard_event(&self, shard: u16, event: &Event) {
+        let _ = shard;
+        self.on_event(event);
+    }
 }
 
 /// An observer that receives and discards every event.
@@ -176,43 +188,79 @@ impl PipelineObserver for NoopObserver {
 ///
 /// `Observer::disabled()` (also the `Default`) holds no sink: emitting
 /// through it is one `Option` branch and the event closure is never run.
+///
+/// A handle can carry a shard tag ([`Observer::for_shard`]): events then
+/// arrive through [`PipelineObserver::on_shard_event`] so shard-aware
+/// sinks can attribute stage-A work per shard. Untagged handles (the
+/// entire single-shard pipeline) are unaffected.
 #[derive(Clone, Default)]
-pub struct Observer(Option<Arc<dyn PipelineObserver>>);
+pub struct Observer {
+    sink: Option<Arc<dyn PipelineObserver>>,
+    shard: Option<u16>,
+}
 
 impl Observer {
     /// A handle with no sink attached — the zero-overhead default.
     pub fn disabled() -> Self {
-        Observer(None)
+        Observer {
+            sink: None,
+            shard: None,
+        }
     }
 
     /// Wraps a shared observer into a handle.
     pub fn new(sink: Arc<dyn PipelineObserver>) -> Self {
-        Observer(Some(sink))
+        Observer {
+            sink: Some(sink),
+            shard: None,
+        }
     }
 
     /// Convenience: wrap a concrete observer value.
     pub fn from_sink<O: PipelineObserver + 'static>(sink: O) -> Self {
-        Observer(Some(Arc::new(sink)))
+        Observer {
+            sink: Some(Arc::new(sink)),
+            shard: None,
+        }
+    }
+
+    /// A clone of this handle whose events are attributed to `shard`.
+    ///
+    /// A disabled handle stays disabled — tagging never enables
+    /// observation, so the zero-cost contract is preserved.
+    pub fn for_shard(&self, shard: u16) -> Observer {
+        Observer {
+            sink: self.sink.clone(),
+            shard: Some(shard),
+        }
+    }
+
+    /// The shard this handle attributes events to, if any.
+    pub fn shard(&self) -> Option<u16> {
+        self.shard
     }
 
     /// Whether a sink is attached. Hooks use this to skip work (e.g.
     /// clock reads) that only exists to build events.
     #[inline(always)]
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.sink.is_some()
     }
 
     /// Emits one event, lazily: `make` runs only if a sink is attached.
     #[inline(always)]
     pub fn emit(&self, make: impl FnOnce() -> Event) {
-        if let Some(sink) = &self.0 {
-            sink.on_event(&make());
+        if let Some(sink) = &self.sink {
+            match self.shard {
+                None => sink.on_event(&make()),
+                Some(shard) => sink.on_shard_event(shard, &make()),
+            }
         }
     }
 
     /// The attached sink, if any (for snapshot access after a run).
     pub fn sink(&self) -> Option<&Arc<dyn PipelineObserver>> {
-        self.0.as_ref()
+        self.sink.as_ref()
     }
 }
 
@@ -299,5 +347,50 @@ mod tests {
     fn debug_shows_state() {
         assert!(format!("{:?}", Observer::disabled()).contains("disabled"));
         assert!(format!("{:?}", Observer::from_sink(NoopObserver)).contains("enabled"));
+    }
+
+    #[test]
+    fn default_on_shard_event_delegates_to_on_event() {
+        let sink = Arc::new(Counting(AtomicU64::new(0)));
+        let obs = Observer::new(sink.clone()).for_shard(3);
+        assert_eq!(obs.shard(), Some(3));
+        obs.emit(|| Event::BlockBuilt { block: 1 });
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shard_tag_routes_through_on_shard_event() {
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Recording(Mutex<Vec<Option<u16>>>);
+
+        impl PipelineObserver for Recording {
+            fn on_event(&self, _event: &Event) {
+                self.0.lock().push(None);
+            }
+            fn on_shard_event(&self, shard: u16, _event: &Event) {
+                self.0.lock().push(Some(shard));
+            }
+        }
+
+        let sink = Arc::new(Recording::default());
+        let obs = Observer::new(sink.clone());
+        obs.emit(|| Event::BlockBuilt { block: 0 });
+        obs.for_shard(2).emit(|| Event::BlockBuilt { block: 1 });
+        obs.for_shard(7).emit(|| Event::BlockBuilt { block: 2 });
+        assert_eq!(*sink.0.lock(), vec![None, Some(2), Some(7)]);
+    }
+
+    #[test]
+    fn tagging_a_disabled_handle_stays_disabled() {
+        let obs = Observer::disabled().for_shard(1);
+        assert!(!obs.is_enabled());
+        let mut built = false;
+        obs.emit(|| {
+            built = true;
+            Event::BlockBuilt { block: 0 }
+        });
+        assert!(!built);
     }
 }

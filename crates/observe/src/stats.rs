@@ -79,6 +79,18 @@ struct PcTimeline {
     trajectory: ProgressTrajectory,
 }
 
+/// Plain per-shard counters, kept under one mutex: shard-tagged events are
+/// orders of magnitude rarer than the global atomics' traffic, and the
+/// vector grows lazily to the highest shard id seen.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct ShardCounters {
+    profiles: u64,
+    blocks_built: u64,
+    blocks_purged: u64,
+    comparisons_emitted: u64,
+    cf_filtered: u64,
+}
+
 /// An observer accumulating run statistics that can be snapshotted at any
 /// moment from any thread, mid-run included.
 ///
@@ -104,6 +116,7 @@ pub struct StatsObserver {
     current_k: AtomicU64,
     phases: [PhaseStats; 4],
     pc: Option<Mutex<PcTimeline>>,
+    shards: Mutex<Vec<ShardCounters>>,
 }
 
 impl Default for StatsObserver {
@@ -130,6 +143,7 @@ impl StatsObserver {
             current_k: AtomicU64::new(0),
             phases: std::array::from_fn(|_| PhaseStats::new()),
             pc: None,
+            shards: Mutex::new(Vec::new()),
         }
     }
 
@@ -178,6 +192,20 @@ impl StatsObserver {
             pc,
             pc_matches,
             phases: Phase::ALL.map(|p| self.phases[p.index()].snapshot(p)),
+            shards: self
+                .shards
+                .lock()
+                .iter()
+                .enumerate()
+                .map(|(shard, c)| ShardSnapshot {
+                    shard: shard as u16,
+                    profiles: c.profiles,
+                    blocks_built: c.blocks_built,
+                    blocks_purged: c.blocks_purged,
+                    comparisons_emitted: c.comparisons_emitted,
+                    cf_filtered: c.cf_filtered,
+                })
+                .collect(),
         }
     }
 
@@ -227,6 +255,32 @@ impl PipelineObserver for StatsObserver {
             Event::PhaseTiming { phase, secs } => {
                 self.phases[phase.index()].record(secs);
             }
+        }
+    }
+
+    fn on_shard_event(&self, shard: u16, event: &Event) {
+        // Globals first: shard-tagged events count everywhere an untagged
+        // event would — except `IncrementIngested`, whose global
+        // counterpart the router reports once per increment; the
+        // shard-tagged copies describe fan-out (a profile lands on every
+        // shard owning ≥ 1 of its tokens) and would double-count the
+        // global profile total.
+        if !matches!(event, Event::IncrementIngested { .. }) {
+            self.on_event(event);
+        }
+        let mut shards = self.shards.lock();
+        let idx = shard as usize;
+        if shards.len() <= idx {
+            shards.resize(idx + 1, ShardCounters::default());
+        }
+        let c = &mut shards[idx];
+        match *event {
+            Event::IncrementIngested { profiles, .. } => c.profiles += profiles as u64,
+            Event::BlockBuilt { .. } => c.blocks_built += 1,
+            Event::BlockPurged { .. } => c.blocks_purged += 1,
+            Event::ComparisonEmitted { .. } => c.comparisons_emitted += 1,
+            Event::CfFiltered { .. } => c.cf_filtered += 1,
+            _ => {}
         }
     }
 }
@@ -282,6 +336,42 @@ pub struct StatsSnapshot {
     pub pc_matches: u64,
     /// Per-phase latency summaries, in [`Phase::ALL`] order.
     pub phases: [PhaseSnapshot; 4],
+    /// Per-shard work breakdown, indexed by shard id. Empty unless events
+    /// arrived through shard-tagged handles (see `Observer::for_shard`).
+    pub shards: Vec<ShardSnapshot>,
+}
+
+/// Work attributed to one stage-A shard at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard id the counters belong to.
+    pub shard: u16,
+    /// Profiles routed to this shard (each profile counts once per shard
+    /// that owns at least one of its tokens).
+    pub profiles: u64,
+    /// Blocks created in this shard's collection.
+    pub blocks_built: u64,
+    /// Blocks purged in this shard's collection.
+    pub blocks_purged: u64,
+    /// Comparisons this shard handed to the merger.
+    pub comparisons_emitted: u64,
+    /// Pairs this shard's (or the merger's) Bloom filter rejected.
+    pub cf_filtered: u64,
+}
+
+impl ShardSnapshot {
+    /// An all-zero snapshot for `shard` — what a shard that received no
+    /// events looks like in [`StatsSnapshot::shards`].
+    pub fn default_for(shard: u16) -> Self {
+        ShardSnapshot {
+            shard,
+            profiles: 0,
+            blocks_built: 0,
+            blocks_purged: 0,
+            comparisons_emitted: 0,
+            cf_filtered: 0,
+        }
+    }
 }
 
 impl StatsSnapshot {
@@ -426,6 +516,50 @@ mod tests {
         }
         writer.join().unwrap();
         assert_eq!(s.snapshot().blocks_built, 10_000);
+    }
+
+    #[test]
+    fn shard_events_are_attributed_and_counted_globally() {
+        let s = StatsObserver::new();
+        s.on_shard_event(
+            0,
+            &Event::IncrementIngested {
+                seq: 0,
+                profiles: 2,
+            },
+        );
+        s.on_shard_event(2, &Event::BlockBuilt { block: 7 });
+        s.on_shard_event(
+            2,
+            &Event::ComparisonEmitted {
+                cmp: cmp(0, 1),
+                weight: 2.0,
+            },
+        );
+        s.on_shard_event(2, &Event::CfFiltered { cmp: cmp(0, 1) });
+        let snap = s.snapshot();
+        // Globals see everything — except `IncrementIngested`, whose
+        // shard-tagged copies are fan-out duplicates of the driver's one
+        // untagged report and stay per-shard only.
+        assert_eq!(snap.profiles, 0);
+        assert_eq!(snap.increments, 0);
+        assert_eq!(snap.blocks_built, 1);
+        assert_eq!(snap.comparisons_emitted, 1);
+        assert_eq!(snap.cf_filtered, 1);
+        // Per-shard breakdown grows to the highest shard id seen.
+        assert_eq!(snap.shards.len(), 3);
+        assert_eq!(snap.shards[0].profiles, 2);
+        assert_eq!(snap.shards[1], ShardSnapshot::default_for(1));
+        assert_eq!(snap.shards[2].blocks_built, 1);
+        assert_eq!(snap.shards[2].comparisons_emitted, 1);
+        assert_eq!(snap.shards[2].cf_filtered, 1);
+    }
+
+    #[test]
+    fn untagged_events_leave_shards_empty() {
+        let s = StatsObserver::new();
+        s.on_event(&Event::BlockBuilt { block: 0 });
+        assert!(s.snapshot().shards.is_empty());
     }
 
     #[test]

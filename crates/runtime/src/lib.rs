@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod sharded;
 pub mod streaming;
 
 pub use report::{MatchEvent, RuntimeReport};
+pub use sharded::{run_streaming_sharded, run_streaming_sharded_observed};
 pub use streaming::{run_streaming, run_streaming_observed, RuntimeConfig};

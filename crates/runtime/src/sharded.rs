@@ -1,0 +1,553 @@
+//! The threaded sharded streaming pipeline: one thread per stage-A shard
+//! plus a merging stage B, wired with crossbeam channels.
+//!
+//! Layout (cf. [`crate::run_streaming`]'s two stages):
+//!
+//! ```text
+//! source ──▶ tokenizer 0..T ──▶ router/ingest ──▶ shard worker 0 ─┐
+//!            (tokenize+route     (store, ghost     shard worker 1 ─┼─▶ merger + classify
+//!             in parallel)        floors, fan out) ...            ─┘    (k-way merge, CF)
+//! ```
+//!
+//! Tokenization is the dominant *serial* cost of routing, so it runs on a
+//! pool of `T = shards` tokenizer threads: the source dispatches increment
+//! `seq` to tokenizer `seq % T` round-robin, and the router collects from
+//! channel `seq % T` in the same order — increment order is preserved
+//! without any `select`. The router then inserts the whole increment into
+//! the global [`ProfileStore`], computes each profile's ghost floor (its
+//! global minimum block size, which shard-local block lists cannot see)
+//! and fans attribute-less skeletons out to the owning shards.
+//!
+//! Each shard worker owns a [`ShardWorker`] (private blocker + unchanged
+//! PIER emitter over its token subspace) and serves three messages over
+//! its command channel: `Ingest` from the router thread, `Pull`/`Tick`
+//! from the merging stage B. Stage B never sends a second request to a
+//! shard before receiving the previous reply, so one reply channel per
+//! shard suffices — no `select` needed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+
+use pier_core::AdaptiveK;
+use pier_matching::{MatchFunction, MatchInput};
+use pier_observe::{Event, Observer, Phase};
+use pier_shard::{
+    ProfileStore, RoutedProfile, ShardMerger, ShardRouter, ShardWorker, ShardedConfig,
+};
+use pier_types::{EntityProfile, ErKind, WeightedComparison};
+
+use crate::report::{MatchEvent, RuntimeReport};
+use crate::streaming::RuntimeConfig;
+
+/// A command processed by one shard worker thread.
+enum ShardMsg {
+    /// Routed profiles (skeleton, this shard's token subset, ghost floor)
+    /// to ingest.
+    Ingest(Vec<(EntityProfile, Vec<String>, usize)>),
+    /// Request for up to `k` weighted comparisons, best first.
+    Pull { k: usize },
+    /// The idle tick of §3.2; replies whether the shard did/has work.
+    Tick,
+}
+
+/// A shard worker's reply to `Pull` or `Tick`.
+enum ShardReply {
+    Batch(Vec<WeightedComparison>),
+    Tick(bool),
+}
+
+/// [`crate::run_streaming`] with a hash-partitioned parallel stage A: one
+/// thread per shard plus a merging stage B (see the module docs).
+///
+/// Block purging is governed by `shard_config.purge_policy` (each shard
+/// purges against its own collection); `config.purge_policy` is unused
+/// here.
+pub fn run_streaming_sharded(
+    kind: ErKind,
+    increments: Vec<Vec<EntityProfile>>,
+    shard_config: ShardedConfig,
+    matcher: Arc<dyn MatchFunction>,
+    config: RuntimeConfig,
+    on_match: impl FnMut(MatchEvent),
+) -> RuntimeReport {
+    run_streaming_sharded_observed(
+        kind,
+        increments,
+        shard_config,
+        matcher,
+        config,
+        Observer::disabled(),
+        on_match,
+    )
+}
+
+/// [`run_streaming_sharded`] with a pipeline observer attached everywhere.
+///
+/// Shard workers report through shard-tagged handles (so a
+/// [`pier_observe::StatsObserver`] breaks blocks/comparisons down per
+/// shard and a [`pier_observe::JsonlObserver`] writes a `"shard"` field);
+/// the router thread reports `IncrementIngested` and `Phase::Block`
+/// (store + ghost floors + fan-out; tokenization runs on the parallel
+/// pool) untagged, stage B reports `Phase::Prune` (merge),
+/// `Phase::Classify` and `MatchConfirmed`.
+pub fn run_streaming_sharded_observed(
+    kind: ErKind,
+    increments: Vec<Vec<EntityProfile>>,
+    shard_config: ShardedConfig,
+    matcher: Arc<dyn MatchFunction>,
+    config: RuntimeConfig,
+    observer: Observer,
+    mut on_match: impl FnMut(MatchEvent),
+) -> RuntimeReport {
+    let start = Instant::now();
+    let total_profiles: usize = increments.iter().map(Vec::len).sum();
+    let shards = shard_config.shards as usize;
+    let router = ShardRouter::new(shard_config.shards);
+    let store = Arc::new(RwLock::new(ProfileStore::new()));
+    let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
+    let ingest_done = Arc::new(AtomicBool::new(false));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let executed_total = Arc::new(AtomicU64::new(0));
+    let adaptive = {
+        let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
+        k.set_observer(observer.clone());
+        Arc::new(Mutex::new(k))
+    };
+
+    // Per-shard command + reply channels.
+    let mut cmd_txs = Vec::with_capacity(shards);
+    let mut cmd_rxs = Vec::with_capacity(shards);
+    let mut reply_txs = Vec::with_capacity(shards);
+    let mut reply_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel::unbounded::<ShardMsg>();
+        cmd_txs.push(tx);
+        cmd_rxs.push(rx);
+        let (tx, rx) = channel::unbounded::<ShardReply>();
+        reply_txs.push(tx);
+        reply_rxs.push(rx);
+    }
+
+    // Tokenizer pool channels: the source dispatches increment `seq` to
+    // tokenizer `seq % T`; the router collects from routed channel
+    // `seq % T`, so increment order survives without `select`.
+    let pool = shards.max(1);
+    let mut tok_txs = Vec::with_capacity(pool);
+    let mut tok_rxs = Vec::with_capacity(pool);
+    let mut routed_txs = Vec::with_capacity(pool);
+    let mut routed_rxs = Vec::with_capacity(pool);
+    for _ in 0..pool {
+        let (tx, rx) = channel::bounded::<Vec<EntityProfile>>(64);
+        tok_txs.push(tx);
+        tok_rxs.push(rx);
+        let (tx, rx) = channel::bounded::<Vec<(EntityProfile, RoutedProfile)>>(64);
+        routed_txs.push(tx);
+        routed_rxs.push(rx);
+    }
+
+    // Source: replay increments at the configured rate, round-robin over
+    // the tokenizer pool.
+    let source = {
+        let interarrival = config.interarrival;
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for (i, inc) in increments.into_iter().enumerate() {
+                if i > 0 {
+                    std::thread::sleep(interarrival);
+                }
+                if shutdown.load(Ordering::SeqCst) || tok_txs[i % tok_txs.len()].send(inc).is_err()
+                {
+                    break;
+                }
+            }
+        })
+    };
+
+    let mut matches: Vec<MatchEvent> = Vec::new();
+
+    std::thread::scope(|scope| {
+        // Shard workers: one thread per shard, each owning its blocker +
+        // emitter, exiting when every command sender is dropped.
+        for (shard, (cmd_rx, reply_tx)) in cmd_rxs.into_iter().zip(reply_txs).enumerate() {
+            let mut worker = ShardWorker::new(
+                shard as u16,
+                kind,
+                shard_config.strategy,
+                shard_config.pier,
+                shard_config.purge_policy,
+                &observer,
+            );
+            let observer = observer.for_shard(shard as u16);
+            scope.spawn(move || {
+                for msg in cmd_rx.iter() {
+                    match msg {
+                        ShardMsg::Ingest(batch) => {
+                            let t0 = observer.is_enabled().then(Instant::now);
+                            worker.ingest(&batch);
+                            if let Some(t0) = t0 {
+                                observer.emit(|| Event::PhaseTiming {
+                                    phase: Phase::Weight,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                });
+                            }
+                        }
+                        ShardMsg::Pull { k } => {
+                            let _ = reply_tx.send(ShardReply::Batch(worker.pull(k)));
+                        }
+                        ShardMsg::Tick => {
+                            let _ = reply_tx.send(ShardReply::Tick(worker.tick()));
+                        }
+                    }
+                }
+            });
+        }
+
+        // Tokenizer pool: tokenize + hash-route increments in parallel;
+        // the serial router downstream only touches the store.
+        for (tok_rx, routed_tx) in tok_rxs.into_iter().zip(routed_txs) {
+            let router = router.clone();
+            scope.spawn(move || {
+                for inc in tok_rx.iter() {
+                    let routed: Vec<(EntityProfile, RoutedProfile)> = inc
+                        .into_iter()
+                        .map(|p| {
+                            let r = router.route_profile(&p);
+                            (p, r)
+                        })
+                        .collect();
+                    if routed_tx.send(routed).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Router/ingest: store globally, compute ghost floors, fan out.
+        {
+            let store = Arc::clone(&store);
+            let ingest_done = Arc::clone(&ingest_done);
+            let adaptive = Arc::clone(&adaptive);
+            let cmd_txs = cmd_txs.clone();
+            let observer = observer.clone();
+            scope.spawn(move || {
+                let mut seq = 0usize;
+                // Round-robin collection mirrors dispatch: a disconnect on
+                // channel `seq % T` means no increment >= seq was sent.
+                while let Ok(inc) = routed_rxs[seq % routed_rxs.len()].recv() {
+                    adaptive
+                        .lock()
+                        .record_arrival(start.elapsed().as_secs_f64());
+                    let t0 = observer.is_enabled().then(Instant::now);
+                    let profiles = inc.len();
+                    let mut per_shard: Vec<Vec<(EntityProfile, Vec<String>, usize)>> =
+                        (0..cmd_txs.len()).map(|_| Vec::new()).collect();
+                    {
+                        let mut store = store.write();
+                        // The whole increment enters the store before any
+                        // floor is read, mirroring the unsharded blocker
+                        // which blocks a full increment before generating.
+                        for (profile, routed) in &inc {
+                            store.insert(profile.clone(), &routed.tokens);
+                        }
+                        for (profile, routed) in inc {
+                            let floor = store.min_token_count(profile.id).unwrap_or(1);
+                            // Shards block and weight only — ship them an
+                            // attribute-less skeleton, not a full clone.
+                            for (shard, tokens) in routed.by_shard {
+                                per_shard[shard as usize].push((
+                                    EntityProfile::new(profile.id, profile.source),
+                                    tokens,
+                                    floor,
+                                ));
+                            }
+                        }
+                    }
+                    for (shard, batch) in per_shard.into_iter().enumerate() {
+                        if !batch.is_empty() {
+                            let _ = cmd_txs[shard].send(ShardMsg::Ingest(batch));
+                        }
+                    }
+                    if let Some(t0) = t0 {
+                        observer.emit(|| Event::PhaseTiming {
+                            phase: Phase::Block,
+                            secs: t0.elapsed().as_secs_f64(),
+                        });
+                    }
+                    observer.emit(|| Event::IncrementIngested {
+                        seq: seq as u64,
+                        profiles,
+                    });
+                    seq += 1;
+                }
+                // All `Ingest` messages are enqueued before this store, so
+                // any thread that *observes* `true` and then sends `Tick`
+                // knows the ticks queue behind every ingest.
+                ingest_done.store(true, Ordering::SeqCst);
+            });
+        }
+
+        // Stage B: k-way merge, classify, emit match events.
+        {
+            let store = Arc::clone(&store);
+            let ingest_done = Arc::clone(&ingest_done);
+            let adaptive = Arc::clone(&adaptive);
+            let matcher = Arc::clone(&matcher);
+            let shutdown = Arc::clone(&shutdown);
+            let executed_total = Arc::clone(&executed_total);
+            let max_comparisons = config.max_comparisons;
+            let deadline = config.deadline;
+            let observer = observer.clone();
+            let mut merger = ShardMerger::new(shards);
+            merger.set_observer(observer.clone());
+            scope.spawn(move || {
+                let mut executed = 0u64;
+                loop {
+                    if start.elapsed() >= deadline || executed >= max_comparisons {
+                        break;
+                    }
+                    let k = adaptive.lock().k();
+                    let t0 = observer.is_enabled().then(Instant::now);
+                    let cmps = merger.next_batch_with(k, |s, n| {
+                        if cmd_txs[s].send(ShardMsg::Pull { k: n }).is_err() {
+                            return Vec::new();
+                        }
+                        match reply_rxs[s].recv() {
+                            Ok(ShardReply::Batch(batch)) => batch,
+                            _ => Vec::new(),
+                        }
+                    });
+                    if let Some(t0) = t0 {
+                        observer.emit(|| Event::PhaseTiming {
+                            phase: Phase::Prune,
+                            secs: t0.elapsed().as_secs_f64(),
+                        });
+                    }
+                    if cmps.is_empty() {
+                        // Check *before* ticking: if ingestion had already
+                        // finished, the ticks are ordered behind every
+                        // `Ingest` in each shard's queue, so "no work"
+                        // replies are conclusive.
+                        let done_before_tick = ingest_done.load(Ordering::SeqCst);
+                        let mut tick_made_work = false;
+                        for tx in &cmd_txs {
+                            let _ = tx.send(ShardMsg::Tick);
+                        }
+                        for rx in &reply_rxs {
+                            if let Ok(ShardReply::Tick(made_work)) = rx.recv() {
+                                tick_made_work |= made_work;
+                            }
+                        }
+                        if !tick_made_work && done_before_tick {
+                            break;
+                        }
+                        if !tick_made_work {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        continue;
+                    }
+                    // Materialize profiles so classification is lock-free.
+                    let batch: Vec<(EntityProfile, Vec<_>, EntityProfile, Vec<_>)> = {
+                        let store = store.read();
+                        cmps.into_iter()
+                            .map(|c| {
+                                (
+                                    store.profile(c.a).clone(),
+                                    store.tokens_of(c.a).to_vec(),
+                                    store.profile(c.b).clone(),
+                                    store.tokens_of(c.b).to_vec(),
+                                )
+                            })
+                            .collect()
+                    };
+                    let t0 = start.elapsed().as_secs_f64();
+                    for (pa, ta, pb, tb) in &batch {
+                        let outcome = matcher.evaluate(MatchInput {
+                            profile_a: pa,
+                            tokens_a: ta,
+                            profile_b: pb,
+                            tokens_b: tb,
+                        });
+                        executed += 1;
+                        if outcome.is_match {
+                            let at = start.elapsed();
+                            observer.emit(|| Event::MatchConfirmed {
+                                cmp: pier_types::Comparison::new(pa.id, pb.id),
+                                similarity: outcome.similarity,
+                                at_secs: at.as_secs_f64(),
+                            });
+                            let _ = match_tx.send(MatchEvent {
+                                at,
+                                pair: pier_types::Comparison::new(pa.id, pb.id),
+                                similarity: outcome.similarity,
+                            });
+                        }
+                        if executed >= max_comparisons || start.elapsed() >= deadline {
+                            break;
+                        }
+                    }
+                    let batch_secs = start.elapsed().as_secs_f64() - t0;
+                    observer.emit(|| Event::PhaseTiming {
+                        phase: Phase::Classify,
+                        secs: batch_secs,
+                    });
+                    adaptive.lock().record_batch(batch_secs);
+                }
+                executed_total.store(executed, Ordering::SeqCst);
+                shutdown.store(true, Ordering::SeqCst);
+                drop(match_tx);
+                // Dropping this thread's `cmd_txs` clone lets the shard
+                // workers exit once the router thread is done too.
+            });
+        }
+
+        // Collector (this thread): stream match events to the caller.
+        for event in match_rx.iter() {
+            on_match(event);
+            matches.push(event);
+        }
+    });
+
+    let comparisons = executed_total.load(Ordering::SeqCst);
+    source.join().expect("source thread never panics");
+
+    RuntimeReport {
+        matches,
+        comparisons,
+        elapsed: start.elapsed(),
+        profiles: total_profiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_matching::JaccardMatcher;
+    use pier_types::{ProfileId, SourceId};
+
+    fn increments() -> Vec<Vec<EntityProfile>> {
+        vec![
+            vec![
+                EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha beta gamma"),
+                EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "alpha beta gamma"),
+            ],
+            vec![
+                EntityProfile::new(ProfileId(2), SourceId(0)).with("t", "delta epsilon"),
+                EntityProfile::new(ProfileId(3), SourceId(0)).with("t", "delta epsilon"),
+            ],
+        ]
+    }
+
+    fn runtime_config() -> RuntimeConfig {
+        RuntimeConfig {
+            interarrival: Duration::from_millis(5),
+            deadline: Duration::from_secs(10),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_pipeline_finds_matches_in_real_time() {
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let mut streamed = 0;
+        let report = run_streaming_sharded(
+            ErKind::Dirty,
+            increments(),
+            ShardedConfig::default(),
+            matcher,
+            runtime_config(),
+            |_| streamed += 1,
+        );
+        assert_eq!(report.matches.len(), 2);
+        assert_eq!(streamed, 2);
+        assert_eq!(report.profiles, 4);
+        assert!(report.comparisons >= 2);
+        assert!(report.matches.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn observed_sharded_run_breaks_work_down_per_shard() {
+        use pier_observe::StatsObserver;
+        use pier_types::GroundTruth;
+
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
+        let stats = Arc::new(StatsObserver::with_ground_truth(gt));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let report = run_streaming_sharded_observed(
+            ErKind::Dirty,
+            increments(),
+            ShardedConfig::default(),
+            matcher,
+            runtime_config(),
+            Observer::new(stats.clone()),
+            |_| {},
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.increments, 2);
+        assert_eq!(snap.profiles, 4);
+        assert!(snap.blocks_built > 0);
+        assert_eq!(snap.matches_confirmed as usize, report.matches.len());
+        assert_eq!(snap.pc, Some(1.0));
+        // Shard-tagged events produced a per-shard breakdown that accounts
+        // for every block built.
+        assert!(!snap.shards.is_empty());
+        let shard_blocks: u64 = snap.shards.iter().map(|s| s.blocks_built).sum();
+        assert_eq!(shard_blocks, snap.blocks_built);
+        // Fan-out: every profile reaches at least one shard, and the
+        // shard-tagged ingest accounting never leaks into the global total.
+        let shard_profiles: u64 = snap.shards.iter().map(|s| s.profiles).sum();
+        assert!(shard_profiles >= snap.profiles);
+        assert_eq!(snap.profiles, 4);
+    }
+
+    #[test]
+    fn single_shard_matches_multi_shard_results() {
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let run = |shards: u16| {
+            let report = run_streaming_sharded(
+                ErKind::Dirty,
+                increments(),
+                ShardedConfig {
+                    shards,
+                    ..ShardedConfig::default()
+                },
+                Arc::clone(&matcher),
+                runtime_config(),
+                |_| {},
+            );
+            let mut pairs: Vec<_> = report.matches.iter().map(|m| m.pair).collect();
+            pairs.sort_unstable();
+            pairs
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn deadline_stops_the_sharded_pipeline() {
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let many: Vec<Vec<EntityProfile>> = (0..100u32)
+            .map(|i| {
+                vec![EntityProfile::new(ProfileId(i), SourceId(0))
+                    .with("t", format!("tok{i} tok{}", i / 2))]
+            })
+            .collect();
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(200),
+            deadline: Duration::from_millis(50),
+            ..RuntimeConfig::default()
+        };
+        let report = run_streaming_sharded(
+            ErKind::Dirty,
+            many,
+            ShardedConfig::default(),
+            matcher,
+            config,
+            |_| {},
+        );
+        assert!(report.elapsed < Duration::from_secs(25));
+    }
+}

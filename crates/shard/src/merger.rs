@@ -1,0 +1,212 @@
+//! The k-way merge over per-shard comparison streams.
+
+use std::collections::VecDeque;
+
+use pier_collections::ScalableBloomFilter;
+use pier_observe::{Event, Observer};
+use pier_types::{Comparison, WeightedComparison};
+
+use crate::worker::ShardWorker;
+
+/// Merges the per-shard priority streams into one globally ordered stream.
+///
+/// Each shard exposes its pending comparisons best-first (weight
+/// descending, the emitters' own order); the merger keeps a small buffer
+/// per shard and repeatedly takes the best buffered head across all
+/// shards — a classic k-way merge, so `next_batch(k)` returns the
+/// globally top-`k` comparisons over all shards.
+///
+/// A pair sharing tokens that hash to different shards is scheduled by
+/// each of them; the shared scalable-Bloom comparison filter `CF`
+/// deduplicates those at the merge point, so downstream sees each pair at
+/// most once (the first, i.e. best-ranked, copy wins).
+pub struct ShardMerger {
+    buffers: Vec<VecDeque<WeightedComparison>>,
+    cf: ScalableBloomFilter,
+    observer: Observer,
+}
+
+impl ShardMerger {
+    /// Creates a merger over `shards` input streams.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        ShardMerger {
+            buffers: (0..shards).map(|_| VecDeque::new()).collect(),
+            cf: ScalableBloomFilter::for_comparisons(),
+            observer: Observer::disabled(),
+        }
+    }
+
+    /// Attaches the (untagged) pipeline observer; the merger reports
+    /// cross-shard duplicates through it as `CfFiltered`.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
+    }
+
+    /// Number of input streams.
+    pub fn shards(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Comparisons currently buffered across all shards.
+    pub fn buffered(&self) -> usize {
+        self.buffers.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pulls the globally best `k` comparisons, refilling each shard's
+    /// buffer through `pull(shard, n)` (which returns up to `n` weighted
+    /// comparisons, best first, empty when the shard is drained).
+    ///
+    /// Within one call a shard that returns an empty refill is treated as
+    /// exhausted; leftovers stay buffered for the next call.
+    pub fn next_batch_with(
+        &mut self,
+        k: usize,
+        mut pull: impl FnMut(usize, usize) -> Vec<WeightedComparison>,
+    ) -> Vec<Comparison> {
+        let n = self.buffers.len();
+        let mut exhausted = vec![false; n];
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            // Refill every empty, not-yet-exhausted buffer.
+            for (s, done) in exhausted.iter_mut().enumerate() {
+                if self.buffers[s].is_empty() && !*done {
+                    let refill = pull(s, k);
+                    if refill.is_empty() {
+                        *done = true;
+                    } else {
+                        self.buffers[s].extend(refill);
+                    }
+                }
+            }
+            // Best head across all shards (WeightedComparison's total
+            // order: weight first, smaller pair on ties — deterministic).
+            let best = self
+                .buffers
+                .iter()
+                .enumerate()
+                .filter_map(|(s, b)| b.front().map(|wc| (wc, s)))
+                .max_by(|(a, _), (b, _)| a.cmp(b))
+                .map(|(_, s)| s);
+            let Some(s) = best else {
+                break; // all buffers empty and exhausted
+            };
+            let wc = self.buffers[s].pop_front().expect("non-empty head");
+            if self.cf.insert(wc.cmp.key()) {
+                out.push(wc.cmp);
+            } else {
+                // Cross-shard duplicate: a co-owned pair already merged.
+                self.observer.emit(|| Event::CfFiltered { cmp: wc.cmp });
+            }
+        }
+        out
+    }
+
+    /// Convenience wrapper driving [`ShardWorker::pull`] directly (the
+    /// synchronous pipeline; the threaded runtime supplies a channel-based
+    /// closure instead).
+    pub fn next_batch(&mut self, workers: &mut [ShardWorker], k: usize) -> Vec<Comparison> {
+        assert_eq!(workers.len(), self.buffers.len(), "worker/shard mismatch");
+        self.next_batch_with(k, |s, n| workers[s].pull(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::ProfileId;
+    use std::sync::Arc;
+
+    fn wc(a: u32, b: u32, w: f64) -> WeightedComparison {
+        WeightedComparison::new(Comparison::new(ProfileId(a), ProfileId(b)), w)
+    }
+
+    #[test]
+    fn merges_globally_best_first() {
+        let mut m = ShardMerger::new(2);
+        let mut feeds = [
+            vec![wc(0, 1, 9.0), wc(0, 2, 3.0)],
+            vec![wc(3, 4, 7.0), wc(3, 5, 1.0)],
+        ];
+        let batch = m.next_batch_with(4, |s, _n| std::mem::take(&mut feeds[s]));
+        assert_eq!(
+            batch,
+            vec![
+                Comparison::new(ProfileId(0), ProfileId(1)),
+                Comparison::new(ProfileId(3), ProfileId(4)),
+                Comparison::new(ProfileId(0), ProfileId(2)),
+                Comparison::new(ProfileId(3), ProfileId(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn k_bounds_the_batch_and_leftovers_survive() {
+        let mut m = ShardMerger::new(2);
+        let mut round = 0;
+        let mut batch = m.next_batch_with(1, |s, _n| {
+            round += 1;
+            match (s, round) {
+                (0, _) => vec![wc(0, 1, 5.0)],
+                (1, _) => vec![wc(2, 3, 8.0)],
+                _ => vec![],
+            }
+        });
+        assert_eq!(batch, vec![Comparison::new(ProfileId(2), ProfileId(3))]);
+        assert_eq!(m.buffered(), 1);
+        // The buffered leftover comes out next, without a refill.
+        batch = m.next_batch_with(1, |_s, _n| Vec::new());
+        assert_eq!(batch, vec![Comparison::new(ProfileId(0), ProfileId(1))]);
+    }
+
+    #[test]
+    fn cross_shard_duplicates_merge_once() {
+        struct Counting(std::sync::atomic::AtomicU64);
+        impl pier_observe::PipelineObserver for Counting {
+            fn on_event(&self, event: &Event) {
+                if matches!(event, Event::CfFiltered { .. }) {
+                    self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+        let sink = Arc::new(Counting(std::sync::atomic::AtomicU64::new(0)));
+        let mut m = ShardMerger::new(3);
+        m.set_observer(Observer::new(sink.clone()));
+        // The pair (0,1) co-occurs in blocks of all three shards.
+        let mut feeds = [
+            vec![wc(0, 1, 4.0)],
+            vec![wc(0, 1, 2.0)],
+            vec![wc(0, 1, 1.0), wc(4, 5, 0.5)],
+        ];
+        let batch = m.next_batch_with(8, |s, _n| std::mem::take(&mut feeds[s]));
+        assert_eq!(
+            batch,
+            vec![
+                Comparison::new(ProfileId(0), ProfileId(1)),
+                Comparison::new(ProfileId(4), ProfileId(5)),
+            ]
+        );
+        assert_eq!(sink.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn equal_weights_break_ties_on_smaller_pair() {
+        let mut m = ShardMerger::new(2);
+        let mut feeds = [vec![wc(7, 9, 3.0)], vec![wc(2, 4, 3.0)]];
+        let batch = m.next_batch_with(2, |s, _n| std::mem::take(&mut feeds[s]));
+        assert_eq!(
+            batch,
+            vec![
+                Comparison::new(ProfileId(2), ProfileId(4)),
+                Comparison::new(ProfileId(7), ProfileId(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_inputs_end_the_batch() {
+        let mut m = ShardMerger::new(2);
+        let batch = m.next_batch_with(5, |_s, _n| Vec::new());
+        assert!(batch.is_empty());
+    }
+}

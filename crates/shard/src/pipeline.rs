@@ -1,0 +1,399 @@
+//! The synchronous sharded stage A: router → workers → merger in one
+//! struct, mirroring the single-shard `blocker + emitter` pair so drivers
+//! (tests, benches, the threaded runtime's building blocks) can swap one
+//! for the other.
+
+use pier_blocking::PurgePolicy;
+use pier_core::{PierConfig, Strategy};
+use pier_observe::{Event, Observer};
+use pier_types::{
+    Comparison, EntityProfile, ErKind, ProfileId, TokenDictionary, TokenId, Tokenizer,
+};
+
+use crate::merger::ShardMerger;
+use crate::router::{RoutedProfile, ShardRouter};
+use crate::worker::ShardWorker;
+
+/// Configuration of the sharded stage A.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of stage-A shards. Default 4.
+    pub shards: u16,
+    /// The prioritization strategy instantiated per shard. Default I-PCS.
+    pub strategy: Strategy,
+    /// Per-shard PIER configuration (β, scheme, index capacity).
+    pub pier: PierConfig,
+    /// Per-shard block purge policy.
+    pub purge_policy: PurgePolicy,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            strategy: Strategy::Pcs,
+            pier: PierConfig::default(),
+            purge_policy: PurgePolicy::default(),
+        }
+    }
+}
+
+/// The global profile store of the sharded pipeline.
+///
+/// Shard blockers only know their token subspace, so the matcher-facing
+/// profile/token lookups live here: one dictionary over the *full* token
+/// sets, exactly what the unsharded blocker would expose.
+#[derive(Debug, Default)]
+pub struct ProfileStore {
+    dictionary: TokenDictionary,
+    profiles: Vec<Option<EntityProfile>>,
+    token_sets: Vec<Vec<TokenId>>,
+    /// Global per-token occurrence counts — block sizes before purging,
+    /// used to hand each shard the global ghosting floor.
+    token_counts: Vec<u32>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a profile with its full (sorted distinct) token list.
+    ///
+    /// # Panics
+    /// Panics if the id was already stored.
+    pub fn insert(&mut self, profile: EntityProfile, tokens: &[String]) {
+        let idx = profile.id.index();
+        if self.profiles.len() <= idx {
+            self.profiles.resize(idx + 1, None);
+            self.token_sets.resize(idx + 1, Vec::new());
+        }
+        assert!(
+            self.profiles[idx].is_none(),
+            "profile {} stored twice",
+            profile.id
+        );
+        let mut ids: Vec<TokenId> = tokens.iter().map(|t| self.dictionary.intern(t)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for &t in &ids {
+            if self.token_counts.len() <= t.index() {
+                self.token_counts.resize(t.index() + 1, 0);
+            }
+            self.token_counts[t.index()] += 1;
+        }
+        self.token_sets[idx] = ids;
+        self.profiles[idx] = Some(profile);
+    }
+
+    /// The global minimum block size over a profile's tokens — the
+    /// unsharded `|b_min|` its block ghosting would divide by. `None` for
+    /// token-less profiles.
+    pub fn min_token_count(&self, id: ProfileId) -> Option<usize> {
+        self.token_sets[id.index()]
+            .iter()
+            .map(|t| self.token_counts[t.index()] as usize)
+            .min()
+    }
+
+    /// A stored profile by id.
+    ///
+    /// # Panics
+    /// Panics if the id was never stored.
+    pub fn profile(&self, id: ProfileId) -> &EntityProfile {
+        self.profiles[id.index()].as_ref().expect("profile stored")
+    }
+
+    /// The sorted distinct token ids of a stored profile.
+    pub fn tokens_of(&self, id: ProfileId) -> &[TokenId] {
+        &self.token_sets[id.index()]
+    }
+
+    /// Profiles stored so far.
+    pub fn len(&self) -> usize {
+        self.profiles.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Hash-partitioned parallel stage A, synchronous form.
+///
+/// Routes each incoming profile to every shard owning ≥ 1 of its tokens,
+/// runs one unchanged PIER emitter per shard over that shard's blocks,
+/// and k-way-merges the per-shard streams so [`ShardedStageA::next_batch`]
+/// returns the globally top-`k` comparisons with cross-shard duplicates
+/// removed by the shared Bloom `CF`.
+pub struct ShardedStageA {
+    router: ShardRouter,
+    workers: Vec<ShardWorker>,
+    merger: ShardMerger,
+    store: ProfileStore,
+    observer: Observer,
+    increments: u64,
+}
+
+impl ShardedStageA {
+    /// Creates a sharded stage A without observation.
+    pub fn new(kind: ErKind, config: ShardedConfig) -> Self {
+        Self::with_observer(kind, config, Observer::disabled())
+    }
+
+    /// Creates a sharded stage A reporting through `observer` (workers get
+    /// shard-tagged clones; the merger and router report untagged).
+    pub fn with_observer(kind: ErKind, config: ShardedConfig, observer: Observer) -> Self {
+        let workers = (0..config.shards)
+            .map(|s| {
+                ShardWorker::new(
+                    s,
+                    kind,
+                    config.strategy,
+                    config.pier,
+                    config.purge_policy,
+                    &observer,
+                )
+            })
+            .collect();
+        let mut merger = ShardMerger::new(config.shards as usize);
+        merger.set_observer(observer.clone());
+        ShardedStageA {
+            router: ShardRouter::with_tokenizer(config.shards, Tokenizer::default()),
+            workers,
+            merger,
+            store: ProfileStore::new(),
+            observer,
+            increments: 0,
+        }
+    }
+
+    /// The router (e.g. to inspect shard assignment).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u16 {
+        self.router.shards()
+    }
+
+    /// The global profile store backing matcher lookups.
+    pub fn store(&self) -> &ProfileStore {
+        &self.store
+    }
+
+    /// Per-shard workers (e.g. to inspect shard-local blockers).
+    pub fn workers(&self) -> &[ShardWorker] {
+        &self.workers
+    }
+
+    /// Ingests one increment: tokenize once per profile, store globally,
+    /// fan out to the owning shards, and notify each touched shard's
+    /// emitter once.
+    pub fn on_increment(&mut self, increment: &[EntityProfile]) {
+        let mut per_shard: Vec<Vec<(EntityProfile, Vec<String>, usize)>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        // Two passes: the whole increment enters the store first so the
+        // ghost floors below see the same block sizes the unsharded
+        // pipeline would at generation time (it too blocks a full
+        // increment before generating).
+        let routed: Vec<RoutedProfile> = increment
+            .iter()
+            .map(|profile| {
+                let routed = self.router.route_profile(profile);
+                self.store.insert(profile.clone(), &routed.tokens);
+                routed
+            })
+            .collect();
+        for (profile, routed) in increment.iter().zip(routed) {
+            let floor = self.store.min_token_count(profile.id).unwrap_or(1);
+            // Shards only block and weight, so they get an attribute-less
+            // skeleton (id + source): cloning full profiles once per owning
+            // shard would dominate routing cost on wide corpora.
+            for (shard, tokens) in routed.by_shard {
+                per_shard[shard as usize].push((
+                    EntityProfile::new(profile.id, profile.source),
+                    tokens,
+                    floor,
+                ));
+            }
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.workers[shard].ingest(&batch);
+            }
+        }
+        let seq = self.increments;
+        self.increments += 1;
+        self.observer.emit(|| Event::IncrementIngested {
+            seq,
+            profiles: increment.len(),
+        });
+    }
+
+    /// Broadcasts the idle tick to every shard; returns whether any shard
+    /// still did (or has) work.
+    pub fn tick(&mut self) -> bool {
+        let mut made_work = false;
+        for w in &mut self.workers {
+            made_work |= w.tick();
+        }
+        made_work
+    }
+
+    /// The globally best `k` comparisons across all shards, duplicates
+    /// removed.
+    pub fn next_batch(&mut self, k: usize) -> Vec<Comparison> {
+        let workers = &mut self.workers;
+        self.merger.next_batch_with(k, |s, n| workers[s].pull(n))
+    }
+
+    /// Whether any shard's emitter still holds schedulable comparisons
+    /// (buffered merger leftovers count too).
+    pub fn has_pending(&self) -> bool {
+        self.merger.buffered() > 0 || self.workers.iter().any(ShardWorker::has_pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_blocking::IncrementalBlocker;
+    use pier_core::ComparisonEmitter;
+    use pier_types::SourceId;
+    use std::collections::BTreeSet;
+
+    fn profiles(texts: &[&str]) -> Vec<EntityProfile> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| EntityProfile::new(ProfileId(i as u32), SourceId(0)).with("text", *t))
+            .collect()
+    }
+
+    /// Drains a sharded pipeline completely (batches + idle ticks).
+    fn drain_sharded(stage: &mut ShardedStageA) -> Vec<Comparison> {
+        let mut out = Vec::new();
+        loop {
+            let batch = stage.next_batch(64);
+            if !batch.is_empty() {
+                out.extend(batch);
+                continue;
+            }
+            if !stage.tick() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Drains an unsharded reference pipeline completely.
+    fn drain_unsharded(
+        blocker: &IncrementalBlocker,
+        emitter: &mut dyn ComparisonEmitter,
+    ) -> Vec<Comparison> {
+        let mut out = Vec::new();
+        loop {
+            let batch = emitter.next_batch(blocker, 64);
+            if !batch.is_empty() {
+                out.extend(batch);
+                continue;
+            }
+            emitter.drain_ops();
+            emitter.on_increment(blocker, &[]);
+            if emitter.drain_ops() == 0 && !emitter.has_pending() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_emits_the_unsharded_comparison_set() {
+        let data = profiles(&[
+            "alpha beta gamma",
+            "alpha beta gamma delta",
+            "delta epsilon",
+            "epsilon zeta alpha",
+            "zeta beta",
+        ]);
+        // Unsharded reference.
+        let mut blocker = IncrementalBlocker::new(ErKind::Dirty);
+        let mut emitter = Strategy::Pcs.build(PierConfig::default());
+        let ids = blocker.process_increment(&data);
+        emitter.on_increment(&blocker, &ids);
+        let want: BTreeSet<Comparison> = drain_unsharded(&blocker, emitter.as_mut())
+            .into_iter()
+            .collect();
+        assert!(!want.is_empty());
+
+        for shards in [1u16, 2, 4] {
+            let mut stage = ShardedStageA::new(
+                ErKind::Dirty,
+                ShardedConfig {
+                    shards,
+                    ..ShardedConfig::default()
+                },
+            );
+            stage.on_increment(&data);
+            let got: Vec<Comparison> = drain_sharded(&mut stage);
+            let got_set: BTreeSet<Comparison> = got.iter().copied().collect();
+            assert_eq!(
+                got_set.len(),
+                got.len(),
+                "{shards} shards: duplicate emitted"
+            );
+            assert_eq!(got_set, want, "{shards} shards: set mismatch");
+        }
+    }
+
+    #[test]
+    fn clean_clean_pairs_stay_cross_source() {
+        let mut stage = ShardedStageA::new(ErKind::CleanClean, ShardedConfig::default());
+        let data = vec![
+            EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "shared token one"),
+            EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "shared token two"),
+            EntityProfile::new(ProfileId(2), SourceId(1)).with("t", "shared token three"),
+        ];
+        stage.on_increment(&data);
+        let out = drain_sharded(&mut stage);
+        assert!(!out.is_empty());
+        for c in out {
+            assert_ne!(
+                stage.store().profile(c.a).source,
+                stage.store().profile(c.b).source
+            );
+        }
+    }
+
+    #[test]
+    fn store_serves_global_profiles_and_tokens() {
+        let mut stage = ShardedStageA::new(ErKind::Dirty, ShardedConfig::default());
+        let data = profiles(&["alpha beta", "gamma delta"]);
+        stage.on_increment(&data);
+        assert_eq!(stage.store().len(), 2);
+        assert_eq!(stage.store().profile(ProfileId(1)).id, ProfileId(1));
+        assert_eq!(stage.store().tokens_of(ProfileId(0)).len(), 2);
+    }
+
+    #[test]
+    fn per_shard_work_is_observed() {
+        let stats = std::sync::Arc::new(pier_observe::StatsObserver::new());
+        let mut stage = ShardedStageA::with_observer(
+            ErKind::Dirty,
+            ShardedConfig::default(),
+            Observer::new(stats.clone()),
+        );
+        stage.on_increment(&profiles(&["alpha beta gamma", "alpha beta gamma"]));
+        let _ = drain_sharded(&mut stage);
+        let snap = stats.snapshot();
+        assert_eq!(snap.increments, 1);
+        assert!(!snap.shards.is_empty());
+        let shard_blocks: u64 = snap.shards.iter().map(|s| s.blocks_built).sum();
+        assert_eq!(shard_blocks, snap.blocks_built);
+        assert!(snap.comparisons_emitted > 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Token-hash routing: which shard owns which token.
+//!
+//! The routing rule is the whole sharding story: a block *is* a token
+//! (block id ≡ interned token id), so hashing the token **string** to a
+//! shard partitions the block collection exactly — every block lives in
+//! precisely one shard, with the same members joining in the same arrival
+//! order as in an unsharded run. The hash is computed on the string (not
+//! the interned id) so the assignment is independent of arrival order and
+//! identical across runs.
+
+use pier_types::{EntityProfile, Tokenizer};
+
+/// Assigns tokens to shards and fans profiles out to the shards owning at
+/// least one of their tokens.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    shards: u16,
+    tokenizer: Tokenizer,
+}
+
+/// One profile's routing decision: its global token set plus the per-shard
+/// subsets (lexicographic token order is preserved in every subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedProfile {
+    /// The profile's full sorted distinct token list.
+    pub tokens: Vec<String>,
+    /// `(shard, token subset)` for every shard owning ≥ 1 token, ascending
+    /// by shard id.
+    pub by_shard: Vec<(u16, Vec<String>)>,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards with the default tokenizer.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u16) -> Self {
+        Self::with_tokenizer(shards, Tokenizer::default())
+    }
+
+    /// Creates a router with an explicit tokenizer (must match the
+    /// tokenizer an unsharded reference pipeline would use).
+    pub fn with_tokenizer(shards: u16, tokenizer: Tokenizer) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        ShardRouter { shards, tokenizer }
+    }
+
+    /// Number of shards this router distributes over.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// The shard owning `token`. Deterministic across runs and
+    /// independent of arrival order (pure function of the string).
+    pub fn shard_of(&self, token: &str) -> u16 {
+        // FNV-1a over the bytes, then a splitmix64 finalizer so the modulo
+        // sees well-mixed high entropy even for short, similar tokens.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in token.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h % self.shards as u64) as u16
+    }
+
+    /// Splits a sorted-distinct token list into per-shard subsets
+    /// (preserving order; shards owning no token are omitted).
+    pub fn route_tokens(&self, tokens: &[String]) -> Vec<(u16, Vec<String>)> {
+        let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); self.shards as usize];
+        for t in tokens {
+            by_shard[self.shard_of(t) as usize].push(t.clone());
+        }
+        by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, subset)| !subset.is_empty())
+            .map(|(s, subset)| (s as u16, subset))
+            .collect()
+    }
+
+    /// Tokenizes `profile` once and routes the token set.
+    pub fn route_profile(&self, profile: &EntityProfile) -> RoutedProfile {
+        let tokens = self.tokenizer.profile_tokens(profile);
+        let by_shard = self.route_tokens(&tokens);
+        RoutedProfile { tokens, by_shard }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{ProfileId, SourceId};
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = ShardRouter::new(4);
+        for t in ["alpha", "beta", "gamma", "1999", "x"] {
+            let s = r.shard_of(t);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_of(t), "unstable for {t}");
+            assert_eq!(s, ShardRouter::new(4).shard_of(t), "router-dependent");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let r = ShardRouter::new(1);
+        for t in ["alpha", "beta", "gamma"] {
+            assert_eq!(r.shard_of(t), 0);
+        }
+    }
+
+    #[test]
+    fn hash_spreads_tokens_over_shards() {
+        let r = ShardRouter::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            seen.insert(r.shard_of(&format!("token{i}")));
+        }
+        assert_eq!(seen.len(), 4, "200 tokens must hit all 4 shards");
+    }
+
+    #[test]
+    fn route_profile_partitions_the_token_set() {
+        let r = ShardRouter::new(3);
+        let p = EntityProfile::new(ProfileId(0), SourceId(0))
+            .with("title", "progressive entity resolution")
+            .with("venue", "edbt 2023");
+        let routed = r.route_profile(&p);
+        assert!(!routed.tokens.is_empty());
+        // Subsets are disjoint, ordered, and union back to the global list.
+        let mut reunited: Vec<String> = routed
+            .by_shard
+            .iter()
+            .flat_map(|(s, subset)| {
+                for t in subset {
+                    assert_eq!(r.shard_of(t), *s);
+                }
+                assert!(subset.windows(2).all(|w| w[0] < w[1]), "order preserved");
+                subset.iter().cloned()
+            })
+            .collect();
+        reunited.sort_unstable();
+        assert_eq!(reunited, routed.tokens);
+        // Shards listed ascending.
+        assert!(routed.by_shard.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardRouter::new(0);
+    }
+}

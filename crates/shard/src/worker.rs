@@ -1,0 +1,174 @@
+//! One shard's stage A: a private blocker + emitter over a token subspace.
+
+use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_core::{ComparisonEmitter, PierConfig, Strategy};
+use pier_observe::{Event, Observer};
+use pier_types::{EntityProfile, ErKind, Tokenizer, WeightedComparison};
+
+/// A single shard of the partitioned stage A. It owns a full
+/// [`IncrementalBlocker`] and one of the unchanged I-PCS/I-PBS/I-PES
+/// emitters, both restricted to the tokens the router assigned to this
+/// shard, and reports through a shard-tagged [`Observer`].
+pub struct ShardWorker {
+    shard: u16,
+    blocker: IncrementalBlocker,
+    emitter: Box<dyn ComparisonEmitter + Send>,
+    observer: Observer,
+    ingests: u64,
+}
+
+impl ShardWorker {
+    /// Creates the worker for `shard`.
+    pub fn new(
+        shard: u16,
+        kind: ErKind,
+        strategy: Strategy,
+        config: PierConfig,
+        purge_policy: PurgePolicy,
+        observer: &Observer,
+    ) -> Self {
+        let tagged = observer.for_shard(shard);
+        let mut blocker = IncrementalBlocker::with_config(kind, Tokenizer::default(), purge_policy);
+        blocker.set_observer(tagged.clone());
+        let mut emitter = strategy.build(config);
+        emitter.set_observer(tagged.clone());
+        ShardWorker {
+            shard,
+            blocker,
+            emitter,
+            observer: tagged,
+            ingests: 0,
+        }
+    }
+
+    /// This worker's shard id.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// The shard-local blocker (its collection covers only this shard's
+    /// token subspace).
+    pub fn blocker(&self) -> &IncrementalBlocker {
+        &self.blocker
+    }
+
+    /// Ingests routed profiles: each entry is a profile, the token subset
+    /// this shard owns, and the profile's *global* minimum block size (the
+    /// router computes it from full token counts). The floor keeps this
+    /// shard's block ghosting threshold identical to the unsharded
+    /// pipeline's — a shard-local `|b_min|` would overestimate it and make
+    /// the shard scan blocks the unsharded run ghosts. Only `id` and
+    /// `source` of the profile are consulted shard-side, so drivers pass
+    /// attribute-less skeletons; matcher-facing lookups go through the
+    /// global `ProfileStore`.
+    pub fn ingest(&mut self, batch: &[(EntityProfile, Vec<String>, usize)]) {
+        let mut ids = Vec::with_capacity(batch.len());
+        for (profile, tokens, floor) in batch {
+            let id = self
+                .blocker
+                .process_profile_with_tokens(profile.clone(), tokens);
+            self.blocker.set_ghost_floor(id, *floor);
+            ids.push(id);
+        }
+        self.emitter.on_increment(&self.blocker, &ids);
+        // Shard-tagged fan-out accounting (per-shard `profiles` in
+        // `ShardSnapshot`); the driver reports the global increment.
+        let seq = self.ingests;
+        self.ingests += 1;
+        self.observer.emit(|| Event::IncrementIngested {
+            seq,
+            profiles: batch.len(),
+        });
+    }
+
+    /// The idle tick of Algorithm 2 lines 10–11: lets the emitter's
+    /// `GetComparisons` fallback refill from unconsumed blocks. Returns
+    /// whether the tick did (or left) any work.
+    pub fn tick(&mut self) -> bool {
+        self.emitter.on_increment(&self.blocker, &[]);
+        self.emitter.drain_ops() > 0 || self.emitter.has_pending()
+    }
+
+    /// Pulls up to `k` weighted comparisons, best first. Emitters without
+    /// weighted batches fall back to `next_batch` with recomputed
+    /// shard-local CBS weights (exact: every common block of a pair lives
+    /// in exactly one shard).
+    pub fn pull(&mut self, k: usize) -> Vec<WeightedComparison> {
+        if k == 0 {
+            return Vec::new();
+        }
+        match self.emitter.next_weighted_batch(&self.blocker, k) {
+            Some(batch) => batch,
+            None => {
+                let collection = self.blocker.collection();
+                self.emitter
+                    .next_batch(&self.blocker, k)
+                    .into_iter()
+                    .map(|cmp| {
+                        WeightedComparison::new(cmp, collection.common_blocks(cmp.a, cmp.b) as f64)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether the emitter still holds schedulable comparisons.
+    pub fn has_pending(&self) -> bool {
+        self.emitter.has_pending()
+    }
+
+    /// The emitter's display name (e.g. `"I-PCS"`).
+    pub fn emitter_name(&self) -> String {
+        self.emitter.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{Comparison, ProfileId, SourceId};
+
+    fn profile(id: u32, text: &str) -> (EntityProfile, Vec<String>, usize) {
+        let p = EntityProfile::new(ProfileId(id), SourceId(0)).with("text", text);
+        let tokens = Tokenizer::default().profile_tokens(&p);
+        (p, tokens, 1)
+    }
+
+    fn worker() -> ShardWorker {
+        ShardWorker::new(
+            0,
+            ErKind::Dirty,
+            Strategy::Pcs,
+            PierConfig::default(),
+            PurgePolicy::default(),
+            &Observer::disabled(),
+        )
+    }
+
+    #[test]
+    fn ingest_then_pull_yields_weighted_pairs() {
+        let mut w = worker();
+        w.ingest(&[profile(0, "alpha beta"), profile(1, "alpha beta")]);
+        let batch = w.pull(8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].cmp, Comparison::new(ProfileId(0), ProfileId(1)));
+        assert_eq!(batch[0].weight, 2.0);
+    }
+
+    #[test]
+    fn tick_reports_pending_fallback_work() {
+        let mut w = worker();
+        // Profiles the emitter was never told about: only the idle-tick
+        // fallback can surface their pairs.
+        for (p, tokens, _) in [profile(0, "mm nn"), profile(1, "mm nn")] {
+            w.blocker.process_profile_with_tokens(p, &tokens);
+        }
+        assert!(w.tick());
+        assert_eq!(w.pull(4).len(), 1);
+        // Fully drained: a tick eventually reports no work.
+        while w.tick() {
+            w.pull(4);
+        }
+        assert!(!w.has_pending());
+    }
+}

@@ -6,6 +6,10 @@
 //! pair-completeness timeline, and per-phase latency percentiles.
 //!
 //! Run with: `cargo run --release --example observed_stream`
+//!
+//! Pass `--shards N` to run the hash-partitioned stage A instead
+//! (`run_streaming_sharded_observed` with `N` shard threads); the final
+//! snapshot then includes a per-shard work breakdown.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -13,7 +17,19 @@ use std::time::Duration;
 
 use pier::prelude::*;
 
+fn parse_shards() -> Option<u16> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--shards")?;
+    let n = args
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .expect("--shards takes a positive shard count");
+    Some(n)
+}
+
 fn main() {
+    let shards = parse_shards();
     // The bibliographic corpus: two clean sources with known duplicates.
     let dataset = generate_bibliographic(&BibliographicConfig {
         seed: 42,
@@ -61,19 +77,38 @@ fn main() {
         })
     };
 
-    let report = run_streaming_observed(
-        dataset.kind,
-        increments,
-        Box::new(Ipes::new(PierConfig::default())),
-        Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>,
-        RuntimeConfig {
-            interarrival: Duration::from_millis(10),
-            deadline: Duration::from_secs(30),
-            ..RuntimeConfig::default()
-        },
-        Observer::new(stats.clone()),
-        |_| {},
-    );
+    let matcher = Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>;
+    let runtime_config = RuntimeConfig {
+        interarrival: Duration::from_millis(10),
+        deadline: Duration::from_secs(30),
+        ..RuntimeConfig::default()
+    };
+    let report = match shards {
+        Some(n) => {
+            println!("running hash-partitioned stage A with {n} shards");
+            run_streaming_sharded_observed(
+                dataset.kind,
+                increments,
+                ShardedConfig {
+                    shards: n,
+                    ..ShardedConfig::default()
+                },
+                matcher,
+                runtime_config,
+                Observer::new(stats.clone()),
+                |_| {},
+            )
+        }
+        None => run_streaming_observed(
+            dataset.kind,
+            increments,
+            Box::new(Ipes::new(PierConfig::default())),
+            matcher,
+            runtime_config,
+            Observer::new(stats.clone()),
+            |_| {},
+        ),
+    };
     done.store(true, Ordering::Relaxed);
     monitor.join().unwrap();
 
@@ -113,6 +148,20 @@ fn main() {
             ph.p95_secs,
             ph.p99_secs,
         );
+    }
+    if !s.shards.is_empty() {
+        println!("\n=== per-shard breakdown ===");
+        for sh in &s.shards {
+            println!(
+                "shard {:<2} profiles={:<5} blocks={:<5} (purged {}) emitted={:<6} cf-filtered={}",
+                sh.shard,
+                sh.profiles,
+                sh.blocks_built,
+                sh.blocks_purged,
+                sh.comparisons_emitted,
+                sh.cf_filtered,
+            );
+        }
     }
 
     // The RuntimeReport tells the same story from the match-event side.

@@ -58,6 +58,7 @@
 //! | [`metablocking`] | CBS & friends, blocking graph, WNP/CNP, I-WNP |
 //! | [`matching`] | Jaccard / edit-distance matchers with cost reporting |
 //! | [`core`] | the PIER framework + I-PCS, I-PBS, I-PES |
+//! | [`shard`] | hash-partitioned parallel stage A with global-priority merge |
 //! | [`baselines`] | batch ER, PBS, PPS(-GLOBAL/-LOCAL), I-BASE |
 //! | [`datagen`] | seeded generators for the paper's four corpora |
 //! | [`sim`] | virtual-clock pipeline simulator behind every figure |
@@ -75,6 +76,7 @@ pub use pier_matching as matching;
 pub use pier_metablocking as metablocking;
 pub use pier_observe as observe;
 pub use pier_runtime as runtime;
+pub use pier_shard as shard;
 pub use pier_sim as sim;
 pub use pier_types as types;
 
@@ -101,10 +103,15 @@ pub mod prelude {
     pub use pier_metablocking::{iwnp, BlockingGraph, IwnpConfig, WeightingScheme};
     pub use pier_observe::{
         read_events, replay_match_count, replay_trajectory, Event, JsonlObserver, NoopObserver,
-        Observer, Phase, PipelineObserver, StatsObserver, StatsSnapshot, TimedEvent,
+        Observer, Phase, PipelineObserver, ShardSnapshot, StatsObserver, StatsSnapshot, TimedEvent,
     };
     pub use pier_runtime::{
-        run_streaming, run_streaming_observed, MatchEvent, RuntimeConfig, RuntimeReport,
+        run_streaming, run_streaming_observed, run_streaming_sharded,
+        run_streaming_sharded_observed, MatchEvent, RuntimeConfig, RuntimeReport,
+    };
+    pub use pier_shard::{
+        ProfileStore, RoutedProfile, ShardMerger, ShardRouter, ShardWorker, ShardedConfig,
+        ShardedStageA,
     };
     pub use pier_sim::{
         arrival_schedule, arrival_times, ArrivalPattern, CostModel, MatcherMode, Method,
