@@ -1,4 +1,4 @@
-//! I-BASE — the incremental (but not progressive) baseline [17].
+//! I-BASE — the incremental (but not progressive) baseline \[17\].
 //!
 //! The state-of-the-art incremental ER pipeline the paper extends: for each
 //! arriving profile, incremental blocking → block ghosting → I-WNP selects

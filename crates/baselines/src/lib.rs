@@ -3,19 +3,19 @@
 //! * [`batch`] — plain batch ER (`F_batch`): all blocked comparisons in
 //!   arbitrary (block-id) order, no prioritization. The reference point of
 //!   Definitions 1–3 and Figure 1.
-//! * [`pbs`] — Progressive Block Scheduling [36]: blocks smallest-first,
+//! * [`pbs`] — Progressive Block Scheduling \[36\]: blocks smallest-first,
 //!   CBS-ordered comparisons inside each block. Run with a single increment
 //!   it is batch PBS; run per-increment it is the paper's **PBS-GLOBAL**
 //!   adaptation (full re-initialization on every increment).
-//! * [`pps`] — Progressive Profile Scheduling [36]: meta-blocking graph →
+//! * [`pps`] — Progressive Profile Scheduling \[36\]: meta-blocking graph →
 //!   per-profile duplication likelihood → sorted profile list with top-k
 //!   comparisons each. Scope `Global` re-initializes over all data per
 //!   increment (**PPS-GLOBAL**); scope `Local` only considers the last
 //!   increment (**PPS-LOCAL**).
-//! * [`ibase`] — **I-BASE** [17]: the state-of-the-art incremental (but not
+//! * [`ibase`] — **I-BASE** \[17\]: the state-of-the-art incremental (but not
 //!   progressive) pipeline: per-profile generation (ghosting → I-WNP) with
 //!   *all* retained comparisons executed FIFO, independent of input rate.
-//! * [`psn`] — LS-PSN and GS-PSN [36], the sorted-neighborhood
+//! * [`psn`] — LS-PSN and GS-PSN \[36\], the sorted-neighborhood
 //!   progressive methods, as additional baselines beyond the paper's
 //!   evaluated set.
 //!

@@ -1,6 +1,6 @@
 //! Progressive Block Scheduling (PBS) and its GLOBAL adaptation.
 //!
-//! PBS [36] sorts the block collection ascending by block size; the
+//! PBS \[36\] sorts the block collection ascending by block size; the
 //! comparisons *inside* a block are ordered by a meta-blocking weight (CBS
 //! here) lazily, when the block's turn comes. Initialization is therefore
 //! much cheaper than PPS's graph build — the reason PBS shows the best

@@ -1,6 +1,6 @@
 //! Progressive Profile Scheduling (PPS) and its GLOBAL/LOCAL adaptations.
 //!
-//! PPS [36] is the entity-centric batch progressive method: it builds the
+//! PPS \[36\] is the entity-centric batch progressive method: it builds the
 //! meta-blocking graph, prunes it with WNP, scores every profile's
 //! *duplication likelihood* from its retained edge weights, and emits (1) a
 //! global list of each profile's single best comparison, sorted descending,

@@ -1,6 +1,6 @@
 //! LS-PSN — Local Schema-agnostic Progressive Sorted Neighborhood.
 //!
-//! One of the four schema-agnostic progressive methods of [36] (§2.4 of the
+//! One of the four schema-agnostic progressive methods of \[36\] (§2.4 of the
 //! PIER paper): all profiles are laid out in a *sorted position array* —
 //! for every distinct token, in lexicographic token order, the profiles
 //! containing it — and comparisons are emitted by increasing positional
@@ -9,7 +9,7 @@
 //! matches; the "local" variant weighs a pair purely by the window at
 //! which it is first encountered.
 //!
-//! Two variants, per [36]:
+//! Two variants, per \[36\]:
 //! * [`LsPsn`] (*local*): emits pairs by increasing window, each weighed
 //!   by the window at which it is first seen.
 //! * [`GsPsn`] (*global*): accumulates, across **all** windows up to the

@@ -1,0 +1,175 @@
+//! Stage-A ingest throughput: interned token-id data path vs. the retired
+//! owned-`String` path.
+//!
+//! Before the interned data path, stage A tokenized every profile into a
+//! sorted `Vec<String>` (one heap allocation per token occurrence, plus a
+//! lexicographic sort) and then hashed every one of those strings again to
+//! intern it into the blocker's dictionary. The interned path
+//! ([`SharedTokenDictionary::tokenize_and_intern`]) lower-cases each token
+//! into one reusable scratch buffer, hashes it exactly once, and hands the
+//! blocker dense sorted `TokenId`s.
+//!
+//! This bench reconstructs the old path in-bench (it no longer exists in
+//! the library: `process_profile_with_tokens(&[String])` was retired) and
+//! measures full stage-A ingest — tokenize + intern + incremental blocking
+//! — for both, over the same dbpedia-scale stream. Contract: the interned
+//! path is >= 1.15x the string path.
+//!
+//! Run with `cargo bench --bench interning`. CSVs land in
+//! `target/experiments/interning/`.
+
+use std::time::Instant;
+
+use pier_bench::{write_note, FigureReport};
+use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_datagen::{generate_dbpedia, DbpediaConfig};
+use pier_types::{EntityProfile, ErKind, SharedTokenDictionary, TokenId, Tokenizer};
+
+const ID: &str = "interning";
+const INCREMENTS: usize = 40;
+/// Repetitions per path; the fastest run is reported (min-time
+/// benchmarking absorbs scheduler noise on a shared container).
+const REPS: usize = 5;
+/// Contract from the PR that introduced the interned data path.
+const REQUIRED_SPEEDUP: f64 = 1.15;
+
+fn corpus() -> Vec<Vec<EntityProfile>> {
+    generate_dbpedia(&DbpediaConfig {
+        seed: 47,
+        source0_size: 6_000,
+        source1_size: 5_000,
+        matches: 4_000,
+    })
+    .into_increments(INCREMENTS)
+    .unwrap()
+    .into_iter()
+    .map(|i| i.profiles)
+    .collect()
+}
+
+fn fresh_blocker(dictionary: &SharedTokenDictionary) -> IncrementalBlocker {
+    IncrementalBlocker::with_shared_dictionary(
+        ErKind::CleanClean,
+        Tokenizer::default(),
+        PurgePolicy::default(),
+        dictionary.clone(),
+    )
+}
+
+/// The seed's data path, reconstructed: tokenize the profile into owned
+/// sorted-distinct `String`s (`Tokenizer::profile_tokens`, one allocation
+/// per token occurrence), then hash each string a second time to intern it.
+fn string_path_secs(increments: &[Vec<EntityProfile>], tokenizer: &Tokenizer) -> f64 {
+    let dictionary = SharedTokenDictionary::new();
+    let mut blocker = fresh_blocker(&dictionary);
+    let t0 = Instant::now();
+    for inc in increments {
+        for profile in inc {
+            let tokens = tokenizer.profile_tokens(profile);
+            let ids: Vec<TokenId> = tokens.iter().map(|t| dictionary.intern(t)).collect();
+            blocker
+                .try_process_profile_with_token_ids(profile.clone(), &ids)
+                .expect("bench corpus has unique profile ids");
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// The interned data path: one hash per token occurrence through the
+/// reusable scratch buffer, ids out.
+fn interned_path_secs(increments: &[Vec<EntityProfile>], tokenizer: &Tokenizer) -> f64 {
+    let dictionary = SharedTokenDictionary::new();
+    let mut blocker = fresh_blocker(&dictionary);
+    let mut scratch = String::new();
+    let t0 = Instant::now();
+    for inc in increments {
+        for profile in inc {
+            let ids = dictionary.tokenize_and_intern(tokenizer, profile, &mut scratch);
+            blocker
+                .try_process_profile_with_token_ids(profile.clone(), &ids)
+                .expect("bench corpus has unique profile ids");
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let increments = corpus();
+    let profiles: usize = increments.iter().map(Vec::len).sum();
+    let tokenizer = Tokenizer::default();
+    println!("interning: {profiles} profiles, {INCREMENTS} increments, best of {REPS} reps");
+
+    let mut report = FigureReport::new(ID);
+    let mut string_rows = Vec::new();
+    let mut interned_rows = Vec::new();
+    let mut best_string = f64::INFINITY;
+    let mut best_interned = f64::INFINITY;
+    // Alternate the two paths so slow drift on a shared host hits both.
+    for rep in 0..REPS {
+        let s = string_path_secs(&increments, &tokenizer);
+        let i = interned_path_secs(&increments, &tokenizer);
+        best_string = best_string.min(s);
+        best_interned = best_interned.min(i);
+        string_rows.push((rep as f64, profiles as f64 / s));
+        interned_rows.push((rep as f64, profiles as f64 / i));
+        println!(
+            "rep {rep}: string {s:.3}s ({:.0}/s) vs interned {i:.3}s ({:.0}/s)",
+            profiles as f64 / s,
+            profiles as f64 / i
+        );
+    }
+    report.add_series("string_path_throughput", "rep", string_rows);
+    report.add_series("interned_path_throughput", "rep", interned_rows);
+
+    // Footprint of the dictionary the interned path shares pipeline-wide.
+    let dictionary = SharedTokenDictionary::new();
+    let mut scratch = String::new();
+    let mut occurrences = 0u64;
+    for inc in &increments {
+        for profile in inc {
+            occurrences += dictionary
+                .tokenize_and_intern(&tokenizer, profile, &mut scratch)
+                .len() as u64;
+        }
+    }
+    println!(
+        "dictionary: {} distinct tokens, {} bytes of text, {occurrences} occurrences",
+        dictionary.len(),
+        dictionary.string_bytes()
+    );
+    report.add_series(
+        "dictionary_size",
+        "metric",
+        vec![
+            (0.0, dictionary.len() as f64),
+            (1.0, dictionary.string_bytes() as f64),
+            (2.0, occurrences as f64),
+        ],
+    );
+
+    report.emit();
+    write_note(
+        ID,
+        "README.txt",
+        "string_path_throughput.csv / interned_path_throughput.csv: stage-A\n\
+         ingest throughput (profiles/s per rep) of the retired owned-String\n\
+         data path (reconstructed in-bench: Tokenizer::profile_tokens, one\n\
+         String allocation per token occurrence, then a second hash to\n\
+         intern) vs the interned TokenId path\n\
+         (SharedTokenDictionary::tokenize_and_intern: one hash per\n\
+         occurrence through a reusable scratch buffer). Both feed the same\n\
+         incremental blocker, so the delta is pure tokenize+intern cost.\n\
+         dictionary_size.csv: rows are (0, distinct tokens),\n\
+         (1, token text bytes), (2, token occurrences) for the corpus.\n",
+    );
+
+    let speedup = best_string / best_interned;
+    println!(
+        "stage-A ingest speedup (interned vs string path): {speedup:.2}x \
+         (contract: >= {REQUIRED_SPEEDUP}x)"
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "interned path speedup {speedup:.2}x below the {REQUIRED_SPEEDUP}x contract"
+    );
+}

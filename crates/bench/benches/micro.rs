@@ -153,10 +153,14 @@ fn bench_shard_router(c: &mut Criterion) {
     });
     let router = ShardRouter::new(4);
     c.bench_function("shard/route-1100-profiles", |bench| {
+        let mut scratch = String::new();
         bench.iter(|| {
             let mut fanout = 0usize;
             for p in &d.profiles {
-                fanout += router.route_profile(black_box(p)).by_shard.len();
+                fanout += router
+                    .route_profile(black_box(p), &mut scratch)
+                    .by_shard
+                    .len();
             }
             fanout
         })

@@ -34,7 +34,7 @@ use pier_matching::{JaccardMatcher, MatchFunction};
 use pier_observe::Observer;
 use pier_runtime::{run_streaming, run_streaming_sharded, RuntimeConfig};
 use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
-use pier_types::{Dataset, EntityProfile, ErKind};
+use pier_types::{Dataset, EntityProfile, ErKind, TokenId};
 
 const ID: &str = "shard_scaling";
 const SHARD_COUNTS: [u16; 4] = [1, 2, 4, 8];
@@ -89,6 +89,7 @@ fn critical_path_secs(increments: &[Vec<EntityProfile>], shards: u16) -> (f64, f
         })
         .collect();
     let mut merger = ShardMerger::new(shards as usize);
+    let mut scratch = String::new();
     let mut t_tokenize = 0.0f64;
     let mut t_serial = 0.0f64;
     let mut t_ingest = vec![0.0f64; shards as usize];
@@ -102,17 +103,22 @@ fn critical_path_secs(increments: &[Vec<EntityProfile>], shards: u16) -> (f64, f
         let owned: Vec<EntityProfile> = inc.clone();
         let meta: Vec<_> = owned.iter().map(|p| (p.id, p.source)).collect();
 
-        // Tokenizer-pool work: tokenize + hash + partition per profile.
+        // Tokenizer-pool work: tokenize + intern + partition per profile.
         let t0 = Instant::now();
-        let routed: Vec<_> = owned.iter().map(|p| router.route_profile(p)).collect();
+        let routed: Vec<_> = owned
+            .iter()
+            .map(|p| router.route_profile(p, &mut scratch))
+            .collect();
         t_tokenize += t0.elapsed().as_secs_f64();
 
         // Router-thread work: global store, ghost floors, skeleton fan-out.
         let t0 = Instant::now();
-        let mut per_shard: Vec<Vec<(EntityProfile, Vec<String>, usize)>> =
+        let mut per_shard: Vec<Vec<(EntityProfile, Vec<TokenId>, usize)>> =
             (0..shards as usize).map(|_| Vec::new()).collect();
         for (profile, routed) in owned.into_iter().zip(&routed) {
-            store.insert(profile, &routed.tokens);
+            store
+                .insert(profile, &routed.tokens)
+                .expect("bench corpus has unique profile ids");
         }
         for (&(id, source), routed) in meta.iter().zip(routed) {
             let floor = store.min_token_count(id).unwrap_or(1);
@@ -127,8 +133,9 @@ fn critical_path_secs(increments: &[Vec<EntityProfile>], shards: u16) -> (f64, f
                 continue;
             }
             let t0 = Instant::now();
-            workers[s].ingest(&batch);
+            let errors = workers[s].ingest(&batch);
             t_ingest[s] += t0.elapsed().as_secs_f64();
+            assert!(errors.is_empty(), "bench corpus has unique profile ids");
         }
     }
 

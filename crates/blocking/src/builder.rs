@@ -6,10 +6,23 @@
 //! acts as the *profile store* of the stream — downstream components (match
 //! functions, prioritizers) reference profiles by id.
 
-use pier_types::{EntityProfile, ErKind, ProfileId, TokenDictionary, TokenId, Tokenizer};
+use pier_types::{
+    EntityProfile, ErKind, PierError, ProfileId, SharedTokenDictionary, TokenDictionary, TokenId,
+    Tokenizer,
+};
 
 use crate::collection::BlockCollection;
 use crate::purging::PurgePolicy;
+
+/// Where a blocker's token ids come from: its own private dictionary (the
+/// classic single-pipeline setup) or a [`SharedTokenDictionary`] owned by
+/// the surrounding pipeline (the streaming/sharded runtimes, where the
+/// tokenize stage interns once and every consumer speaks global ids).
+#[derive(Debug)]
+enum DictHandle {
+    Owned(TokenDictionary),
+    Shared(SharedTokenDictionary),
+}
 
 /// Incremental blocking state: tokenizer, token dictionary, block
 /// collection, and the profiles seen so far.
@@ -32,7 +45,7 @@ use crate::purging::PurgePolicy;
 #[derive(Debug)]
 pub struct IncrementalBlocker {
     tokenizer: Tokenizer,
-    dictionary: TokenDictionary,
+    dictionary: DictHandle,
     collection: BlockCollection,
     profiles: Vec<Option<EntityProfile>>,
     token_sets: Vec<Vec<TokenId>>,
@@ -42,6 +55,8 @@ pub struct IncrementalBlocker {
     /// sharded router so per-shard block ghosting uses the same `|b_min|`
     /// as the unsharded pipeline. See [`IncrementalBlocker::set_ghost_floor`].
     ghost_floors: Vec<u32>,
+    /// Reusable lowercase buffer for allocation-free tokenization.
+    scratch: String,
 }
 
 impl IncrementalBlocker {
@@ -52,15 +67,45 @@ impl IncrementalBlocker {
 
     /// Creates a blocker with explicit tokenizer and purge policy.
     pub fn with_config(kind: ErKind, tokenizer: Tokenizer, policy: PurgePolicy) -> Self {
+        Self::build(
+            kind,
+            tokenizer,
+            policy,
+            DictHandle::Owned(TokenDictionary::new()),
+        )
+    }
+
+    /// Creates a blocker interning into an external shared dictionary.
+    ///
+    /// Token ids handed to [`IncrementalBlocker::process_profile_with_token_ids`]
+    /// and the ids this blocker interns itself then live in one global id
+    /// space, so block ids are comparable across every consumer of the same
+    /// dictionary (the contract the sharded pipeline relies on).
+    pub fn with_shared_dictionary(
+        kind: ErKind,
+        tokenizer: Tokenizer,
+        policy: PurgePolicy,
+        dictionary: SharedTokenDictionary,
+    ) -> Self {
+        Self::build(kind, tokenizer, policy, DictHandle::Shared(dictionary))
+    }
+
+    fn build(
+        kind: ErKind,
+        tokenizer: Tokenizer,
+        policy: PurgePolicy,
+        dictionary: DictHandle,
+    ) -> Self {
         IncrementalBlocker {
             tokenizer,
-            dictionary: TokenDictionary::new(),
+            dictionary,
             collection: BlockCollection::with_policy(kind, policy),
             profiles: Vec::new(),
             token_sets: Vec::new(),
             arrival_order: Vec::new(),
             profile_count: 0,
             ghost_floors: Vec::new(),
+            scratch: String::new(),
         }
     }
 
@@ -77,57 +122,89 @@ impl IncrementalBlocker {
     /// Ingests a single profile under its own id.
     ///
     /// # Panics
-    /// Panics if a profile with the same id was already ingested.
+    /// Panics if a profile with the same id was already ingested. Pipelines
+    /// that must survive duplicate ids use
+    /// [`IncrementalBlocker::try_process_profile`].
     pub fn process_profile(&mut self, profile: EntityProfile) -> ProfileId {
-        let id = profile.id;
-        if self.profiles.len() <= id.index() {
-            self.profiles.resize(id.index() + 1, None);
-            self.token_sets.resize(id.index() + 1, Vec::new());
+        match self.try_process_profile(profile) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
         }
-        assert!(
-            self.profiles[id.index()].is_none(),
-            "profile {id} ingested twice"
-        );
-        let tokens = self.dictionary.intern_profile(&self.tokenizer, &profile);
-        self.collection.add_profile(id, profile.source, &tokens);
-        self.token_sets[id.index()] = tokens;
-        self.profiles[id.index()] = Some(profile);
-        self.arrival_order.push(id);
-        self.profile_count += 1;
-        id
     }
 
-    /// Ingests a profile under an externally supplied token list instead
-    /// of running the built-in tokenizer — the entry point of the sharded
-    /// pipeline, where a router tokenizes each profile once and fans the
-    /// per-shard token subsets out to per-shard blockers. Duplicate tokens
-    /// are collapsed; the stored token set is sorted by interned id.
+    /// Ingests a single profile under its own id, tokenizing and interning
+    /// through this blocker's dictionary.
+    ///
+    /// # Errors
+    /// Returns [`PierError::DuplicateProfile`] if a profile with the same
+    /// id was already ingested (the blocker is left unchanged).
+    pub fn try_process_profile(&mut self, profile: EntityProfile) -> Result<ProfileId, PierError> {
+        let ids = match &mut self.dictionary {
+            DictHandle::Owned(d) => {
+                d.tokenize_and_intern(&self.tokenizer, &profile, &mut self.scratch)
+            }
+            DictHandle::Shared(d) => {
+                d.tokenize_and_intern(&self.tokenizer, &profile, &mut self.scratch)
+            }
+        };
+        self.store(profile, ids)
+    }
+
+    /// Ingests a profile under externally interned token ids instead of
+    /// running the built-in tokenizer — the hot entry point of the sharded
+    /// pipeline, where the tokenize stage interns each profile exactly once
+    /// against the shared dictionary and fans dense per-shard id subsets
+    /// out to per-shard blockers. The ids must come from this blocker's
+    /// (shared) dictionary; duplicates are collapsed and the stored token
+    /// set is sorted by id.
+    ///
+    /// # Errors
+    /// Returns [`PierError::DuplicateProfile`] if a profile with the same
+    /// id was already ingested (the blocker is left unchanged).
+    pub fn try_process_profile_with_token_ids(
+        &mut self,
+        profile: EntityProfile,
+        tokens: &[TokenId],
+    ) -> Result<ProfileId, PierError> {
+        let mut ids = tokens.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        self.store(profile, ids)
+    }
+
+    /// Panicking wrapper around
+    /// [`IncrementalBlocker::try_process_profile_with_token_ids`].
     ///
     /// # Panics
     /// Panics if a profile with the same id was already ingested.
-    pub fn process_profile_with_tokens(
+    pub fn process_profile_with_token_ids(
         &mut self,
         profile: EntityProfile,
-        tokens: &[String],
+        tokens: &[TokenId],
     ) -> ProfileId {
+        match self.try_process_profile_with_token_ids(profile, tokens) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Shared tail of the ingest entry points: stores the profile and its
+    /// sorted distinct token ids, updating the block collection.
+    fn store(&mut self, profile: EntityProfile, ids: Vec<TokenId>) -> Result<ProfileId, PierError> {
         let id = profile.id;
         if self.profiles.len() <= id.index() {
             self.profiles.resize(id.index() + 1, None);
             self.token_sets.resize(id.index() + 1, Vec::new());
         }
-        assert!(
-            self.profiles[id.index()].is_none(),
-            "profile {id} ingested twice"
-        );
-        let mut ids: Vec<TokenId> = tokens.iter().map(|t| self.dictionary.intern(t)).collect();
-        ids.sort_unstable();
-        ids.dedup();
+        if self.profiles[id.index()].is_some() {
+            return Err(PierError::DuplicateProfile(id.0));
+        }
         self.collection.add_profile(id, profile.source, &ids);
         self.token_sets[id.index()] = ids;
         self.profiles[id.index()] = Some(profile);
         self.arrival_order.push(id);
         self.profile_count += 1;
-        id
+        Ok(id)
     }
 
     /// Records the *global* minimum block size of a profile's blocks.
@@ -198,8 +275,29 @@ impl IncrementalBlocker {
     }
 
     /// The token dictionary (grows monotonically across increments).
+    ///
+    /// # Panics
+    /// Panics for a blocker built with
+    /// [`IncrementalBlocker::with_shared_dictionary`]: a shared dictionary
+    /// lives behind a lock and cannot be borrowed plainly — use
+    /// [`IncrementalBlocker::shared_dictionary`] there instead.
     pub fn dictionary(&self) -> &TokenDictionary {
-        &self.dictionary
+        match &self.dictionary {
+            DictHandle::Owned(d) => d,
+            DictHandle::Shared(_) => {
+                panic!("blocker uses a shared dictionary; call shared_dictionary()")
+            }
+        }
+    }
+
+    /// The shared dictionary, for blockers built with
+    /// [`IncrementalBlocker::with_shared_dictionary`]; `None` for blockers
+    /// owning a private dictionary.
+    pub fn shared_dictionary(&self) -> Option<&SharedTokenDictionary> {
+        match &self.dictionary {
+            DictHandle::Owned(_) => None,
+            DictHandle::Shared(d) => Some(d),
+        }
     }
 }
 
@@ -269,39 +367,84 @@ mod tests {
     }
 
     #[test]
-    fn external_tokens_match_builtin_tokenization() {
+    fn external_token_ids_match_builtin_tokenization() {
+        // Tokenizing once against a shared dictionary and feeding the ids
+        // back must reproduce the built-in tokenize path exactly.
+        let tokenizer = Tokenizer::default();
+        let shared = SharedTokenDictionary::new();
         let mut via_tokenizer = IncrementalBlocker::new(ErKind::Dirty);
-        let mut via_tokens = IncrementalBlocker::new(ErKind::Dirty);
-        let tokenizer = pier_types::Tokenizer::default();
+        let mut via_ids = IncrementalBlocker::with_shared_dictionary(
+            ErKind::Dirty,
+            tokenizer.clone(),
+            PurgePolicy::default(),
+            shared.clone(),
+        );
+        let mut scratch = String::new();
         for profile in [p(0, 0, "alpha beta beta"), p(1, 0, "beta gamma")] {
-            let tokens = tokenizer.profile_tokens(&profile);
+            let ids = shared.tokenize_and_intern(&tokenizer, &profile, &mut scratch);
             via_tokenizer.process_profile(profile.clone());
-            via_tokens.process_profile_with_tokens(profile, &tokens);
+            via_ids.process_profile_with_token_ids(profile, &ids);
         }
         for id in [ProfileId(0), ProfileId(1)] {
-            assert_eq!(via_tokenizer.tokens_of(id), via_tokens.tokens_of(id));
+            assert_eq!(via_tokenizer.tokens_of(id), via_ids.tokens_of(id));
         }
         assert_eq!(
             via_tokenizer.collection().block_count(),
-            via_tokens.collection().block_count()
+            via_ids.collection().block_count()
         );
         assert_eq!(
             via_tokenizer
                 .collection()
                 .common_blocks(ProfileId(0), ProfileId(1)),
-            via_tokens
+            via_ids
                 .collection()
                 .common_blocks(ProfileId(0), ProfileId(1))
         );
     }
 
     #[test]
-    fn external_token_subset_builds_only_its_blocks() {
-        let mut b = IncrementalBlocker::new(ErKind::Dirty);
-        b.process_profile_with_tokens(p(0, 0, "ignored"), &["alpha".into(), "beta".into()]);
-        b.process_profile_with_tokens(p(1, 0, "ignored"), &["beta".into()]);
+    fn external_token_id_subset_builds_only_its_blocks() {
+        let shared = SharedTokenDictionary::new();
+        let alpha = shared.intern("alpha");
+        let beta = shared.intern("beta");
+        let mut b = IncrementalBlocker::with_shared_dictionary(
+            ErKind::Dirty,
+            Tokenizer::default(),
+            PurgePolicy::default(),
+            shared,
+        );
+        b.process_profile_with_token_ids(p(0, 0, "ignored"), &[alpha, beta]);
+        b.process_profile_with_token_ids(p(1, 0, "ignored"), &[beta]);
         assert_eq!(b.collection().block_count(), 2);
         assert_eq!(b.collection().common_blocks(ProfileId(0), ProfileId(1)), 1);
+    }
+
+    #[test]
+    fn duplicate_id_is_a_typed_error() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        b.process_profile(p(7, 0, "aa bb"));
+        let before_blocks = b.collection().block_count();
+        let err = b.try_process_profile(p(7, 0, "cc dd")).unwrap_err();
+        assert!(matches!(err, PierError::DuplicateProfile(7)));
+        assert_eq!(err.to_string(), "profile 7 ingested twice");
+        // The failed ingest left the blocker untouched.
+        assert_eq!(b.profile_count(), 1);
+        assert_eq!(b.collection().block_count(), before_blocks);
+    }
+
+    #[test]
+    fn shared_dictionary_accessor_roundtrips() {
+        let shared = SharedTokenDictionary::new();
+        let b = IncrementalBlocker::with_shared_dictionary(
+            ErKind::Dirty,
+            Tokenizer::default(),
+            PurgePolicy::default(),
+            shared.clone(),
+        );
+        assert!(b.shared_dictionary().is_some());
+        let owned = IncrementalBlocker::new(ErKind::Dirty);
+        assert!(owned.shared_dictionary().is_none());
+        let _ = owned.dictionary(); // owned accessor still works
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! When generating comparisons for a newly arrived profile `p_x`, not all of
 //! its blocks are equally informative: blocks much larger than the smallest
-//! block of `B_x` are dominated by frequent tokens. Block ghosting ([17],
+//! block of `B_x` are dominated by frequent tokens. Block ghosting (\[17\],
 //! used in Algorithm 2 of the PIER paper) keeps only the most representative
 //! blocks: with `b_min` the smallest block of `B_x` and parameter `β ∈
 //! (0, 1]`, a block `b` survives iff `|b| ≤ |b_min| / β`.
@@ -16,33 +16,33 @@ use pier_types::{PierError, ProfileId};
 
 use crate::collection::BlockId;
 
-/// Applies block ghosting to the blocks of one profile.
+/// Applies block ghosting to the blocks of one profile — the single
+/// canonical implementation behind every historical entry point.
 ///
 /// `blocks` holds `(block id, current size)` pairs (from
 /// [`crate::BlockCollection::active_blocks_of`]); the survivors' ids are
 /// returned in the input order.
 ///
-/// # Errors
-/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
-pub fn block_ghosting(blocks: &[(BlockId, usize)], beta: f64) -> Result<Vec<BlockId>, PierError> {
-    block_ghosting_with_floor(blocks, beta, None)
-}
-
-/// [`block_ghosting`] with an externally supplied lower bound on `|b_min|`.
+/// `floor` is an externally supplied lower bound on `|b_min|`: the sharded
+/// pipeline passes the *global* minimum block size of the profile here,
+/// because a shard-local block list systematically overestimates `|b_min|`
+/// (the globally smallest blocks live on other shards), which inflates the
+/// ghosting threshold and makes shards scan oversized blocks the unsharded
+/// pipeline ghosts. The effective minimum is `min(local minimum, floor)`.
 ///
-/// The sharded pipeline passes the *global* minimum block size of the
-/// profile here: a shard-local block list systematically overestimates
-/// `|b_min|` (the globally smallest blocks live on other shards), which
-/// inflates the ghosting threshold and makes shards scan oversized blocks
-/// the unsharded pipeline ghosts. The effective minimum is
-/// `min(local minimum, floor)`; `None` reproduces [`block_ghosting`].
+/// When `observer` is enabled, the kept/dropped split for `profile` is
+/// reported as an [`Event::BlockGhosted`]; a disabled observer costs one
+/// branch and builds no event (the zero-overhead contract measured by the
+/// `observer_overhead` bench).
 ///
 /// # Errors
 /// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
-pub fn block_ghosting_with_floor(
+pub fn ghost_blocks(
     blocks: &[(BlockId, usize)],
     beta: f64,
     floor: Option<usize>,
+    profile: ProfileId,
+    observer: &Observer,
 ) -> Result<Vec<BlockId>, PierError> {
     if !(beta > 0.0 && beta <= 1.0) {
         return Err(PierError::InvalidConfig {
@@ -55,34 +55,60 @@ pub fn block_ghosting_with_floor(
     };
     let min_size = floor.map_or(local_min, |f| f.min(local_min));
     let threshold = min_size as f64 / beta;
-    Ok(blocks
+    let kept: Vec<BlockId> = blocks
         .iter()
         .filter(|&&(_, size)| size as f64 <= threshold)
         .map(|&(id, _)| id)
-        .collect())
+        .collect();
+    observer.emit(|| Event::BlockGhosted {
+        profile,
+        kept: kept.len(),
+        dropped: blocks.len() - kept.len(),
+    });
+    Ok(kept)
 }
 
-/// [`block_ghosting`] with instrumentation: reports the kept/dropped split
-/// for `profile` as an [`Event::BlockGhosted`]. Behaviour and result are
-/// identical to the unobserved function (which remains the pristine
-/// reference path for the zero-overhead contract bench).
+/// Unobserved, floor-less [`ghost_blocks`].
 ///
 /// # Errors
 /// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+#[doc(hidden)]
+pub fn block_ghosting(blocks: &[(BlockId, usize)], beta: f64) -> Result<Vec<BlockId>, PierError> {
+    ghost_blocks(blocks, beta, None, ProfileId(0), &Observer::disabled())
+}
+
+/// Unobserved [`ghost_blocks`] with an explicit floor.
+///
+/// # Errors
+/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+#[doc(hidden)]
+pub fn block_ghosting_with_floor(
+    blocks: &[(BlockId, usize)],
+    beta: f64,
+    floor: Option<usize>,
+) -> Result<Vec<BlockId>, PierError> {
+    ghost_blocks(blocks, beta, floor, ProfileId(0), &Observer::disabled())
+}
+
+/// Floor-less observed [`ghost_blocks`].
+///
+/// # Errors
+/// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+#[doc(hidden)]
 pub fn block_ghosting_observed(
     blocks: &[(BlockId, usize)],
     beta: f64,
     profile: ProfileId,
     observer: &Observer,
 ) -> Result<Vec<BlockId>, PierError> {
-    block_ghosting_with_floor_observed(blocks, beta, None, profile, observer)
+    ghost_blocks(blocks, beta, None, profile, observer)
 }
 
-/// [`block_ghosting_with_floor`] with instrumentation, reporting the
-/// kept/dropped split as an [`Event::BlockGhosted`].
+/// Fully parameterised historical name for [`ghost_blocks`].
 ///
 /// # Errors
 /// Returns [`PierError::InvalidConfig`] if `beta` is outside `(0, 1]`.
+#[doc(hidden)]
 pub fn block_ghosting_with_floor_observed(
     blocks: &[(BlockId, usize)],
     beta: f64,
@@ -90,13 +116,7 @@ pub fn block_ghosting_with_floor_observed(
     profile: ProfileId,
     observer: &Observer,
 ) -> Result<Vec<BlockId>, PierError> {
-    let kept = block_ghosting_with_floor(blocks, beta, floor)?;
-    observer.emit(|| Event::BlockGhosted {
-        profile,
-        kept: kept.len(),
-        dropped: blocks.len() - kept.len(),
-    });
-    Ok(kept)
+    ghost_blocks(blocks, beta, floor, profile, observer)
 }
 
 #[cfg(test)]
@@ -168,6 +188,43 @@ mod tests {
                 .unwrap()
                 .len(),
             3
+        );
+    }
+
+    #[test]
+    fn observed_ghosting_reports_the_split() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Capture(AtomicUsize, AtomicUsize);
+        impl pier_observe::PipelineObserver for Capture {
+            fn on_event(&self, event: &Event) {
+                if let Event::BlockGhosted { kept, dropped, .. } = event {
+                    self.0.store(*kept, Ordering::Relaxed);
+                    self.1.store(*dropped, Ordering::Relaxed);
+                }
+            }
+        }
+        let sink = Arc::new(Capture(AtomicUsize::new(0), AtomicUsize::new(0)));
+        let observer = Observer::new(sink.clone());
+        let blocks = vec![(b(1), 2), (b(2), 4), (b(3), 10)];
+        let kept = ghost_blocks(&blocks, 0.5, None, ProfileId(3), &observer).unwrap();
+        assert_eq!(kept, vec![b(1), b(2)]);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.1.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wrappers_delegate_to_ghost_blocks() {
+        let blocks = vec![(b(1), 4), (b(2), 6), (b(3), 8)];
+        let canonical = ghost_blocks(&blocks, 0.5, Some(2), ProfileId(0), &Observer::disabled());
+        assert_eq!(
+            block_ghosting_with_floor(&blocks, 0.5, Some(2)).unwrap(),
+            canonical.unwrap()
+        );
+        assert_eq!(
+            block_ghosting(&blocks, 0.5).unwrap(),
+            block_ghosting_observed(&blocks, 0.5, ProfileId(0), &Observer::disabled()).unwrap()
         );
     }
 

@@ -9,7 +9,7 @@
 //! * [`collection`] — the incrementally-maintained [`BlockCollection`].
 //! * [`purging`] — incremental block purging (oversized-block cleaning).
 //! * [`ghosting`] — block ghosting, the per-profile incremental block
-//!   cleaning of [17] used by I-PCS and I-PES (parameter β).
+//!   cleaning of \[17\] used by I-PCS and I-PES (parameter β).
 //! * [`builder`] — the [`IncrementalBlocker`] pipeline stage: tokenizer +
 //!   dictionary + collection, consuming increments of profiles.
 //! * [`stats`] — block-size distribution statistics (skew, histogram,
@@ -31,7 +31,7 @@ pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use collection::{Block, BlockCollection, BlockId};
 pub use ghosting::{
     block_ghosting, block_ghosting_observed, block_ghosting_with_floor,
-    block_ghosting_with_floor_observed,
+    block_ghosting_with_floor_observed, ghost_blocks,
 };
 pub use purging::PurgePolicy;
 pub use stats::{block_stats, BlockStats};

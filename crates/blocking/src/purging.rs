@@ -3,7 +3,7 @@
 //! Oversized blocks (stop-word-like tokens such as "the" or a ubiquitous
 //! year) yield an excessive number of comparisons with a negligible chance
 //! of contributing matches that no smaller block already covers. Following
-//! the incremental block-cleaning step of [17] (§3.2: "oversized blocks
+//! the incremental block-cleaning step of \[17\] (§3.2: "oversized blocks
 //! yielding an excessive number of comparisons are removed by block
 //! pruning"), a block is *purged* the moment it grows past a configurable
 //! bound. Purging is monotone — once purged, always purged — which keeps the

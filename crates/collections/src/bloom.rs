@@ -2,7 +2,7 @@
 //!
 //! The comparison filter `CF` of I-PBS (Algorithm 3) checks whether a
 //! comparison was already emitted. Streams are unbounded, so a fixed-size
-//! Bloom filter would saturate; following the paper's reference [16]
+//! Bloom filter would saturate; following the paper's reference \[16\]
 //! (Gazzarri & Herschel, EDBT 2020) we use a *scalable* Bloom filter
 //! (Almeida et al., 2007): a sequence of plain Bloom slices with
 //! geometrically growing capacity and geometrically tightening error

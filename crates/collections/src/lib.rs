@@ -8,7 +8,7 @@
 //!   used by I-PBS to find `b_min`, the pending block with the fewest
 //!   unexecuted comparisons.
 //! * [`bloom`] — a scalable Bloom filter (Almeida et al.), the comparison
-//!   filter `CF` of Algorithm 3, per the paper's reference [16].
+//!   filter `CF` of Algorithm 3, per the paper's reference \[16\].
 
 #![warn(missing_docs)]
 

@@ -8,10 +8,7 @@
 //! simulator and the threaded runtime) own timing, rates and the adaptive
 //! `K`; the emitters own *which comparisons come next*.
 
-use pier_blocking::{
-    block_ghosting_with_floor, block_ghosting_with_floor_observed, BlockCollection, BlockId,
-    IncrementalBlocker,
-};
+use pier_blocking::{ghost_blocks, BlockCollection, BlockId, IncrementalBlocker};
 use pier_metablocking::{iwnp, IwnpConfig, WeightingScheme};
 use pier_observe::Observer;
 use pier_types::{Comparison, ProfileId, WeightedComparison};
@@ -106,8 +103,14 @@ pub fn generate_for_profile(
     // Scan cost: one op per member of each surviving block. The ghost
     // floor (set only by the sharded router) keeps per-shard ghosting
     // aligned with the global |b_min|.
-    let ghosted = block_ghosting_with_floor(&blocks, config.beta, blocker.ghost_floor(p_x))
-        .expect("beta validated at construction");
+    let ghosted = ghost_blocks(
+        &blocks,
+        config.beta,
+        blocker.ghost_floor(p_x),
+        p_x,
+        &Observer::disabled(),
+    )
+    .expect("beta validated at construction");
     let ops: u64 = ghosted
         .iter()
         .filter_map(|bid| collection.block(*bid))
@@ -130,7 +133,7 @@ pub fn generate_for_profile_observed(
 ) -> (Vec<WeightedComparison>, u64) {
     let collection = blocker.collection();
     let blocks = collection.active_blocks_of(p_x);
-    let ghosted = block_ghosting_with_floor_observed(
+    let ghosted = ghost_blocks(
         &blocks,
         config.beta,
         blocker.ghost_floor(p_x),

@@ -9,7 +9,7 @@
 //! empty or when the index's top comparison originates from a block smaller
 //! than `b_min` (the paper's literal line-9 condition; see DESIGN.md §3).
 //! Comparison redundancy is filtered with a scalable Bloom filter `CF`
-//! (reference [16]).
+//! (reference \[16\]).
 //!
 //! The comparison index orders by `(bsize, weight)`: smaller generating
 //! block first, then higher CBS weight.

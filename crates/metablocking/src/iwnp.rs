@@ -1,6 +1,6 @@
 //! I-WNP — incremental comparison cleaning.
 //!
-//! The incremental counterpart of WNP from [17], used by I-PCS and I-PES
+//! The incremental counterpart of WNP from \[17\], used by I-PCS and I-PES
 //! (Algorithm 2, line 8): given the blocks retained for a newly arrived
 //! profile `p_x` (after block ghosting), it
 //!

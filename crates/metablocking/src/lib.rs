@@ -1,7 +1,7 @@
 //! Meta-blocking for PIER: weighting schemes, the blocking graph, and
 //! comparison cleaning (batch WNP/CNP and incremental I-WNP).
 //!
-//! Meta-blocking (Papadakis et al., the paper's reference [25]) views a
+//! Meta-blocking (Papadakis et al., the paper's reference \[25\]) views a
 //! block collection as a graph whose nodes are profiles and whose edges
 //! connect profiles sharing at least one block. Edge weights estimate match
 //! likelihood; pruning the low-weight edges yields the comparisons worth
@@ -13,8 +13,8 @@
 //! * [`graph`] — the batch blocking graph (used by the progressive
 //!   baselines PPS/PBS).
 //! * [`pruning`] — batch WNP and CNP edge pruning.
-//! * [`iwnp`] — I-WNP, the incremental per-profile comparison cleaning of
-//!   [17] used inside I-PCS and I-PES (Algorithm 2, line 8).
+//! * [`iwnp`](mod@iwnp) — I-WNP, the incremental per-profile comparison cleaning of
+//!   \[17\] used inside I-PCS and I-PES (Algorithm 2, line 8).
 
 #![warn(missing_docs)]
 

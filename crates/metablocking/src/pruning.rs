@@ -8,7 +8,7 @@
 //!   incident edges; an edge survives if either endpoint keeps it.
 //!
 //! These run on the materialized [`BlockingGraph`] and are used by the batch
-//! baselines; the incremental counterpart is [`crate::iwnp`].
+//! baselines; the incremental counterpart is [`crate::iwnp`](mod@crate::iwnp).
 
 use std::collections::HashSet;
 

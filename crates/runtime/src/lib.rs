@@ -21,8 +21,10 @@
 
 pub mod report;
 pub mod sharded;
+pub mod stages;
 pub mod streaming;
 
-pub use report::{MatchEvent, RuntimeReport};
+pub use report::{DictionaryStats, MatchEvent, RuntimeReport};
 pub use sharded::{run_streaming_sharded, run_streaming_sharded_observed};
+pub use stages::{tokenize_increment, TokenizedIncrement, TokenizedProfile};
 pub use streaming::{run_streaming, run_streaming_observed, RuntimeConfig};

@@ -15,6 +15,36 @@ pub struct MatchEvent {
     pub similarity: f64,
 }
 
+/// Size of the pipeline's shared token dictionary at the end of a run,
+/// plus how often tokens occurred — enough to estimate what the interned
+/// data path saved over shipping owned `String`s between stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DictionaryStats {
+    /// Distinct tokens interned over the whole stream.
+    pub distinct_tokens: usize,
+    /// Total bytes of distinct token text held by the dictionary.
+    pub string_bytes: usize,
+    /// Total token occurrences ingested (Σ per-profile distinct tokens).
+    pub token_occurrences: u64,
+}
+
+impl DictionaryStats {
+    /// Estimated bytes the id-based data path saved versus materializing an
+    /// owned `String` per token occurrence: each occurrence would have cost
+    /// roughly one `String` header plus the (average) token text, where the
+    /// id path ships a 4-byte `TokenId`. The dictionary itself exists in
+    /// both designs, so its storage cancels out.
+    pub fn estimated_bytes_saved(&self) -> u64 {
+        if self.distinct_tokens == 0 {
+            return 0;
+        }
+        let avg_len = self.string_bytes as u64 / self.distinct_tokens as u64;
+        let per_string = avg_len + std::mem::size_of::<String>() as u64;
+        let per_id = std::mem::size_of::<pier_types::TokenId>() as u64;
+        self.token_occurrences * per_string.saturating_sub(per_id)
+    }
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -26,6 +56,12 @@ pub struct RuntimeReport {
     pub elapsed: Duration,
     /// Profiles ingested.
     pub profiles: usize,
+    /// Shared-dictionary statistics, when the driver interns tokens.
+    pub dictionary: Option<DictionaryStats>,
+    /// Non-fatal ingest errors (e.g. a profile id arriving twice): the
+    /// offending profile is skipped, the run continues, and the error is
+    /// reported here instead of panicking a pipeline thread.
+    pub ingest_errors: Vec<String>,
 }
 
 impl RuntimeReport {
@@ -123,6 +159,8 @@ mod tests {
             comparisons: 10,
             elapsed: Duration::from_millis(60),
             profiles: 4,
+            dictionary: None,
+            ingest_errors: Vec::new(),
         };
         assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
         assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
@@ -134,6 +172,8 @@ mod tests {
             comparisons,
             elapsed: Duration::from_millis(elapsed_ms),
             profiles: 0,
+            dictionary: None,
+            ingest_errors: Vec::new(),
         }
     }
 
@@ -143,6 +183,20 @@ mod tests {
             pair: Comparison::new(ProfileId(a), ProfileId(b)),
             similarity: 1.0,
         }
+    }
+
+    #[test]
+    fn dictionary_stats_estimate_savings_per_occurrence() {
+        // 10 distinct tokens averaging 6 bytes, each occurring 100 times:
+        // the string path would ship 24 (String header) + 6 bytes per
+        // occurrence where ids ship 4.
+        let stats = DictionaryStats {
+            distinct_tokens: 10,
+            string_bytes: 60,
+            token_occurrences: 1_000,
+        };
+        assert_eq!(stats.estimated_bytes_saved(), 1_000 * (24 + 6 - 4));
+        assert_eq!(DictionaryStats::default().estimated_bytes_saved(), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! source ──▶ tokenizer 0..T ──▶ router/ingest ──▶ shard worker 0 ─┐
-//!            (tokenize+route     (store, ghost     shard worker 1 ─┼─▶ merger + classify
+//!            (tokenize+intern    (store, ghost     shard worker 1 ─┼─▶ merger + classify
 //!             in parallel)        floors, fan out) ...            ─┘    (k-way merge, CF)
 //! ```
 //!
@@ -13,10 +13,15 @@
 //! pool of `T = shards` tokenizer threads: the source dispatches increment
 //! `seq` to tokenizer `seq % T` round-robin, and the router collects from
 //! channel `seq % T` in the same order — increment order is preserved
-//! without any `select`. The router then inserts the whole increment into
-//! the global [`ProfileStore`], computes each profile's ghost floor (its
-//! global minimum block size, which shard-local block lists cannot see)
-//! and fans attribute-less skeletons out to the owning shards.
+//! without any `select`. Every pool thread interns into the router's
+//! [`SharedTokenDictionary`], so each token string is hashed/allocated once
+//! for the whole pipeline and everything downstream — the global
+//! [`ProfileStore`], the id-hash router, the shard blockers, the matcher —
+//! speaks dense [`pier_types::TokenId`]s. The router then inserts the whole
+//! increment into the store (skipping and reporting duplicate profile ids
+//! instead of panicking), computes each profile's ghost floor (its global
+//! minimum block size, which shard-local block lists cannot see) and fans
+//! attribute-less skeletons out to the owning shards.
 //!
 //! Each shard worker owns a [`ShardWorker`] (private blocker + unchanged
 //! PIER emitter over its token subspace) and serves three messages over
@@ -33,21 +38,25 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 
 use pier_core::AdaptiveK;
-use pier_matching::{MatchFunction, MatchInput};
+use pier_matching::MatchFunction;
 use pier_observe::{Event, Observer, Phase};
-use pier_shard::{
-    ProfileStore, RoutedProfile, ShardMerger, ShardRouter, ShardWorker, ShardedConfig,
+use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
+use pier_types::{
+    EntityProfile, ErKind, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
 };
-use pier_types::{EntityProfile, ErKind, WeightedComparison};
 
-use crate::report::{MatchEvent, RuntimeReport};
+use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
+use crate::stages::{
+    spawn_source, tokenize_increment, Classifier, MaterializedPair, TokenizedIncrement,
+    TokenizedProfile,
+};
 use crate::streaming::RuntimeConfig;
 
 /// A command processed by one shard worker thread.
 enum ShardMsg {
-    /// Routed profiles (skeleton, this shard's token subset, ghost floor)
-    /// to ingest.
-    Ingest(Vec<(EntityProfile, Vec<String>, usize)>),
+    /// Routed profiles (skeleton, this shard's token-id subset, ghost
+    /// floor) to ingest.
+    Ingest(Vec<(EntityProfile, Vec<TokenId>, usize)>),
     /// Request for up to `k` weighted comparisons, best first.
     Pull { k: usize },
     /// The idle tick of §3.2; replies whether the shard did/has work.
@@ -106,12 +115,18 @@ pub fn run_streaming_sharded_observed(
     let start = Instant::now();
     let total_profiles: usize = increments.iter().map(Vec::len).sum();
     let shards = shard_config.shards as usize;
-    let router = ShardRouter::new(shard_config.shards);
+    let dictionary = SharedTokenDictionary::new();
+    let router = ShardRouter::with_dictionary(
+        shard_config.shards,
+        Tokenizer::default(),
+        dictionary.clone(),
+    );
     let store = Arc::new(RwLock::new(ProfileStore::new()));
     let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
     let ingest_done = Arc::new(AtomicBool::new(false));
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
+    let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
     let adaptive = {
         let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
         k.set_observer(observer.clone());
@@ -133,7 +148,7 @@ pub fn run_streaming_sharded_observed(
     }
 
     // Tokenizer pool channels: the source dispatches increment `seq` to
-    // tokenizer `seq % T`; the router collects from routed channel
+    // tokenizer `seq % T`; the router collects from tokenized channel
     // `seq % T`, so increment order survives without `select`.
     let pool = shards.max(1);
     let mut tok_txs = Vec::with_capacity(pool);
@@ -141,31 +156,22 @@ pub fn run_streaming_sharded_observed(
     let mut routed_txs = Vec::with_capacity(pool);
     let mut routed_rxs = Vec::with_capacity(pool);
     for _ in 0..pool {
-        let (tx, rx) = channel::bounded::<Vec<EntityProfile>>(64);
+        let (tx, rx) = channel::bounded::<(u64, Vec<EntityProfile>)>(64);
         tok_txs.push(tx);
         tok_rxs.push(rx);
-        let (tx, rx) = channel::bounded::<Vec<(EntityProfile, RoutedProfile)>>(64);
+        let (tx, rx) = channel::bounded::<TokenizedIncrement>(64);
         routed_txs.push(tx);
         routed_rxs.push(rx);
     }
 
     // Source: replay increments at the configured rate, round-robin over
     // the tokenizer pool.
-    let source = {
-        let interarrival = config.interarrival;
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || {
-            for (i, inc) in increments.into_iter().enumerate() {
-                if i > 0 {
-                    std::thread::sleep(interarrival);
-                }
-                if shutdown.load(Ordering::SeqCst) || tok_txs[i % tok_txs.len()].send(inc).is_err()
-                {
-                    break;
-                }
-            }
-        })
-    };
+    let source = spawn_source(
+        increments,
+        config.interarrival,
+        Arc::clone(&shutdown),
+        move |i, inc| tok_txs[i % tok_txs.len()].send((i as u64, inc)).is_ok(),
+    );
 
     let mut matches: Vec<MatchEvent> = Vec::new();
 
@@ -182,12 +188,15 @@ pub fn run_streaming_sharded_observed(
                 &observer,
             );
             let observer = observer.for_shard(shard as u16);
+            let ingest_errors = Arc::clone(&ingest_errors);
             scope.spawn(move || {
                 for msg in cmd_rx.iter() {
                     match msg {
                         ShardMsg::Ingest(batch) => {
                             let t0 = observer.is_enabled().then(Instant::now);
-                            worker.ingest(&batch);
+                            for e in worker.ingest(&batch) {
+                                ingest_errors.lock().push(e.to_string());
+                            }
                             if let Some(t0) = t0 {
                                 observer.emit(|| Event::PhaseTiming {
                                     phase: Phase::Weight,
@@ -206,20 +215,18 @@ pub fn run_streaming_sharded_observed(
             });
         }
 
-        // Tokenizer pool: tokenize + hash-route increments in parallel;
-        // the serial router downstream only touches the store.
+        // Tokenizer pool: tokenize + intern increments in parallel against
+        // the one shared dictionary; the serial router downstream only
+        // hashes ids and touches the store.
         for (tok_rx, routed_tx) in tok_rxs.into_iter().zip(routed_txs) {
-            let router = router.clone();
+            let dictionary = dictionary.clone();
             scope.spawn(move || {
-                for inc in tok_rx.iter() {
-                    let routed: Vec<(EntityProfile, RoutedProfile)> = inc
-                        .into_iter()
-                        .map(|p| {
-                            let r = router.route_profile(&p);
-                            (p, r)
-                        })
-                        .collect();
-                    if routed_tx.send(routed).is_err() {
+                let tokenizer = Tokenizer::default();
+                let mut scratch = String::new();
+                for (seq, inc) in tok_rx.iter() {
+                    let tokenized =
+                        tokenize_increment(&dictionary, &tokenizer, seq, inc, &mut scratch);
+                    if routed_tx.send(tokenized).is_err() {
                         break;
                     }
                 }
@@ -232,34 +239,41 @@ pub fn run_streaming_sharded_observed(
             let ingest_done = Arc::clone(&ingest_done);
             let adaptive = Arc::clone(&adaptive);
             let cmd_txs = cmd_txs.clone();
+            let router = router.clone();
+            let ingest_errors = Arc::clone(&ingest_errors);
             let observer = observer.clone();
             scope.spawn(move || {
                 let mut seq = 0usize;
                 // Round-robin collection mirrors dispatch: a disconnect on
                 // channel `seq % T` means no increment >= seq was sent.
-                while let Ok(inc) = routed_rxs[seq % routed_rxs.len()].recv() {
+                while let Ok(tokenized) = routed_rxs[seq % routed_rxs.len()].recv() {
                     adaptive
                         .lock()
                         .record_arrival(start.elapsed().as_secs_f64());
                     let t0 = observer.is_enabled().then(Instant::now);
-                    let profiles = inc.len();
-                    let mut per_shard: Vec<Vec<(EntityProfile, Vec<String>, usize)>> =
+                    let mut per_shard: Vec<Vec<(EntityProfile, Vec<TokenId>, usize)>> =
                         (0..cmd_txs.len()).map(|_| Vec::new()).collect();
+                    let mut accepted: Vec<TokenizedProfile> = Vec::with_capacity(tokenized.len());
                     {
                         let mut store = store.write();
                         // The whole increment enters the store before any
                         // floor is read, mirroring the unsharded blocker
                         // which blocks a full increment before generating.
-                        for (profile, routed) in &inc {
-                            store.insert(profile.clone(), &routed.tokens);
+                        // Duplicate ids are skipped and reported, never
+                        // fanned out.
+                        for tp in tokenized.profiles {
+                            match store.insert(tp.profile.clone(), &tp.tokens) {
+                                Ok(()) => accepted.push(tp),
+                                Err(e) => ingest_errors.lock().push(e.to_string()),
+                            }
                         }
-                        for (profile, routed) in inc {
-                            let floor = store.min_token_count(profile.id).unwrap_or(1);
+                        for tp in &accepted {
+                            let floor = store.min_token_count(tp.profile.id).unwrap_or(1);
                             // Shards block and weight only — ship them an
                             // attribute-less skeleton, not a full clone.
-                            for (shard, tokens) in routed.by_shard {
+                            for (shard, tokens) in router.route_ids(&tp.tokens) {
                                 per_shard[shard as usize].push((
-                                    EntityProfile::new(profile.id, profile.source),
+                                    EntityProfile::new(tp.profile.id, tp.profile.source),
                                     tokens,
                                     floor,
                                 ));
@@ -277,6 +291,7 @@ pub fn run_streaming_sharded_observed(
                             secs: t0.elapsed().as_secs_f64(),
                         });
                     }
+                    let profiles = accepted.len();
                     observer.emit(|| Event::IncrementIngested {
                         seq: seq as u64,
                         profiles,
@@ -304,9 +319,17 @@ pub fn run_streaming_sharded_observed(
             let mut merger = ShardMerger::new(shards);
             merger.set_observer(observer.clone());
             scope.spawn(move || {
-                let mut executed = 0u64;
+                let mut classifier = Classifier {
+                    start,
+                    deadline,
+                    max_comparisons,
+                    matcher: matcher.as_ref(),
+                    observer: &observer,
+                    match_tx,
+                    executed: 0,
+                };
                 loop {
-                    if start.elapsed() >= deadline || executed >= max_comparisons {
+                    if classifier.over_budget() {
                         break;
                     }
                     let k = adaptive.lock().k();
@@ -350,57 +373,24 @@ pub fn run_streaming_sharded_observed(
                         continue;
                     }
                     // Materialize profiles so classification is lock-free.
-                    let batch: Vec<(EntityProfile, Vec<_>, EntityProfile, Vec<_>)> = {
+                    let batch: Vec<MaterializedPair> = {
                         let store = store.read();
                         cmps.into_iter()
-                            .map(|c| {
-                                (
-                                    store.profile(c.a).clone(),
-                                    store.tokens_of(c.a).to_vec(),
-                                    store.profile(c.b).clone(),
-                                    store.tokens_of(c.b).to_vec(),
-                                )
+                            .map(|c| MaterializedPair {
+                                profile_a: store.profile(c.a).clone(),
+                                tokens_a: store.tokens_of(c.a).to_vec(),
+                                profile_b: store.profile(c.b).clone(),
+                                tokens_b: store.tokens_of(c.b).to_vec(),
                             })
                             .collect()
                     };
-                    let t0 = start.elapsed().as_secs_f64();
-                    for (pa, ta, pb, tb) in &batch {
-                        let outcome = matcher.evaluate(MatchInput {
-                            profile_a: pa,
-                            tokens_a: ta,
-                            profile_b: pb,
-                            tokens_b: tb,
-                        });
-                        executed += 1;
-                        if outcome.is_match {
-                            let at = start.elapsed();
-                            observer.emit(|| Event::MatchConfirmed {
-                                cmp: pier_types::Comparison::new(pa.id, pb.id),
-                                similarity: outcome.similarity,
-                                at_secs: at.as_secs_f64(),
-                            });
-                            let _ = match_tx.send(MatchEvent {
-                                at,
-                                pair: pier_types::Comparison::new(pa.id, pb.id),
-                                similarity: outcome.similarity,
-                            });
-                        }
-                        if executed >= max_comparisons || start.elapsed() >= deadline {
-                            break;
-                        }
-                    }
-                    let batch_secs = start.elapsed().as_secs_f64() - t0;
-                    observer.emit(|| Event::PhaseTiming {
-                        phase: Phase::Classify,
-                        secs: batch_secs,
-                    });
-                    adaptive.lock().record_batch(batch_secs);
+                    classifier.classify_batch(&batch, &adaptive);
                 }
-                executed_total.store(executed, Ordering::SeqCst);
+                executed_total.store(classifier.executed, Ordering::SeqCst);
                 shutdown.store(true, Ordering::SeqCst);
-                drop(match_tx);
-                // Dropping this thread's `cmd_txs` clone lets the shard
-                // workers exit once the router thread is done too.
+                // Dropping this thread's `cmd_txs` clone (and the
+                // classifier's match sender) lets the shard workers and the
+                // collector exit once the router thread is done too.
             });
         }
 
@@ -414,11 +404,19 @@ pub fn run_streaming_sharded_observed(
     let comparisons = executed_total.load(Ordering::SeqCst);
     source.join().expect("source thread never panics");
 
+    let token_occurrences = store.read().token_occurrences();
+    let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
     RuntimeReport {
         matches,
         comparisons,
         elapsed: start.elapsed(),
         profiles: total_profiles,
+        dictionary: Some(DictionaryStats {
+            distinct_tokens: dictionary.len(),
+            string_bytes: dictionary.string_bytes(),
+            token_occurrences,
+        }),
+        ingest_errors,
     }
 }
 
@@ -465,7 +463,13 @@ mod tests {
         assert_eq!(streamed, 2);
         assert_eq!(report.profiles, 4);
         assert!(report.comparisons >= 2);
+        assert!(report.ingest_errors.is_empty());
         assert!(report.matches.windows(2).all(|w| w[0].at <= w[1].at));
+        // One shared dictionary across the tokenizer pool: 5 distinct
+        // tokens, 10 occurrences (3+3+2+2).
+        let dict = report.dictionary.expect("sharded driver interns tokens");
+        assert_eq!(dict.distinct_tokens, 5);
+        assert_eq!(dict.token_occurrences, 10);
     }
 
     #[test]
@@ -524,6 +528,29 @@ mod tests {
             pairs
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn duplicate_profile_is_reported_not_fatal() {
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let mut increments = increments();
+        // A second copy of profile 0: skipped at the global store, reported,
+        // and never fanned out to any shard.
+        increments.push(vec![
+            EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha zeta")
+        ]);
+        let report = run_streaming_sharded(
+            ErKind::Dirty,
+            increments,
+            ShardedConfig::default(),
+            matcher,
+            runtime_config(),
+            |_| {},
+        );
+        assert_eq!(report.ingest_errors.len(), 1);
+        assert!(report.ingest_errors[0].contains("profile 0 ingested twice"));
+        assert_eq!(report.matches.len(), 2);
+        assert_eq!(report.dictionary.unwrap().token_occurrences, 10);
     }
 
     #[test]

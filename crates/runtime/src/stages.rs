@@ -1,0 +1,195 @@
+//! Stage scaffolding shared by the streaming and sharded drivers.
+//!
+//! Both `run_streaming` and `run_streaming_sharded` are the same pipeline
+//! with a different stage A in the middle: a source replays increments at a
+//! configured rate, a tokenize stage interns each profile exactly once
+//! against a [`SharedTokenDictionary`] (producing one
+//! [`TokenizedIncrement`] per source increment), and a stage B pulls
+//! batches, materializes the profile pairs, and classifies them. This
+//! module holds those shared pieces so each driver only contributes its
+//! actual topology (single blocker vs. router + shard workers).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use pier_core::AdaptiveK;
+use pier_matching::{MatchFunction, MatchInput};
+use pier_observe::{Event, Observer, Phase};
+use pier_types::{EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
+
+use crate::report::MatchEvent;
+
+/// A profile together with its interned sorted-distinct token ids.
+#[derive(Debug, Clone)]
+pub struct TokenizedProfile {
+    /// The profile as it arrived.
+    pub profile: EntityProfile,
+    /// Its sorted distinct token ids in the pipeline's shared dictionary.
+    pub tokens: Vec<TokenId>,
+}
+
+/// One source increment after the tokenize stage: every profile carries its
+/// token ids, so no downstream stage ever re-tokenizes or re-interns.
+#[derive(Debug, Clone)]
+pub struct TokenizedIncrement {
+    /// Position of the increment in the stream (0-based).
+    pub seq: u64,
+    /// The increment's profiles with their token ids.
+    pub profiles: Vec<TokenizedProfile>,
+}
+
+impl TokenizedIncrement {
+    /// Number of profiles in the increment.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the increment carries no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+/// Tokenizes one increment against the shared dictionary: each token string
+/// is hashed (and, if unseen, allocated) exactly once here, and everything
+/// downstream speaks dense ids. `scratch` is the reusable lowercase buffer
+/// of the calling thread.
+pub fn tokenize_increment(
+    dictionary: &SharedTokenDictionary,
+    tokenizer: &Tokenizer,
+    seq: u64,
+    increment: Vec<EntityProfile>,
+    scratch: &mut String,
+) -> TokenizedIncrement {
+    let profiles = increment
+        .into_iter()
+        .map(|profile| {
+            let tokens = dictionary.tokenize_and_intern(tokenizer, &profile, scratch);
+            TokenizedProfile { profile, tokens }
+        })
+        .collect();
+    TokenizedIncrement { seq, profiles }
+}
+
+/// Spawns the source thread: replays `increments` with `interarrival`
+/// pauses, dispatching each through `send` (which returns `false` when the
+/// pipeline has gone away). A set `shutdown` flag stops the replay early.
+pub(crate) fn spawn_source(
+    increments: Vec<Vec<EntityProfile>>,
+    interarrival: Duration,
+    shutdown: Arc<AtomicBool>,
+    mut send: impl FnMut(usize, Vec<EntityProfile>) -> bool + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for (i, inc) in increments.into_iter().enumerate() {
+            if i > 0 {
+                std::thread::sleep(interarrival);
+            }
+            if shutdown.load(Ordering::SeqCst) || !send(i, inc) {
+                break;
+            }
+        }
+        // Dropping `send` (and the channel senders it owns) closes the
+        // stream.
+    })
+}
+
+/// A comparison materialized for lock-free classification: both profiles
+/// and their token-id sets, cloned out of whichever store holds them.
+pub(crate) struct MaterializedPair {
+    pub profile_a: EntityProfile,
+    pub tokens_a: Vec<TokenId>,
+    pub profile_b: EntityProfile,
+    pub tokens_b: Vec<TokenId>,
+}
+
+/// The classification tail of stage B, shared by both drivers: evaluate
+/// the matcher over a materialized batch, emit `MatchConfirmed` events and
+/// [`MatchEvent`]s, time the phase, and feed the adaptive-`K` controller.
+pub(crate) struct Classifier<'a> {
+    pub start: Instant,
+    pub deadline: Duration,
+    pub max_comparisons: u64,
+    pub matcher: &'a dyn MatchFunction,
+    pub observer: &'a Observer,
+    pub match_tx: channel::Sender<MatchEvent>,
+    pub executed: u64,
+}
+
+impl Classifier<'_> {
+    /// Whether the run's wall-clock deadline or comparison cap is reached.
+    pub fn over_budget(&self) -> bool {
+        self.start.elapsed() >= self.deadline || self.executed >= self.max_comparisons
+    }
+
+    /// Classifies one batch (stopping early if the budget runs out mid-way)
+    /// and records the batch time with the adaptive-`K` controller.
+    pub fn classify_batch(&mut self, batch: &[MaterializedPair], adaptive: &Mutex<AdaptiveK>) {
+        let t0 = self.start.elapsed().as_secs_f64();
+        for pair in batch {
+            let outcome = self.matcher.evaluate(MatchInput {
+                profile_a: &pair.profile_a,
+                tokens_a: &pair.tokens_a,
+                profile_b: &pair.profile_b,
+                tokens_b: &pair.tokens_b,
+            });
+            self.executed += 1;
+            if outcome.is_match {
+                let at = self.start.elapsed();
+                let cmp = pier_types::Comparison::new(pair.profile_a.id, pair.profile_b.id);
+                self.observer.emit(|| Event::MatchConfirmed {
+                    cmp,
+                    similarity: outcome.similarity,
+                    at_secs: at.as_secs_f64(),
+                });
+                let _ = self.match_tx.send(MatchEvent {
+                    at,
+                    pair: cmp,
+                    similarity: outcome.similarity,
+                });
+            }
+            if self.over_budget() {
+                break;
+            }
+        }
+        let batch_secs = self.start.elapsed().as_secs_f64() - t0;
+        self.observer.emit(|| Event::PhaseTiming {
+            phase: Phase::Classify,
+            secs: batch_secs,
+        });
+        adaptive.lock().record_batch(batch_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{ProfileId, SourceId};
+
+    #[test]
+    fn tokenize_increment_interns_each_token_once() {
+        let dictionary = SharedTokenDictionary::new();
+        let tokenizer = Tokenizer::default();
+        let mut scratch = String::new();
+        let inc = vec![
+            EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha beta"),
+            EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "beta gamma"),
+        ];
+        let tokenized = tokenize_increment(&dictionary, &tokenizer, 3, inc, &mut scratch);
+        assert_eq!(tokenized.seq, 3);
+        assert_eq!(tokenized.len(), 2);
+        assert!(!tokenized.is_empty());
+        // "beta" shared: three distinct tokens total, one id each.
+        assert_eq!(dictionary.len(), 3);
+        let beta = dictionary.get("beta").unwrap();
+        assert!(tokenized.profiles[0].tokens.contains(&beta));
+        assert!(tokenized.profiles[1].tokens.contains(&beta));
+        for tp in &tokenized.profiles {
+            assert!(tp.tokens.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The threaded streaming pipeline.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,11 +9,12 @@ use parking_lot::{Mutex, RwLock};
 
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_core::{AdaptiveK, ComparisonEmitter};
-use pier_matching::{MatchFunction, MatchInput};
+use pier_matching::MatchFunction;
 use pier_observe::{Event, Observer, Phase};
-use pier_types::{EntityProfile, ErKind, Tokenizer};
+use pier_types::{EntityProfile, ErKind, SharedTokenDictionary, Tokenizer};
 
-use crate::report::{MatchEvent, RuntimeReport};
+use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
+use crate::stages::{spawn_source, tokenize_increment, Classifier, MaterializedPair};
 
 /// Configuration of a real-time run.
 #[derive(Debug, Clone)]
@@ -90,8 +91,13 @@ pub fn run_streaming_observed(
 ) -> RuntimeReport {
     let start = Instant::now();
     let total_profiles: usize = increments.iter().map(Vec::len).sum();
-    let mut initial_blocker =
-        IncrementalBlocker::with_config(kind, Tokenizer::default(), config.purge_policy);
+    let dictionary = SharedTokenDictionary::new();
+    let mut initial_blocker = IncrementalBlocker::with_shared_dictionary(
+        kind,
+        Tokenizer::default(),
+        config.purge_policy,
+        dictionary.clone(),
+    );
     initial_blocker.set_observer(observer.clone());
     emitter.set_observer(observer.clone());
     let blocker = Arc::new(RwLock::new(initial_blocker));
@@ -100,6 +106,8 @@ pub fn run_streaming_observed(
     let ingest_done = Arc::new(AtomicBool::new(false));
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
+    let token_occurrences = Arc::new(AtomicU64::new(0));
+    let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
     let adaptive = {
         let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
         k.set_observer(observer.clone());
@@ -107,21 +115,12 @@ pub fn run_streaming_observed(
     };
 
     // Source: replay increments at the configured rate.
-    let source = {
-        let interarrival = config.interarrival;
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || {
-            for (i, inc) in increments.into_iter().enumerate() {
-                if i > 0 {
-                    std::thread::sleep(interarrival);
-                }
-                if shutdown.load(Ordering::SeqCst) || inc_tx.send(inc).is_err() {
-                    break; // pipeline shut down early
-                }
-            }
-            // Dropping inc_tx closes the stream.
-        })
-    };
+    let source = spawn_source(
+        increments,
+        config.interarrival,
+        Arc::clone(&shutdown),
+        move |_seq, inc| inc_tx.send(inc).is_ok(),
+    );
 
     // The emitter is owned by a dedicated mutex shared by stages A and B.
     let emitter_slot: Arc<Mutex<&mut (dyn ComparisonEmitter + Send)>> =
@@ -130,21 +129,43 @@ pub fn run_streaming_observed(
     let mut matches: Vec<MatchEvent> = Vec::new();
 
     std::thread::scope(|scope| {
-        // Stage A: blocking + prioritizer update.
+        // Stage A: tokenize/intern outside the blocker lock, then block +
+        // update the prioritizer.
         {
             let blocker = Arc::clone(&blocker);
             let emitter_slot = Arc::clone(&emitter_slot);
             let ingest_done = Arc::clone(&ingest_done);
             let adaptive = Arc::clone(&adaptive);
+            let dictionary = dictionary.clone();
+            let token_occurrences = Arc::clone(&token_occurrences);
+            let ingest_errors = Arc::clone(&ingest_errors);
             let observer = observer.clone();
             scope.spawn(move || {
+                let tokenizer = Tokenizer::default();
+                let mut scratch = String::new();
+                let mut occurrences = 0u64;
                 for (seq, inc) in inc_rx.iter().enumerate() {
                     adaptive
                         .lock()
                         .record_arrival(start.elapsed().as_secs_f64());
                     let t0 = observer.is_enabled().then(Instant::now);
+                    // Interning happens here, before the write lock: stage B
+                    // keeps reading the blocker while token strings are
+                    // hashed/allocated exactly once for the whole pipeline.
+                    let tokenized =
+                        tokenize_increment(&dictionary, &tokenizer, seq as u64, inc, &mut scratch);
+                    let mut ids = Vec::with_capacity(tokenized.len());
                     let mut blocker = blocker.write();
-                    let ids = blocker.process_increment(&inc);
+                    for tp in tokenized.profiles {
+                        let tokens_in_profile = tp.tokens.len() as u64;
+                        match blocker.try_process_profile_with_token_ids(tp.profile, &tp.tokens) {
+                            Ok(id) => {
+                                occurrences += tokens_in_profile;
+                                ids.push(id);
+                            }
+                            Err(e) => ingest_errors.lock().push(e.to_string()),
+                        }
+                    }
                     if let Some(t0) = t0 {
                         observer.emit(|| Event::PhaseTiming {
                             phase: Phase::Block,
@@ -162,10 +183,11 @@ pub fn run_streaming_observed(
                         });
                     }
                     observer.emit(|| Event::IncrementIngested {
-                        seq: seq as u64,
-                        profiles: inc.len(),
+                        seq: tokenized.seq,
+                        profiles: ids.len(),
                     });
                 }
+                token_occurrences.store(occurrences, Ordering::SeqCst);
                 ingest_done.store(true, Ordering::SeqCst);
             });
         }
@@ -183,15 +205,23 @@ pub fn run_streaming_observed(
             let deadline = config.deadline;
             let observer = observer.clone();
             scope.spawn(move || {
-                let mut executed = 0u64;
+                let mut classifier = Classifier {
+                    start,
+                    deadline,
+                    max_comparisons,
+                    matcher: matcher.as_ref(),
+                    observer: &observer,
+                    match_tx,
+                    executed: 0,
+                };
                 loop {
-                    if start.elapsed() >= deadline || executed >= max_comparisons {
+                    if classifier.over_budget() {
                         break;
                     }
                     let k = adaptive.lock().k();
                     // Pull under locks, then materialize the pairs so
                     // classification runs lock-free.
-                    let batch: Vec<(EntityProfile, Vec<_>, EntityProfile, Vec<_>)> = {
+                    let batch: Vec<MaterializedPair> = {
                         let blocker = blocker.read();
                         let mut emitter = emitter_slot.lock();
                         let t0 = observer.is_enabled().then(Instant::now);
@@ -204,13 +234,11 @@ pub fn run_streaming_observed(
                         }
                         let _ = emitter.drain_ops();
                         cmps.into_iter()
-                            .map(|c| {
-                                (
-                                    blocker.profile(c.a).clone(),
-                                    blocker.tokens_of(c.a).to_vec(),
-                                    blocker.profile(c.b).clone(),
-                                    blocker.tokens_of(c.b).to_vec(),
-                                )
+                            .map(|c| MaterializedPair {
+                                profile_a: blocker.profile(c.a).clone(),
+                                tokens_a: blocker.tokens_of(c.a).to_vec(),
+                                profile_b: blocker.profile(c.b).clone(),
+                                tokens_b: blocker.tokens_of(c.b).to_vec(),
                             })
                             .collect()
                     };
@@ -232,44 +260,12 @@ pub fn run_streaming_observed(
                         }
                         continue;
                     }
-                    let t0 = start.elapsed().as_secs_f64();
-                    for (pa, ta, pb, tb) in &batch {
-                        let outcome = matcher.evaluate(MatchInput {
-                            profile_a: pa,
-                            tokens_a: ta,
-                            profile_b: pb,
-                            tokens_b: tb,
-                        });
-                        executed += 1;
-                        if outcome.is_match {
-                            let at = start.elapsed();
-                            observer.emit(|| Event::MatchConfirmed {
-                                cmp: pier_types::Comparison::new(pa.id, pb.id),
-                                similarity: outcome.similarity,
-                                at_secs: at.as_secs_f64(),
-                            });
-                            let _ = match_tx.send(MatchEvent {
-                                at,
-                                pair: pier_types::Comparison::new(pa.id, pb.id),
-                                similarity: outcome.similarity,
-                            });
-                        }
-                        if executed >= max_comparisons || start.elapsed() >= deadline {
-                            break;
-                        }
-                    }
-                    let batch_secs = start.elapsed().as_secs_f64() - t0;
-                    observer.emit(|| Event::PhaseTiming {
-                        phase: Phase::Classify,
-                        secs: batch_secs,
-                    });
-                    adaptive.lock().record_batch(batch_secs);
+                    classifier.classify_batch(&batch, &adaptive);
                 }
-                executed_total.store(executed, Ordering::SeqCst);
-                // Stop the source (if still replaying) and let the
-                // collector finish by closing the match channel.
+                executed_total.store(classifier.executed, Ordering::SeqCst);
+                // Stop the source (if still replaying); dropping the
+                // classifier's match sender lets the collector finish.
                 shutdown.store(true, Ordering::SeqCst);
-                drop(match_tx);
             });
         }
 
@@ -283,15 +279,20 @@ pub fn run_streaming_observed(
     let comparisons = executed_total.load(Ordering::SeqCst);
     source.join().expect("source thread never panics");
 
+    let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
     RuntimeReport {
         matches,
         comparisons,
         elapsed: start.elapsed(),
         profiles: total_profiles,
+        dictionary: Some(DictionaryStats {
+            distinct_tokens: dictionary.len(),
+            string_bytes: dictionary.string_bytes(),
+            token_occurrences: token_occurrences.load(Ordering::SeqCst),
+        }),
+        ingest_errors,
     }
 }
-
-use std::sync::atomic::AtomicU64;
 
 #[cfg(test)]
 mod tests {
@@ -335,9 +336,17 @@ mod tests {
         assert_eq!(streamed, 2);
         assert_eq!(report.profiles, 4);
         assert!(report.comparisons >= 2);
+        assert!(report.ingest_errors.is_empty());
         // Timestamps are non-decreasing and within the run.
         assert!(report.matches.windows(2).all(|w| w[0].at <= w[1].at));
         assert!(report.matches.iter().all(|m| m.at <= report.elapsed));
+        // The interned data path reports its dictionary: 5 distinct tokens
+        // across 4 profiles with 3+3+2+2 = 10 occurrences.
+        let dict = report.dictionary.expect("streaming interns tokens");
+        assert_eq!(dict.distinct_tokens, 5);
+        assert_eq!(dict.token_occurrences, 10);
+        assert!(dict.string_bytes > 0);
+        assert!(dict.estimated_bytes_saved() > 0);
     }
 
     #[test]
@@ -405,6 +414,32 @@ mod tests {
         // Block and weight phases ran once per increment; prune/classify at
         // least once per batch.
         assert!(snap.phases.iter().all(|ph| ph.count >= 1));
+    }
+
+    #[test]
+    fn duplicate_profile_is_reported_not_fatal() {
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(5),
+            deadline: Duration::from_secs(10),
+            ..RuntimeConfig::default()
+        };
+        // Profile 0 arrives twice; the second copy must be skipped without
+        // killing the stage-A thread, and the true pair still matches.
+        let increments = vec![
+            vec![
+                EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha beta gamma"),
+                EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "alpha beta gamma"),
+            ],
+            vec![EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha zeta")],
+        ];
+        let report = run_streaming(ErKind::Dirty, increments, emitter, matcher, config, |_| {});
+        assert_eq!(report.ingest_errors.len(), 1);
+        assert!(report.ingest_errors[0].contains("profile 0 ingested twice"));
+        assert_eq!(report.matches.len(), 1);
+        // Only accepted profiles count occurrences (3 + 3).
+        assert_eq!(report.dictionary.unwrap().token_occurrences, 6);
     }
 
     #[test]

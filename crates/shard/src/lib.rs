@@ -3,12 +3,13 @@
 //! The paper's pipeline has two resources: stage A (blocking + weighting +
 //! prioritization) and stage B (matching). Our runtime executes stage A on
 //! one thread, so it saturates long before the matcher at high arrival
-//! rates. Token blocking shards naturally: a block *is* a token, so hashing
-//! each token string to one of N shards partitions the block collection
-//! exactly — and with it every per-block decision (membership order,
-//! purging). Block ghosting additionally needs the *global* smallest block
-//! of a profile, which the router computes from full token counts and
-//! ships to each shard as a ghost floor.
+//! rates. Token blocking shards naturally: a block *is* a token (block id ≡
+//! interned [`pier_types::TokenId`]), so hashing each token's dense id to
+//! one of N shards partitions the block collection exactly — and with it
+//! every per-block decision (membership order, purging). Block ghosting
+//! additionally needs the *global* smallest block of a profile, which the
+//! router computes from full token counts and ships to each shard as a
+//! ghost floor.
 //!
 //! * [`ShardRouter`] — assigns tokens to shards and fans each profile out
 //!   to every shard owning ≥ 1 of its tokens.

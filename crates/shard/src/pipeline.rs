@@ -6,9 +6,7 @@
 use pier_blocking::PurgePolicy;
 use pier_core::{PierConfig, Strategy};
 use pier_observe::{Event, Observer};
-use pier_types::{
-    Comparison, EntityProfile, ErKind, ProfileId, TokenDictionary, TokenId, Tokenizer,
-};
+use pier_types::{Comparison, EntityProfile, ErKind, PierError, ProfileId, TokenId, Tokenizer};
 
 use crate::merger::ShardMerger;
 use crate::router::{RoutedProfile, ShardRouter};
@@ -41,15 +39,17 @@ impl Default for ShardedConfig {
 /// The global profile store of the sharded pipeline.
 ///
 /// Shard blockers only know their token subspace, so the matcher-facing
-/// profile/token lookups live here: one dictionary over the *full* token
-/// sets, exactly what the unsharded blocker would expose.
+/// profile/token lookups live here: the *full* token-id sets, exactly what
+/// the unsharded blocker would expose. The store holds no dictionary of its
+/// own — ids arrive already interned (once, by the router against the
+/// shared dictionary) and are never mapped back to strings on this path.
 #[derive(Debug, Default)]
 pub struct ProfileStore {
-    dictionary: TokenDictionary,
     profiles: Vec<Option<EntityProfile>>,
     token_sets: Vec<Vec<TokenId>>,
     /// Global per-token occurrence counts — block sizes before purging,
-    /// used to hand each shard the global ghosting floor.
+    /// used to hand each shard the global ghosting floor. Indexed by the
+    /// shared dictionary's dense [`TokenId`]s.
     token_counts: Vec<u32>,
 }
 
@@ -59,22 +59,22 @@ impl ProfileStore {
         Self::default()
     }
 
-    /// Stores a profile with its full (sorted distinct) token list.
+    /// Stores a profile with its full sorted distinct token-id list (as
+    /// produced by [`crate::ShardRouter::route_profile`]).
     ///
-    /// # Panics
-    /// Panics if the id was already stored.
-    pub fn insert(&mut self, profile: EntityProfile, tokens: &[String]) {
+    /// # Errors
+    /// Returns [`PierError::DuplicateProfile`] if the id was already
+    /// stored; the store is left unchanged.
+    pub fn insert(&mut self, profile: EntityProfile, tokens: &[TokenId]) -> Result<(), PierError> {
         let idx = profile.id.index();
         if self.profiles.len() <= idx {
             self.profiles.resize(idx + 1, None);
             self.token_sets.resize(idx + 1, Vec::new());
         }
-        assert!(
-            self.profiles[idx].is_none(),
-            "profile {} stored twice",
-            profile.id
-        );
-        let mut ids: Vec<TokenId> = tokens.iter().map(|t| self.dictionary.intern(t)).collect();
+        if self.profiles[idx].is_some() {
+            return Err(PierError::DuplicateProfile(profile.id.0));
+        }
+        let mut ids = tokens.to_vec();
         ids.sort_unstable();
         ids.dedup();
         for &t in &ids {
@@ -85,6 +85,14 @@ impl ProfileStore {
         }
         self.token_sets[idx] = ids;
         self.profiles[idx] = Some(profile);
+        Ok(())
+    }
+
+    /// Total token occurrences across all stored profiles (the Σ of every
+    /// profile's distinct-token count) — what a string-shipping pipeline
+    /// would have cloned at least once more.
+    pub fn token_occurrences(&self) -> u64 {
+        self.token_counts.iter().map(|&c| c as u64).sum()
     }
 
     /// The global minimum block size over a profile's tokens — the
@@ -135,6 +143,8 @@ pub struct ShardedStageA {
     store: ProfileStore,
     observer: Observer,
     increments: u64,
+    /// Reusable lowercase buffer for the router's tokenize pass.
+    scratch: String,
 }
 
 impl ShardedStageA {
@@ -167,6 +177,7 @@ impl ShardedStageA {
             store: ProfileStore::new(),
             observer,
             increments: 0,
+            scratch: String::new(),
         }
     }
 
@@ -190,25 +201,38 @@ impl ShardedStageA {
         &self.workers
     }
 
-    /// Ingests one increment: tokenize once per profile, store globally,
-    /// fan out to the owning shards, and notify each touched shard's
-    /// emitter once.
-    pub fn on_increment(&mut self, increment: &[EntityProfile]) {
-        let mut per_shard: Vec<Vec<(EntityProfile, Vec<String>, usize)>> =
+    /// Ingests one increment: tokenize + intern once per profile, store
+    /// globally, fan the token-id subsets out to the owning shards, and
+    /// notify each touched shard's emitter once.
+    ///
+    /// Profiles whose id was already ingested are skipped and their
+    /// [`PierError::DuplicateProfile`] errors returned (nothing panics);
+    /// an empty vector means the whole increment was ingested.
+    pub fn on_increment(&mut self, increment: &[EntityProfile]) -> Vec<PierError> {
+        let mut errors = Vec::new();
+        let mut per_shard: Vec<Vec<(EntityProfile, Vec<TokenId>, usize)>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
         // Two passes: the whole increment enters the store first so the
         // ghost floors below see the same block sizes the unsharded
         // pipeline would at generation time (it too blocks a full
         // increment before generating).
-        let routed: Vec<RoutedProfile> = increment
+        let routed: Vec<Option<RoutedProfile>> = increment
             .iter()
             .map(|profile| {
-                let routed = self.router.route_profile(profile);
-                self.store.insert(profile.clone(), &routed.tokens);
-                routed
+                let routed = self.router.route_profile(profile, &mut self.scratch);
+                match self.store.insert(profile.clone(), &routed.tokens) {
+                    Ok(()) => Some(routed),
+                    Err(e) => {
+                        errors.push(e);
+                        None
+                    }
+                }
             })
             .collect();
+        let mut accepted = 0usize;
         for (profile, routed) in increment.iter().zip(routed) {
+            let Some(routed) = routed else { continue };
+            accepted += 1;
             let floor = self.store.min_token_count(profile.id).unwrap_or(1);
             // Shards only block and weight, so they get an attribute-less
             // skeleton (id + source): cloning full profiles once per owning
@@ -223,15 +247,16 @@ impl ShardedStageA {
         }
         for (shard, batch) in per_shard.into_iter().enumerate() {
             if !batch.is_empty() {
-                self.workers[shard].ingest(&batch);
+                errors.extend(self.workers[shard].ingest(&batch));
             }
         }
         let seq = self.increments;
         self.increments += 1;
         self.observer.emit(|| Event::IncrementIngested {
             seq,
-            profiles: increment.len(),
+            profiles: accepted,
         });
+        errors
     }
 
     /// Broadcasts the idle tick to every shard; returns whether any shard
@@ -373,10 +398,30 @@ mod tests {
     fn store_serves_global_profiles_and_tokens() {
         let mut stage = ShardedStageA::new(ErKind::Dirty, ShardedConfig::default());
         let data = profiles(&["alpha beta", "gamma delta"]);
-        stage.on_increment(&data);
+        let errors = stage.on_increment(&data);
+        assert!(errors.is_empty());
         assert_eq!(stage.store().len(), 2);
         assert_eq!(stage.store().profile(ProfileId(1)).id, ProfileId(1));
         assert_eq!(stage.store().tokens_of(ProfileId(0)).len(), 2);
+        assert_eq!(stage.store().token_occurrences(), 4);
+    }
+
+    #[test]
+    fn duplicate_profiles_surface_as_errors_not_panics() {
+        let mut stage = ShardedStageA::new(ErKind::Dirty, ShardedConfig::default());
+        stage.on_increment(&profiles(&["alpha beta", "alpha gamma"]));
+        // Replaying profile 0 (same id, new text) must not kill the stage.
+        let errors = stage.on_increment(&profiles(&["alpha beta zeta"]));
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            errors[0],
+            pier_types::PierError::DuplicateProfile(0)
+        ));
+        // The store kept the original ingest and the pipeline still drains.
+        assert_eq!(stage.store().len(), 2);
+        assert_eq!(stage.store().tokens_of(ProfileId(0)).len(), 2);
+        let out = drain_sharded(&mut stage);
+        assert!(!out.is_empty());
     }
 
     #[test]

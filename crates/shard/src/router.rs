@@ -1,36 +1,51 @@
 //! Token-hash routing: which shard owns which token.
 //!
 //! The routing rule is the whole sharding story: a block *is* a token
-//! (block id ≡ interned token id), so hashing the token **string** to a
-//! shard partitions the block collection exactly — every block lives in
-//! precisely one shard, with the same members joining in the same arrival
-//! order as in an unsharded run. The hash is computed on the string (not
-//! the interned id) so the assignment is independent of arrival order and
-//! identical across runs.
+//! (block id ≡ interned token id), so hashing a token to a shard partitions
+//! the block collection exactly — every block lives in precisely one shard,
+//! with the same members joining in the same arrival order as in an
+//! unsharded run.
+//!
+//! The hash is computed on the dense interned [`TokenId`] (a splitmix64
+//! finalizer over the `u32`), not on the token string: the router owns a
+//! [`SharedTokenDictionary`] and tokenizes/interns each profile exactly
+//! once, so by the time a token is routed its id is already in hand and a
+//! per-shard string hash (one FNV pass per token *per shard copy*) would be
+//! pure overhead. The trade: id assignment depends on first-arrival order,
+//! so *which* shard owns a token can differ between runs with different
+//! arrival orders. That is harmless — the merged output is
+//! partition-invariant (every block still lives in exactly one shard, and
+//! the CBS-style weights downstream are additive over blocks), which is
+//! exactly what the sharded-equivalence integration test pins down.
 
-use pier_types::{EntityProfile, Tokenizer};
+use pier_types::{EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
 
 /// Assigns tokens to shards and fans profiles out to the shards owning at
 /// least one of their tokens.
+///
+/// Cloning a router is cheap and shares the dictionary: a pool of tokenizer
+/// threads can each hold a clone and still intern into one id space.
 #[derive(Debug, Clone)]
 pub struct ShardRouter {
     shards: u16,
     tokenizer: Tokenizer,
+    dictionary: SharedTokenDictionary,
 }
 
-/// One profile's routing decision: its global token set plus the per-shard
-/// subsets (lexicographic token order is preserved in every subset).
+/// One profile's routing decision: its global token-id set plus the
+/// per-shard subsets (ascending id order is preserved in every subset).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutedProfile {
-    /// The profile's full sorted distinct token list.
-    pub tokens: Vec<String>,
-    /// `(shard, token subset)` for every shard owning ≥ 1 token, ascending
-    /// by shard id.
-    pub by_shard: Vec<(u16, Vec<String>)>,
+    /// The profile's full sorted distinct token ids.
+    pub tokens: Vec<TokenId>,
+    /// `(shard, token-id subset)` for every shard owning ≥ 1 token,
+    /// ascending by shard id.
+    pub by_shard: Vec<(u16, Vec<TokenId>)>,
 }
 
 impl ShardRouter {
-    /// Creates a router over `shards` shards with the default tokenizer.
+    /// Creates a router over `shards` shards with the default tokenizer and
+    /// a fresh shared dictionary.
     ///
     /// # Panics
     /// Panics if `shards` is zero.
@@ -41,8 +56,23 @@ impl ShardRouter {
     /// Creates a router with an explicit tokenizer (must match the
     /// tokenizer an unsharded reference pipeline would use).
     pub fn with_tokenizer(shards: u16, tokenizer: Tokenizer) -> Self {
+        Self::with_dictionary(shards, tokenizer, SharedTokenDictionary::new())
+    }
+
+    /// Creates a router interning into an externally owned dictionary, so
+    /// other pipeline components (profile store, shard blockers, matcher)
+    /// speak the same id space.
+    pub fn with_dictionary(
+        shards: u16,
+        tokenizer: Tokenizer,
+        dictionary: SharedTokenDictionary,
+    ) -> Self {
         assert!(shards > 0, "at least one shard required");
-        ShardRouter { shards, tokenizer }
+        ShardRouter {
+            shards,
+            tokenizer,
+            dictionary,
+        }
     }
 
     /// Number of shards this router distributes over.
@@ -50,29 +80,28 @@ impl ShardRouter {
         self.shards
     }
 
-    /// The shard owning `token`. Deterministic across runs and
-    /// independent of arrival order (pure function of the string).
-    pub fn shard_of(&self, token: &str) -> u16 {
-        // FNV-1a over the bytes, then a splitmix64 finalizer so the modulo
-        // sees well-mixed high entropy even for short, similar tokens.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in token.as_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    /// The shared dictionary this router interns into.
+    pub fn dictionary(&self) -> &SharedTokenDictionary {
+        &self.dictionary
+    }
+
+    /// The shard owning the token with id `id`. Deterministic given the id:
+    /// a splitmix64 finalizer mixes the dense `u32` so the modulo sees high
+    /// entropy even though ids are sequential.
+    pub fn shard_of_id(&self, id: TokenId) -> u16 {
+        let mut h = (id.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
         h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         h ^= h >> 31;
         (h % self.shards as u64) as u16
     }
 
-    /// Splits a sorted-distinct token list into per-shard subsets
+    /// Splits a sorted-distinct token-id list into per-shard subsets
     /// (preserving order; shards owning no token are omitted).
-    pub fn route_tokens(&self, tokens: &[String]) -> Vec<(u16, Vec<String>)> {
-        let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); self.shards as usize];
-        for t in tokens {
-            by_shard[self.shard_of(t) as usize].push(t.clone());
+    pub fn route_ids(&self, tokens: &[TokenId]) -> Vec<(u16, Vec<TokenId>)> {
+        let mut by_shard: Vec<Vec<TokenId>> = vec![Vec::new(); self.shards as usize];
+        for &t in tokens {
+            by_shard[self.shard_of_id(t) as usize].push(t);
         }
         by_shard
             .into_iter()
@@ -82,10 +111,14 @@ impl ShardRouter {
             .collect()
     }
 
-    /// Tokenizes `profile` once and routes the token set.
-    pub fn route_profile(&self, profile: &EntityProfile) -> RoutedProfile {
-        let tokens = self.tokenizer.profile_tokens(profile);
-        let by_shard = self.route_tokens(&tokens);
+    /// Tokenizes `profile` once — interning against the shared dictionary
+    /// through the reusable `scratch` buffer, so no per-token `String` is
+    /// allocated after the vocabulary saturates — and routes the id set.
+    pub fn route_profile(&self, profile: &EntityProfile, scratch: &mut String) -> RoutedProfile {
+        let tokens = self
+            .dictionary
+            .tokenize_and_intern(&self.tokenizer, profile, scratch);
+        let by_shard = self.route_ids(&tokens);
         RoutedProfile { tokens, by_shard }
     }
 }
@@ -98,30 +131,31 @@ mod tests {
     #[test]
     fn routing_is_deterministic_and_in_range() {
         let r = ShardRouter::new(4);
-        for t in ["alpha", "beta", "gamma", "1999", "x"] {
-            let s = r.shard_of(t);
+        let r2 = ShardRouter::new(4);
+        for i in [0u32, 1, 2, 99, 4096] {
+            let s = r.shard_of_id(TokenId(i));
             assert!(s < 4);
-            assert_eq!(s, r.shard_of(t), "unstable for {t}");
-            assert_eq!(s, ShardRouter::new(4).shard_of(t), "router-dependent");
+            assert_eq!(s, r.shard_of_id(TokenId(i)), "unstable for id {i}");
+            assert_eq!(s, r2.shard_of_id(TokenId(i)), "router-dependent");
         }
     }
 
     #[test]
     fn single_shard_owns_everything() {
         let r = ShardRouter::new(1);
-        for t in ["alpha", "beta", "gamma"] {
-            assert_eq!(r.shard_of(t), 0);
+        for i in 0..50u32 {
+            assert_eq!(r.shard_of_id(TokenId(i)), 0);
         }
     }
 
     #[test]
-    fn hash_spreads_tokens_over_shards() {
+    fn hash_spreads_ids_over_shards() {
         let r = ShardRouter::new(4);
         let mut seen = std::collections::HashSet::new();
-        for i in 0..200 {
-            seen.insert(r.shard_of(&format!("token{i}")));
+        for i in 0..200u32 {
+            seen.insert(r.shard_of_id(TokenId(i)));
         }
-        assert_eq!(seen.len(), 4, "200 tokens must hit all 4 shards");
+        assert_eq!(seen.len(), 4, "200 sequential ids must hit all 4 shards");
     }
 
     #[test]
@@ -130,24 +164,42 @@ mod tests {
         let p = EntityProfile::new(ProfileId(0), SourceId(0))
             .with("title", "progressive entity resolution")
             .with("venue", "edbt 2023");
-        let routed = r.route_profile(&p);
+        let mut scratch = String::new();
+        let routed = r.route_profile(&p, &mut scratch);
         assert!(!routed.tokens.is_empty());
+        assert_eq!(routed.tokens.len(), r.dictionary().len());
         // Subsets are disjoint, ordered, and union back to the global list.
-        let mut reunited: Vec<String> = routed
+        let mut reunited: Vec<TokenId> = routed
             .by_shard
             .iter()
             .flat_map(|(s, subset)| {
-                for t in subset {
-                    assert_eq!(r.shard_of(t), *s);
+                for &t in subset {
+                    assert_eq!(r.shard_of_id(t), *s);
                 }
                 assert!(subset.windows(2).all(|w| w[0] < w[1]), "order preserved");
-                subset.iter().cloned()
+                subset.iter().copied()
             })
             .collect();
         reunited.sort_unstable();
         assert_eq!(reunited, routed.tokens);
         // Shards listed ascending.
         assert!(routed.by_shard.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn cloned_routers_share_one_id_space() {
+        let r = ShardRouter::new(2);
+        let clone = r.clone();
+        let mut scratch = String::new();
+        let p0 = EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha beta");
+        let p1 = EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "beta gamma");
+        let a = r.route_profile(&p0, &mut scratch);
+        let b = clone.route_profile(&p1, &mut scratch);
+        // "beta" got one id, visible through both clones.
+        let beta = r.dictionary().get("beta").unwrap();
+        assert!(a.tokens.contains(&beta));
+        assert!(b.tokens.contains(&beta));
+        assert_eq!(r.dictionary().len(), 3);
     }
 
     #[test]

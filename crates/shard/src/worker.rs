@@ -3,7 +3,7 @@
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_core::{ComparisonEmitter, PierConfig, Strategy};
 use pier_observe::{Event, Observer};
-use pier_types::{EntityProfile, ErKind, Tokenizer, WeightedComparison};
+use pier_types::{EntityProfile, ErKind, PierError, TokenId, Tokenizer, WeightedComparison};
 
 /// A single shard of the partitioned stage A. It owns a full
 /// [`IncrementalBlocker`] and one of the unchanged I-PCS/I-PBS/I-PES
@@ -52,23 +52,35 @@ impl ShardWorker {
         &self.blocker
     }
 
-    /// Ingests routed profiles: each entry is a profile, the token subset
-    /// this shard owns, and the profile's *global* minimum block size (the
-    /// router computes it from full token counts). The floor keeps this
-    /// shard's block ghosting threshold identical to the unsharded
-    /// pipeline's — a shard-local `|b_min|` would overestimate it and make
-    /// the shard scan blocks the unsharded run ghosts. Only `id` and
-    /// `source` of the profile are consulted shard-side, so drivers pass
-    /// attribute-less skeletons; matcher-facing lookups go through the
-    /// global `ProfileStore`.
-    pub fn ingest(&mut self, batch: &[(EntityProfile, Vec<String>, usize)]) {
+    /// Ingests routed profiles: each entry is a profile, the token-id
+    /// subset this shard owns (global ids from the router's shared
+    /// dictionary — the shard never re-tokenizes or re-interns), and the
+    /// profile's *global* minimum block size (the router computes it from
+    /// full token counts). The floor keeps this shard's block ghosting
+    /// threshold identical to the unsharded pipeline's — a shard-local
+    /// `|b_min|` would overestimate it and make the shard scan blocks the
+    /// unsharded run ghosts. Only `id` and `source` of the profile are
+    /// consulted shard-side, so drivers pass attribute-less skeletons;
+    /// matcher-facing lookups go through the global `ProfileStore`.
+    ///
+    /// Duplicate profile ids are skipped and returned as
+    /// [`PierError::DuplicateProfile`] instead of panicking, so a bad
+    /// increment cannot kill a worker thread mid-run; the successfully
+    /// ingested profiles still reach the emitter.
+    pub fn ingest(&mut self, batch: &[(EntityProfile, Vec<TokenId>, usize)]) -> Vec<PierError> {
         let mut ids = Vec::with_capacity(batch.len());
+        let mut errors = Vec::new();
         for (profile, tokens, floor) in batch {
-            let id = self
+            match self
                 .blocker
-                .process_profile_with_tokens(profile.clone(), tokens);
-            self.blocker.set_ghost_floor(id, *floor);
-            ids.push(id);
+                .try_process_profile_with_token_ids(profile.clone(), tokens)
+            {
+                Ok(id) => {
+                    self.blocker.set_ghost_floor(id, *floor);
+                    ids.push(id);
+                }
+                Err(e) => errors.push(e),
+            }
         }
         self.emitter.on_increment(&self.blocker, &ids);
         // Shard-tagged fan-out accounting (per-shard `profiles` in
@@ -77,8 +89,9 @@ impl ShardWorker {
         self.ingests += 1;
         self.observer.emit(|| Event::IncrementIngested {
             seq,
-            profiles: batch.len(),
+            profiles: ids.len(),
         });
+        errors
     }
 
     /// The idle tick of Algorithm 2 lines 10–11: lets the emitter's
@@ -126,11 +139,16 @@ impl ShardWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pier_types::{Comparison, ProfileId, SourceId};
+    use pier_types::{Comparison, ProfileId, SharedTokenDictionary, SourceId};
 
-    fn profile(id: u32, text: &str) -> (EntityProfile, Vec<String>, usize) {
+    fn profile(
+        dict: &SharedTokenDictionary,
+        id: u32,
+        text: &str,
+    ) -> (EntityProfile, Vec<TokenId>, usize) {
         let p = EntityProfile::new(ProfileId(id), SourceId(0)).with("text", text);
-        let tokens = Tokenizer::default().profile_tokens(&p);
+        let mut scratch = String::new();
+        let tokens = dict.tokenize_and_intern(&Tokenizer::default(), &p, &mut scratch);
         (p, tokens, 1)
     }
 
@@ -147,8 +165,13 @@ mod tests {
 
     #[test]
     fn ingest_then_pull_yields_weighted_pairs() {
+        let dict = SharedTokenDictionary::new();
         let mut w = worker();
-        w.ingest(&[profile(0, "alpha beta"), profile(1, "alpha beta")]);
+        let errors = w.ingest(&[
+            profile(&dict, 0, "alpha beta"),
+            profile(&dict, 1, "alpha beta"),
+        ]);
+        assert!(errors.is_empty());
         let batch = w.pull(8);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].cmp, Comparison::new(ProfileId(0), ProfileId(1)));
@@ -156,12 +179,30 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_ingest_is_reported_not_fatal() {
+        let dict = SharedTokenDictionary::new();
+        let mut w = worker();
+        let errors = w.ingest(&[
+            profile(&dict, 0, "alpha beta"),
+            profile(&dict, 0, "alpha gamma"),
+            profile(&dict, 1, "alpha beta"),
+        ]);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], PierError::DuplicateProfile(0)));
+        // The surviving profiles still generate their comparison.
+        let batch = w.pull(8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].cmp, Comparison::new(ProfileId(0), ProfileId(1)));
+    }
+
+    #[test]
     fn tick_reports_pending_fallback_work() {
+        let dict = SharedTokenDictionary::new();
         let mut w = worker();
         // Profiles the emitter was never told about: only the idle-tick
         // fallback can surface their pairs.
-        for (p, tokens, _) in [profile(0, "mm nn"), profile(1, "mm nn")] {
-            w.blocker.process_profile_with_tokens(p, &tokens);
+        for (p, tokens, _) in [profile(&dict, 0, "mm nn"), profile(&dict, 1, "mm nn")] {
+            w.blocker.process_profile_with_token_ids(p, &tokens);
         }
         assert!(w.tick());
         assert_eq!(w.pull(4).len(), 1);

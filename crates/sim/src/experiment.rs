@@ -12,13 +12,13 @@ use crate::pipeline::{PipelineSim, SimConfig, SimOutcome};
 pub enum Method {
     /// Plain batch ER (`F_batch`).
     Batch,
-    /// PBS [36]; per-increment driving makes it PBS-GLOBAL.
+    /// PBS \[36\]; per-increment driving makes it PBS-GLOBAL.
     Pbs,
-    /// PPS [36] over all data (PPS-GLOBAL in incremental settings).
+    /// PPS \[36\] over all data (PPS-GLOBAL in incremental settings).
     PpsGlobal,
     /// PPS over the last increment only (PPS-LOCAL).
     PpsLocal,
-    /// The incremental baseline I-BASE [17].
+    /// The incremental baseline I-BASE \[17\].
     IBase,
     /// PIER, comparison-centric (Algorithm 2).
     IPcs,
@@ -26,9 +26,9 @@ pub enum Method {
     IPbs,
     /// PIER, entity-centric (Algorithm 4).
     IPes,
-    /// LS-PSN [36], an extra progressive baseline (sorted neighborhood).
+    /// LS-PSN \[36\], an extra progressive baseline (sorted neighborhood).
     LsPsn,
-    /// GS-PSN [36], the globally-weighted sorted-neighborhood variant.
+    /// GS-PSN \[36\], the globally-weighted sorted-neighborhood variant.
     GsPsn,
 }
 

@@ -27,6 +27,12 @@ pub enum PierError {
     },
     /// A profile identifier referenced an unknown profile.
     UnknownProfile(u32),
+    /// A profile with this id was ingested twice into the same store.
+    ///
+    /// Streams interleave sources but ids are globally unique, so a repeat
+    /// is a data error on the producer side; surfacing it as an error (not
+    /// a panic) lets a pipeline report it without killing worker threads.
+    DuplicateProfile(u32),
 }
 
 impl fmt::Display for PierError {
@@ -40,6 +46,7 @@ impl fmt::Display for PierError {
                 write!(f, "CSV parse error at line {line}: {message}")
             }
             PierError::UnknownProfile(id) => write!(f, "unknown profile id {id}"),
+            PierError::DuplicateProfile(id) => write!(f, "profile {id} ingested twice"),
         }
     }
 }
@@ -94,6 +101,14 @@ mod tests {
         let e = PierError::from(io);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn duplicate_profile_display() {
+        assert_eq!(
+            PierError::DuplicateProfile(7).to_string(),
+            "profile 7 ingested twice"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! into dense [`TokenId`]s, so the blocking layer can work with integers.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 use crate::profile::EntityProfile;
 
@@ -71,6 +72,31 @@ impl Tokenizer {
         tokens
     }
 
+    /// Calls `f` once per kept token of `value`, lower-cased into the
+    /// caller-supplied `scratch` buffer.
+    ///
+    /// This is the allocation-free sibling of [`Tokenizer::tokenize_value`]:
+    /// the scratch buffer is reused across tokens, so dictionary lookups run
+    /// on a `&str` without building a `String` per token. (Non-ASCII tokens
+    /// fall back to `str::to_lowercase`, which matches `tokenize_value`'s
+    /// context-sensitive case folding exactly.)
+    pub fn for_each_token(&self, value: &str, scratch: &mut String, mut f: impl FnMut(&str)) {
+        for raw in value.split(|c: char| !c.is_alphanumeric()) {
+            if !self.keep(raw) {
+                continue;
+            }
+            scratch.clear();
+            if raw.is_ascii() {
+                for b in raw.bytes() {
+                    scratch.push(b.to_ascii_lowercase() as char);
+                }
+            } else {
+                scratch.push_str(&raw.to_lowercase());
+            }
+            f(scratch);
+        }
+    }
+
     fn keep(&self, raw: &str) -> bool {
         let n = raw.chars().count();
         if n == 0 {
@@ -92,6 +118,7 @@ impl Tokenizer {
 pub struct TokenDictionary {
     ids: HashMap<String, TokenId>,
     tokens: Vec<String>,
+    string_bytes: usize,
 }
 
 impl TokenDictionary {
@@ -108,6 +135,7 @@ impl TokenDictionary {
         let id = TokenId(self.tokens.len() as u32);
         self.ids.insert(token.to_string(), id);
         self.tokens.push(token.to_string());
+        self.string_bytes += token.len();
         id
     }
 
@@ -131,6 +159,12 @@ impl TokenDictionary {
         self.tokens.is_empty()
     }
 
+    /// Total bytes of distinct token strings interned so far — the string
+    /// storage a consumer of dense [`TokenId`]s avoids duplicating.
+    pub fn string_bytes(&self) -> usize {
+        self.string_bytes
+    }
+
     /// Tokenizes `profile` with `tokenizer` and interns every distinct
     /// token, returning the sorted distinct [`TokenId`]s.
     pub fn intern_profile(
@@ -138,11 +172,132 @@ impl TokenDictionary {
         tokenizer: &Tokenizer,
         profile: &EntityProfile,
     ) -> Vec<TokenId> {
-        let mut ids: Vec<TokenId> = tokenizer
-            .profile_tokens(profile)
-            .iter()
-            .map(|t| self.intern(t))
-            .collect();
+        let mut scratch = String::new();
+        self.tokenize_and_intern(tokenizer, profile, &mut scratch)
+    }
+
+    /// Allocation-free tokenize-and-intern: tokenizes `profile` through the
+    /// reusable `scratch` buffer (no per-token `String`), interning each
+    /// kept token and returning the sorted distinct [`TokenId`]s. A string
+    /// is allocated only on the first-ever intern of a token.
+    pub fn tokenize_and_intern(
+        &mut self,
+        tokenizer: &Tokenizer,
+        profile: &EntityProfile,
+        scratch: &mut String,
+    ) -> Vec<TokenId> {
+        let mut ids: Vec<TokenId> = Vec::new();
+        for value in profile.values() {
+            tokenizer.for_each_token(value, scratch, |tok| {
+                ids.push(self.intern(tok));
+            });
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// A [`TokenDictionary`] shared across threads.
+///
+/// Cloning is cheap (an `Arc` bump); all clones intern into the same
+/// underlying dictionary, so a token gets exactly one stable id no matter
+/// which thread first sees it. The dictionary is append-only, which keeps
+/// the concurrency story simple: reads (the overwhelmingly common case once
+/// the vocabulary saturates) take a shared lock, and only a genuinely new
+/// token escalates to the exclusive lock — with a second lookup under it,
+/// since another thread may have interned the same token in between.
+#[derive(Debug, Default, Clone)]
+pub struct SharedTokenDictionary {
+    inner: Arc<RwLock<TokenDictionary>>,
+}
+
+impl SharedTokenDictionary {
+    /// Creates an empty shared dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing dictionary (e.g. one pre-seeded with a vocabulary).
+    pub fn from_dictionary(dictionary: TokenDictionary) -> Self {
+        SharedTokenDictionary {
+            inner: Arc::new(RwLock::new(dictionary)),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, TokenDictionary> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, TokenDictionary> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the id for `token`, interning it if unseen.
+    pub fn intern(&self, token: &str) -> TokenId {
+        if let Some(id) = self.read().get(token) {
+            return id;
+        }
+        // Double-checked under the write lock: `intern` re-probes the map,
+        // so a racing intern of the same token yields the same id.
+        self.write().intern(token)
+    }
+
+    /// Looks up an already-interned token.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.read().get(token)
+    }
+
+    /// The string for an interned id, if valid (cloned out of the lock).
+    pub fn resolve(&self, id: TokenId) -> Option<String> {
+        self.read().resolve(id).map(str::to_string)
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// Total bytes of distinct token strings interned so far.
+    pub fn string_bytes(&self) -> usize {
+        self.read().string_bytes()
+    }
+
+    /// Tokenizes `profile` and interns every distinct token, returning the
+    /// sorted distinct [`TokenId`]s.
+    ///
+    /// Lock discipline: one read-locked pass resolves the (typical) hits
+    /// through the reusable `scratch` buffer without allocating; only tokens
+    /// missing from the dictionary are collected and interned under a single
+    /// write-lock acquisition afterwards.
+    pub fn tokenize_and_intern(
+        &self,
+        tokenizer: &Tokenizer,
+        profile: &EntityProfile,
+        scratch: &mut String,
+    ) -> Vec<TokenId> {
+        let mut ids: Vec<TokenId> = Vec::new();
+        let mut misses: Vec<String> = Vec::new();
+        {
+            let dict = self.read();
+            for value in profile.values() {
+                tokenizer.for_each_token(value, scratch, |tok| match dict.get(tok) {
+                    Some(id) => ids.push(id),
+                    None => misses.push(tok.to_string()),
+                });
+            }
+        }
+        if !misses.is_empty() {
+            let mut dict = self.write();
+            for tok in &misses {
+                ids.push(dict.intern(tok));
+            }
+        }
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -241,5 +396,139 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
         assert_eq!(d.resolve(TokenId(0)), None);
+    }
+
+    #[test]
+    fn for_each_token_matches_tokenize_value() {
+        let t = Tokenizer::default();
+        for value in [
+            "The Matrix: Reloaded (2003)",
+            "a I 7 of 42",
+            "Amélie—Paris",
+            "ΣΊΣΥΦΟΣ rolls",
+            "",
+        ] {
+            let eager: Vec<String> = t.tokenize_value(value).collect();
+            let mut scratch = String::new();
+            let mut streamed = Vec::new();
+            t.for_each_token(value, &mut scratch, |tok| streamed.push(tok.to_string()));
+            assert_eq!(eager, streamed, "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn string_bytes_counts_distinct_tokens_once() {
+        let mut d = TokenDictionary::new();
+        d.intern("alpha");
+        d.intern("beta");
+        d.intern("alpha");
+        assert_eq!(d.string_bytes(), "alpha".len() + "beta".len());
+    }
+
+    #[test]
+    fn tokenize_and_intern_matches_intern_profile() {
+        let t = Tokenizer::default();
+        let p = profile(&["Zebra apple", "apple BETA"]);
+        let mut d1 = TokenDictionary::new();
+        let mut d2 = TokenDictionary::new();
+        let via_strings: Vec<TokenId> = {
+            // The historical string path: materialize sorted distinct token
+            // strings, then intern each.
+            let mut ids: Vec<TokenId> = t.profile_tokens(&p).iter().map(|s| d1.intern(s)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        let mut scratch = String::new();
+        let direct = d2.tokenize_and_intern(&t, &p, &mut scratch);
+        // Id *assignment order* may differ (appearance vs. lexicographic),
+        // but the resolved token sets must be identical.
+        let resolve = |d: &TokenDictionary, ids: &[TokenId]| {
+            let mut v: Vec<String> = ids
+                .iter()
+                .map(|&i| d.resolve(i).unwrap().to_string())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(resolve(&d1, &via_strings), resolve(&d2, &direct));
+        assert!(direct.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn shared_dictionary_clones_intern_into_one_store() {
+        let shared = SharedTokenDictionary::new();
+        let clone = shared.clone();
+        let a = shared.intern("alpha");
+        let a2 = clone.intern("alpha");
+        assert_eq!(a, a2);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(clone.resolve(a).as_deref(), Some("alpha"));
+        assert_eq!(shared.get("alpha"), Some(a));
+        assert_eq!(shared.get("beta"), None);
+        assert!(!shared.is_empty());
+        assert_eq!(shared.string_bytes(), "alpha".len());
+    }
+
+    #[test]
+    fn shared_tokenize_and_intern_is_sorted_distinct() {
+        let shared = SharedTokenDictionary::new();
+        let t = Tokenizer::default();
+        shared.intern("zebra");
+        let p = profile(&["zebra apple", "apple"]);
+        let mut scratch = String::new();
+        let ids = shared.tokenize_and_intern(&t, &p, &mut scratch);
+        assert_eq!(ids.len(), 2);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(shared.len(), 2);
+    }
+
+    /// Satellite stress test: N threads interning heavily overlapping
+    /// vocabularies concurrently must converge on exactly one stable id per
+    /// distinct token, with every id resolving back to its token.
+    #[test]
+    fn concurrent_interning_yields_one_stable_id_per_token() {
+        use std::sync::Mutex;
+
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 40;
+        let shared = SharedTokenDictionary::new();
+        let observed: Mutex<HashMap<String, TokenId>> = Mutex::new(HashMap::new());
+        std::thread::scope(|scope| {
+            for th in 0..THREADS {
+                let shared = shared.clone();
+                let observed = &observed;
+                scope.spawn(move || {
+                    let t = Tokenizer::default();
+                    let mut scratch = String::new();
+                    for round in 0..ROUNDS {
+                        // Overlapping vocabulary: `common-*` tokens are raced
+                        // by every thread, `own-*` are thread-private.
+                        let p = profile(&[
+                            &format!("common-{} common-{}", round, (round + 1) % ROUNDS),
+                            &format!("own-{th}-{round} shared-vocab"),
+                        ]);
+                        let ids = shared.tokenize_and_intern(&t, &p, &mut scratch);
+                        let mut seen = observed.lock().unwrap();
+                        for id in ids {
+                            let tok = shared.resolve(id).expect("id resolves");
+                            match seen.get(&tok) {
+                                Some(&prev) => assert_eq!(prev, id, "token {tok:?} got two ids"),
+                                None => {
+                                    seen.insert(tok, id);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let seen = observed.lock().unwrap();
+        // Every distinct token interned exactly once, ids dense in [0, len).
+        assert_eq!(shared.len(), seen.len());
+        for (tok, &id) in seen.iter() {
+            assert_eq!(shared.get(tok), Some(id));
+            assert!(id.index() < shared.len());
+        }
     }
 }

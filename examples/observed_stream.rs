@@ -10,6 +10,11 @@
 //! Pass `--shards N` to run the hash-partitioned stage A instead
 //! (`run_streaming_sharded_observed` with `N` shard threads); the final
 //! snapshot then includes a per-shard work breakdown.
+//!
+//! Pass `--intern-stats` to print the shared token dictionary's footprint
+//! after the run: distinct tokens interned, token occurrences streamed,
+//! and the bytes the id-based data path saved over shipping an owned
+//! `String` per occurrence.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -28,8 +33,13 @@ fn parse_shards() -> Option<u16> {
     Some(n)
 }
 
+fn parse_intern_stats() -> bool {
+    std::env::args().any(|a| a == "--intern-stats")
+}
+
 fn main() {
     let shards = parse_shards();
+    let intern_stats = parse_intern_stats();
     // The bibliographic corpus: two clean sources with known duplicates.
     let dataset = generate_bibliographic(&BibliographicConfig {
         seed: 42,
@@ -186,5 +196,21 @@ fn main() {
     );
     if let Some(t) = trajectory.time_to_pc(0.5) {
         println!("time to PC=0.5    {t:.3}s");
+    }
+
+    if intern_stats {
+        println!("\n=== intern stats ===");
+        match report.dictionary {
+            Some(d) => {
+                println!("distinct tokens   {}", d.distinct_tokens);
+                println!("token text        {} bytes", d.string_bytes);
+                println!("occurrences       {}", d.token_occurrences);
+                println!(
+                    "est. bytes saved  {} (vs one owned String per occurrence)",
+                    d.estimated_bytes_saved()
+                );
+            }
+            None => println!("this driver did not intern tokens"),
+        }
     }
 }

@@ -84,8 +84,8 @@ pub use pier_types as types;
 pub mod prelude {
     pub use pier_baselines::{BatchEr, GsPsn, IBase, LsPsn, Pbs, Pps, PpsScope};
     pub use pier_blocking::{
-        block_ghosting, block_stats, load_checkpoint, save_checkpoint, BlockCollection, BlockId,
-        BlockStats, IncrementalBlocker, PurgePolicy,
+        block_ghosting, block_stats, ghost_blocks, load_checkpoint, save_checkpoint,
+        BlockCollection, BlockId, BlockStats, IncrementalBlocker, PurgePolicy,
     };
     pub use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
     pub use pier_core::{
@@ -107,7 +107,8 @@ pub mod prelude {
     };
     pub use pier_runtime::{
         run_streaming, run_streaming_observed, run_streaming_sharded,
-        run_streaming_sharded_observed, MatchEvent, RuntimeConfig, RuntimeReport,
+        run_streaming_sharded_observed, tokenize_increment, DictionaryStats, MatchEvent,
+        RuntimeConfig, RuntimeReport, TokenizedIncrement, TokenizedProfile,
     };
     pub use pier_shard::{
         ProfileStore, RoutedProfile, ShardMerger, ShardRouter, ShardWorker, ShardedConfig,
@@ -119,7 +120,7 @@ pub mod prelude {
     };
     pub use pier_types::{
         Comparison, Dataset, EntityProfile, ErKind, GroundTruth, Increment, IncrementalClusters,
-        MatchLedger, PierError, ProfileId, ProgressTrajectory, SourceId, TokenDictionary, TokenId,
-        Tokenizer, WeightedComparison,
+        MatchLedger, PierError, ProfileId, ProgressTrajectory, SharedTokenDictionary, SourceId,
+        TokenDictionary, TokenId, Tokenizer, WeightedComparison,
     };
 }

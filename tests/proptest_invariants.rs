@@ -207,6 +207,38 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&auc));
     }
 
+    // ---- shard routing ---------------------------------------------------
+
+    #[test]
+    fn routed_token_ids_reunite_to_the_original_set(
+        ids in prop::collection::btree_set(0u32..100_000, 0..150),
+        shards in 1u16..12,
+    ) {
+        // A sorted-distinct token-id set, as produced by tokenize+intern.
+        let tokens: Vec<TokenId> = ids.into_iter().map(TokenId).collect();
+        let router = ShardRouter::new(shards);
+        let by_shard = router.route_ids(&tokens);
+        // Subsets are per-shard, ordered, non-empty, and every id went to
+        // the shard its hash names.
+        for (shard, subset) in &by_shard {
+            prop_assert!(*shard < shards);
+            prop_assert!(!subset.is_empty());
+            prop_assert!(subset.windows(2).all(|w| w[0] < w[1]));
+            for &t in subset {
+                prop_assert_eq!(router.shard_of_id(t), *shard);
+            }
+        }
+        prop_assert!(by_shard.windows(2).all(|w| w[0].0 < w[1].0));
+        // Reuniting the subsets recovers exactly the original set: the
+        // partition neither drops, duplicates, nor invents a token.
+        let mut reunited: Vec<TokenId> = by_shard
+            .into_iter()
+            .flat_map(|(_, subset)| subset)
+            .collect();
+        reunited.sort_unstable();
+        prop_assert_eq!(reunited, tokens);
+    }
+
     // ---- weighting schemes -----------------------------------------------
 
     #[test]
