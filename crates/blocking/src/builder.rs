@@ -6,6 +6,8 @@
 //! acts as the *profile store* of the stream — downstream components (match
 //! functions, prioritizers) reference profiles by id.
 
+use std::sync::Arc;
+
 use pier_types::{
     EntityProfile, ErKind, PierError, ProfileId, SharedTokenDictionary, TokenDictionary, TokenId,
     Tokenizer,
@@ -47,8 +49,11 @@ pub struct IncrementalBlocker {
     tokenizer: Tokenizer,
     dictionary: DictHandle,
     collection: BlockCollection,
-    profiles: Vec<Option<EntityProfile>>,
-    token_sets: Vec<Vec<TokenId>>,
+    /// Profiles and token sets live behind `Arc` so stage B can materialize
+    /// a comparison batch with two refcount bumps per side instead of deep
+    /// clones (profiles are immutable once ingested).
+    profiles: Vec<Option<Arc<EntityProfile>>>,
+    token_sets: Vec<Option<Arc<[TokenId]>>>,
     arrival_order: Vec<ProfileId>,
     profile_count: usize,
     /// Per-profile global minimum block size (0 = unset), supplied by the
@@ -194,14 +199,14 @@ impl IncrementalBlocker {
         let id = profile.id;
         if self.profiles.len() <= id.index() {
             self.profiles.resize(id.index() + 1, None);
-            self.token_sets.resize(id.index() + 1, Vec::new());
+            self.token_sets.resize(id.index() + 1, None);
         }
         if self.profiles[id.index()].is_some() {
             return Err(PierError::DuplicateProfile(id.0));
         }
         self.collection.add_profile(id, profile.source, &ids);
-        self.token_sets[id.index()] = ids;
-        self.profiles[id.index()] = Some(profile);
+        self.token_sets[id.index()] = Some(Arc::from(ids));
+        self.profiles[id.index()] = Some(Arc::new(profile));
         self.arrival_order.push(id);
         self.profile_count += 1;
         Ok(id)
@@ -249,18 +254,43 @@ impl IncrementalBlocker {
     /// Panics if no profile with this id was ingested.
     pub fn profile(&self, id: ProfileId) -> &EntityProfile {
         self.profiles[id.index()]
+            .as_deref()
+            .expect("profile ingested")
+    }
+
+    /// A shared handle to a stored profile — cloning it is one refcount
+    /// bump, which is how stage B materializes comparison batches without
+    /// deep-copying profile payloads.
+    ///
+    /// # Panics
+    /// Panics if no profile with this id was ingested.
+    pub fn profile_handle(&self, id: ProfileId) -> Arc<EntityProfile> {
+        self.profiles[id.index()]
             .as_ref()
             .expect("profile ingested")
+            .clone()
     }
 
     /// The sorted distinct token ids of a stored profile.
     pub fn tokens_of(&self, id: ProfileId) -> &[TokenId] {
-        &self.token_sets[id.index()]
+        self.token_sets[id.index()].as_deref().unwrap_or(&[])
+    }
+
+    /// A shared handle to a stored profile's token set (see
+    /// [`IncrementalBlocker::profile_handle`]).
+    ///
+    /// # Panics
+    /// Panics if no profile with this id was ingested.
+    pub fn tokens_handle(&self, id: ProfileId) -> Arc<[TokenId]> {
+        self.token_sets[id.index()]
+            .as_ref()
+            .expect("profile ingested")
+            .clone()
     }
 
     /// All stored profiles, in id order.
     pub fn profiles(&self) -> impl Iterator<Item = &EntityProfile> {
-        self.profiles.iter().filter_map(Option::as_ref)
+        self.profiles.iter().filter_map(Option::as_deref)
     }
 
     /// All stored profiles, in arrival order (the order that determines
@@ -445,6 +475,22 @@ mod tests {
         let owned = IncrementalBlocker::new(ErKind::Dirty);
         assert!(owned.shared_dictionary().is_none());
         let _ = owned.dictionary(); // owned accessor still works
+    }
+
+    #[test]
+    fn handles_share_storage_with_the_blocker() {
+        let mut b = IncrementalBlocker::new(ErKind::Dirty);
+        let id = b.process_profile(p(0, 0, "alpha beta"));
+        let profile = b.profile_handle(id);
+        let tokens = b.tokens_handle(id);
+        // Handles alias the stored data: no copy was made.
+        assert!(std::ptr::eq(&*profile, b.profile(id)));
+        assert!(std::ptr::eq(tokens.as_ptr(), b.tokens_of(id).as_ptr()));
+        assert_eq!(&*tokens, b.tokens_of(id));
+        // Cloning a handle is a refcount bump, not a deep clone.
+        let again = b.profile_handle(id);
+        assert_eq!(Arc::strong_count(&profile), 3); // store + 2 handles
+        drop(again);
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Bit-parallel Levenshtein distance (Myers' algorithm).
+//!
+//! The ED matcher dominates wall-clock on the paper's expensive
+//! configuration (§7), so its kernel matters: the classic two-row DP costs
+//! `O(n·m)` cell updates plus two `Vec<char>` and two row allocations per
+//! call. This module replaces it with Myers' bit-parallel algorithm
+//! [Myers, JACM 1999]: the DP column is packed into `⌈m/64⌉` machine words
+//! and one text character advances the whole column with ~15 word
+//! operations — a 64-fold cut in elementary steps for patterns up to 64
+//! characters.
+//!
+//! Three entry points:
+//!
+//! * [`levenshtein`] — exact distance, dispatching to the ASCII byte path
+//!   (no `Vec<char>` materialization) or the Unicode path.
+//! * [`levenshtein_bounded`] — threshold-aware variant returning `None` as
+//!   soon as the distance provably exceeds `max_dist`: the length-gap
+//!   pre-check rejects for free, and during the scan the reachable-score
+//!   lower bound `score(j) − (n − j)` abandons hopeless pairs mid-string.
+//!   This is what lets the ED matcher skip most of the work on pairs that
+//!   cannot clear its similarity threshold.
+//! * [`levenshtein_naive`] — the original two-row DP, kept verbatim as the
+//!   test oracle for the bit-parallel kernels (see the crate's proptest
+//!   suite).
+//!
+//! All scratch state (the 256-entry `Peq` table, block vectors, the
+//! Unicode alphabet map) lives in a thread-local `Scratch` and is reused
+//! across calls, so the steady-state kernel performs no allocation for
+//! ASCII inputs of any length and none for Unicode inputs whose alphabet
+//! fits the previously grown buffers.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+const WORD: usize = 64;
+
+/// Reusable per-thread kernel state.
+struct Scratch {
+    /// `Peq[c]` bitmasks for single-block ASCII patterns (m ≤ 64). Entries
+    /// are zeroed after each call via `touched`, never by a full memset.
+    peq_ascii: [u64; 256],
+    /// Distinct pattern bytes written into `peq_ascii`/`peq_blocks`.
+    touched: Vec<u8>,
+    /// `Peq[c × blocks + b]` for multi-block ASCII patterns (m > 64).
+    peq_blocks: Vec<u64>,
+    /// Blocks currently allocated in `peq_blocks` (row stride).
+    peq_stride: usize,
+    /// Per-block vertical positive/negative delta words.
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+    /// Unicode path: pattern alphabet → dense index.
+    uni_map: HashMap<char, u32>,
+    /// Unicode path: `Peq[index × blocks + b]`.
+    uni_peq: Vec<u64>,
+    /// Unicode path: decoded pattern (chars of the shorter string).
+    uni_pattern: Vec<char>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            peq_ascii: [0u64; 256],
+            touched: Vec::new(),
+            peq_blocks: Vec::new(),
+            peq_stride: 0,
+            pv: Vec::new(),
+            mv: Vec::new(),
+            uni_map: HashMap::new(),
+            uni_peq: Vec::new(),
+            uni_pattern: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Levenshtein edit distance between two strings.
+///
+/// Bit-parallel (Myers): `O(⌈min(m,n)/64⌉ · max(m,n))` word operations,
+/// allocation-free in steady state for ASCII inputs. Equivalent to
+/// [`levenshtein_naive`] on every input (property-tested).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    match bounded_impl(a, b, usize::MAX) {
+        Some(d) => d,
+        // Unreachable: max_dist = usize::MAX never rejects.
+        None => unreachable!("unbounded distance cannot exceed usize::MAX"),
+    }
+}
+
+/// Levenshtein distance if it is at most `max_dist`, `None` otherwise.
+///
+/// Early-exits as soon as the bound is provably exceeded: first on the
+/// length gap `|m − n| > max_dist` (no scan at all), then during the scan
+/// whenever even a run of `n − j` matches could not bring the final score
+/// back under the bound. A threshold-`t` similarity test over strings of
+/// max length `L` maps to `max_dist = ⌊(1 − t)·L⌋`, which is how the ED
+/// matcher abandons pairs that cannot clear its threshold.
+pub fn levenshtein_bounded(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    bounded_impl(a, b, max_dist)
+}
+
+/// Levenshtein edit distance, two-row `O(n·m)` dynamic program.
+///
+/// This is the seed implementation, kept as the oracle the bit-parallel
+/// kernels are tested against. Production paths use [`levenshtein`].
+pub fn levenshtein_naive(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Iterate over the longer string, keep rows sized by the shorter one.
+    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if inner.is_empty() {
+        return outer.len();
+    }
+    let mut prev: Vec<usize> = (0..=inner.len()).collect();
+    let mut cur: Vec<usize> = vec![0; inner.len() + 1];
+    for (i, &oc) in outer.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &ic) in inner.iter().enumerate() {
+            let sub = prev[j] + usize::from(oc != ic);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[inner.len()]
+}
+
+fn bounded_impl(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    if a.is_ascii() && b.is_ascii() {
+        // Pattern = shorter string: fewest blocks, text scan over the rest.
+        let (pattern, text) = if a.len() <= b.len() {
+            (a.as_bytes(), b.as_bytes())
+        } else {
+            (b.as_bytes(), a.as_bytes())
+        };
+        let (m, n) = (pattern.len(), text.len());
+        if n - m > max_dist {
+            return None;
+        }
+        if m == 0 {
+            return Some(n);
+        }
+        if m <= WORD {
+            SCRATCH.with(|s| ascii_single_block(&mut s.borrow_mut(), pattern, text, max_dist))
+        } else {
+            SCRATCH.with(|s| ascii_multi_block(&mut s.borrow_mut(), pattern, text, max_dist))
+        }
+    } else {
+        SCRATCH.with(|s| unicode_blocks(&mut s.borrow_mut(), a, b, max_dist))
+    }
+}
+
+/// Single-word Myers for ASCII patterns with `1 ≤ m ≤ 64`.
+fn ascii_single_block(
+    scratch: &mut Scratch,
+    pattern: &[u8],
+    text: &[u8],
+    max_dist: usize,
+) -> Option<usize> {
+    let m = pattern.len();
+    debug_assert!((1..=WORD).contains(&m) && m <= text.len());
+    for (i, &c) in pattern.iter().enumerate() {
+        if scratch.peq_ascii[c as usize] == 0 {
+            scratch.touched.push(c);
+        }
+        scratch.peq_ascii[c as usize] |= 1u64 << i;
+    }
+    let high = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    let n = text.len();
+    let mut result = None;
+    for (j, &c) in text.iter().enumerate() {
+        let eq = scratch.peq_ascii[c as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & high != 0 {
+            score += 1;
+        } else if mh & high != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        pv = (mh << 1) | !(xv | ph);
+        mv = ph & xv;
+        // Even if every remaining text char matched, the final score
+        // cannot drop below `score − (n − 1 − j)`.
+        if score.saturating_sub(n - 1 - j) > max_dist {
+            result = Some(None);
+            break;
+        }
+    }
+    // Cheap targeted clear instead of a 2 KiB memset per call.
+    for c in scratch.touched.drain(..) {
+        scratch.peq_ascii[c as usize] = 0;
+    }
+    match result {
+        Some(rejected) => rejected,
+        None => (score <= max_dist).then_some(score),
+    }
+}
+
+/// One column step of the blocked Myers scan: advances block state
+/// `(pv, mv)` under horizontal input delta `hin ∈ {−1, 0, +1}` and returns
+/// the horizontal output delta at the block's `high` bit.
+#[inline(always)]
+fn advance_block(pv: &mut u64, mv: &mut u64, eq: u64, hin: i32, high: u64) -> i32 {
+    let xv = eq | *mv;
+    let eq = eq | u64::from(hin < 0);
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let ph = *mv | !(xh | *pv);
+    let mh = *pv & xh;
+    let mut hout = 0i32;
+    if ph & high != 0 {
+        hout += 1;
+    } else if mh & high != 0 {
+        hout -= 1;
+    }
+    let ph = (ph << 1) | u64::from(hin > 0);
+    let mh = (mh << 1) | u64::from(hin < 0);
+    *pv = mh | !(xv | ph);
+    *mv = ph & xv;
+    hout
+}
+
+/// Blocked Myers for ASCII patterns with `m > 64`.
+fn ascii_multi_block(
+    scratch: &mut Scratch,
+    pattern: &[u8],
+    text: &[u8],
+    max_dist: usize,
+) -> Option<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    let blocks = m.div_ceil(WORD);
+    if scratch.peq_stride < blocks {
+        // Stride change invalidates the layout; start from a clean table.
+        scratch.peq_blocks.clear();
+        scratch.peq_blocks.resize(256 * blocks, 0);
+        scratch.peq_stride = blocks;
+    }
+    let stride = scratch.peq_stride;
+    for (i, &c) in pattern.iter().enumerate() {
+        let row = c as usize * stride;
+        if scratch.peq_blocks[row..row + blocks]
+            .iter()
+            .all(|&w| w == 0)
+        {
+            scratch.touched.push(c);
+        }
+        scratch.peq_blocks[row + i / WORD] |= 1u64 << (i % WORD);
+    }
+    scratch.pv.clear();
+    scratch.pv.resize(blocks, !0u64);
+    scratch.mv.clear();
+    scratch.mv.resize(blocks, 0u64);
+    let last_high = 1u64 << ((m - 1) % WORD);
+    let mut score = m;
+    let mut result = None;
+    for (j, &c) in text.iter().enumerate() {
+        let row = c as usize * stride;
+        let mut hin = 1i32; // the top row of the DP matrix grows by 1/col
+        for b in 0..blocks {
+            let high = if b + 1 == blocks {
+                last_high
+            } else {
+                1u64 << (WORD - 1)
+            };
+            hin = advance_block(
+                &mut scratch.pv[b],
+                &mut scratch.mv[b],
+                scratch.peq_blocks[row + b],
+                hin,
+                high,
+            );
+        }
+        score = (score as i64 + hin as i64) as usize;
+        if score.saturating_sub(n - 1 - j) > max_dist {
+            result = Some(None);
+            break;
+        }
+    }
+    for c in scratch.touched.drain(..) {
+        let row = c as usize * stride;
+        scratch.peq_blocks[row..row + blocks].fill(0);
+    }
+    match result {
+        Some(rejected) => rejected,
+        None => (score <= max_dist).then_some(score),
+    }
+}
+
+/// Blocked Myers over chars for non-ASCII input: the pattern alphabet is
+/// mapped to dense indices, text chars outside it contribute `Eq = 0`.
+fn unicode_blocks(scratch: &mut Scratch, a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    let (pat_str, text_str) = if a.chars().count() <= b.chars().count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    scratch.uni_pattern.clear();
+    scratch.uni_pattern.extend(pat_str.chars());
+    let m = scratch.uni_pattern.len();
+    let n = text_str.chars().count();
+    if n - m > max_dist {
+        return None;
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    let blocks = m.div_ceil(WORD);
+    scratch.uni_map.clear();
+    let mut alphabet = 0u32;
+    for &c in &scratch.uni_pattern {
+        scratch.uni_map.entry(c).or_insert_with(|| {
+            alphabet += 1;
+            alphabet - 1
+        });
+    }
+    scratch.uni_peq.clear();
+    scratch.uni_peq.resize(alphabet as usize * blocks, 0);
+    for (i, &c) in scratch.uni_pattern.iter().enumerate() {
+        let row = scratch.uni_map[&c] as usize * blocks;
+        scratch.uni_peq[row + i / WORD] |= 1u64 << (i % WORD);
+    }
+    scratch.pv.clear();
+    scratch.pv.resize(blocks, !0u64);
+    scratch.mv.clear();
+    scratch.mv.resize(blocks, 0u64);
+    let last_high = 1u64 << ((m - 1) % WORD);
+    let mut score = m;
+    for (j, c) in text_str.chars().enumerate() {
+        let row = scratch.uni_map.get(&c).map(|&i| i as usize * blocks);
+        let mut hin = 1i32;
+        for bl in 0..blocks {
+            let eq = match row {
+                Some(row) => scratch.uni_peq[row + bl],
+                None => 0,
+            };
+            let high = if bl + 1 == blocks {
+                last_high
+            } else {
+                1u64 << (WORD - 1)
+            };
+            hin = advance_block(&mut scratch.pv[bl], &mut scratch.mv[bl], eq, hin, high);
+        }
+        score = (score as i64 + hin as i64) as usize;
+        if score.saturating_sub(n - 1 - j) > max_dist {
+            return None;
+        }
+    }
+    (score <= max_dist).then_some(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_match_the_oracle() {
+        for (a, b, d) in [
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("same", "same", 0),
+            ("abcdef", "azced", 3),
+        ] {
+            assert_eq!(levenshtein(a, b), d, "{a:?} vs {b:?}");
+            assert_eq!(levenshtein_naive(a, b), d, "oracle {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_binary_strings() {
+        // Every pair of strings over {a, b} up to length 7: the bit-parallel
+        // kernel must agree with the DP oracle everywhere.
+        fn strings(len: usize) -> Vec<String> {
+            if len == 0 {
+                return vec![String::new()];
+            }
+            strings(len - 1)
+                .into_iter()
+                .flat_map(|s| ["a", "b"].into_iter().map(move |c| format!("{s}{c}")))
+                .collect()
+        }
+        let all: Vec<String> = (0..=7).flat_map(strings).collect();
+        for a in &all {
+            for b in &all {
+                assert_eq!(levenshtein(a, b), levenshtein_naive(a, b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_patterns_agree_with_oracle() {
+        // Cross the 64- and 128-char block boundaries.
+        let base: String = ('a'..='z').cycle().take(200).collect();
+        for len_a in [63, 64, 65, 127, 128, 129, 200] {
+            for len_b in [60, 64, 70, 130, 200] {
+                let a = &base[..len_a];
+                let mut b: String = base[..len_b].to_string();
+                b = b.replace('c', "x").replace('k', "");
+                assert_eq!(
+                    levenshtein(a, &b),
+                    levenshtein_naive(a, &b),
+                    "lens {len_a}/{len_b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_agrees_with_oracle() {
+        let cases = [
+            ("héllo", "hello"),
+            ("héllo wörld", "hello world"),
+            ("ωμέγα", "omega"),
+            ("", "héllo"),
+            ("日本語のテキスト", "日本語テキスト"),
+            ("αβγ".repeat(30).as_str(), "αβδ".repeat(30).as_str()),
+        ]
+        .map(|(a, b)| (a.to_string(), b.to_string()));
+        for (a, b) in cases {
+            assert_eq!(
+                levenshtein(&a, &b),
+                levenshtein_naive(&a, &b),
+                "{a:?}/{b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_distance() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("the shawshank redemption", "the shawshank redemtion"),
+            ("abcdefgh", "zyxwvuts"),
+            ("héllo wörld", "hello world"),
+            ("", "abc"),
+        ];
+        for (a, b) in pairs {
+            let d = levenshtein_naive(a, b);
+            for k in 0..(d + 3) {
+                let got = levenshtein_bounded(a, b, k);
+                if k >= d {
+                    assert_eq!(got, Some(d), "{a:?}/{b:?} k={k}");
+                } else {
+                    assert_eq!(got, None, "{a:?}/{b:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_on_length_gap_alone() {
+        let long = "x".repeat(500);
+        assert_eq!(levenshtein_bounded("abc", &long, 10), None);
+        assert_eq!(levenshtein_bounded(&long, "abc", 10), None);
+        // Unicode path too.
+        assert_eq!(levenshtein_bounded("é", &long, 10), None);
+    }
+
+    #[test]
+    fn bounded_zero_distance() {
+        assert_eq!(levenshtein_bounded("same", "same", 0), Some(0));
+        assert_eq!(levenshtein_bounded("same", "samx", 0), None);
+        assert_eq!(levenshtein_bounded("", "", 0), Some(0));
+    }
+
+    #[test]
+    fn scratch_reuse_across_alphabets_is_clean() {
+        // Back-to-back calls with different patterns on the same thread:
+        // a stale Peq entry would corrupt the second result.
+        assert_eq!(levenshtein("abcabc", "abc"), 3);
+        assert_eq!(levenshtein("xyzxyz", "xyz"), 3);
+        assert_eq!(levenshtein("abcabc", "xyzxyz"), 6);
+        let long_a = "ab".repeat(80);
+        let long_b = "ba".repeat(80);
+        assert_eq!(
+            levenshtein(&long_a, &long_b),
+            levenshtein_naive(&long_a, &long_b)
+        );
+        // Single-block after multi-block: strides must not leak.
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+}

@@ -10,6 +10,8 @@
 //! burns the real CPU time.
 //!
 //! * [`similarity`] — the underlying similarity measures.
+//! * [`levenshtein`] — the bit-parallel (Myers) edit-distance kernel, its
+//!   threshold-aware bounded variant, and the naive DP oracle.
 //! * [`matcher`] — the [`MatchFunction`] trait and the JS/ED matchers.
 //! * [`oracle`] — a ground-truth oracle matcher for isolating
 //!   prioritization quality in tests.
@@ -23,11 +25,13 @@
 
 pub mod classifier;
 pub mod extra;
+pub mod levenshtein;
 pub mod matcher;
 pub mod oracle;
 pub mod similarity;
 
 pub use classifier::{ClassifiedMatch, IncrementalClassifier};
 pub use extra::{CosineMatcher, HybridMatcher};
+pub use levenshtein::{levenshtein_bounded, levenshtein_naive};
 pub use matcher::{EditDistanceMatcher, JaccardMatcher, MatchFunction, MatchInput, MatchOutcome};
 pub use oracle::OracleMatcher;

@@ -2,7 +2,8 @@
 
 use pier_types::{EntityProfile, TokenId};
 
-use crate::similarity::{edit_similarity, jaccard_tokens};
+use crate::levenshtein::levenshtein_bounded;
+use crate::similarity::jaccard_tokens;
 
 /// Everything a match function may look at for one comparison.
 #[derive(Debug, Clone, Copy)]
@@ -123,11 +124,28 @@ impl Default for EditDistanceMatcher {
 
 impl EditDistanceMatcher {
     fn clipped(&self, p: &EntityProfile) -> String {
-        let text = p.flattened_text();
-        match text.char_indices().nth(self.max_chars) {
-            Some((byte, _)) => text[..byte].to_string(),
-            None => text,
+        let mut text = p.flattened_text();
+        if let Some((byte, _)) = text.char_indices().nth(self.max_chars) {
+            text.truncate(byte);
         }
+        text
+    }
+
+    /// Largest edit distance `k` for which `1 − k/max_len` still passes the
+    /// threshold test. Derived with float-consistent adjustment loops so
+    /// `distance ≤ k ⟺ similarity ≥ threshold` holds exactly under the same
+    /// f64 arithmetic the similarity test uses — no boundary pair can flip
+    /// classification relative to the unbounded path.
+    fn max_matching_distance(&self, max_len: usize) -> usize {
+        let len = max_len as f64;
+        let mut k = ((((1.0 - self.threshold) * len).floor()).max(0.0) as usize).min(max_len);
+        while k < max_len && 1.0 - (k + 1) as f64 / len >= self.threshold {
+            k += 1;
+        }
+        while k > 0 && 1.0 - k as f64 / len < self.threshold {
+            k -= 1;
+        }
+        k
     }
 }
 
@@ -135,11 +153,37 @@ impl MatchFunction for EditDistanceMatcher {
     fn evaluate(&self, input: MatchInput<'_>) -> MatchOutcome {
         let a = self.clipped(input.profile_a);
         let b = self.clipped(input.profile_b);
-        let similarity = edit_similarity(&a, &b);
-        MatchOutcome {
-            is_match: similarity >= self.threshold,
-            similarity,
-            ops: self.estimate_ops(input),
+        let max_len = a.chars().count().max(b.chars().count());
+        let ops = self.estimate_ops(input);
+        if max_len == 0 {
+            // Two empty profiles carry no evidence of a match.
+            return MatchOutcome {
+                is_match: false,
+                similarity: 0.0,
+                ops,
+            };
+        }
+        let k = self.max_matching_distance(max_len);
+        match levenshtein_bounded(&a, &b, k) {
+            Some(d) => {
+                let similarity = 1.0 - d as f64 / max_len as f64;
+                MatchOutcome {
+                    is_match: similarity >= self.threshold,
+                    similarity,
+                    ops,
+                }
+            }
+            None => {
+                // The kernel abandoned the pair once distance > k was
+                // certain: not a match. The exact similarity was never
+                // computed; report the tightest known upper bound.
+                let similarity = (1.0 - (k + 1) as f64 / max_len as f64).max(0.0);
+                MatchOutcome {
+                    is_match: false,
+                    similarity,
+                    ops,
+                }
+            }
         }
     }
 
@@ -277,6 +321,82 @@ mod tests {
         };
         let pa = profile(0, "héllo wörld");
         assert_eq!(m.clipped(&pa), "hél");
+    }
+
+    #[test]
+    fn max_matching_distance_agrees_with_float_threshold_test() {
+        // The bounded kernel's integer cutoff must classify exactly like the
+        // float similarity test it replaces, for every distance and length.
+        for threshold in [0.0, 0.25, 0.5, 0.55, 0.7, 0.9, 1.0] {
+            let m = EditDistanceMatcher {
+                threshold,
+                max_chars: 256,
+            };
+            for max_len in 1usize..=64 {
+                let k = m.max_matching_distance(max_len);
+                for d in 0..=max_len {
+                    let sim_passes = 1.0 - d as f64 / max_len as f64 >= threshold;
+                    assert_eq!(
+                        d <= k,
+                        sim_passes,
+                        "t={threshold} len={max_len} d={d} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edit_matcher_boundary_pair_still_matches() {
+        // similarity exactly at the threshold must classify as a match,
+        // as it did with the unbounded evaluation.
+        let m = EditDistanceMatcher {
+            threshold: 0.5,
+            max_chars: 256,
+        };
+        let pa = profile(0, "abcd");
+        let pb = profile(1, "abxy"); // distance 2 over max_len 4 → sim 0.5
+        let ta = toks(&[]);
+        let out = m.evaluate(MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &ta,
+        });
+        assert!(out.is_match);
+        assert!((out.similarity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_matcher_rejected_pair_reports_similarity_below_threshold() {
+        let m = EditDistanceMatcher::default();
+        let pa = profile(0, "completely different text about gardening");
+        let pb = profile(1, "quantum chromodynamics lattice simulations");
+        let ta = toks(&[]);
+        let out = m.evaluate(MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pb,
+            tokens_b: &ta,
+        });
+        assert!(!out.is_match);
+        assert!(out.similarity < m.threshold);
+        assert!(out.similarity >= 0.0);
+    }
+
+    #[test]
+    fn edit_matcher_empty_profiles_do_not_match() {
+        let m = EditDistanceMatcher::default();
+        let pa = profile(0, "");
+        let ta = toks(&[]);
+        let out = m.evaluate(MatchInput {
+            profile_a: &pa,
+            tokens_a: &ta,
+            profile_b: &pa,
+            tokens_b: &ta,
+        });
+        assert!(!out.is_match);
+        assert_eq!(out.similarity, 0.0);
     }
 
     #[test]

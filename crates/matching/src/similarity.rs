@@ -1,4 +1,8 @@
 //! Similarity measures.
+//!
+//! Edit distance lives in [`crate::levenshtein`] (bit-parallel kernel +
+//! bounded variant + naive oracle) and is re-exported here so
+//! `similarity::levenshtein` keeps working.
 
 use pier_types::TokenId;
 
@@ -58,32 +62,7 @@ pub fn cosine_tokens(a: &[TokenId], b: &[TokenId]) -> f64 {
     inter as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
 }
 
-/// Levenshtein edit distance between two strings, `O(|a|·|b|)` time and
-/// `O(min(|a|, |b|))` space (two-row DP over chars).
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a_chars: Vec<char> = a.chars().collect();
-    let b_chars: Vec<char> = b.chars().collect();
-    // Iterate over the longer string, keep rows sized by the shorter one.
-    let (outer, inner) = if a_chars.len() >= b_chars.len() {
-        (&a_chars, &b_chars)
-    } else {
-        (&b_chars, &a_chars)
-    };
-    if inner.is_empty() {
-        return outer.len();
-    }
-    let mut prev: Vec<usize> = (0..=inner.len()).collect();
-    let mut cur: Vec<usize> = vec![0; inner.len() + 1];
-    for (i, &oc) in outer.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &ic) in inner.iter().enumerate() {
-            let sub = prev[j] + usize::from(oc != ic);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[inner.len()]
-}
+pub use crate::levenshtein::{levenshtein, levenshtein_bounded, levenshtein_naive};
 
 /// Normalized edit similarity: `1 − lev(a, b) / max(|a|, |b|)`, in `[0, 1]`.
 /// Two empty strings are defined as similarity 0 (an empty profile carries

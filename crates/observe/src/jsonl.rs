@@ -101,13 +101,13 @@ impl JsonlObserver {
 }
 
 impl JsonlObserver {
-    fn write_event(&self, shard: Option<u16>, event: &Event) {
+    fn write_event(&self, shard: Option<u16>, worker: Option<u16>, event: &Event) {
         let t = self.start.elapsed().as_secs_f64();
         let mut inner = self.inner.lock();
         inner.seq += 1;
         let seq = inner.seq;
         let line = std::mem::take(&mut inner.line);
-        let mut line = write_line(line, seq, t, shard, event);
+        let mut line = write_line(line, seq, t, shard, worker, event);
         line.push('\n');
         // An export that stops writing mid-run is worse than a propagated
         // error, but observers cannot fail — drop the line on I/O error
@@ -120,11 +120,15 @@ impl JsonlObserver {
 
 impl PipelineObserver for JsonlObserver {
     fn on_event(&self, event: &Event) {
-        self.write_event(None, event);
+        self.write_event(None, None, event);
     }
 
     fn on_shard_event(&self, shard: u16, event: &Event) {
-        self.write_event(Some(shard), event);
+        self.write_event(Some(shard), None, event);
+    }
+
+    fn on_worker_event(&self, worker: u16, event: &Event) {
+        self.write_event(None, Some(worker), event);
     }
 }
 
@@ -135,10 +139,20 @@ impl Drop for JsonlObserver {
 }
 
 /// Serializes one event into `buf` (no trailing newline).
-fn write_line(mut buf: String, seq: u64, t: f64, shard: Option<u16>, event: &Event) -> String {
+fn write_line(
+    mut buf: String,
+    seq: u64,
+    t: f64,
+    shard: Option<u16>,
+    worker: Option<u16>,
+    event: &Event,
+) -> String {
     let _ = write!(buf, "{{\"seq\":{seq},\"t\":{}", json_f64(t));
     if let Some(shard) = shard {
         let _ = write!(buf, ",\"shard\":{shard}");
+    }
+    if let Some(worker) = worker {
+        let _ = write!(buf, ",\"worker\":{worker}");
     }
     match *event {
         Event::IncrementIngested {
@@ -239,6 +253,9 @@ pub struct TimedEvent {
     /// The stage-A shard the event was attributed to, if the emitting
     /// handle was shard-tagged (see `Observer::for_shard`).
     pub shard: Option<u16>,
+    /// The stage-B match worker the event was attributed to, if the
+    /// emitting handle was worker-tagged (see `Observer::for_worker`).
+    pub worker: Option<u16>,
     /// The event payload.
     pub event: Event,
 }
@@ -365,6 +382,7 @@ fn parse_line(line: &str) -> Option<TimedEvent> {
         seq: num("seq")? as u64,
         t: num("t")?,
         shard: num("shard").map(|s| s as u16),
+        worker: num("worker").map(|w| w as u16),
         event,
     })
 }
@@ -550,6 +568,7 @@ mod tests {
             seq: 0,
             t: 0.0,
             shard: None,
+            worker: None,
             event,
         };
         let events = vec![
@@ -586,6 +605,40 @@ mod tests {
         assert_eq!(read[1].shard, Some(3));
         assert_eq!(read[1].event, Event::BlockBuilt { block: 2 });
         assert_eq!(read[2].shard, Some(5));
+        assert!(read.iter().all(|e| e.worker.is_none()));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_tag_round_trips() {
+        let path = temp_path("worker.jsonl");
+        {
+            let obs = JsonlObserver::create(&path).unwrap();
+            obs.on_worker_event(
+                2,
+                &Event::PhaseTiming {
+                    phase: Phase::Classify,
+                    secs: 0.004,
+                },
+            );
+            let handle = Observer::from_sink(obs).for_worker(7);
+            handle.emit(|| Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 0.001,
+            });
+        } // drop flushes
+        let read = read_events(&path).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read[0].worker, Some(2));
+        assert_eq!(read[0].shard, None);
+        assert_eq!(
+            read[0].event,
+            Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 0.004
+            }
+        );
+        assert_eq!(read[1].worker, Some(7));
         let _ = fs::remove_file(&path);
     }
 

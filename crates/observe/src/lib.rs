@@ -32,7 +32,7 @@ mod jsonl;
 mod stats;
 
 pub use jsonl::{read_events, replay_match_count, replay_trajectory, JsonlObserver, TimedEvent};
-pub use stats::{PhaseSnapshot, ShardSnapshot, StatsObserver, StatsSnapshot};
+pub use stats::{PhaseSnapshot, ShardSnapshot, StatsObserver, StatsSnapshot, WorkerSnapshot};
 
 /// The four timed stages of the PIER pipeline, in dataflow order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -169,6 +169,17 @@ pub trait PipelineObserver: Send + Sync {
         let _ = shard;
         self.on_event(event);
     }
+
+    /// Receives one event attributed to a stage-B match worker (see
+    /// [`Observer::for_worker`]). The default forwards to [`on_event`]
+    /// unchanged; worker-aware observers override this to account
+    /// per-worker classify work.
+    ///
+    /// [`on_event`]: PipelineObserver::on_event
+    fn on_worker_event(&self, worker: u16, event: &Event) {
+        let _ = worker;
+        self.on_event(event);
+    }
 }
 
 /// An observer that receives and discards every event.
@@ -189,14 +200,20 @@ impl PipelineObserver for NoopObserver {
 /// `Observer::disabled()` (also the `Default`) holds no sink: emitting
 /// through it is one `Option` branch and the event closure is never run.
 ///
-/// A handle can carry a shard tag ([`Observer::for_shard`]): events then
-/// arrive through [`PipelineObserver::on_shard_event`] so shard-aware
-/// sinks can attribute stage-A work per shard. Untagged handles (the
-/// entire single-shard pipeline) are unaffected.
+/// A handle can carry a shard tag ([`Observer::for_shard`]) or a match
+/// worker tag ([`Observer::for_worker`]): events then arrive through
+/// [`PipelineObserver::on_shard_event`] / [`on_worker_event`] so aware
+/// sinks can attribute stage-A work per shard and stage-B classify work
+/// per worker. Untagged handles (the entire single-shard, single-worker
+/// pipeline) are unaffected. A worker tag takes precedence over a shard
+/// tag if a handle somehow carries both.
+///
+/// [`on_worker_event`]: PipelineObserver::on_worker_event
 #[derive(Clone, Default)]
 pub struct Observer {
     sink: Option<Arc<dyn PipelineObserver>>,
     shard: Option<u16>,
+    worker: Option<u16>,
 }
 
 impl Observer {
@@ -205,6 +222,7 @@ impl Observer {
         Observer {
             sink: None,
             shard: None,
+            worker: None,
         }
     }
 
@@ -213,6 +231,7 @@ impl Observer {
         Observer {
             sink: Some(sink),
             shard: None,
+            worker: None,
         }
     }
 
@@ -221,6 +240,7 @@ impl Observer {
         Observer {
             sink: Some(Arc::new(sink)),
             shard: None,
+            worker: None,
         }
     }
 
@@ -232,12 +252,31 @@ impl Observer {
         Observer {
             sink: self.sink.clone(),
             shard: Some(shard),
+            worker: self.worker,
+        }
+    }
+
+    /// A clone of this handle whose events are attributed to match
+    /// worker `worker`.
+    ///
+    /// A disabled handle stays disabled — tagging never enables
+    /// observation, so the zero-cost contract is preserved.
+    pub fn for_worker(&self, worker: u16) -> Observer {
+        Observer {
+            sink: self.sink.clone(),
+            shard: self.shard,
+            worker: Some(worker),
         }
     }
 
     /// The shard this handle attributes events to, if any.
     pub fn shard(&self) -> Option<u16> {
         self.shard
+    }
+
+    /// The match worker this handle attributes events to, if any.
+    pub fn worker(&self) -> Option<u16> {
+        self.worker
     }
 
     /// Whether a sink is attached. Hooks use this to skip work (e.g.
@@ -251,9 +290,10 @@ impl Observer {
     #[inline(always)]
     pub fn emit(&self, make: impl FnOnce() -> Event) {
         if let Some(sink) = &self.sink {
-            match self.shard {
-                None => sink.on_event(&make()),
-                Some(shard) => sink.on_shard_event(shard, &make()),
+            match (self.worker, self.shard) {
+                (Some(worker), _) => sink.on_worker_event(worker, &make()),
+                (None, Some(shard)) => sink.on_shard_event(shard, &make()),
+                (None, None) => sink.on_event(&make()),
             }
         }
     }
@@ -392,5 +432,49 @@ mod tests {
             Event::BlockBuilt { block: 0 }
         });
         assert!(!built);
+        let obs = Observer::disabled().for_worker(1);
+        assert!(!obs.is_enabled());
+    }
+
+    #[test]
+    fn worker_tag_routes_through_on_worker_event() {
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Recording(Mutex<Vec<(Option<u16>, Option<u16>)>>);
+
+        impl PipelineObserver for Recording {
+            fn on_event(&self, _event: &Event) {
+                self.0.lock().push((None, None));
+            }
+            fn on_shard_event(&self, shard: u16, _event: &Event) {
+                self.0.lock().push((Some(shard), None));
+            }
+            fn on_worker_event(&self, worker: u16, _event: &Event) {
+                self.0.lock().push((None, Some(worker)));
+            }
+        }
+
+        let sink = Arc::new(Recording::default());
+        let obs = Observer::new(sink.clone());
+        obs.emit(|| Event::BlockBuilt { block: 0 });
+        obs.for_worker(3).emit(|| Event::BlockBuilt { block: 1 });
+        // A worker tag wins over a shard tag.
+        obs.for_shard(1)
+            .for_worker(0)
+            .emit(|| Event::BlockBuilt { block: 2 });
+        assert_eq!(obs.for_worker(5).worker(), Some(5));
+        assert_eq!(
+            *sink.0.lock(),
+            vec![(None, None), (None, Some(3)), (None, Some(0))]
+        );
+    }
+
+    #[test]
+    fn default_on_worker_event_delegates_to_on_event() {
+        let sink = Arc::new(Counting(AtomicU64::new(0)));
+        let obs = Observer::new(sink.clone()).for_worker(2);
+        obs.emit(|| Event::BlockBuilt { block: 1 });
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
     }
 }

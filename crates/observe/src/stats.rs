@@ -91,6 +91,15 @@ struct ShardCounters {
     cf_filtered: u64,
 }
 
+/// Plain per-match-worker counters, same mutex strategy as
+/// [`ShardCounters`]: workers report one timing per chunk, not per pair.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+struct WorkerCounters {
+    classify_chunks: u64,
+    classify_secs: f64,
+    matches_confirmed: u64,
+}
+
 /// An observer accumulating run statistics that can be snapshotted at any
 /// moment from any thread, mid-run included.
 ///
@@ -117,6 +126,7 @@ pub struct StatsObserver {
     phases: [PhaseStats; 4],
     pc: Option<Mutex<PcTimeline>>,
     shards: Mutex<Vec<ShardCounters>>,
+    workers: Mutex<Vec<WorkerCounters>>,
 }
 
 impl Default for StatsObserver {
@@ -144,6 +154,7 @@ impl StatsObserver {
             phases: std::array::from_fn(|_| PhaseStats::new()),
             pc: None,
             shards: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
         }
     }
 
@@ -204,6 +215,18 @@ impl StatsObserver {
                     blocks_purged: c.blocks_purged,
                     comparisons_emitted: c.comparisons_emitted,
                     cf_filtered: c.cf_filtered,
+                })
+                .collect(),
+            workers: self
+                .workers
+                .lock()
+                .iter()
+                .enumerate()
+                .map(|(worker, c)| WorkerSnapshot {
+                    worker: worker as u16,
+                    classify_chunks: c.classify_chunks,
+                    classify_secs: c.classify_secs,
+                    matches_confirmed: c.matches_confirmed,
                 })
                 .collect(),
         }
@@ -283,6 +306,41 @@ impl PipelineObserver for StatsObserver {
             _ => {}
         }
     }
+
+    fn on_worker_event(&self, worker: u16, event: &Event) {
+        // Worker-tagged `Classify` timings are per-chunk slices of work the
+        // coordinator already times (untagged) per batch — they go into the
+        // per-worker breakdown ONLY, never the global phase histogram,
+        // which would otherwise double-count classification time. Every
+        // other worker-tagged event counts globally as usual.
+        let is_classify_timing = matches!(
+            event,
+            Event::PhaseTiming {
+                phase: Phase::Classify,
+                ..
+            }
+        );
+        if !is_classify_timing {
+            self.on_event(event);
+        }
+        let mut workers = self.workers.lock();
+        let idx = worker as usize;
+        if workers.len() <= idx {
+            workers.resize(idx + 1, WorkerCounters::default());
+        }
+        let c = &mut workers[idx];
+        match *event {
+            Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs,
+            } => {
+                c.classify_chunks += 1;
+                c.classify_secs += secs;
+            }
+            Event::MatchConfirmed { .. } => c.matches_confirmed += 1,
+            _ => {}
+        }
+    }
 }
 
 /// Latency summary of one phase at snapshot time.
@@ -339,6 +397,10 @@ pub struct StatsSnapshot {
     /// Per-shard work breakdown, indexed by shard id. Empty unless events
     /// arrived through shard-tagged handles (see `Observer::for_shard`).
     pub shards: Vec<ShardSnapshot>,
+    /// Per-match-worker classify breakdown, indexed by worker id. Empty
+    /// unless events arrived through worker-tagged handles (see
+    /// `Observer::for_worker`).
+    pub workers: Vec<WorkerSnapshot>,
 }
 
 /// Work attributed to one stage-A shard at snapshot time.
@@ -370,6 +432,35 @@ impl ShardSnapshot {
             blocks_purged: 0,
             comparisons_emitted: 0,
             cf_filtered: 0,
+        }
+    }
+}
+
+/// Classify work attributed to one stage-B match worker at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSnapshot {
+    /// The worker id the counters belong to.
+    pub worker: u16,
+    /// Batch chunks this worker classified.
+    pub classify_chunks: u64,
+    /// Seconds this worker spent classifying (sum of its chunk timings —
+    /// workers run concurrently, so these overlap and exceed wall time).
+    pub classify_secs: f64,
+    /// Matches this worker confirmed (0 unless the driver attributes
+    /// confirmations per worker; the coordinator normally emits them
+    /// untagged to preserve sequential event order).
+    pub matches_confirmed: u64,
+}
+
+impl WorkerSnapshot {
+    /// An all-zero snapshot for `worker` — what a worker that received no
+    /// events looks like in [`StatsSnapshot::workers`].
+    pub fn default_for(worker: u16) -> Self {
+        WorkerSnapshot {
+            worker,
+            classify_chunks: 0,
+            classify_secs: 0.0,
+            matches_confirmed: 0,
         }
     }
 }
@@ -560,6 +651,66 @@ mod tests {
         let s = StatsObserver::new();
         s.on_event(&Event::BlockBuilt { block: 0 });
         assert!(s.snapshot().shards.is_empty());
+        assert!(s.snapshot().workers.is_empty());
+    }
+
+    #[test]
+    fn worker_classify_timings_stay_out_of_the_global_histogram() {
+        let s = StatsObserver::new();
+        // Coordinator times the whole batch, untagged.
+        s.on_event(&Event::PhaseTiming {
+            phase: Phase::Classify,
+            secs: 0.010,
+        });
+        // Workers time their chunks of the same batch, tagged.
+        s.on_worker_event(
+            0,
+            &Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 0.006,
+            },
+        );
+        s.on_worker_event(
+            2,
+            &Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 0.004,
+            },
+        );
+        let snap = s.snapshot();
+        // Global histogram has exactly the coordinator's one entry — the
+        // worker slices would double-count classification time.
+        assert_eq!(snap.phases[Phase::Classify.index()].count, 1);
+        // Per-worker breakdown grows to the highest worker id seen.
+        assert_eq!(snap.workers.len(), 3);
+        assert_eq!(snap.workers[0].classify_chunks, 1);
+        assert!((snap.workers[0].classify_secs - 0.006).abs() < 1e-12);
+        assert_eq!(snap.workers[1], WorkerSnapshot::default_for(1));
+        assert_eq!(snap.workers[2].classify_chunks, 1);
+    }
+
+    #[test]
+    fn worker_tagged_non_classify_events_count_globally() {
+        let s = StatsObserver::new();
+        s.on_worker_event(
+            1,
+            &Event::MatchConfirmed {
+                cmp: cmp(0, 1),
+                similarity: 0.9,
+                at_secs: 0.1,
+            },
+        );
+        s.on_worker_event(
+            1,
+            &Event::PhaseTiming {
+                phase: Phase::Block,
+                secs: 0.001,
+            },
+        );
+        let snap = s.snapshot();
+        assert_eq!(snap.matches_confirmed, 1);
+        assert_eq!(snap.phases[Phase::Block.index()].count, 1);
+        assert_eq!(snap.workers[1].matches_confirmed, 1);
     }
 
     #[test]

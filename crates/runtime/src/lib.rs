@@ -9,7 +9,9 @@
 //! * a **blocking** thread (stage A) maintains the incremental blocker and
 //!   feeds the prioritizer;
 //! * a **matching** thread (stage B) pulls batches of the adaptively-sized
-//!   `K` best comparisons and classifies them;
+//!   `K` best comparisons and classifies them, fanning the matcher
+//!   evaluations out over a pool of [`RuntimeConfig::match_workers`]
+//!   workers while keeping every emitted event in sequential order;
 //! * match events flow to the caller as they are found, with real
 //!   timestamps.
 //!
@@ -19,12 +21,14 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod report;
 pub mod sharded;
 pub mod stages;
 pub mod streaming;
 
+pub use pool::chunk_ranges;
 pub use report::{DictionaryStats, MatchEvent, RuntimeReport};
 pub use sharded::{run_streaming_sharded, run_streaming_sharded_observed};
 pub use stages::{tokenize_increment, TokenizedIncrement, TokenizedProfile};
-pub use streaming::{run_streaming, run_streaming_observed, RuntimeConfig};
+pub use streaming::{default_match_workers, run_streaming, run_streaming_observed, RuntimeConfig};

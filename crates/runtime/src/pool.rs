@@ -1,0 +1,326 @@
+//! The parallel stage-B match executor.
+//!
+//! A `MatchPool` (crate-private; configured through
+//! [`RuntimeConfig::match_workers`](crate::RuntimeConfig::match_workers))
+//! owns `N` long-lived worker threads that fan out over
+//! each materialized batch: the coordinator (the stage-B thread) splits
+//! the batch into `N` contiguous chunks ([`chunk_ranges`]), ships chunk
+//! `i` to worker `i` over its private job channel, and collects replies
+//! from one shared reply channel. Replies carry their chunk index, so the
+//! coordinator re-sequences outcomes into the original batch order before
+//! emitting anything — `MatchEvent`s, `MatchConfirmed` observer events and
+//! budget accounting therefore happen in exactly the order the sequential
+//! executor would have produced.
+//!
+//! Workers never emit match events themselves. They only time their own
+//! chunk (a worker-tagged [`Phase::Classify`] timing, routed to per-worker
+//! accounting by [`pier_observe::StatsObserver`]) and return raw
+//! [`MatchOutcome`]s. All externally visible effects stay on the
+//! coordinator, which is what makes a `match_workers = N` run emit the
+//! identical match set and comparison count as `match_workers = 1`.
+//!
+//! The channels are the vendored `crossbeam` shim (std `mpsc` underneath),
+//! whose receivers are single-consumer — hence one job channel *per
+//! worker* plus one shared reply channel, rather than a single shared job
+//! queue.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
+use pier_observe::{Event, Observer, Phase};
+
+use crate::stages::MaterializedPair;
+
+/// One evaluated pair: the matcher's verdict plus the worker that ran it
+/// (so the coordinator can attribute the confirmation to that worker).
+pub(crate) struct Evaluated {
+    /// The matcher's verdict for the pair.
+    pub outcome: MatchOutcome,
+    /// Index of the worker that evaluated the pair.
+    pub worker: u16,
+}
+
+/// A chunk of one batch, shipped to a single worker. The batch is shared
+/// by `Arc` — fanning out clones refcounts, never profiles.
+struct Job {
+    batch: Arc<Vec<MaterializedPair>>,
+    start: usize,
+    end: usize,
+    chunk: usize,
+}
+
+/// A worker's outcomes for one chunk, keyed for re-sequencing.
+struct Reply {
+    chunk: usize,
+    worker: usize,
+    outcomes: Vec<MatchOutcome>,
+    panicked: bool,
+}
+
+/// Splits `len` items into `chunks` contiguous near-equal ranges: the
+/// first `len % chunks` ranges get one extra item. Ranges are returned in
+/// order and cover `0..len` exactly; when `len < chunks` the tail ranges
+/// are empty.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.max(1);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push((start, start + size));
+        start += size;
+    }
+    ranges
+}
+
+/// A pool of stage-B match workers (see the module docs).
+///
+/// Dropping the pool closes the job channels and joins every worker.
+pub(crate) struct MatchPool {
+    job_txs: Vec<channel::Sender<Job>>,
+    reply_rx: channel::Receiver<Reply>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    executed: Vec<u64>,
+}
+
+impl MatchPool {
+    /// Spawns `workers` match workers sharing `matcher`. Each worker
+    /// observes through a worker-tagged clone of `observer`.
+    pub fn new(workers: usize, matcher: Arc<dyn MatchFunction>, observer: &Observer) -> MatchPool {
+        let workers = workers.max(1);
+        let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (job_tx, job_rx) = channel::unbounded::<Job>();
+            job_txs.push(job_tx);
+            let matcher = Arc::clone(&matcher);
+            let observer = observer.for_worker(worker as u16);
+            let reply_tx = reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("pier-match-{worker}"))
+                .spawn(move || worker_loop(worker, &job_rx, &reply_tx, &*matcher, &observer))
+                .expect("spawning a match worker thread succeeds");
+            handles.push(handle);
+        }
+        MatchPool {
+            job_txs,
+            reply_rx,
+            handles,
+            executed: vec![0; workers],
+        }
+    }
+
+    /// Number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Comparisons evaluated by each worker so far, indexed by worker.
+    pub fn executed_per_worker(&self) -> &[u64] {
+        &self.executed
+    }
+
+    /// Evaluates one batch across the pool and returns the outcomes in the
+    /// batch's original order, each tagged with the worker that ran it.
+    ///
+    /// Blocks until every chunk is back. The whole batch is always
+    /// evaluated — budget enforcement happens afterwards, on the
+    /// coordinator, exactly as in the sequential path.
+    pub fn evaluate(&mut self, batch: &Arc<Vec<MaterializedPair>>) -> Vec<Evaluated> {
+        let ranges = chunk_ranges(batch.len(), self.workers());
+        let mut sent = 0usize;
+        for (chunk, &(start, end)) in ranges.iter().enumerate() {
+            if start == end {
+                continue;
+            }
+            let job = Job {
+                batch: Arc::clone(batch),
+                start,
+                end,
+                chunk,
+            };
+            assert!(
+                self.job_txs[chunk].send(job).is_ok(),
+                "match workers outlive the pool"
+            );
+            sent += 1;
+        }
+        let mut slots: Vec<Option<Reply>> = (0..ranges.len()).map(|_| None).collect();
+        for _ in 0..sent {
+            let reply = self
+                .reply_rx
+                .recv()
+                .expect("match workers outlive the pool");
+            assert!(
+                !reply.panicked,
+                "match worker {} panicked while evaluating a chunk",
+                reply.worker
+            );
+            self.executed[reply.worker] += reply.outcomes.len() as u64;
+            let chunk = reply.chunk;
+            slots[chunk] = Some(reply);
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        for reply in slots.into_iter().flatten() {
+            let worker = reply.worker as u16;
+            out.extend(
+                reply
+                    .outcomes
+                    .into_iter()
+                    .map(|outcome| Evaluated { outcome, worker }),
+            );
+        }
+        out
+    }
+}
+
+impl Drop for MatchPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's receive loop.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker's receive loop: evaluate the chunk, report a worker-tagged
+/// classify timing, reply. A panicking matcher still produces a (poisoned)
+/// reply so the coordinator fails loudly instead of deadlocking.
+fn worker_loop(
+    worker: usize,
+    job_rx: &channel::Receiver<Job>,
+    reply_tx: &channel::Sender<Reply>,
+    matcher: &dyn MatchFunction,
+    observer: &Observer,
+) {
+    for job in job_rx.iter() {
+        let t0 = observer.is_enabled().then(Instant::now);
+        let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.batch[job.start..job.end]
+                .iter()
+                .map(|pair| {
+                    matcher.evaluate(MatchInput {
+                        profile_a: &pair.profile_a,
+                        tokens_a: &pair.tokens_a,
+                        profile_b: &pair.profile_b,
+                        tokens_b: &pair.tokens_b,
+                    })
+                })
+                .collect::<Vec<MatchOutcome>>()
+        }));
+        if let Some(t0) = t0 {
+            observer.emit(|| Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: t0.elapsed().as_secs_f64(),
+            });
+        }
+        match outcomes {
+            Ok(outcomes) => {
+                let reply = Reply {
+                    chunk: job.chunk,
+                    worker,
+                    outcomes,
+                    panicked: false,
+                };
+                if reply_tx.send(reply).is_err() {
+                    break;
+                }
+            }
+            Err(payload) => {
+                let _ = reply_tx.send(Reply {
+                    chunk: job.chunk,
+                    worker,
+                    outcomes: Vec::new(),
+                    panicked: true,
+                });
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{EntityProfile, ProfileId, SourceId, TokenId};
+
+    fn pair(a: u32, b: u32, same: bool) -> MaterializedPair {
+        let text_a = "alpha beta gamma";
+        let text_b = if same {
+            "alpha beta gamma"
+        } else {
+            "zzz yyy xxx www"
+        };
+        let tokens =
+            |x: u32| -> Arc<[TokenId]> { Arc::from(vec![TokenId(x), TokenId(x + 1)].as_slice()) };
+        MaterializedPair {
+            profile_a: Arc::new(EntityProfile::new(ProfileId(a), SourceId(0)).with("t", text_a)),
+            tokens_a: tokens(a),
+            profile_b: Arc::new(EntityProfile::new(ProfileId(b), SourceId(0)).with("t", text_b)),
+            tokens_b: tokens(b),
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_the_batch_contiguously() {
+        for len in 0..40usize {
+            for chunks in 1..8usize {
+                let ranges = chunk_ranges(len, chunks);
+                assert_eq!(ranges.len(), chunks);
+                let mut next = 0;
+                for &(start, end) in &ranges {
+                    assert_eq!(start, next);
+                    assert!(end >= start);
+                    next = end;
+                }
+                assert_eq!(next, len);
+                // Near-equal: sizes differ by at most one, larger first.
+                let sizes: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+                assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+                assert!(sizes[0] - sizes[chunks - 1] <= 1);
+            }
+        }
+        assert_eq!(chunk_ranges(10, 0), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn pool_preserves_batch_order_and_counts_per_worker() {
+        use pier_matching::EditDistanceMatcher;
+
+        let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
+        let mut pool = MatchPool::new(3, Arc::clone(&matcher), &Observer::disabled());
+        // Pair i matches iff i is even; order must survive the fan-out.
+        let batch: Vec<MaterializedPair> = (0..20u32)
+            .map(|i| pair(2 * i, 2 * i + 1, i % 2 == 0))
+            .collect();
+        let batch = Arc::new(batch);
+        let evaluated = pool.evaluate(&batch);
+        assert_eq!(evaluated.len(), 20);
+        for (i, ev) in evaluated.iter().enumerate() {
+            assert_eq!(ev.outcome.is_match, i % 2 == 0, "pair {i}");
+            assert!((ev.worker as usize) < 3);
+        }
+        // Chunk i went to worker i: 7 + 7 + 6 with the larger chunks first.
+        assert_eq!(pool.executed_per_worker(), &[7, 7, 6]);
+        // A second batch accumulates.
+        pool.evaluate(&Arc::new(vec![pair(100, 101, true)]));
+        assert_eq!(pool.executed_per_worker(), &[8, 7, 6]);
+    }
+
+    #[test]
+    fn empty_batch_needs_no_replies() {
+        use pier_matching::EditDistanceMatcher;
+
+        let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
+        let mut pool = MatchPool::new(2, matcher, &Observer::disabled());
+        assert!(pool.evaluate(&Arc::new(Vec::new())).is_empty());
+        assert_eq!(pool.executed_per_worker(), &[0, 0]);
+    }
+}

@@ -62,6 +62,15 @@ pub struct RuntimeReport {
     /// offending profile is skipped, the run continues, and the error is
     /// reported here instead of panicking a pipeline thread.
     pub ingest_errors: Vec<String>,
+    /// Stage-B match workers the run was configured with (1 = the
+    /// classification loop ran on the stage-B thread itself).
+    pub match_workers: usize,
+    /// Comparisons evaluated by each match worker, indexed by worker. A
+    /// sequential run has the single entry `[comparisons]`; a pooled run
+    /// may sum to slightly more than [`RuntimeReport::comparisons`]
+    /// because workers always evaluate their whole chunk while the budget
+    /// cutoff happens at the coordinator.
+    pub worker_comparisons: Vec<u64>,
 }
 
 impl RuntimeReport {
@@ -161,6 +170,8 @@ mod tests {
             profiles: 4,
             dictionary: None,
             ingest_errors: Vec::new(),
+            match_workers: 1,
+            worker_comparisons: vec![10],
         };
         assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
         assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
@@ -174,6 +185,8 @@ mod tests {
             profiles: 0,
             dictionary: None,
             ingest_errors: Vec::new(),
+            match_workers: 1,
+            worker_comparisons: vec![comparisons],
         }
     }
 

@@ -32,7 +32,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
@@ -45,10 +45,11 @@ use pier_types::{
     EntityProfile, ErKind, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
 };
 
+use crate::pool::MatchPool;
 use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
 use crate::stages::{
-    spawn_source, tokenize_increment, Classifier, MaterializedPair, TokenizedIncrement,
-    TokenizedProfile,
+    spawn_source, tokenize_increment, Classifier, IdleBackoff, MaterializedPair,
+    TokenizedIncrement, TokenizedProfile,
 };
 use crate::streaming::RuntimeConfig;
 
@@ -127,6 +128,8 @@ pub fn run_streaming_sharded_observed(
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
     let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
+    let match_workers = config.match_workers.max(1);
+    let worker_comparisons = Arc::new(Mutex::new(Vec::<u64>::new()));
     let adaptive = {
         let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
         k.set_observer(observer.clone());
@@ -316,9 +319,13 @@ pub fn run_streaming_sharded_observed(
             let max_comparisons = config.max_comparisons;
             let deadline = config.deadline;
             let observer = observer.clone();
+            let worker_comparisons = Arc::clone(&worker_comparisons);
             let mut merger = ShardMerger::new(shards);
             merger.set_observer(observer.clone());
             scope.spawn(move || {
+                let mut pool = (match_workers > 1)
+                    .then(|| MatchPool::new(match_workers, Arc::clone(&matcher), &observer));
+                let mut backoff = IdleBackoff::new();
                 let mut classifier = Classifier {
                     start,
                     deadline,
@@ -364,29 +371,37 @@ pub fn run_streaming_sharded_observed(
                                 tick_made_work |= made_work;
                             }
                         }
-                        if !tick_made_work && done_before_tick {
-                            break;
-                        }
-                        if !tick_made_work {
-                            std::thread::sleep(Duration::from_micros(200));
+                        if tick_made_work {
+                            backoff.reset();
+                        } else {
+                            if done_before_tick {
+                                break;
+                            }
+                            backoff.sleep();
                         }
                         continue;
                     }
-                    // Materialize profiles so classification is lock-free.
+                    backoff.reset();
+                    // Materialize profiles so classification is lock-free;
+                    // each pair is four refcount bumps, not a deep clone.
                     let batch: Vec<MaterializedPair> = {
                         let store = store.read();
                         cmps.into_iter()
                             .map(|c| MaterializedPair {
-                                profile_a: store.profile(c.a).clone(),
-                                tokens_a: store.tokens_of(c.a).to_vec(),
-                                profile_b: store.profile(c.b).clone(),
-                                tokens_b: store.tokens_of(c.b).to_vec(),
+                                profile_a: store.profile_handle(c.a),
+                                tokens_a: store.tokens_handle(c.a),
+                                profile_b: store.profile_handle(c.b),
+                                tokens_b: store.tokens_handle(c.b),
                             })
                             .collect()
                     };
-                    classifier.classify_batch(&batch, &adaptive);
+                    classifier.classify_batch(batch, &adaptive, pool.as_mut());
                 }
                 executed_total.store(classifier.executed, Ordering::SeqCst);
+                *worker_comparisons.lock() = match &pool {
+                    Some(pool) => pool.executed_per_worker().to_vec(),
+                    None => vec![classifier.executed],
+                };
                 shutdown.store(true, Ordering::SeqCst);
                 // Dropping this thread's `cmd_txs` clone (and the
                 // classifier's match sender) lets the shard workers and the
@@ -406,6 +421,7 @@ pub fn run_streaming_sharded_observed(
 
     let token_occurrences = store.read().token_occurrences();
     let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
+    let worker_comparisons = std::mem::take(&mut *worker_comparisons.lock());
     RuntimeReport {
         matches,
         comparisons,
@@ -417,6 +433,8 @@ pub fn run_streaming_sharded_observed(
             token_occurrences,
         }),
         ingest_errors,
+        match_workers,
+        worker_comparisons,
     }
 }
 
@@ -425,6 +443,7 @@ mod tests {
     use super::*;
     use pier_matching::JaccardMatcher;
     use pier_types::{ProfileId, SourceId};
+    use std::time::Duration;
 
     fn increments() -> Vec<Vec<EntityProfile>> {
         vec![

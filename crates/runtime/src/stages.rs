@@ -17,10 +17,11 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 
 use pier_core::AdaptiveK;
-use pier_matching::{MatchFunction, MatchInput};
+use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
 use pier_observe::{Event, Observer, Phase};
 use pier_types::{EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
 
+use crate::pool::MatchPool;
 use crate::report::MatchEvent;
 
 /// A profile together with its interned sorted-distinct token ids.
@@ -99,12 +100,16 @@ pub(crate) fn spawn_source(
 }
 
 /// A comparison materialized for lock-free classification: both profiles
-/// and their token-id sets, cloned out of whichever store holds them.
+/// and their token-id sets, shared with whichever store holds them.
+///
+/// The fields are `Arc` handles, so materializing a pair is four refcount
+/// bumps — no attribute map or token vector is deep-cloned per comparison,
+/// and fanning a batch out to match workers shares the same allocations.
 pub(crate) struct MaterializedPair {
-    pub profile_a: EntityProfile,
-    pub tokens_a: Vec<TokenId>,
-    pub profile_b: EntityProfile,
-    pub tokens_b: Vec<TokenId>,
+    pub profile_a: Arc<EntityProfile>,
+    pub tokens_a: Arc<[TokenId]>,
+    pub profile_b: Arc<EntityProfile>,
+    pub tokens_b: Arc<[TokenId]>,
 }
 
 /// The classification tail of stage B, shared by both drivers: evaluate
@@ -128,32 +133,50 @@ impl Classifier<'_> {
 
     /// Classifies one batch (stopping early if the budget runs out mid-way)
     /// and records the batch time with the adaptive-`K` controller.
-    pub fn classify_batch(&mut self, batch: &[MaterializedPair], adaptive: &Mutex<AdaptiveK>) {
+    ///
+    /// With a pool the matcher evaluations fan out across its workers, but
+    /// every externally visible effect — comparison accounting,
+    /// `MatchConfirmed` events, [`MatchEvent`] delivery, the budget cutoff —
+    /// happens here on the coordinator, over the re-sequenced outcomes, in
+    /// exactly the order the sequential path produces. The one intentional
+    /// difference: the pool always evaluates the whole batch, so a budget
+    /// cutoff discards already-computed tail outcomes instead of skipping
+    /// their evaluation (the counted comparisons are identical).
+    ///
+    /// The batch timing fed to the adaptive-`K` controller is wall-clock
+    /// in both modes; with `N` workers it reflects the slowest chunk, so
+    /// the controller sizes `K` against the pool's aggregate throughput.
+    pub fn classify_batch(
+        &mut self,
+        batch: Vec<MaterializedPair>,
+        adaptive: &Mutex<AdaptiveK>,
+        pool: Option<&mut MatchPool>,
+    ) {
         let t0 = self.start.elapsed().as_secs_f64();
-        for pair in batch {
-            let outcome = self.matcher.evaluate(MatchInput {
-                profile_a: &pair.profile_a,
-                tokens_a: &pair.tokens_a,
-                profile_b: &pair.profile_b,
-                tokens_b: &pair.tokens_b,
-            });
-            self.executed += 1;
-            if outcome.is_match {
-                let at = self.start.elapsed();
-                let cmp = pier_types::Comparison::new(pair.profile_a.id, pair.profile_b.id);
-                self.observer.emit(|| Event::MatchConfirmed {
-                    cmp,
-                    similarity: outcome.similarity,
-                    at_secs: at.as_secs_f64(),
-                });
-                let _ = self.match_tx.send(MatchEvent {
-                    at,
-                    pair: cmp,
-                    similarity: outcome.similarity,
-                });
+        match pool {
+            Some(pool) => {
+                let batch = Arc::new(batch);
+                let evaluated = pool.evaluate(&batch);
+                for (pair, ev) in batch.iter().zip(evaluated) {
+                    self.record(pair, &ev.outcome, Some(ev.worker));
+                    if self.over_budget() {
+                        break;
+                    }
+                }
             }
-            if self.over_budget() {
-                break;
+            None => {
+                for pair in &batch {
+                    let outcome = self.matcher.evaluate(MatchInput {
+                        profile_a: &pair.profile_a,
+                        tokens_a: &pair.tokens_a,
+                        profile_b: &pair.profile_b,
+                        tokens_b: &pair.tokens_b,
+                    });
+                    self.record(pair, &outcome, None);
+                    if self.over_budget() {
+                        break;
+                    }
+                }
             }
         }
         let batch_secs = self.start.elapsed().as_secs_f64() - t0;
@@ -162,6 +185,73 @@ impl Classifier<'_> {
             secs: batch_secs,
         });
         adaptive.lock().record_batch(batch_secs);
+    }
+
+    /// Accounts one evaluated pair and emits its match events if confirmed.
+    /// `worker` attributes the confirmation to the match worker that
+    /// evaluated the pair (parallel mode only; the sequential path stays
+    /// untagged, preserving its exact event stream).
+    fn record(&mut self, pair: &MaterializedPair, outcome: &MatchOutcome, worker: Option<u16>) {
+        self.executed += 1;
+        if outcome.is_match {
+            let at = self.start.elapsed();
+            let cmp = pier_types::Comparison::new(pair.profile_a.id, pair.profile_b.id);
+            let event = || Event::MatchConfirmed {
+                cmp,
+                similarity: outcome.similarity,
+                at_secs: at.as_secs_f64(),
+            };
+            match worker {
+                Some(worker) => self.observer.for_worker(worker).emit(event),
+                None => self.observer.emit(event),
+            }
+            let _ = self.match_tx.send(MatchEvent {
+                at,
+                pair: cmp,
+                similarity: outcome.similarity,
+            });
+        }
+    }
+}
+
+/// Exponential backoff for the stage-B idle loop: instead of spinning at a
+/// fixed 200µs poll while the input is quiet, consecutive idle ticks sleep
+/// 200µs, 400µs, … up to a 5ms cap, and any tick that finds work resets
+/// the ladder. The tick itself (the empty increment driving the
+/// `GetComparisons` fallback of §3.2) still runs on every iteration — only
+/// the sleep between unproductive ticks stretches.
+pub(crate) struct IdleBackoff {
+    delay: Duration,
+}
+
+impl IdleBackoff {
+    /// First (and post-reset) sleep between unproductive idle ticks.
+    pub const INITIAL: Duration = Duration::from_micros(200);
+    /// Ceiling the doubling stops at.
+    pub const MAX: Duration = Duration::from_millis(5);
+
+    /// A fresh ladder starting at [`IdleBackoff::INITIAL`].
+    pub fn new() -> IdleBackoff {
+        IdleBackoff {
+            delay: Self::INITIAL,
+        }
+    }
+
+    /// Drops back to [`IdleBackoff::INITIAL`]; call when a tick made work.
+    pub fn reset(&mut self) {
+        self.delay = Self::INITIAL;
+    }
+
+    /// The next sleep duration, doubling up to [`IdleBackoff::MAX`].
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.delay;
+        self.delay = (self.delay * 2).min(Self::MAX);
+        delay
+    }
+
+    /// Sleeps for [`IdleBackoff::next_delay`].
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
     }
 }
 
@@ -191,5 +281,20 @@ mod tests {
         for tp in &tokenized.profiles {
             assert!(tp.tokens.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn idle_backoff_doubles_to_the_cap_and_resets() {
+        let mut backoff = IdleBackoff::new();
+        assert_eq!(backoff.next_delay(), Duration::from_micros(200));
+        assert_eq!(backoff.next_delay(), Duration::from_micros(400));
+        assert_eq!(backoff.next_delay(), Duration::from_micros(800));
+        assert_eq!(backoff.next_delay(), Duration::from_micros(1_600));
+        assert_eq!(backoff.next_delay(), Duration::from_micros(3_200));
+        // 6.4ms clamps to the 5ms cap and stays there.
+        assert_eq!(backoff.next_delay(), Duration::from_millis(5));
+        assert_eq!(backoff.next_delay(), Duration::from_millis(5));
+        backoff.reset();
+        assert_eq!(backoff.next_delay(), IdleBackoff::INITIAL);
     }
 }

@@ -13,8 +13,9 @@ use pier_matching::MatchFunction;
 use pier_observe::{Event, Observer, Phase};
 use pier_types::{EntityProfile, ErKind, SharedTokenDictionary, Tokenizer};
 
+use crate::pool::MatchPool;
 use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
-use crate::stages::{spawn_source, tokenize_increment, Classifier, MaterializedPair};
+use crate::stages::{spawn_source, tokenize_increment, Classifier, IdleBackoff, MaterializedPair};
 
 /// Configuration of a real-time run.
 #[derive(Debug, Clone)]
@@ -29,6 +30,13 @@ pub struct RuntimeConfig {
     pub max_comparisons: u64,
     /// Hard wall-clock deadline; the pipeline winds down when it passes.
     pub deadline: Duration,
+    /// Stage-B match workers evaluating comparisons in parallel. Defaults
+    /// to the machine's available parallelism; `1` (or `0`) keeps the
+    /// classification loop on the stage-B thread itself, reproducing the
+    /// single-threaded executor exactly. Any value emits the identical
+    /// match set, event order, and comparison count — only wall-clock
+    /// throughput changes.
+    pub match_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -39,8 +47,15 @@ impl Default for RuntimeConfig {
             k: (64, 4, 65_536),
             max_comparisons: 10_000_000,
             deadline: Duration::from_secs(60),
+            match_workers: default_match_workers(),
         }
     }
+}
+
+/// The default for [`RuntimeConfig::match_workers`]: the machine's
+/// available parallelism, or `1` when it cannot be determined.
+pub fn default_match_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// Runs `emitter` + `matcher` over `increments` replayed in real time.
@@ -108,6 +123,8 @@ pub fn run_streaming_observed(
     let executed_total = Arc::new(AtomicU64::new(0));
     let token_occurrences = Arc::new(AtomicU64::new(0));
     let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
+    let match_workers = config.match_workers.max(1);
+    let worker_comparisons = Arc::new(Mutex::new(Vec::<u64>::new()));
     let adaptive = {
         let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
         k.set_observer(observer.clone());
@@ -204,7 +221,11 @@ pub fn run_streaming_observed(
             let max_comparisons = config.max_comparisons;
             let deadline = config.deadline;
             let observer = observer.clone();
+            let worker_comparisons = Arc::clone(&worker_comparisons);
             scope.spawn(move || {
+                let mut pool = (match_workers > 1)
+                    .then(|| MatchPool::new(match_workers, Arc::clone(&matcher), &observer));
+                let mut backoff = IdleBackoff::new();
                 let mut classifier = Classifier {
                     start,
                     deadline,
@@ -220,7 +241,8 @@ pub fn run_streaming_observed(
                     }
                     let k = adaptive.lock().k();
                     // Pull under locks, then materialize the pairs so
-                    // classification runs lock-free.
+                    // classification runs lock-free. Materializing is four
+                    // refcount bumps per pair, not a deep clone.
                     let batch: Vec<MaterializedPair> = {
                         let blocker = blocker.read();
                         let mut emitter = emitter_slot.lock();
@@ -235,34 +257,43 @@ pub fn run_streaming_observed(
                         let _ = emitter.drain_ops();
                         cmps.into_iter()
                             .map(|c| MaterializedPair {
-                                profile_a: blocker.profile(c.a).clone(),
-                                tokens_a: blocker.tokens_of(c.a).to_vec(),
-                                profile_b: blocker.profile(c.b).clone(),
-                                tokens_b: blocker.tokens_of(c.b).to_vec(),
+                                profile_a: blocker.profile_handle(c.a),
+                                tokens_a: blocker.tokens_handle(c.a),
+                                profile_b: blocker.profile_handle(c.b),
+                                tokens_b: blocker.tokens_handle(c.b),
                             })
                             .collect()
                     };
                     if batch.is_empty() {
                         // Idle tick (the empty increment of §3.2): lets the
                         // GetComparisons fallback generate work from older
-                        // data while the input is quiet.
+                        // data while the input is quiet. The tick runs on
+                        // every pass; only the sleep between unproductive
+                        // ticks backs off.
                         let tick_made_work = {
                             let blocker = blocker.read();
                             let mut emitter = emitter_slot.lock();
                             emitter.on_increment(&blocker, &[]);
                             emitter.drain_ops() > 0 || emitter.has_pending()
                         };
-                        if !tick_made_work && ingest_done.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if !tick_made_work {
-                            std::thread::sleep(Duration::from_micros(200));
+                        if tick_made_work {
+                            backoff.reset();
+                        } else {
+                            if ingest_done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            backoff.sleep();
                         }
                         continue;
                     }
-                    classifier.classify_batch(&batch, &adaptive);
+                    backoff.reset();
+                    classifier.classify_batch(batch, &adaptive, pool.as_mut());
                 }
                 executed_total.store(classifier.executed, Ordering::SeqCst);
+                *worker_comparisons.lock() = match &pool {
+                    Some(pool) => pool.executed_per_worker().to_vec(),
+                    None => vec![classifier.executed],
+                };
                 // Stop the source (if still replaying); dropping the
                 // classifier's match sender lets the collector finish.
                 shutdown.store(true, Ordering::SeqCst);
@@ -280,6 +311,7 @@ pub fn run_streaming_observed(
     source.join().expect("source thread never panics");
 
     let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
+    let worker_comparisons = std::mem::take(&mut *worker_comparisons.lock());
     RuntimeReport {
         matches,
         comparisons,
@@ -291,6 +323,8 @@ pub fn run_streaming_observed(
             token_occurrences: token_occurrences.load(Ordering::SeqCst),
         }),
         ingest_errors,
+        match_workers,
+        worker_comparisons,
     }
 }
 

@@ -3,6 +3,8 @@
 //! (tests, benches, the threaded runtime's building blocks) can swap one
 //! for the other.
 
+use std::sync::Arc;
+
 use pier_blocking::PurgePolicy;
 use pier_core::{PierConfig, Strategy};
 use pier_observe::{Event, Observer};
@@ -45,8 +47,11 @@ impl Default for ShardedConfig {
 /// shared dictionary) and are never mapped back to strings on this path.
 #[derive(Debug, Default)]
 pub struct ProfileStore {
-    profiles: Vec<Option<EntityProfile>>,
-    token_sets: Vec<Vec<TokenId>>,
+    /// Stored behind `Arc` so stage-B batch materialization is a refcount
+    /// bump per side instead of a deep clone (profiles are immutable once
+    /// stored).
+    profiles: Vec<Option<Arc<EntityProfile>>>,
+    token_sets: Vec<Option<Arc<[TokenId]>>>,
     /// Global per-token occurrence counts — block sizes before purging,
     /// used to hand each shard the global ghosting floor. Indexed by the
     /// shared dictionary's dense [`TokenId`]s.
@@ -69,7 +74,7 @@ impl ProfileStore {
         let idx = profile.id.index();
         if self.profiles.len() <= idx {
             self.profiles.resize(idx + 1, None);
-            self.token_sets.resize(idx + 1, Vec::new());
+            self.token_sets.resize(idx + 1, None);
         }
         if self.profiles[idx].is_some() {
             return Err(PierError::DuplicateProfile(profile.id.0));
@@ -83,8 +88,8 @@ impl ProfileStore {
             }
             self.token_counts[t.index()] += 1;
         }
-        self.token_sets[idx] = ids;
-        self.profiles[idx] = Some(profile);
+        self.token_sets[idx] = Some(Arc::from(ids));
+        self.profiles[idx] = Some(Arc::new(profile));
         Ok(())
     }
 
@@ -99,7 +104,7 @@ impl ProfileStore {
     /// unsharded `|b_min|` its block ghosting would divide by. `None` for
     /// token-less profiles.
     pub fn min_token_count(&self, id: ProfileId) -> Option<usize> {
-        self.token_sets[id.index()]
+        self.tokens_of(id)
             .iter()
             .map(|t| self.token_counts[t.index()] as usize)
             .min()
@@ -110,12 +115,38 @@ impl ProfileStore {
     /// # Panics
     /// Panics if the id was never stored.
     pub fn profile(&self, id: ProfileId) -> &EntityProfile {
-        self.profiles[id.index()].as_ref().expect("profile stored")
+        self.profiles[id.index()]
+            .as_deref()
+            .expect("profile stored")
+    }
+
+    /// A shared handle to a stored profile — cloning it is a refcount bump,
+    /// which is how stage B materializes batches without deep copies.
+    ///
+    /// # Panics
+    /// Panics if the id was never stored.
+    pub fn profile_handle(&self, id: ProfileId) -> Arc<EntityProfile> {
+        self.profiles[id.index()]
+            .as_ref()
+            .expect("profile stored")
+            .clone()
     }
 
     /// The sorted distinct token ids of a stored profile.
     pub fn tokens_of(&self, id: ProfileId) -> &[TokenId] {
-        &self.token_sets[id.index()]
+        self.token_sets[id.index()].as_deref().unwrap_or(&[])
+    }
+
+    /// A shared handle to a stored profile's token set (see
+    /// [`ProfileStore::profile_handle`]).
+    ///
+    /// # Panics
+    /// Panics if the id was never stored.
+    pub fn tokens_handle(&self, id: ProfileId) -> Arc<[TokenId]> {
+        self.token_sets[id.index()]
+            .as_ref()
+            .expect("profile stored")
+            .clone()
     }
 
     /// Profiles stored so far.

@@ -15,6 +15,11 @@
 //! after the run: distinct tokens interned, token occurrences streamed,
 //! and the bytes the id-based data path saved over shipping an owned
 //! `String` per occurrence.
+//!
+//! Pass `--match-workers N` to fan stage-B matcher evaluations out over
+//! `N` parallel workers (default: the machine's available parallelism;
+//! `1` reproduces the sequential executor exactly). The final snapshot
+//! then includes a per-worker classify breakdown.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,9 +42,21 @@ fn parse_intern_stats() -> bool {
     std::env::args().any(|a| a == "--intern-stats")
 }
 
+fn parse_match_workers() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--match-workers")?;
+    let n = args
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .expect("--match-workers takes a positive worker count");
+    Some(n)
+}
+
 fn main() {
     let shards = parse_shards();
     let intern_stats = parse_intern_stats();
+    let match_workers = parse_match_workers();
     // The bibliographic corpus: two clean sources with known duplicates.
     let dataset = generate_bibliographic(&BibliographicConfig {
         seed: 42,
@@ -88,11 +105,15 @@ fn main() {
     };
 
     let matcher = Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>;
-    let runtime_config = RuntimeConfig {
+    let mut runtime_config = RuntimeConfig {
         interarrival: Duration::from_millis(10),
         deadline: Duration::from_secs(30),
         ..RuntimeConfig::default()
     };
+    if let Some(n) = match_workers {
+        runtime_config.match_workers = n;
+    }
+    println!("stage-B match workers: {}", runtime_config.match_workers);
     let report = match shards {
         Some(n) => {
             println!("running hash-partitioned stage A with {n} shards");
@@ -174,10 +195,24 @@ fn main() {
         }
     }
 
+    if !s.workers.is_empty() {
+        println!("\n=== per-worker breakdown ===");
+        for w in &s.workers {
+            println!(
+                "worker {:<2} chunks={:<5} classify={:8.4}s matches={}",
+                w.worker, w.classify_chunks, w.classify_secs, w.matches_confirmed,
+            );
+        }
+    }
+
     // The RuntimeReport tells the same story from the match-event side.
     println!("\n=== runtime report ===");
     println!("matches           {}", report.matches.len());
     println!("comparisons/s     {:.0}", report.comparisons_per_second());
+    println!(
+        "match workers     {} (per-worker comparisons {:?})",
+        report.match_workers, report.worker_comparisons
+    );
     for (label, v) in [
         ("latency p50", report.match_latency_p50()),
         ("latency p95", report.match_latency_p95()),

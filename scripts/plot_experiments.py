@@ -179,6 +179,48 @@ def plot_shard_scaling(name: str, csvs: list[Path], out: Path, plt) -> None:
     print(f"wrote {out}")
 
 
+def plot_matcher_throughput(name: str, csvs: list[Path], out: Path, plt) -> None:
+    """Two-panel stage-B figure: Myers kernel speedup over the naive DP
+    per string length, and executor comparisons/s vs match workers."""
+    series = {path.stem: load_series(path) for path in csvs}
+    fig, (ax_kernel, ax_exec) = plt.subplots(1, 2, figsize=(11, 4.5))
+
+    if "kernel_speedup" in series:
+        _, xs, ys = series["kernel_speedup"]
+        ax_kernel.plot(xs, ys, color="tab:green", marker="o", linewidth=1.2)
+        ax_kernel.axhline(5.0, color="tab:red", linestyle=":", linewidth=1.0, label="5x contract")
+        ax_kernel.set_xscale("log", base=2)
+        ax_kernel.set_xticks(xs, labels=[str(int(x)) for x in xs])
+    ax_kernel.set_xlabel("string length (chars)")
+    ax_kernel.set_ylabel("speedup over naive DP")
+    ax_kernel.set_title("Myers bit-parallel Levenshtein", fontsize=9)
+    ax_kernel.grid(True, alpha=0.3)
+    ax_kernel.legend(fontsize=7)
+
+    for stem, style in [
+        ("critical_path_throughput", dict(color="tab:blue", marker="o", label="critical path")),
+        (
+            "threaded_wall_clock_throughput",
+            dict(color="tab:gray", marker="s", linestyle="--", label="threaded wall clock"),
+        ),
+    ]:
+        if stem in series:
+            _, xs, ys = series[stem]
+            ax_exec.plot(xs, ys, linewidth=1.2, **style)
+    ax_exec.set_xscale("log", base=2)
+    ax_exec.set_xticks([1, 2, 4, 8], labels=["1", "2", "4", "8"])
+    ax_exec.set_xlabel("match workers")
+    ax_exec.set_ylabel("stage-B comparisons/s")
+    ax_exec.set_title("parallel match executor (ED matcher)", fontsize=9)
+    ax_exec.grid(True, alpha=0.3)
+    ax_exec.legend(fontsize=7)
+
+    fig.suptitle(name)
+    fig.savefig(out, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
 def main() -> int:
     if not EXPERIMENTS.is_dir():
         # Nothing to plot is not an error: CI invokes this unconditionally
@@ -216,6 +258,11 @@ def main() -> int:
             continue
         if figure_dir.name == "shard_scaling":
             plot_shard_scaling(
+                figure_dir.name, csvs, EXPERIMENTS / f"{figure_dir.name}.svg", plt
+            )
+            continue
+        if figure_dir.name == "matcher_throughput":
+            plot_matcher_throughput(
                 figure_dir.name, csvs, EXPERIMENTS / f"{figure_dir.name}.svg", plt
             )
             continue

@@ -97,18 +97,20 @@ pub mod prelude {
         BibliographicConfig, CensusConfig, DbpediaConfig, MoviesConfig, StandardDataset,
     };
     pub use pier_matching::{
-        ClassifiedMatch, CosineMatcher, EditDistanceMatcher, HybridMatcher, IncrementalClassifier,
-        JaccardMatcher, MatchFunction, MatchInput, MatchOutcome, OracleMatcher,
+        levenshtein_bounded, levenshtein_naive, ClassifiedMatch, CosineMatcher,
+        EditDistanceMatcher, HybridMatcher, IncrementalClassifier, JaccardMatcher, MatchFunction,
+        MatchInput, MatchOutcome, OracleMatcher,
     };
     pub use pier_metablocking::{iwnp, BlockingGraph, IwnpConfig, WeightingScheme};
     pub use pier_observe::{
         read_events, replay_match_count, replay_trajectory, Event, JsonlObserver, NoopObserver,
         Observer, Phase, PipelineObserver, ShardSnapshot, StatsObserver, StatsSnapshot, TimedEvent,
+        WorkerSnapshot,
     };
     pub use pier_runtime::{
-        run_streaming, run_streaming_observed, run_streaming_sharded,
-        run_streaming_sharded_observed, tokenize_increment, DictionaryStats, MatchEvent,
-        RuntimeConfig, RuntimeReport, TokenizedIncrement, TokenizedProfile,
+        chunk_ranges, default_match_workers, run_streaming, run_streaming_observed,
+        run_streaming_sharded, run_streaming_sharded_observed, tokenize_increment, DictionaryStats,
+        MatchEvent, RuntimeConfig, RuntimeReport, TokenizedIncrement, TokenizedProfile,
     };
     pub use pier_shard::{
         ProfileStore, RoutedProfile, ShardMerger, ShardRouter, ShardWorker, ShardedConfig,
