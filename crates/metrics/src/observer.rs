@@ -1,0 +1,589 @@
+//! The event→metrics bridge: a [`PipelineObserver`] that publishes every
+//! pipeline event into a [`MetricsRegistry`], plus the [`Telemetry`]
+//! configuration handle the runtime threads through its drivers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pier_observe::{Event, Phase, PipelineObserver};
+use pier_types::{GroundTruth, MatchLedger};
+
+use crate::{Counter, FloatGauge, Gauge, Histogram, MetricsRegistry};
+
+/// Telemetry configuration for a runtime driver.
+///
+/// Carries the shared registry every instrumented component publishes
+/// into, plus the recall-estimation inputs. Attach one to
+/// `RuntimeConfig::telemetry` and the driver wires queue gauges, live
+/// counters, and phase histograms automatically; scrape the registry
+/// mid-run with [`crate::MetricsServer`] or render it directly.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    registry: Arc<MetricsRegistry>,
+    recall_tick: Duration,
+    ground_truth: Option<GroundTruth>,
+    expected_matches: Option<u64>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Telemetry into a fresh registry, sampling recall every 100 ms.
+    pub fn new() -> Self {
+        Self::with_registry(MetricsRegistry::shared())
+    }
+
+    /// Telemetry into an existing (possibly shared) registry.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        Telemetry {
+            registry,
+            recall_tick: Duration::from_millis(100),
+            ground_truth: None,
+            expected_matches: None,
+        }
+    }
+
+    /// Sets the progressive-recall sampling tick (how often a trajectory
+    /// point is recorded; the live gauge updates continuously).
+    pub fn recall_tick(mut self, tick: Duration) -> Self {
+        self.recall_tick = tick.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Estimates recall exactly, against a known ground truth (emitted
+    /// comparisons are credited once per true match — the paper's PC).
+    pub fn with_ground_truth(mut self, ground_truth: GroundTruth) -> Self {
+        self.ground_truth = Some(ground_truth);
+        self
+    }
+
+    /// Estimates recall as `confirmed / expected` when no ground truth is
+    /// available (the operator's prior for the stream's duplicate count).
+    pub fn with_expected_matches(mut self, expected: u64) -> Self {
+        self.expected_matches = Some(expected.max(1));
+        self
+    }
+
+    /// The registry drivers and exporters share.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Builds the event bridge for this configuration.
+    pub fn observer(&self) -> Arc<MetricsObserver> {
+        Arc::new(MetricsObserver::new(self))
+    }
+}
+
+/// Per-shard labeled counters, created lazily at the first event tagged
+/// with each shard id (same mutex strategy as `StatsObserver`: shard
+/// events are far rarer than the global atomics' traffic).
+struct ShardMetrics {
+    profiles: Arc<Counter>,
+    blocks_built: Arc<Counter>,
+    blocks_purged: Arc<Counter>,
+    comparisons_emitted: Arc<Counter>,
+    cf_filtered: Arc<Counter>,
+}
+
+/// Per-worker labeled classify metrics, created lazily like
+/// [`ShardMetrics`] (workers report one timing per chunk, not per pair).
+struct WorkerMetrics {
+    classify_seconds: Arc<Histogram>,
+    matches_confirmed: Arc<Counter>,
+}
+
+/// Recall bookkeeping when a ground truth is attached.
+struct RecallLedger {
+    ground_truth: GroundTruth,
+    ledger: MatchLedger,
+    matched: u64,
+}
+
+/// A [`PipelineObserver`] that turns events into registry updates.
+///
+/// Every hook is a handful of relaxed atomic ops; the only locks are the
+/// lazily-grown per-shard/per-worker tables and the optional ground-truth
+/// ledger (taken once per emitted comparison, exactly like the
+/// `StatsObserver` PC timeline). Attribution rules also mirror
+/// `StatsObserver`:
+///
+/// * shard-tagged `IncrementIngested` counts per shard only — the router
+///   reports the global increment once, and the shard copies describe
+///   fan-out (a profile lands on every shard owning one of its tokens);
+/// * worker-tagged `Classify` timings go to the per-worker histogram only —
+///   the coordinator already times the whole batch untagged, and counting
+///   the worker slices globally would double classification time.
+pub struct MetricsObserver {
+    start: Instant,
+    registry: Arc<MetricsRegistry>,
+    increments: Arc<Counter>,
+    profiles: Arc<Counter>,
+    blocks_built: Arc<Counter>,
+    blocks_purged: Arc<Counter>,
+    ghost_kept: Arc<Counter>,
+    ghost_dropped: Arc<Counter>,
+    comparisons_emitted: Arc<Counter>,
+    cf_filtered: Arc<Counter>,
+    matches_confirmed: Arc<Counter>,
+    k_changes: Arc<Counter>,
+    adaptive_k: Arc<Gauge>,
+    phases: [Arc<Histogram>; 4],
+    recall: Arc<FloatGauge>,
+    recall_ledger: Option<Mutex<RecallLedger>>,
+    expected_matches: Option<u64>,
+    recall_tick_nanos: u64,
+    last_sample_nanos: AtomicU64,
+    samples: Mutex<Vec<(f64, f64)>>,
+    shards: Mutex<Vec<ShardMetrics>>,
+    workers: Mutex<Vec<WorkerMetrics>>,
+}
+
+impl MetricsObserver {
+    /// Builds the bridge, registering the global families up front so a
+    /// scrape taken before any event still shows the full schema.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        let r = &telemetry.registry;
+        MetricsObserver {
+            start: Instant::now(),
+            registry: Arc::clone(r),
+            increments: r.counter(
+                "pier_increments_total",
+                "Data increments ingested (idle ticks included).",
+                &[],
+            ),
+            profiles: r.counter("pier_profiles_total", "Entity profiles ingested.", &[]),
+            blocks_built: r.counter("pier_blocks_built_total", "Blocks created.", &[]),
+            blocks_purged: r.counter("pier_blocks_purged_total", "Blocks purged.", &[]),
+            ghost_kept: r.counter(
+                "pier_ghost_kept_total",
+                "Block entries kept by ghosting.",
+                &[],
+            ),
+            ghost_dropped: r.counter(
+                "pier_ghost_dropped_total",
+                "Block entries dropped by ghosting.",
+                &[],
+            ),
+            comparisons_emitted: r.counter(
+                "pier_comparisons_emitted_total",
+                "Comparisons handed to the matcher by the prioritizer.",
+                &[],
+            ),
+            cf_filtered: r.counter(
+                "pier_cf_filtered_total",
+                "Pairs rejected by the redundancy (Bloom) filter.",
+                &[],
+            ),
+            matches_confirmed: r.counter(
+                "pier_matches_confirmed_total",
+                "Duplicates confirmed by the classifier.",
+                &[],
+            ),
+            k_changes: r.counter(
+                "pier_adaptive_k_changes_total",
+                "Adaptive batch-size adjustments.",
+                &[],
+            ),
+            adaptive_k: r.gauge(
+                "pier_adaptive_k",
+                "Current adaptive batch size K (0 = never adjusted).",
+                &[],
+            ),
+            phases: Phase::ALL.map(|p| {
+                r.histogram(
+                    "pier_phase_seconds",
+                    "Per-unit latency of each pipeline phase.",
+                    &[("phase", p.name())],
+                )
+            }),
+            recall: r.float_gauge(
+                "pier_recall_estimate",
+                "Estimated progressive recall (PC against ground truth, or confirmed/expected).",
+                &[],
+            ),
+            recall_ledger: telemetry.ground_truth.clone().map(|ground_truth| {
+                Mutex::new(RecallLedger {
+                    ground_truth,
+                    ledger: MatchLedger::new(),
+                    matched: 0,
+                })
+            }),
+            expected_matches: telemetry.expected_matches,
+            recall_tick_nanos: telemetry.recall_tick.as_nanos().min(u64::MAX as u128) as u64,
+            last_sample_nanos: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+            shards: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The registry this bridge publishes into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The recall trajectory sampled so far: `(uptime_secs, recall)`
+    /// points recorded at most once per configured tick.
+    pub fn recall_samples(&self) -> Vec<(f64, f64)> {
+        self.samples.lock().clone()
+    }
+
+    /// Publishes the current recall estimate and, once per tick, records a
+    /// trajectory point.
+    fn update_recall(&self, estimate: f64) {
+        self.recall.set(estimate);
+        let now = self.start.elapsed().as_nanos().clamp(1, u64::MAX as u128) as u64;
+        let last = self.last_sample_nanos.load(Ordering::Relaxed);
+        // `last == 0` means no sample yet: the first estimate always lands,
+        // anchoring the trajectory's origin.
+        if (last == 0 || now.saturating_sub(last) >= self.recall_tick_nanos)
+            && self
+                .last_sample_nanos
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.samples.lock().push((now as f64 / 1e9, estimate));
+        }
+    }
+
+    fn shard_metrics<R>(&self, shard: u16, f: impl FnOnce(&ShardMetrics) -> R) -> R {
+        let mut shards = self.shards.lock();
+        let idx = shard as usize;
+        while shards.len() <= idx {
+            let label = (shards.len() as u16).to_string();
+            let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+            shards.push(ShardMetrics {
+                profiles: self.registry.counter(
+                    "pier_shard_profiles_total",
+                    "Profiles routed to each shard (once per owning shard).",
+                    labels,
+                ),
+                blocks_built: self.registry.counter(
+                    "pier_shard_blocks_built_total",
+                    "Blocks created per shard.",
+                    labels,
+                ),
+                blocks_purged: self.registry.counter(
+                    "pier_shard_blocks_purged_total",
+                    "Blocks purged per shard.",
+                    labels,
+                ),
+                comparisons_emitted: self.registry.counter(
+                    "pier_shard_comparisons_emitted_total",
+                    "Comparisons each shard handed to the merger.",
+                    labels,
+                ),
+                cf_filtered: self.registry.counter(
+                    "pier_shard_cf_filtered_total",
+                    "Bloom-rejected pairs per shard.",
+                    labels,
+                ),
+            });
+        }
+        f(&shards[idx])
+    }
+
+    fn worker_metrics<R>(&self, worker: u16, f: impl FnOnce(&WorkerMetrics) -> R) -> R {
+        let mut workers = self.workers.lock();
+        let idx = worker as usize;
+        while workers.len() <= idx {
+            let label = (workers.len() as u16).to_string();
+            let labels: &[(&str, &str)] = &[("worker", label.as_str())];
+            workers.push(WorkerMetrics {
+                classify_seconds: self.registry.histogram(
+                    "pier_worker_classify_seconds",
+                    "Per-chunk classify latency of each match worker.",
+                    labels,
+                ),
+                matches_confirmed: self.registry.counter(
+                    "pier_worker_matches_confirmed_total",
+                    "Matches confirmed per worker (0 unless the driver attributes them).",
+                    labels,
+                ),
+            });
+        }
+        f(&workers[idx])
+    }
+}
+
+impl PipelineObserver for MetricsObserver {
+    fn on_event(&self, event: &Event) {
+        match *event {
+            Event::IncrementIngested { profiles, .. } => {
+                self.increments.inc();
+                self.profiles.add(profiles as u64);
+            }
+            Event::BlockBuilt { .. } => self.blocks_built.inc(),
+            Event::BlockPurged { .. } => self.blocks_purged.inc(),
+            Event::BlockGhosted { kept, dropped, .. } => {
+                self.ghost_kept.add(kept as u64);
+                self.ghost_dropped.add(dropped as u64);
+            }
+            Event::ComparisonEmitted { cmp, .. } => {
+                self.comparisons_emitted.inc();
+                if let Some(ledger) = &self.recall_ledger {
+                    let estimate = {
+                        let state = &mut *ledger.lock();
+                        if state.ledger.credit(&state.ground_truth, cmp) {
+                            state.matched += 1;
+                        }
+                        let total = state.ground_truth.len().max(1) as f64;
+                        state.matched as f64 / total
+                    };
+                    self.update_recall(estimate);
+                }
+            }
+            Event::CfFiltered { .. } => self.cf_filtered.inc(),
+            Event::AdaptiveKChanged { new_k, .. } => {
+                self.k_changes.inc();
+                self.adaptive_k.set(new_k as i64);
+            }
+            Event::MatchConfirmed { .. } => {
+                self.matches_confirmed.inc();
+                if self.recall_ledger.is_none() {
+                    if let Some(expected) = self.expected_matches {
+                        let estimate = self.matches_confirmed.get() as f64 / expected as f64;
+                        self.update_recall(estimate.min(1.0));
+                    }
+                }
+            }
+            Event::PhaseTiming { phase, secs } => {
+                self.phases[phase.index()].record_secs(secs);
+            }
+        }
+    }
+
+    fn on_shard_event(&self, shard: u16, event: &Event) {
+        if !matches!(event, Event::IncrementIngested { .. }) {
+            self.on_event(event);
+        }
+        self.shard_metrics(shard, |m| match *event {
+            Event::IncrementIngested { profiles, .. } => m.profiles.add(profiles as u64),
+            Event::BlockBuilt { .. } => m.blocks_built.inc(),
+            Event::BlockPurged { .. } => m.blocks_purged.inc(),
+            Event::ComparisonEmitted { .. } => m.comparisons_emitted.inc(),
+            Event::CfFiltered { .. } => m.cf_filtered.inc(),
+            _ => {}
+        });
+    }
+
+    fn on_worker_event(&self, worker: u16, event: &Event) {
+        let is_classify_timing = matches!(
+            event,
+            Event::PhaseTiming {
+                phase: Phase::Classify,
+                ..
+            }
+        );
+        if !is_classify_timing {
+            self.on_event(event);
+        }
+        self.worker_metrics(worker, |m| match *event {
+            Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs,
+            } => m.classify_seconds.record_secs(secs),
+            Event::MatchConfirmed { .. } => m.matches_confirmed.inc(),
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{Comparison, ProfileId};
+
+    fn cmp(a: u32, b: u32) -> Comparison {
+        Comparison::new(ProfileId(a), ProfileId(b))
+    }
+
+    fn read_counter(t: &Telemetry, name: &str, labels: &[(&str, &str)]) -> u64 {
+        t.registry().counter(name, "", labels).get()
+    }
+
+    #[test]
+    fn events_become_counters() {
+        let t = Telemetry::new();
+        let obs = t.observer();
+        obs.on_event(&Event::IncrementIngested {
+            seq: 0,
+            profiles: 3,
+        });
+        obs.on_event(&Event::BlockBuilt { block: 1 });
+        obs.on_event(&Event::BlockPurged { block: 1, size: 9 });
+        obs.on_event(&Event::BlockGhosted {
+            profile: ProfileId(0),
+            kept: 2,
+            dropped: 1,
+        });
+        obs.on_event(&Event::ComparisonEmitted {
+            cmp: cmp(0, 1),
+            weight: 1.0,
+        });
+        obs.on_event(&Event::CfFiltered { cmp: cmp(0, 1) });
+        obs.on_event(&Event::MatchConfirmed {
+            cmp: cmp(0, 1),
+            similarity: 0.9,
+            at_secs: 0.1,
+        });
+        obs.on_event(&Event::AdaptiveKChanged {
+            old_k: 64,
+            new_k: 80,
+        });
+        obs.on_event(&Event::PhaseTiming {
+            phase: Phase::Block,
+            secs: 1e-5,
+        });
+        assert_eq!(read_counter(&t, "pier_increments_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_profiles_total", &[]), 3);
+        assert_eq!(read_counter(&t, "pier_blocks_built_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_blocks_purged_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_ghost_kept_total", &[]), 2);
+        assert_eq!(read_counter(&t, "pier_ghost_dropped_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_comparisons_emitted_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_cf_filtered_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_matches_confirmed_total", &[]), 1);
+        assert_eq!(read_counter(&t, "pier_adaptive_k_changes_total", &[]), 1);
+        assert_eq!(t.registry().gauge("pier_adaptive_k", "", &[]).get(), 80);
+        let h = t
+            .registry()
+            .histogram("pier_phase_seconds", "", &[("phase", "block")]);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn ground_truth_recall_tracks_pc() {
+        let gt =
+            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
+        let t = Telemetry::new()
+            .with_ground_truth(gt)
+            .recall_tick(Duration::from_millis(1));
+        let obs = t.observer();
+        let emit = |c| {
+            obs.on_event(&Event::ComparisonEmitted {
+                cmp: c,
+                weight: 1.0,
+            })
+        };
+        emit(cmp(0, 1)); // match
+        emit(cmp(0, 2)); // miss
+        emit(cmp(0, 1)); // repeat — no double credit
+        let recall = t.registry().float_gauge("pier_recall_estimate", "", &[]);
+        assert!((recall.get() - 0.5).abs() < 1e-12);
+        emit(cmp(2, 3));
+        assert!((recall.get() - 1.0).abs() < 1e-12);
+        // The first comparison always lands a sample (tick starts at 0).
+        assert!(!obs.recall_samples().is_empty());
+        assert!(obs
+            .recall_samples()
+            .iter()
+            .all(|&(t, r)| t >= 0.0 && r <= 1.0));
+    }
+
+    #[test]
+    fn expected_matches_recall_is_a_ratio() {
+        let t = Telemetry::new().with_expected_matches(4);
+        let obs = t.observer();
+        for i in 0..2 {
+            obs.on_event(&Event::MatchConfirmed {
+                cmp: cmp(i, i + 10),
+                similarity: 1.0,
+                at_secs: 0.0,
+            });
+        }
+        let recall = t.registry().float_gauge("pier_recall_estimate", "", &[]);
+        assert!((recall.get() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_increments_stay_per_shard() {
+        let t = Telemetry::new();
+        let obs = t.observer();
+        obs.on_shard_event(
+            1,
+            &Event::IncrementIngested {
+                seq: 0,
+                profiles: 5,
+            },
+        );
+        obs.on_shard_event(1, &Event::BlockBuilt { block: 3 });
+        // Fan-out duplicates must not pollute the global profile total.
+        assert_eq!(read_counter(&t, "pier_profiles_total", &[]), 0);
+        assert_eq!(read_counter(&t, "pier_increments_total", &[]), 0);
+        assert_eq!(read_counter(&t, "pier_blocks_built_total", &[]), 1);
+        assert_eq!(
+            read_counter(&t, "pier_shard_profiles_total", &[("shard", "1")]),
+            5
+        );
+        assert_eq!(
+            read_counter(&t, "pier_shard_blocks_built_total", &[("shard", "1")]),
+            1
+        );
+        // Shard 0's families were registered (lazily) up to the max id.
+        assert_eq!(
+            read_counter(&t, "pier_shard_profiles_total", &[("shard", "0")]),
+            0
+        );
+    }
+
+    #[test]
+    fn worker_classify_timings_stay_out_of_global_histogram() {
+        let t = Telemetry::new();
+        let obs = t.observer();
+        obs.on_event(&Event::PhaseTiming {
+            phase: Phase::Classify,
+            secs: 0.010,
+        });
+        obs.on_worker_event(
+            0,
+            &Event::PhaseTiming {
+                phase: Phase::Classify,
+                secs: 0.004,
+            },
+        );
+        let global = t
+            .registry()
+            .histogram("pier_phase_seconds", "", &[("phase", "classify")]);
+        assert_eq!(global.count(), 1);
+        let per_worker =
+            t.registry()
+                .histogram("pier_worker_classify_seconds", "", &[("worker", "0")]);
+        assert_eq!(per_worker.count(), 1);
+        // Worker-tagged non-classify events still count globally.
+        obs.on_worker_event(
+            0,
+            &Event::MatchConfirmed {
+                cmp: cmp(0, 1),
+                similarity: 1.0,
+                at_secs: 0.0,
+            },
+        );
+        assert_eq!(read_counter(&t, "pier_matches_confirmed_total", &[]), 1);
+        assert_eq!(
+            read_counter(
+                &t,
+                "pier_worker_matches_confirmed_total",
+                &[("worker", "0")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn schema_is_registered_before_any_event() {
+        let t = Telemetry::new();
+        let _obs = t.observer();
+        assert!(t.registry().family_count() >= 10, "global schema up front");
+        let text = t.registry().render_prometheus();
+        assert!(text.contains("# TYPE pier_comparisons_emitted_total counter"));
+        assert!(text.contains("# TYPE pier_phase_seconds histogram"));
+    }
+}

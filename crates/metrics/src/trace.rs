@@ -1,0 +1,436 @@
+//! Chrome-trace / Perfetto `trace_event` JSON export.
+//!
+//! [`TraceObserver`] records pipeline events in memory and writes one
+//! `{"displayTimeUnit":"ms","traceEvents":[...]}` document on
+//! [`TraceObserver::finalize`] (or drop). [`pier_observe::Phase`] timings
+//! become `"X"` complete spans laid out on virtual threads — stage A,
+//! stage B, one row per shard, one row per match worker — confirmed
+//! matches become `"i"` instants, and a `"C"` counter series tracks
+//! cumulative comparisons/matches, so a full run opens directly in
+//! `ui.perfetto.dev` or `chrome://tracing`.
+//!
+//! Span start times are reconstructed as `receive_time − duration`: the
+//! pipeline reports a phase when it *finishes*, so the span is laid
+//! backwards from the report instant. JSON is hand-rolled (the format is
+//! five fixed shapes) to keep the crate dependency-free.
+
+use std::fmt::Write as _;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use pier_observe::{Event, Phase, PipelineObserver};
+
+/// In-memory event cap: beyond this, events are counted as dropped rather
+/// than recorded (a runaway run must not eat the heap).
+const MAX_EVENTS: usize = 2_000_000;
+
+/// Emit one counter sample every this many comparisons.
+const COUNTER_EVERY: u64 = 256;
+
+/// Virtual thread ids for the trace rows.
+const TID_STAGE_A: u32 = 1;
+const TID_STAGE_B: u32 = 2;
+const TID_SHARD_BASE: u32 = 100;
+const TID_WORKER_BASE: u32 = 200;
+
+enum TraceEvent {
+    Span {
+        name: &'static str,
+        tid: u32,
+        ts_us: u64,
+        dur_us: u64,
+    },
+    Instant {
+        tid: u32,
+        ts_us: u64,
+        similarity: f64,
+    },
+    Counter {
+        ts_us: u64,
+        comparisons: u64,
+        matches: u64,
+    },
+}
+
+struct TraceInner {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    comparisons: u64,
+    matches: u64,
+    writer: Option<BufWriter<File>>,
+}
+
+/// A [`PipelineObserver`] that builds a chrome-trace JSON file.
+///
+/// Attach it (alone or teed next to another sink via `Observer::tee`) and
+/// call [`TraceObserver::finalize`] after the run; dropping an
+/// unfinalized observer writes the file best-effort.
+pub struct TraceObserver {
+    start: Instant,
+    path: PathBuf,
+    inner: Mutex<TraceInner>,
+}
+
+impl TraceObserver {
+    /// Creates (truncating) the trace file at `path`; parent directories
+    /// are created as needed. The file is opened eagerly so permission
+    /// and path errors surface here, not at the end of a long run.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(TraceObserver {
+            start: Instant::now(),
+            path,
+            inner: Mutex::new(TraceInner {
+                events: Vec::new(),
+                dropped: 0,
+                comparisons: 0,
+                matches: 0,
+                writer: Some(BufWriter::new(file)),
+            }),
+        })
+    }
+
+    /// Where the trace will be written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events recorded so far (spans + instants + counter samples).
+    pub fn events_recorded(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Events discarded after the in-memory cap was hit.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Writes the trace document and returns its path. Idempotent: a
+    /// second call (or the drop after a call) is a no-op returning the
+    /// same path.
+    pub fn finalize(&self) -> io::Result<PathBuf> {
+        let mut inner = self.inner.lock();
+        let Some(mut writer) = inner.writer.take() else {
+            return Ok(self.path.clone());
+        };
+        write_trace(&mut writer, &inner.events)?;
+        writer.flush()?;
+        Ok(self.path.clone())
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock();
+        if inner.writer.is_none() {
+            return; // already finalized — late events have nowhere to go
+        }
+        if inner.events.len() >= MAX_EVENTS {
+            inner.dropped += 1;
+            return;
+        }
+        inner.events.push(event);
+    }
+
+    fn record(&self, shard: Option<u16>, worker: Option<u16>, event: &Event) {
+        match *event {
+            Event::PhaseTiming { phase, secs } => {
+                let now_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                let dur_us = (secs.max(0.0) * 1e6) as u64;
+                let tid = match (worker, shard) {
+                    (Some(w), _) => TID_WORKER_BASE + w as u32,
+                    (None, Some(s)) => TID_SHARD_BASE + s as u32,
+                    (None, None) => match phase {
+                        Phase::Block | Phase::Weight => TID_STAGE_A,
+                        Phase::Prune | Phase::Classify => TID_STAGE_B,
+                    },
+                };
+                self.push(TraceEvent::Span {
+                    name: phase.name(),
+                    tid,
+                    ts_us: now_us.saturating_sub(dur_us),
+                    dur_us,
+                });
+            }
+            Event::MatchConfirmed { similarity, .. } => {
+                let ts_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                let tid = match worker {
+                    Some(w) => TID_WORKER_BASE + w as u32,
+                    None => TID_STAGE_B,
+                };
+                let matches = {
+                    let mut inner = self.inner.lock();
+                    inner.matches += 1;
+                    inner.matches
+                };
+                self.push(TraceEvent::Instant {
+                    tid,
+                    ts_us,
+                    similarity,
+                });
+                let comparisons = self.inner.lock().comparisons;
+                self.push(TraceEvent::Counter {
+                    ts_us,
+                    comparisons,
+                    matches,
+                });
+            }
+            Event::ComparisonEmitted { .. } => {
+                let (comparisons, matches, sample) = {
+                    let mut inner = self.inner.lock();
+                    inner.comparisons += 1;
+                    (
+                        inner.comparisons,
+                        inner.matches,
+                        inner.comparisons.is_multiple_of(COUNTER_EVERY),
+                    )
+                };
+                if sample {
+                    let ts_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    self.push(TraceEvent::Counter {
+                        ts_us,
+                        comparisons,
+                        matches,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl PipelineObserver for TraceObserver {
+    fn on_event(&self, event: &Event) {
+        self.record(None, None, event);
+    }
+
+    fn on_shard_event(&self, shard: u16, event: &Event) {
+        self.record(Some(shard), None, event);
+    }
+
+    fn on_worker_event(&self, worker: u16, event: &Event) {
+        self.record(None, Some(worker), event);
+    }
+}
+
+impl Drop for TraceObserver {
+    fn drop(&mut self) {
+        if let Err(e) = self.finalize() {
+            eprintln!(
+                "pier-metrics: failed to write trace {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+fn tid_name(tid: u32) -> String {
+    match tid {
+        TID_STAGE_A => "stage A (block+weight)".to_string(),
+        TID_STAGE_B => "stage B (prune+classify)".to_string(),
+        t if t >= TID_WORKER_BASE => format!("match worker {}", t - TID_WORKER_BASE),
+        t if t >= TID_SHARD_BASE => format!("shard {}", t - TID_SHARD_BASE),
+        t => format!("thread {t}"),
+    }
+}
+
+fn write_trace(out: &mut impl Write, events: &[TraceEvent]) -> io::Result<()> {
+    out.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |out: &mut dyn Write, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            out.write_all(b",\n")
+        }
+    };
+
+    // Thread-name metadata rows first, one per tid seen, sorted so stage A
+    // / stage B / shards / workers stack predictably in the UI.
+    let mut tids: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span { tid, .. } | TraceEvent::Instant { tid, .. } => Some(*tid),
+            TraceEvent::Counter { .. } => None,
+        })
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut line = String::with_capacity(160);
+    for tid in tids {
+        sep(out, &mut first)?;
+        line.clear();
+        let _ = write!(
+            line,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            tid_name(tid)
+        );
+        out.write_all(line.as_bytes())?;
+    }
+
+    for event in events {
+        sep(out, &mut first)?;
+        line.clear();
+        match event {
+            TraceEvent::Span {
+                name,
+                tid,
+                ts_us,
+                dur_us,
+            } => {
+                // Perfetto hides zero-length spans; floor at 1 µs.
+                let dur = (*dur_us).max(1);
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"dur\":{dur},\"cat\":\"phase\",\"name\":\"{name}\"}}"
+                );
+            }
+            TraceEvent::Instant {
+                tid,
+                ts_us,
+                similarity,
+            } => {
+                let sim = if similarity.is_finite() {
+                    *similarity
+                } else {
+                    0.0
+                };
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us},\"s\":\"t\",\"name\":\"match\",\"args\":{{\"similarity\":{sim}}}}}"
+                );
+            }
+            TraceEvent::Counter {
+                ts_us,
+                comparisons,
+                matches,
+            } => {
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"C\",\"pid\":1,\"ts\":{ts_us},\"name\":\"progress\",\"args\":{{\"comparisons\":{comparisons},\"matches\":{matches}}}}}"
+                );
+            }
+        }
+        out.write_all(line.as_bytes())?;
+    }
+    out.write_all(b"]}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{Comparison, ProfileId};
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pier-metrics-{}-{name}", std::process::id()))
+    }
+
+    fn timing(phase: Phase, secs: f64) -> Event {
+        Event::PhaseTiming { phase, secs }
+    }
+
+    #[test]
+    fn phases_become_spans_on_the_right_rows() {
+        let path = temp_path("spans.json");
+        let obs = TraceObserver::create(&path).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        obs.on_event(&timing(Phase::Block, 1e-4));
+        obs.on_event(&timing(Phase::Weight, 1e-4));
+        obs.on_event(&timing(Phase::Prune, 1e-4));
+        obs.on_event(&timing(Phase::Classify, 1e-4));
+        obs.on_shard_event(3, &timing(Phase::Block, 1e-5));
+        obs.on_worker_event(1, &timing(Phase::Classify, 1e-5));
+        assert_eq!(obs.events_recorded(), 6);
+        let out = obs.finalize().unwrap();
+        assert_eq!(out, path);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        for phase in ["block", "weight", "prune", "classify"] {
+            assert!(text.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
+        }
+        // Row assignment: untagged block on stage A, shard 3 at 103,
+        // worker 1 at 201; metadata rows name them.
+        assert!(text.contains("\"tid\":1,"));
+        assert!(text.contains("\"tid\":103,"));
+        assert!(text.contains("\"tid\":201,"));
+        assert!(text.contains("stage A (block+weight)"));
+        assert!(text.contains("shard 3"));
+        assert!(text.contains("match worker 1"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn matches_become_instants_with_a_counter_series() {
+        let path = temp_path("instants.json");
+        let obs = TraceObserver::create(&path).unwrap();
+        let cmp = Comparison::new(ProfileId(0), ProfileId(1));
+        for _ in 0..COUNTER_EVERY {
+            obs.on_event(&Event::ComparisonEmitted { cmp, weight: 1.0 });
+        }
+        obs.on_event(&Event::MatchConfirmed {
+            cmp,
+            similarity: 0.875,
+            at_secs: 0.01,
+        });
+        obs.finalize().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"similarity\":0.875"));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains(&format!("\"comparisons\":{COUNTER_EVERY}")));
+        assert!(text.contains("\"matches\":1"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_drop_writes() {
+        let path = temp_path("drop.json");
+        {
+            let obs = TraceObserver::create(&path).unwrap();
+            obs.on_event(&timing(Phase::Block, 1e-5));
+            // No explicit finalize — drop must write the file.
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\":\"block\""));
+
+        let obs = TraceObserver::create(&path).unwrap();
+        obs.finalize().unwrap();
+        let after_first = fs::read_to_string(&path).unwrap();
+        obs.on_event(&timing(Phase::Block, 1e-5)); // late event: ignored
+        obs.finalize().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), after_first);
+        assert_eq!(obs.events_recorded(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn span_start_never_underflows() {
+        let path = temp_path("clamp.json");
+        let obs = TraceObserver::create(&path).unwrap();
+        // Duration far longer than the observer has lived.
+        obs.on_event(&timing(Phase::Classify, 1e6));
+        obs.finalize().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ts\":0,"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_makes_parent_directories() {
+        let dir = temp_path("trace-dir");
+        let path = dir.join("nested").join("trace.json");
+        let obs = TraceObserver::create(&path).unwrap();
+        obs.finalize().unwrap();
+        assert!(path.is_file());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -31,6 +31,15 @@ use crate::{Event, Phase, PipelineObserver};
 /// Writes are buffered and serialized behind one mutex, so lines never
 /// interleave even when multiple pipeline threads emit concurrently. The
 /// buffer is flushed on [`JsonlObserver::flush`] and on drop.
+///
+/// Observer hooks cannot fail, so a write error (disk full, revoked
+/// permissions) cannot surface where it happens — instead the *first*
+/// error is retained and returned by the next [`flush`] or by
+/// [`finish`]; an unflushed error still pending at drop is reported on
+/// stderr so a truncated export is never silent.
+///
+/// [`flush`]: JsonlObserver::flush
+/// [`finish`]: JsonlObserver::finish
 pub struct JsonlObserver {
     start: Instant,
     path: PathBuf,
@@ -41,6 +50,17 @@ struct Inner {
     writer: BufWriter<File>,
     seq: u64,
     line: String,
+    /// First write error, held (kind + message) until a caller collects
+    /// it via `flush`/`finish`.
+    error: Option<(io::ErrorKind, String)>,
+}
+
+impl Inner {
+    fn record_error(&mut self, e: &io::Error) {
+        if self.error.is_none() {
+            self.error = Some((e.kind(), e.to_string()));
+        }
+    }
 }
 
 impl JsonlObserver {
@@ -80,6 +100,7 @@ impl JsonlObserver {
                 writer: BufWriter::new(file),
                 seq: 0,
                 line: String::with_capacity(160),
+                error: None,
             }),
         })
     }
@@ -90,8 +111,32 @@ impl JsonlObserver {
     }
 
     /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    /// Returns the first write error recorded since the last `flush`
+    /// (hooks cannot fail, so errors queue here), or the flush's own
+    /// failure. The pending error is consumed: a later `flush` reports
+    /// only what failed after this one.
     pub fn flush(&self) -> io::Result<()> {
-        self.inner.lock().writer.flush()
+        let mut inner = self.inner.lock();
+        if let Err(e) = inner.writer.flush() {
+            inner.record_error(&e);
+        }
+        match inner.error.take() {
+            Some((kind, msg)) => Err(io::Error::new(kind, msg)),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes and closes the export, returning its path — the checked
+    /// alternative to dropping the observer.
+    ///
+    /// # Errors
+    /// Same contract as [`JsonlObserver::flush`]: any write error from
+    /// the run surfaces here instead of disappearing with the observer.
+    pub fn finish(self) -> io::Result<PathBuf> {
+        self.flush()?;
+        Ok(self.path.clone())
     }
 
     /// Events written so far.
@@ -109,10 +154,12 @@ impl JsonlObserver {
         let line = std::mem::take(&mut inner.line);
         let mut line = write_line(line, seq, t, shard, worker, event);
         line.push('\n');
-        // An export that stops writing mid-run is worse than a propagated
-        // error, but observers cannot fail — drop the line on I/O error
-        // (disk full); `flush()` surfaces the underlying error to callers.
-        let _ = inner.writer.write_all(line.as_bytes());
+        // Observers cannot fail, so an I/O error (disk full) cannot
+        // propagate from here — the line is dropped and the first error is
+        // retained for the next `flush`/`finish` to return.
+        if let Err(e) = inner.writer.write_all(line.as_bytes()) {
+            inner.record_error(&e);
+        }
         line.clear();
         inner.line = line;
     }
@@ -134,7 +181,15 @@ impl PipelineObserver for JsonlObserver {
 
 impl Drop for JsonlObserver {
     fn drop(&mut self) {
-        let _ = self.inner.lock().writer.flush();
+        // A run killed mid-stream must still land its buffered tail; if it
+        // (or an earlier hook) failed, say so — a silently truncated
+        // events.jsonl costs an afternoon of confused replaying.
+        if let Err(e) = self.flush() {
+            eprintln!(
+                "pier-observe: events.jsonl export {} lost data: {e}",
+                self.path.display()
+            );
+        }
     }
 }
 
@@ -659,6 +714,57 @@ mod tests {
         drop(obs); // flush via Drop
         assert_eq!(read_events(&path).unwrap().len(), 1);
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn finish_flushes_and_returns_the_path() {
+        let path = temp_path("finish.jsonl");
+        let obs = JsonlObserver::create(&path).unwrap();
+        obs.on_event(&Event::BlockBuilt { block: 1 });
+        let finished = obs.finish().unwrap();
+        assert_eq!(finished, path);
+        assert_eq!(read_events(&path).unwrap().len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    /// `/dev/full` accepts opens and fails every write with ENOSPC — the
+    /// canonical disk-full simulation.
+    #[cfg(target_os = "linux")]
+    fn dev_full_observer() -> Option<JsonlObserver> {
+        if !Path::new("/dev/full").exists() {
+            return None; // minimal container without device nodes
+        }
+        JsonlObserver::create("/dev/full").ok()
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn write_errors_are_retained_and_surface_on_flush() {
+        let Some(obs) = dev_full_observer() else {
+            return;
+        };
+        // Push well past the BufWriter's buffer so write_all hits the
+        // device; the hook itself must absorb the failure.
+        for i in 0..10_000 {
+            obs.on_event(&Event::BlockBuilt { block: i });
+        }
+        let err = obs.flush().expect_err("ENOSPC must surface");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // The error was consumed; only failures after it resurface (and
+        // the still-buffered tail fails again right here).
+        assert!(obs.events_written() == 10_000);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn finish_reports_write_errors() {
+        let Some(obs) = dev_full_observer() else {
+            return;
+        };
+        for i in 0..10_000 {
+            obs.on_event(&Event::BlockBuilt { block: i });
+        }
+        assert!(obs.finish().is_err());
     }
 
     #[test]

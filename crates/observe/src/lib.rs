@@ -195,6 +195,53 @@ impl PipelineObserver for NoopObserver {
     fn on_event(&self, _event: &Event) {}
 }
 
+/// An observer that forwards every event to several sinks, preserving
+/// shard and worker attribution.
+///
+/// Built by [`Observer::tee`]; drivers use it to attach an additional
+/// sink (live metrics, a trace writer) next to whatever observer the
+/// caller supplied, without either knowing about the other.
+pub struct FanoutObserver {
+    sinks: Vec<Arc<dyn PipelineObserver>>,
+}
+
+impl FanoutObserver {
+    /// An observer fanning out to `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<dyn PipelineObserver>>) -> Self {
+        FanoutObserver { sinks }
+    }
+
+    /// How many sinks receive each event.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl PipelineObserver for FanoutObserver {
+    fn on_event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    fn on_shard_event(&self, shard: u16, event: &Event) {
+        for sink in &self.sinks {
+            sink.on_shard_event(shard, event);
+        }
+    }
+
+    fn on_worker_event(&self, worker: u16, event: &Event) {
+        for sink in &self.sinks {
+            sink.on_worker_event(worker, event);
+        }
+    }
+}
+
 /// The cheap, cloneable handle that pipeline components store.
 ///
 /// `Observer::disabled()` (also the `Default`) holds no sink: emitting
@@ -266,6 +313,24 @@ impl Observer {
             sink: self.sink.clone(),
             shard: self.shard,
             worker: Some(worker),
+        }
+    }
+
+    /// A handle that delivers every event to both this handle's sink and
+    /// `extra`, keeping this handle's shard/worker tag.
+    ///
+    /// Teeing onto a disabled handle just enables `extra` directly (no
+    /// fan-out layer); otherwise events route through a
+    /// [`FanoutObserver`] holding both sinks.
+    pub fn tee(&self, extra: Arc<dyn PipelineObserver>) -> Observer {
+        let sink: Arc<dyn PipelineObserver> = match &self.sink {
+            None => extra,
+            Some(existing) => Arc::new(FanoutObserver::new(vec![Arc::clone(existing), extra])),
+        };
+        Observer {
+            sink: Some(sink),
+            shard: self.shard,
+            worker: self.worker,
         }
     }
 
@@ -476,5 +541,74 @@ mod tests {
         let obs = Observer::new(sink.clone()).for_worker(2);
         obs.emit(|| Event::BlockBuilt { block: 1 });
         assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tee_delivers_to_both_sinks() {
+        let a = Arc::new(Counting(AtomicU64::new(0)));
+        let b = Arc::new(Counting(AtomicU64::new(0)));
+        let obs = Observer::new(a.clone()).tee(b.clone());
+        obs.emit(|| Event::BlockBuilt { block: 0 });
+        obs.emit(|| Event::BlockBuilt { block: 1 });
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tee_onto_disabled_just_enables_the_extra_sink() {
+        let b = Arc::new(Counting(AtomicU64::new(0)));
+        let obs = Observer::disabled().tee(b.clone());
+        assert!(obs.is_enabled());
+        obs.emit(|| Event::BlockBuilt { block: 0 });
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
+        // The extra sink is attached directly, without a fan-out layer.
+        assert!(Arc::ptr_eq(
+            obs.sink().unwrap(),
+            &(b as Arc<dyn PipelineObserver>)
+        ));
+    }
+
+    #[test]
+    fn tee_preserves_shard_and_worker_attribution() {
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Recording(Mutex<Vec<(Option<u16>, Option<u16>)>>);
+
+        impl PipelineObserver for Recording {
+            fn on_event(&self, _event: &Event) {
+                self.0.lock().push((None, None));
+            }
+            fn on_shard_event(&self, shard: u16, _event: &Event) {
+                self.0.lock().push((Some(shard), None));
+            }
+            fn on_worker_event(&self, worker: u16, _event: &Event) {
+                self.0.lock().push((None, Some(worker)));
+            }
+        }
+
+        let a = Arc::new(Recording::default());
+        let b = Arc::new(Recording::default());
+        let obs = Observer::new(a.clone()).tee(b.clone());
+        obs.for_shard(3).emit(|| Event::BlockBuilt { block: 0 });
+        obs.for_worker(1).emit(|| Event::BlockBuilt { block: 1 });
+        // A tagged handle built *before* the tee keeps its tag after.
+        let tagged = Observer::new(a.clone()).for_shard(7).tee(b.clone());
+        assert_eq!(tagged.shard(), Some(7));
+        tagged.emit(|| Event::BlockBuilt { block: 2 });
+        let want = vec![(Some(3), None), (None, Some(1)), (Some(7), None)];
+        assert_eq!(*a.0.lock(), want);
+        assert_eq!(*b.0.lock(), want);
+    }
+
+    #[test]
+    fn fanout_observer_reports_its_size() {
+        let fanout = FanoutObserver::new(vec![]);
+        assert!(fanout.is_empty());
+        assert_eq!(fanout.len(), 0);
+        let fanout = FanoutObserver::new(vec![Arc::new(NoopObserver) as _]);
+        assert!(!fanout.is_empty());
+        assert_eq!(fanout.len(), 1);
+        fanout.on_event(&Event::BlockBuilt { block: 0 });
     }
 }

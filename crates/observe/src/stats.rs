@@ -259,8 +259,11 @@ impl PipelineObserver for StatsObserver {
             Event::ComparisonEmitted { cmp, .. } => {
                 self.comparisons_emitted.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.pc {
-                    let now = self.start.elapsed().as_secs_f64();
                     let t = &mut *m.lock();
+                    // Clock read under the lock: racing workers would
+                    // otherwise record inverted timestamps and break the
+                    // trajectory's monotonicity.
+                    let now = self.start.elapsed().as_secs_f64();
                     let was_match = t.ledger.credit(&t.ground_truth, cmp);
                     t.trajectory.record(now, was_match);
                 }

@@ -1,0 +1,151 @@
+//! Concurrency pinning for `StatsObserver`: per-worker merging and the
+//! live PC trajectory must produce the same totals whether events arrive
+//! from one thread or from many `Observer::for_worker` handles racing.
+
+use std::sync::Arc;
+use std::thread;
+
+use pier_observe::{Event, Observer, Phase, StatsObserver, WorkerSnapshot};
+use pier_types::{Comparison, GroundTruth, ProfileId};
+
+const WORKERS: u16 = 8;
+const CHUNKS_PER_WORKER: u64 = 200;
+
+fn cmp(a: u32, b: u32) -> Comparison {
+    Comparison::new(ProfileId(a), ProfileId(b))
+}
+
+/// The event stream one worker produces: classify timings, confirmed
+/// matches, and emitted comparisons (the trajectory's input).
+fn worker_events(worker: u16) -> Vec<Event> {
+    let mut events = Vec::new();
+    for chunk in 0..CHUNKS_PER_WORKER {
+        events.push(Event::PhaseTiming {
+            phase: Phase::Classify,
+            secs: 1e-6 * (worker as f64 + 1.0),
+        });
+        // Each worker confirms the matches of its own ground-truth slice.
+        let a = worker as u32 * 1000 + chunk as u32;
+        events.push(Event::MatchConfirmed {
+            cmp: cmp(a, a + 1),
+            similarity: 0.9,
+            at_secs: 0.0,
+        });
+        events.push(Event::ComparisonEmitted {
+            cmp: cmp(a, a + 1),
+            weight: 1.0,
+        });
+    }
+    events
+}
+
+/// Ground truth containing every pair the workers will emit.
+fn ground_truth() -> GroundTruth {
+    GroundTruth::from_pairs((0..WORKERS).flat_map(|w| {
+        (0..CHUNKS_PER_WORKER).map(move |c| {
+            let a = w as u32 * 1000 + c as u32;
+            (ProfileId(a), ProfileId(a + 1))
+        })
+    }))
+}
+
+/// Replays every worker's stream sequentially through one observer — the
+/// reference the concurrent run must match.
+fn sequential_reference() -> (Vec<WorkerSnapshot>, u64, u64, f64) {
+    let stats = Arc::new(StatsObserver::with_ground_truth(ground_truth()));
+    let obs = Observer::new(stats.clone() as Arc<_>);
+    for worker in 0..WORKERS {
+        let handle = obs.for_worker(worker);
+        for event in worker_events(worker) {
+            handle.emit(|| event);
+        }
+    }
+    let snap = stats.snapshot();
+    (
+        snap.workers.clone(),
+        snap.matches_confirmed,
+        snap.comparisons_emitted,
+        snap.pc.unwrap(),
+    )
+}
+
+#[test]
+fn concurrent_worker_observers_merge_to_the_sequential_totals() {
+    let stats = Arc::new(StatsObserver::with_ground_truth(ground_truth()));
+    let obs = Observer::new(stats.clone() as Arc<_>);
+
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let handle = obs.for_worker(worker);
+            scope.spawn(move || {
+                for event in worker_events(worker) {
+                    handle.emit(|| event);
+                }
+            });
+        }
+    });
+
+    let snap = stats.snapshot();
+    let (ref_workers, ref_matches, ref_comparisons, ref_pc) = sequential_reference();
+
+    // Global totals: every worker's events landed exactly once.
+    let total_events = WORKERS as u64 * CHUNKS_PER_WORKER;
+    assert_eq!(snap.matches_confirmed, total_events);
+    assert_eq!(snap.comparisons_emitted, total_events);
+    assert_eq!(snap.matches_confirmed, ref_matches);
+    assert_eq!(snap.comparisons_emitted, ref_comparisons);
+
+    // Worker-tagged classify timings stay out of the global histogram.
+    assert_eq!(snap.phases[Phase::Classify.index()].count, 0);
+
+    // Per-worker merging: same chunk counts, seconds, and match counts as
+    // the sequential run, worker by worker.
+    assert_eq!(snap.workers.len(), WORKERS as usize);
+    assert_eq!(snap.workers.len(), ref_workers.len());
+    for (got, want) in snap.workers.iter().zip(&ref_workers) {
+        assert_eq!(got.worker, want.worker);
+        assert_eq!(got.classify_chunks, want.classify_chunks);
+        assert_eq!(got.matches_confirmed, want.matches_confirmed);
+        assert!(
+            (got.classify_secs - want.classify_secs).abs() < 1e-9,
+            "worker {}: {} vs {}",
+            got.worker,
+            got.classify_secs,
+            want.classify_secs
+        );
+        assert_eq!(got.classify_chunks, CHUNKS_PER_WORKER);
+    }
+
+    // The PC trajectory credited every ground-truth pair exactly once
+    // despite concurrent ledger updates.
+    assert_eq!(snap.pc, Some(ref_pc));
+    assert_eq!(snap.pc, Some(1.0));
+    assert_eq!(snap.pc_matches, total_events);
+    let trajectory = stats.trajectory().unwrap();
+    assert_eq!(trajectory.matches(), total_events);
+    assert_eq!(trajectory.comparisons(), total_events);
+}
+
+#[test]
+fn concurrent_trajectory_timestamps_are_monotone() {
+    let gt = ground_truth();
+    let stats = Arc::new(StatsObserver::with_ground_truth(gt));
+    let obs = Observer::new(stats.clone() as Arc<_>);
+    thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let handle = obs.for_worker(worker);
+            scope.spawn(move || {
+                for event in worker_events(worker) {
+                    handle.emit(|| event);
+                }
+            });
+        }
+    });
+    let trajectory = stats.trajectory().unwrap();
+    let points = trajectory.points();
+    assert!(
+        points.windows(2).all(|w| w[0].time <= w[1].time),
+        "trajectory timestamps must be monotone under concurrent recording"
+    );
+    assert!((trajectory.pc() - 1.0).abs() < 1e-12);
+}

@@ -18,6 +18,13 @@
 //! Shared state uses `parking_lot` locks (blocker behind an `RwLock` —
 //! written by stage A, read by stage B — and the emitter behind a `Mutex`);
 //! threads communicate over `crossbeam` channels.
+//!
+//! Setting [`RuntimeConfig::telemetry`] attaches the `pier-metrics` live
+//! telemetry subsystem: queue-depth/backpressure gauges on every channel,
+//! live comparison/match/budget counters, per-phase latency histograms,
+//! and a progressive-recall estimate — all scrapable mid-run through
+//! [`pier_metrics::MetricsServer`] (re-exported here as
+//! [`MetricsServer`]).
 
 #![warn(missing_docs)]
 
@@ -27,6 +34,7 @@ pub mod sharded;
 pub mod stages;
 pub mod streaming;
 
+pub use pier_metrics::{MetricsServer, Telemetry};
 pub use pool::chunk_ranges;
 pub use report::{DictionaryStats, MatchEvent, RuntimeReport};
 pub use sharded::{run_streaming_sharded, run_streaming_sharded_observed};

@@ -30,9 +30,12 @@ use std::time::Instant;
 use crossbeam::channel;
 
 use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
+use pier_metrics::{
+    queue::gauged, Counter, GaugedReceiver, GaugedSender, MetricsRegistry, QueueGauges,
+};
 use pier_observe::{Event, Observer, Phase};
 
-use crate::stages::MaterializedPair;
+use crate::stages::{MaterializedPair, WORKER_COMPARISONS_HELP};
 
 /// One evaluated pair: the matcher's verdict plus the worker that ran it
 /// (so the coordinator can attribute the confirmation to that worker).
@@ -82,23 +85,53 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
 ///
 /// Dropping the pool closes the job channels and joins every worker.
 pub(crate) struct MatchPool {
-    job_txs: Vec<channel::Sender<Job>>,
-    reply_rx: channel::Receiver<Reply>,
+    job_txs: Vec<GaugedSender<Job>>,
+    reply_rx: GaugedReceiver<Reply>,
     handles: Vec<std::thread::JoinHandle<()>>,
     executed: Vec<u64>,
+    /// Live `pier_worker_comparisons_total{worker=i}` counters, kept in
+    /// lock-step with `executed` when telemetry is attached.
+    counters: Option<Vec<Arc<Counter>>>,
 }
 
 impl MatchPool {
     /// Spawns `workers` match workers sharing `matcher`. Each worker
-    /// observes through a worker-tagged clone of `observer`.
-    pub fn new(workers: usize, matcher: Arc<dyn MatchFunction>, observer: &Observer) -> MatchPool {
+    /// observes through a worker-tagged clone of `observer`. With a
+    /// `registry`, every job channel gets queue gauges
+    /// (`queue="match_jobs"`, `worker=i`), the shared reply channel gets
+    /// `queue="match_replies"`, and per-worker comparison counters mirror
+    /// [`MatchPool::executed_per_worker`] exactly.
+    pub fn new(
+        workers: usize,
+        matcher: Arc<dyn MatchFunction>,
+        observer: &Observer,
+        registry: Option<&MetricsRegistry>,
+    ) -> MatchPool {
         let workers = workers.max(1);
-        let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
+        let reply_gauges =
+            registry.map(|r| QueueGauges::register(r, &[("queue", "match_replies")], None));
+        let (reply_tx, reply_rx) = gauged(channel::unbounded::<Reply>(), reply_gauges);
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
+        let mut counters = registry.map(|_| Vec::with_capacity(workers));
         for worker in 0..workers {
-            let (job_tx, job_rx) = channel::unbounded::<Job>();
+            let label = worker.to_string();
+            let job_gauges = registry.map(|r| {
+                QueueGauges::register(
+                    r,
+                    &[("queue", "match_jobs"), ("worker", label.as_str())],
+                    None,
+                )
+            });
+            let (job_tx, job_rx) = gauged(channel::unbounded::<Job>(), job_gauges);
             job_txs.push(job_tx);
+            if let (Some(counters), Some(r)) = (&mut counters, registry) {
+                counters.push(r.counter(
+                    "pier_worker_comparisons_total",
+                    WORKER_COMPARISONS_HELP,
+                    &[("worker", label.as_str())],
+                ));
+            }
             let matcher = Arc::clone(&matcher);
             let observer = observer.for_worker(worker as u16);
             let reply_tx = reply_tx.clone();
@@ -113,6 +146,7 @@ impl MatchPool {
             reply_rx,
             handles,
             executed: vec![0; workers],
+            counters,
         }
     }
 
@@ -163,6 +197,9 @@ impl MatchPool {
                 reply.worker
             );
             self.executed[reply.worker] += reply.outcomes.len() as u64;
+            if let Some(counters) = &self.counters {
+                counters[reply.worker].add(reply.outcomes.len() as u64);
+            }
             let chunk = reply.chunk;
             slots[chunk] = Some(reply);
         }
@@ -195,8 +232,8 @@ impl Drop for MatchPool {
 /// reply so the coordinator fails loudly instead of deadlocking.
 fn worker_loop(
     worker: usize,
-    job_rx: &channel::Receiver<Job>,
-    reply_tx: &channel::Sender<Reply>,
+    job_rx: &GaugedReceiver<Job>,
+    reply_tx: &GaugedSender<Reply>,
     matcher: &dyn MatchFunction,
     observer: &Observer,
 ) {
@@ -295,7 +332,7 @@ mod tests {
         use pier_matching::EditDistanceMatcher;
 
         let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
-        let mut pool = MatchPool::new(3, Arc::clone(&matcher), &Observer::disabled());
+        let mut pool = MatchPool::new(3, Arc::clone(&matcher), &Observer::disabled(), None);
         // Pair i matches iff i is even; order must survive the fan-out.
         let batch: Vec<MaterializedPair> = (0..20u32)
             .map(|i| pair(2 * i, 2 * i + 1, i % 2 == 0))
@@ -319,8 +356,42 @@ mod tests {
         use pier_matching::EditDistanceMatcher;
 
         let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
-        let mut pool = MatchPool::new(2, matcher, &Observer::disabled());
+        let mut pool = MatchPool::new(2, matcher, &Observer::disabled(), None);
         assert!(pool.evaluate(&Arc::new(Vec::new())).is_empty());
         assert_eq!(pool.executed_per_worker(), &[0, 0]);
+    }
+
+    #[test]
+    fn registry_counters_mirror_per_worker_execution() {
+        use pier_matching::EditDistanceMatcher;
+
+        let registry = MetricsRegistry::shared();
+        let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
+        let mut pool = MatchPool::new(2, matcher, &Observer::disabled(), Some(&registry));
+        let batch: Vec<MaterializedPair> =
+            (0..9u32).map(|i| pair(2 * i, 2 * i + 1, true)).collect();
+        pool.evaluate(&Arc::new(batch));
+        for (worker, &executed) in pool.executed_per_worker().iter().enumerate() {
+            let label = worker.to_string();
+            let counter = registry.counter(
+                "pier_worker_comparisons_total",
+                "",
+                &[("worker", label.as_str())],
+            );
+            assert_eq!(counter.get(), executed, "worker {worker}");
+        }
+        // The job queues drained back to zero depth and counted their sends.
+        let depth = registry.gauge(
+            "pier_queue_depth",
+            "",
+            &[("queue", "match_jobs"), ("worker", "0")],
+        );
+        assert_eq!(depth.get(), 0);
+        let sends = registry.counter(
+            "pier_queue_sends_total",
+            "",
+            &[("queue", "match_jobs"), ("worker", "0")],
+        );
+        assert_eq!(sends.get(), 1);
     }
 }

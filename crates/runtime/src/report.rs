@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use pier_metrics::Telemetry;
 use pier_types::{Comparison, GroundTruth, MatchLedger, ProgressTrajectory};
 
 /// One classified match, timestamped relative to pipeline start.
@@ -120,6 +121,57 @@ impl RuntimeReport {
     /// 99th-percentile match confirmation time.
     pub fn match_latency_p99(&self) -> Option<Duration> {
         self.match_latency_percentile(0.99)
+    }
+
+    /// Publishes the finished run's summary into `telemetry`'s registry,
+    /// so the final scrape of a run (taken before
+    /// [`pier_metrics::MetricsServer::shutdown`]) carries the totals the
+    /// report holds: elapsed wall-clock, profiles, matches, throughput,
+    /// and the match-latency percentiles on the progressive-recall axis.
+    /// The drivers call this automatically when
+    /// [`crate::RuntimeConfig::telemetry`] is set.
+    pub fn publish_final(&self, telemetry: &Telemetry) {
+        let r = telemetry.registry();
+        r.float_gauge(
+            "pier_run_elapsed_seconds",
+            "Wall-clock duration of the finished run.",
+            &[],
+        )
+        .set(self.elapsed.as_secs_f64());
+        r.gauge(
+            "pier_run_profiles",
+            "Profiles ingested by the finished run.",
+            &[],
+        )
+        .set(self.profiles.min(i64::MAX as usize) as i64);
+        r.gauge(
+            "pier_run_matches",
+            "Matches confirmed by the finished run.",
+            &[],
+        )
+        .set(self.matches.len() as i64);
+        r.gauge(
+            "pier_run_ingest_errors",
+            "Non-fatal ingest errors over the finished run.",
+            &[],
+        )
+        .set(self.ingest_errors.len() as i64);
+        r.float_gauge(
+            "pier_run_comparisons_per_second",
+            "Comparison throughput of the finished run.",
+            &[],
+        )
+        .set(self.comparisons_per_second());
+        for (q, quantile) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            if let Some(at) = self.match_latency_percentile(q) {
+                r.float_gauge(
+                    "pier_match_latency_seconds",
+                    "Match confirmation latency from pipeline start (nearest-rank percentiles).",
+                    &[("quantile", quantile)],
+                )
+                .set(at.as_secs_f64());
+            }
+        }
     }
 
     /// Builds the run's progressive-recall trajectory against a ground

@@ -39,7 +39,8 @@ use parking_lot::{Mutex, RwLock};
 
 use pier_core::AdaptiveK;
 use pier_matching::MatchFunction;
-use pier_observe::{Event, Observer, Phase};
+use pier_metrics::{queue::gauged, QueueGauges};
+use pier_observe::{Event, Observer, Phase, PipelineObserver};
 use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
 use pier_types::{
     EntityProfile, ErKind, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
@@ -48,7 +49,7 @@ use pier_types::{
 use crate::pool::MatchPool;
 use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
 use crate::stages::{
-    spawn_source, tokenize_increment, Classifier, IdleBackoff, MaterializedPair,
+    spawn_source, tokenize_increment, Classifier, ClassifierMetrics, IdleBackoff, MaterializedPair,
     TokenizedIncrement, TokenizedProfile,
 };
 use crate::streaming::RuntimeConfig;
@@ -116,6 +117,15 @@ pub fn run_streaming_sharded_observed(
     let start = Instant::now();
     let total_profiles: usize = increments.iter().map(Vec::len).sum();
     let shards = shard_config.shards as usize;
+    // Telemetry: tee the metrics bridge onto the caller's observer and
+    // instrument every channel of the topology; with no telemetry each
+    // hook below is a single `None` branch.
+    let telemetry = config.telemetry.clone();
+    let observer = match &telemetry {
+        Some(t) => observer.tee(t.observer() as Arc<dyn PipelineObserver>),
+        None => observer,
+    };
+    let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
     let dictionary = SharedTokenDictionary::new();
     let router = ShardRouter::with_dictionary(
         shard_config.shards,
@@ -123,7 +133,10 @@ pub fn run_streaming_sharded_observed(
         dictionary.clone(),
     );
     let store = Arc::new(RwLock::new(ProfileStore::new()));
-    let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
+    let match_gauges = registry
+        .as_ref()
+        .map(|r| QueueGauges::register(r, &[("queue", "matches")], None));
+    let (match_tx, match_rx) = gauged(channel::unbounded::<MatchEvent>(), match_gauges);
     let ingest_done = Arc::new(AtomicBool::new(false));
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
@@ -141,11 +154,26 @@ pub fn run_streaming_sharded_observed(
     let mut cmd_rxs = Vec::with_capacity(shards);
     let mut reply_txs = Vec::with_capacity(shards);
     let mut reply_rxs = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        let (tx, rx) = channel::unbounded::<ShardMsg>();
+    for shard in 0..shards {
+        let label = shard.to_string();
+        let cmd_gauges = registry.as_ref().map(|r| {
+            QueueGauges::register(
+                r,
+                &[("queue", "shard_cmd"), ("shard", label.as_str())],
+                None,
+            )
+        });
+        let (tx, rx) = gauged(channel::unbounded::<ShardMsg>(), cmd_gauges);
         cmd_txs.push(tx);
         cmd_rxs.push(rx);
-        let (tx, rx) = channel::unbounded::<ShardReply>();
+        let reply_gauges = registry.as_ref().map(|r| {
+            QueueGauges::register(
+                r,
+                &[("queue", "shard_reply"), ("shard", label.as_str())],
+                None,
+            )
+        });
+        let (tx, rx) = gauged(channel::unbounded::<ShardReply>(), reply_gauges);
         reply_txs.push(tx);
         reply_rxs.push(rx);
     }
@@ -158,11 +186,29 @@ pub fn run_streaming_sharded_observed(
     let mut tok_rxs = Vec::with_capacity(pool);
     let mut routed_txs = Vec::with_capacity(pool);
     let mut routed_rxs = Vec::with_capacity(pool);
-    for _ in 0..pool {
-        let (tx, rx) = channel::bounded::<(u64, Vec<EntityProfile>)>(64);
+    for lane in 0..pool {
+        let label = lane.to_string();
+        let tok_gauges = registry.as_ref().map(|r| {
+            QueueGauges::register(
+                r,
+                &[("queue", "tokenizer"), ("lane", label.as_str())],
+                Some(64),
+            )
+        });
+        let (tx, rx) = gauged(
+            channel::bounded::<(u64, Vec<EntityProfile>)>(64),
+            tok_gauges,
+        );
         tok_txs.push(tx);
         tok_rxs.push(rx);
-        let (tx, rx) = channel::bounded::<TokenizedIncrement>(64);
+        let routed_gauges = registry.as_ref().map(|r| {
+            QueueGauges::register(
+                r,
+                &[("queue", "routed"), ("lane", label.as_str())],
+                Some(64),
+            )
+        });
+        let (tx, rx) = gauged(channel::bounded::<TokenizedIncrement>(64), routed_gauges);
         routed_txs.push(tx);
         routed_rxs.push(rx);
     }
@@ -320,11 +366,18 @@ pub fn run_streaming_sharded_observed(
             let deadline = config.deadline;
             let observer = observer.clone();
             let worker_comparisons = Arc::clone(&worker_comparisons);
+            let registry = registry.clone();
             let mut merger = ShardMerger::new(shards);
             merger.set_observer(observer.clone());
             scope.spawn(move || {
-                let mut pool = (match_workers > 1)
-                    .then(|| MatchPool::new(match_workers, Arc::clone(&matcher), &observer));
+                let mut pool = (match_workers > 1).then(|| {
+                    MatchPool::new(
+                        match_workers,
+                        Arc::clone(&matcher),
+                        &observer,
+                        registry.as_deref(),
+                    )
+                });
                 let mut backoff = IdleBackoff::new();
                 let mut classifier = Classifier {
                     start,
@@ -333,6 +386,9 @@ pub fn run_streaming_sharded_observed(
                     matcher: matcher.as_ref(),
                     observer: &observer,
                     match_tx,
+                    metrics: registry.as_deref().map(|r| {
+                        ClassifierMetrics::register(r, max_comparisons, match_workers <= 1)
+                    }),
                     executed: 0,
                 };
                 loop {
@@ -422,7 +478,7 @@ pub fn run_streaming_sharded_observed(
     let token_occurrences = store.read().token_occurrences();
     let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
     let worker_comparisons = std::mem::take(&mut *worker_comparisons.lock());
-    RuntimeReport {
+    let report = RuntimeReport {
         matches,
         comparisons,
         elapsed: start.elapsed(),
@@ -435,7 +491,11 @@ pub fn run_streaming_sharded_observed(
         ingest_errors,
         match_workers,
         worker_comparisons,
+    };
+    if let Some(t) = &telemetry {
+        report.publish_final(t);
     }
+    report
 }
 
 #[cfg(test)]
@@ -525,6 +585,83 @@ mod tests {
         let shard_profiles: u64 = snap.shards.iter().map(|s| s.profiles).sum();
         assert!(shard_profiles >= snap.profiles);
         assert_eq!(snap.profiles, 4);
+    }
+
+    #[test]
+    fn sharded_telemetry_counters_equal_the_report() {
+        use pier_metrics::Telemetry;
+
+        let telemetry = Telemetry::new();
+        let registry = Arc::clone(telemetry.registry());
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            telemetry: Some(telemetry),
+            ..runtime_config()
+        };
+        let report = run_streaming_sharded(
+            ErKind::Dirty,
+            increments(),
+            ShardedConfig::default(),
+            matcher,
+            config,
+            |_| {},
+        );
+        let counter = |name: &str| registry.counter(name, "", &[]).get();
+        assert_eq!(counter("pier_comparisons_total"), report.comparisons);
+        assert_eq!(
+            counter("pier_matches_confirmed_total"),
+            report.matches.len() as u64
+        );
+        assert_eq!(counter("pier_profiles_total"), report.profiles as u64);
+        for (worker, &want) in report.worker_comparisons.iter().enumerate() {
+            let label = worker.to_string();
+            let got = registry
+                .counter(
+                    "pier_worker_comparisons_total",
+                    "",
+                    &[("worker", label.as_str())],
+                )
+                .get();
+            assert_eq!(got, want, "worker {worker}");
+        }
+        // Shard-labeled comparison counters sum to the global emitted total.
+        let default_shards = ShardedConfig::default().shards;
+        let shard_emitted: u64 = (0..default_shards)
+            .map(|s| {
+                let label = s.to_string();
+                registry
+                    .counter(
+                        "pier_shard_comparisons_emitted_total",
+                        "",
+                        &[("shard", label.as_str())],
+                    )
+                    .get()
+            })
+            .sum();
+        assert_eq!(shard_emitted, counter("pier_comparisons_emitted_total"));
+        // Every instrumented channel drained back to zero depth.
+        let depth_gauges = [
+            ("matches", None),
+            ("shard_cmd", Some("shard")),
+            ("tokenizer", Some("lane")),
+        ];
+        for (queue, extra) in depth_gauges {
+            for i in 0..default_shards {
+                let label = i.to_string();
+                let labels: Vec<(&str, &str)> = match extra {
+                    Some(key) => vec![("queue", queue), (key, label.as_str())],
+                    None => vec![("queue", queue)],
+                };
+                assert_eq!(
+                    registry.gauge("pier_queue_depth", "", &labels).get(),
+                    0,
+                    "queue {queue} {i}"
+                );
+                if extra.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,11 +13,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
 use parking_lot::Mutex;
 
 use pier_core::AdaptiveK;
 use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
+use pier_metrics::{Counter, Gauge, GaugedSender, MetricsRegistry};
 use pier_observe::{Event, Observer, Phase};
 use pier_types::{EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
 
@@ -112,6 +112,52 @@ pub(crate) struct MaterializedPair {
     pub tokens_b: Arc<[TokenId]>,
 }
 
+/// Shared `# HELP` text for `pier_worker_comparisons_total`, registered by
+/// both the pool (one counter per worker) and the sequential classifier
+/// (`worker="0"` only).
+pub(crate) const WORKER_COMPARISONS_HELP: &str =
+    "Comparisons evaluated per match worker (the report's worker_comparisons).";
+
+/// Live classifier metrics: the scraped totals that must equal the final
+/// [`crate::RuntimeReport`] exactly (`pier_comparisons_total` ==
+/// `report.comparisons`, and in sequential mode
+/// `pier_worker_comparisons_total{worker="0"}` == its single
+/// `worker_comparisons` entry).
+pub(crate) struct ClassifierMetrics {
+    comparisons: Arc<Counter>,
+    budget_remaining: Arc<Gauge>,
+    /// Sequential mode only; pooled runs count per worker in the pool.
+    sequential_worker: Option<Arc<Counter>>,
+}
+
+impl ClassifierMetrics {
+    /// Registers the classifier's live families, seeding the budget gauge
+    /// with the run's full comparison cap.
+    pub fn register(registry: &MetricsRegistry, max_comparisons: u64, sequential: bool) -> Self {
+        let budget_remaining = registry.gauge(
+            "pier_budget_remaining",
+            "Comparisons left before the run's safety cap.",
+            &[],
+        );
+        budget_remaining.set(max_comparisons.min(i64::MAX as u64) as i64);
+        ClassifierMetrics {
+            comparisons: registry.counter(
+                "pier_comparisons_total",
+                "Comparisons executed by the classifier (the report's total).",
+                &[],
+            ),
+            budget_remaining,
+            sequential_worker: sequential.then(|| {
+                registry.counter(
+                    "pier_worker_comparisons_total",
+                    WORKER_COMPARISONS_HELP,
+                    &[("worker", "0")],
+                )
+            }),
+        }
+    }
+}
+
 /// The classification tail of stage B, shared by both drivers: evaluate
 /// the matcher over a materialized batch, emit `MatchConfirmed` events and
 /// [`MatchEvent`]s, time the phase, and feed the adaptive-`K` controller.
@@ -121,7 +167,8 @@ pub(crate) struct Classifier<'a> {
     pub max_comparisons: u64,
     pub matcher: &'a dyn MatchFunction,
     pub observer: &'a Observer,
-    pub match_tx: channel::Sender<MatchEvent>,
+    pub match_tx: GaugedSender<MatchEvent>,
+    pub metrics: Option<ClassifierMetrics>,
     pub executed: u64,
 }
 
@@ -193,6 +240,13 @@ impl Classifier<'_> {
     /// untagged, preserving its exact event stream).
     fn record(&mut self, pair: &MaterializedPair, outcome: &MatchOutcome, worker: Option<u16>) {
         self.executed += 1;
+        if let Some(m) = &self.metrics {
+            m.comparisons.inc();
+            m.budget_remaining.dec();
+            if let Some(w) = &m.sequential_worker {
+                w.inc();
+            }
+        }
         if outcome.is_match {
             let at = self.start.elapsed();
             let cmp = pier_types::Comparison::new(pair.profile_a.id, pair.profile_b.id);

@@ -10,12 +10,15 @@ use parking_lot::{Mutex, RwLock};
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_core::{AdaptiveK, ComparisonEmitter};
 use pier_matching::MatchFunction;
-use pier_observe::{Event, Observer, Phase};
+use pier_metrics::{queue::gauged, QueueGauges, Telemetry};
+use pier_observe::{Event, Observer, Phase, PipelineObserver};
 use pier_types::{EntityProfile, ErKind, SharedTokenDictionary, Tokenizer};
 
 use crate::pool::MatchPool;
 use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
-use crate::stages::{spawn_source, tokenize_increment, Classifier, IdleBackoff, MaterializedPair};
+use crate::stages::{
+    spawn_source, tokenize_increment, Classifier, ClassifierMetrics, IdleBackoff, MaterializedPair,
+};
 
 /// Configuration of a real-time run.
 #[derive(Debug, Clone)]
@@ -37,6 +40,15 @@ pub struct RuntimeConfig {
     /// match set, event order, and comparison count — only wall-clock
     /// throughput changes.
     pub match_workers: usize,
+    /// Live telemetry. When set, the driver tees a
+    /// [`pier_metrics::MetricsObserver`] onto the run's observer, attaches
+    /// queue-depth/backpressure gauges to every pipeline channel, exposes
+    /// the classifier's live comparison count and remaining budget, and
+    /// publishes the final report totals into the telemetry's registry —
+    /// ready to scrape with a [`pier_metrics::MetricsServer`]. `None`
+    /// (the default) adds a single branch per channel operation and
+    /// nothing else.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for RuntimeConfig {
@@ -48,6 +60,7 @@ impl Default for RuntimeConfig {
             max_comparisons: 10_000_000,
             deadline: Duration::from_secs(60),
             match_workers: default_match_workers(),
+            telemetry: None,
         }
     }
 }
@@ -106,6 +119,15 @@ pub fn run_streaming_observed(
 ) -> RuntimeReport {
     let start = Instant::now();
     let total_profiles: usize = increments.iter().map(Vec::len).sum();
+    // Telemetry: tee the metrics bridge onto the caller's observer and
+    // instrument the channels; with no telemetry every hook below is a
+    // single `None` branch.
+    let telemetry = config.telemetry.clone();
+    let observer = match &telemetry {
+        Some(t) => observer.tee(t.observer() as Arc<dyn PipelineObserver>),
+        None => observer,
+    };
+    let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
     let dictionary = SharedTokenDictionary::new();
     let mut initial_blocker = IncrementalBlocker::with_shared_dictionary(
         kind,
@@ -116,8 +138,14 @@ pub fn run_streaming_observed(
     initial_blocker.set_observer(observer.clone());
     emitter.set_observer(observer.clone());
     let blocker = Arc::new(RwLock::new(initial_blocker));
-    let (inc_tx, inc_rx) = channel::bounded::<Vec<EntityProfile>>(1024);
-    let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
+    let inc_gauges = registry
+        .as_ref()
+        .map(|r| QueueGauges::register(r, &[("queue", "increments")], Some(1024)));
+    let (inc_tx, inc_rx) = gauged(channel::bounded::<Vec<EntityProfile>>(1024), inc_gauges);
+    let match_gauges = registry
+        .as_ref()
+        .map(|r| QueueGauges::register(r, &[("queue", "matches")], None));
+    let (match_tx, match_rx) = gauged(channel::unbounded::<MatchEvent>(), match_gauges);
     let ingest_done = Arc::new(AtomicBool::new(false));
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
@@ -222,9 +250,16 @@ pub fn run_streaming_observed(
             let deadline = config.deadline;
             let observer = observer.clone();
             let worker_comparisons = Arc::clone(&worker_comparisons);
+            let registry = registry.clone();
             scope.spawn(move || {
-                let mut pool = (match_workers > 1)
-                    .then(|| MatchPool::new(match_workers, Arc::clone(&matcher), &observer));
+                let mut pool = (match_workers > 1).then(|| {
+                    MatchPool::new(
+                        match_workers,
+                        Arc::clone(&matcher),
+                        &observer,
+                        registry.as_deref(),
+                    )
+                });
                 let mut backoff = IdleBackoff::new();
                 let mut classifier = Classifier {
                     start,
@@ -233,6 +268,9 @@ pub fn run_streaming_observed(
                     matcher: matcher.as_ref(),
                     observer: &observer,
                     match_tx,
+                    metrics: registry.as_deref().map(|r| {
+                        ClassifierMetrics::register(r, max_comparisons, match_workers <= 1)
+                    }),
                     executed: 0,
                 };
                 loop {
@@ -312,7 +350,7 @@ pub fn run_streaming_observed(
 
     let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
     let worker_comparisons = std::mem::take(&mut *worker_comparisons.lock());
-    RuntimeReport {
+    let report = RuntimeReport {
         matches,
         comparisons,
         elapsed: start.elapsed(),
@@ -325,7 +363,11 @@ pub fn run_streaming_observed(
         ingest_errors,
         match_workers,
         worker_comparisons,
+    };
+    if let Some(t) = &telemetry {
+        report.publish_final(t);
     }
+    report
 }
 
 #[cfg(test)]
@@ -448,6 +490,72 @@ mod tests {
         // Block and weight phases ran once per increment; prune/classify at
         // least once per batch.
         assert!(snap.phases.iter().all(|ph| ph.count >= 1));
+    }
+
+    #[test]
+    fn telemetry_counters_equal_the_report() {
+        let telemetry = Telemetry::new();
+        let registry = Arc::clone(telemetry.registry());
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(5),
+            deadline: Duration::from_secs(10),
+            telemetry: Some(telemetry),
+            ..RuntimeConfig::default()
+        };
+        let report = run_streaming(
+            ErKind::Dirty,
+            increments(),
+            emitter,
+            matcher,
+            config,
+            |_| {},
+        );
+        let counter = |name: &str| registry.counter(name, "", &[]).get();
+        assert_eq!(counter("pier_comparisons_total"), report.comparisons);
+        assert_eq!(
+            counter("pier_matches_confirmed_total"),
+            report.matches.len() as u64
+        );
+        assert_eq!(counter("pier_profiles_total"), report.profiles as u64);
+        assert_eq!(counter("pier_increments_total"), 2);
+        for (worker, &want) in report.worker_comparisons.iter().enumerate() {
+            let label = worker.to_string();
+            let got = registry
+                .counter(
+                    "pier_worker_comparisons_total",
+                    "",
+                    &[("worker", label.as_str())],
+                )
+                .get();
+            assert_eq!(got, want, "worker {worker}");
+        }
+        // The budget gauge burned down by exactly the executed comparisons.
+        let budget = registry.gauge("pier_budget_remaining", "", &[]).get();
+        assert_eq!(budget, 10_000_000 - report.comparisons as i64);
+        // The run's channels drained and the final totals were published.
+        let depth = |queue: &str| {
+            registry
+                .gauge("pier_queue_depth", "", &[("queue", queue)])
+                .get()
+        };
+        assert_eq!(depth("matches"), 0);
+        assert_eq!(depth("increments"), 0);
+        assert!(
+            registry
+                .counter("pier_queue_sends_total", "", &[("queue", "increments")])
+                .get()
+                >= 2
+        );
+        let elapsed = registry
+            .float_gauge("pier_run_elapsed_seconds", "", &[])
+            .get();
+        assert!((elapsed - report.elapsed.as_secs_f64()).abs() < 1e-9);
+        assert_eq!(
+            registry.gauge("pier_run_matches", "", &[]).get(),
+            report.matches.len() as i64
+        );
     }
 
     #[test]

@@ -20,10 +20,21 @@
 //! `N` parallel workers (default: the machine's available parallelism;
 //! `1` reproduces the sequential executor exactly). The final snapshot
 //! then includes a per-worker classify breakdown.
+//!
+//! Pass `--metrics-addr HOST:PORT` (port 0 for an OS-assigned port) to
+//! attach the live telemetry subsystem and serve a Prometheus text
+//! endpoint while the pipeline runs — the example prints a one-line
+//! scrape hint and a final gauge snapshot. Add `--hold-metrics-secs N`
+//! to keep the endpoint alive after the run until it has served at least
+//! one scrape (or `N` seconds pass), which makes external scrapers
+//! race-free.
+//!
+//! Pass `--trace-out FILE` to export a chrome-trace/Perfetto JSON of the
+//! run's phase timings (openable at <https://ui.perfetto.dev>).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pier::prelude::*;
 
@@ -53,10 +64,25 @@ fn parse_match_workers() -> Option<usize> {
     Some(n)
 }
 
+fn parse_value_arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == flag)?;
+    Some(
+        args.get(pos + 1)
+            .unwrap_or_else(|| panic!("{flag} takes a value"))
+            .clone(),
+    )
+}
+
 fn main() {
     let shards = parse_shards();
     let intern_stats = parse_intern_stats();
     let match_workers = parse_match_workers();
+    let metrics_addr = parse_value_arg("--metrics-addr");
+    let trace_out = parse_value_arg("--trace-out");
+    let hold_metrics_secs: u64 = parse_value_arg("--hold-metrics-secs")
+        .map(|v| v.parse().expect("--hold-metrics-secs takes seconds"))
+        .unwrap_or(0);
     // The bibliographic corpus: two clean sources with known duplicates.
     let dataset = generate_bibliographic(&BibliographicConfig {
         seed: 42,
@@ -104,10 +130,35 @@ fn main() {
         })
     };
 
+    // Live telemetry: a Prometheus endpoint over a shared registry, and a
+    // Perfetto trace of the phase timings, both optional.
+    let telemetry = metrics_addr
+        .is_some()
+        .then(|| Telemetry::new().with_ground_truth(dataset.ground_truth.clone()));
+    let mut server = match (&metrics_addr, &telemetry) {
+        (Some(addr), Some(t)) => {
+            let server = MetricsServer::serve(addr.as_str(), Arc::clone(t.registry()))
+                .expect("--metrics-addr binds");
+            println!(
+                "metrics: scrape with `curl http://{}/metrics`",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        _ => None,
+    };
+    let trace = trace_out
+        .map(|path| Arc::new(TraceObserver::create(&path).expect("--trace-out file is writable")));
+    let mut observer = Observer::new(stats.clone());
+    if let Some(trace) = &trace {
+        observer = observer.tee(Arc::clone(trace) as Arc<dyn PipelineObserver>);
+    }
+
     let matcher = Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>;
     let mut runtime_config = RuntimeConfig {
         interarrival: Duration::from_millis(10),
         deadline: Duration::from_secs(30),
+        telemetry: telemetry.clone(),
         ..RuntimeConfig::default()
     };
     if let Some(n) = match_workers {
@@ -126,7 +177,7 @@ fn main() {
                 },
                 matcher,
                 runtime_config,
-                Observer::new(stats.clone()),
+                observer,
                 |_| {},
             )
         }
@@ -136,12 +187,65 @@ fn main() {
             Box::new(Ipes::new(PierConfig::default())),
             matcher,
             runtime_config,
-            Observer::new(stats.clone()),
+            observer,
             |_| {},
         ),
     };
     done.store(true, Ordering::Relaxed);
     monitor.join().unwrap();
+
+    if let Some(trace) = &trace {
+        match trace.finalize() {
+            Ok(path) => println!(
+                "trace: {} events -> {} (open at https://ui.perfetto.dev)",
+                trace.events_recorded(),
+                path.display()
+            ),
+            Err(e) => eprintln!("trace export failed: {e}"),
+        }
+    }
+
+    if let (Some(server), Some(telemetry)) = (&mut server, &telemetry) {
+        // Hold the endpoint for external scrapers (CI smoke) before the
+        // final gauge snapshot and shutdown.
+        let hold = Duration::from_secs(hold_metrics_secs);
+        let held = Instant::now();
+        while server.requests_served() == 0 && held.elapsed() < hold {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let registry = telemetry.registry();
+        println!("\n=== final metrics gauges ===");
+        for (name, value) in [
+            (
+                "pier_comparisons_total",
+                registry.counter("pier_comparisons_total", "", &[]).get() as f64,
+            ),
+            (
+                "pier_matches_confirmed_total",
+                registry
+                    .counter("pier_matches_confirmed_total", "", &[])
+                    .get() as f64,
+            ),
+            (
+                "pier_budget_remaining",
+                registry.gauge("pier_budget_remaining", "", &[]).get() as f64,
+            ),
+            (
+                "pier_recall_estimate",
+                registry.float_gauge("pier_recall_estimate", "", &[]).get(),
+            ),
+            (
+                "pier_run_elapsed_seconds",
+                registry
+                    .float_gauge("pier_run_elapsed_seconds", "", &[])
+                    .get(),
+            ),
+        ] {
+            println!("{name:<28} {value}");
+        }
+        println!("scrapes served               {}", server.requests_served());
+        server.shutdown();
+    }
 
     // Final snapshot: totals and per-phase latency histograms.
     let s = stats.snapshot();

@@ -221,6 +221,53 @@ def plot_matcher_throughput(name: str, csvs: list[Path], out: Path, plt) -> None
     print(f"wrote {out}")
 
 
+def plot_metrics_overhead(name: str, csvs: list[Path], out: Path, plt) -> None:
+    """Two-panel telemetry figure: the live registry timelines sampled
+    mid-run (queue depths + cumulative comparisons on the left, the recall
+    estimate on the right), with the measured metered-vs-noop overhead of
+    the metrics sink in the title."""
+    series = {path.stem: load_series(path) for path in csvs}
+    fig, (ax_q, ax_r) = plt.subplots(1, 2, figsize=(11, 4.5))
+
+    for stem, style in [
+        ("queue_depth_increments", dict(color="tab:blue", label="increments queue")),
+        ("queue_depth_matches", dict(color="tab:orange", linestyle="--", label="matches queue")),
+    ]:
+        if stem in series:
+            x_name, xs, ys = series[stem]
+            ax_q.plot(xs, ys, linewidth=1.2, **style)
+            ax_q.set_xlabel(x_name)
+    ax_q.set_ylabel("queue depth (messages)")
+    if "comparisons_total" in series:
+        _, xs, ys = series["comparisons_total"]
+        ax_c = ax_q.twinx()
+        ax_c.plot(xs, ys, color="tab:gray", linewidth=1.0, alpha=0.7)
+        ax_c.set_ylabel("comparisons total", color="tab:gray")
+    ax_q.set_title("live queue gauges during a run", fontsize=9)
+    ax_q.grid(True, alpha=0.3)
+    ax_q.legend(fontsize=7, loc="upper right")
+
+    if "recall_trajectory" in series:
+        x_name, xs, ys = series["recall_trajectory"]
+        ax_r.plot(xs, ys, color="tab:green", linewidth=1.2, label="pier_recall_estimate")
+        ax_r.set_xlabel(x_name)
+    ax_r.set_ylabel("recall estimate")
+    ax_r.set_ylim(-0.02, 1.02)
+    ax_r.set_title("recall gauge sampled from the registry", fontsize=9)
+    ax_r.grid(True, alpha=0.3)
+    ax_r.legend(fontsize=7, loc="lower right")
+
+    title = name
+    if "overhead_pct" in series:
+        _, _, ys = series["overhead_pct"]
+        if ys:
+            title = f"{name} — metered-vs-noop overhead {ys[-1]:.2f}% (contract < 5%)"
+    fig.suptitle(title)
+    fig.savefig(out, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
 def main() -> int:
     if not EXPERIMENTS.is_dir():
         # Nothing to plot is not an error: CI invokes this unconditionally
@@ -263,6 +310,11 @@ def main() -> int:
             continue
         if figure_dir.name == "matcher_throughput":
             plot_matcher_throughput(
+                figure_dir.name, csvs, EXPERIMENTS / f"{figure_dir.name}.svg", plt
+            )
+            continue
+        if figure_dir.name == "metrics_overhead":
+            plot_metrics_overhead(
                 figure_dir.name, csvs, EXPERIMENTS / f"{figure_dir.name}.svg", plt
             )
             continue

@@ -64,6 +64,7 @@
 //! | [`sim`] | virtual-clock pipeline simulator behind every figure |
 //! | [`runtime`] | real multi-threaded streaming runtime |
 //! | [`observe`] | zero-cost pipeline instrumentation, stats & JSONL export |
+//! | [`metrics`] | live telemetry: lock-free registry, queue gauges, Prometheus endpoint, Perfetto traces |
 
 #![warn(missing_docs)]
 
@@ -74,6 +75,7 @@ pub use pier_core as core;
 pub use pier_datagen as datagen;
 pub use pier_matching as matching;
 pub use pier_metablocking as metablocking;
+pub use pier_metrics as metrics;
 pub use pier_observe as observe;
 pub use pier_runtime as runtime;
 pub use pier_shard as shard;
@@ -102,10 +104,13 @@ pub mod prelude {
         MatchInput, MatchOutcome, OracleMatcher,
     };
     pub use pier_metablocking::{iwnp, BlockingGraph, IwnpConfig, WeightingScheme};
+    pub use pier_metrics::{
+        MetricsObserver, MetricsRegistry, MetricsServer, QueueGauges, Telemetry, TraceObserver,
+    };
     pub use pier_observe::{
-        read_events, replay_match_count, replay_trajectory, Event, JsonlObserver, NoopObserver,
-        Observer, Phase, PipelineObserver, ShardSnapshot, StatsObserver, StatsSnapshot, TimedEvent,
-        WorkerSnapshot,
+        read_events, replay_match_count, replay_trajectory, Event, FanoutObserver, JsonlObserver,
+        NoopObserver, Observer, Phase, PipelineObserver, ShardSnapshot, StatsObserver,
+        StatsSnapshot, TimedEvent, WorkerSnapshot,
     };
     pub use pier_runtime::{
         chunk_ranges, default_match_workers, run_streaming, run_streaming_observed,
