@@ -1,0 +1,499 @@
+//! The incremental cluster index: a concurrent union-find over profiles.
+//!
+//! [`EntityIndex`] maintains the transitive closure of the confirmed-match
+//! stream as it arrives — the evolving partition of profiles into entities
+//! that is the actual output of progressive ER. Internally it is the same
+//! disjoint-set structure as [`pier_types::IncrementalClusters`] (path
+//! halving, union by size), wrapped for concurrency:
+//!
+//! * **one writer, many readers**: all state — parents, sizes, member
+//!   lists, and every counter including the generation — lives behind a
+//!   single `parking_lot::RwLock`, so any read is one lock acquisition and
+//!   internally consistent by construction (no torn views);
+//! * **lock-light reads**: readers resolve roots by *walking* the parent
+//!   chain without compressing it, so they only ever take the read lock.
+//!   Union by size bounds the walk at O(log n) even without compression;
+//!   the writer's path halving keeps real chains far shorter;
+//! * **generation counter**: bumped once per applied match, monotone, and
+//!   returned inside every snapshot/lookup so clients can order the views
+//!   they observe mid-stream.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pier_types::{Comparison, ProfileId};
+
+/// Parent slot value for a profile that never appeared in a match.
+const UNSET: u32 = u32::MAX;
+
+/// How many of the largest clusters a [`EntityIndex::snapshot`] carries
+/// with full member lists.
+pub const TOP_CLUSTERS: usize = 5;
+
+/// Everything the index knows, behind one lock so every read is a
+/// consistent view.
+#[derive(Default)]
+struct IndexState {
+    /// parent[i] = parent slot of profile i; `UNSET` = unregistered.
+    parent: Vec<u32>,
+    /// size[i] = cluster size when i is a root.
+    size: Vec<u32>,
+    /// root -> members (unsorted; small lists are appended onto big ones).
+    members: HashMap<u32, Vec<ProfileId>>,
+    /// Profiles that appeared in at least one applied match.
+    registered: usize,
+    /// Matches that actually merged two clusters.
+    merges: u64,
+    /// Matches applied, merging or not.
+    matches_applied: u64,
+    /// Bumped once per applied match; monotone.
+    generation: u64,
+}
+
+impl IndexState {
+    fn ensure(&mut self, p: ProfileId) {
+        let i = p.index();
+        if self.parent.len() <= i {
+            self.parent.resize(i + 1, UNSET);
+            self.size.resize(i + 1, 0);
+        }
+        if self.parent[i] == UNSET {
+            self.parent[i] = i as u32;
+            self.size[i] = 1;
+            self.members.insert(i as u32, vec![p]);
+            self.registered += 1;
+        }
+    }
+
+    /// Writer-side find with path halving.
+    fn find_mut(&mut self, mut i: usize) -> usize {
+        while self.parent[i] as usize != i {
+            let grandparent = self.parent[self.parent[i] as usize];
+            self.parent[i] = grandparent;
+            i = grandparent as usize;
+        }
+        i
+    }
+
+    /// Reader-side find: walks the chain without mutating, so it works
+    /// under the read lock. Union by size bounds the depth at O(log n).
+    fn find_ro(&self, mut i: usize) -> Option<usize> {
+        if i >= self.parent.len() || self.parent[i] == UNSET {
+            return None;
+        }
+        while self.parent[i] as usize != i {
+            i = self.parent[i] as usize;
+        }
+        Some(i)
+    }
+
+    fn clusters(&self) -> usize {
+        self.registered - self.merges as usize
+    }
+}
+
+/// Counters of the index at one instant (all read under one lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntityStats {
+    /// Monotone view counter; bumped once per applied match.
+    pub generation: u64,
+    /// Matches applied so far (merging or redundant).
+    pub matches_applied: u64,
+    /// Matches that merged two clusters.
+    pub merges: u64,
+    /// Profiles that appeared in at least one applied match.
+    pub profiles: usize,
+    /// Current number of clusters.
+    pub clusters: usize,
+}
+
+/// One profile's cluster, resolved under a single lock acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityLookup {
+    /// The cluster's current representative (its union-find root).
+    pub entity: ProfileId,
+    /// Generation at which this view was taken.
+    pub generation: u64,
+    /// All members of the cluster, sorted by profile id.
+    pub members: Vec<ProfileId>,
+}
+
+/// One cluster inside a [`EntitySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityCluster {
+    /// The cluster's current representative (its union-find root).
+    pub entity: ProfileId,
+    /// Number of members.
+    pub size: usize,
+    /// All members, sorted by profile id.
+    pub members: Vec<ProfileId>,
+}
+
+/// A consistent view of the whole index at one generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntitySnapshot {
+    /// Generation at which this view was taken.
+    pub generation: u64,
+    /// Matches applied so far (merging or redundant).
+    pub matches_applied: u64,
+    /// Matches that merged two clusters.
+    pub merges: u64,
+    /// Profiles that appeared in at least one applied match.
+    pub profiles: usize,
+    /// Current number of clusters.
+    pub clusters: usize,
+    /// `(cluster size, how many clusters have it)`, ascending by size.
+    pub size_histogram: Vec<(usize, usize)>,
+    /// The [`TOP_CLUSTERS`] largest clusters with full member lists,
+    /// ordered by descending size then first member.
+    pub largest: Vec<EntityCluster>,
+}
+
+/// End-of-run entity summary carried by the runtime report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntitySummary {
+    /// Clusters in the index (profiles linked by at least one match).
+    pub clusters: usize,
+    /// Profiles that appeared in at least one applied match.
+    pub matched_profiles: usize,
+    /// Profiles the run ingested that never matched anything.
+    pub singletons: usize,
+    /// Size of the largest cluster (0 when no matches were applied).
+    pub max_size: usize,
+    /// Mean cluster size over the index's clusters (0.0 when empty).
+    pub mean_size: f64,
+    /// Matches applied over the run (merging or redundant).
+    pub matches_applied: u64,
+    /// Matches that merged two clusters.
+    pub merges: u64,
+}
+
+/// Incrementally maintained entity clusters, safe to query while the
+/// pipeline is still writing.
+///
+/// ```
+/// use pier_entity::EntityIndex;
+/// use pier_types::{Comparison, ProfileId};
+///
+/// let index = EntityIndex::new();
+/// index.apply(Comparison::new(ProfileId(1), ProfileId(2)));
+/// index.apply(Comparison::new(ProfileId(2), ProfileId(3)));
+/// assert!(index.same_entity(ProfileId(1), ProfileId(3)));
+/// assert_eq!(index.members(ProfileId(3)).unwrap().len(), 3);
+/// assert_eq!(index.stats().clusters, 1);
+/// ```
+#[derive(Default)]
+pub struct EntityIndex {
+    state: RwLock<IndexState>,
+}
+
+impl EntityIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty index behind an `Arc`, ready to share between a
+    /// driver (writer) and servers/monitors (readers).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Folds one confirmed match into the partition; returns `true` if it
+    /// merged two clusters (`false` if the pair was already transitively
+    /// linked). Bumps the generation either way.
+    pub fn apply(&self, cmp: Comparison) -> bool {
+        let mut s = self.state.write();
+        s.ensure(cmp.a);
+        s.ensure(cmp.b);
+        let ra = s.find_mut(cmp.a.index());
+        let rb = s.find_mut(cmp.b.index());
+        s.matches_applied += 1;
+        s.generation += 1;
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if s.size[ra] >= s.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        s.parent[small] = big as u32;
+        s.size[big] += s.size[small];
+        let moved = s.members.remove(&(small as u32)).unwrap_or_default();
+        s.members
+            .get_mut(&(big as u32))
+            .expect("big root has a member list")
+            .extend(moved);
+        s.merges += 1;
+        true
+    }
+
+    /// The cluster representative of `p`, if `p` appeared in any match.
+    pub fn entity_of(&self, p: ProfileId) -> Option<ProfileId> {
+        let s = self.state.read();
+        s.find_ro(p.index()).map(|r| ProfileId(r as u32))
+    }
+
+    /// All members of `p`'s cluster (sorted), if `p` appeared in any match.
+    pub fn members(&self, p: ProfileId) -> Option<Vec<ProfileId>> {
+        self.lookup(p).map(|l| l.members)
+    }
+
+    /// Whether two profiles are (transitively) the same entity.
+    pub fn same_entity(&self, a: ProfileId, b: ProfileId) -> bool {
+        let s = self.state.read();
+        match (s.find_ro(a.index()), s.find_ro(b.index())) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+
+    /// Resolves `p`'s cluster — representative, members, generation — in a
+    /// single lock acquisition, so the three agree with each other.
+    pub fn lookup(&self, p: ProfileId) -> Option<EntityLookup> {
+        let s = self.state.read();
+        let root = s.find_ro(p.index())?;
+        let mut members = s.members[&(root as u32)].clone();
+        members.sort_unstable();
+        Some(EntityLookup {
+            entity: ProfileId(root as u32),
+            generation: s.generation,
+            members,
+        })
+    }
+
+    /// The index's counters at one instant.
+    pub fn stats(&self) -> EntityStats {
+        let s = self.state.read();
+        EntityStats {
+            generation: s.generation,
+            matches_applied: s.matches_applied,
+            merges: s.merges,
+            profiles: s.registered,
+            clusters: s.clusters(),
+        }
+    }
+
+    /// A consistent whole-index view: counters, the size histogram, and
+    /// the [`TOP_CLUSTERS`] largest clusters with members. One lock
+    /// acquisition; O(clusters) work.
+    pub fn snapshot(&self) -> EntitySnapshot {
+        let s = self.state.read();
+        let mut histogram: HashMap<usize, usize> = HashMap::new();
+        for m in s.members.values() {
+            *histogram.entry(m.len()).or_insert(0) += 1;
+        }
+        let mut size_histogram: Vec<(usize, usize)> = histogram.into_iter().collect();
+        size_histogram.sort_unstable();
+        let mut roots: Vec<(&u32, &Vec<ProfileId>)> = s.members.iter().collect();
+        roots.sort_by_key(|(root, m)| {
+            (
+                std::cmp::Reverse(m.len()),
+                m.iter().min().copied().unwrap_or(ProfileId(**root)),
+            )
+        });
+        let largest = roots
+            .into_iter()
+            .take(TOP_CLUSTERS)
+            .map(|(root, m)| {
+                let mut members = m.clone();
+                members.sort_unstable();
+                EntityCluster {
+                    entity: ProfileId(*root),
+                    size: members.len(),
+                    members,
+                }
+            })
+            .collect();
+        EntitySnapshot {
+            generation: s.generation,
+            matches_applied: s.matches_applied,
+            merges: s.merges,
+            profiles: s.registered,
+            clusters: s.clusters(),
+            size_histogram,
+            largest,
+        }
+    }
+
+    /// Materializes the full partition: every cluster sorted by profile
+    /// id, ordered by descending size then first member — the same shape
+    /// as [`pier_types::IncrementalClusters::clusters`]`(1)`, for
+    /// equivalence testing against a batch transitive closure.
+    pub fn partition(&self) -> Vec<Vec<ProfileId>> {
+        let s = self.state.read();
+        let mut out: Vec<Vec<ProfileId>> = s.members.values().cloned().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        out
+    }
+
+    /// End-of-run summary against the number of profiles the run actually
+    /// ingested: profiles the index never saw are singleton entities.
+    pub fn summary(&self, total_profiles: usize) -> EntitySummary {
+        let s = self.state.read();
+        let clusters = s.clusters();
+        let max_size = s.members.values().map(Vec::len).max().unwrap_or(0);
+        let mean_size = if clusters > 0 {
+            s.registered as f64 / clusters as f64
+        } else {
+            0.0
+        };
+        EntitySummary {
+            clusters,
+            matched_profiles: s.registered,
+            singletons: total_profiles.saturating_sub(s.registered),
+            max_size,
+            mean_size,
+            matches_applied: s.matches_applied,
+            merges: s.merges,
+        }
+    }
+}
+
+impl std::fmt::Debug for EntityIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EntityIndex")
+            .field("generation", &stats.generation)
+            .field("profiles", &stats.profiles)
+            .field("clusters", &stats.clusters)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(a: u32, b: u32) -> Comparison {
+        Comparison::new(ProfileId(a), ProfileId(b))
+    }
+
+    #[test]
+    fn matches_merge_transitively() {
+        let index = EntityIndex::new();
+        assert!(index.apply(c(1, 2)));
+        assert!(index.apply(c(2, 3)));
+        assert!(index.same_entity(ProfileId(1), ProfileId(3)));
+        assert_eq!(
+            index.members(ProfileId(3)).unwrap(),
+            vec![ProfileId(1), ProfileId(2), ProfileId(3)]
+        );
+        let stats = index.stats();
+        assert_eq!(stats.clusters, 1);
+        assert_eq!(stats.profiles, 3);
+        assert_eq!(stats.merges, 2);
+        assert_eq!(stats.matches_applied, 2);
+    }
+
+    #[test]
+    fn redundant_match_bumps_generation_but_not_merges() {
+        let index = EntityIndex::new();
+        index.apply(c(1, 2));
+        index.apply(c(2, 3));
+        let before = index.stats();
+        assert!(!index.apply(c(1, 3)), "already transitively linked");
+        let after = index.stats();
+        assert_eq!(after.generation, before.generation + 1);
+        assert_eq!(after.matches_applied, before.matches_applied + 1);
+        assert_eq!(after.merges, before.merges);
+        assert_eq!(after.clusters, 1);
+    }
+
+    #[test]
+    fn unknown_profiles_resolve_to_none() {
+        let index = EntityIndex::new();
+        index.apply(c(1, 2));
+        assert_eq!(index.entity_of(ProfileId(99)), None);
+        assert_eq!(index.members(ProfileId(99)), None);
+        assert!(!index.same_entity(ProfileId(1), ProfileId(99)));
+        assert!(index.lookup(ProfileId(99)).is_none());
+    }
+
+    #[test]
+    fn lookup_is_internally_consistent() {
+        let index = EntityIndex::new();
+        index.apply(c(4, 7));
+        index.apply(c(7, 2));
+        let l = index.lookup(ProfileId(2)).unwrap();
+        assert_eq!(l.members, vec![ProfileId(2), ProfileId(4), ProfileId(7)]);
+        assert!(l.members.contains(&l.entity));
+        assert_eq!(l.generation, index.stats().generation);
+    }
+
+    #[test]
+    fn snapshot_histogram_and_largest_agree() {
+        let index = EntityIndex::new();
+        index.apply(c(0, 1));
+        index.apply(c(1, 2)); // {0,1,2}
+        index.apply(c(10, 11)); // {10,11}
+        index.apply(c(20, 21)); // {20,21}
+        let snap = index.snapshot();
+        assert_eq!(snap.clusters, 3);
+        assert_eq!(snap.profiles, 7);
+        assert_eq!(snap.size_histogram, vec![(2, 2), (3, 1)]);
+        // Σ size·count == registered profiles.
+        let total: usize = snap.size_histogram.iter().map(|(s, n)| s * n).sum();
+        assert_eq!(total, snap.profiles);
+        // Largest first, ties by first member.
+        assert_eq!(snap.largest.len(), 3);
+        assert_eq!(
+            snap.largest[0].members,
+            vec![ProfileId(0), ProfileId(1), ProfileId(2)]
+        );
+        assert_eq!(snap.largest[1].members, vec![ProfileId(10), ProfileId(11)]);
+        assert_eq!(snap.largest[2].members, vec![ProfileId(20), ProfileId(21)]);
+        assert!(snap.largest.iter().all(|c| c.members.contains(&c.entity)));
+    }
+
+    #[test]
+    fn partition_matches_incremental_clusters_shape() {
+        use pier_types::IncrementalClusters;
+        let pairs = [c(5, 1), c(1, 9), c(20, 21), c(9, 5)];
+        let index = EntityIndex::new();
+        let mut oracle = IncrementalClusters::new();
+        for p in pairs {
+            index.apply(p);
+            oracle.add_match(p);
+        }
+        assert_eq!(index.partition(), oracle.clusters(1));
+    }
+
+    #[test]
+    fn summary_counts_singletons_against_the_run() {
+        let index = EntityIndex::new();
+        index.apply(c(0, 1));
+        index.apply(c(1, 2));
+        index.apply(c(5, 6));
+        let summary = index.summary(10);
+        assert_eq!(summary.clusters, 2);
+        assert_eq!(summary.matched_profiles, 5);
+        assert_eq!(summary.singletons, 5);
+        assert_eq!(summary.max_size, 3);
+        assert!((summary.mean_size - 2.5).abs() < 1e-12);
+        // An empty index: everything is a singleton.
+        let empty = EntityIndex::new().summary(4);
+        assert_eq!(empty.clusters, 0);
+        assert_eq!(empty.singletons, 4);
+        assert_eq!(empty.max_size, 0);
+        assert_eq!(empty.mean_size, 0.0);
+    }
+
+    #[test]
+    fn long_chains_stay_fast_and_correct() {
+        let index = EntityIndex::new();
+        for i in 0..10_000u32 {
+            index.apply(c(i, i + 1));
+        }
+        assert!(index.same_entity(ProfileId(0), ProfileId(10_000)));
+        let stats = index.stats();
+        assert_eq!(stats.clusters, 1);
+        assert_eq!(stats.profiles, 10_001);
+        assert_eq!(index.members(ProfileId(5_000)).unwrap().len(), 10_001);
+    }
+}

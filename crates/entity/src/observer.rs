@@ -1,0 +1,166 @@
+//! The event-stream bridge: folds confirmed matches into an index.
+
+use std::sync::Arc;
+
+use pier_metrics::{Counter, Gauge, MetricsRegistry};
+use pier_observe::{Event, PipelineObserver};
+
+use crate::index::EntityIndex;
+
+/// Telemetry handles for the cluster gauges, registered once up front.
+struct ClusterMetrics {
+    matches_applied: Arc<Counter>,
+    merges: Arc<Counter>,
+    clusters: Arc<Gauge>,
+    profiles: Arc<Gauge>,
+}
+
+impl ClusterMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ClusterMetrics {
+            matches_applied: registry.counter(
+                "pier_entity_matches_applied_total",
+                "Confirmed matches folded into the entity index.",
+                &[],
+            ),
+            merges: registry.counter(
+                "pier_entity_merges_total",
+                "Matches that merged two entity clusters.",
+                &[],
+            ),
+            clusters: registry.gauge(
+                "pier_entity_clusters",
+                "Current number of entity clusters in the index.",
+                &[],
+            ),
+            profiles: registry.gauge(
+                "pier_entity_profiles",
+                "Profiles that appeared in at least one applied match.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// A [`PipelineObserver`] that applies every [`Event::MatchConfirmed`] to
+/// a shared [`EntityIndex`].
+///
+/// Both runtime drivers emit `MatchConfirmed` from the stage-B coordinator
+/// in confirmation order (workers only *evaluate*; all visible effects
+/// happen on the coordinator), so teeing this observer onto a run yields
+/// the same partition for any worker count. Other events pass through
+/// untouched.
+///
+/// With a registry attached (the drivers pass the telemetry registry when
+/// both subsystems are enabled), each applied match also updates the
+/// `pier_entity_*` counters and gauges, so a Prometheus scrape sees the
+/// cluster count and merge rate evolve live.
+pub struct ClusterObserver {
+    index: Arc<EntityIndex>,
+    metrics: Option<ClusterMetrics>,
+}
+
+impl ClusterObserver {
+    /// Wraps `index` with no telemetry.
+    pub fn new(index: Arc<EntityIndex>) -> Self {
+        ClusterObserver {
+            index,
+            metrics: None,
+        }
+    }
+
+    /// Wraps `index`, registering cluster gauges when a registry is given.
+    pub fn with_registry(index: Arc<EntityIndex>, registry: Option<&MetricsRegistry>) -> Self {
+        ClusterObserver {
+            index,
+            metrics: registry.map(ClusterMetrics::register),
+        }
+    }
+
+    /// The index this observer feeds.
+    pub fn index(&self) -> &Arc<EntityIndex> {
+        &self.index
+    }
+}
+
+impl PipelineObserver for ClusterObserver {
+    fn on_event(&self, event: &Event) {
+        if let Event::MatchConfirmed { cmp, .. } = *event {
+            let merged = self.index.apply(cmp);
+            if let Some(m) = &self.metrics {
+                m.matches_applied.inc();
+                if merged {
+                    m.merges.inc();
+                }
+                // Matches are rare relative to comparisons; a stats read
+                // per match is cheap and keeps the gauges exact.
+                let stats = self.index.stats();
+                m.clusters.set(stats.clusters as i64);
+                m.profiles.set(stats.profiles as i64);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterObserver")
+            .field("index", &self.index)
+            .field("telemetry", &self.metrics.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::{Comparison, ProfileId};
+
+    fn confirm(a: u32, b: u32) -> Event {
+        Event::MatchConfirmed {
+            cmp: Comparison::new(ProfileId(a), ProfileId(b)),
+            similarity: 1.0,
+            at_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn match_events_feed_the_index() {
+        let index = EntityIndex::shared();
+        let observer = ClusterObserver::new(Arc::clone(&index));
+        observer.on_event(&confirm(1, 2));
+        observer.on_event(&confirm(2, 3));
+        // Non-match events are ignored.
+        observer.on_event(&Event::IncrementIngested {
+            seq: 0,
+            profiles: 2,
+        });
+        assert!(index.same_entity(ProfileId(1), ProfileId(3)));
+        assert_eq!(index.stats().matches_applied, 2);
+    }
+
+    #[test]
+    fn worker_tagged_matches_are_applied_once() {
+        // The default on_worker_event forwards to on_event; a pooled run's
+        // worker-tagged confirmations must land exactly once.
+        let index = EntityIndex::shared();
+        let observer = ClusterObserver::new(Arc::clone(&index));
+        observer.on_worker_event(3, &confirm(1, 2));
+        assert_eq!(index.stats().matches_applied, 1);
+    }
+
+    #[test]
+    fn registry_gauges_track_the_index() {
+        let registry = MetricsRegistry::shared();
+        let index = EntityIndex::shared();
+        let observer = ClusterObserver::with_registry(Arc::clone(&index), Some(&registry));
+        observer.on_event(&confirm(1, 2));
+        observer.on_event(&confirm(2, 3));
+        observer.on_event(&confirm(1, 3)); // redundant: applied, no merge
+        let counter = |name: &str| registry.counter(name, "", &[]).get();
+        assert_eq!(counter("pier_entity_matches_applied_total"), 3);
+        assert_eq!(counter("pier_entity_merges_total"), 2);
+        assert_eq!(registry.gauge("pier_entity_clusters", "", &[]).get(), 1);
+        assert_eq!(registry.gauge("pier_entity_profiles", "", &[]).get(), 3);
+    }
+}

@@ -1,0 +1,336 @@
+//! A hand-rolled JSON query endpoint for one [`EntityIndex`] on `std::net`.
+//!
+//! Same skeleton as `pier-metrics`' Prometheus endpoint: one background
+//! thread accepts connections on a [`TcpListener`] in non-blocking mode
+//! (shutdown is a flag check away), serves each request inline, and
+//! depends on nothing beyond `std`. Three routes:
+//!
+//! * `GET /entity/{profile_id}` — the profile's cluster: representative,
+//!   size, sorted members, and the generation of the view;
+//! * `GET /clusters` — whole-index summary: counters, the size histogram,
+//!   and the largest clusters with members;
+//! * `GET /healthz` — liveness plus the generation and applied-match count.
+//!
+//! Every response is built from a *single* lock acquisition on the index
+//! ([`EntityIndex::lookup`] / [`EntityIndex::snapshot`] /
+//! [`EntityIndex::stats`]), so the fields of one response always agree
+//! with each other even while the pipeline is merging.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pier_types::ProfileId;
+
+use crate::index::{EntityIndex, EntitySnapshot};
+
+/// How long the accept loop sleeps between polls when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How long a connected client gets to produce a request line.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A live query endpoint for one [`EntityIndex`].
+///
+/// ```no_run
+/// use pier_entity::{EntityIndex, EntityServer};
+///
+/// let index = EntityIndex::shared();
+/// let mut server = EntityServer::serve("127.0.0.1:0", index).unwrap();
+/// println!("query http://{}/clusters", server.local_addr());
+/// // ... run the pipeline with the index attached ...
+/// server.shutdown();
+/// ```
+pub struct EntityServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EntityServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts the
+    /// accept thread.
+    pub fn serve(addr: impl ToSocketAddrs, index: Arc<EntityIndex>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let requests = Arc::clone(&requests);
+            std::thread::Builder::new()
+                .name("pier-entity".into())
+                .spawn(move || accept_loop(listener, index, stop, requests))?
+        };
+        Ok(EntityServer {
+            addr,
+            stop,
+            requests,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (any path, any status).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept thread and waits for it to exit. Idempotent;
+    /// in-flight responses finish first.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for EntityServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for EntityServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntityServer")
+            .field("addr", &self.addr)
+            .field("requests", &self.requests_served())
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    index: Arc<EntityIndex>,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if handle_client(stream, &index).is_ok() {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (aborted handshakes): keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_client(stream: TcpStream, index: &EntityIndex) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let (status, body) = match (method, path) {
+        ("GET", "/clusters") => ("200 OK", clusters_json(&index.snapshot())),
+        ("GET", "/healthz") => {
+            let stats = index.stats();
+            (
+                "200 OK",
+                format!(
+                    "{{\"status\":\"ok\",\"generation\":{},\"matches_applied\":{}}}",
+                    stats.generation, stats.matches_applied
+                ),
+            )
+        }
+        ("GET", p) if p.starts_with("/entity/") => entity_json(index, &p["/entity/".len()..]),
+        ("GET", _) => ("404 Not Found", "{\"error\":\"not found\"}".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "{\"error\":\"method not allowed\"}".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// `GET /entity/{id}`: the cluster of one profile, from one lock hold.
+fn entity_json(index: &EntityIndex, raw_id: &str) -> (&'static str, String) {
+    let Ok(id) = raw_id.parse::<u32>() else {
+        return (
+            "400 Bad Request",
+            format!(
+                "{{\"error\":\"profile id must be a u32\",\"got\":{}}}",
+                json_string(raw_id)
+            ),
+        );
+    };
+    match index.lookup(ProfileId(id)) {
+        Some(l) => (
+            "200 OK",
+            format!(
+                "{{\"profile\":{id},\"entity\":{},\"generation\":{},\"size\":{},\"members\":{}}}",
+                l.entity.0,
+                l.generation,
+                l.members.len(),
+                json_ids(&l.members)
+            ),
+        ),
+        None => (
+            "404 Not Found",
+            format!("{{\"error\":\"unknown profile\",\"profile\":{id}}}"),
+        ),
+    }
+}
+
+/// `GET /clusters`: the whole-index snapshot.
+fn clusters_json(snap: &EntitySnapshot) -> String {
+    let histogram: Vec<String> = snap
+        .size_histogram
+        .iter()
+        .map(|(size, count)| format!("[{size},{count}]"))
+        .collect();
+    let largest: Vec<String> = snap
+        .largest
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"entity\":{},\"size\":{},\"members\":{}}}",
+                c.entity.0,
+                c.size,
+                json_ids(&c.members)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"generation\":{},\"matches_applied\":{},\"merges\":{},\"profiles\":{},\"clusters\":{},\"size_histogram\":[{}],\"largest\":[{}]}}",
+        snap.generation,
+        snap.matches_applied,
+        snap.merges,
+        snap.profiles,
+        snap.clusters,
+        histogram.join(","),
+        largest.join(",")
+    )
+}
+
+fn json_ids(ids: &[ProfileId]) -> String {
+    let inner: Vec<String> = ids.iter().map(|p| p.0.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Minimal JSON string escaping for echoing a malformed path segment.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_types::Comparison;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    fn linked_index() -> Arc<EntityIndex> {
+        let index = EntityIndex::shared();
+        index.apply(Comparison::new(ProfileId(1), ProfileId(2)));
+        index.apply(Comparison::new(ProfileId(2), ProfileId(3)));
+        index.apply(Comparison::new(ProfileId(10), ProfileId(11)));
+        index
+    }
+
+    #[test]
+    fn serves_entities_clusters_and_health() {
+        let index = linked_index();
+        let mut server = EntityServer::serve("127.0.0.1:0", Arc::clone(&index)).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+
+        let (head, body) = http_get(addr, "/entity/3");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"profile\":3"));
+        assert!(body.contains("\"size\":3"));
+        assert!(body.contains("\"members\":[1,2,3]"));
+        assert!(body.contains("\"generation\":3"));
+
+        let (head, body) = http_get(addr, "/clusters");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"clusters\":2"));
+        assert!(body.contains("\"profiles\":5"));
+        assert!(body.contains("\"size_histogram\":[[2,1],[3,1]]"));
+        assert!(body.contains("\"members\":[1,2,3]"));
+
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"matches_applied\":3"));
+
+        // A view served later can only have a later-or-equal generation.
+        index.apply(Comparison::new(ProfileId(3), ProfileId(10)));
+        let (_, body) = http_get(addr, "/entity/11");
+        assert!(body.contains("\"size\":5"), "{body}");
+        assert!(body.contains("\"generation\":4"), "{body}");
+
+        assert_eq!(server.requests_served(), 4);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn error_paths_answer_json() {
+        let mut server = EntityServer::serve("127.0.0.1:0", linked_index()).unwrap();
+        let addr = server.local_addr();
+        let (head, body) = http_get(addr, "/entity/99");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(body.contains("\"error\":\"unknown profile\""));
+        let (head, body) = http_get(addr, "/entity/bogus");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert!(body.contains("\"got\":\"bogus\""));
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.shutdown();
+    }
+}

@@ -25,6 +25,13 @@
 //! and a progressive-recall estimate — all scrapable mid-run through
 //! [`pier_metrics::MetricsServer`] (re-exported here as
 //! [`MetricsServer`]).
+//!
+//! Setting [`RuntimeConfig::entities`] attaches the `pier-entity`
+//! clustering subsystem: every confirmed match folds into a shared
+//! [`EntityIndex`] (the live transitive closure of the match stream),
+//! queryable from any thread mid-run and servable over HTTP through
+//! [`pier_entity::EntityServer`]; the final report then carries an
+//! [`EntitySummary`].
 
 #![warn(missing_docs)]
 
@@ -34,6 +41,7 @@ pub mod sharded;
 pub mod stages;
 pub mod streaming;
 
+pub use pier_entity::{EntityIndex, EntityServer, EntitySummary};
 pub use pier_metrics::{MetricsServer, Telemetry};
 pub use pool::chunk_ranges;
 pub use report::{DictionaryStats, MatchEvent, RuntimeReport};

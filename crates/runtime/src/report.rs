@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use pier_entity::EntitySummary;
 use pier_metrics::Telemetry;
 use pier_types::{Comparison, GroundTruth, MatchLedger, ProgressTrajectory};
 
@@ -72,6 +73,11 @@ pub struct RuntimeReport {
     /// because workers always evaluate their whole chunk while the budget
     /// cutoff happens at the coordinator.
     pub worker_comparisons: Vec<u64>,
+    /// End-of-run entity clustering summary, present when the run was
+    /// configured with [`crate::RuntimeConfig::entities`]: the transitive
+    /// closure of [`RuntimeReport::matches`] folded incrementally into an
+    /// [`pier_entity::EntityIndex`] as each match was confirmed.
+    pub entity_summary: Option<EntitySummary>,
 }
 
 impl RuntimeReport {
@@ -224,6 +230,7 @@ mod tests {
             ingest_errors: Vec::new(),
             match_workers: 1,
             worker_comparisons: vec![10],
+            entity_summary: None,
         };
         assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
         assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
@@ -239,6 +246,7 @@ mod tests {
             ingest_errors: Vec::new(),
             match_workers: 1,
             worker_comparisons: vec![comparisons],
+            entity_summary: None,
         }
     }
 

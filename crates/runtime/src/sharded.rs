@@ -38,6 +38,7 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 
 use pier_core::AdaptiveK;
+use pier_entity::ClusterObserver;
 use pier_matching::MatchFunction;
 use pier_metrics::{queue::gauged, QueueGauges};
 use pier_observe::{Event, Observer, Phase, PipelineObserver};
@@ -126,6 +127,17 @@ pub fn run_streaming_sharded_observed(
         None => observer,
     };
     let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
+    // Entity clustering: same tee as the streaming driver — stage B emits
+    // MatchConfirmed on the coordinator in confirmation order, so the
+    // index evolves identically for any shard/worker count.
+    let entities = config.entities.clone();
+    let observer = match &entities {
+        Some(index) => observer.tee(Arc::new(ClusterObserver::with_registry(
+            Arc::clone(index),
+            registry.as_deref(),
+        )) as Arc<dyn PipelineObserver>),
+        None => observer,
+    };
     let dictionary = SharedTokenDictionary::new();
     let router = ShardRouter::with_dictionary(
         shard_config.shards,
@@ -491,6 +503,7 @@ pub fn run_streaming_sharded_observed(
         ingest_errors,
         match_workers,
         worker_comparisons,
+        entity_summary: entities.as_ref().map(|i| i.summary(total_profiles)),
     };
     if let Some(t) = &telemetry {
         report.publish_final(t);
@@ -684,6 +697,32 @@ mod tests {
             pairs
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn sharded_entity_index_clusters_the_match_stream() {
+        use pier_entity::EntityIndex;
+
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let index = EntityIndex::shared();
+        let config = RuntimeConfig {
+            entities: Some(Arc::clone(&index)),
+            ..runtime_config()
+        };
+        let report = run_streaming_sharded(
+            ErKind::Dirty,
+            increments(),
+            ShardedConfig::default(),
+            matcher,
+            config,
+            |_| {},
+        );
+        assert_eq!(index.stats().matches_applied, report.matches.len() as u64);
+        assert!(index.same_entity(ProfileId(0), ProfileId(1)));
+        assert!(index.same_entity(ProfileId(2), ProfileId(3)));
+        let summary = report.entity_summary.expect("entities configured");
+        assert_eq!(summary.clusters, 2);
+        assert_eq!(summary.singletons, 0);
     }
 
     #[test]

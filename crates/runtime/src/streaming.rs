@@ -9,6 +9,7 @@ use parking_lot::{Mutex, RwLock};
 
 use pier_blocking::{IncrementalBlocker, PurgePolicy};
 use pier_core::{AdaptiveK, ComparisonEmitter};
+use pier_entity::{ClusterObserver, EntityIndex};
 use pier_matching::MatchFunction;
 use pier_metrics::{queue::gauged, QueueGauges, Telemetry};
 use pier_observe::{Event, Observer, Phase, PipelineObserver};
@@ -49,6 +50,18 @@ pub struct RuntimeConfig {
     /// (the default) adds a single branch per channel operation and
     /// nothing else.
     pub telemetry: Option<Telemetry>,
+    /// Incremental entity clustering. When set, the driver tees a
+    /// [`pier_entity::ClusterObserver`] onto the run's observer, so every
+    /// confirmed match folds into the shared [`EntityIndex`] the moment
+    /// the stage-B coordinator emits it — in confirmation order for any
+    /// [`RuntimeConfig::match_workers`] count — and the final report
+    /// carries an [`pier_entity::EntitySummary`]. Keep a clone of the
+    /// `Arc` to query the evolving partition mid-run, e.g. through an
+    /// [`pier_entity::EntityServer`]. When [`RuntimeConfig::telemetry`]
+    /// is also set, the index additionally maintains `pier_entity_*`
+    /// cluster-count/merge-rate gauges in the telemetry registry. `None`
+    /// (the default) costs nothing.
+    pub entities: Option<Arc<EntityIndex>>,
 }
 
 impl Default for RuntimeConfig {
@@ -61,6 +74,7 @@ impl Default for RuntimeConfig {
             deadline: Duration::from_secs(60),
             match_workers: default_match_workers(),
             telemetry: None,
+            entities: None,
         }
     }
 }
@@ -128,6 +142,17 @@ pub fn run_streaming_observed(
         None => observer,
     };
     let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
+    // Entity clustering: tee the match sink onto the observer so every
+    // MatchConfirmed (emitted by the stage-B coordinator in confirmation
+    // order) folds into the shared index as it happens.
+    let entities = config.entities.clone();
+    let observer = match &entities {
+        Some(index) => observer.tee(Arc::new(ClusterObserver::with_registry(
+            Arc::clone(index),
+            registry.as_deref(),
+        )) as Arc<dyn PipelineObserver>),
+        None => observer,
+    };
     let dictionary = SharedTokenDictionary::new();
     let mut initial_blocker = IncrementalBlocker::with_shared_dictionary(
         kind,
@@ -363,6 +388,7 @@ pub fn run_streaming_observed(
         ingest_errors,
         match_workers,
         worker_comparisons,
+        entity_summary: entities.as_ref().map(|i| i.summary(total_profiles)),
     };
     if let Some(t) = &telemetry {
         report.publish_final(t);
@@ -556,6 +582,38 @@ mod tests {
             registry.gauge("pier_run_matches", "", &[]).get(),
             report.matches.len() as i64
         );
+    }
+
+    #[test]
+    fn entity_index_clusters_the_match_stream() {
+        let emitter = Box::new(Ipes::new(PierConfig::default()));
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let index = EntityIndex::shared();
+        let config = RuntimeConfig {
+            interarrival: Duration::from_millis(5),
+            deadline: Duration::from_secs(10),
+            entities: Some(Arc::clone(&index)),
+            ..RuntimeConfig::default()
+        };
+        let report = run_streaming(
+            ErKind::Dirty,
+            increments(),
+            emitter,
+            matcher,
+            config,
+            |_| {},
+        );
+        // The index saw exactly the report's matches, already closed.
+        assert_eq!(index.stats().matches_applied, report.matches.len() as u64);
+        assert!(index.same_entity(ProfileId(0), ProfileId(1)));
+        assert!(index.same_entity(ProfileId(2), ProfileId(3)));
+        assert!(!index.same_entity(ProfileId(0), ProfileId(2)));
+        let summary = report.entity_summary.expect("entities configured");
+        assert_eq!(summary.clusters, 2);
+        assert_eq!(summary.matched_profiles, 4);
+        assert_eq!(summary.singletons, 0);
+        assert_eq!(summary.max_size, 2);
+        assert_eq!(summary.matches_applied, report.matches.len() as u64);
     }
 
     #[test]

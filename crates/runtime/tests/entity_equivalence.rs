@@ -1,0 +1,291 @@
+//! The pier-entity correctness anchor: for both drivers and any stage-B
+//! worker count, the incrementally maintained [`EntityIndex`] must equal
+//! the *batch* transitive closure of the final report's match set — same
+//! clusters, same membership — and a live HTTP scrape taken mid-run must
+//! be generation-consistent with an applied-match count that never
+//! exceeds the final report's.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pier_core::{Ipes, PierConfig};
+use pier_datagen::{generate_bibliographic, BibliographicConfig};
+use pier_entity::{EntityIndex, EntityServer};
+use pier_matching::{JaccardMatcher, MatchFunction};
+use pier_runtime::{
+    run_streaming, run_streaming_sharded, MatchEvent, RuntimeConfig, RuntimeReport,
+};
+use pier_shard::ShardedConfig;
+use pier_types::{Dataset, EntityProfile, ProfileId};
+
+fn dataset() -> Dataset {
+    generate_bibliographic(&BibliographicConfig {
+        seed: 42,
+        source0_size: 200,
+        source1_size: 150,
+        matches: 100,
+    })
+}
+
+fn increments(dataset: &Dataset) -> Vec<Vec<EntityProfile>> {
+    dataset
+        .into_increments(8)
+        .unwrap()
+        .into_iter()
+        .map(|i| i.profiles)
+        .collect()
+}
+
+fn runtime_config(index: &Arc<EntityIndex>, match_workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        interarrival: Duration::from_millis(2),
+        deadline: Duration::from_secs(30),
+        match_workers,
+        entities: Some(Arc::clone(index)),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// The oracle: BFS transitive closure of the report's match pairs, in the
+/// same canonical shape as [`EntityIndex::partition`].
+fn transitive_closure(matches: &[MatchEvent]) -> Vec<Vec<ProfileId>> {
+    let mut adjacency: HashMap<ProfileId, Vec<ProfileId>> = HashMap::new();
+    for m in matches {
+        adjacency.entry(m.pair.a).or_default().push(m.pair.b);
+        adjacency.entry(m.pair.b).or_default().push(m.pair.a);
+    }
+    let mut seen: HashSet<ProfileId> = HashSet::new();
+    let mut components = Vec::new();
+    let mut nodes: Vec<ProfileId> = adjacency.keys().copied().collect();
+    nodes.sort_unstable();
+    for start in nodes {
+        if !seen.insert(start) {
+            continue;
+        }
+        let mut component = vec![start];
+        let mut queue = VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            for &next in &adjacency[&node] {
+                if seen.insert(next) {
+                    component.push(next);
+                    queue.push_back(next);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    components
+}
+
+/// One HTTP GET against the entity server; returns (head, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: pier\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (head.to_string(), body.to_string())
+}
+
+/// Extracts a `"key":<u64>` field from the server's flat JSON.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let at = body.find(&marker).unwrap_or_else(|| {
+        panic!("field {key} in {body}");
+    });
+    body[at + marker.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Polls `/clusters` + `/healthz` while the run is live; returns every
+/// `(generation, matches_applied)` pair observed, in scrape order.
+fn spawn_scraper(
+    addr: SocketAddr,
+    done: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<Vec<(u64, u64)>> {
+    std::thread::spawn(move || {
+        let mut views = Vec::new();
+        while !done.load(Ordering::Relaxed) {
+            let (head, body) = http_get(addr, "/clusters");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+            let generation = json_u64(&body, "generation");
+            let applied = json_u64(&body, "matches_applied");
+            // Within one response the counters are lock-consistent.
+            assert_eq!(generation, applied, "torn /clusters view: {body}");
+            let profiles = json_u64(&body, "profiles");
+            let clusters = json_u64(&body, "clusters");
+            let merges = json_u64(&body, "merges");
+            assert_eq!(profiles, clusters + merges, "torn histogram: {body}");
+            views.push((generation, applied));
+            let (head, health) = http_get(addr, "/healthz");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+            views.push((
+                json_u64(&health, "generation"),
+                json_u64(&health, "matches_applied"),
+            ));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        views
+    })
+}
+
+/// Shared assertion block: index == closure, scrapes consistent.
+fn assert_equivalence(
+    index: &EntityIndex,
+    report: &RuntimeReport,
+    scrapes: &[(u64, u64)],
+    label: &str,
+) {
+    assert!(report.matches.len() > 10, "{label}: run found matches");
+    // The index partition is exactly the batch transitive closure.
+    assert_eq!(
+        index.partition(),
+        transitive_closure(&report.matches),
+        "{label}: partition != closure"
+    );
+    // Every confirmed match was applied, none twice.
+    let stats = index.stats();
+    assert_eq!(
+        stats.matches_applied,
+        report.matches.len() as u64,
+        "{label}: applied != confirmed"
+    );
+    // The report summary is the index's summary.
+    let summary = report.entity_summary.as_ref().expect("entities configured");
+    assert_eq!(summary.clusters, stats.clusters, "{label}");
+    assert_eq!(summary.matched_profiles, stats.profiles, "{label}");
+    assert_eq!(
+        summary.singletons,
+        report.profiles - stats.profiles,
+        "{label}"
+    );
+    // Mid-run scrapes: generation monotone across scrape order, and the
+    // applied count never exceeds what the run finally confirmed.
+    assert!(!scrapes.is_empty(), "{label}: scraper got no views");
+    for window in scrapes.windows(2) {
+        assert!(
+            window[1].0 >= window[0].0,
+            "{label}: generation went backwards across scrapes"
+        );
+    }
+    for &(_, applied) in scrapes {
+        assert!(
+            applied <= report.matches.len() as u64,
+            "{label}: scrape saw {applied} applied > final {}",
+            report.matches.len()
+        );
+    }
+}
+
+fn run_streaming_case(match_workers: usize) {
+    let dataset = dataset();
+    let index = EntityIndex::shared();
+    let mut server = EntityServer::serve("127.0.0.1:0", Arc::clone(&index)).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = spawn_scraper(server.local_addr(), Arc::clone(&done));
+
+    let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+    let report = run_streaming(
+        dataset.kind,
+        increments(&dataset),
+        Box::new(Ipes::new(PierConfig::default())),
+        matcher,
+        runtime_config(&index, match_workers),
+        |_| {},
+    );
+    done.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+    server.shutdown();
+    assert_equivalence(
+        &index,
+        &report,
+        &scrapes,
+        &format!("streaming x{match_workers}"),
+    );
+}
+
+fn run_sharded_case(match_workers: usize) {
+    let dataset = dataset();
+    let index = EntityIndex::shared();
+    let mut server = EntityServer::serve("127.0.0.1:0", Arc::clone(&index)).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = spawn_scraper(server.local_addr(), Arc::clone(&done));
+
+    let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+    let report = run_streaming_sharded(
+        dataset.kind,
+        increments(&dataset),
+        ShardedConfig::default(),
+        matcher,
+        runtime_config(&index, match_workers),
+        |_| {},
+    );
+    done.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+    server.shutdown();
+    assert_equivalence(
+        &index,
+        &report,
+        &scrapes,
+        &format!("sharded x{match_workers}"),
+    );
+}
+
+#[test]
+fn streaming_index_equals_closure_sequential() {
+    run_streaming_case(1);
+}
+
+#[test]
+fn streaming_index_equals_closure_pooled() {
+    run_streaming_case(4);
+}
+
+#[test]
+fn sharded_index_equals_closure_sequential() {
+    run_sharded_case(1);
+}
+
+#[test]
+fn sharded_index_equals_closure_pooled() {
+    run_sharded_case(4);
+}
+
+/// A point query served mid-cluster agrees with the final members list,
+/// and the index answers `/entity/{id}` for a profile from the report.
+#[test]
+fn entity_endpoint_serves_report_members() {
+    let dataset = dataset();
+    let index = EntityIndex::shared();
+    let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+    let report = run_streaming(
+        dataset.kind,
+        increments(&dataset),
+        Box::new(Ipes::new(PierConfig::default())),
+        matcher,
+        runtime_config(&index, 2),
+        |_| {},
+    );
+    let mut server = EntityServer::serve("127.0.0.1:0", Arc::clone(&index)).unwrap();
+    let probe = report.matches[0].pair.a;
+    let (head, body) = http_get(server.local_addr(), &format!("/entity/{}", probe.0));
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    let want = index.members(probe).unwrap();
+    assert_eq!(json_u64(&body, "size"), want.len() as u64);
+    let members_json: Vec<String> = want.iter().map(|p| p.0.to_string()).collect();
+    assert!(
+        body.contains(&format!("\"members\":[{}]", members_json.join(","))),
+        "{body}"
+    );
+    server.shutdown();
+}

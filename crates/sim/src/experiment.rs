@@ -3,6 +3,7 @@
 use pier_baselines::{BatchEr, GsPsn, IBase, LsPsn, Pbs, Pps, PpsScope};
 use pier_core::{ComparisonEmitter, Ipbs, Ipcs, Ipes, PierConfig};
 use pier_matching::MatchFunction;
+use pier_observe::Observer;
 use pier_types::{Dataset, EntityProfile};
 
 use crate::pipeline::{PipelineSim, SimConfig, SimOutcome};
@@ -197,9 +198,36 @@ pub fn run_method(
     sim_config: &SimConfig,
     pier_config: PierConfig,
 ) -> SimOutcome {
+    run_method_observed(
+        method,
+        dataset,
+        plan,
+        matcher,
+        sim_config,
+        pier_config,
+        Observer::disabled(),
+    )
+}
+
+/// [`run_method`] with a pipeline observer attached to the simulator —
+/// the virtual-clock analogue of `run_streaming_observed`. The simulator
+/// emits every event with virtual timestamps, so e.g. teeing a
+/// `pier-entity` match sink onto the run folds confirmed matches into an
+/// entity index exactly as the threaded runtime would.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_observed(
+    method: Method,
+    dataset: &Dataset,
+    plan: &StreamPlan,
+    matcher: &dyn MatchFunction,
+    sim_config: &SimConfig,
+    pier_config: PierConfig,
+    observer: Observer,
+) -> SimOutcome {
     let arrivals = arrival_schedule(dataset, plan);
     let mut emitter = method.build(pier_config);
     let mut sim = PipelineSim::new(emitter.as_mut(), matcher, sim_config.clone());
+    sim.set_observer(observer);
     sim.run(dataset.kind, &arrivals, &dataset.ground_truth)
 }
 

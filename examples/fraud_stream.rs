@@ -7,6 +7,11 @@
 //! blocking → I-PES prioritization → edit-distance matching) and prints
 //! identity matches the moment they are confirmed.
 //!
+//! The run maintains a live [`EntityIndex`]: every confirmed match folds
+//! into the evolving partition of records into *identities*, and the
+//! end-of-run summary reports resolved identities (cluster count, the
+//! largest clusters) instead of raw pair counts.
+//!
 //! Run with: `cargo run --release --example fraud_stream`
 
 use std::sync::Arc;
@@ -33,9 +38,13 @@ fn main() {
 
     let emitter = Box::new(Ipes::new(PierConfig::default()));
     let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
+    // The entity index turns the pairwise match stream into identities,
+    // queryable at any moment while the stream is still running.
+    let identities = EntityIndex::shared();
     let config = RuntimeConfig {
         interarrival: Duration::from_millis(5),
         deadline: Duration::from_secs(30),
+        entities: Some(Arc::clone(&identities)),
         ..RuntimeConfig::default()
     };
 
@@ -69,18 +78,46 @@ fn main() {
         .filter(|m| gt.is_match(m.pair))
         .count();
     println!(
-        "\nprocessed {} comparisons in {:.2}s wall-clock",
+        "\nprocessed {} comparisons in {:.2}s wall-clock (link precision {:.2})",
         report.comparisons,
-        report.elapsed.as_secs_f64()
-    );
-    println!(
-        "confirmed {} identity links ({} correct, precision {:.2})",
-        report.matches.len(),
-        true_links,
+        report.elapsed.as_secs_f64(),
         true_links as f64 / report.matches.len().max(1) as f64
     );
     println!(
         "links confirmed within the first second: {}",
         report.matches_within(Duration::from_secs(1))
     );
+
+    // The end-of-run entity summary: what the stream resolved *to*.
+    let summary = report.entity_summary.expect("entity index attached");
+    let snapshot = identities.snapshot();
+    let top_sizes: Vec<usize> = snapshot.largest.iter().map(|c| c.size).collect();
+    println!("\n=== resolved identities ===");
+    println!(
+        "identities        {} multi-record ({} records linked, {} singletons)",
+        summary.clusters, summary.matched_profiles, summary.singletons
+    );
+    println!(
+        "cluster sizes     max {} / mean {:.2}, top-5 {:?}",
+        summary.max_size, summary.mean_size, top_sizes
+    );
+    for cluster in snapshot.largest.iter().take(3) {
+        let shown: Vec<String> = cluster
+            .members
+            .iter()
+            .take(8)
+            .map(|p| p.to_string())
+            .collect();
+        let more = cluster.size.saturating_sub(shown.len());
+        let suffix = if more > 0 {
+            format!(", +{more} more")
+        } else {
+            String::new()
+        };
+        println!(
+            "largest identity  entity {} = records [{}{suffix}]",
+            cluster.entity,
+            shown.join(", ")
+        );
+    }
 }

@@ -31,6 +31,13 @@
 //!
 //! Pass `--trace-out FILE` to export a chrome-trace/Perfetto JSON of the
 //! run's phase timings (openable at <https://ui.perfetto.dev>).
+//!
+//! Pass `--entity-addr HOST:PORT` (port 0 for an OS-assigned port) to
+//! maintain a live [`EntityIndex`] over the confirmed-match stream and
+//! serve it over HTTP while the pipeline runs (`GET /entity/{id}`,
+//! `GET /clusters`, `GET /healthz`). The example prints a one-line query
+//! hint and a final entity summary. `--hold-metrics-secs N` also keeps
+//! this endpoint alive until it has served at least one request.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -79,6 +86,7 @@ fn main() {
     let intern_stats = parse_intern_stats();
     let match_workers = parse_match_workers();
     let metrics_addr = parse_value_arg("--metrics-addr");
+    let entity_addr = parse_value_arg("--entity-addr");
     let trace_out = parse_value_arg("--trace-out");
     let hold_metrics_secs: u64 = parse_value_arg("--hold-metrics-secs")
         .map(|v| v.parse().expect("--hold-metrics-secs takes seconds"))
@@ -147,6 +155,21 @@ fn main() {
         }
         _ => None,
     };
+    // Live entity clustering: a union-find index over the confirmed-match
+    // stream, queryable over HTTP while the pipeline runs.
+    let entities = entity_addr.as_ref().map(|_| EntityIndex::shared());
+    let mut entity_server = match (&entity_addr, &entities) {
+        (Some(addr), Some(index)) => {
+            let server =
+                EntityServer::serve(addr.as_str(), Arc::clone(index)).expect("--entity-addr binds");
+            println!(
+                "entities: query with `curl http://{}/clusters`",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        _ => None,
+    };
     let trace = trace_out
         .map(|path| Arc::new(TraceObserver::create(&path).expect("--trace-out file is writable")));
     let mut observer = Observer::new(stats.clone());
@@ -159,6 +182,7 @@ fn main() {
         interarrival: Duration::from_millis(10),
         deadline: Duration::from_secs(30),
         telemetry: telemetry.clone(),
+        entities: entities.clone(),
         ..RuntimeConfig::default()
     };
     if let Some(n) = match_workers {
@@ -245,6 +269,46 @@ fn main() {
         }
         println!("scrapes served               {}", server.requests_served());
         server.shutdown();
+    }
+
+    if let Some(server) = &mut entity_server {
+        // Hold contract for external scrapers (CI smoke): unlike the
+        // single-scrape metrics endpoint, a validation pass makes several
+        // queries back-to-back, so stay up until at least one request has
+        // arrived *and* the client has been quiet for a second.
+        let hold = Duration::from_secs(hold_metrics_secs);
+        let held = Instant::now();
+        let mut served = 0;
+        let mut last_activity = Instant::now();
+        while held.elapsed() < hold {
+            let now_served = server.requests_served();
+            if now_served != served {
+                served = now_served;
+                last_activity = Instant::now();
+            }
+            if served > 0 && last_activity.elapsed() >= Duration::from_secs(1) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        println!(
+            "\nentity queries served        {}",
+            server.requests_served()
+        );
+        server.shutdown();
+    }
+    if let Some(summary) = &report.entity_summary {
+        let snapshot = entities.as_ref().expect("index configured").snapshot();
+        let top_sizes: Vec<usize> = snapshot.largest.iter().map(|c| c.size).collect();
+        println!("\n=== resolved entities ===");
+        println!(
+            "clusters          {} ({} profiles linked, {} singletons)",
+            summary.clusters, summary.matched_profiles, summary.singletons
+        );
+        println!(
+            "cluster sizes     max {} / mean {:.2}, top-5 {:?}",
+            summary.max_size, summary.mean_size, top_sizes
+        );
     }
 
     // Final snapshot: totals and per-phase latency histograms.

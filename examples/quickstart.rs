@@ -3,9 +3,12 @@
 //! Generates a small Clean-Clean movie dataset, replays it as a stream of
 //! increments through the virtual-clock pipeline with the I-PES
 //! prioritizer, and prints how pair completeness (PC) grows over time —
-//! the core deliverable of the PIER paper.
+//! the core deliverable of the PIER paper — plus the entities the match
+//! stream resolved into, via a live [`EntityIndex`].
 //!
 //! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
 
 use pier::prelude::*;
 
@@ -27,20 +30,23 @@ fn main() {
     // 2. Stream it: 50 increments arriving at 10 increments/second.
     let plan = StreamPlan::streaming(50, 10.0);
 
-    // 3. Run the PIER pipeline (I-PES prioritizer, cheap Jaccard matcher).
+    // 3. Run the PIER pipeline (I-PES prioritizer, cheap Jaccard matcher),
+    //    folding every confirmed match into a live entity index.
     let matcher = JaccardMatcher::default();
     let sim = SimConfig {
         time_budget: 120.0,
         matcher_mode: MatcherMode::Real,
         ..SimConfig::default()
     };
-    let outcome = pier::sim::experiment::run_method(
+    let index = EntityIndex::shared();
+    let outcome = pier::sim::experiment::run_method_observed(
         Method::IPes,
         &dataset,
         &plan,
         &matcher,
         &sim,
         PierConfig::default(),
+        Observer::new(Arc::new(ClusterObserver::new(Arc::clone(&index)))),
     );
 
     // 4. Report the progressive behaviour.
@@ -63,4 +69,15 @@ fn main() {
     if let Some(t) = outcome.consumed_at {
         println!("stream fully consumed at {t:.2}s");
     }
+
+    // 5. What did the stream resolve *to*? The entity index holds the
+    //    transitive closure of every confirmed match.
+    let summary = index.summary(dataset.len());
+    let snapshot = index.snapshot();
+    let top_sizes: Vec<usize> = snapshot.largest.iter().map(|c| c.size).collect();
+    println!(
+        "\nentities: {} clusters over {} matched profiles ({} singletons)",
+        summary.clusters, summary.matched_profiles, summary.singletons
+    );
+    println!("largest clusters (top-5 sizes): {top_sizes:?}");
 }

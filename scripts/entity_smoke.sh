@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# CI smoke test for the live entity-serving subsystem.
+#
+# Runs the observed_stream example with an entity endpoint on an
+# OS-assigned port, queries /clusters, /healthz and /entity/{id} while
+# the endpoint is held open, and asserts:
+#
+#   * /clusters answers 200 with a generation-consistent snapshot
+#     (generation == matches_applied, profiles == clusters + merges,
+#     histogram and largest-cluster list shaped as documented);
+#   * /healthz answers 200 with status "ok";
+#   * /entity/{id} for a member of the largest cluster answers 200 with
+#     that id among the members, and a bogus id answers 404.
+#
+# Usage: scripts/entity_smoke.sh  (from the repo root; builds the example)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+log=$(mktemp)
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+cargo build --release --example observed_stream
+
+./target/release/examples/observed_stream \
+    --entity-addr 127.0.0.1:0 \
+    --match-workers 2 \
+    --hold-metrics-secs 30 >"$log" 2>&1 &
+pid=$!
+
+# The example prints "entities: query with `curl http://ADDR/clusters`"
+# once the endpoint is bound; poll the log for the assigned address.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*query with `curl http:\/\/\([^/]*\)\/clusters`.*/\1/p' "$log" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "observed_stream exited before binding the entity endpoint" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "entity endpoint address never appeared in the log" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "entity endpoint: $addr"
+
+python3 - "$addr" <<'EOF'
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+addr = sys.argv[1]
+
+
+def get(path):
+    return json.loads(
+        urllib.request.urlopen(f"http://{addr}{path}", timeout=10).read().decode()
+    )
+
+
+health = get("/healthz")
+assert health["status"] == "ok", health
+assert health["generation"] == health["matches_applied"], health
+
+# The endpoint binds before the stream starts; wait until the run has
+# actually resolved something before probing cluster shape.
+snap = get("/clusters")
+deadline = time.monotonic() + 60
+while not snap["largest"] and time.monotonic() < deadline:
+    time.sleep(0.2)
+    snap = get("/clusters")
+print(
+    f"/clusters: generation {snap['generation']}, {snap['clusters']} clusters "
+    f"over {snap['profiles']} profiles"
+)
+# Lock-consistent snapshot invariants, as documented in DESIGN.md §12.
+assert snap["generation"] == snap["matches_applied"], snap
+assert snap["profiles"] == snap["clusters"] + snap["merges"], snap
+assert isinstance(snap["size_histogram"], list), snap
+assert sum(s * c for s, c in snap["size_histogram"]) == snap["profiles"], snap
+assert sum(c for _, c in snap["size_histogram"]) == snap["clusters"], snap
+largest = snap["largest"]
+assert largest, f"no clusters resolved yet: {snap}"
+top = largest[0]
+assert top["size"] == len(top["members"]), top
+
+# A point query for a member of the largest cluster finds that cluster.
+probe = top["members"][0]
+entity = get(f"/entity/{probe}")
+print(f"/entity/{probe}: entity {entity['entity']}, size {entity['size']}")
+assert probe in entity["members"], entity
+assert entity["size"] == len(entity["members"]), entity
+assert entity["generation"] >= snap["generation"], (entity, snap)
+
+# An unknown profile id is a clean 404, not a crash.
+try:
+    urllib.request.urlopen(f"http://{addr}/entity/4294967294", timeout=10)
+except urllib.error.HTTPError as err:
+    assert err.code == 404, err.code
+    body = json.loads(err.read().decode())
+    assert body["error"] == "unknown profile", body
+else:
+    raise AssertionError("expected 404 for an unknown profile id")
+EOF
+
+wait "$pid"
+echo "--- example tail ---"
+tail -n 7 "$log"
+
+grep -q "=== resolved entities ===" "$log" || {
+    echo "final entity summary missing from the example output" >&2
+    exit 1
+}
+
+echo "entity smoke passed"

@@ -268,6 +268,51 @@ def plot_metrics_overhead(name: str, csvs: list[Path], out: Path, plt) -> None:
     print(f"wrote {out}")
 
 
+def plot_cluster_throughput(name: str, csvs: list[Path], out: Path, plt) -> None:
+    """Three-panel entity-index figure: merge-apply rate as the union-find
+    warms up, the final cluster-size distribution of a real streaming run,
+    and point-lookup latency percentiles under concurrent merge load, with
+    the measured clustered-vs-noop overhead of the index in the title."""
+    series = {path.stem: load_series(path) for path in csvs}
+    fig, (ax_rate, ax_dist, ax_lat) = plt.subplots(1, 3, figsize=(13, 4.2))
+
+    if "apply_rate" in series:
+        x_name, xs, ys = series["apply_rate"]
+        ax_rate.plot(xs, [y / 1e6 for y in ys], color="tab:blue", linewidth=1.2)
+        ax_rate.set_xlabel(x_name)
+    ax_rate.set_ylabel("applies / µs")
+    ax_rate.set_title("merge-apply rate over the match stream", fontsize=9)
+    ax_rate.grid(True, alpha=0.3)
+
+    if "cluster_size_distribution" in series:
+        x_name, xs, ys = series["cluster_size_distribution"]
+        ax_dist.bar(xs, ys, color="tab:green", width=0.8)
+        ax_dist.set_xlabel("cluster size")
+        if ys and max(ys) / max(min(y for y in ys if y > 0), 1) > 50:
+            ax_dist.set_yscale("log")
+    ax_dist.set_ylabel("clusters")
+    ax_dist.set_title("cluster-size distribution (streaming run)", fontsize=9)
+    ax_dist.grid(True, axis="y", alpha=0.3)
+
+    if "query_latency_ns" in series:
+        _, xs, ys = series["query_latency_ns"]
+        labels = [f"p{int(x)}" for x in xs]
+        ax_lat.bar(labels, [y / 1e3 for y in ys], color="tab:orange")
+    ax_lat.set_ylabel("lookup latency (µs)")
+    ax_lat.set_title("point queries under merge load", fontsize=9)
+    ax_lat.grid(True, axis="y", alpha=0.3)
+
+    title = name
+    if "overhead_pct" in series:
+        _, _, ys = series["overhead_pct"]
+        if ys:
+            title = f"{name} — clustered-vs-noop overhead {ys[-1]:.2f}% (contract < 5%)"
+    fig.suptitle(title)
+    fig.savefig(out, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
 def main() -> int:
     if not EXPERIMENTS.is_dir():
         # Nothing to plot is not an error: CI invokes this unconditionally
@@ -315,6 +360,11 @@ def main() -> int:
             continue
         if figure_dir.name == "metrics_overhead":
             plot_metrics_overhead(
+                figure_dir.name, csvs, EXPERIMENTS / f"{figure_dir.name}.svg", plt
+            )
+            continue
+        if figure_dir.name == "cluster_throughput":
+            plot_cluster_throughput(
                 figure_dir.name, csvs, EXPERIMENTS / f"{figure_dir.name}.svg", plt
             )
             continue

@@ -65,6 +65,7 @@
 //! | [`runtime`] | real multi-threaded streaming runtime |
 //! | [`observe`] | zero-cost pipeline instrumentation, stats & JSONL export |
 //! | [`metrics`] | live telemetry: lock-free registry, queue gauges, Prometheus endpoint, Perfetto traces |
+//! | [`entity`] | incremental entity clustering: concurrent union-find index + live HTTP query endpoint |
 
 #![warn(missing_docs)]
 
@@ -73,6 +74,7 @@ pub use pier_blocking as blocking;
 pub use pier_collections as collections;
 pub use pier_core as core;
 pub use pier_datagen as datagen;
+pub use pier_entity as entity;
 pub use pier_matching as matching;
 pub use pier_metablocking as metablocking;
 pub use pier_metrics as metrics;
@@ -97,6 +99,10 @@ pub mod prelude {
     pub use pier_datagen::{
         generate_bibliographic, generate_census, generate_dbpedia, generate_movies,
         BibliographicConfig, CensusConfig, DbpediaConfig, MoviesConfig, StandardDataset,
+    };
+    pub use pier_entity::{
+        ClusterObserver, EntityCluster, EntityIndex, EntityLookup, EntityServer, EntitySnapshot,
+        EntityStats, EntitySummary,
     };
     pub use pier_matching::{
         levenshtein_bounded, levenshtein_naive, ClassifiedMatch, CosineMatcher,
