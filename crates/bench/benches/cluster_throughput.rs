@@ -42,7 +42,7 @@ use pier_datagen::{generate_bibliographic, BibliographicConfig};
 use pier_entity::{ClusterObserver, EntityIndex};
 use pier_matching::{JaccardMatcher, MatchFunction};
 use pier_observe::{NoopObserver, Observer, PipelineObserver};
-use pier_runtime::{run_streaming, RuntimeConfig};
+use pier_runtime::{Pipeline, RuntimeConfig};
 use pier_types::{Comparison, Dataset, EntityProfile, ProfileId};
 
 const ID: &str = "cluster_throughput";
@@ -314,20 +314,18 @@ fn main() {
     // cluster-size distribution for the figure.
     let live = EntityIndex::shared();
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming(
-        dataset.kind,
-        incs.clone(),
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        RuntimeConfig {
+    let report = Pipeline::builder(dataset.kind)
+        .config(RuntimeConfig {
             interarrival: Duration::ZERO,
             deadline: Duration::from_secs(30),
             match_workers: 2,
             entities: Some(Arc::clone(&live)),
             ..RuntimeConfig::default()
-        },
-        |_| {},
-    );
+        })
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .expect("bench config validates")
+        .run(incs.clone(), matcher, |_| {});
     let snapshot = live.snapshot();
     let summary = report.entity_summary.expect("entities attached");
     println!(

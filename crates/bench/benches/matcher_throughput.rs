@@ -16,7 +16,7 @@
 //!   term is measured separately, so the figure is exact on a host with
 //!   ≥ N free cores even though this container has a single CPU. The
 //!   contract asserts ≥ 2× at 4 workers over 1;
-//! * **threaded wall clock** — the real `run_streaming` with
+//! * **threaded wall clock** — a real runtime `Pipeline` with
 //!   `match_workers` swept. On a 1-CPU host the workers serialize, so
 //!   this series bounds coordination overhead, not speedup — see the
 //!   note written next to the CSVs.
@@ -38,7 +38,7 @@ use pier_matching::similarity::levenshtein;
 use pier_matching::{
     levenshtein_naive, EditDistanceMatcher, MatchFunction, MatchInput, MatchOutcome,
 };
-use pier_runtime::{chunk_ranges, run_streaming, RuntimeConfig};
+use pier_runtime::{chunk_ranges, Pipeline, RuntimeConfig};
 use pier_types::{Dataset, EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
 
 const ID: &str = "matcher_throughput";
@@ -260,14 +260,12 @@ fn main() {
             ..RuntimeConfig::default()
         };
         let t0 = Instant::now();
-        let run = run_streaming(
-            dataset.kind,
-            increments.clone(),
-            Strategy::Pcs.build(PierConfig::default()),
-            Arc::clone(&matcher),
-            config,
-            |_| {},
-        );
+        let run = Pipeline::builder(dataset.kind)
+            .config(config)
+            .emitter(Strategy::Pcs.build(PierConfig::default()))
+            .build()
+            .expect("bench config validates")
+            .run(increments.clone(), Arc::clone(&matcher), |_| {});
         let wall = t0.elapsed().as_secs_f64();
         println!(
             "threaded match_workers={workers}: {wall:.3}s wall, {} comparisons, \
@@ -295,7 +293,7 @@ fn main() {
          pairs / (slowest chunk + serial residue). Exact on a host with >= N\n\
          free cores regardless of this container's parallelism (contract:\n\
          >= 2x at 4 workers).\n\
-         threaded_wall_clock_throughput.csv: real run_streaming wall clock\n\
+         threaded_wall_clock_throughput.csv: real runtime Pipeline wall clock\n\
          with match_workers swept. On a single-CPU container the workers\n\
          serialize, so this series only bounds coordination overhead; on a\n\
          multi-core host it approaches the critical-path series.\n",

@@ -40,7 +40,7 @@ use pier_datagen::{generate_bibliographic, BibliographicConfig};
 use pier_matching::{JaccardMatcher, MatchFunction};
 use pier_metrics::{queue, MetricsRegistry, QueueGauges, Telemetry};
 use pier_observe::{NoopObserver, Observer, PipelineObserver};
-use pier_runtime::{run_streaming, RuntimeConfig};
+use pier_runtime::{Pipeline, RuntimeConfig};
 use pier_types::{Dataset, EntityProfile};
 
 const ID: &str = "metrics_overhead";
@@ -80,14 +80,12 @@ fn threaded_run(
     telemetry: Option<Telemetry>,
 ) -> usize {
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming(
-        dataset.kind,
-        incs.to_vec(),
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        config(telemetry, Duration::ZERO),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(config(telemetry, Duration::ZERO))
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .expect("bench config validates")
+        .run(incs.to_vec(), matcher, |_| {});
     report.matches.len()
 }
 
@@ -277,14 +275,12 @@ fn main() {
     // A small interarrival gap stretches the run so the sampler catches
     // the queues both filling and draining.
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming(
-        dataset.kind,
-        incs.clone(),
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        config(Some(live), Duration::from_millis(2)),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(config(Some(live), Duration::from_millis(2)))
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .expect("bench config validates")
+        .run(incs.clone(), matcher, |_| {});
     done.store(true, Ordering::Relaxed);
     let (depth_inc_rows, depth_match_rows, recall_rows, comparison_rows) = sampler.join().unwrap();
     println!(

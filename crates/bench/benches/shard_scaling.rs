@@ -12,7 +12,7 @@
 //!   emitting, and pulling. Each term is measured with its own timer, so
 //!   the figure is exact on a host with ≥ N free cores even though this
 //!   container has a single CPU;
-//! * **threaded wall clock** — the real `run_streaming_sharded` runtime
+//! * **threaded wall clock** — the real sharded runtime `Pipeline`
 //!   (one thread per shard). On a 1-CPU host the threads serialize, so
 //!   this series shows the coordination overhead, not the speedup — see
 //!   the note written next to the CSVs.
@@ -32,7 +32,7 @@ use pier_core::{PierConfig, Strategy};
 use pier_datagen::{generate_dbpedia, DbpediaConfig};
 use pier_matching::{JaccardMatcher, MatchFunction};
 use pier_observe::Observer;
-use pier_runtime::{run_streaming, run_streaming_sharded, RuntimeConfig};
+use pier_runtime::{Pipeline, RuntimeConfig};
 use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
 use pier_types::{Dataset, EntityProfile, ErKind, TokenId};
 
@@ -234,14 +234,12 @@ fn main() {
     let mut sharded4 = None;
     for &shards in &SHARD_COUNTS {
         let t0 = Instant::now();
-        let run = run_streaming_sharded(
-            dataset.kind,
-            increments.clone(),
-            sharded_config(shards),
-            Arc::clone(&matcher),
-            runtime_config.clone(),
-            |_| {},
-        );
+        let run = Pipeline::builder(dataset.kind)
+            .config(runtime_config.clone())
+            .sharded(sharded_config(shards))
+            .build()
+            .expect("bench config validates")
+            .run(increments.clone(), Arc::clone(&matcher), |_| {});
         let wall = t0.elapsed().as_secs_f64();
         println!(
             "threaded shards={shards}: {wall:.3}s wall, {} comparisons, {} matches",
@@ -257,14 +255,12 @@ fn main() {
 
     // 3. PC over time: threaded sharded (4) vs unsharded runtime.
     let t0 = Instant::now();
-    let unsharded = run_streaming(
-        dataset.kind,
-        increments.clone(),
-        Strategy::Pcs.build(PierConfig::default()),
-        Arc::clone(&matcher),
-        runtime_config.clone(),
-        |_| {},
-    );
+    let unsharded = Pipeline::builder(dataset.kind)
+        .config(runtime_config.clone())
+        .emitter(Strategy::Pcs.build(PierConfig::default()))
+        .build()
+        .expect("bench config validates")
+        .run(increments.clone(), Arc::clone(&matcher), |_| {});
     println!(
         "threaded unsharded: {:.3}s wall, {} comparisons, {} matches",
         t0.elapsed().as_secs_f64(),
@@ -305,7 +301,7 @@ fn main() {
          floors + fan-out) + slowest shard, each term under its own timer.\n\
          This is the exact speedup on a host with >= N free cores and is the\n\
          headline series; it is host-parallelism independent.\n\
-         threaded_wall_clock_throughput.csv: real run_streaming_sharded wall\n\
+         threaded_wall_clock_throughput.csv: real sharded runtime Pipeline wall\n\
          clock. On a single-CPU container (like the CI box this was authored\n\
          on) shard threads serialize, so this series only bounds coordination\n\
          overhead; on a multi-core host it approaches the critical-path series.\n\

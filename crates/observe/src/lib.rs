@@ -242,6 +242,103 @@ impl PipelineObserver for FanoutObserver {
     }
 }
 
+/// An ordered, labelled collection of observers composed into one fan-out.
+///
+/// Runtimes accept an `ObserverSet` as *the* composition point for
+/// everything that wants to watch a run — caller stats, JSONL export,
+/// live metrics, entity clustering — instead of each driver hand-teeing
+/// sinks onto an [`Observer`]. Labels exist purely for humans: a driver
+/// or example can print which observers a pipeline was composed with.
+///
+/// Composition rules ([`ObserverSet::compose`]):
+///
+/// * an empty set composes to [`Observer::disabled`] — the zero-cost
+///   default, so "observation always on" costs nothing when nobody
+///   listens;
+/// * a single sink is attached directly (no fan-out layer);
+/// * two or more sinks route through one flat [`FanoutObserver`],
+///   delivering every event to each sink in insertion order with shard
+///   and worker attribution preserved.
+#[derive(Default, Clone)]
+pub struct ObserverSet {
+    sinks: Vec<(String, Arc<dyn PipelineObserver>)>,
+}
+
+impl ObserverSet {
+    /// An empty set (composes to a disabled observer).
+    pub fn new() -> Self {
+        ObserverSet::default()
+    }
+
+    /// Appends `sink` under a human-readable `label`.
+    pub fn push(&mut self, label: impl Into<String>, sink: Arc<dyn PipelineObserver>) {
+        self.sinks.push((label.into(), sink));
+    }
+
+    /// Builder-style [`ObserverSet::push`].
+    pub fn with(mut self, label: impl Into<String>, sink: Arc<dyn PipelineObserver>) -> Self {
+        self.push(label, sink);
+        self
+    }
+
+    /// Appends every sink of `other`, preserving order and labels.
+    pub fn extend(&mut self, other: ObserverSet) {
+        self.sinks.extend(other.sinks);
+    }
+
+    /// Number of composed sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the set holds no sinks (composes to a disabled observer).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The labels of the composed sinks, in delivery order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.sinks.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// Composes the set into a single [`Observer`] handle (see the type
+    /// docs for the rules).
+    pub fn compose(&self) -> Observer {
+        match self.sinks.len() {
+            0 => Observer::disabled(),
+            1 => Observer::new(Arc::clone(&self.sinks[0].1)),
+            _ => Observer::new(Arc::new(FanoutObserver::new(
+                self.sinks.iter().map(|(_, s)| Arc::clone(s)).collect(),
+            ))),
+        }
+    }
+}
+
+impl From<ObserverSet> for Observer {
+    fn from(set: ObserverSet) -> Observer {
+        set.compose()
+    }
+}
+
+impl From<Observer> for ObserverSet {
+    /// Wraps an existing handle's sink as a one-element set (labelled
+    /// `"observer"`); a disabled handle becomes the empty set. Shard or
+    /// worker tags on the handle are not carried over — sets compose
+    /// untagged base observers, and runtimes re-tag per stage.
+    fn from(observer: Observer) -> ObserverSet {
+        match observer.sink() {
+            Some(sink) => ObserverSet::new().with("observer", Arc::clone(sink)),
+            None => ObserverSet::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.labels()).finish()
+    }
+}
+
 /// The cheap, cloneable handle that pipeline components store.
 ///
 /// `Observer::disabled()` (also the `Default`) holds no sink: emitting
@@ -597,6 +694,86 @@ mod tests {
         assert_eq!(tagged.shard(), Some(7));
         tagged.emit(|| Event::BlockBuilt { block: 2 });
         let want = vec![(Some(3), None), (None, Some(1)), (Some(7), None)];
+        assert_eq!(*a.0.lock(), want);
+        assert_eq!(*b.0.lock(), want);
+    }
+
+    #[test]
+    fn observer_set_composes_by_size() {
+        // Empty -> disabled.
+        let empty = ObserverSet::new();
+        assert!(empty.is_empty());
+        assert!(!empty.compose().is_enabled());
+        // One sink -> attached directly, no fan-out layer.
+        let a = Arc::new(Counting(AtomicU64::new(0)));
+        let one = ObserverSet::new().with("a", a.clone());
+        assert_eq!(one.len(), 1);
+        let composed = one.compose();
+        assert!(Arc::ptr_eq(
+            composed.sink().unwrap(),
+            &(a.clone() as Arc<dyn PipelineObserver>)
+        ));
+        composed.emit(|| Event::BlockBuilt { block: 0 });
+        assert_eq!(a.0.load(Ordering::Relaxed), 1);
+        // Two sinks -> both receive every event, in order.
+        let b = Arc::new(Counting(AtomicU64::new(0)));
+        let two: Observer = one.with("b", b.clone()).into();
+        two.emit(|| Event::BlockBuilt { block: 1 });
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn observer_set_labels_and_debug() {
+        let set = ObserverSet::new()
+            .with("stats", Arc::new(NoopObserver))
+            .with("jsonl", Arc::new(NoopObserver));
+        assert_eq!(set.labels(), vec!["stats", "jsonl"]);
+        assert_eq!(format!("{set:?}"), r#"["stats", "jsonl"]"#);
+        let mut base = ObserverSet::new().with("metrics", Arc::new(NoopObserver));
+        base.extend(set);
+        assert_eq!(base.labels(), vec!["metrics", "stats", "jsonl"]);
+    }
+
+    #[test]
+    fn observer_round_trips_through_a_set() {
+        let sink = Arc::new(Counting(AtomicU64::new(0)));
+        let set = ObserverSet::from(Observer::new(sink.clone()));
+        assert_eq!(set.labels(), vec!["observer"]);
+        set.compose().emit(|| Event::BlockBuilt { block: 0 });
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+        // A disabled handle becomes the empty set.
+        assert!(ObserverSet::from(Observer::disabled()).is_empty());
+    }
+
+    #[test]
+    fn observer_set_fanout_preserves_attribution() {
+        use parking_lot::Mutex;
+
+        #[derive(Default)]
+        struct Recording(Mutex<Vec<(Option<u16>, Option<u16>)>>);
+
+        impl PipelineObserver for Recording {
+            fn on_event(&self, _event: &Event) {
+                self.0.lock().push((None, None));
+            }
+            fn on_shard_event(&self, shard: u16, _event: &Event) {
+                self.0.lock().push((Some(shard), None));
+            }
+            fn on_worker_event(&self, worker: u16, _event: &Event) {
+                self.0.lock().push((None, Some(worker)));
+            }
+        }
+
+        let a = Arc::new(Recording::default());
+        let b = Arc::new(Recording::default());
+        let obs = ObserverSet::new()
+            .with("a", a.clone())
+            .with("b", b.clone())
+            .compose();
+        obs.for_shard(2).emit(|| Event::BlockBuilt { block: 0 });
+        obs.for_worker(5).emit(|| Event::BlockBuilt { block: 1 });
+        let want = vec![(Some(2), None), (None, Some(5))];
         assert_eq!(*a.0.lock(), want);
         assert_eq!(*b.0.lock(), want);
     }

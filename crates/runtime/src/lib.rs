@@ -3,11 +3,14 @@
 //! Where [`pier-sim`](../pier_sim/index.html) reproduces the paper's
 //! experiments on a virtual clock, this crate runs the same components as
 //! an actual streaming system — the role Akka Streams plays in the paper's
-//! Scala implementation (§7.1):
+//! Scala implementation (§7.1). The one entry point is the composable
+//! [`Pipeline`] builder/executor (see [`pipeline`] for the stage graph):
 //!
 //! * a **source** thread replays increments at a configurable rate;
-//! * a **blocking** thread (stage A) maintains the incremental blocker and
-//!   feeds the prioritizer;
+//! * **stage A** maintains incremental blocking and feeds the
+//!   prioritizer — either a single shared blocker
+//!   ([`PipelineBuilder::emitter`]) or a hash-partitioned tokenizer pool →
+//!   router → shard workers → merger ([`PipelineBuilder::sharded`]);
 //! * a **matching** thread (stage B) pulls batches of the adaptively-sized
 //!   `K` best comparisons and classifies them, fanning the matcher
 //!   evaluations out over a pool of [`RuntimeConfig::match_workers`]
@@ -15,26 +18,24 @@
 //! * match events flow to the caller as they are found, with real
 //!   timestamps.
 //!
+//! Observation is always on and composes through one
+//! [`pier_observe::ObserverSet`] (re-exported as [`ObserverSet`]): the
+//! caller's labelled sinks, plus the implicit `"metrics"` sink when
+//! [`RuntimeConfig::telemetry`] is set and the `"entities"` cluster sink
+//! when [`RuntimeConfig::entities`] is set. An empty set costs nothing.
+//!
 //! Shared state uses `parking_lot` locks (blocker behind an `RwLock` —
 //! written by stage A, read by stage B — and the emitter behind a `Mutex`);
 //! threads communicate over `crossbeam` channels.
 //!
-//! Setting [`RuntimeConfig::telemetry`] attaches the `pier-metrics` live
-//! telemetry subsystem: queue-depth/backpressure gauges on every channel,
-//! live comparison/match/budget counters, per-phase latency histograms,
-//! and a progressive-recall estimate — all scrapable mid-run through
-//! [`pier_metrics::MetricsServer`] (re-exported here as
-//! [`MetricsServer`]).
-//!
-//! Setting [`RuntimeConfig::entities`] attaches the `pier-entity`
-//! clustering subsystem: every confirmed match folds into a shared
-//! [`EntityIndex`] (the live transitive closure of the match stream),
-//! queryable from any thread mid-run and servable over HTTP through
-//! [`pier_entity::EntityServer`]; the final report then carries an
-//! [`EntitySummary`].
+//! The pre-`Pipeline` entry points (`run_streaming{,_observed}`,
+//! `run_streaming_sharded{,_observed}`) survive one release as deprecated
+//! delegating wrappers; see the README migration table.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
+pub mod pipeline;
 pub mod pool;
 pub mod report;
 pub mod sharded;
@@ -43,8 +44,12 @@ pub mod streaming;
 
 pub use pier_entity::{EntityIndex, EntityServer, EntitySummary};
 pub use pier_metrics::{MetricsServer, Telemetry};
+pub use pier_observe::ObserverSet;
+pub use pipeline::{default_match_workers, Pipeline, PipelineBuilder, RuntimeConfig};
 pub use pool::chunk_ranges;
 pub use report::{DictionaryStats, MatchEvent, RuntimeReport};
+#[allow(deprecated)]
 pub use sharded::{run_streaming_sharded, run_streaming_sharded_observed};
 pub use stages::{tokenize_increment, TokenizedIncrement, TokenizedProfile};
-pub use streaming::{default_match_workers, run_streaming, run_streaming_observed, RuntimeConfig};
+#[allow(deprecated)]
+pub use streaming::{run_streaming, run_streaming_observed};

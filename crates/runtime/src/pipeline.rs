@@ -1,0 +1,906 @@
+//! The unified PIER pipeline: one composable builder/executor behind
+//! every runtime entry point.
+//!
+//! The paper's framework (Alg. 1) is a single stage graph; this module is
+//! its one threaded implementation:
+//!
+//! ```text
+//!            ┌────────────────────── stage A ──────────────────────┐
+//! source ──▶ │ single:  tokenize ─▶ blocker + emitter              │ ─▶ stage B ─▶ collector
+//!            │ sharded: tokenizer pool 0..T ─▶ router ─▶ shards 0..N ─▶ merger │   (caller thread)
+//!            └─────────────────────────────────────────────────────┘
+//! ```
+//!
+//! A [`Pipeline`] is built once — topology ([`PipelineBuilder::emitter`]
+//! for a single shared blocker, [`PipelineBuilder::sharded`] for the
+//! hash-partitioned stage A; the unsharded driver *is* the `shards = 1`
+//! shape of the same graph), configuration ([`RuntimeConfig`], validated
+//! up front by [`RuntimeConfig::validate`] instead of panicking mid-run),
+//! and observation ([`pier_observe::ObserverSet`]) — then consumed by
+//! [`Pipeline::run`].
+//!
+//! Observation is always on and composes in exactly one place: the
+//! caller's labelled sinks first, then (when [`RuntimeConfig::telemetry`]
+//! is set) the `"metrics"` bridge, then (when [`RuntimeConfig::entities`]
+//! is set) the `"entities"` cluster sink. An empty set composes to the
+//! disabled observer — one branch per would-be event, nothing else — so
+//! the zero-cost contract of the old un-`_observed` entry points is
+//! preserved without a second code path.
+//!
+//! Everything topology-independent — the source replay, the stage-B
+//! pull/tick/backoff loop with its budget and shutdown/poison sequence
+//! ([`crate::stages`]), match collection, and final report assembly
+//! ([`crate::report`]) — exists once; a topology contributes only its
+//! channel wiring and its `pull`/`tick` closures.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_core::{AdaptiveK, ComparisonEmitter, PierConfig, Strategy};
+use pier_entity::{ClusterObserver, EntityIndex, EntityServer};
+use pier_matching::MatchFunction;
+use pier_metrics::Telemetry;
+use pier_observe::{Event, ObserverSet, Phase, PipelineObserver};
+use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
+use pier_types::{
+    EntityProfile, ErKind, PierError, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
+};
+
+use crate::report::{DictionaryStats, MatchEvent, RunTotals, RuntimeReport};
+use crate::stages::{
+    collect_matches, pipeline_channel, spawn_source, tokenize_increment, MaterializedPair, StageB,
+    TokenizedIncrement, TokenizedProfile,
+};
+
+/// Configuration of a real-time run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Time between consecutive increments at the source.
+    pub interarrival: Duration,
+    /// Block purging for the shared blocker (single topology; a sharded
+    /// pipeline purges per shard under
+    /// [`pier_shard::ShardedConfig::purge_policy`]).
+    pub purge_policy: PurgePolicy,
+    /// Initial / minimal / maximal adaptive `K`.
+    pub k: (usize, usize, usize),
+    /// Safety cap on total comparisons (the pipeline stops afterwards).
+    pub max_comparisons: u64,
+    /// Hard wall-clock deadline; the pipeline winds down when it passes.
+    pub deadline: Duration,
+    /// Stage-B match workers evaluating comparisons in parallel. Defaults
+    /// to the machine's available parallelism; `1` keeps the
+    /// classification loop on the stage-B thread itself, reproducing the
+    /// single-threaded executor exactly. Any value emits the identical
+    /// match set, event order, and comparison count — only wall-clock
+    /// throughput changes.
+    pub match_workers: usize,
+    /// Live telemetry. When set, the pipeline composes a
+    /// [`pier_metrics::MetricsObserver`] into its observer set (labelled
+    /// `"metrics"`), attaches queue-depth/backpressure gauges to every
+    /// pipeline channel, exposes the classifier's live comparison count
+    /// and remaining budget, and publishes the final report totals into
+    /// the telemetry's registry — ready to scrape with a
+    /// [`pier_metrics::MetricsServer`]. `None` (the default) adds a
+    /// single branch per channel operation and nothing else.
+    pub telemetry: Option<Telemetry>,
+    /// Incremental entity clustering. When set, the pipeline composes a
+    /// [`pier_entity::ClusterObserver`] into its observer set (labelled
+    /// `"entities"`), so every confirmed match folds into the shared
+    /// [`EntityIndex`] the moment the stage-B coordinator emits it — in
+    /// confirmation order for any [`RuntimeConfig::match_workers`] count —
+    /// and the final report carries an [`pier_entity::EntitySummary`].
+    /// Keep a clone of the `Arc` to query the evolving partition mid-run,
+    /// or let the pipeline serve it over HTTP with
+    /// [`PipelineBuilder::serve_entities`]. When
+    /// [`RuntimeConfig::telemetry`] is also set, the index additionally
+    /// maintains `pier_entity_*` cluster-count/merge-rate gauges in the
+    /// telemetry registry. `None` (the default) costs nothing.
+    pub entities: Option<Arc<EntityIndex>>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            interarrival: Duration::from_millis(10),
+            purge_policy: PurgePolicy::default(),
+            k: (64, 4, 65_536),
+            max_comparisons: 10_000_000,
+            deadline: Duration::from_secs(60),
+            match_workers: default_match_workers(),
+            telemetry: None,
+            entities: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Checks the configuration for values no run could make sense of,
+    /// returning a typed [`PierError::InvalidConfig`] instead of letting
+    /// a pipeline thread panic (or spin) mid-run:
+    ///
+    /// * `match_workers == 0` — there would be nothing to classify on;
+    /// * `max_comparisons == 0` — the budget is exhausted before the
+    ///   first comparison, so the run can never produce anything;
+    /// * a broken adaptive-`K` triple (`min == 0`, `min > max`, or an
+    ///   initial value outside `[min, max]`).
+    ///
+    /// [`PipelineBuilder::build`] calls this automatically.
+    pub fn validate(&self) -> Result<(), PierError> {
+        let invalid = |parameter: &'static str, message: String| {
+            Err(PierError::InvalidConfig { parameter, message })
+        };
+        if self.match_workers == 0 {
+            return invalid(
+                "match_workers",
+                "must be >= 1 (1 keeps classification on the stage-B thread)".into(),
+            );
+        }
+        if self.max_comparisons == 0 {
+            return invalid(
+                "max_comparisons",
+                "must be >= 1; a zero budget can never execute a comparison".into(),
+            );
+        }
+        let (init, min, max) = self.k;
+        if min == 0 {
+            return invalid("k", "minimal K must be >= 1".into());
+        }
+        if min > max {
+            return invalid("k", format!("minimal K {min} exceeds maximal K {max}"));
+        }
+        if init < min || init > max {
+            return invalid(
+                "k",
+                format!("initial K {init} outside its [{min}, {max}] bounds"),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The default for [`RuntimeConfig::match_workers`]: the machine's
+/// available parallelism, or `1` when it cannot be determined.
+pub fn default_match_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The stage-A topology of a pipeline.
+enum StageA {
+    /// One shared blocker + one emitter (the `shards = 1` shape).
+    Single {
+        emitter: Box<dyn ComparisonEmitter + Send>,
+    },
+    /// Hash-partitioned: tokenizer pool → router → shard workers → merger.
+    Sharded { config: ShardedConfig },
+}
+
+/// A command processed by one shard worker thread.
+enum ShardMsg {
+    /// Routed profiles (skeleton, this shard's token-id subset, ghost
+    /// floor) to ingest.
+    Ingest(Vec<(EntityProfile, Vec<TokenId>, usize)>),
+    /// Request for up to `k` weighted comparisons, best first.
+    Pull { k: usize },
+    /// The idle tick of §3.2; replies whether the shard did/has work.
+    Tick,
+}
+
+/// A shard worker's reply to `Pull` or `Tick`.
+enum ShardReply {
+    Batch(Vec<WeightedComparison>),
+    Tick(bool),
+}
+
+/// Builder for a [`Pipeline`]; see the module docs for the stage graph.
+///
+/// Defaults: [`RuntimeConfig::default`], a single-blocker stage A running
+/// an I-PES emitter over [`pier_core::PierConfig::default`], no observers,
+/// no entity serving.
+pub struct PipelineBuilder {
+    kind: ErKind,
+    config: RuntimeConfig,
+    stage_a: StageA,
+    observers: ObserverSet,
+    entity_addr: Option<String>,
+}
+
+impl PipelineBuilder {
+    /// Replaces the run configuration.
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Single-blocker stage A driven by `emitter` (any
+    /// [`ComparisonEmitter`]; see [`pier_core::Strategy::build`]).
+    pub fn emitter(mut self, emitter: Box<dyn ComparisonEmitter + Send>) -> Self {
+        self.stage_a = StageA::Single { emitter };
+        self
+    }
+
+    /// Hash-partitioned stage A: one worker thread per shard plus a
+    /// tokenizer pool, router, and k-way merger.
+    pub fn sharded(mut self, config: ShardedConfig) -> Self {
+        self.stage_a = StageA::Sharded { config };
+        self
+    }
+
+    /// Adds one labelled observer sink (stats, JSONL, …) to the set the
+    /// pipeline composes at run time.
+    pub fn observe(mut self, label: impl Into<String>, sink: Arc<dyn PipelineObserver>) -> Self {
+        self.observers.push(label, sink);
+        self
+    }
+
+    /// Adds every sink of `observers`, preserving order and labels. Also
+    /// accepts a bare [`pier_observe::Observer`] handle (labelled `"observer"`).
+    pub fn observers(mut self, observers: impl Into<ObserverSet>) -> Self {
+        self.observers.extend(observers.into());
+        self
+    }
+
+    /// Serves [`RuntimeConfig::entities`] over HTTP for the lifetime of
+    /// the pipeline: [`PipelineBuilder::build`] binds an [`EntityServer`]
+    /// on `addr` (requires `entities` to be set, otherwise building fails
+    /// with a typed error). Retrieve it through
+    /// [`Pipeline::take_entity_server`] to control its lifetime, or leave
+    /// it attached to serve until the pipeline is dropped.
+    pub fn serve_entities(mut self, addr: impl Into<String>) -> Self {
+        self.entity_addr = Some(addr.into());
+        self
+    }
+
+    /// Validates the configuration and assembles the [`Pipeline`],
+    /// binding the entity server when one was requested.
+    ///
+    /// Errors with [`PierError::InvalidConfig`] on a nonsensical
+    /// configuration ([`RuntimeConfig::validate`], `shards == 0`, or
+    /// entity serving without [`RuntimeConfig::entities`]) and with
+    /// [`PierError::Io`] when the entity server cannot bind.
+    pub fn build(self) -> Result<Pipeline, PierError> {
+        self.config.validate()?;
+        if let StageA::Sharded { config } = &self.stage_a {
+            if config.shards == 0 {
+                return Err(PierError::InvalidConfig {
+                    parameter: "shards",
+                    message: "must be >= 1 (1 reproduces the unsharded topology)".into(),
+                });
+            }
+        }
+        let entity_server = match &self.entity_addr {
+            Some(addr) => {
+                let index =
+                    self.config
+                        .entities
+                        .as_ref()
+                        .ok_or_else(|| PierError::InvalidConfig {
+                            parameter: "entity_server",
+                            message: "serving entities requires RuntimeConfig::entities \
+                                  (there is no index to serve)"
+                                .into(),
+                        })?;
+                Some(EntityServer::serve(addr.as_str(), Arc::clone(index))?)
+            }
+            None => None,
+        };
+        let mut observer_labels: Vec<String> = self
+            .observers
+            .labels()
+            .iter()
+            .map(|l| l.to_string())
+            .collect();
+        if self.config.telemetry.is_some() {
+            observer_labels.push("metrics".into());
+        }
+        if self.config.entities.is_some() {
+            observer_labels.push("entities".into());
+        }
+        Ok(Pipeline {
+            kind: self.kind,
+            config: self.config,
+            stage_a: self.stage_a,
+            observers: self.observers,
+            observer_labels,
+            entity_server,
+        })
+    }
+}
+
+/// A fully assembled pipeline, ready to consume one stream.
+///
+/// Built by [`Pipeline::builder`]; executed (once) by [`Pipeline::run`].
+pub struct Pipeline {
+    kind: ErKind,
+    config: RuntimeConfig,
+    stage_a: StageA,
+    observers: ObserverSet,
+    observer_labels: Vec<String>,
+    entity_server: Option<EntityServer>,
+}
+
+impl Pipeline {
+    /// Starts building a pipeline for `kind` (see [`PipelineBuilder`] for
+    /// the defaults).
+    pub fn builder(kind: ErKind) -> PipelineBuilder {
+        PipelineBuilder {
+            kind,
+            config: RuntimeConfig::default(),
+            stage_a: StageA::Single {
+                emitter: Strategy::Pes.build(PierConfig::default()),
+            },
+            observers: ObserverSet::new(),
+            entity_addr: None,
+        }
+    }
+
+    /// The labels of every observer this pipeline will compose at run
+    /// time, in delivery order — the caller's sinks plus the implicit
+    /// `"metrics"` / `"entities"` sinks its configuration adds.
+    pub fn observer_labels(&self) -> &[String] {
+        &self.observer_labels
+    }
+
+    /// The entity server bound by [`PipelineBuilder::serve_entities`],
+    /// if any.
+    pub fn entity_server(&self) -> Option<&EntityServer> {
+        self.entity_server.as_ref()
+    }
+
+    /// Detaches the bound entity server, transferring its lifetime to the
+    /// caller (e.g. to keep serving after the run, or to shut it down at
+    /// a chosen moment). A server left attached shuts down when the
+    /// pipeline is dropped at the end of [`Pipeline::run`].
+    pub fn take_entity_server(&mut self) -> Option<EntityServer> {
+        self.entity_server.take()
+    }
+
+    /// Runs `matcher` over `increments` replayed in real time.
+    ///
+    /// Blocks the calling thread until the run completes (stream fully
+    /// consumed and stage A drained) or the deadline/comparison cap is
+    /// hit, and returns the report. Matches are also delivered
+    /// incrementally through `on_match` as they are confirmed.
+    pub fn run(
+        self,
+        increments: Vec<Vec<EntityProfile>>,
+        matcher: Arc<dyn MatchFunction>,
+        on_match: impl FnMut(MatchEvent),
+    ) -> RuntimeReport {
+        let Pipeline {
+            kind,
+            config,
+            stage_a,
+            observers,
+            entity_server,
+            ..
+        } = self;
+        // The server (when still attached) outlives the run: queries keep
+        // being answered while the pipeline executes, and it shuts down
+        // when this binding drops with the returned report ready.
+        let _entity_server = entity_server;
+        execute(
+            kind, increments, stage_a, matcher, config, observers, on_match,
+        )
+    }
+}
+
+/// The one executor behind every entry point.
+fn execute(
+    kind: ErKind,
+    increments: Vec<Vec<EntityProfile>>,
+    stage_a: StageA,
+    matcher: Arc<dyn MatchFunction>,
+    config: RuntimeConfig,
+    observers: ObserverSet,
+    mut on_match: impl FnMut(MatchEvent),
+) -> RuntimeReport {
+    let start = Instant::now();
+    let total_profiles: usize = increments.iter().map(Vec::len).sum();
+    let telemetry = config.telemetry.clone();
+    let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
+    let entities = config.entities.clone();
+    // THE observer composition point: the caller's sinks in insertion
+    // order, then the metrics bridge, then the entity cluster sink — the
+    // same delivery order the retired drivers produced by hand-teeing.
+    // An empty set composes to the disabled observer (zero cost).
+    let observer = {
+        let mut set = observers;
+        if let Some(t) = &telemetry {
+            set.push("metrics", t.observer() as Arc<dyn PipelineObserver>);
+        }
+        if let Some(index) = &entities {
+            set.push(
+                "entities",
+                Arc::new(ClusterObserver::with_registry(
+                    Arc::clone(index),
+                    registry.as_deref(),
+                )) as Arc<dyn PipelineObserver>,
+            );
+        }
+        set.compose()
+    };
+    let dictionary = SharedTokenDictionary::new();
+    let (match_tx, match_rx) =
+        pipeline_channel::<MatchEvent>(registry.as_deref(), &[("queue", "matches")], None);
+    let ingest_done = Arc::new(AtomicBool::new(false));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let executed_total = Arc::new(AtomicU64::new(0));
+    let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
+    let match_workers = config.match_workers.max(1);
+    let worker_comparisons = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let adaptive = {
+        let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
+        k.set_observer(observer.clone());
+        Arc::new(Mutex::new(k))
+    };
+    let stage_b = StageB {
+        start,
+        deadline: config.deadline,
+        max_comparisons: config.max_comparisons,
+        match_workers,
+        matcher: Arc::clone(&matcher),
+        observer: observer.clone(),
+        match_tx,
+        registry: registry.clone(),
+        adaptive: Arc::clone(&adaptive),
+        ingest_done: Arc::clone(&ingest_done),
+        shutdown: Arc::clone(&shutdown),
+        executed_total: Arc::clone(&executed_total),
+        worker_comparisons: Arc::clone(&worker_comparisons),
+    };
+
+    // Only the topology differs below: channel wiring, stage-A threads,
+    // and the two stage-B closures (pull up to k best pairs; idle tick).
+    let (matches, token_occurrences) = match stage_a {
+        StageA::Single { mut emitter } => {
+            let mut initial_blocker = IncrementalBlocker::with_shared_dictionary(
+                kind,
+                Tokenizer::default(),
+                config.purge_policy,
+                dictionary.clone(),
+            );
+            initial_blocker.set_observer(observer.clone());
+            emitter.set_observer(observer.clone());
+            let blocker = Arc::new(RwLock::new(initial_blocker));
+            let (inc_tx, inc_rx) = pipeline_channel::<Vec<EntityProfile>>(
+                registry.as_deref(),
+                &[("queue", "increments")],
+                Some(1024),
+            );
+            let token_occurrences = Arc::new(AtomicU64::new(0));
+
+            // Source: replay increments at the configured rate.
+            let source = spawn_source(
+                increments,
+                config.interarrival,
+                Arc::clone(&shutdown),
+                move |_seq, inc| inc_tx.send(inc).is_ok(),
+            );
+
+            // The emitter is owned by a dedicated mutex shared by stages
+            // A and B.
+            let emitter_slot: Arc<Mutex<&mut (dyn ComparisonEmitter + Send)>> =
+                Arc::new(Mutex::new(emitter.as_mut()));
+
+            let mut matches: Vec<MatchEvent> = Vec::new();
+            std::thread::scope(|scope| {
+                // Stage A: tokenize/intern outside the blocker lock, then
+                // block + update the prioritizer.
+                {
+                    let blocker = Arc::clone(&blocker);
+                    let emitter_slot = Arc::clone(&emitter_slot);
+                    let ingest_done = Arc::clone(&ingest_done);
+                    let adaptive = Arc::clone(&adaptive);
+                    let dictionary = dictionary.clone();
+                    let token_occurrences = Arc::clone(&token_occurrences);
+                    let ingest_errors = Arc::clone(&ingest_errors);
+                    let observer = observer.clone();
+                    scope.spawn(move || {
+                        let tokenizer = Tokenizer::default();
+                        let mut scratch = String::new();
+                        let mut occurrences = 0u64;
+                        for (seq, inc) in inc_rx.iter().enumerate() {
+                            adaptive
+                                .lock()
+                                .record_arrival(start.elapsed().as_secs_f64());
+                            let t0 = observer.is_enabled().then(Instant::now);
+                            // Interning happens here, before the write
+                            // lock: stage B keeps reading the blocker while
+                            // token strings are hashed/allocated exactly
+                            // once for the whole pipeline.
+                            let tokenized = tokenize_increment(
+                                &dictionary,
+                                &tokenizer,
+                                seq as u64,
+                                inc,
+                                &mut scratch,
+                            );
+                            let mut ids = Vec::with_capacity(tokenized.len());
+                            let mut blocker = blocker.write();
+                            for tp in tokenized.profiles {
+                                let tokens_in_profile = tp.tokens.len() as u64;
+                                match blocker
+                                    .try_process_profile_with_token_ids(tp.profile, &tp.tokens)
+                                {
+                                    Ok(id) => {
+                                        occurrences += tokens_in_profile;
+                                        ids.push(id);
+                                    }
+                                    Err(e) => ingest_errors.lock().push(e.to_string()),
+                                }
+                            }
+                            if let Some(t0) = t0 {
+                                observer.emit(|| Event::PhaseTiming {
+                                    phase: Phase::Block,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                });
+                            }
+                            let t1 = observer.is_enabled().then(Instant::now);
+                            let mut emitter = emitter_slot.lock();
+                            emitter.on_increment(&blocker, &ids);
+                            let _ = emitter.drain_ops();
+                            if let Some(t1) = t1 {
+                                observer.emit(|| Event::PhaseTiming {
+                                    phase: Phase::Weight,
+                                    secs: t1.elapsed().as_secs_f64(),
+                                });
+                            }
+                            observer.emit(|| Event::IncrementIngested {
+                                seq: tokenized.seq,
+                                profiles: ids.len(),
+                            });
+                        }
+                        token_occurrences.store(occurrences, Ordering::SeqCst);
+                        ingest_done.store(true, Ordering::SeqCst);
+                    });
+                }
+
+                // Stage B: the shared loop over this topology's closures.
+                {
+                    let blocker = Arc::clone(&blocker);
+                    let emitter_slot = Arc::clone(&emitter_slot);
+                    let observer = observer.clone();
+                    scope.spawn(move || {
+                        // Pull under locks, then materialize the pairs so
+                        // classification runs lock-free. Materializing is
+                        // four refcount bumps per pair, not a deep clone.
+                        let pull = |k: usize| -> Vec<MaterializedPair> {
+                            let blocker = blocker.read();
+                            let mut emitter = emitter_slot.lock();
+                            let t0 = observer.is_enabled().then(Instant::now);
+                            let cmps = emitter.next_batch(&blocker, k);
+                            if let Some(t0) = t0 {
+                                observer.emit(|| Event::PhaseTiming {
+                                    phase: Phase::Prune,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                });
+                            }
+                            let _ = emitter.drain_ops();
+                            cmps.into_iter()
+                                .map(|c| MaterializedPair {
+                                    profile_a: blocker.profile_handle(c.a),
+                                    tokens_a: blocker.tokens_handle(c.a),
+                                    profile_b: blocker.profile_handle(c.b),
+                                    tokens_b: blocker.tokens_handle(c.b),
+                                })
+                                .collect()
+                        };
+                        // The idle tick (the empty increment of §3.2):
+                        // lets the GetComparisons fallback generate work
+                        // from older data while the input is quiet.
+                        let tick = || -> bool {
+                            let blocker = blocker.read();
+                            let mut emitter = emitter_slot.lock();
+                            emitter.on_increment(&blocker, &[]);
+                            emitter.drain_ops() > 0 || emitter.has_pending()
+                        };
+                        stage_b.run(pull, tick);
+                    });
+                }
+
+                // Collector (this thread): stream matches to the caller.
+                matches = collect_matches(&match_rx, &mut on_match);
+            });
+            source.join().expect("source thread never panics");
+            (matches, token_occurrences.load(Ordering::SeqCst))
+        }
+
+        StageA::Sharded {
+            config: shard_config,
+        } => {
+            let shards = shard_config.shards as usize;
+            let router = ShardRouter::with_dictionary(
+                shard_config.shards,
+                Tokenizer::default(),
+                dictionary.clone(),
+            );
+            let store = Arc::new(RwLock::new(ProfileStore::new()));
+
+            // Per-shard command + reply channels.
+            let mut cmd_txs = Vec::with_capacity(shards);
+            let mut cmd_rxs = Vec::with_capacity(shards);
+            let mut reply_txs = Vec::with_capacity(shards);
+            let mut reply_rxs = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                let label = shard.to_string();
+                let (tx, rx) = pipeline_channel::<ShardMsg>(
+                    registry.as_deref(),
+                    &[("queue", "shard_cmd"), ("shard", label.as_str())],
+                    None,
+                );
+                cmd_txs.push(tx);
+                cmd_rxs.push(rx);
+                let (tx, rx) = pipeline_channel::<ShardReply>(
+                    registry.as_deref(),
+                    &[("queue", "shard_reply"), ("shard", label.as_str())],
+                    None,
+                );
+                reply_txs.push(tx);
+                reply_rxs.push(rx);
+            }
+
+            // Tokenizer pool channels: the source dispatches increment
+            // `seq` to tokenizer `seq % T`; the router collects from
+            // tokenized channel `seq % T`, so increment order survives
+            // without `select`.
+            let pool = shards.max(1);
+            let mut tok_txs = Vec::with_capacity(pool);
+            let mut tok_rxs = Vec::with_capacity(pool);
+            let mut routed_txs = Vec::with_capacity(pool);
+            let mut routed_rxs = Vec::with_capacity(pool);
+            for lane in 0..pool {
+                let label = lane.to_string();
+                let (tx, rx) = pipeline_channel::<(u64, Vec<EntityProfile>)>(
+                    registry.as_deref(),
+                    &[("queue", "tokenizer"), ("lane", label.as_str())],
+                    Some(64),
+                );
+                tok_txs.push(tx);
+                tok_rxs.push(rx);
+                let (tx, rx) = pipeline_channel::<TokenizedIncrement>(
+                    registry.as_deref(),
+                    &[("queue", "routed"), ("lane", label.as_str())],
+                    Some(64),
+                );
+                routed_txs.push(tx);
+                routed_rxs.push(rx);
+            }
+
+            // Source: replay increments at the configured rate,
+            // round-robin over the tokenizer pool.
+            let source = spawn_source(
+                increments,
+                config.interarrival,
+                Arc::clone(&shutdown),
+                move |i, inc| tok_txs[i % tok_txs.len()].send((i as u64, inc)).is_ok(),
+            );
+
+            let mut matches: Vec<MatchEvent> = Vec::new();
+            std::thread::scope(|scope| {
+                // Shard workers: one thread per shard, each owning its
+                // blocker + emitter, exiting when every command sender is
+                // dropped.
+                for (shard, (cmd_rx, reply_tx)) in cmd_rxs.into_iter().zip(reply_txs).enumerate() {
+                    let mut worker = ShardWorker::new(
+                        shard as u16,
+                        kind,
+                        shard_config.strategy,
+                        shard_config.pier,
+                        shard_config.purge_policy,
+                        &observer,
+                    );
+                    let observer = observer.for_shard(shard as u16);
+                    let ingest_errors = Arc::clone(&ingest_errors);
+                    scope.spawn(move || {
+                        for msg in cmd_rx.iter() {
+                            match msg {
+                                ShardMsg::Ingest(batch) => {
+                                    let t0 = observer.is_enabled().then(Instant::now);
+                                    for e in worker.ingest(&batch) {
+                                        ingest_errors.lock().push(e.to_string());
+                                    }
+                                    if let Some(t0) = t0 {
+                                        observer.emit(|| Event::PhaseTiming {
+                                            phase: Phase::Weight,
+                                            secs: t0.elapsed().as_secs_f64(),
+                                        });
+                                    }
+                                }
+                                ShardMsg::Pull { k } => {
+                                    let _ = reply_tx.send(ShardReply::Batch(worker.pull(k)));
+                                }
+                                ShardMsg::Tick => {
+                                    let _ = reply_tx.send(ShardReply::Tick(worker.tick()));
+                                }
+                            }
+                        }
+                    });
+                }
+
+                // Tokenizer pool: tokenize + intern increments in parallel
+                // against the one shared dictionary; the serial router
+                // downstream only hashes ids and touches the store.
+                for (tok_rx, routed_tx) in tok_rxs.into_iter().zip(routed_txs) {
+                    let dictionary = dictionary.clone();
+                    scope.spawn(move || {
+                        let tokenizer = Tokenizer::default();
+                        let mut scratch = String::new();
+                        for (seq, inc) in tok_rx.iter() {
+                            let tokenized =
+                                tokenize_increment(&dictionary, &tokenizer, seq, inc, &mut scratch);
+                            if routed_tx.send(tokenized).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+
+                // Router/ingest: store globally, compute ghost floors,
+                // fan out.
+                {
+                    let store = Arc::clone(&store);
+                    let ingest_done = Arc::clone(&ingest_done);
+                    let adaptive = Arc::clone(&adaptive);
+                    let cmd_txs = cmd_txs.clone();
+                    let router = router.clone();
+                    let ingest_errors = Arc::clone(&ingest_errors);
+                    let observer = observer.clone();
+                    scope.spawn(move || {
+                        let mut seq = 0usize;
+                        // Round-robin collection mirrors dispatch: a
+                        // disconnect on channel `seq % T` means no
+                        // increment >= seq was sent.
+                        while let Ok(tokenized) = routed_rxs[seq % routed_rxs.len()].recv() {
+                            adaptive
+                                .lock()
+                                .record_arrival(start.elapsed().as_secs_f64());
+                            let t0 = observer.is_enabled().then(Instant::now);
+                            let mut per_shard: Vec<Vec<(EntityProfile, Vec<TokenId>, usize)>> =
+                                (0..cmd_txs.len()).map(|_| Vec::new()).collect();
+                            let mut accepted: Vec<TokenizedProfile> =
+                                Vec::with_capacity(tokenized.len());
+                            {
+                                let mut store = store.write();
+                                // The whole increment enters the store
+                                // before any floor is read, mirroring the
+                                // unsharded blocker which blocks a full
+                                // increment before generating. Duplicate
+                                // ids are skipped and reported, never
+                                // fanned out.
+                                for tp in tokenized.profiles {
+                                    match store.insert(tp.profile.clone(), &tp.tokens) {
+                                        Ok(()) => accepted.push(tp),
+                                        Err(e) => ingest_errors.lock().push(e.to_string()),
+                                    }
+                                }
+                                for tp in &accepted {
+                                    let floor = store.min_token_count(tp.profile.id).unwrap_or(1);
+                                    // Shards block and weight only — ship
+                                    // them an attribute-less skeleton, not
+                                    // a full clone.
+                                    for (shard, tokens) in router.route_ids(&tp.tokens) {
+                                        per_shard[shard as usize].push((
+                                            EntityProfile::new(tp.profile.id, tp.profile.source),
+                                            tokens,
+                                            floor,
+                                        ));
+                                    }
+                                }
+                            }
+                            for (shard, batch) in per_shard.into_iter().enumerate() {
+                                if !batch.is_empty() {
+                                    let _ = cmd_txs[shard].send(ShardMsg::Ingest(batch));
+                                }
+                            }
+                            if let Some(t0) = t0 {
+                                observer.emit(|| Event::PhaseTiming {
+                                    phase: Phase::Block,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                });
+                            }
+                            let profiles = accepted.len();
+                            observer.emit(|| Event::IncrementIngested {
+                                seq: seq as u64,
+                                profiles,
+                            });
+                            seq += 1;
+                        }
+                        // All `Ingest` messages are enqueued before this
+                        // store, so any thread that *observes* `true` and
+                        // then sends `Tick` knows the ticks queue behind
+                        // every ingest.
+                        ingest_done.store(true, Ordering::SeqCst);
+                    });
+                }
+
+                // Stage B: the shared loop over this topology's closures.
+                {
+                    let store = Arc::clone(&store);
+                    let observer = observer.clone();
+                    let mut merger = ShardMerger::new(shards);
+                    merger.set_observer(observer.clone());
+                    scope.spawn(move || {
+                        // Pull: k-way merge across the shards (each shard
+                        // is asked for its best `n` on demand), then
+                        // materialize from the global store.
+                        let pull = |k: usize| -> Vec<MaterializedPair> {
+                            let t0 = observer.is_enabled().then(Instant::now);
+                            let cmps = merger.next_batch_with(k, |s, n| {
+                                if cmd_txs[s].send(ShardMsg::Pull { k: n }).is_err() {
+                                    return Vec::new();
+                                }
+                                match reply_rxs[s].recv() {
+                                    Ok(ShardReply::Batch(batch)) => batch,
+                                    _ => Vec::new(),
+                                }
+                            });
+                            if let Some(t0) = t0 {
+                                observer.emit(|| Event::PhaseTiming {
+                                    phase: Phase::Prune,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                });
+                            }
+                            if cmps.is_empty() {
+                                return Vec::new();
+                            }
+                            let store = store.read();
+                            cmps.into_iter()
+                                .map(|c| MaterializedPair {
+                                    profile_a: store.profile_handle(c.a),
+                                    tokens_a: store.tokens_handle(c.a),
+                                    profile_b: store.profile_handle(c.b),
+                                    tokens_b: store.tokens_handle(c.b),
+                                })
+                                .collect()
+                        };
+                        // Tick every shard; any shard reporting work keeps
+                        // the loop hot.
+                        let tick = || -> bool {
+                            let mut made_work = false;
+                            for tx in &cmd_txs {
+                                let _ = tx.send(ShardMsg::Tick);
+                            }
+                            for rx in &reply_rxs {
+                                if let Ok(ShardReply::Tick(m)) = rx.recv() {
+                                    made_work |= m;
+                                }
+                            }
+                            made_work
+                        };
+                        stage_b.run(pull, tick);
+                        // Dropping this thread's `cmd_txs` clone (and the
+                        // classifier's match sender) lets the shard
+                        // workers and the collector exit once the router
+                        // thread is done too.
+                    });
+                }
+
+                // Collector (this thread): stream matches to the caller.
+                matches = collect_matches(&match_rx, &mut on_match);
+            });
+            source.join().expect("source thread never panics");
+            let token_occurrences = store.read().token_occurrences();
+            (matches, token_occurrences)
+        }
+    };
+
+    let totals = RunTotals {
+        start,
+        profiles: total_profiles,
+        matches,
+        comparisons: executed_total.load(Ordering::SeqCst),
+        dictionary: DictionaryStats {
+            distinct_tokens: dictionary.len(),
+            string_bytes: dictionary.string_bytes(),
+            token_occurrences,
+        },
+        ingest_errors: std::mem::take(&mut *ingest_errors.lock()),
+        match_workers,
+        worker_comparisons: std::mem::take(&mut *worker_comparisons.lock()),
+    };
+    totals.assemble(entities.as_ref(), telemetry.as_ref())
+}

@@ -1,8 +1,9 @@
 //! Results of a real-time pipeline run.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use pier_entity::EntitySummary;
+use pier_entity::{EntityIndex, EntitySummary};
 use pier_metrics::Telemetry;
 use pier_types::{Comparison, GroundTruth, MatchLedger, ProgressTrajectory};
 
@@ -199,6 +200,46 @@ impl RuntimeReport {
         }
         trajectory.finish(self.elapsed.as_secs_f64());
         trajectory
+    }
+}
+
+/// Everything the unified executor hands over for final report assembly.
+/// One shared implementation replaces the two per-driver copies: summarize
+/// the entity index (when clustering was on) and publish the final totals
+/// into the telemetry registry (when telemetry was on).
+pub(crate) struct RunTotals {
+    pub start: Instant,
+    pub profiles: usize,
+    pub matches: Vec<MatchEvent>,
+    pub comparisons: u64,
+    pub dictionary: DictionaryStats,
+    pub ingest_errors: Vec<String>,
+    pub match_workers: usize,
+    pub worker_comparisons: Vec<u64>,
+}
+
+impl RunTotals {
+    /// Builds (and, with telemetry, publishes) the final [`RuntimeReport`].
+    pub fn assemble(
+        self,
+        entities: Option<&Arc<EntityIndex>>,
+        telemetry: Option<&Telemetry>,
+    ) -> RuntimeReport {
+        let report = RuntimeReport {
+            matches: self.matches,
+            comparisons: self.comparisons,
+            elapsed: self.start.elapsed(),
+            profiles: self.profiles,
+            dictionary: Some(self.dictionary),
+            ingest_errors: self.ingest_errors,
+            match_workers: self.match_workers,
+            worker_comparisons: self.worker_comparisons,
+            entity_summary: entities.map(|i| i.summary(self.profiles)),
+        };
+        if let Some(t) = telemetry {
+            report.publish_final(t);
+        }
+        report
     }
 }
 

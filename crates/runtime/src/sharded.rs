@@ -1,83 +1,37 @@
-//! The threaded sharded streaming pipeline: one thread per stage-A shard
-//! plus a merging stage B, wired with crossbeam channels.
+//! Deprecated sharded entry points.
 //!
-//! Layout (cf. [`crate::run_streaming`]'s two stages):
-//!
-//! ```text
-//! source ──▶ tokenizer 0..T ──▶ router/ingest ──▶ shard worker 0 ─┐
-//!            (tokenize+intern    (store, ghost     shard worker 1 ─┼─▶ merger + classify
-//!             in parallel)        floors, fan out) ...            ─┘    (k-way merge, CF)
-//! ```
-//!
-//! Tokenization is the dominant *serial* cost of routing, so it runs on a
-//! pool of `T = shards` tokenizer threads: the source dispatches increment
-//! `seq` to tokenizer `seq % T` round-robin, and the router collects from
-//! channel `seq % T` in the same order — increment order is preserved
-//! without any `select`. Every pool thread interns into the router's
-//! [`SharedTokenDictionary`], so each token string is hashed/allocated once
-//! for the whole pipeline and everything downstream — the global
-//! [`ProfileStore`], the id-hash router, the shard blockers, the matcher —
-//! speaks dense [`pier_types::TokenId`]s. The router then inserts the whole
-//! increment into the store (skipping and reporting duplicate profile ids
-//! instead of panicking), computes each profile's ghost floor (its global
-//! minimum block size, which shard-local block lists cannot see) and fans
-//! attribute-less skeletons out to the owning shards.
-//!
-//! Each shard worker owns a [`ShardWorker`] (private blocker + unchanged
-//! PIER emitter over its token subspace) and serves three messages over
-//! its command channel: `Ingest` from the router thread, `Pull`/`Tick`
-//! from the merging stage B. Stage B never sends a second request to a
-//! shard before receiving the previous reply, so one reply channel per
-//! shard suffices — no `select` needed.
+//! The hash-partitioned driver that lived here is now the
+//! [`PipelineBuilder::sharded`](crate::PipelineBuilder::sharded) topology
+//! of the unified [`Pipeline`] (see [`crate::pipeline`]
+//! for the stage graph); these wrappers survive one release as thin
+//! delegations so existing callers keep compiling with a deprecation
+//! warning. Outputs are bit-identical — the equivalence tests in
+//! `tests/pipeline_equivalence.rs` pin that.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-use crossbeam::channel;
-use parking_lot::{Mutex, RwLock};
-
-use pier_core::AdaptiveK;
-use pier_entity::ClusterObserver;
 use pier_matching::MatchFunction;
-use pier_metrics::{queue::gauged, QueueGauges};
-use pier_observe::{Event, Observer, Phase, PipelineObserver};
-use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
-use pier_types::{
-    EntityProfile, ErKind, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
-};
+use pier_observe::Observer;
+use pier_shard::ShardedConfig;
+use pier_types::{EntityProfile, ErKind};
 
-use crate::pool::MatchPool;
-use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
-use crate::stages::{
-    spawn_source, tokenize_increment, Classifier, ClassifierMetrics, IdleBackoff, MaterializedPair,
-    TokenizedIncrement, TokenizedProfile,
-};
+use crate::pipeline::Pipeline;
+use crate::report::{MatchEvent, RuntimeReport};
 use crate::streaming::RuntimeConfig;
 
-/// A command processed by one shard worker thread.
-enum ShardMsg {
-    /// Routed profiles (skeleton, this shard's token-id subset, ghost
-    /// floor) to ingest.
-    Ingest(Vec<(EntityProfile, Vec<TokenId>, usize)>),
-    /// Request for up to `k` weighted comparisons, best first.
-    Pull { k: usize },
-    /// The idle tick of §3.2; replies whether the shard did/has work.
-    Tick,
+/// Normalizes the one legacy leniency [`RuntimeConfig::validate`] rejects:
+/// the old drivers documented `match_workers: 0` as an alias for `1`.
+fn normalized(mut config: RuntimeConfig) -> RuntimeConfig {
+    config.match_workers = config.match_workers.max(1);
+    config
 }
 
-/// A shard worker's reply to `Pull` or `Tick`.
-enum ShardReply {
-    Batch(Vec<WeightedComparison>),
-    Tick(bool),
-}
-
-/// [`crate::run_streaming`] with a hash-partitioned parallel stage A: one
-/// thread per shard plus a merging stage B (see the module docs).
-///
-/// Block purging is governed by `shard_config.purge_policy` (each shard
-/// purges against its own collection); `config.purge_policy` is unused
-/// here.
+/// `run_streaming` with a hash-partitioned parallel stage A.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Pipeline` instead: \
+            `Pipeline::builder(kind).config(config).sharded(shard_config).build()?.run(...)`"
+)]
 pub fn run_streaming_sharded(
     kind: ErKind,
     increments: Vec<Vec<EntityProfile>>,
@@ -86,26 +40,21 @@ pub fn run_streaming_sharded(
     config: RuntimeConfig,
     on_match: impl FnMut(MatchEvent),
 ) -> RuntimeReport {
-    run_streaming_sharded_observed(
-        kind,
-        increments,
-        shard_config,
-        matcher,
-        config,
-        Observer::disabled(),
-        on_match,
-    )
+    Pipeline::builder(kind)
+        .config(normalized(config))
+        .sharded(shard_config)
+        .build()
+        .expect("legacy RuntimeConfig and ShardedConfig validate")
+        .run(increments, matcher, on_match)
 }
 
 /// [`run_streaming_sharded`] with a pipeline observer attached everywhere.
-///
-/// Shard workers report through shard-tagged handles (so a
-/// [`pier_observe::StatsObserver`] breaks blocks/comparisons down per
-/// shard and a [`pier_observe::JsonlObserver`] writes a `"shard"` field);
-/// the router thread reports `IncrementIngested` and `Phase::Block`
-/// (store + ghost floors + fan-out; tokenization runs on the parallel
-/// pool) untagged, stage B reports `Phase::Prune` (merge),
-/// `Phase::Classify` and `MatchConfirmed`.
+#[deprecated(
+    since = "0.1.0",
+    note = "observation is always on in `Pipeline`: pass sinks via \
+            `.observe(label, sink)` / `.observers(set)` \
+            (an empty set is the zero-cost disabled default)"
+)]
 pub fn run_streaming_sharded_observed(
     kind: ErKind,
     increments: Vec<Vec<EntityProfile>>,
@@ -113,408 +62,23 @@ pub fn run_streaming_sharded_observed(
     matcher: Arc<dyn MatchFunction>,
     config: RuntimeConfig,
     observer: Observer,
-    mut on_match: impl FnMut(MatchEvent),
+    on_match: impl FnMut(MatchEvent),
 ) -> RuntimeReport {
-    let start = Instant::now();
-    let total_profiles: usize = increments.iter().map(Vec::len).sum();
-    let shards = shard_config.shards as usize;
-    // Telemetry: tee the metrics bridge onto the caller's observer and
-    // instrument every channel of the topology; with no telemetry each
-    // hook below is a single `None` branch.
-    let telemetry = config.telemetry.clone();
-    let observer = match &telemetry {
-        Some(t) => observer.tee(t.observer() as Arc<dyn PipelineObserver>),
-        None => observer,
-    };
-    let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
-    // Entity clustering: same tee as the streaming driver — stage B emits
-    // MatchConfirmed on the coordinator in confirmation order, so the
-    // index evolves identically for any shard/worker count.
-    let entities = config.entities.clone();
-    let observer = match &entities {
-        Some(index) => observer.tee(Arc::new(ClusterObserver::with_registry(
-            Arc::clone(index),
-            registry.as_deref(),
-        )) as Arc<dyn PipelineObserver>),
-        None => observer,
-    };
-    let dictionary = SharedTokenDictionary::new();
-    let router = ShardRouter::with_dictionary(
-        shard_config.shards,
-        Tokenizer::default(),
-        dictionary.clone(),
-    );
-    let store = Arc::new(RwLock::new(ProfileStore::new()));
-    let match_gauges = registry
-        .as_ref()
-        .map(|r| QueueGauges::register(r, &[("queue", "matches")], None));
-    let (match_tx, match_rx) = gauged(channel::unbounded::<MatchEvent>(), match_gauges);
-    let ingest_done = Arc::new(AtomicBool::new(false));
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let executed_total = Arc::new(AtomicU64::new(0));
-    let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
-    let match_workers = config.match_workers.max(1);
-    let worker_comparisons = Arc::new(Mutex::new(Vec::<u64>::new()));
-    let adaptive = {
-        let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
-        k.set_observer(observer.clone());
-        Arc::new(Mutex::new(k))
-    };
-
-    // Per-shard command + reply channels.
-    let mut cmd_txs = Vec::with_capacity(shards);
-    let mut cmd_rxs = Vec::with_capacity(shards);
-    let mut reply_txs = Vec::with_capacity(shards);
-    let mut reply_rxs = Vec::with_capacity(shards);
-    for shard in 0..shards {
-        let label = shard.to_string();
-        let cmd_gauges = registry.as_ref().map(|r| {
-            QueueGauges::register(
-                r,
-                &[("queue", "shard_cmd"), ("shard", label.as_str())],
-                None,
-            )
-        });
-        let (tx, rx) = gauged(channel::unbounded::<ShardMsg>(), cmd_gauges);
-        cmd_txs.push(tx);
-        cmd_rxs.push(rx);
-        let reply_gauges = registry.as_ref().map(|r| {
-            QueueGauges::register(
-                r,
-                &[("queue", "shard_reply"), ("shard", label.as_str())],
-                None,
-            )
-        });
-        let (tx, rx) = gauged(channel::unbounded::<ShardReply>(), reply_gauges);
-        reply_txs.push(tx);
-        reply_rxs.push(rx);
-    }
-
-    // Tokenizer pool channels: the source dispatches increment `seq` to
-    // tokenizer `seq % T`; the router collects from tokenized channel
-    // `seq % T`, so increment order survives without `select`.
-    let pool = shards.max(1);
-    let mut tok_txs = Vec::with_capacity(pool);
-    let mut tok_rxs = Vec::with_capacity(pool);
-    let mut routed_txs = Vec::with_capacity(pool);
-    let mut routed_rxs = Vec::with_capacity(pool);
-    for lane in 0..pool {
-        let label = lane.to_string();
-        let tok_gauges = registry.as_ref().map(|r| {
-            QueueGauges::register(
-                r,
-                &[("queue", "tokenizer"), ("lane", label.as_str())],
-                Some(64),
-            )
-        });
-        let (tx, rx) = gauged(
-            channel::bounded::<(u64, Vec<EntityProfile>)>(64),
-            tok_gauges,
-        );
-        tok_txs.push(tx);
-        tok_rxs.push(rx);
-        let routed_gauges = registry.as_ref().map(|r| {
-            QueueGauges::register(
-                r,
-                &[("queue", "routed"), ("lane", label.as_str())],
-                Some(64),
-            )
-        });
-        let (tx, rx) = gauged(channel::bounded::<TokenizedIncrement>(64), routed_gauges);
-        routed_txs.push(tx);
-        routed_rxs.push(rx);
-    }
-
-    // Source: replay increments at the configured rate, round-robin over
-    // the tokenizer pool.
-    let source = spawn_source(
-        increments,
-        config.interarrival,
-        Arc::clone(&shutdown),
-        move |i, inc| tok_txs[i % tok_txs.len()].send((i as u64, inc)).is_ok(),
-    );
-
-    let mut matches: Vec<MatchEvent> = Vec::new();
-
-    std::thread::scope(|scope| {
-        // Shard workers: one thread per shard, each owning its blocker +
-        // emitter, exiting when every command sender is dropped.
-        for (shard, (cmd_rx, reply_tx)) in cmd_rxs.into_iter().zip(reply_txs).enumerate() {
-            let mut worker = ShardWorker::new(
-                shard as u16,
-                kind,
-                shard_config.strategy,
-                shard_config.pier,
-                shard_config.purge_policy,
-                &observer,
-            );
-            let observer = observer.for_shard(shard as u16);
-            let ingest_errors = Arc::clone(&ingest_errors);
-            scope.spawn(move || {
-                for msg in cmd_rx.iter() {
-                    match msg {
-                        ShardMsg::Ingest(batch) => {
-                            let t0 = observer.is_enabled().then(Instant::now);
-                            for e in worker.ingest(&batch) {
-                                ingest_errors.lock().push(e.to_string());
-                            }
-                            if let Some(t0) = t0 {
-                                observer.emit(|| Event::PhaseTiming {
-                                    phase: Phase::Weight,
-                                    secs: t0.elapsed().as_secs_f64(),
-                                });
-                            }
-                        }
-                        ShardMsg::Pull { k } => {
-                            let _ = reply_tx.send(ShardReply::Batch(worker.pull(k)));
-                        }
-                        ShardMsg::Tick => {
-                            let _ = reply_tx.send(ShardReply::Tick(worker.tick()));
-                        }
-                    }
-                }
-            });
-        }
-
-        // Tokenizer pool: tokenize + intern increments in parallel against
-        // the one shared dictionary; the serial router downstream only
-        // hashes ids and touches the store.
-        for (tok_rx, routed_tx) in tok_rxs.into_iter().zip(routed_txs) {
-            let dictionary = dictionary.clone();
-            scope.spawn(move || {
-                let tokenizer = Tokenizer::default();
-                let mut scratch = String::new();
-                for (seq, inc) in tok_rx.iter() {
-                    let tokenized =
-                        tokenize_increment(&dictionary, &tokenizer, seq, inc, &mut scratch);
-                    if routed_tx.send(tokenized).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-
-        // Router/ingest: store globally, compute ghost floors, fan out.
-        {
-            let store = Arc::clone(&store);
-            let ingest_done = Arc::clone(&ingest_done);
-            let adaptive = Arc::clone(&adaptive);
-            let cmd_txs = cmd_txs.clone();
-            let router = router.clone();
-            let ingest_errors = Arc::clone(&ingest_errors);
-            let observer = observer.clone();
-            scope.spawn(move || {
-                let mut seq = 0usize;
-                // Round-robin collection mirrors dispatch: a disconnect on
-                // channel `seq % T` means no increment >= seq was sent.
-                while let Ok(tokenized) = routed_rxs[seq % routed_rxs.len()].recv() {
-                    adaptive
-                        .lock()
-                        .record_arrival(start.elapsed().as_secs_f64());
-                    let t0 = observer.is_enabled().then(Instant::now);
-                    let mut per_shard: Vec<Vec<(EntityProfile, Vec<TokenId>, usize)>> =
-                        (0..cmd_txs.len()).map(|_| Vec::new()).collect();
-                    let mut accepted: Vec<TokenizedProfile> = Vec::with_capacity(tokenized.len());
-                    {
-                        let mut store = store.write();
-                        // The whole increment enters the store before any
-                        // floor is read, mirroring the unsharded blocker
-                        // which blocks a full increment before generating.
-                        // Duplicate ids are skipped and reported, never
-                        // fanned out.
-                        for tp in tokenized.profiles {
-                            match store.insert(tp.profile.clone(), &tp.tokens) {
-                                Ok(()) => accepted.push(tp),
-                                Err(e) => ingest_errors.lock().push(e.to_string()),
-                            }
-                        }
-                        for tp in &accepted {
-                            let floor = store.min_token_count(tp.profile.id).unwrap_or(1);
-                            // Shards block and weight only — ship them an
-                            // attribute-less skeleton, not a full clone.
-                            for (shard, tokens) in router.route_ids(&tp.tokens) {
-                                per_shard[shard as usize].push((
-                                    EntityProfile::new(tp.profile.id, tp.profile.source),
-                                    tokens,
-                                    floor,
-                                ));
-                            }
-                        }
-                    }
-                    for (shard, batch) in per_shard.into_iter().enumerate() {
-                        if !batch.is_empty() {
-                            let _ = cmd_txs[shard].send(ShardMsg::Ingest(batch));
-                        }
-                    }
-                    if let Some(t0) = t0 {
-                        observer.emit(|| Event::PhaseTiming {
-                            phase: Phase::Block,
-                            secs: t0.elapsed().as_secs_f64(),
-                        });
-                    }
-                    let profiles = accepted.len();
-                    observer.emit(|| Event::IncrementIngested {
-                        seq: seq as u64,
-                        profiles,
-                    });
-                    seq += 1;
-                }
-                // All `Ingest` messages are enqueued before this store, so
-                // any thread that *observes* `true` and then sends `Tick`
-                // knows the ticks queue behind every ingest.
-                ingest_done.store(true, Ordering::SeqCst);
-            });
-        }
-
-        // Stage B: k-way merge, classify, emit match events.
-        {
-            let store = Arc::clone(&store);
-            let ingest_done = Arc::clone(&ingest_done);
-            let adaptive = Arc::clone(&adaptive);
-            let matcher = Arc::clone(&matcher);
-            let shutdown = Arc::clone(&shutdown);
-            let executed_total = Arc::clone(&executed_total);
-            let max_comparisons = config.max_comparisons;
-            let deadline = config.deadline;
-            let observer = observer.clone();
-            let worker_comparisons = Arc::clone(&worker_comparisons);
-            let registry = registry.clone();
-            let mut merger = ShardMerger::new(shards);
-            merger.set_observer(observer.clone());
-            scope.spawn(move || {
-                let mut pool = (match_workers > 1).then(|| {
-                    MatchPool::new(
-                        match_workers,
-                        Arc::clone(&matcher),
-                        &observer,
-                        registry.as_deref(),
-                    )
-                });
-                let mut backoff = IdleBackoff::new();
-                let mut classifier = Classifier {
-                    start,
-                    deadline,
-                    max_comparisons,
-                    matcher: matcher.as_ref(),
-                    observer: &observer,
-                    match_tx,
-                    metrics: registry.as_deref().map(|r| {
-                        ClassifierMetrics::register(r, max_comparisons, match_workers <= 1)
-                    }),
-                    executed: 0,
-                };
-                loop {
-                    if classifier.over_budget() {
-                        break;
-                    }
-                    let k = adaptive.lock().k();
-                    let t0 = observer.is_enabled().then(Instant::now);
-                    let cmps = merger.next_batch_with(k, |s, n| {
-                        if cmd_txs[s].send(ShardMsg::Pull { k: n }).is_err() {
-                            return Vec::new();
-                        }
-                        match reply_rxs[s].recv() {
-                            Ok(ShardReply::Batch(batch)) => batch,
-                            _ => Vec::new(),
-                        }
-                    });
-                    if let Some(t0) = t0 {
-                        observer.emit(|| Event::PhaseTiming {
-                            phase: Phase::Prune,
-                            secs: t0.elapsed().as_secs_f64(),
-                        });
-                    }
-                    if cmps.is_empty() {
-                        // Check *before* ticking: if ingestion had already
-                        // finished, the ticks are ordered behind every
-                        // `Ingest` in each shard's queue, so "no work"
-                        // replies are conclusive.
-                        let done_before_tick = ingest_done.load(Ordering::SeqCst);
-                        let mut tick_made_work = false;
-                        for tx in &cmd_txs {
-                            let _ = tx.send(ShardMsg::Tick);
-                        }
-                        for rx in &reply_rxs {
-                            if let Ok(ShardReply::Tick(made_work)) = rx.recv() {
-                                tick_made_work |= made_work;
-                            }
-                        }
-                        if tick_made_work {
-                            backoff.reset();
-                        } else {
-                            if done_before_tick {
-                                break;
-                            }
-                            backoff.sleep();
-                        }
-                        continue;
-                    }
-                    backoff.reset();
-                    // Materialize profiles so classification is lock-free;
-                    // each pair is four refcount bumps, not a deep clone.
-                    let batch: Vec<MaterializedPair> = {
-                        let store = store.read();
-                        cmps.into_iter()
-                            .map(|c| MaterializedPair {
-                                profile_a: store.profile_handle(c.a),
-                                tokens_a: store.tokens_handle(c.a),
-                                profile_b: store.profile_handle(c.b),
-                                tokens_b: store.tokens_handle(c.b),
-                            })
-                            .collect()
-                    };
-                    classifier.classify_batch(batch, &adaptive, pool.as_mut());
-                }
-                executed_total.store(classifier.executed, Ordering::SeqCst);
-                *worker_comparisons.lock() = match &pool {
-                    Some(pool) => pool.executed_per_worker().to_vec(),
-                    None => vec![classifier.executed],
-                };
-                shutdown.store(true, Ordering::SeqCst);
-                // Dropping this thread's `cmd_txs` clone (and the
-                // classifier's match sender) lets the shard workers and the
-                // collector exit once the router thread is done too.
-            });
-        }
-
-        // Collector (this thread): stream match events to the caller.
-        for event in match_rx.iter() {
-            on_match(event);
-            matches.push(event);
-        }
-    });
-
-    let comparisons = executed_total.load(Ordering::SeqCst);
-    source.join().expect("source thread never panics");
-
-    let token_occurrences = store.read().token_occurrences();
-    let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
-    let worker_comparisons = std::mem::take(&mut *worker_comparisons.lock());
-    let report = RuntimeReport {
-        matches,
-        comparisons,
-        elapsed: start.elapsed(),
-        profiles: total_profiles,
-        dictionary: Some(DictionaryStats {
-            distinct_tokens: dictionary.len(),
-            string_bytes: dictionary.string_bytes(),
-            token_occurrences,
-        }),
-        ingest_errors,
-        match_workers,
-        worker_comparisons,
-        entity_summary: entities.as_ref().map(|i| i.summary(total_profiles)),
-    };
-    if let Some(t) = &telemetry {
-        report.publish_final(t);
-    }
-    report
+    Pipeline::builder(kind)
+        .config(normalized(config))
+        .sharded(shard_config)
+        .observers(observer)
+        .build()
+        .expect("legacy RuntimeConfig and ShardedConfig validate")
+        .run(increments, matcher, on_match)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pier_matching::JaccardMatcher;
+    use pier_observe::StatsObserver;
     use pier_types::{ProfileId, SourceId};
     use std::time::Duration;
 
@@ -531,245 +95,44 @@ mod tests {
         ]
     }
 
-    fn runtime_config() -> RuntimeConfig {
-        RuntimeConfig {
+    /// The deprecated wrappers still produce the legacy results — the
+    /// delegation pin for callers that have not migrated yet (the full
+    /// cross-topology matrix lives in `tests/pipeline_equivalence.rs`).
+    #[test]
+    fn deprecated_sharded_wrappers_still_run_the_pipeline() {
+        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        let config = RuntimeConfig {
             interarrival: Duration::from_millis(5),
             deadline: Duration::from_secs(10),
             ..RuntimeConfig::default()
-        }
-    }
-
-    #[test]
-    fn sharded_pipeline_finds_matches_in_real_time() {
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+        };
         let mut streamed = 0;
         let report = run_streaming_sharded(
             ErKind::Dirty,
             increments(),
             ShardedConfig::default(),
-            matcher,
-            runtime_config(),
+            Arc::clone(&matcher),
+            config.clone(),
             |_| streamed += 1,
         );
         assert_eq!(report.matches.len(), 2);
         assert_eq!(streamed, 2);
-        assert_eq!(report.profiles, 4);
-        assert!(report.comparisons >= 2);
-        assert!(report.ingest_errors.is_empty());
-        assert!(report.matches.windows(2).all(|w| w[0].at <= w[1].at));
-        // One shared dictionary across the tokenizer pool: 5 distinct
-        // tokens, 10 occurrences (3+3+2+2).
-        let dict = report.dictionary.expect("sharded driver interns tokens");
-        assert_eq!(dict.distinct_tokens, 5);
-        assert_eq!(dict.token_occurrences, 10);
-    }
+        assert_eq!(report.dictionary.expect("interned").distinct_tokens, 5);
 
-    #[test]
-    fn observed_sharded_run_breaks_work_down_per_shard() {
-        use pier_observe::StatsObserver;
-        use pier_types::GroundTruth;
-
-        let gt =
-            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
-        let stats = Arc::new(StatsObserver::with_ground_truth(gt));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let report = run_streaming_sharded_observed(
+        let stats = Arc::new(StatsObserver::new());
+        let observed = run_streaming_sharded_observed(
             ErKind::Dirty,
             increments(),
             ShardedConfig::default(),
             matcher,
-            runtime_config(),
+            config,
             Observer::new(stats.clone()),
             |_| {},
         );
+        assert_eq!(observed.matches.len(), 2);
         let snap = stats.snapshot();
-        assert_eq!(snap.increments, 2);
-        assert_eq!(snap.profiles, 4);
-        assert!(snap.blocks_built > 0);
-        assert_eq!(snap.matches_confirmed as usize, report.matches.len());
-        assert_eq!(snap.pc, Some(1.0));
-        // Shard-tagged events produced a per-shard breakdown that accounts
-        // for every block built.
+        assert_eq!(snap.matches_confirmed, 2);
+        // Shard-tagged events still flow through the composed observer.
         assert!(!snap.shards.is_empty());
-        let shard_blocks: u64 = snap.shards.iter().map(|s| s.blocks_built).sum();
-        assert_eq!(shard_blocks, snap.blocks_built);
-        // Fan-out: every profile reaches at least one shard, and the
-        // shard-tagged ingest accounting never leaks into the global total.
-        let shard_profiles: u64 = snap.shards.iter().map(|s| s.profiles).sum();
-        assert!(shard_profiles >= snap.profiles);
-        assert_eq!(snap.profiles, 4);
-    }
-
-    #[test]
-    fn sharded_telemetry_counters_equal_the_report() {
-        use pier_metrics::Telemetry;
-
-        let telemetry = Telemetry::new();
-        let registry = Arc::clone(telemetry.registry());
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let config = RuntimeConfig {
-            telemetry: Some(telemetry),
-            ..runtime_config()
-        };
-        let report = run_streaming_sharded(
-            ErKind::Dirty,
-            increments(),
-            ShardedConfig::default(),
-            matcher,
-            config,
-            |_| {},
-        );
-        let counter = |name: &str| registry.counter(name, "", &[]).get();
-        assert_eq!(counter("pier_comparisons_total"), report.comparisons);
-        assert_eq!(
-            counter("pier_matches_confirmed_total"),
-            report.matches.len() as u64
-        );
-        assert_eq!(counter("pier_profiles_total"), report.profiles as u64);
-        for (worker, &want) in report.worker_comparisons.iter().enumerate() {
-            let label = worker.to_string();
-            let got = registry
-                .counter(
-                    "pier_worker_comparisons_total",
-                    "",
-                    &[("worker", label.as_str())],
-                )
-                .get();
-            assert_eq!(got, want, "worker {worker}");
-        }
-        // Shard-labeled comparison counters sum to the global emitted total.
-        let default_shards = ShardedConfig::default().shards;
-        let shard_emitted: u64 = (0..default_shards)
-            .map(|s| {
-                let label = s.to_string();
-                registry
-                    .counter(
-                        "pier_shard_comparisons_emitted_total",
-                        "",
-                        &[("shard", label.as_str())],
-                    )
-                    .get()
-            })
-            .sum();
-        assert_eq!(shard_emitted, counter("pier_comparisons_emitted_total"));
-        // Every instrumented channel drained back to zero depth.
-        let depth_gauges = [
-            ("matches", None),
-            ("shard_cmd", Some("shard")),
-            ("tokenizer", Some("lane")),
-        ];
-        for (queue, extra) in depth_gauges {
-            for i in 0..default_shards {
-                let label = i.to_string();
-                let labels: Vec<(&str, &str)> = match extra {
-                    Some(key) => vec![("queue", queue), (key, label.as_str())],
-                    None => vec![("queue", queue)],
-                };
-                assert_eq!(
-                    registry.gauge("pier_queue_depth", "", &labels).get(),
-                    0,
-                    "queue {queue} {i}"
-                );
-                if extra.is_none() {
-                    break;
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn single_shard_matches_multi_shard_results() {
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let run = |shards: u16| {
-            let report = run_streaming_sharded(
-                ErKind::Dirty,
-                increments(),
-                ShardedConfig {
-                    shards,
-                    ..ShardedConfig::default()
-                },
-                Arc::clone(&matcher),
-                runtime_config(),
-                |_| {},
-            );
-            let mut pairs: Vec<_> = report.matches.iter().map(|m| m.pair).collect();
-            pairs.sort_unstable();
-            pairs
-        };
-        assert_eq!(run(1), run(4));
-    }
-
-    #[test]
-    fn sharded_entity_index_clusters_the_match_stream() {
-        use pier_entity::EntityIndex;
-
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let index = EntityIndex::shared();
-        let config = RuntimeConfig {
-            entities: Some(Arc::clone(&index)),
-            ..runtime_config()
-        };
-        let report = run_streaming_sharded(
-            ErKind::Dirty,
-            increments(),
-            ShardedConfig::default(),
-            matcher,
-            config,
-            |_| {},
-        );
-        assert_eq!(index.stats().matches_applied, report.matches.len() as u64);
-        assert!(index.same_entity(ProfileId(0), ProfileId(1)));
-        assert!(index.same_entity(ProfileId(2), ProfileId(3)));
-        let summary = report.entity_summary.expect("entities configured");
-        assert_eq!(summary.clusters, 2);
-        assert_eq!(summary.singletons, 0);
-    }
-
-    #[test]
-    fn duplicate_profile_is_reported_not_fatal() {
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let mut increments = increments();
-        // A second copy of profile 0: skipped at the global store, reported,
-        // and never fanned out to any shard.
-        increments.push(vec![
-            EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha zeta")
-        ]);
-        let report = run_streaming_sharded(
-            ErKind::Dirty,
-            increments,
-            ShardedConfig::default(),
-            matcher,
-            runtime_config(),
-            |_| {},
-        );
-        assert_eq!(report.ingest_errors.len(), 1);
-        assert!(report.ingest_errors[0].contains("profile 0 ingested twice"));
-        assert_eq!(report.matches.len(), 2);
-        assert_eq!(report.dictionary.unwrap().token_occurrences, 10);
-    }
-
-    #[test]
-    fn deadline_stops_the_sharded_pipeline() {
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let many: Vec<Vec<EntityProfile>> = (0..100u32)
-            .map(|i| {
-                vec![EntityProfile::new(ProfileId(i), SourceId(0))
-                    .with("t", format!("tok{i} tok{}", i / 2))]
-            })
-            .collect();
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(200),
-            deadline: Duration::from_millis(50),
-            ..RuntimeConfig::default()
-        };
-        let report = run_streaming_sharded(
-            ErKind::Dirty,
-            many,
-            ShardedConfig::default(),
-            matcher,
-            config,
-            |_| {},
-        );
-        assert!(report.elapsed < Duration::from_secs(25));
     }
 }

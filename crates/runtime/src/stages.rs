@@ -9,15 +9,18 @@
 //! module holds those shared pieces so each driver only contributes its
 //! actual topology (single blocker vs. router + shard workers).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel;
 use parking_lot::Mutex;
 
 use pier_core::AdaptiveK;
 use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
-use pier_metrics::{Counter, Gauge, GaugedSender, MetricsRegistry};
+use pier_metrics::{
+    queue::gauged, Counter, Gauge, GaugedReceiver, GaugedSender, MetricsRegistry, QueueGauges,
+};
 use pier_observe::{Event, Observer, Phase};
 use pier_types::{EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
 
@@ -309,6 +312,157 @@ impl IdleBackoff {
     }
 }
 
+/// Builds one pipeline channel, registering queue-depth/backpressure
+/// gauges under `labels` when the run has a telemetry registry. `capacity`
+/// of `None` means unbounded. This is the single place channel-gauge
+/// wiring lives; every channel of every topology goes through it.
+pub(crate) fn pipeline_channel<T>(
+    registry: Option<&MetricsRegistry>,
+    labels: &[(&str, &str)],
+    capacity: Option<usize>,
+) -> (GaugedSender<T>, GaugedReceiver<T>) {
+    let gauges = registry.map(|r| QueueGauges::register(r, labels, capacity));
+    let raw = match capacity {
+        Some(cap) => channel::bounded::<T>(cap),
+        None => channel::unbounded::<T>(),
+    };
+    gauged(raw, gauges)
+}
+
+/// Sets a shutdown flag when dropped — including during a panic unwind.
+///
+/// Stage B owns the run's lifetime: when its loop exits (budget, deadline,
+/// stream drained) the source must stop replaying and every upstream stage
+/// wind down. Holding this guard on the stage-B thread is the one shared
+/// implementation of that shutdown/poison sequence: a clean exit and a
+/// panicking matcher both flip the flag, so the source never keeps
+/// replaying into a dead pipeline.
+pub(crate) struct ShutdownOnDrop {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownOnDrop {
+    /// Arms the guard over `flag`.
+    pub fn new(flag: Arc<AtomicBool>) -> ShutdownOnDrop {
+        ShutdownOnDrop { flag }
+    }
+}
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The topology-independent half of stage B, shared by every pipeline
+/// configuration: the pull/tick/backoff loop, the budget cutoff, the
+/// classifier, worker accounting, and the shutdown sequence. A topology
+/// contributes only two closures — `pull` (materialize up to `k` best
+/// pairs) and `tick` (the empty increment of §3.2 driving the
+/// `GetComparisons` fallback; returns whether it made or found work).
+pub(crate) struct StageB {
+    pub start: Instant,
+    pub deadline: Duration,
+    pub max_comparisons: u64,
+    /// Effective worker count (>= 1); `1` keeps classification on the
+    /// stage-B thread itself.
+    pub match_workers: usize,
+    pub matcher: Arc<dyn MatchFunction>,
+    pub observer: Observer,
+    pub match_tx: GaugedSender<MatchEvent>,
+    pub registry: Option<Arc<MetricsRegistry>>,
+    pub adaptive: Arc<Mutex<AdaptiveK>>,
+    pub ingest_done: Arc<AtomicBool>,
+    pub shutdown: Arc<AtomicBool>,
+    pub executed_total: Arc<AtomicU64>,
+    pub worker_comparisons: Arc<Mutex<Vec<u64>>>,
+}
+
+impl StageB {
+    /// Runs the loop to completion on the calling thread.
+    ///
+    /// On every pass: check the budget, pull up to the adaptive `K` best
+    /// pairs, classify them; an empty pull runs the idle tick instead,
+    /// backing off exponentially between unproductive ticks. The
+    /// `ingest_done` flag is read *before* ticking, so when ingestion had
+    /// already finished the tick is ordered behind every ingest and a
+    /// "no work" result is conclusive — the loop can never abandon an
+    /// increment that slipped in between the tick and the check.
+    ///
+    /// Exiting — cleanly or by panic — sets `shutdown` (stopping the
+    /// source) and drops the classifier's match sender (letting the
+    /// collector finish).
+    pub fn run(
+        self,
+        mut pull: impl FnMut(usize) -> Vec<MaterializedPair>,
+        mut tick: impl FnMut() -> bool,
+    ) {
+        let _stop_source = ShutdownOnDrop::new(Arc::clone(&self.shutdown));
+        let mut pool = (self.match_workers > 1).then(|| {
+            MatchPool::new(
+                self.match_workers,
+                Arc::clone(&self.matcher),
+                &self.observer,
+                self.registry.as_deref(),
+            )
+        });
+        let mut backoff = IdleBackoff::new();
+        let mut classifier = Classifier {
+            start: self.start,
+            deadline: self.deadline,
+            max_comparisons: self.max_comparisons,
+            matcher: self.matcher.as_ref(),
+            observer: &self.observer,
+            match_tx: self.match_tx,
+            metrics: self.registry.as_deref().map(|r| {
+                ClassifierMetrics::register(r, self.max_comparisons, self.match_workers <= 1)
+            }),
+            executed: 0,
+        };
+        loop {
+            if classifier.over_budget() {
+                break;
+            }
+            let k = self.adaptive.lock().k();
+            let batch = pull(k);
+            if batch.is_empty() {
+                let done_before_tick = self.ingest_done.load(Ordering::SeqCst);
+                if tick() {
+                    backoff.reset();
+                } else if done_before_tick {
+                    break;
+                } else {
+                    backoff.sleep();
+                }
+                continue;
+            }
+            backoff.reset();
+            classifier.classify_batch(batch, &self.adaptive, pool.as_mut());
+        }
+        self.executed_total
+            .store(classifier.executed, Ordering::SeqCst);
+        *self.worker_comparisons.lock() = match &pool {
+            Some(pool) => pool.executed_per_worker().to_vec(),
+            None => vec![classifier.executed],
+        };
+    }
+}
+
+/// The collector half of every driver: streams match events to the caller
+/// as they are confirmed and returns them in confirmation order. Runs on
+/// the caller's thread until every match sender is dropped.
+pub(crate) fn collect_matches(
+    match_rx: &GaugedReceiver<MatchEvent>,
+    mut on_match: impl FnMut(MatchEvent),
+) -> Vec<MatchEvent> {
+    let mut matches = Vec::new();
+    for event in match_rx.iter() {
+        on_match(event);
+        matches.push(event);
+    }
+    matches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +489,134 @@ mod tests {
         for tp in &tokenized.profiles {
             assert!(tp.tokens.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn shutdown_guard_fires_on_clean_exit_and_on_panic() {
+        let clean = Arc::new(AtomicBool::new(false));
+        {
+            let _guard = ShutdownOnDrop::new(Arc::clone(&clean));
+            assert!(!clean.load(Ordering::SeqCst));
+        }
+        assert!(clean.load(Ordering::SeqCst));
+
+        // Poison propagation: a panicking holder still sets the flag.
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let result = std::panic::catch_unwind({
+            let poisoned = Arc::clone(&poisoned);
+            move || {
+                let _guard = ShutdownOnDrop::new(poisoned);
+                panic!("injected stage-B panic");
+            }
+        });
+        assert!(result.is_err());
+        assert!(poisoned.load(Ordering::SeqCst));
+    }
+
+    struct ConstMatcher {
+        is_match: bool,
+        panics: bool,
+    }
+
+    impl MatchFunction for ConstMatcher {
+        fn evaluate(&self, _input: MatchInput<'_>) -> MatchOutcome {
+            assert!(!self.panics, "injected matcher panic");
+            MatchOutcome {
+                is_match: self.is_match,
+                similarity: 1.0,
+                ops: 1,
+            }
+        }
+
+        fn profile_size(&self, _profile: &EntityProfile, tokens: &[TokenId]) -> u64 {
+            tokens.len() as u64
+        }
+
+        fn pair_ops(&self, _size_a: u64, _size_b: u64) -> u64 {
+            1
+        }
+
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    fn pair(a: u32, b: u32) -> MaterializedPair {
+        let profile = |id| Arc::new(EntityProfile::new(ProfileId(id), SourceId(0)));
+        let no_tokens: Arc<[TokenId]> = Arc::from(Vec::new());
+        MaterializedPair {
+            profile_a: profile(a),
+            tokens_a: Arc::clone(&no_tokens),
+            profile_b: profile(b),
+            tokens_b: no_tokens,
+        }
+    }
+
+    fn stage_b(matcher: ConstMatcher) -> (StageB, GaugedReceiver<MatchEvent>) {
+        let (match_tx, match_rx) = pipeline_channel::<MatchEvent>(None, &[], None);
+        let mut adaptive = AdaptiveK::new(4, 1, 16);
+        adaptive.set_observer(Observer::disabled());
+        let stage = StageB {
+            start: Instant::now(),
+            deadline: Duration::from_secs(10),
+            max_comparisons: 1_000,
+            match_workers: 1,
+            matcher: Arc::new(matcher),
+            observer: Observer::disabled(),
+            match_tx,
+            registry: None,
+            adaptive: Arc::new(Mutex::new(adaptive)),
+            ingest_done: Arc::new(AtomicBool::new(true)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            executed_total: Arc::new(AtomicU64::new(0)),
+            worker_comparisons: Arc::new(Mutex::new(Vec::new())),
+        };
+        (stage, match_rx)
+    }
+
+    #[test]
+    fn stage_b_loop_classifies_then_winds_down() {
+        let (stage, match_rx) = stage_b(ConstMatcher {
+            is_match: true,
+            panics: false,
+        });
+        let executed_total = Arc::clone(&stage.executed_total);
+        let shutdown = Arc::clone(&stage.shutdown);
+        let worker_comparisons = Arc::clone(&stage.worker_comparisons);
+        let mut batches = vec![vec![pair(0, 1), pair(2, 3)]];
+        let mut ticks = 0;
+        stage.run(
+            |_k| batches.pop().unwrap_or_default(),
+            || {
+                ticks += 1;
+                false
+            },
+        );
+        // Both pairs classified, then one conclusive idle tick ended the
+        // loop (ingest_done was set before the run).
+        assert_eq!(executed_total.load(Ordering::SeqCst), 2);
+        assert_eq!(ticks, 1);
+        assert!(shutdown.load(Ordering::SeqCst));
+        assert_eq!(*worker_comparisons.lock(), vec![2]);
+        assert_eq!(match_rx.iter().count(), 2);
+    }
+
+    #[test]
+    fn stage_b_panic_propagates_shutdown_and_closes_the_match_stream() {
+        let (stage, match_rx) = stage_b(ConstMatcher {
+            is_match: false,
+            panics: true,
+        });
+        let shutdown = Arc::clone(&stage.shutdown);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            stage.run(|_k| vec![pair(0, 1)], || false);
+        }));
+        assert!(result.is_err());
+        // The drop guard flipped the flag mid-unwind and the classifier's
+        // sender died with the stack frame: the source stops and the
+        // collector drains instead of hanging.
+        assert!(shutdown.load(Ordering::SeqCst));
+        assert_eq!(match_rx.iter().count(), 0);
     }
 
     #[test]

@@ -1,96 +1,38 @@
-//! The threaded streaming pipeline.
+//! Deprecated single-blocker entry points.
+//!
+//! The streaming driver that lived here is now the `shards = 1` shape of
+//! the unified [`Pipeline`] (see [`crate::pipeline`]);
+//! these wrappers survive one release as thin delegations so existing
+//! callers keep compiling with a deprecation warning. Outputs are
+//! bit-identical — the equivalence tests in
+//! `tests/pipeline_equivalence.rs` pin that.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use crossbeam::channel;
-use parking_lot::{Mutex, RwLock};
-
-use pier_blocking::{IncrementalBlocker, PurgePolicy};
-use pier_core::{AdaptiveK, ComparisonEmitter};
-use pier_entity::{ClusterObserver, EntityIndex};
+use pier_core::ComparisonEmitter;
 use pier_matching::MatchFunction;
-use pier_metrics::{queue::gauged, QueueGauges, Telemetry};
-use pier_observe::{Event, Observer, Phase, PipelineObserver};
-use pier_types::{EntityProfile, ErKind, SharedTokenDictionary, Tokenizer};
+use pier_observe::Observer;
+use pier_types::{EntityProfile, ErKind};
 
-use crate::pool::MatchPool;
-use crate::report::{DictionaryStats, MatchEvent, RuntimeReport};
-use crate::stages::{
-    spawn_source, tokenize_increment, Classifier, ClassifierMetrics, IdleBackoff, MaterializedPair,
-};
+use crate::pipeline::Pipeline;
+use crate::report::{MatchEvent, RuntimeReport};
 
-/// Configuration of a real-time run.
-#[derive(Debug, Clone)]
-pub struct RuntimeConfig {
-    /// Time between consecutive increments at the source.
-    pub interarrival: Duration,
-    /// Block purging for the shared blocker.
-    pub purge_policy: PurgePolicy,
-    /// Initial / minimal / maximal adaptive `K`.
-    pub k: (usize, usize, usize),
-    /// Safety cap on total comparisons (the pipeline stops afterwards).
-    pub max_comparisons: u64,
-    /// Hard wall-clock deadline; the pipeline winds down when it passes.
-    pub deadline: Duration,
-    /// Stage-B match workers evaluating comparisons in parallel. Defaults
-    /// to the machine's available parallelism; `1` (or `0`) keeps the
-    /// classification loop on the stage-B thread itself, reproducing the
-    /// single-threaded executor exactly. Any value emits the identical
-    /// match set, event order, and comparison count — only wall-clock
-    /// throughput changes.
-    pub match_workers: usize,
-    /// Live telemetry. When set, the driver tees a
-    /// [`pier_metrics::MetricsObserver`] onto the run's observer, attaches
-    /// queue-depth/backpressure gauges to every pipeline channel, exposes
-    /// the classifier's live comparison count and remaining budget, and
-    /// publishes the final report totals into the telemetry's registry —
-    /// ready to scrape with a [`pier_metrics::MetricsServer`]. `None`
-    /// (the default) adds a single branch per channel operation and
-    /// nothing else.
-    pub telemetry: Option<Telemetry>,
-    /// Incremental entity clustering. When set, the driver tees a
-    /// [`pier_entity::ClusterObserver`] onto the run's observer, so every
-    /// confirmed match folds into the shared [`EntityIndex`] the moment
-    /// the stage-B coordinator emits it — in confirmation order for any
-    /// [`RuntimeConfig::match_workers`] count — and the final report
-    /// carries an [`pier_entity::EntitySummary`]. Keep a clone of the
-    /// `Arc` to query the evolving partition mid-run, e.g. through an
-    /// [`pier_entity::EntityServer`]. When [`RuntimeConfig::telemetry`]
-    /// is also set, the index additionally maintains `pier_entity_*`
-    /// cluster-count/merge-rate gauges in the telemetry registry. `None`
-    /// (the default) costs nothing.
-    pub entities: Option<Arc<EntityIndex>>,
-}
+#[doc(inline)]
+pub use crate::pipeline::{default_match_workers, RuntimeConfig};
 
-impl Default for RuntimeConfig {
-    fn default() -> Self {
-        RuntimeConfig {
-            interarrival: Duration::from_millis(10),
-            purge_policy: PurgePolicy::default(),
-            k: (64, 4, 65_536),
-            max_comparisons: 10_000_000,
-            deadline: Duration::from_secs(60),
-            match_workers: default_match_workers(),
-            telemetry: None,
-            entities: None,
-        }
-    }
-}
-
-/// The default for [`RuntimeConfig::match_workers`]: the machine's
-/// available parallelism, or `1` when it cannot be determined.
-pub fn default_match_workers() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+/// Normalizes the one legacy leniency [`RuntimeConfig::validate`] rejects:
+/// the old drivers documented `match_workers: 0` as an alias for `1`.
+fn normalized(mut config: RuntimeConfig) -> RuntimeConfig {
+    config.match_workers = config.match_workers.max(1);
+    config
 }
 
 /// Runs `emitter` + `matcher` over `increments` replayed in real time.
-///
-/// Blocks the calling thread until the run completes (stream fully
-/// consumed and emitter drained) or the deadline/comparison cap is hit,
-/// and returns the report. Matches are also delivered incrementally
-/// through `on_match` as they are confirmed.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Pipeline` instead: \
+            `Pipeline::builder(kind).config(config).emitter(emitter).build()?.run(...)`"
+)]
 pub fn run_streaming(
     kind: ErKind,
     increments: Vec<Vec<EntityProfile>>,
@@ -99,309 +41,48 @@ pub fn run_streaming(
     config: RuntimeConfig,
     on_match: impl FnMut(MatchEvent),
 ) -> RuntimeReport {
-    run_streaming_observed(
-        kind,
-        increments,
-        emitter,
-        matcher,
-        config,
-        Observer::disabled(),
-        on_match,
-    )
+    Pipeline::builder(kind)
+        .config(normalized(config))
+        .emitter(emitter)
+        .build()
+        .expect("legacy RuntimeConfig validates")
+        .run(increments, matcher, on_match)
 }
 
 /// [`run_streaming`] with a pipeline observer attached to every component.
-///
-/// The observer is propagated to the blocker, the emitter, and the adaptive
-/// `K` controller; the runtime itself reports [`Event::IncrementIngested`],
-/// per-stage [`Event::PhaseTiming`] (block/weight on the ingest thread,
-/// prune/classify on the matcher thread), and [`Event::MatchConfirmed`].
-/// With a disabled observer the run is identical to [`run_streaming`]
-/// (no clock reads, no event construction).
-///
-/// The observer's sink must tolerate concurrent events: stage A and stage B
-/// run on different threads (both [`pier_observe::StatsObserver`] and
-/// [`pier_observe::JsonlObserver`] are safe).
+#[deprecated(
+    since = "0.1.0",
+    note = "observation is always on in `Pipeline`: pass sinks via \
+            `.observe(label, sink)` / `.observers(set)` \
+            (an empty set is the zero-cost disabled default)"
+)]
 pub fn run_streaming_observed(
     kind: ErKind,
     increments: Vec<Vec<EntityProfile>>,
-    mut emitter: Box<dyn ComparisonEmitter + Send>,
+    emitter: Box<dyn ComparisonEmitter + Send>,
     matcher: Arc<dyn MatchFunction>,
     config: RuntimeConfig,
     observer: Observer,
-    mut on_match: impl FnMut(MatchEvent),
+    on_match: impl FnMut(MatchEvent),
 ) -> RuntimeReport {
-    let start = Instant::now();
-    let total_profiles: usize = increments.iter().map(Vec::len).sum();
-    // Telemetry: tee the metrics bridge onto the caller's observer and
-    // instrument the channels; with no telemetry every hook below is a
-    // single `None` branch.
-    let telemetry = config.telemetry.clone();
-    let observer = match &telemetry {
-        Some(t) => observer.tee(t.observer() as Arc<dyn PipelineObserver>),
-        None => observer,
-    };
-    let registry = telemetry.as_ref().map(|t| Arc::clone(t.registry()));
-    // Entity clustering: tee the match sink onto the observer so every
-    // MatchConfirmed (emitted by the stage-B coordinator in confirmation
-    // order) folds into the shared index as it happens.
-    let entities = config.entities.clone();
-    let observer = match &entities {
-        Some(index) => observer.tee(Arc::new(ClusterObserver::with_registry(
-            Arc::clone(index),
-            registry.as_deref(),
-        )) as Arc<dyn PipelineObserver>),
-        None => observer,
-    };
-    let dictionary = SharedTokenDictionary::new();
-    let mut initial_blocker = IncrementalBlocker::with_shared_dictionary(
-        kind,
-        Tokenizer::default(),
-        config.purge_policy,
-        dictionary.clone(),
-    );
-    initial_blocker.set_observer(observer.clone());
-    emitter.set_observer(observer.clone());
-    let blocker = Arc::new(RwLock::new(initial_blocker));
-    let inc_gauges = registry
-        .as_ref()
-        .map(|r| QueueGauges::register(r, &[("queue", "increments")], Some(1024)));
-    let (inc_tx, inc_rx) = gauged(channel::bounded::<Vec<EntityProfile>>(1024), inc_gauges);
-    let match_gauges = registry
-        .as_ref()
-        .map(|r| QueueGauges::register(r, &[("queue", "matches")], None));
-    let (match_tx, match_rx) = gauged(channel::unbounded::<MatchEvent>(), match_gauges);
-    let ingest_done = Arc::new(AtomicBool::new(false));
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let executed_total = Arc::new(AtomicU64::new(0));
-    let token_occurrences = Arc::new(AtomicU64::new(0));
-    let ingest_errors = Arc::new(Mutex::new(Vec::<String>::new()));
-    let match_workers = config.match_workers.max(1);
-    let worker_comparisons = Arc::new(Mutex::new(Vec::<u64>::new()));
-    let adaptive = {
-        let mut k = AdaptiveK::new(config.k.0, config.k.1, config.k.2);
-        k.set_observer(observer.clone());
-        Arc::new(Mutex::new(k))
-    };
-
-    // Source: replay increments at the configured rate.
-    let source = spawn_source(
-        increments,
-        config.interarrival,
-        Arc::clone(&shutdown),
-        move |_seq, inc| inc_tx.send(inc).is_ok(),
-    );
-
-    // The emitter is owned by a dedicated mutex shared by stages A and B.
-    let emitter_slot: Arc<Mutex<&mut (dyn ComparisonEmitter + Send)>> =
-        Arc::new(Mutex::new(emitter.as_mut()));
-
-    let mut matches: Vec<MatchEvent> = Vec::new();
-
-    std::thread::scope(|scope| {
-        // Stage A: tokenize/intern outside the blocker lock, then block +
-        // update the prioritizer.
-        {
-            let blocker = Arc::clone(&blocker);
-            let emitter_slot = Arc::clone(&emitter_slot);
-            let ingest_done = Arc::clone(&ingest_done);
-            let adaptive = Arc::clone(&adaptive);
-            let dictionary = dictionary.clone();
-            let token_occurrences = Arc::clone(&token_occurrences);
-            let ingest_errors = Arc::clone(&ingest_errors);
-            let observer = observer.clone();
-            scope.spawn(move || {
-                let tokenizer = Tokenizer::default();
-                let mut scratch = String::new();
-                let mut occurrences = 0u64;
-                for (seq, inc) in inc_rx.iter().enumerate() {
-                    adaptive
-                        .lock()
-                        .record_arrival(start.elapsed().as_secs_f64());
-                    let t0 = observer.is_enabled().then(Instant::now);
-                    // Interning happens here, before the write lock: stage B
-                    // keeps reading the blocker while token strings are
-                    // hashed/allocated exactly once for the whole pipeline.
-                    let tokenized =
-                        tokenize_increment(&dictionary, &tokenizer, seq as u64, inc, &mut scratch);
-                    let mut ids = Vec::with_capacity(tokenized.len());
-                    let mut blocker = blocker.write();
-                    for tp in tokenized.profiles {
-                        let tokens_in_profile = tp.tokens.len() as u64;
-                        match blocker.try_process_profile_with_token_ids(tp.profile, &tp.tokens) {
-                            Ok(id) => {
-                                occurrences += tokens_in_profile;
-                                ids.push(id);
-                            }
-                            Err(e) => ingest_errors.lock().push(e.to_string()),
-                        }
-                    }
-                    if let Some(t0) = t0 {
-                        observer.emit(|| Event::PhaseTiming {
-                            phase: Phase::Block,
-                            secs: t0.elapsed().as_secs_f64(),
-                        });
-                    }
-                    let t1 = observer.is_enabled().then(Instant::now);
-                    let mut emitter = emitter_slot.lock();
-                    emitter.on_increment(&blocker, &ids);
-                    let _ = emitter.drain_ops();
-                    if let Some(t1) = t1 {
-                        observer.emit(|| Event::PhaseTiming {
-                            phase: Phase::Weight,
-                            secs: t1.elapsed().as_secs_f64(),
-                        });
-                    }
-                    observer.emit(|| Event::IncrementIngested {
-                        seq: tokenized.seq,
-                        profiles: ids.len(),
-                    });
-                }
-                token_occurrences.store(occurrences, Ordering::SeqCst);
-                ingest_done.store(true, Ordering::SeqCst);
-            });
-        }
-
-        // Stage B: pull batches, classify, emit match events.
-        {
-            let blocker = Arc::clone(&blocker);
-            let emitter_slot = Arc::clone(&emitter_slot);
-            let ingest_done = Arc::clone(&ingest_done);
-            let adaptive = Arc::clone(&adaptive);
-            let matcher = Arc::clone(&matcher);
-            let shutdown = Arc::clone(&shutdown);
-            let executed_total = Arc::clone(&executed_total);
-            let max_comparisons = config.max_comparisons;
-            let deadline = config.deadline;
-            let observer = observer.clone();
-            let worker_comparisons = Arc::clone(&worker_comparisons);
-            let registry = registry.clone();
-            scope.spawn(move || {
-                let mut pool = (match_workers > 1).then(|| {
-                    MatchPool::new(
-                        match_workers,
-                        Arc::clone(&matcher),
-                        &observer,
-                        registry.as_deref(),
-                    )
-                });
-                let mut backoff = IdleBackoff::new();
-                let mut classifier = Classifier {
-                    start,
-                    deadline,
-                    max_comparisons,
-                    matcher: matcher.as_ref(),
-                    observer: &observer,
-                    match_tx,
-                    metrics: registry.as_deref().map(|r| {
-                        ClassifierMetrics::register(r, max_comparisons, match_workers <= 1)
-                    }),
-                    executed: 0,
-                };
-                loop {
-                    if classifier.over_budget() {
-                        break;
-                    }
-                    let k = adaptive.lock().k();
-                    // Pull under locks, then materialize the pairs so
-                    // classification runs lock-free. Materializing is four
-                    // refcount bumps per pair, not a deep clone.
-                    let batch: Vec<MaterializedPair> = {
-                        let blocker = blocker.read();
-                        let mut emitter = emitter_slot.lock();
-                        let t0 = observer.is_enabled().then(Instant::now);
-                        let cmps = emitter.next_batch(&blocker, k);
-                        if let Some(t0) = t0 {
-                            observer.emit(|| Event::PhaseTiming {
-                                phase: Phase::Prune,
-                                secs: t0.elapsed().as_secs_f64(),
-                            });
-                        }
-                        let _ = emitter.drain_ops();
-                        cmps.into_iter()
-                            .map(|c| MaterializedPair {
-                                profile_a: blocker.profile_handle(c.a),
-                                tokens_a: blocker.tokens_handle(c.a),
-                                profile_b: blocker.profile_handle(c.b),
-                                tokens_b: blocker.tokens_handle(c.b),
-                            })
-                            .collect()
-                    };
-                    if batch.is_empty() {
-                        // Idle tick (the empty increment of §3.2): lets the
-                        // GetComparisons fallback generate work from older
-                        // data while the input is quiet. The tick runs on
-                        // every pass; only the sleep between unproductive
-                        // ticks backs off.
-                        let tick_made_work = {
-                            let blocker = blocker.read();
-                            let mut emitter = emitter_slot.lock();
-                            emitter.on_increment(&blocker, &[]);
-                            emitter.drain_ops() > 0 || emitter.has_pending()
-                        };
-                        if tick_made_work {
-                            backoff.reset();
-                        } else {
-                            if ingest_done.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            backoff.sleep();
-                        }
-                        continue;
-                    }
-                    backoff.reset();
-                    classifier.classify_batch(batch, &adaptive, pool.as_mut());
-                }
-                executed_total.store(classifier.executed, Ordering::SeqCst);
-                *worker_comparisons.lock() = match &pool {
-                    Some(pool) => pool.executed_per_worker().to_vec(),
-                    None => vec![classifier.executed],
-                };
-                // Stop the source (if still replaying); dropping the
-                // classifier's match sender lets the collector finish.
-                shutdown.store(true, Ordering::SeqCst);
-            });
-        }
-
-        // Collector (this thread): stream match events to the caller.
-        for event in match_rx.iter() {
-            on_match(event);
-            matches.push(event);
-        }
-    });
-
-    let comparisons = executed_total.load(Ordering::SeqCst);
-    source.join().expect("source thread never panics");
-
-    let ingest_errors = std::mem::take(&mut *ingest_errors.lock());
-    let worker_comparisons = std::mem::take(&mut *worker_comparisons.lock());
-    let report = RuntimeReport {
-        matches,
-        comparisons,
-        elapsed: start.elapsed(),
-        profiles: total_profiles,
-        dictionary: Some(DictionaryStats {
-            distinct_tokens: dictionary.len(),
-            string_bytes: dictionary.string_bytes(),
-            token_occurrences: token_occurrences.load(Ordering::SeqCst),
-        }),
-        ingest_errors,
-        match_workers,
-        worker_comparisons,
-        entity_summary: entities.as_ref().map(|i| i.summary(total_profiles)),
-    };
-    if let Some(t) = &telemetry {
-        report.publish_final(t);
-    }
-    report
+    Pipeline::builder(kind)
+        .config(normalized(config))
+        .emitter(emitter)
+        .observers(observer)
+        .build()
+        .expect("legacy RuntimeConfig validates")
+        .run(increments, matcher, on_match)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pier_core::{Ipes, PierConfig};
     use pier_matching::JaccardMatcher;
+    use pier_observe::StatsObserver;
     use pier_types::{ProfileId, SourceId};
+    use std::time::Duration;
 
     fn increments() -> Vec<Vec<EntityProfile>> {
         vec![
@@ -416,249 +97,44 @@ mod tests {
         ]
     }
 
+    /// The deprecated wrappers still produce the legacy results — the
+    /// delegation pin for callers that have not migrated yet (the full
+    /// cross-topology matrix lives in `tests/pipeline_equivalence.rs`).
     #[test]
-    fn pipeline_finds_matches_in_real_time() {
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
+    fn deprecated_wrappers_still_run_the_pipeline() {
         let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
         let config = RuntimeConfig {
             interarrival: Duration::from_millis(5),
             deadline: Duration::from_secs(10),
+            // `0` was documented as an alias for `1`; the wrapper still
+            // accepts it and normalizes before validation.
+            match_workers: 0,
             ..RuntimeConfig::default()
         };
         let mut streamed = 0;
         let report = run_streaming(
             ErKind::Dirty,
             increments(),
-            emitter,
-            matcher,
-            config,
+            Box::new(Ipes::new(PierConfig::default())),
+            Arc::clone(&matcher),
+            config.clone(),
             |_| streamed += 1,
         );
         assert_eq!(report.matches.len(), 2);
         assert_eq!(streamed, 2);
-        assert_eq!(report.profiles, 4);
-        assert!(report.comparisons >= 2);
-        assert!(report.ingest_errors.is_empty());
-        // Timestamps are non-decreasing and within the run.
-        assert!(report.matches.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(report.matches.iter().all(|m| m.at <= report.elapsed));
-        // The interned data path reports its dictionary: 5 distinct tokens
-        // across 4 profiles with 3+3+2+2 = 10 occurrences.
-        let dict = report.dictionary.expect("streaming interns tokens");
-        assert_eq!(dict.distinct_tokens, 5);
-        assert_eq!(dict.token_occurrences, 10);
-        assert!(dict.string_bytes > 0);
-        assert!(dict.estimated_bytes_saved() > 0);
-    }
+        assert_eq!(report.match_workers, 1);
 
-    #[test]
-    fn second_increment_match_arrives_after_first() {
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(30),
-            deadline: Duration::from_secs(10),
-            ..RuntimeConfig::default()
-        };
-        let report = run_streaming(
+        let stats = Arc::new(StatsObserver::new());
+        let observed = run_streaming_observed(
             ErKind::Dirty,
             increments(),
-            emitter,
-            matcher,
-            config,
-            |_| {},
-        );
-        let find = |a: u32, b: u32| {
-            report
-                .matches
-                .iter()
-                .find(|m| m.pair == pier_types::Comparison::new(ProfileId(a), ProfileId(b)))
-                .map(|m| m.at)
-                .expect("match found")
-        };
-        // The pair from the delayed increment cannot precede its arrival.
-        assert!(find(2, 3) >= Duration::from_millis(30));
-        assert!(find(2, 3) > find(0, 1));
-    }
-
-    #[test]
-    fn observed_run_reports_pipeline_events() {
-        use pier_observe::StatsObserver;
-        use pier_types::GroundTruth;
-
-        let gt =
-            GroundTruth::from_pairs([(ProfileId(0), ProfileId(1)), (ProfileId(2), ProfileId(3))]);
-        let stats = Arc::new(StatsObserver::with_ground_truth(gt));
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(5),
-            deadline: Duration::from_secs(10),
-            ..RuntimeConfig::default()
-        };
-        let report = run_streaming_observed(
-            ErKind::Dirty,
-            increments(),
-            emitter,
+            Box::new(Ipes::new(PierConfig::default())),
             matcher,
             config,
             Observer::new(stats.clone()),
             |_| {},
         );
-        let snap = stats.snapshot();
-        assert_eq!(snap.increments, 2);
-        assert_eq!(snap.profiles, 4);
-        assert!(snap.blocks_built > 0);
-        assert!(snap.comparisons_emitted >= 2);
-        assert_eq!(snap.matches_confirmed as usize, report.matches.len());
-        // The live PC timeline credits both ground-truth pairs.
-        assert_eq!(snap.pc, Some(1.0));
-        // Block and weight phases ran once per increment; prune/classify at
-        // least once per batch.
-        assert!(snap.phases.iter().all(|ph| ph.count >= 1));
-    }
-
-    #[test]
-    fn telemetry_counters_equal_the_report() {
-        let telemetry = Telemetry::new();
-        let registry = Arc::clone(telemetry.registry());
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(5),
-            deadline: Duration::from_secs(10),
-            telemetry: Some(telemetry),
-            ..RuntimeConfig::default()
-        };
-        let report = run_streaming(
-            ErKind::Dirty,
-            increments(),
-            emitter,
-            matcher,
-            config,
-            |_| {},
-        );
-        let counter = |name: &str| registry.counter(name, "", &[]).get();
-        assert_eq!(counter("pier_comparisons_total"), report.comparisons);
-        assert_eq!(
-            counter("pier_matches_confirmed_total"),
-            report.matches.len() as u64
-        );
-        assert_eq!(counter("pier_profiles_total"), report.profiles as u64);
-        assert_eq!(counter("pier_increments_total"), 2);
-        for (worker, &want) in report.worker_comparisons.iter().enumerate() {
-            let label = worker.to_string();
-            let got = registry
-                .counter(
-                    "pier_worker_comparisons_total",
-                    "",
-                    &[("worker", label.as_str())],
-                )
-                .get();
-            assert_eq!(got, want, "worker {worker}");
-        }
-        // The budget gauge burned down by exactly the executed comparisons.
-        let budget = registry.gauge("pier_budget_remaining", "", &[]).get();
-        assert_eq!(budget, 10_000_000 - report.comparisons as i64);
-        // The run's channels drained and the final totals were published.
-        let depth = |queue: &str| {
-            registry
-                .gauge("pier_queue_depth", "", &[("queue", queue)])
-                .get()
-        };
-        assert_eq!(depth("matches"), 0);
-        assert_eq!(depth("increments"), 0);
-        assert!(
-            registry
-                .counter("pier_queue_sends_total", "", &[("queue", "increments")])
-                .get()
-                >= 2
-        );
-        let elapsed = registry
-            .float_gauge("pier_run_elapsed_seconds", "", &[])
-            .get();
-        assert!((elapsed - report.elapsed.as_secs_f64()).abs() < 1e-9);
-        assert_eq!(
-            registry.gauge("pier_run_matches", "", &[]).get(),
-            report.matches.len() as i64
-        );
-    }
-
-    #[test]
-    fn entity_index_clusters_the_match_stream() {
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let index = EntityIndex::shared();
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(5),
-            deadline: Duration::from_secs(10),
-            entities: Some(Arc::clone(&index)),
-            ..RuntimeConfig::default()
-        };
-        let report = run_streaming(
-            ErKind::Dirty,
-            increments(),
-            emitter,
-            matcher,
-            config,
-            |_| {},
-        );
-        // The index saw exactly the report's matches, already closed.
-        assert_eq!(index.stats().matches_applied, report.matches.len() as u64);
-        assert!(index.same_entity(ProfileId(0), ProfileId(1)));
-        assert!(index.same_entity(ProfileId(2), ProfileId(3)));
-        assert!(!index.same_entity(ProfileId(0), ProfileId(2)));
-        let summary = report.entity_summary.expect("entities configured");
-        assert_eq!(summary.clusters, 2);
-        assert_eq!(summary.matched_profiles, 4);
-        assert_eq!(summary.singletons, 0);
-        assert_eq!(summary.max_size, 2);
-        assert_eq!(summary.matches_applied, report.matches.len() as u64);
-    }
-
-    #[test]
-    fn duplicate_profile_is_reported_not_fatal() {
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(5),
-            deadline: Duration::from_secs(10),
-            ..RuntimeConfig::default()
-        };
-        // Profile 0 arrives twice; the second copy must be skipped without
-        // killing the stage-A thread, and the true pair still matches.
-        let increments = vec![
-            vec![
-                EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha beta gamma"),
-                EntityProfile::new(ProfileId(1), SourceId(0)).with("t", "alpha beta gamma"),
-            ],
-            vec![EntityProfile::new(ProfileId(0), SourceId(0)).with("t", "alpha zeta")],
-        ];
-        let report = run_streaming(ErKind::Dirty, increments, emitter, matcher, config, |_| {});
-        assert_eq!(report.ingest_errors.len(), 1);
-        assert!(report.ingest_errors[0].contains("profile 0 ingested twice"));
-        assert_eq!(report.matches.len(), 1);
-        // Only accepted profiles count occurrences (3 + 3).
-        assert_eq!(report.dictionary.unwrap().token_occurrences, 6);
-    }
-
-    #[test]
-    fn deadline_stops_the_pipeline() {
-        let emitter = Box::new(Ipes::new(PierConfig::default()));
-        let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-        let config = RuntimeConfig {
-            interarrival: Duration::from_millis(200),
-            deadline: Duration::from_millis(50),
-            ..RuntimeConfig::default()
-        };
-        // 100 increments at 200ms each would take 20s; the deadline cuts in.
-        let many: Vec<Vec<EntityProfile>> = (0..100u32)
-            .map(|i| {
-                vec![EntityProfile::new(ProfileId(i), SourceId(0))
-                    .with("t", format!("tok{i} tok{}", i / 2))]
-            })
-            .collect();
-        let report = run_streaming(ErKind::Dirty, many, emitter, matcher, config, |_| {});
-        assert!(report.elapsed < Duration::from_secs(25));
+        assert_eq!(observed.matches.len(), 2);
+        assert_eq!(stats.snapshot().matches_confirmed, 2);
     }
 }

@@ -16,9 +16,7 @@ use pier_core::{Ipes, PierConfig};
 use pier_datagen::{generate_bibliographic, BibliographicConfig};
 use pier_entity::{EntityIndex, EntityServer};
 use pier_matching::{JaccardMatcher, MatchFunction};
-use pier_runtime::{
-    run_streaming, run_streaming_sharded, MatchEvent, RuntimeConfig, RuntimeReport,
-};
+use pier_runtime::{MatchEvent, Pipeline, RuntimeConfig, RuntimeReport};
 use pier_shard::ShardedConfig;
 use pier_types::{Dataset, EntityProfile, ProfileId};
 
@@ -195,14 +193,12 @@ fn run_streaming_case(match_workers: usize) {
     let scraper = spawn_scraper(server.local_addr(), Arc::clone(&done));
 
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming(
-        dataset.kind,
-        increments(&dataset),
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        runtime_config(&index, match_workers),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(runtime_config(&index, match_workers))
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .unwrap()
+        .run(increments(&dataset), matcher, |_| {});
     done.store(true, Ordering::Relaxed);
     let scrapes = scraper.join().unwrap();
     server.shutdown();
@@ -222,14 +218,12 @@ fn run_sharded_case(match_workers: usize) {
     let scraper = spawn_scraper(server.local_addr(), Arc::clone(&done));
 
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming_sharded(
-        dataset.kind,
-        increments(&dataset),
-        ShardedConfig::default(),
-        matcher,
-        runtime_config(&index, match_workers),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(runtime_config(&index, match_workers))
+        .sharded(ShardedConfig::default())
+        .build()
+        .unwrap()
+        .run(increments(&dataset), matcher, |_| {});
     done.store(true, Ordering::Relaxed);
     let scrapes = scraper.join().unwrap();
     server.shutdown();
@@ -268,14 +262,12 @@ fn entity_endpoint_serves_report_members() {
     let dataset = dataset();
     let index = EntityIndex::shared();
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming(
-        dataset.kind,
-        increments(&dataset),
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        runtime_config(&index, 2),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(runtime_config(&index, 2))
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .unwrap()
+        .run(increments(&dataset), matcher, |_| {});
     let mut server = EntityServer::serve("127.0.0.1:0", Arc::clone(&index)).unwrap();
     let probe = report.matches[0].pair.a;
     let (head, body) = http_get(server.local_addr(), &format!("/entity/{}", probe.0));

@@ -8,10 +8,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use pier_blocking::PurgePolicy;
 use pier_core::{Ipes, PierConfig};
 use pier_datagen::{generate_bibliographic, BibliographicConfig};
 use pier_matching::{EditDistanceMatcher, MatchFunction};
-use pier_runtime::{run_streaming, RuntimeConfig, RuntimeReport};
+use pier_runtime::{Pipeline, RuntimeConfig, RuntimeReport};
 use pier_types::{Comparison, Dataset};
 
 fn seeded_dataset() -> Dataset {
@@ -36,9 +37,17 @@ fn run_with_workers(dataset: &Dataset, workers: usize) -> (RuntimeReport, Vec<Co
         interarrival: Duration::from_millis(2),
         deadline: Duration::from_secs(120),
         match_workers: workers,
+        // Purging makes the emitted candidate set depend on arrival timing;
+        // disabling it pins one deterministic set for both executors.
+        purge_policy: PurgePolicy::disabled(),
         ..RuntimeConfig::default()
     };
-    let report = run_streaming(dataset.kind, increments, emitter, matcher, config, |_| {});
+    let report = Pipeline::builder(dataset.kind)
+        .config(config)
+        .emitter(emitter)
+        .build()
+        .unwrap()
+        .run(increments, matcher, |_| {});
     let mut pairs: Vec<Comparison> = report.matches.iter().map(|m| m.pair).collect();
     pairs.sort_unstable();
     pairs.dedup();

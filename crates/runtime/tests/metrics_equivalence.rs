@@ -13,7 +13,7 @@ use pier_core::{Ipes, PierConfig};
 use pier_datagen::{generate_bibliographic, BibliographicConfig};
 use pier_matching::{JaccardMatcher, MatchFunction};
 use pier_metrics::{MetricsServer, Telemetry};
-use pier_runtime::{run_streaming, run_streaming_sharded, RuntimeConfig, RuntimeReport};
+use pier_runtime::{Pipeline, RuntimeConfig, RuntimeReport};
 use pier_shard::ShardedConfig;
 use pier_types::{Dataset, EntityProfile};
 
@@ -101,14 +101,12 @@ fn streaming_scrape_equals_report() {
     scrape(addr);
 
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming(
-        dataset.kind,
-        increments(&dataset),
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        runtime_config(telemetry, 2),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(runtime_config(telemetry, 2))
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .unwrap()
+        .run(increments(&dataset), matcher, |_| {});
     assert!(report.matches.len() > 10, "run found matches");
 
     let samples = scrape(addr);
@@ -137,14 +135,12 @@ fn sharded_scrape_equals_report() {
     let addr = server.local_addr();
 
     let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
-    let report = run_streaming_sharded(
-        dataset.kind,
-        increments(&dataset),
-        ShardedConfig::default(),
-        matcher,
-        runtime_config(telemetry, 1),
-        |_| {},
-    );
+    let report = Pipeline::builder(dataset.kind)
+        .config(runtime_config(telemetry, 1))
+        .sharded(ShardedConfig::default())
+        .build()
+        .unwrap()
+        .run(increments(&dataset), matcher, |_| {});
     assert!(report.matches.len() > 10, "run found matches");
 
     let samples = scrape(addr);

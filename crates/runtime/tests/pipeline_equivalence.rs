@@ -1,0 +1,226 @@
+//! The unification contract of the composable [`Pipeline`]: every cell of
+//! the `{single, 4-shard} × {1, 4 match workers} × {observed, noop}`
+//! matrix reports the identical match set, pair completeness, and
+//! executed-comparison count — topology, stage-B parallelism, and
+//! observation may only change wall-clock behaviour — and the deprecated
+//! pre-`Pipeline` entry points pin bit-identical outputs to their
+//! `Pipeline` replacements.
+//!
+//! Determinism setup (same as `tests/sharded_equivalence.rs`): CBS
+//! weighting, which is additive over hash-partitioned blocks, and purging
+//! disabled, so a fully drained run emits exactly one deterministic
+//! comparison set regardless of arrival timing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pier_blocking::PurgePolicy;
+use pier_core::{PierConfig, Strategy};
+use pier_datagen::{generate_bibliographic, BibliographicConfig};
+use pier_matching::{JaccardMatcher, MatchFunction};
+use pier_observe::{Observer, StatsObserver};
+use pier_runtime::{Pipeline, RuntimeConfig, RuntimeReport};
+use pier_shard::ShardedConfig;
+use pier_types::{Comparison, Dataset};
+
+fn corpus() -> Dataset {
+    generate_bibliographic(&BibliographicConfig {
+        seed: 7,
+        source0_size: 120,
+        source1_size: 100,
+        matches: 80,
+    })
+}
+
+fn pier_config() -> PierConfig {
+    // The default scheme is CBS — the one scheme that is additive over
+    // hash-partitioned blocks and therefore shard-exact (DESIGN.md §8).
+    PierConfig::default()
+}
+
+fn runtime_config(match_workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        interarrival: Duration::from_millis(1),
+        deadline: Duration::from_secs(60),
+        match_workers,
+        purge_policy: PurgePolicy::disabled(),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn sharded_config(shards: u16) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        strategy: Strategy::Pcs,
+        pier: pier_config(),
+        purge_policy: PurgePolicy::disabled(),
+    }
+}
+
+/// The externally visible outcome of a run, in comparable form.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    pairs: Vec<Comparison>,
+    comparisons: u64,
+    pc: f64,
+}
+
+fn outcome(dataset: &Dataset, report: &RuntimeReport) -> Outcome {
+    let mut pairs: Vec<Comparison> = report.matches.iter().map(|m| m.pair).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    Outcome {
+        pairs,
+        comparisons: report.comparisons,
+        pc: report.progress_trajectory(&dataset.ground_truth).pc(),
+    }
+}
+
+/// One matrix cell: builds the pipeline for `(shards, workers, observed)`
+/// and runs it to completion. Returns the observer so observed cells can
+/// also check the fan-out saw every event.
+fn run_cell(
+    dataset: &Dataset,
+    shards: Option<u16>,
+    workers: usize,
+    observed: bool,
+) -> (RuntimeReport, Option<Arc<StatsObserver>>) {
+    let increments: Vec<_> = dataset
+        .clone()
+        .into_increments(8)
+        .unwrap()
+        .into_iter()
+        .map(|i| i.profiles)
+        .collect();
+    let mut builder = Pipeline::builder(dataset.kind).config(runtime_config(workers));
+    builder = match shards {
+        Some(n) => builder.sharded(sharded_config(n)),
+        None => builder.emitter(Strategy::Pcs.build(pier_config())),
+    };
+    let stats = observed.then(|| Arc::new(StatsObserver::new()));
+    if let Some(stats) = &stats {
+        builder = builder.observe("stats", stats.clone());
+    }
+    let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+    let report = builder.build().unwrap().run(increments, matcher, |_| {});
+    (report, stats)
+}
+
+/// The full 8-cell matrix agrees on match set, PC, and comparison count.
+#[test]
+fn topology_workers_and_observation_matrix_is_equivalent() {
+    let dataset = corpus();
+    let mut reference: Option<(String, Outcome)> = None;
+    for shards in [None, Some(4)] {
+        for workers in [1usize, 4] {
+            for observed in [false, true] {
+                let label = format!(
+                    "{}x{workers}{}",
+                    shards.map_or("single".into(), |n| format!("sharded{n}")),
+                    if observed { "+observed" } else { "" }
+                );
+                let (report, stats) = run_cell(&dataset, shards, workers, observed);
+                let got = outcome(&dataset, &report);
+                assert!(
+                    got.pairs.len() > 10,
+                    "{label}: vacuous run ({} matches)",
+                    got.pairs.len()
+                );
+                if let Some(stats) = stats {
+                    // The composed observer saw exactly the confirmed set.
+                    assert_eq!(
+                        stats.snapshot().matches_confirmed as usize,
+                        got.pairs.len(),
+                        "{label}: observer missed matches"
+                    );
+                }
+                match &reference {
+                    None => reference = Some((label, got)),
+                    Some((ref_label, want)) => {
+                        assert_eq!(&got, want, "{label} differs from {ref_label}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The deprecated wrappers pin bit-identical outputs to their `Pipeline`
+/// replacements — the one-release migration guarantee.
+#[test]
+#[allow(deprecated)]
+fn deprecated_entry_points_pin_pipeline_outputs() {
+    use pier_runtime::{
+        run_streaming, run_streaming_observed, run_streaming_sharded,
+        run_streaming_sharded_observed,
+    };
+    let dataset = corpus();
+    let increments = || -> Vec<_> {
+        dataset
+            .clone()
+            .into_increments(8)
+            .unwrap()
+            .into_iter()
+            .map(|i| i.profiles)
+            .collect()
+    };
+    let matcher: Arc<dyn MatchFunction> = Arc::new(JaccardMatcher::default());
+
+    let legacy = run_streaming(
+        dataset.kind,
+        increments(),
+        Strategy::Pcs.build(pier_config()),
+        Arc::clone(&matcher),
+        runtime_config(1),
+        |_| {},
+    );
+    let (pipeline, _) = run_cell(&dataset, None, 1, false);
+    assert_eq!(outcome(&dataset, &legacy), outcome(&dataset, &pipeline));
+
+    let legacy_sharded = run_streaming_sharded(
+        dataset.kind,
+        increments(),
+        sharded_config(4),
+        Arc::clone(&matcher),
+        runtime_config(4),
+        |_| {},
+    );
+    let (pipeline_sharded, _) = run_cell(&dataset, Some(4), 4, false);
+    assert_eq!(
+        outcome(&dataset, &legacy_sharded),
+        outcome(&dataset, &pipeline_sharded)
+    );
+
+    // The `_observed` variants delegate through the same ObserverSet path.
+    let stats = Arc::new(StatsObserver::new());
+    let observed = run_streaming_observed(
+        dataset.kind,
+        increments(),
+        Strategy::Pcs.build(pier_config()),
+        Arc::clone(&matcher),
+        runtime_config(1),
+        Observer::new(stats.clone()),
+        |_| {},
+    );
+    assert_eq!(outcome(&dataset, &observed), outcome(&dataset, &pipeline));
+    assert_eq!(
+        stats.snapshot().matches_confirmed as usize,
+        observed.matches.len()
+    );
+
+    let stats_sharded = Arc::new(StatsObserver::new());
+    let observed_sharded = run_streaming_sharded_observed(
+        dataset.kind,
+        increments(),
+        sharded_config(4),
+        matcher,
+        runtime_config(4),
+        Observer::new(stats_sharded.clone()),
+        |_| {},
+    );
+    assert_eq!(
+        outcome(&dataset, &observed_sharded),
+        outcome(&dataset, &pipeline_sharded)
+    );
+    assert!(!stats_sharded.snapshot().shards.is_empty());
+}

@@ -27,7 +27,7 @@
 //! the partitioned blocks: `CBS(x,y) = Σ_s CBS_s(x,y)`), differing only in
 //! order within equal-weight ties; schemes needing global degree counters
 //! (ECBS, JS) are not shard-exact — see DESIGN.md §8. The threaded driver
-//! lives in `pier-runtime` as `run_streaming_sharded`.
+//! is the sharded topology of `pier-runtime`'s `Pipeline` builder.
 
 #![warn(missing_docs)]
 

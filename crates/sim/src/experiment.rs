@@ -209,11 +209,12 @@ pub fn run_method(
     )
 }
 
-/// [`run_method`] with a pipeline observer attached to the simulator —
-/// the virtual-clock analogue of `run_streaming_observed`. The simulator
-/// emits every event with virtual timestamps, so e.g. teeing a
-/// `pier-entity` match sink onto the run folds confirmed matches into an
-/// entity index exactly as the threaded runtime would.
+/// [`run_method`] with observation attached to the simulator — the
+/// virtual-clock analogue of the runtime `Pipeline`'s observer sinks.
+/// Accepts anything convertible into an [`Observer`], including an
+/// `ObserverSet`-composed fan-out, so e.g. teeing a `pier-entity` match
+/// sink onto the run folds confirmed matches into an entity index exactly
+/// as the threaded runtime would.
 #[allow(clippy::too_many_arguments)]
 pub fn run_method_observed(
     method: Method,
@@ -222,12 +223,12 @@ pub fn run_method_observed(
     matcher: &dyn MatchFunction,
     sim_config: &SimConfig,
     pier_config: PierConfig,
-    observer: Observer,
+    observer: impl Into<Observer>,
 ) -> SimOutcome {
     let arrivals = arrival_schedule(dataset, plan);
     let mut emitter = method.build(pier_config);
     let mut sim = PipelineSim::new(emitter.as_mut(), matcher, sim_config.clone());
-    sim.set_observer(observer);
+    sim.set_observer(observer.into());
     sim.run(dataset.kind, &arrivals, &dataset.ground_truth)
 }
 

@@ -49,13 +49,12 @@ fn main() {
     };
 
     let mut shown = 0usize;
-    let report = run_streaming(
-        ErKind::Dirty,
-        increments,
-        emitter,
-        matcher,
-        config,
-        |event| {
+    let report = Pipeline::builder(ErKind::Dirty)
+        .config(config)
+        .emitter(emitter)
+        .build()
+        .expect("valid fraud-stream config")
+        .run(increments, matcher, |event| {
             shown += 1;
             if shown <= 15 {
                 println!(
@@ -68,8 +67,7 @@ fn main() {
             } else if shown == 16 {
                 println!("  ... (suppressing further alerts)");
             }
-        },
-    );
+        });
 
     let gt = &dataset.ground_truth;
     let true_links = report

@@ -1,14 +1,18 @@
 //! Live observability of a streaming ER run.
 //!
-//! Attaches a [`StatsObserver`] to the threaded runtime and snapshots it
-//! from a monitor thread *while the pipeline runs*: increments ingested,
-//! blocks built/purged, comparisons emitted, matches confirmed, the live
-//! pair-completeness timeline, and per-phase latency percentiles.
+//! Builds one [`Pipeline`] — whatever the flags say — and attaches a
+//! [`StatsObserver`] sink that a monitor thread snapshots *while the
+//! pipeline runs*: increments ingested, blocks built/purged, comparisons
+//! emitted, matches confirmed, the live pair-completeness timeline, and
+//! per-phase latency percentiles. At startup the example prints the
+//! composed observer list (`observers: [...]`) — the caller's labelled
+//! sinks plus the implicit `metrics` / `entities` sinks the configuration
+//! adds.
 //!
 //! Run with: `cargo run --release --example observed_stream`
 //!
 //! Pass `--shards N` to run the hash-partitioned stage A instead
-//! (`run_streaming_sharded_observed` with `N` shard threads); the final
+//! (`PipelineBuilder::sharded` with `N` shard threads); the final
 //! snapshot then includes a per-shard work breakdown.
 //!
 //! Pass `--intern-stats` to print the shared token dictionary's footprint
@@ -156,26 +160,11 @@ fn main() {
         _ => None,
     };
     // Live entity clustering: a union-find index over the confirmed-match
-    // stream, queryable over HTTP while the pipeline runs.
+    // stream; `serve_entities` below exposes it over HTTP while the
+    // pipeline runs.
     let entities = entity_addr.as_ref().map(|_| EntityIndex::shared());
-    let mut entity_server = match (&entity_addr, &entities) {
-        (Some(addr), Some(index)) => {
-            let server =
-                EntityServer::serve(addr.as_str(), Arc::clone(index)).expect("--entity-addr binds");
-            println!(
-                "entities: query with `curl http://{}/clusters`",
-                server.local_addr()
-            );
-            Some(server)
-        }
-        _ => None,
-    };
     let trace = trace_out
         .map(|path| Arc::new(TraceObserver::create(&path).expect("--trace-out file is writable")));
-    let mut observer = Observer::new(stats.clone());
-    if let Some(trace) = &trace {
-        observer = observer.tee(Arc::clone(trace) as Arc<dyn PipelineObserver>);
-    }
 
     let matcher = Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>;
     let mut runtime_config = RuntimeConfig {
@@ -189,32 +178,42 @@ fn main() {
         runtime_config.match_workers = n;
     }
     println!("stage-B match workers: {}", runtime_config.match_workers);
-    let report = match shards {
+
+    // One construction path for every flag combination: the builder picks
+    // the stage-A topology, composes the labelled observer sinks, and
+    // binds the entity endpoint.
+    let mut builder = Pipeline::builder(dataset.kind)
+        .config(runtime_config)
+        .observe("stats", stats.clone());
+    if let Some(trace) = &trace {
+        builder = builder.observe("trace", Arc::clone(trace) as Arc<dyn PipelineObserver>);
+    }
+    builder = match shards {
         Some(n) => {
             println!("running hash-partitioned stage A with {n} shards");
-            run_streaming_sharded_observed(
-                dataset.kind,
-                increments,
-                ShardedConfig {
-                    shards: n,
-                    ..ShardedConfig::default()
-                },
-                matcher,
-                runtime_config,
-                observer,
-                |_| {},
-            )
+            builder.sharded(ShardedConfig {
+                shards: n,
+                ..ShardedConfig::default()
+            })
         }
-        None => run_streaming_observed(
-            dataset.kind,
-            increments,
-            Box::new(Ipes::new(PierConfig::default())),
-            matcher,
-            runtime_config,
-            observer,
-            |_| {},
-        ),
+        None => builder.emitter(Box::new(Ipes::new(PierConfig::default()))),
     };
+    if let Some(addr) = &entity_addr {
+        builder = builder.serve_entities(addr.as_str());
+    }
+    let mut pipeline = builder.build().expect("observed_stream flags validate");
+    println!("observers: [{}]", pipeline.observer_labels().join(", "));
+    // Detach the entity server so it can outlive the run for the hold
+    // contract below.
+    let mut entity_server = pipeline.take_entity_server();
+    if let Some(server) = &entity_server {
+        println!(
+            "entities: query with `curl http://{}/clusters`",
+            server.local_addr()
+        );
+    }
+
+    let report = pipeline.run(increments, matcher, |_| {});
     done.store(true, Ordering::Relaxed);
     monitor.join().unwrap();
 

@@ -113,15 +113,22 @@ pub mod prelude {
     pub use pier_metrics::{
         MetricsObserver, MetricsRegistry, MetricsServer, QueueGauges, Telemetry, TraceObserver,
     };
+    pub use pier_observe::ObserverSet;
     pub use pier_observe::{
         read_events, replay_match_count, replay_trajectory, Event, FanoutObserver, JsonlObserver,
         NoopObserver, Observer, Phase, PipelineObserver, ShardSnapshot, StatsObserver,
         StatsSnapshot, TimedEvent, WorkerSnapshot,
     };
     pub use pier_runtime::{
-        chunk_ranges, default_match_workers, run_streaming, run_streaming_observed,
-        run_streaming_sharded, run_streaming_sharded_observed, tokenize_increment, DictionaryStats,
-        MatchEvent, RuntimeConfig, RuntimeReport, TokenizedIncrement, TokenizedProfile,
+        chunk_ranges, default_match_workers, tokenize_increment, DictionaryStats, MatchEvent,
+        Pipeline, PipelineBuilder, RuntimeConfig, RuntimeReport, TokenizedIncrement,
+        TokenizedProfile,
+    };
+    // The pre-`Pipeline` entry points stay importable for one release.
+    #[allow(deprecated)]
+    pub use pier_runtime::{
+        run_streaming, run_streaming_observed, run_streaming_sharded,
+        run_streaming_sharded_observed,
     };
     pub use pier_shard::{
         ProfileStore, RoutedProfile, ShardMerger, ShardRouter, ShardWorker, ShardedConfig,

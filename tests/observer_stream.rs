@@ -35,19 +35,17 @@ fn jsonl_replay_agrees_with_runtime_report() {
     // The oracle classifies exactly the ground truth, so classified matches
     // and emitted ground-truth pairs coincide — replay must reproduce both.
     let matcher: Arc<dyn MatchFunction> = Arc::new(OracleMatcher::new(d.ground_truth.clone(), 8));
-    let report = run_streaming_observed(
-        d.kind,
-        increments,
-        Box::new(Ipes::new(PierConfig::default())),
-        matcher,
-        RuntimeConfig {
+    let report = Pipeline::builder(d.kind)
+        .config(RuntimeConfig {
             interarrival: Duration::from_millis(1),
             deadline: Duration::from_secs(60),
             ..RuntimeConfig::default()
-        },
-        Observer::new(jsonl.clone()),
-        |_| {},
-    );
+        })
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .observe("jsonl", jsonl.clone())
+        .build()
+        .unwrap()
+        .run(increments, matcher, |_| {});
     jsonl.flush().expect("flush event log");
 
     let events = read_events(&log_path).expect("read back events.jsonl");

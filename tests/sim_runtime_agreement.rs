@@ -44,18 +44,20 @@ fn simulator_and_runtime_find_the_same_matches() {
         .into_iter()
         .map(|i| i.profiles)
         .collect();
-    let report = run_streaming(
-        d.kind,
-        increments,
-        Box::new(Ipes::new(PierConfig::default())),
-        Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>,
-        RuntimeConfig {
+    let report = Pipeline::builder(d.kind)
+        .config(RuntimeConfig {
             interarrival: Duration::from_millis(1),
             deadline: Duration::from_secs(60),
             ..RuntimeConfig::default()
-        },
-        |_| {},
-    );
+        })
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .unwrap()
+        .run(
+            increments,
+            Arc::new(JaccardMatcher::default()) as Arc<dyn MatchFunction>,
+            |_| {},
+        );
 
     // Same classified matches (order-independent).
     let runtime_matches: std::collections::HashSet<Comparison> =
@@ -92,18 +94,20 @@ fn runtime_oracle_matches_ground_truth_exactly() {
         .into_iter()
         .map(|i| i.profiles)
         .collect();
-    let report = run_streaming(
-        d.kind,
-        increments,
-        Box::new(Ipes::new(PierConfig::default())),
-        Arc::new(OracleMatcher::new(d.ground_truth.clone(), 10)) as Arc<dyn MatchFunction>,
-        RuntimeConfig {
+    let report = Pipeline::builder(d.kind)
+        .config(RuntimeConfig {
             interarrival: Duration::from_millis(1),
             deadline: Duration::from_secs(60),
             ..RuntimeConfig::default()
-        },
-        |_| {},
-    );
+        })
+        .emitter(Box::new(Ipes::new(PierConfig::default())))
+        .build()
+        .unwrap()
+        .run(
+            increments,
+            Arc::new(OracleMatcher::new(d.ground_truth.clone(), 10)) as Arc<dyn MatchFunction>,
+            |_| {},
+        );
     // With an oracle, every confirmed match is a true match.
     for m in &report.matches {
         assert!(d.ground_truth.is_match(m.pair));
