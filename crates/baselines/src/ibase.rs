@@ -15,8 +15,9 @@
 use std::collections::VecDeque;
 
 use pier_blocking::IncrementalBlocker;
-use pier_collections::ScalableBloomFilter;
+use pier_collections::{ScalableBloomFilter, ScratchStats};
 use pier_core::{framework::generate_for_profile, ComparisonEmitter, PierConfig};
+use pier_metablocking::Iwnp;
 use pier_types::{Comparison, ProfileId};
 
 /// The I-BASE emitter.
@@ -24,6 +25,7 @@ pub struct IBase {
     config: PierConfig,
     queue: VecDeque<Comparison>,
     enqueued: ScalableBloomFilter,
+    iwnp: Iwnp,
     ops: u64,
 }
 
@@ -35,6 +37,7 @@ impl IBase {
             config,
             queue: VecDeque::new(),
             enqueued: ScalableBloomFilter::for_comparisons(),
+            iwnp: Iwnp::new(),
             ops: 0,
         }
     }
@@ -48,7 +51,7 @@ impl IBase {
 impl ComparisonEmitter for IBase {
     fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
         for &p in new_ids {
-            let (list, ops) = generate_for_profile(blocker, p, &self.config);
+            let (list, ops) = generate_for_profile(blocker, p, &self.config, &mut self.iwnp);
             self.ops += ops;
             for wc in list {
                 if self.enqueued.insert(wc.cmp.key()) {
@@ -75,6 +78,10 @@ impl ComparisonEmitter for IBase {
 
     fn name(&self) -> String {
         "I-BASE".to_string()
+    }
+
+    fn scratch_stats(&self) -> Option<ScratchStats> {
+        Some(self.iwnp.stats())
     }
 }
 

@@ -14,7 +14,7 @@ use pier_core::framework::generate_for_profile;
 use pier_core::PierConfig;
 use pier_datagen::{generate_movies, MoviesConfig};
 use pier_matching::similarity::{jaccard_tokens, levenshtein};
-use pier_metablocking::{BlockingGraph, WeightingScheme};
+use pier_metablocking::{BlockingGraph, Iwnp, WeightingScheme};
 use pier_shard::{ShardMerger, ShardRouter};
 use pier_types::{Comparison, ErKind, ProfileId, TokenId, Tokenizer, WeightedComparison};
 
@@ -130,9 +130,12 @@ fn bench_generation(c: &mut Criterion) {
     let cfg = PierConfig::default();
     c.bench_function("pier/generate-for-profile", |bench| {
         let mut i = 0u32;
+        let mut iwnp = Iwnp::new();
         bench.iter(|| {
             i = (i + 1) % n as u32;
-            generate_for_profile(&blocker, ProfileId(i), &cfg).0.len()
+            generate_for_profile(&blocker, ProfileId(i), &cfg, &mut iwnp)
+                .0
+                .len()
         })
     });
 }

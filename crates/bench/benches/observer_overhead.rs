@@ -24,6 +24,7 @@ use pier_core::framework::{generate_for_profile, generate_for_profile_observed};
 use pier_core::{PierConfig, PierPipeline, Strategy};
 use pier_datagen::{generate_movies, MoviesConfig};
 use pier_matching::JaccardMatcher;
+use pier_metablocking::Iwnp;
 use pier_observe::{NoopObserver, Observer, StatsObserver};
 use pier_types::{ErKind, ProfileId};
 
@@ -54,10 +55,11 @@ fn main() {
     let ids: Vec<ProfileId> = (0..n as u32).step_by(97).map(ProfileId).collect();
 
     let seed = c.measure("generate/seed", &mut |bench| {
+        let mut iwnp = Iwnp::new();
         bench.iter(|| {
             let mut total = 0usize;
             for &p in &ids {
-                let (list, _) = generate_for_profile(&blocker, black_box(p), &config);
+                let (list, _) = generate_for_profile(&blocker, black_box(p), &config, &mut iwnp);
                 total += list.len();
             }
             total
@@ -66,11 +68,17 @@ fn main() {
 
     let disabled = c.measure("generate/observed-disabled", &mut |bench| {
         let observer = Observer::disabled();
+        let mut iwnp = Iwnp::new();
         bench.iter(|| {
             let mut total = 0usize;
             for &p in &ids {
-                let (list, _) =
-                    generate_for_profile_observed(&blocker, black_box(p), &config, &observer);
+                let (list, _) = generate_for_profile_observed(
+                    &blocker,
+                    black_box(p),
+                    &config,
+                    &mut iwnp,
+                    &observer,
+                );
                 total += list.len();
             }
             total
@@ -79,11 +87,17 @@ fn main() {
 
     let noop = c.measure("generate/observed-noop", &mut |bench| {
         let observer = Observer::from_sink(NoopObserver);
+        let mut iwnp = Iwnp::new();
         bench.iter(|| {
             let mut total = 0usize;
             for &p in &ids {
-                let (list, _) =
-                    generate_for_profile_observed(&blocker, black_box(p), &config, &observer);
+                let (list, _) = generate_for_profile_observed(
+                    &blocker,
+                    black_box(p),
+                    &config,
+                    &mut iwnp,
+                    &observer,
+                );
                 total += list.len();
             }
             total
@@ -93,11 +107,17 @@ fn main() {
     let stats_sink = Arc::new(StatsObserver::new());
     let stats = c.measure("generate/observed-stats", &mut |bench| {
         let observer = Observer::new(stats_sink.clone());
+        let mut iwnp = Iwnp::new();
         bench.iter(|| {
             let mut total = 0usize;
             for &p in &ids {
-                let (list, _) =
-                    generate_for_profile_observed(&blocker, black_box(p), &config, &observer);
+                let (list, _) = generate_for_profile_observed(
+                    &blocker,
+                    black_box(p),
+                    &config,
+                    &mut iwnp,
+                    &observer,
+                );
                 total += list.len();
             }
             total

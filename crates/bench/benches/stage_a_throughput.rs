@@ -1,0 +1,524 @@
+//! Stage-A weighting-core throughput: dense slab + epoch-stamped scratch
+//! vs. the retired map-based representation.
+//!
+//! The stage-A rework replaced three hot-loop structures at once:
+//!
+//! 1. the block store's `HashMap<BlockId, Block>` with a dense `Vec<Block>`
+//!    slab indexed directly by block id (block ids *are* interned token
+//!    ids, which are dense per stream);
+//! 2. the boxed `Box<dyn Iterator>` returned per block by `partners_of`
+//!    with a concrete monomorphized enum iterator;
+//! 3. the `HashMap<ProfileId, _>` allocated per I-WNP call with one
+//!    reusable epoch-stamped `NeighborAccumulator` per driver lane.
+//!
+//! This bench reconstructs the retired path in-bench (it no longer exists
+//! in the library) and measures the full ingest-to-scheduled-comparison
+//! pipeline — incremental blocking, block ghosting, I-WNP — over the same
+//! dbpedia-scale stream for both. Contract: the dense path is >=
+//! `REQUIRED_SPEEDUP`x the map path.
+//!
+//! It then pins the *equivalence matrix* the rework promised: for every
+//! cell of {retired, dense} x {unsharded, 4-shard} x all five weighting
+//! schemes, the scheduled comparison lists (pairs AND weights, bitwise)
+//! and the resulting pair completeness are identical.
+//!
+//! Run with `cargo bench --bench stage_a_throughput`. CSVs land in
+//! `target/experiments/stage_a_throughput/`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use pier_bench::{write_note, FigureReport};
+use pier_blocking::{ghost_blocks, BlockCollection, BlockId, PurgePolicy};
+use pier_datagen::{generate_dbpedia, DbpediaConfig};
+use pier_metablocking::{Iwnp, IwnpConfig, WeightingScheme};
+use pier_observe::Observer;
+use pier_shard::ShardRouter;
+use pier_types::{
+    Comparison, ErKind, GroundTruth, ProfileId, SharedTokenDictionary, SourceId, TokenId,
+    Tokenizer, WeightedComparison,
+};
+
+const ID: &str = "stage_a_throughput";
+const INCREMENTS: usize = 40;
+const BETA: f64 = 0.5;
+/// Repetitions per path; the fastest run is reported (min-time
+/// benchmarking absorbs scheduler noise on a shared container).
+const REPS: usize = 5;
+/// Contract from the PR that introduced the dense stage-A core.
+const REQUIRED_SPEEDUP: f64 = 1.3;
+/// Shard count of the partitioned leg of the equivalence matrix.
+const SHARDS: u16 = 4;
+
+/// One pre-tokenized profile: both paths consume identical token ids, so
+/// the measured delta is pure blocking + weighting cost.
+struct Prepped {
+    id: ProfileId,
+    source: SourceId,
+    tokens: Vec<TokenId>,
+}
+
+type Stream = Vec<Vec<Prepped>>;
+
+fn prep(config: &DbpediaConfig, increments: usize) -> (Stream, GroundTruth) {
+    let dataset = generate_dbpedia(config);
+    let truth = dataset.ground_truth.clone();
+    let dictionary = SharedTokenDictionary::new();
+    let tokenizer = Tokenizer::default();
+    let mut scratch = String::new();
+    let stream = dataset
+        .into_increments(increments)
+        .unwrap()
+        .into_iter()
+        .map(|inc| {
+            inc.profiles
+                .iter()
+                .map(|p| Prepped {
+                    id: p.id,
+                    source: p.source,
+                    tokens: dictionary.tokenize_and_intern(&tokenizer, p, &mut scratch),
+                })
+                .collect()
+        })
+        .collect();
+    (stream, truth)
+}
+
+// ---------------------------------------------------------------------------
+// The retired stage-A representation, reconstructed.
+// ---------------------------------------------------------------------------
+
+/// A block as the retired collection stored it: members by source, no
+/// cached reciprocal cardinality (ARCS divided per visit).
+#[derive(Default)]
+struct LegacyBlock {
+    members: [Vec<ProfileId>; 2],
+}
+
+impl LegacyBlock {
+    fn len(&self) -> usize {
+        self.members[0].len() + self.members[1].len()
+    }
+
+    fn cardinality(&self, kind: ErKind) -> u64 {
+        match kind {
+            ErKind::Dirty => {
+                let n = self.len() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+            ErKind::CleanClean => self.members[0].len() as u64 * self.members[1].len() as u64,
+        }
+    }
+
+    /// The retired iterator shape: one heap allocation + virtual dispatch
+    /// per block visited.
+    fn partners_of<'a>(
+        &'a self,
+        p: ProfileId,
+        source: SourceId,
+        kind: ErKind,
+    ) -> Box<dyn Iterator<Item = ProfileId> + 'a> {
+        match kind {
+            ErKind::Dirty => Box::new(
+                self.members[0]
+                    .iter()
+                    .chain(self.members[1].iter())
+                    .copied()
+                    .filter(move |&q| q != p),
+            ),
+            ErKind::CleanClean => Box::new(self.members[1 - source.0 as usize].iter().copied()),
+        }
+    }
+}
+
+/// The retired block collection: blocks behind a `HashMap<BlockId, _>`
+/// (SipHash per lookup), per-profile block lists as before.
+struct LegacyCollection {
+    kind: ErKind,
+    blocks: HashMap<BlockId, LegacyBlock>,
+    profile_blocks: Vec<Option<Vec<BlockId>>>,
+    profile_sources: Vec<SourceId>,
+}
+
+impl LegacyCollection {
+    fn new(kind: ErKind) -> Self {
+        LegacyCollection {
+            kind,
+            blocks: HashMap::new(),
+            profile_blocks: Vec::new(),
+            profile_sources: Vec::new(),
+        }
+    }
+
+    fn add_profile(&mut self, id: ProfileId, source: SourceId, tokens: &[TokenId]) {
+        if self.profile_blocks.len() <= id.index() {
+            self.profile_blocks.resize(id.index() + 1, None);
+            self.profile_sources.resize(id.index() + 1, SourceId(0));
+        }
+        let mut blocks = Vec::with_capacity(tokens.len());
+        for &t in tokens {
+            let bid = BlockId::from(t);
+            self.blocks.entry(bid).or_default().members[source.0 as usize].push(id);
+            blocks.push(bid);
+        }
+        self.profile_blocks[id.index()] = Some(blocks);
+        self.profile_sources[id.index()] = source;
+    }
+
+    fn blocks_of(&self, p: ProfileId) -> &[BlockId] {
+        self.profile_blocks[p.index()].as_deref().unwrap()
+    }
+
+    fn active_blocks_of(&self, p: ProfileId) -> Vec<(BlockId, usize)> {
+        self.blocks_of(p)
+            .iter()
+            .map(|&bid| (bid, self.blocks[&bid].len()))
+            .collect()
+    }
+}
+
+/// The retired I-WNP: a fresh `HashMap<ProfileId, (count, arcs_sum)>` per
+/// call, ARCS reciprocal computed by division per block visit.
+fn legacy_iwnp(
+    c: &LegacyCollection,
+    p_x: ProfileId,
+    block_ids: &[BlockId],
+    config: IwnpConfig,
+) -> Vec<WeightedComparison> {
+    let source = c.profile_sources[p_x.index()];
+    let needs_arcs = config.scheme.needs_block_cardinalities();
+    let mut acc: HashMap<ProfileId, (u32, f64)> = HashMap::new();
+    // Keep first-touch order so the prune-average sum runs in the same
+    // float order as the dense path's touched-list drain — the weights per
+    // pair are bitwise identical either way; this pins the average too.
+    let mut order: Vec<ProfileId> = Vec::new();
+    for &bid in block_ids {
+        let Some(block) = c.blocks.get(&bid) else {
+            continue;
+        };
+        let recip = if needs_arcs {
+            1.0 / block.cardinality(c.kind).max(1) as f64
+        } else {
+            0.0
+        };
+        for q in block.partners_of(p_x, source, c.kind) {
+            let entry = acc.entry(q).or_insert_with(|| {
+                order.push(q);
+                (0, 0.0)
+            });
+            entry.0 += 1;
+            entry.1 += recip;
+        }
+    }
+    if acc.is_empty() {
+        return Vec::new();
+    }
+    let total_blocks = c.blocks.len();
+    let blocks_x = c.blocks_of(p_x).len();
+    let mut weighted: Vec<WeightedComparison> = order
+        .iter()
+        .map(|&q| {
+            let (count, arcs_sum) = acc[&q];
+            let w = config.scheme.weigh(
+                count,
+                blocks_x,
+                c.blocks_of(q).len(),
+                total_blocks,
+                arcs_sum,
+            );
+            WeightedComparison::new(Comparison::new(p_x, q), w)
+        })
+        .collect();
+    if config.prune_below_average {
+        let avg: f64 = weighted.iter().map(|wc| wc.weight).sum::<f64>() / weighted.len() as f64;
+        weighted.retain(|wc| wc.weight >= avg);
+    }
+    weighted.sort_unstable_by(|a, b| b.cmp(a));
+    weighted
+}
+
+// ---------------------------------------------------------------------------
+// Throughput lanes: full ingest-to-scheduled-comparison pipeline.
+// ---------------------------------------------------------------------------
+
+fn legacy_pipeline(stream: &Stream, scheme: WeightingScheme) -> (Vec<WeightedComparison>, f64) {
+    let config = IwnpConfig {
+        scheme,
+        prune_below_average: true,
+    };
+    let observer = Observer::disabled();
+    let mut c = LegacyCollection::new(ErKind::CleanClean);
+    let mut scheduled = Vec::new();
+    let t0 = Instant::now();
+    for inc in stream {
+        for p in inc {
+            c.add_profile(p.id, p.source, &p.tokens);
+        }
+        for p in inc {
+            let blocks = c.active_blocks_of(p.id);
+            let ghosted = ghost_blocks(&blocks, BETA, None, p.id, &observer).unwrap();
+            scheduled.extend(legacy_iwnp(&c, p.id, &ghosted, config));
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (scheduled, secs)
+}
+
+fn dense_pipeline(stream: &Stream, scheme: WeightingScheme) -> (Vec<WeightedComparison>, f64) {
+    let config = IwnpConfig {
+        scheme,
+        prune_below_average: true,
+    };
+    let observer = Observer::disabled();
+    let mut c = BlockCollection::with_policy(ErKind::CleanClean, PurgePolicy::disabled());
+    let mut iwnp = Iwnp::new();
+    let mut scheduled = Vec::new();
+    let t0 = Instant::now();
+    for inc in stream {
+        for p in inc {
+            c.add_profile(p.id, p.source, &p.tokens);
+        }
+        for p in inc {
+            let blocks = c.active_blocks_of(p.id);
+            let ghosted = ghost_blocks(&blocks, BETA, None, p.id, &observer).unwrap();
+            scheduled.extend(iwnp.run(&c, p.id, &ghosted, config));
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (scheduled, secs)
+}
+
+// ---------------------------------------------------------------------------
+// The 4-shard legs: token-partitioned collections, global ghost floors.
+// ---------------------------------------------------------------------------
+
+/// Global per-token occurrence counts; the sharded pipeline's ghost floor
+/// is the profile's *global* minimum block size (shard-local lists
+/// overestimate `|b_min|`).
+fn floor_of(counts: &HashMap<TokenId, usize>, tokens: &[TokenId]) -> Option<usize> {
+    tokens.iter().map(|t| counts[t]).min()
+}
+
+fn legacy_sharded(stream: &Stream, scheme: WeightingScheme) -> Vec<WeightedComparison> {
+    let config = IwnpConfig {
+        scheme,
+        prune_below_average: true,
+    };
+    let observer = Observer::disabled();
+    let router = ShardRouter::new(SHARDS);
+    let mut shards: Vec<LegacyCollection> = (0..SHARDS)
+        .map(|_| LegacyCollection::new(ErKind::CleanClean))
+        .collect();
+    let mut counts: HashMap<TokenId, usize> = HashMap::new();
+    let mut scheduled = Vec::new();
+    for inc in stream {
+        // The whole increment enters the store before any floor is read,
+        // mirroring the runtime's router.
+        for p in inc {
+            for &t in &p.tokens {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+            for (shard, tokens) in router.route_ids(&p.tokens) {
+                shards[shard as usize].add_profile(p.id, p.source, &tokens);
+            }
+        }
+        for p in inc {
+            let floor = floor_of(&counts, &p.tokens);
+            for (shard, _) in router.route_ids(&p.tokens) {
+                let c = &shards[shard as usize];
+                let blocks = c.active_blocks_of(p.id);
+                let ghosted = ghost_blocks(&blocks, BETA, floor, p.id, &observer).unwrap();
+                scheduled.extend(legacy_iwnp(c, p.id, &ghosted, config));
+            }
+        }
+    }
+    scheduled
+}
+
+fn dense_sharded(stream: &Stream, scheme: WeightingScheme) -> Vec<WeightedComparison> {
+    let config = IwnpConfig {
+        scheme,
+        prune_below_average: true,
+    };
+    let observer = Observer::disabled();
+    let router = ShardRouter::new(SHARDS);
+    let mut shards: Vec<(BlockCollection, Iwnp)> = (0..SHARDS)
+        .map(|_| {
+            (
+                BlockCollection::with_policy(ErKind::CleanClean, PurgePolicy::disabled()),
+                Iwnp::new(),
+            )
+        })
+        .collect();
+    let mut counts: HashMap<TokenId, usize> = HashMap::new();
+    let mut scheduled = Vec::new();
+    for inc in stream {
+        for p in inc {
+            for &t in &p.tokens {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+            for (shard, tokens) in router.route_ids(&p.tokens) {
+                shards[shard as usize]
+                    .0
+                    .add_profile(p.id, p.source, &tokens);
+            }
+        }
+        for p in inc {
+            let floor = floor_of(&counts, &p.tokens);
+            for (shard, _) in router.route_ids(&p.tokens) {
+                let (c, iwnp) = &mut shards[shard as usize];
+                let blocks = c.active_blocks_of(p.id);
+                let ghosted = ghost_blocks(&blocks, BETA, floor, p.id, &observer).unwrap();
+                scheduled.extend(iwnp.run(c, p.id, &ghosted, config));
+            }
+        }
+    }
+    scheduled
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence checks.
+// ---------------------------------------------------------------------------
+
+fn pair_completeness(scheduled: &[WeightedComparison], truth: &GroundTruth) -> f64 {
+    let distinct: std::collections::HashSet<Comparison> =
+        scheduled.iter().map(|wc| wc.cmp).collect();
+    let hits = distinct.iter().filter(|&&c| truth.is_match(c)).count();
+    hits as f64 / truth.len().max(1) as f64
+}
+
+/// Asserts two scheduled-comparison lists are identical: same length, same
+/// pairs in the same order, bitwise-equal weights.
+fn assert_identical(label: &str, legacy: &[WeightedComparison], dense: &[WeightedComparison]) {
+    assert_eq!(
+        legacy.len(),
+        dense.len(),
+        "{label}: scheduled {} vs {} comparisons",
+        legacy.len(),
+        dense.len()
+    );
+    for (i, (l, d)) in legacy.iter().zip(dense).enumerate() {
+        assert_eq!(l.cmp, d.cmp, "{label}: pair #{i} diverges");
+        assert_eq!(
+            l.weight.to_bits(),
+            d.weight.to_bits(),
+            "{label}: weight of {} diverges ({} vs {})",
+            l.cmp,
+            l.weight,
+            d.weight
+        );
+    }
+}
+
+fn main() {
+    // Throughput corpus: dbpedia-scale, CBS (the paper's default scheme).
+    let (stream, _) = prep(
+        &DbpediaConfig {
+            seed: 47,
+            source0_size: 6_000,
+            source1_size: 5_000,
+            matches: 4_000,
+        },
+        INCREMENTS,
+    );
+    let profiles: usize = stream.iter().map(Vec::len).sum();
+    println!(
+        "stage_a_throughput: {profiles} profiles, {INCREMENTS} increments, best of {REPS} reps"
+    );
+
+    let mut report = FigureReport::new(ID);
+    let mut legacy_rows = Vec::new();
+    let mut dense_rows = Vec::new();
+    let mut best_legacy = f64::INFINITY;
+    let mut best_dense = f64::INFINITY;
+    // Alternate the two paths so slow drift on a shared host hits both.
+    for rep in 0..REPS {
+        let (legacy_out, l) = legacy_pipeline(&stream, WeightingScheme::Cbs);
+        let (dense_out, d) = dense_pipeline(&stream, WeightingScheme::Cbs);
+        assert_identical("throughput corpus (CBS)", &legacy_out, &dense_out);
+        best_legacy = best_legacy.min(l);
+        best_dense = best_dense.min(d);
+        legacy_rows.push((rep as f64, profiles as f64 / l));
+        dense_rows.push((rep as f64, profiles as f64 / d));
+        println!(
+            "rep {rep}: map path {l:.3}s ({:.0}/s) vs dense path {d:.3}s ({:.0}/s), \
+             {} comparisons scheduled by both",
+            profiles as f64 / l,
+            profiles as f64 / d,
+            dense_out.len()
+        );
+    }
+    report.add_series("legacy_path_throughput", "rep", legacy_rows);
+    report.add_series("dense_path_throughput", "rep", dense_rows);
+
+    // Equivalence matrix on a smaller corpus: every scheme, both
+    // topologies, retired vs dense pinned pair-by-pair.
+    let (eq_stream, truth) = prep(
+        &DbpediaConfig {
+            seed: 47,
+            source0_size: 1_500,
+            source1_size: 1_200,
+            matches: 1_000,
+        },
+        10,
+    );
+    println!(
+        "\nequivalence matrix ({} schemes x 2 topologies):",
+        WeightingScheme::all().len()
+    );
+    let mut matrix_rows = Vec::new();
+    for (si, scheme) in WeightingScheme::all().into_iter().enumerate() {
+        let (legacy_u, _) = legacy_pipeline(&eq_stream, scheme);
+        let (dense_u, _) = dense_pipeline(&eq_stream, scheme);
+        assert_identical(&format!("{} unsharded", scheme.name()), &legacy_u, &dense_u);
+        let pc_u = pair_completeness(&dense_u, &truth);
+
+        let legacy_s = legacy_sharded(&eq_stream, scheme);
+        let dense_s = dense_sharded(&eq_stream, scheme);
+        assert_identical(&format!("{} 4-shard", scheme.name()), &legacy_s, &dense_s);
+        let pc_s = pair_completeness(&dense_s, &truth);
+
+        println!(
+            "  {:>4}: unsharded {} cmps (PC {:.3}) == retired; 4-shard {} cmps (PC {:.3}) == retired",
+            scheme.name(),
+            dense_u.len(),
+            pc_u,
+            dense_s.len(),
+            pc_s
+        );
+        matrix_rows.push((si as f64 * 2.0, pc_u));
+        matrix_rows.push((si as f64 * 2.0 + 1.0, pc_s));
+    }
+    report.add_series("equivalence_pc", "cell", matrix_rows);
+
+    report.emit();
+    write_note(
+        ID,
+        "README.txt",
+        "legacy_path_throughput.csv / dense_path_throughput.csv: stage-A\n\
+         ingest-to-scheduled-comparison throughput (profiles/s per rep) of\n\
+         the retired representation (HashMap<BlockId, Block> store, boxed\n\
+         partner iterators, per-call HashMap I-WNP gather — reconstructed\n\
+         in-bench) vs the dense core (Vec<Block> slab indexed by block id,\n\
+         monomorphized partner enum, reusable epoch-stamped\n\
+         NeighborAccumulator). Both consume identical pre-tokenized\n\
+         profiles under CBS with below-average pruning and beta=0.5\n\
+         ghosting, and must schedule identical comparison lists.\n\
+         equivalence_pc.csv: pair completeness per equivalence-matrix cell;\n\
+         cell = 2*scheme_index + topology with schemes ordered\n\
+         CBS, ECBS, JS, EJS, ARCS and topology 0 = unsharded,\n\
+         1 = 4-shard. Each cell's PC is asserted identical between the\n\
+         retired and dense implementations, as are the full scheduled\n\
+         lists (pairs and bitwise weights).\n",
+    );
+
+    let speedup = best_legacy / best_dense;
+    println!(
+        "\nstage-A core speedup (dense vs map path): {speedup:.2}x \
+         (contract: >= {REQUIRED_SPEEDUP}x)"
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "dense stage-A speedup {speedup:.2}x below the {REQUIRED_SPEEDUP}x contract"
+    );
+}

@@ -1,7 +1,6 @@
 //! The incrementally-maintained block collection.
 
-use std::collections::HashMap;
-
+use pier_collections::NeighborAccumulator;
 use pier_observe::{Event, Observer};
 use pier_types::{ErKind, ProfileId, SourceId, TokenId};
 
@@ -38,6 +37,10 @@ impl From<TokenId> for BlockId {
 pub struct Block {
     members: [Vec<ProfileId>; 2],
     purged: bool,
+    /// `1/max(‖b‖, 1)` under the owning collection's ER kind, refreshed by
+    /// [`BlockCollection::add_profile`] on every membership change so the
+    /// ARCS gather never divides in the hot loop.
+    recip: f64,
 }
 
 impl Block {
@@ -76,6 +79,15 @@ impl Block {
         }
     }
 
+    /// The cached `1/max(‖b‖, 1)` under the owning collection's ER kind —
+    /// maintained by [`BlockCollection::add_profile`], so the ARCS gather
+    /// reads a precomputed reciprocal instead of recomputing the
+    /// cardinality and dividing per visit.
+    #[inline]
+    pub fn recip_cardinality(&self) -> f64 {
+        self.recip
+    }
+
     /// Whether this block was removed by block purging. Purged blocks stay
     /// registered (their size keeps growing for statistics) but generate no
     /// comparisons.
@@ -85,20 +97,106 @@ impl Block {
 
     /// Comparison partners of `p` inside this block: all other members
     /// (Dirty) or members of the other source (Clean-Clean).
-    pub fn partners_of<'a>(
-        &'a self,
-        p: ProfileId,
-        source: SourceId,
-        kind: ErKind,
-    ) -> Box<dyn Iterator<Item = ProfileId> + 'a> {
+    ///
+    /// Returns a concrete enum iterator, so the per-block call in the
+    /// stage-A gather is monomorphized and allocation-free (the previous
+    /// `Box<dyn Iterator>` paid one heap allocation plus virtual dispatch
+    /// per partner per block).
+    #[inline]
+    pub fn partners_of(&self, p: ProfileId, source: SourceId, kind: ErKind) -> Partners<'_> {
         match kind {
-            ErKind::Dirty => Box::new(self.members().filter(move |&q| q != p)),
+            ErKind::Dirty => Partners::Dirty {
+                head: self.members[0].iter(),
+                tail: self.members[1].iter(),
+                exclude: p,
+            },
             ErKind::CleanClean => {
                 let other = SourceId(1 - source.0);
-                Box::new(self.members_of(other).iter().copied())
+                Partners::CleanClean(self.members_of(other).iter())
             }
         }
     }
+
+    /// Number of comparison partners `p` has inside this block, without
+    /// iterating them.
+    ///
+    /// For Dirty ER this assumes `p` *is* a member of the block (every call
+    /// site reaches blocks through `B(p)`, where that holds by
+    /// construction); profiles appear at most once per block, so the count
+    /// is `|b| − 1`.
+    #[inline]
+    pub fn partner_count(&self, p: ProfileId, source: SourceId, kind: ErKind) -> usize {
+        match kind {
+            ErKind::Dirty => {
+                debug_assert!(self.members().any(|q| q == p), "p must be a member");
+                self.len() - 1
+            }
+            ErKind::CleanClean => self.members_of(SourceId(1 - source.0)).len(),
+        }
+    }
+}
+
+/// Concrete iterator over a profile's comparison partners within one block
+/// (see [`Block::partners_of`]).
+#[derive(Debug, Clone)]
+pub enum Partners<'a> {
+    /// Dirty ER: both member lists, skipping the profile itself.
+    Dirty {
+        /// Remaining source-0 members.
+        head: std::slice::Iter<'a, ProfileId>,
+        /// Remaining source-1 members.
+        tail: std::slice::Iter<'a, ProfileId>,
+        /// The profile whose partners are being listed (skipped).
+        exclude: ProfileId,
+    },
+    /// Clean-Clean ER: the members of the other source.
+    CleanClean(std::slice::Iter<'a, ProfileId>),
+}
+
+impl Iterator for Partners<'_> {
+    type Item = ProfileId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ProfileId> {
+        match self {
+            Partners::Dirty {
+                head,
+                tail,
+                exclude,
+            } => loop {
+                let q = match head.next() {
+                    Some(&q) => q,
+                    None => *tail.next()?,
+                };
+                if q != *exclude {
+                    return Some(q);
+                }
+            },
+            Partners::CleanClean(iter) => iter.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Partners::Dirty { head, tail, .. } => {
+                let n = head.len() + tail.len();
+                (n.saturating_sub(1), Some(n))
+            }
+            Partners::CleanClean(iter) => (iter.len(), Some(iter.len())),
+        }
+    }
+}
+
+/// Occupancy of the dense block slab (see
+/// [`BlockCollection::slab_stats`]), surfaced by
+/// `observed_stream --stage-a-stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabStats {
+    /// Blocks created (including purged ones).
+    pub blocks: usize,
+    /// Slab slots allocated (largest block id seen + 1). The gap to
+    /// `blocks` is the sparsity a shard's token subspace leaves behind.
+    pub slots: usize,
 }
 
 /// The block collection `B_D`, maintained incrementally as increments arrive.
@@ -106,10 +204,22 @@ impl Block {
 /// Profiles may arrive in any order (streams interleave sources), so
 /// per-profile state is stored sparsely by id: ids only need to be unique
 /// and reasonably dense overall (they index vectors).
+///
+/// Blocks live in a dense `Vec<Block>` slab indexed by [`BlockId`] (block
+/// ids *are* interned token ids, which are dense per stream), so the hot
+/// per-ingest lookups are direct indexing instead of hashing. A slot whose
+/// block has no members yet reads as absent: a block always receives its
+/// first member in the same `add_profile` call that creates it, so
+/// "non-empty" and "created" coincide.
 #[derive(Debug)]
 pub struct BlockCollection {
     kind: ErKind,
-    blocks: HashMap<BlockId, Block>,
+    /// Dense slab: `slab[id]` is the block with that id, or an untouched
+    /// default (empty = absent).
+    slab: Vec<Block>,
+    /// Ids of created blocks in creation order — the iteration set, kept
+    /// separate so sparse id subspaces (sharding) don't slow scans.
+    created: Vec<BlockId>,
     /// Blocks of each profile, indexed by `ProfileId`; `None` = not seen.
     profile_blocks: Vec<Option<Vec<BlockId>>>,
     /// Source of each profile, indexed by `ProfileId`.
@@ -131,7 +241,8 @@ impl BlockCollection {
     pub fn with_policy(kind: ErKind, purge_policy: PurgePolicy) -> Self {
         BlockCollection {
             kind,
-            blocks: HashMap::new(),
+            slab: Vec::new(),
+            created: Vec::new(),
             profile_blocks: Vec::new(),
             profile_sources: Vec::new(),
             profile_count: 0,
@@ -169,20 +280,26 @@ impl BlockCollection {
             self.profile_blocks[id.index()].is_none(),
             "profile {id} inserted twice"
         );
+        let kind = self.kind;
         let mut blocks = Vec::with_capacity(tokens.len());
         for &t in tokens {
             let bid = BlockId::from(t);
-            let observer = &self.observer;
-            let block = self.blocks.entry(bid).or_insert_with(|| {
-                observer.emit(|| Event::BlockBuilt { block: bid.0 });
-                Block::default()
-            });
+            if self.slab.len() <= bid.index() {
+                self.slab.resize_with(bid.index() + 1, Block::default);
+            }
+            let block = &mut self.slab[bid.index()];
+            if block.is_empty() {
+                self.created.push(bid);
+                self.observer.emit(|| Event::BlockBuilt { block: bid.0 });
+            }
             block.members[source.0 as usize].push(id);
-            if !block.purged && self.purge_policy.should_purge(block, self.kind) {
+            block.recip = 1.0 / block.cardinality(kind).max(1) as f64;
+            if !block.purged && self.purge_policy.should_purge(block, kind) {
                 block.purged = true;
                 self.purged_count += 1;
                 let size = block.len();
-                observer.emit(|| Event::BlockPurged { block: bid.0, size });
+                self.observer
+                    .emit(|| Event::BlockPurged { block: bid.0, size });
             }
             blocks.push(bid);
         }
@@ -205,7 +322,7 @@ impl BlockCollection {
         self.blocks_of(p)
             .iter()
             .filter_map(|&bid| {
-                let b = &self.blocks[&bid];
+                let b = &self.slab[bid.index()];
                 (!b.is_purged()).then(|| (bid, b.len()))
             })
             .collect()
@@ -216,14 +333,23 @@ impl BlockCollection {
         self.profile_sources[p.index()]
     }
 
+    /// Iterates over all registered profile ids, ascending.
+    pub fn profile_ids(&self) -> impl Iterator<Item = ProfileId> + '_ {
+        self.profile_blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| ProfileId(i as u32)))
+    }
+
     /// Looks up a block.
+    #[inline]
     pub fn block(&self, id: BlockId) -> Option<&Block> {
-        self.blocks.get(&id)
+        self.slab.get(id.index()).filter(|b| !b.is_empty())
     }
 
     /// Number of blocks (including purged).
     pub fn block_count(&self) -> usize {
-        self.blocks.len()
+        self.created.len()
     }
 
     /// Number of purged blocks.
@@ -236,13 +362,21 @@ impl BlockCollection {
         self.profile_count
     }
 
-    /// Iterates over `(id, block)` for all non-purged blocks, in unspecified
+    /// Iterates over `(id, block)` for all non-purged blocks, in creation
     /// order.
     pub fn active_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks
+        self.created
             .iter()
+            .map(|&id| (id, &self.slab[id.index()]))
             .filter(|(_, b)| !b.is_purged())
-            .map(|(&id, b)| (id, b))
+    }
+
+    /// Slab occupancy: created blocks vs allocated slots.
+    pub fn slab_stats(&self) -> SlabStats {
+        SlabStats {
+            blocks: self.created.len(),
+            slots: self.slab.len(),
+        }
     }
 
     /// Total comparisons over all active blocks (with redundancy).
@@ -257,26 +391,38 @@ impl BlockCollection {
     /// restricted to `block_ids`** (the incremental CBS approximation used
     /// by I-PCS/I-PES). Partners are restricted to the other source for
     /// Clean-Clean ER and deduplicated.
-    pub fn partners_with_counts(
+    ///
+    /// The result is ordered by the same contract I-WNP sorts its retained
+    /// comparisons under: **descending count first, ascending partner id on
+    /// ties** (for a fixed `p`, ascending partner id is exactly ascending
+    /// canonical-pair order, so a caller ranking partners here and a caller
+    /// ranking [`pier_types::WeightedComparison`]s agree on every prefix).
+    ///
+    /// `scratch` is the caller-owned accumulator; its previous contents are
+    /// discarded. Reusing one across calls makes the gather allocation-free
+    /// once warm.
+    pub fn cbs_counts(
         &self,
         p: ProfileId,
         block_ids: &[BlockId],
+        scratch: &mut NeighborAccumulator,
     ) -> Vec<(ProfileId, u32)> {
         let source = self.source_of(p);
-        let mut counts: HashMap<ProfileId, u32> = HashMap::new();
+        scratch.begin();
         for &bid in block_ids {
-            let Some(block) = self.blocks.get(&bid) else {
+            let Some(block) = self.block(bid) else {
                 continue;
             };
             if block.is_purged() {
                 continue;
             }
             for q in block.partners_of(p, source, self.kind) {
-                *counts.entry(q).or_insert(0) += 1;
+                scratch.bump(q);
             }
         }
-        let mut out: Vec<(ProfileId, u32)> = counts.into_iter().collect();
-        out.sort_unstable(); // deterministic order
+        let mut out: Vec<(ProfileId, u32)> = Vec::with_capacity(scratch.len());
+        scratch.for_each(|q, count, _| out.push((q, count)));
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 
@@ -297,7 +443,7 @@ impl BlockCollection {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    if self.blocks.get(&bx[i]).is_some_and(|b| !b.is_purged()) {
+                    if !self.slab[bx[i].index()].is_purged() {
                         count += 1;
                     }
                     i += 1;
@@ -322,6 +468,11 @@ mod tests {
         c.add_profile(ProfileId(id), SourceId(src), &toks);
     }
 
+    fn counts(c: &BlockCollection, p: u32, block_ids: &[BlockId]) -> Vec<(ProfileId, u32)> {
+        let mut scratch = NeighborAccumulator::new();
+        c.cbs_counts(ProfileId(p), block_ids, &mut scratch)
+    }
+
     #[test]
     fn blocks_group_by_token() {
         let mut c = BlockCollection::new(ErKind::Dirty);
@@ -335,12 +486,41 @@ mod tests {
     }
 
     #[test]
+    fn absent_slab_slots_read_as_missing_blocks() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[5]);
+        // Slot 3 was allocated by the resize to id 5 but never created.
+        assert!(c.block(BlockId(3)).is_none());
+        // Beyond the slab entirely.
+        assert!(c.block(BlockId(99)).is_none());
+        assert_eq!(c.block_count(), 1);
+        assert_eq!(
+            c.slab_stats(),
+            SlabStats {
+                blocks: 1,
+                slots: 6
+            }
+        );
+    }
+
+    #[test]
+    fn active_blocks_iterate_in_creation_order() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[7, 2]);
+        add(&mut c, 1, 0, &[4]);
+        let order: Vec<BlockId> = c.active_blocks().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![BlockId(7), BlockId(2), BlockId(4)]);
+    }
+
+    #[test]
     fn out_of_order_ids_are_accepted() {
         let mut c = BlockCollection::new(ErKind::Dirty);
         add(&mut c, 5, 0, &[1]);
         add(&mut c, 1, 0, &[1]);
         assert_eq!(c.profile_count(), 2);
         assert_eq!(c.blocks_of(ProfileId(5)), &[BlockId(1)]);
+        let ids: Vec<ProfileId> = c.profile_ids().collect();
+        assert_eq!(ids, vec![ProfileId(1), ProfileId(5)]);
     }
 
     #[test]
@@ -364,15 +544,52 @@ mod tests {
     }
 
     #[test]
+    fn cached_reciprocal_tracks_cardinality() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1]);
+        // Singleton block: cardinality 0, clamped to 1.
+        assert_eq!(c.block(BlockId(1)).unwrap().recip_cardinality(), 1.0);
+        add(&mut c, 1, 0, &[1]);
+        assert_eq!(c.block(BlockId(1)).unwrap().recip_cardinality(), 1.0);
+        add(&mut c, 2, 0, &[1]); // 3 members -> ||b|| = 3
+        let b = c.block(BlockId(1)).unwrap();
+        assert_eq!(b.recip_cardinality(), 1.0 / 3.0);
+        assert_eq!(
+            b.recip_cardinality(),
+            1.0 / b.cardinality(ErKind::Dirty) as f64
+        );
+    }
+
+    #[test]
     fn partners_respect_clean_clean_sources() {
         let mut c = BlockCollection::new(ErKind::CleanClean);
         add(&mut c, 0, 0, &[7]);
         add(&mut c, 1, 0, &[7]);
         add(&mut c, 2, 1, &[7]);
-        let partners = c.partners_with_counts(ProfileId(0), &[BlockId(7)]);
+        let partners = counts(&c, 0, &[BlockId(7)]);
         assert_eq!(partners, vec![(ProfileId(2), 1)]);
-        let partners = c.partners_with_counts(ProfileId(2), &[BlockId(7)]);
+        let partners = counts(&c, 2, &[BlockId(7)]);
         assert_eq!(partners, vec![(ProfileId(0), 1), (ProfileId(1), 1)]);
+    }
+
+    #[test]
+    fn partner_count_matches_iteration() {
+        let mut c = BlockCollection::new(ErKind::CleanClean);
+        add(&mut c, 0, 0, &[7]);
+        add(&mut c, 1, 0, &[7]);
+        add(&mut c, 2, 1, &[7]);
+        let b = c.block(BlockId(7)).unwrap();
+        for p in [0u32, 1, 2] {
+            let p = ProfileId(p);
+            let src = c.source_of(p);
+            for kind in [ErKind::Dirty, ErKind::CleanClean] {
+                assert_eq!(
+                    b.partner_count(p, src, kind),
+                    b.partners_of(p, src, kind).count(),
+                    "{p} {kind:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -381,8 +598,74 @@ mod tests {
         add(&mut c, 0, 0, &[1, 2, 3]);
         add(&mut c, 1, 0, &[1, 2]);
         add(&mut c, 2, 0, &[3]);
-        let partners = c.partners_with_counts(ProfileId(0), c.blocks_of(ProfileId(0)));
+        let partners = counts(&c, 0, c.blocks_of(ProfileId(0)));
         assert_eq!(partners, vec![(ProfileId(1), 2), (ProfileId(2), 1)]);
+    }
+
+    #[test]
+    fn cbs_counts_order_is_count_desc_then_id_asc() {
+        // p0 shares 2 blocks with p3, 1 with p1, 1 with p2, 2 with p4:
+        // the (weight, id) contract must yield [p3|p4 by id? no: both 2 ->
+        // id ascending], then the weight-1 partners id-ascending.
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1, 2, 3, 4]);
+        add(&mut c, 4, 0, &[1, 2]);
+        add(&mut c, 3, 0, &[3, 4]);
+        add(&mut c, 2, 0, &[4]);
+        add(&mut c, 1, 0, &[3]);
+        let partners = counts(&c, 0, c.blocks_of(ProfileId(0)));
+        assert_eq!(
+            partners,
+            vec![
+                (ProfileId(3), 2), // count 2, smaller id first
+                (ProfileId(4), 2),
+                (ProfileId(1), 1), // then count 1, id ascending
+                (ProfileId(2), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn cbs_counts_order_agrees_with_weighted_comparison_order() {
+        // The documented contract: for fixed p, (count desc, id asc) is the
+        // exact order `WeightedComparison` sorting would produce.
+        use pier_types::{Comparison, WeightedComparison};
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 5, 0, &[1, 2, 3]);
+        add(&mut c, 0, 0, &[1, 2]);
+        add(&mut c, 9, 0, &[1, 2]);
+        add(&mut c, 3, 0, &[3]);
+        let partners = counts(&c, 5, c.blocks_of(ProfileId(5)));
+        let mut weighted: Vec<WeightedComparison> = partners
+            .iter()
+            .map(|&(q, n)| WeightedComparison::new(Comparison::new(ProfileId(5), q), n as f64))
+            .collect();
+        weighted.sort_unstable_by(|a, b| b.cmp(a));
+        let from_weighted: Vec<ProfileId> = weighted
+            .iter()
+            .map(|wc| {
+                if wc.cmp.a == ProfileId(5) {
+                    wc.cmp.b
+                } else {
+                    wc.cmp.a
+                }
+            })
+            .collect();
+        let from_counts: Vec<ProfileId> = partners.iter().map(|&(q, _)| q).collect();
+        assert_eq!(from_counts, from_weighted);
+    }
+
+    #[test]
+    fn cbs_counts_scratch_is_reusable() {
+        let mut c = BlockCollection::new(ErKind::Dirty);
+        add(&mut c, 0, 0, &[1, 2]);
+        add(&mut c, 1, 0, &[1, 2]);
+        add(&mut c, 2, 0, &[2]);
+        let mut scratch = NeighborAccumulator::new();
+        let first = c.cbs_counts(ProfileId(0), c.blocks_of(ProfileId(0)), &mut scratch);
+        let second = c.cbs_counts(ProfileId(0), c.blocks_of(ProfileId(0)), &mut scratch);
+        assert_eq!(first, second, "stale epoch state leaked between calls");
+        assert_eq!(first, vec![(ProfileId(1), 2), (ProfileId(2), 1)]);
     }
 
     #[test]
@@ -403,9 +686,7 @@ mod tests {
         add(&mut c, 2, 0, &[1]); // block 1 now has 3 members > 2 -> purged
         assert_eq!(c.purged_count(), 1);
         assert!(c.block(BlockId(1)).unwrap().is_purged());
-        assert!(c
-            .partners_with_counts(ProfileId(0), &[BlockId(1)])
-            .is_empty());
+        assert!(counts(&c, 0, &[BlockId(1)]).is_empty());
         assert!(c.active_blocks_of(ProfileId(0)).is_empty());
         assert_eq!(c.common_blocks(ProfileId(0), ProfileId(1)), 0);
         assert_eq!(c.total_cardinality(), 0);
@@ -435,7 +716,13 @@ mod tests {
     fn dirty_partners_exclude_self() {
         let mut c = BlockCollection::new(ErKind::Dirty);
         add(&mut c, 0, 0, &[5]);
-        let partners = c.partners_with_counts(ProfileId(0), &[BlockId(5)]);
+        let partners = counts(&c, 0, &[BlockId(5)]);
         assert!(partners.is_empty());
+        let b = c.block(BlockId(5)).unwrap();
+        assert_eq!(
+            b.partners_of(ProfileId(0), SourceId(0), ErKind::Dirty)
+                .count(),
+            0
+        );
     }
 }

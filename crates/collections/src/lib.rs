@@ -9,13 +9,22 @@
 //!   unexecuted comparisons.
 //! * [`bloom`] — a scalable Bloom filter (Almeida et al.), the comparison
 //!   filter `CF` of Algorithm 3, per the paper's reference \[16\].
+//! * [`scratch`] — the epoch-stamped [`NeighborAccumulator`] replacing the
+//!   per-ingest `HashMap`s of the stage-A gather loop (I-WNP, CBS counts,
+//!   graph building).
+//! * [`hash`] — a vendored Fx-style integer hasher ([`FxHashMap`],
+//!   [`FxHashSet`]) for the internal maps that must remain maps.
 
 #![warn(missing_docs)]
 
 pub mod bloom;
 pub mod bounded_heap;
+pub mod hash;
 pub mod lazy_heap;
+pub mod scratch;
 
 pub use bloom::ScalableBloomFilter;
 pub use bounded_heap::BoundedMaxHeap;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use lazy_heap::LazyMinHeap;
+pub use scratch::{NeighborAccumulator, ScratchStats};

@@ -1,0 +1,247 @@
+//! Epoch-stamped scratch accumulators for the stage-A hot loop.
+//!
+//! The per-arrival work of every PIER strategy funnels through one gather:
+//! walk the new profile's retained blocks and accumulate, per candidate
+//! partner, a common-block count (CBS) and optionally a reciprocal-
+//! cardinality sum (ARCS). Doing that with a freshly allocated
+//! `HashMap<ProfileId, _>` per ingest pays an allocation, SipHash on every
+//! partner occurrence, and cache-hostile probing. The
+//! [`NeighborAccumulator`] here replaces the map with dense slots indexed
+//! directly by [`ProfileId`]:
+//!
+//! * slots are *epoch-stamped* — [`NeighborAccumulator::begin`] bumps a
+//!   generation counter instead of clearing, so reset is O(1) and a slot's
+//!   contents are valid only when its stamp matches the current epoch;
+//! * a *touched list* records first-touch order, making the drain
+//!   O(candidates) — not O(capacity) — and deterministic across runs
+//!   (unlike `HashMap` iteration order under a random SipHash key);
+//! * slot vectors grow to the largest profile id seen and are then reused
+//!   for the life of the owning emitter, so the steady state allocates
+//!   nothing per ingest.
+
+use pier_types::ProfileId;
+
+/// Occupancy statistics of a [`NeighborAccumulator`], surfaced by
+/// `observed_stream --stage-a-stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScratchStats {
+    /// Current slot capacity (largest profile id touched + 1).
+    pub slots: usize,
+    /// Largest number of candidates accumulated in any single epoch — the
+    /// high-water mark of per-profile neighborhood size.
+    pub high_water: usize,
+}
+
+/// A sparse-to-dense accumulator over [`ProfileId`]-keyed `u32` counts and
+/// `f64` sums, reset in O(1) by epoch stamping.
+///
+/// Usage per gather: [`begin`](Self::begin), then
+/// [`bump`](Self::bump)/[`add`](Self::add) per partner occurrence, then
+/// [`for_each`](Self::for_each) (or [`touched`](Self::touched) plus the
+/// accessors) to drain in first-touch order. Contents become stale at the
+/// next `begin`.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborAccumulator {
+    /// Current generation; 0 = never begun (all slots stale by definition,
+    /// since fresh stamps are 0 and epochs handed out start at 1).
+    epoch: u32,
+    stamps: Vec<u32>,
+    counts: Vec<u32>,
+    sums: Vec<f64>,
+    touched: Vec<ProfileId>,
+    high_water: usize,
+}
+
+impl NeighborAccumulator {
+    /// Creates an empty accumulator; slots grow on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new accumulation epoch. O(1): previous contents are
+    /// invalidated by the stamp bump, not cleared. On the (astronomically
+    /// rare) u32 wrap-around the stamp vector is zeroed once so stale
+    /// stamps from the previous cycle cannot alias the new epoch.
+    pub fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Ensures `p` has a live slot for the current epoch and returns its
+    /// index.
+    #[inline]
+    fn slot(&mut self, p: ProfileId) -> usize {
+        let i = p.index();
+        if self.stamps.len() <= i {
+            self.stamps.resize(i + 1, 0);
+            self.counts.resize(i + 1, 0);
+            self.sums.resize(i + 1, 0.0);
+        }
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.counts[i] = 0;
+            self.sums[i] = 0.0;
+            self.touched.push(p);
+            self.high_water = self.high_water.max(self.touched.len());
+        }
+        i
+    }
+
+    /// Increments `p`'s count (a CBS co-occurrence).
+    #[inline]
+    pub fn bump(&mut self, p: ProfileId) {
+        let i = self.slot(p);
+        self.counts[i] += 1;
+    }
+
+    /// Increments `p`'s count and adds `delta` to its sum (a CBS
+    /// co-occurrence plus an ARCS reciprocal-cardinality contribution).
+    #[inline]
+    pub fn add(&mut self, p: ProfileId, delta: f64) {
+        let i = self.slot(p);
+        self.counts[i] += 1;
+        self.sums[i] += delta;
+    }
+
+    /// `p`'s accumulated count this epoch (0 if untouched).
+    #[inline]
+    pub fn count(&self, p: ProfileId) -> u32 {
+        match self.stamps.get(p.index()) {
+            Some(&s) if s == self.epoch && self.epoch != 0 => self.counts[p.index()],
+            _ => 0,
+        }
+    }
+
+    /// `p`'s accumulated sum this epoch (0.0 if untouched).
+    #[inline]
+    pub fn sum(&self, p: ProfileId) -> f64 {
+        match self.stamps.get(p.index()) {
+            Some(&s) if s == self.epoch && self.epoch != 0 => self.sums[p.index()],
+            _ => 0.0,
+        }
+    }
+
+    /// The profiles touched this epoch, in first-touch order.
+    pub fn touched(&self) -> &[ProfileId] {
+        &self.touched
+    }
+
+    /// Number of distinct profiles touched this epoch.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether no profile was touched this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Visits `(profile, count, sum)` for every touched profile in
+    /// first-touch order — the deterministic drain.
+    pub fn for_each(&self, mut f: impl FnMut(ProfileId, u32, f64)) {
+        for &p in &self.touched {
+            f(p, self.counts[p.index()], self.sums[p.index()]);
+        }
+    }
+
+    /// Current occupancy statistics.
+    pub fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            slots: self.stamps.len(),
+            high_water: self.high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn accumulates_counts_and_sums() {
+        let mut acc = NeighborAccumulator::new();
+        acc.begin();
+        acc.bump(p(3));
+        acc.add(p(3), 0.5);
+        acc.add(p(7), 0.25);
+        assert_eq!(acc.count(p(3)), 2);
+        assert_eq!(acc.sum(p(3)), 0.5);
+        assert_eq!(acc.count(p(7)), 1);
+        assert_eq!(acc.sum(p(7)), 0.25);
+        assert_eq!(acc.count(p(0)), 0);
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn drain_follows_first_touch_order() {
+        let mut acc = NeighborAccumulator::new();
+        acc.begin();
+        for &i in &[9u32, 2, 9, 5, 2] {
+            acc.bump(p(i));
+        }
+        assert_eq!(acc.touched(), &[p(9), p(2), p(5)]);
+        let mut seen = Vec::new();
+        acc.for_each(|q, c, _| seen.push((q, c)));
+        assert_eq!(seen, vec![(p(9), 2), (p(2), 2), (p(5), 1)]);
+    }
+
+    #[test]
+    fn begin_invalidates_without_clearing_slots() {
+        let mut acc = NeighborAccumulator::new();
+        acc.begin();
+        acc.add(p(4), 1.0);
+        acc.begin();
+        assert!(acc.is_empty());
+        assert_eq!(acc.count(p(4)), 0);
+        assert_eq!(acc.sum(p(4)), 0.0);
+        // Reuse in the new epoch starts from zero.
+        acc.bump(p(4));
+        assert_eq!(acc.count(p(4)), 1);
+    }
+
+    #[test]
+    fn unbegun_accumulator_reads_as_empty() {
+        let acc = NeighborAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.count(p(0)), 0);
+        assert_eq!(acc.sum(p(0)), 0.0);
+    }
+
+    #[test]
+    fn epoch_wraparound_does_not_resurrect_stale_slots() {
+        let mut acc = NeighborAccumulator::new();
+        acc.begin();
+        acc.bump(p(1)); // stamped with epoch 1
+        acc.epoch = u32::MAX; // fast-forward to the wrap boundary
+        acc.begin(); // wraps: stamps zeroed, epoch = 1 again
+        assert_eq!(
+            acc.count(p(1)),
+            0,
+            "slot stamped in the previous epoch-1 must not leak through the wrap"
+        );
+        acc.bump(p(1));
+        assert_eq!(acc.count(p(1)), 1);
+    }
+
+    #[test]
+    fn stats_track_slots_and_high_water() {
+        let mut acc = NeighborAccumulator::new();
+        acc.begin();
+        acc.bump(p(10));
+        acc.bump(p(2));
+        acc.bump(p(5));
+        acc.begin();
+        acc.bump(p(0));
+        let s = acc.stats();
+        assert_eq!(s.slots, 11);
+        assert_eq!(s.high_water, 3, "high water survives later smaller epochs");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the epoch-stamped `NeighborAccumulator` backing the
+//! stage-A gather, checked against a naive `HashMap` fold under randomized
+//! (profile, contribution) multisets — including slot reuse across
+//! several epochs, which is where stale-stamp bugs would hide.
+
+use std::collections::HashMap;
+
+use pier_collections::NeighborAccumulator;
+use pier_types::ProfileId;
+use proptest::prelude::*;
+
+/// One accumulation epoch: a multiset of per-profile contributions, as the
+/// I-WNP gather produces while walking a profile's retained blocks.
+/// `delta` is quantized so float sums stay exactly comparable.
+fn epoch_ops() -> impl Strategy<Value = Vec<(u32, u8)>> {
+    prop::collection::vec((0u32..40, 0u8..8), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn drain_matches_a_hashmap_fold_across_epochs(
+        epochs in prop::collection::vec(epoch_ops(), 3..8),
+    ) {
+        let mut acc = NeighborAccumulator::new();
+        for ops in &epochs {
+            acc.begin();
+            let mut model: HashMap<u32, (u32, f64)> = HashMap::new();
+            let mut first_touch: Vec<u32> = Vec::new();
+            for &(p, d) in ops {
+                let delta = f64::from(d) * 0.25;
+                // Alternate the two entry points on the same slots.
+                if d % 2 == 0 {
+                    acc.bump(ProfileId(p));
+                    acc.add(ProfileId(p), delta);
+                } else {
+                    acc.add(ProfileId(p), delta);
+                    acc.bump(ProfileId(p));
+                }
+                let entry = model.entry(p).or_insert_with(|| {
+                    first_touch.push(p);
+                    (0, 0.0)
+                });
+                entry.0 += 2;
+                entry.1 += delta;
+            }
+
+            prop_assert_eq!(acc.len(), model.len());
+            prop_assert_eq!(acc.is_empty(), model.is_empty());
+
+            // The drain visits exactly the touched slots, in first-touch
+            // order, with per-slot totals identical to the fold (the sums
+            // are bitwise equal: same additions in the same order).
+            let mut drained: Vec<(u32, u32, f64)> = Vec::new();
+            acc.for_each(|q, count, sum| drained.push((q.0, count, sum)));
+            let expected: Vec<(u32, u32, f64)> = first_touch
+                .iter()
+                .map(|&p| (p, model[&p].0, model[&p].1))
+                .collect();
+            prop_assert_eq!(&drained, &expected);
+
+            // Point accessors agree, and untouched slots — including slots
+            // live in a *previous* epoch — read as zero.
+            for p in 0u32..40 {
+                let (count, sum) = model.get(&p).copied().unwrap_or((0, 0.0));
+                prop_assert_eq!(acc.count(ProfileId(p)), count);
+                prop_assert_eq!(acc.sum(ProfileId(p)), sum);
+            }
+        }
+
+        // Slots grew to the largest id touched; the high-water mark is the
+        // largest per-epoch candidate set seen over the whole run.
+        let stats = acc.stats();
+        let max_id = epochs.iter().flatten().map(|&(p, _)| p).max();
+        prop_assert_eq!(stats.slots, max_id.map_or(0, |m| m as usize + 1));
+        let biggest_epoch = epochs
+            .iter()
+            .map(|ops| {
+                let distinct: std::collections::HashSet<u32> =
+                    ops.iter().map(|&(p, _)| p).collect();
+                distinct.len()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(stats.high_water, biggest_epoch);
+    }
+}

@@ -9,7 +9,8 @@
 //! `K`; the emitters own *which comparisons come next*.
 
 use pier_blocking::{ghost_blocks, BlockCollection, BlockId, IncrementalBlocker};
-use pier_metablocking::{iwnp, IwnpConfig, WeightingScheme};
+use pier_collections::{FxHashMap, FxHashSet, ScratchStats};
+use pier_metablocking::{Iwnp, IwnpConfig, WeightingScheme};
 use pier_observe::Observer;
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
@@ -87,52 +88,74 @@ pub trait ComparisonEmitter {
     /// comparison emission, redundancy filtering and ghosting through it;
     /// the default implementation (baselines) ignores it.
     fn set_observer(&mut self, _observer: Observer) {}
+
+    /// Occupancy of the emitter's reusable I-WNP scratch accumulator, if it
+    /// owns one (`--stage-a-stats`). Emitters that never run I-WNP (e.g.
+    /// I-PBS) return `None`, the default.
+    fn scratch_stats(&self) -> Option<ScratchStats> {
+        None
+    }
+}
+
+/// Drains `emitter` to exhaustion in batches of `k` and returns everything
+/// it emitted, in emission order, while checking the no-duplicate contract
+/// every emitter shares (the Bloom/`seen` guard).
+///
+/// # Panics
+/// Panics if the emitter emits any comparison twice — this is the shared
+/// assertion behind the I-PCS/I-PBS/I-PES redundancy tests.
+pub fn drain_all_unique(
+    emitter: &mut dyn ComparisonEmitter,
+    blocker: &IncrementalBlocker,
+    k: usize,
+) -> Vec<Comparison> {
+    let mut seen: FxHashSet<Comparison> = FxHashSet::default();
+    let mut all = Vec::new();
+    loop {
+        let batch = emitter.next_batch(blocker, k);
+        if batch.is_empty() {
+            return all;
+        }
+        for c in batch {
+            assert!(seen.insert(c), "duplicate emission of {c}");
+            all.push(c);
+        }
+    }
 }
 
 /// Runs the per-profile generation pipeline of Algorithm 2, lines 2–8:
 /// active blocks of `p_x` → block ghosting(β) → I-WNP. Returns the retained
 /// weighted comparisons and the ops spent (proportional to the partner
 /// occurrences scanned).
+///
+/// `iwnp` is the caller's reusable executor — one per driver lane (emitter
+/// or shard worker), so repeated arrivals hit the warm scratch accumulator
+/// instead of allocating per call.
 pub fn generate_for_profile(
     blocker: &IncrementalBlocker,
     p_x: ProfileId,
     config: &PierConfig,
+    iwnp: &mut Iwnp,
+) -> (Vec<WeightedComparison>, u64) {
+    generate_for_profile_observed(blocker, p_x, config, iwnp, &Observer::disabled())
+}
+
+/// [`generate_for_profile`] with instrumentation: ghosting reports its
+/// kept/dropped split through `observer`. Identical result and ops — a
+/// disabled observer compiles down to the pristine reference path used by
+/// the zero-overhead contract bench.
+pub fn generate_for_profile_observed(
+    blocker: &IncrementalBlocker,
+    p_x: ProfileId,
+    config: &PierConfig,
+    iwnp: &mut Iwnp,
+    observer: &Observer,
 ) -> (Vec<WeightedComparison>, u64) {
     let collection = blocker.collection();
     let blocks = collection.active_blocks_of(p_x);
     // Scan cost: one op per member of each surviving block. The ghost
     // floor (set only by the sharded router) keeps per-shard ghosting
     // aligned with the global |b_min|.
-    let ghosted = ghost_blocks(
-        &blocks,
-        config.beta,
-        blocker.ghost_floor(p_x),
-        p_x,
-        &Observer::disabled(),
-    )
-    .expect("beta validated at construction");
-    let ops: u64 = ghosted
-        .iter()
-        .filter_map(|bid| collection.block(*bid))
-        .map(|b| b.len() as u64)
-        .sum::<u64>()
-        + blocks.len() as u64;
-    let list = iwnp(collection, p_x, &ghosted, config.iwnp());
-    (list, ops)
-}
-
-/// [`generate_for_profile`] with instrumentation: ghosting reports its
-/// kept/dropped split through `observer`. Identical result and ops; the
-/// unobserved function stays as the pristine reference path for the
-/// zero-overhead contract bench.
-pub fn generate_for_profile_observed(
-    blocker: &IncrementalBlocker,
-    p_x: ProfileId,
-    config: &PierConfig,
-    observer: &Observer,
-) -> (Vec<WeightedComparison>, u64) {
-    let collection = blocker.collection();
-    let blocks = collection.active_blocks_of(p_x);
     let ghosted = ghost_blocks(
         &blocks,
         config.beta,
@@ -147,7 +170,7 @@ pub fn generate_for_profile_observed(
         .map(|b| b.len() as u64)
         .sum::<u64>()
         + blocks.len() as u64;
-    let list = iwnp(collection, p_x, &ghosted, config.iwnp());
+    let list = iwnp.run(collection, p_x, &ghosted, config.iwnp());
     (list, ops)
 }
 
@@ -164,7 +187,7 @@ pub fn generate_for_profile_observed(
 #[derive(Debug, Default)]
 pub struct BlockCursor {
     /// Per-block member watermarks `(source 0, source 1)` at consumption.
-    watermarks: std::collections::HashMap<BlockId, (usize, usize)>,
+    watermarks: FxHashMap<BlockId, (usize, usize)>,
     /// Cached size-ascending order of pending blocks, valid while the
     /// collection's profile count is unchanged (the fallback phase is
     /// exactly the no-new-input phase, so the cache almost always holds).
@@ -302,7 +325,7 @@ mod tests {
             ("alpha beta gamma zeta", 0),
         ]);
         let cfg = PierConfig::default();
-        let (list, ops) = generate_for_profile(&b, ProfileId(2), &cfg);
+        let (list, ops) = generate_for_profile(&b, ProfileId(2), &cfg, &mut Iwnp::new());
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].cmp, Comparison::new(ProfileId(0), ProfileId(2)));
         assert_eq!(list[0].weight, 3.0);
@@ -312,7 +335,8 @@ mod tests {
     #[test]
     fn generate_for_isolated_profile_is_empty() {
         let b = blocker_with(&[("unique tokens here", 0)]);
-        let (list, _) = generate_for_profile(&b, ProfileId(0), &PierConfig::default());
+        let (list, _) =
+            generate_for_profile(&b, ProfileId(0), &PierConfig::default(), &mut Iwnp::new());
         assert!(list.is_empty());
     }
 

@@ -15,10 +15,9 @@
 //! block first, then higher CBS weight.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
 
 use pier_blocking::{BlockId, IncrementalBlocker};
-use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
+use pier_collections::{BoundedMaxHeap, FxHashMap, LazyMinHeap, ScalableBloomFilter};
 use pier_observe::{Event, Observer};
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
@@ -64,7 +63,7 @@ pub struct Ipbs {
     /// `CI`: pending-comparison counts with an O(log n) argmin.
     ci: LazyMinHeap<u64, BlockId>,
     /// `PI`: unexecuted profiles per block.
-    pi: HashMap<BlockId, Vec<ProfileId>>,
+    pi: FxHashMap<BlockId, Vec<ProfileId>>,
     /// `CF`: the scalable Bloom comparison filter.
     cf: ScalableBloomFilter,
     ops: u64,
@@ -77,7 +76,7 @@ impl Ipbs {
         Ipbs {
             index: BoundedMaxHeap::new(config.index_capacity),
             ci: LazyMinHeap::new(),
-            pi: HashMap::new(),
+            pi: FxHashMap::default(),
             cf: ScalableBloomFilter::for_comparisons(),
             ops: 0,
             observer: Observer::disabled(),
@@ -155,7 +154,7 @@ impl ComparisonEmitter for Ipbs {
             let source = collection.source_of(p);
             for (bid, _) in collection.active_blocks_of(p) {
                 let block = collection.block(bid).expect("active block");
-                let new_cmps = block.partners_of(p, source, kind).count() as u64;
+                let new_cmps = block.partner_count(p, source, kind) as u64;
                 self.ops += 1;
                 let current = self.ci.get(&bid).unwrap_or(0);
                 self.ci.set(bid, current + new_cmps);
@@ -230,6 +229,7 @@ impl ComparisonEmitter for Ipbs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::drain_all_unique;
     use pier_types::{EntityProfile, ErKind, SourceId};
 
     fn blocker(texts: &[&str]) -> IncrementalBlocker {
@@ -268,20 +268,10 @@ mod tests {
         let b = blocker(&["aa bb", "aa bb", "aa cc", "bb cc"]);
         let mut e = Ipbs::new(PierConfig::default());
         feed(&mut e, &b, 4);
-        let mut seen = std::collections::HashSet::new();
-        loop {
-            let batch = e.next_batch(&b, 8);
-            if batch.is_empty() {
-                break;
-            }
-            for c in batch {
-                assert!(seen.insert(c), "duplicate {c}");
-            }
-        }
-        // Pairs: (0,1) via a&b, (0,2),(1,2) via a..wait c in p2,p3.
+        let all = drain_all_unique(&mut e, &b, 8);
         // Blocks: a={0,1,2}, b={0,1,3}, c={2,3}.
         // Distinct pairs: (0,1),(0,2),(1,2),(0,3),(1,3),(2,3) = 6.
-        assert_eq!(seen.len(), 6);
+        assert_eq!(all.len(), 6);
         assert!(!e.has_pending());
     }
 

@@ -14,7 +14,8 @@
 //! expensive with the ED matcher.
 
 use pier_blocking::IncrementalBlocker;
-use pier_collections::{BoundedMaxHeap, ScalableBloomFilter};
+use pier_collections::{BoundedMaxHeap, ScalableBloomFilter, ScratchStats};
+use pier_metablocking::Iwnp;
 use pier_observe::{Event, Observer};
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
@@ -28,6 +29,8 @@ pub struct Ipcs {
     /// filter guard that keeps the index free of redundant comparisons.
     enqueued: ScalableBloomFilter,
     cursor: BlockCursor,
+    /// Reusable I-WNP executor (warm scratch across arrivals).
+    iwnp: Iwnp,
     ops: u64,
     observer: Observer,
 }
@@ -39,6 +42,7 @@ impl Ipcs {
             index: BoundedMaxHeap::new(config.index_capacity),
             enqueued: ScalableBloomFilter::for_comparisons(),
             cursor: BlockCursor::new(),
+            iwnp: Iwnp::new(),
             config,
             ops: 0,
             observer: Observer::disabled(),
@@ -77,8 +81,13 @@ impl Ipcs {
 impl ComparisonEmitter for Ipcs {
     fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
         for &p in new_ids {
-            let (list, ops) =
-                generate_for_profile_observed(blocker, p, &self.config, &self.observer);
+            let (list, ops) = generate_for_profile_observed(
+                blocker,
+                p,
+                &self.config,
+                &mut self.iwnp,
+                &self.observer,
+            );
             self.ops += ops;
             for wc in list {
                 self.enqueue(wc);
@@ -146,11 +155,16 @@ impl ComparisonEmitter for Ipcs {
     fn set_observer(&mut self, observer: Observer) {
         self.observer = observer;
     }
+
+    fn scratch_stats(&self) -> Option<ScratchStats> {
+        Some(self.iwnp.stats())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::drain_all_unique;
     use pier_types::{EntityProfile, ErKind, SourceId};
 
     fn blocker(texts: &[&str]) -> IncrementalBlocker {
@@ -182,17 +196,8 @@ mod tests {
         let mut e = Ipcs::new(PierConfig::default());
         e.on_increment(&b, &[ProfileId(0), ProfileId(1), ProfileId(2)]);
         // Drain everything, including block-cursor refills.
-        let mut seen = std::collections::HashSet::new();
-        loop {
-            let batch = e.next_batch(&b, 16);
-            if batch.is_empty() {
-                break;
-            }
-            for c in batch {
-                assert!(seen.insert(c), "duplicate emission of {c}");
-            }
-        }
-        assert_eq!(seen.len(), 3);
+        let all = drain_all_unique(&mut e, &b, 16);
+        assert_eq!(all.len(), 3);
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //! graph, which is what makes the approach incrementally maintainable (§6).
 
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use pier_blocking::IncrementalBlocker;
-use pier_collections::{BoundedMaxHeap, ScalableBloomFilter};
+use pier_collections::{BoundedMaxHeap, FxHashMap, ScalableBloomFilter, ScratchStats};
+use pier_metablocking::Iwnp;
 use pier_observe::{Event, Observer};
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
@@ -75,14 +76,16 @@ impl EntityStats {
 pub struct Ipes {
     config: PierConfig,
     entity_queue: BinaryHeap<EntityEntry>,
-    epq: HashMap<ProfileId, BinaryHeap<WeightedComparison>>,
-    stats: HashMap<ProfileId, EntityStats>,
+    epq: FxHashMap<ProfileId, BinaryHeap<WeightedComparison>>,
+    stats: FxHashMap<ProfileId, EntityStats>,
     pq: BoundedMaxHeap<WeightedComparison>,
     /// Global running sum/count of all distributed comparison weights.
     total: f64,
     count: u64,
     enqueued: ScalableBloomFilter,
     cursor: BlockCursor,
+    /// Reusable I-WNP executor (warm scratch across arrivals).
+    iwnp: Iwnp,
     ops: u64,
     observer: Observer,
 }
@@ -92,13 +95,14 @@ impl Ipes {
     pub fn new(config: PierConfig) -> Self {
         Ipes {
             entity_queue: BinaryHeap::new(),
-            epq: HashMap::new(),
-            stats: HashMap::new(),
+            epq: FxHashMap::default(),
+            stats: FxHashMap::default(),
             pq: BoundedMaxHeap::new(config.index_capacity),
             total: 0.0,
             count: 0,
             enqueued: ScalableBloomFilter::for_comparisons(),
             cursor: BlockCursor::new(),
+            iwnp: Iwnp::new(),
             config,
             ops: 0,
             observer: Observer::disabled(),
@@ -231,8 +235,13 @@ impl ComparisonEmitter for Ipes {
     fn on_increment(&mut self, blocker: &IncrementalBlocker, new_ids: &[ProfileId]) {
         // Algorithm 2 lines 1–9 (shared generation pipeline)...
         for &p in new_ids {
-            let (list, ops) =
-                generate_for_profile_observed(blocker, p, &self.config, &self.observer);
+            let (list, ops) = generate_for_profile_observed(
+                blocker,
+                p,
+                &self.config,
+                &mut self.iwnp,
+                &self.observer,
+            );
             self.ops += ops;
             // ...then Algorithm 4's distribution instead of a flat enqueue.
             for wc in list {
@@ -317,11 +326,16 @@ impl ComparisonEmitter for Ipes {
     fn set_observer(&mut self, observer: Observer) {
         self.observer = observer;
     }
+
+    fn scratch_stats(&self) -> Option<ScratchStats> {
+        Some(self.iwnp.stats())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::drain_all_unique;
     use pier_types::{EntityProfile, ErKind, SourceId};
 
     fn blocker(texts: &[&str]) -> IncrementalBlocker {
@@ -357,17 +371,8 @@ mod tests {
         let b = blocker(&["xx yy", "xx yy", "xx zz", "yy zz"]);
         let mut e = Ipes::new(PierConfig::default());
         feed(&mut e, &b, 4);
-        let mut seen = std::collections::HashSet::new();
-        loop {
-            let batch = e.next_batch(&b, 4);
-            if batch.is_empty() {
-                break;
-            }
-            for c in batch {
-                assert!(seen.insert(c), "duplicate {c}");
-            }
-        }
-        assert!(!seen.is_empty());
+        let all = drain_all_unique(&mut e, &b, 4);
+        assert!(!all.is_empty());
         assert!(!e.has_pending());
     }
 

@@ -38,7 +38,7 @@ pub mod selector;
 
 pub use driver::PierPipeline;
 pub use findk::AdaptiveK;
-pub use framework::{BlockCursor, ComparisonEmitter, PierConfig};
+pub use framework::{drain_all_unique, BlockCursor, ComparisonEmitter, PierConfig};
 pub use ipbs::Ipbs;
 pub use ipcs::Ipcs;
 pub use ipes::Ipes;

@@ -7,9 +7,8 @@
 //! PIER algorithms avoid (§6: "the incremental building, maintaining, and
 //! updating of the meta-blocking graph is very costly").
 
-use std::collections::HashMap;
-
 use pier_blocking::BlockCollection;
+use pier_collections::{FxHashMap, NeighborAccumulator};
 use pier_types::{Comparison, ProfileId};
 
 use crate::schemes::WeightingScheme;
@@ -17,8 +16,8 @@ use crate::schemes::WeightingScheme;
 /// A materialized, weighted blocking graph.
 #[derive(Debug, Clone)]
 pub struct BlockingGraph {
-    edges: HashMap<Comparison, f64>,
-    adjacency: HashMap<ProfileId, Vec<ProfileId>>,
+    edges: FxHashMap<Comparison, f64>,
+    adjacency: FxHashMap<ProfileId, Vec<ProfileId>>,
     /// Number of elementary pair co-occurrences processed while building
     /// (`Σ_b ||b||`) — the cost driver of initialization.
     work: u64,
@@ -29,46 +28,59 @@ impl BlockingGraph {
     /// every distinct pair with `scheme`.
     ///
     /// Complexity is `O(Σ_b ||b||)`; this is the batch pre-analysis cost
-    /// that grows with the whole dataset.
+    /// that grows with the whole dataset. The build runs node-by-node
+    /// through one reusable [`NeighborAccumulator`] — each unordered pair
+    /// is gathered from its smaller endpoint (`q > x` filter), so no
+    /// per-pair `HashMap` is allocated and the per-block co-occurrence
+    /// count (`work`) matches the classic blockwise formulation exactly.
     pub fn build(collection: &BlockCollection, scheme: WeightingScheme) -> Self {
-        // First pass: CBS counts and (if needed) ARCS sums per pair.
-        let mut cbs: HashMap<Comparison, u32> = HashMap::new();
-        let mut arcs: HashMap<Comparison, f64> = HashMap::new();
-        let mut work = 0u64;
         let kind = collection.kind();
-        for (_, block) in collection.active_blocks() {
-            let card = block.cardinality(kind).max(1) as f64;
-            let members: Vec<ProfileId> = block.members().collect();
-            for (i, &x) in members.iter().enumerate() {
-                for &y in &members[i + 1..] {
-                    if kind == pier_types::ErKind::CleanClean
-                        && collection.source_of(x) == collection.source_of(y)
-                    {
-                        continue;
+        let needs_arcs = scheme.needs_block_cardinalities();
+        let total_blocks = collection.block_count();
+        let mut work = 0u64;
+        let mut scratch = NeighborAccumulator::new();
+        let mut edges: FxHashMap<Comparison, f64> = FxHashMap::default();
+        let mut adjacency: FxHashMap<ProfileId, Vec<ProfileId>> = FxHashMap::default();
+        for x in collection.profile_ids() {
+            let source = collection.source_of(x);
+            let blocks_x = collection.blocks_of(x);
+            scratch.begin();
+            for &bid in blocks_x {
+                let block = collection.block(bid).expect("registered block");
+                if block.is_purged() {
+                    continue;
+                }
+                let recip = block.recip_cardinality();
+                for q in block.partners_of(x, source, kind) {
+                    // Visit each unordered pair once, from its smaller
+                    // endpoint. Clean-Clean same-source pairs never appear:
+                    // partners_of already restricts to the other source.
+                    if q > x {
+                        if needs_arcs {
+                            scratch.add(q, recip);
+                        } else {
+                            scratch.bump(q);
+                        }
+                        work += 1;
                     }
-                    let c = Comparison::new(x, y);
-                    *cbs.entry(c).or_insert(0) += 1;
-                    if scheme.needs_block_cardinalities() {
-                        *arcs.entry(c).or_insert(0.0) += 1.0 / card;
-                    }
-                    work += 1;
                 }
             }
-        }
-        let total_blocks = collection.block_count();
-        let mut edges = HashMap::with_capacity(cbs.len());
-        let mut adjacency: HashMap<ProfileId, Vec<ProfileId>> = HashMap::new();
-        for (c, count) in cbs {
-            let w = scheme.weigh(
-                count,
-                collection.blocks_of(c.a).len(),
-                collection.blocks_of(c.b).len(),
-                total_blocks,
-                arcs.get(&c).copied().unwrap_or(0.0),
-            );
-            edges.insert(c, w);
-            adjacency.entry(c.a).or_default().push(c.b);
-            adjacency.entry(c.b).or_default().push(c.a);
+            if scratch.is_empty() {
+                continue;
+            }
+            let degree_x = blocks_x.len();
+            scratch.for_each(|q, count, arcs_sum| {
+                let w = scheme.weigh(
+                    count,
+                    degree_x,
+                    collection.blocks_of(q).len(),
+                    total_blocks,
+                    arcs_sum,
+                );
+                edges.insert(Comparison::new(x, q), w);
+                adjacency.entry(x).or_default().push(q);
+                adjacency.entry(q).or_default().push(x);
+            });
         }
         for neighbors in adjacency.values_mut() {
             neighbors.sort_unstable();

@@ -13,10 +13,14 @@
 //!
 //! Unlike batch WNP it never touches previously processed profiles, so its
 //! cost is proportional to the new profile's neighborhood only.
-
-use std::collections::HashMap;
+//!
+//! The gather runs over a reusable epoch-stamped
+//! [`NeighborAccumulator`] owned by a stateful [`Iwnp`] handle — one per
+//! driver (unsharded) or per `ShardWorker` — so the steady state allocates
+//! nothing per arrival beyond the returned survivor list.
 
 use pier_blocking::{BlockCollection, BlockId};
+use pier_collections::{NeighborAccumulator, ScratchStats};
 use pier_types::{Comparison, ProfileId, WeightedComparison};
 
 use crate::schemes::WeightingScheme;
@@ -40,62 +44,101 @@ impl Default for IwnpConfig {
     }
 }
 
-/// Runs I-WNP for profile `p_x` over its (ghosted) blocks `block_ids`.
+/// Stateful I-WNP executor owning the reusable gather scratch.
 ///
-/// Returns the retained weighted comparisons, sorted by descending weight
-/// (deterministic tie-break on the pair ids).
+/// One handle lives per driver: the unsharded pipeline and each
+/// `ShardWorker` own exactly one, so every arrival on that lane hits the
+/// warm accumulator (slots sized to the largest neighborhood seen, epoch
+/// reset in O(1)).
+#[derive(Debug, Clone, Default)]
+pub struct Iwnp {
+    scratch: NeighborAccumulator,
+}
+
+impl Iwnp {
+    /// Creates a handle with empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs I-WNP for profile `p_x` over its (ghosted) blocks `block_ids`.
+    ///
+    /// Returns the retained weighted comparisons, sorted by descending
+    /// weight with ascending canonical-pair tie-break — the same
+    /// (weight, id) contract as [`BlockCollection::cbs_counts`].
+    pub fn run(
+        &mut self,
+        collection: &BlockCollection,
+        p_x: ProfileId,
+        block_ids: &[BlockId],
+        config: IwnpConfig,
+    ) -> Vec<WeightedComparison> {
+        // Gather candidates: local CBS count and, if needed, ARCS sums.
+        let source = collection.source_of(p_x);
+        let kind = collection.kind();
+        let needs_arcs = config.scheme.needs_block_cardinalities();
+        self.scratch.begin();
+        for &bid in block_ids {
+            let Some(block) = collection.block(bid) else {
+                continue;
+            };
+            if block.is_purged() {
+                continue;
+            }
+            if needs_arcs {
+                let recip = block.recip_cardinality();
+                for q in block.partners_of(p_x, source, kind) {
+                    self.scratch.add(q, recip);
+                }
+            } else {
+                for q in block.partners_of(p_x, source, kind) {
+                    self.scratch.bump(q);
+                }
+            }
+        }
+        if self.scratch.is_empty() {
+            return Vec::new();
+        }
+
+        let total_blocks = collection.block_count();
+        let blocks_x = collection.blocks_of(p_x).len();
+        let mut weighted: Vec<WeightedComparison> = Vec::with_capacity(self.scratch.len());
+        self.scratch.for_each(|q, count, arcs_sum| {
+            let w = config.scheme.weigh(
+                count,
+                blocks_x,
+                collection.blocks_of(q).len(),
+                total_blocks,
+                arcs_sum,
+            );
+            weighted.push(WeightedComparison::new(Comparison::new(p_x, q), w));
+        });
+
+        if config.prune_below_average {
+            let avg: f64 = weighted.iter().map(|wc| wc.weight).sum::<f64>() / weighted.len() as f64;
+            weighted.retain(|wc| wc.weight >= avg);
+        }
+        weighted.sort_unstable_by(|a, b| b.cmp(a));
+        weighted
+    }
+
+    /// Occupancy of the owned scratch accumulator (for
+    /// `--stage-a-stats`).
+    pub fn stats(&self) -> ScratchStats {
+        self.scratch.stats()
+    }
+}
+
+/// Runs I-WNP once with cold scratch. Convenience wrapper over
+/// [`Iwnp::run`] for one-shot callers and tests; hot paths should own an
+/// [`Iwnp`] and reuse it.
 pub fn iwnp(
     collection: &BlockCollection,
     p_x: ProfileId,
     block_ids: &[BlockId],
     config: IwnpConfig,
 ) -> Vec<WeightedComparison> {
-    // Gather candidates: local CBS count and, if needed, ARCS sums.
-    let source = collection.source_of(p_x);
-    let kind = collection.kind();
-    let mut cbs: HashMap<ProfileId, u32> = HashMap::new();
-    let mut arcs: HashMap<ProfileId, f64> = HashMap::new();
-    for &bid in block_ids {
-        let Some(block) = collection.block(bid) else {
-            continue;
-        };
-        if block.is_purged() {
-            continue;
-        }
-        let card = block.cardinality(kind).max(1) as f64;
-        for q in block.partners_of(p_x, source, kind) {
-            *cbs.entry(q).or_insert(0) += 1;
-            if config.scheme.needs_block_cardinalities() {
-                *arcs.entry(q).or_insert(0.0) += 1.0 / card;
-            }
-        }
-    }
-    if cbs.is_empty() {
-        return Vec::new();
-    }
-
-    let total_blocks = collection.block_count();
-    let blocks_x = collection.blocks_of(p_x).len();
-    let mut weighted: Vec<WeightedComparison> = cbs
-        .into_iter()
-        .map(|(q, count)| {
-            let w = config.scheme.weigh(
-                count,
-                blocks_x,
-                collection.blocks_of(q).len(),
-                total_blocks,
-                arcs.get(&q).copied().unwrap_or(0.0),
-            );
-            WeightedComparison::new(Comparison::new(p_x, q), w)
-        })
-        .collect();
-
-    if config.prune_below_average {
-        let avg: f64 = weighted.iter().map(|wc| wc.weight).sum::<f64>() / weighted.len() as f64;
-        weighted.retain(|wc| wc.weight >= avg);
-    }
-    weighted.sort_unstable_by(|a, b| b.cmp(a));
-    weighted
+    Iwnp::new().run(collection, p_x, block_ids, config)
 }
 
 #[cfg(test)]
@@ -208,6 +251,46 @@ mod tests {
         for wc in &kept {
             assert!(wc.weight > 0.0);
         }
+    }
+
+    #[test]
+    fn warm_scratch_reuse_is_equivalent_to_cold_runs() {
+        let (c, blocks) = setup();
+        let mut handle = Iwnp::new();
+        for scheme in WeightingScheme::all() {
+            let cfg = IwnpConfig {
+                scheme,
+                prune_below_average: true,
+            };
+            // Same handle across schemes and repeats vs a cold run each time.
+            for _ in 0..3 {
+                let warm = handle.run(&c, ProfileId(3), &blocks, cfg);
+                let cold = iwnp(&c, ProfileId(3), &blocks, cfg);
+                assert_eq!(warm, cold, "{}", scheme.name());
+            }
+        }
+        let stats = handle.stats();
+        assert!(stats.slots >= 3 && stats.high_water == 3);
+    }
+
+    #[test]
+    fn output_follows_weight_desc_then_pair_asc() {
+        // Two candidates with equal weight must come out in ascending
+        // canonical-pair order — the contract shared with cbs_counts.
+        let mut c = BlockCollection::with_policy(ErKind::Dirty, PurgePolicy::disabled());
+        c.add_profile(ProfileId(7), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(2), SourceId(0), &[TokenId(1)]);
+        c.add_profile(ProfileId(5), SourceId(0), &[TokenId(1)]);
+        let blocks = c.blocks_of(ProfileId(5)).to_vec();
+        let kept = iwnp(&c, ProfileId(5), &blocks, IwnpConfig::default());
+        let pairs: Vec<Comparison> = kept.iter().map(|wc| wc.cmp).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                Comparison::new(ProfileId(2), ProfileId(5)),
+                Comparison::new(ProfileId(5), ProfileId(7)),
+            ]
+        );
     }
 
     #[test]

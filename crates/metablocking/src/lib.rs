@@ -7,7 +7,8 @@
 //! likelihood; pruning the low-weight edges yields the comparisons worth
 //! executing. The PIER paper uses the **CBS** scheme (number of common
 //! blocks) everywhere because it is the cheapest to maintain incrementally;
-//! this crate also ships ECBS, JS and ARCS for the weighting-scheme ablation.
+//! this crate also ships ECBS, JS, EJS and ARCS for the weighting-scheme
+//! ablation.
 //!
 //! * [`schemes`] — edge weighting schemes.
 //! * [`graph`] — the batch blocking graph (used by the progressive
@@ -24,6 +25,6 @@ pub mod pruning;
 pub mod schemes;
 
 pub use graph::BlockingGraph;
-pub use iwnp::{iwnp, IwnpConfig};
+pub use iwnp::{iwnp, Iwnp, IwnpConfig};
 pub use pruning::{cnp, wnp};
 pub use schemes::WeightingScheme;

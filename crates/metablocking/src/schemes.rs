@@ -8,6 +8,11 @@
 //! * **ECBS** (Enhanced CBS): `cbs · ln(|B|/|B(p_x)|) · ln(|B|/|B(p_y)|)` —
 //!   discounts profiles that appear in many blocks.
 //! * **JS** (Jaccard Scheme): `cbs / (|B(p_x)| + |B(p_y)| − cbs)`.
+//! * **EJS** (Enhanced JS): `js · ln(|B|/|B(p_x)|) · ln(|B|/|B(p_y)|)`. The
+//!   original EJS discounts by node degrees in the materialized blocking
+//!   graph; incremental PIER never materializes that graph, so this is the
+//!   standard block-based adaptation substituting block counts for degrees
+//!   (same shape as the ECBS discount).
 //! * **ARCS** (Aggregate Reciprocal Comparisons): `Σ_{b ∈ common} 1/||b||` —
 //!   needs the cardinality of each common block, so it takes a different
 //!   input shape.
@@ -21,6 +26,8 @@ pub enum WeightingScheme {
     Ecbs,
     /// Jaccard Scheme over block sets.
     Js,
+    /// Enhanced Jaccard Scheme (block-based adaptation).
+    Ejs,
     /// Aggregate Reciprocal Comparisons Scheme.
     Arcs,
 }
@@ -62,6 +69,17 @@ impl WeightingScheme {
                     cbs as f64 / union as f64
                 }
             }
+            WeightingScheme::Ejs => {
+                let union = blocks_x + blocks_y - cbs as usize;
+                if union == 0 {
+                    return 0.0;
+                }
+                let js = cbs as f64 / union as f64;
+                let total = total_blocks.max(1) as f64;
+                let ix = (total / blocks_x.max(1) as f64).ln().max(0.0);
+                let iy = (total / blocks_y.max(1) as f64).ln().max(0.0);
+                js * ix * iy
+            }
             WeightingScheme::Arcs => arcs_sum,
         }
     }
@@ -74,11 +92,12 @@ impl WeightingScheme {
     }
 
     /// All supported schemes (for the ablation sweep).
-    pub fn all() -> [WeightingScheme; 4] {
+    pub fn all() -> [WeightingScheme; 5] {
         [
             WeightingScheme::Cbs,
             WeightingScheme::Ecbs,
             WeightingScheme::Js,
+            WeightingScheme::Ejs,
             WeightingScheme::Arcs,
         ]
     }
@@ -89,6 +108,7 @@ impl WeightingScheme {
             WeightingScheme::Cbs => "CBS",
             WeightingScheme::Ecbs => "ECBS",
             WeightingScheme::Js => "JS",
+            WeightingScheme::Ejs => "EJS",
             WeightingScheme::Arcs => "ARCS",
         }
     }
@@ -147,8 +167,20 @@ mod tests {
     }
 
     #[test]
+    fn ejs_discounts_the_jaccard_weight() {
+        let js = WeightingScheme::Js.weigh(2, 4, 6, 100, 0.0);
+        let ejs = WeightingScheme::Ejs.weigh(2, 4, 6, 100, 0.0);
+        let expected = js * (100.0f64 / 4.0).ln() * (100.0f64 / 6.0).ln();
+        assert!((ejs - expected).abs() < 1e-12);
+        // Ubiquitous profiles are discounted harder than rare ones.
+        let rare = WeightingScheme::Ejs.weigh(2, 10, 10, 1000, 0.0);
+        let common = WeightingScheme::Ejs.weigh(2, 10, 900, 1000, 0.0);
+        assert!(rare > common);
+    }
+
+    #[test]
     fn names_are_stable() {
         let names: Vec<&str> = WeightingScheme::all().iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["CBS", "ECBS", "JS", "ARCS"]);
+        assert_eq!(names, vec!["CBS", "ECBS", "JS", "EJS", "ARCS"]);
     }
 }

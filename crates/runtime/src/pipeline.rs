@@ -39,7 +39,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
-use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_blocking::{IncrementalBlocker, PurgePolicy, SlabStats};
+use pier_collections::ScratchStats;
 use pier_core::{AdaptiveK, ComparisonEmitter, PierConfig, Strategy};
 use pier_entity::{ClusterObserver, EntityIndex, EntityServer};
 use pier_matching::MatchFunction;
@@ -50,7 +51,7 @@ use pier_types::{
     EntityProfile, ErKind, PierError, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
 };
 
-use crate::report::{DictionaryStats, MatchEvent, RunTotals, RuntimeReport};
+use crate::report::{DictionaryStats, MatchEvent, RunTotals, RuntimeReport, StageAStats};
 use crate::stages::{
     collect_matches, pipeline_channel, spawn_source, tokenize_increment, MaterializedPair, StageB,
     TokenizedIncrement, TokenizedProfile,
@@ -388,6 +389,30 @@ impl Pipeline {
     }
 }
 
+/// Per-lane stage-A occupancy: one slab + optional scratch reading per
+/// ingest lane (the single emitter, or each shard worker).
+type StageAParts = Vec<(SlabStats, Option<ScratchStats>)>;
+
+/// Folds per-lane stage-A occupancy into the report's [`StageAStats`]:
+/// slab numbers sum over lanes (each shard owns a disjoint token
+/// subspace), scratch numbers take the per-lane maximum (each lane owns
+/// an independent accumulator).
+fn aggregate_stage_a(parts: &[(SlabStats, Option<ScratchStats>)]) -> Option<StageAStats> {
+    if parts.is_empty() {
+        return None;
+    }
+    let mut out = StageAStats::default();
+    for (slab, scratch) in parts {
+        out.blocks += slab.blocks;
+        out.slab_slots += slab.slots;
+        if let Some(s) = scratch {
+            out.scratch_slots = out.scratch_slots.max(s.slots);
+            out.scratch_high_water = out.scratch_high_water.max(s.high_water);
+        }
+    }
+    Some(out)
+}
+
 /// The one executor behind every entry point.
 fn execute(
     kind: ErKind,
@@ -455,7 +480,7 @@ fn execute(
 
     // Only the topology differs below: channel wiring, stage-A threads,
     // and the two stage-B closures (pull up to k best pairs; idle tick).
-    let (matches, token_occurrences) = match stage_a {
+    let (matches, token_occurrences, stage_a_stats) = match stage_a {
         StageA::Single { mut emitter } => {
             let mut initial_blocker = IncrementalBlocker::with_shared_dictionary(
                 kind,
@@ -606,7 +631,16 @@ fn execute(
                 matches = collect_matches(&match_rx, &mut on_match);
             });
             source.join().expect("source thread never panics");
-            (matches, token_occurrences.load(Ordering::SeqCst))
+            let stage_a_stats = {
+                let slab = blocker.read().collection().slab_stats();
+                let scratch = emitter_slot.lock().scratch_stats();
+                aggregate_stage_a(&[(slab, scratch)])
+            };
+            (
+                matches,
+                token_occurrences.load(Ordering::SeqCst),
+                stage_a_stats,
+            )
         }
 
         StageA::Sharded {
@@ -680,6 +714,10 @@ fn execute(
             );
 
             let mut matches: Vec<MatchEvent> = Vec::new();
+            // Workers are consumed by their threads; each deposits its
+            // stage-A occupancy here when its command loop ends.
+            let stage_a_parts: Arc<Mutex<StageAParts>> =
+                Arc::new(Mutex::new(Vec::with_capacity(shards)));
             std::thread::scope(|scope| {
                 // Shard workers: one thread per shard, each owning its
                 // blocker + emitter, exiting when every command sender is
@@ -695,6 +733,7 @@ fn execute(
                     );
                     let observer = observer.for_shard(shard as u16);
                     let ingest_errors = Arc::clone(&ingest_errors);
+                    let stage_a_parts = Arc::clone(&stage_a_parts);
                     scope.spawn(move || {
                         for msg in cmd_rx.iter() {
                             match msg {
@@ -718,6 +757,9 @@ fn execute(
                                 }
                             }
                         }
+                        stage_a_parts
+                            .lock()
+                            .push((worker.slab_stats(), worker.scratch_stats()));
                     });
                 }
 
@@ -884,7 +926,8 @@ fn execute(
             });
             source.join().expect("source thread never panics");
             let token_occurrences = store.read().token_occurrences();
-            (matches, token_occurrences)
+            let stage_a_stats = aggregate_stage_a(&stage_a_parts.lock());
+            (matches, token_occurrences, stage_a_stats)
         }
     };
 
@@ -901,6 +944,7 @@ fn execute(
         ingest_errors: std::mem::take(&mut *ingest_errors.lock()),
         match_workers,
         worker_comparisons: std::mem::take(&mut *worker_comparisons.lock()),
+        stage_a: stage_a_stats,
     };
     totals.assemble(entities.as_ref(), telemetry.as_ref())
 }

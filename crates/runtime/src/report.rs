@@ -48,6 +48,28 @@ impl DictionaryStats {
     }
 }
 
+/// End-of-run occupancy of the stage-A hot-path structures: the dense
+/// block slab of each blocker and the epoch-stamped I-WNP scratch
+/// accumulator of each emitter. Sharded runs aggregate: slab numbers sum
+/// over shards, scratch numbers take the per-lane maximum (each lane owns
+/// an independent accumulator). Surfaced by
+/// `observed_stream --stage-a-stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageAStats {
+    /// Blocks created across all blockers (including purged ones).
+    pub blocks: usize,
+    /// Block-slab slots allocated across all blockers; the gap to
+    /// [`StageAStats::blocks`] is id-space sparsity (per-shard token
+    /// subspaces leave gaps).
+    pub slab_slots: usize,
+    /// Largest scratch-slot capacity any stage-A lane grew to (bounded by
+    /// the largest profile id it saw).
+    pub scratch_slots: usize,
+    /// Largest single-arrival candidate neighborhood any lane accumulated
+    /// — the scratch high-water mark.
+    pub scratch_high_water: usize,
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -79,6 +101,9 @@ pub struct RuntimeReport {
     /// closure of [`RuntimeReport::matches`] folded incrementally into an
     /// [`pier_entity::EntityIndex`] as each match was confirmed.
     pub entity_summary: Option<EntitySummary>,
+    /// Stage-A structure occupancy (block slab + I-WNP scratch), when the
+    /// driver collected it.
+    pub stage_a: Option<StageAStats>,
 }
 
 impl RuntimeReport {
@@ -216,6 +241,7 @@ pub(crate) struct RunTotals {
     pub ingest_errors: Vec<String>,
     pub match_workers: usize,
     pub worker_comparisons: Vec<u64>,
+    pub stage_a: Option<StageAStats>,
 }
 
 impl RunTotals {
@@ -235,6 +261,7 @@ impl RunTotals {
             match_workers: self.match_workers,
             worker_comparisons: self.worker_comparisons,
             entity_summary: entities.map(|i| i.summary(self.profiles)),
+            stage_a: self.stage_a,
         };
         if let Some(t) = telemetry {
             report.publish_final(t);
@@ -272,6 +299,7 @@ mod tests {
             match_workers: 1,
             worker_comparisons: vec![10],
             entity_summary: None,
+            stage_a: None,
         };
         assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
         assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
@@ -288,6 +316,7 @@ mod tests {
             match_workers: 1,
             worker_comparisons: vec![comparisons],
             entity_summary: None,
+            stage_a: None,
         }
     }
 

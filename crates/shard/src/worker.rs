@@ -1,6 +1,7 @@
 //! One shard's stage A: a private blocker + emitter over a token subspace.
 
-use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_blocking::{IncrementalBlocker, PurgePolicy, SlabStats};
+use pier_collections::ScratchStats;
 use pier_core::{ComparisonEmitter, PierConfig, Strategy};
 use pier_observe::{Event, Observer};
 use pier_types::{EntityProfile, ErKind, PierError, TokenId, Tokenizer, WeightedComparison};
@@ -133,6 +134,17 @@ impl ShardWorker {
     /// The emitter's display name (e.g. `"I-PCS"`).
     pub fn emitter_name(&self) -> String {
         self.emitter.name()
+    }
+
+    /// Occupancy of this shard's dense block slab.
+    pub fn slab_stats(&self) -> SlabStats {
+        self.blocker.collection().slab_stats()
+    }
+
+    /// Occupancy of the emitter's I-WNP scratch accumulator, if the
+    /// strategy runs I-WNP (I-PBS doesn't).
+    pub fn scratch_stats(&self) -> Option<ScratchStats> {
+        self.emitter.scratch_stats()
     }
 }
 

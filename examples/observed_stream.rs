@@ -20,6 +20,11 @@
 //! and the bytes the id-based data path saved over shipping an owned
 //! `String` per occurrence.
 //!
+//! Pass `--stage-a-stats` to print the end-of-run occupancy of the
+//! stage-A hot-path structures: the dense block slab (slots allocated vs
+//! blocks created) and the epoch-stamped I-WNP scratch accumulator (slot
+//! capacity and the largest single-arrival neighborhood it accumulated).
+//!
 //! Pass `--match-workers N` to fan stage-B matcher evaluations out over
 //! `N` parallel workers (default: the machine's available parallelism;
 //! `1` reproduces the sequential executor exactly). The final snapshot
@@ -64,6 +69,10 @@ fn parse_intern_stats() -> bool {
     std::env::args().any(|a| a == "--intern-stats")
 }
 
+fn parse_stage_a_stats() -> bool {
+    std::env::args().any(|a| a == "--stage-a-stats")
+}
+
 fn parse_match_workers() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     let pos = args.iter().position(|a| a == "--match-workers")?;
@@ -88,6 +97,7 @@ fn parse_value_arg(flag: &str) -> Option<String> {
 fn main() {
     let shards = parse_shards();
     let intern_stats = parse_intern_stats();
+    let stage_a_stats = parse_stage_a_stats();
     let match_workers = parse_match_workers();
     let metrics_addr = parse_value_arg("--metrics-addr");
     let entity_addr = parse_value_arg("--entity-addr");
@@ -398,6 +408,30 @@ fn main() {
     );
     if let Some(t) = trajectory.time_to_pc(0.5) {
         println!("time to PC=0.5    {t:.3}s");
+    }
+
+    if stage_a_stats {
+        println!("\n=== stage-A structure stats ===");
+        match report.stage_a {
+            Some(st) => {
+                println!(
+                    "block slab        {} slots for {} blocks ({:.1}% occupied)",
+                    st.slab_slots,
+                    st.blocks,
+                    if st.slab_slots > 0 {
+                        100.0 * st.blocks as f64 / st.slab_slots as f64
+                    } else {
+                        100.0
+                    }
+                );
+                println!("scratch slots     {}", st.scratch_slots);
+                println!(
+                    "scratch high-water {} neighbors in one arrival",
+                    st.scratch_high_water
+                );
+            }
+            None => println!("this run collected no stage-A stats"),
+        }
     }
 
     if intern_stats {
