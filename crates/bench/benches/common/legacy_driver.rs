@@ -1,0 +1,233 @@
+//! A faithful copy of the retired direct (pre-`Pipeline`) streaming
+//! driver, kept alive as the overhead baseline for the wall-clock
+//! contract benches (`pipeline_overhead`, `recovery_overhead`). See the
+//! `pipeline_overhead` bench header for the faithfulness argument.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+
+use pier_blocking::{IncrementalBlocker, PurgePolicy};
+use pier_core::{AdaptiveK, ComparisonEmitter};
+use pier_matching::{MatchFunction, MatchInput};
+use pier_runtime::{tokenize_increment, MatchEvent};
+use pier_types::{EntityProfile, ErKind, SharedTokenDictionary, Tokenizer};
+
+/// What the retired driver reported, reduced to the fields the
+/// faithfulness cross-check needs.
+pub struct Outcome {
+    pub matches: Vec<MatchEvent>,
+    pub comparisons: u64,
+}
+
+/// The retired stage-B idle backoff ladder, verbatim.
+struct IdleBackoff {
+    delay: Duration,
+}
+
+impl IdleBackoff {
+    const INITIAL: Duration = Duration::from_micros(200);
+    const MAX: Duration = Duration::from_millis(5);
+
+    fn new() -> IdleBackoff {
+        IdleBackoff {
+            delay: Self::INITIAL,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.delay = Self::INITIAL;
+    }
+
+    fn sleep(&mut self) {
+        std::thread::sleep(self.delay);
+        self.delay = (self.delay * 2).min(Self::MAX);
+    }
+}
+
+/// The retired `run_streaming` data path: a source thread replays
+/// increments, a stage-A thread tokenizes/interns outside the blocker
+/// write lock then blocks and feeds the emitter, and a sequential
+/// stage-B thread pulls adaptively-sized batches, classifies them,
+/// and streams match events to the collector (this thread).
+#[allow(clippy::too_many_arguments)] // the retired driver's exact signature
+pub fn run_direct(
+    kind: ErKind,
+    increments: Vec<Vec<EntityProfile>>,
+    mut emitter: Box<dyn ComparisonEmitter + Send>,
+    matcher: Arc<dyn MatchFunction>,
+    interarrival: Duration,
+    deadline: Duration,
+    max_comparisons: u64,
+    k: (usize, usize, usize),
+    purge_policy: PurgePolicy,
+) -> Outcome {
+    let start = Instant::now();
+    let dictionary = SharedTokenDictionary::new();
+    let blocker = Arc::new(RwLock::new(IncrementalBlocker::with_shared_dictionary(
+        kind,
+        Tokenizer::default(),
+        purge_policy,
+        dictionary.clone(),
+    )));
+    let (inc_tx, inc_rx) = channel::bounded::<Vec<EntityProfile>>(1024);
+    let (match_tx, match_rx) = channel::unbounded::<MatchEvent>();
+    let ingest_done = Arc::new(AtomicBool::new(false));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let executed_total = Arc::new(AtomicU64::new(0));
+    let adaptive = Arc::new(Mutex::new(AdaptiveK::new(k.0, k.1, k.2)));
+
+    let source = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for (i, inc) in increments.into_iter().enumerate() {
+                if i > 0 {
+                    std::thread::sleep(interarrival);
+                }
+                if shutdown.load(Ordering::SeqCst) || inc_tx.send(inc).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let emitter_slot: Arc<Mutex<&mut (dyn ComparisonEmitter + Send)>> =
+        Arc::new(Mutex::new(emitter.as_mut()));
+    let mut matches: Vec<MatchEvent> = Vec::new();
+
+    std::thread::scope(|scope| {
+        // Stage A: tokenize/intern, then block + update the emitter.
+        {
+            let blocker = Arc::clone(&blocker);
+            let emitter_slot = Arc::clone(&emitter_slot);
+            let ingest_done = Arc::clone(&ingest_done);
+            let adaptive = Arc::clone(&adaptive);
+            let dictionary = dictionary.clone();
+            scope.spawn(move || {
+                let tokenizer = Tokenizer::default();
+                let mut scratch = String::new();
+                for (seq, inc) in inc_rx.iter().enumerate() {
+                    adaptive
+                        .lock()
+                        .record_arrival(start.elapsed().as_secs_f64());
+                    let tokenized =
+                        tokenize_increment(&dictionary, &tokenizer, seq as u64, inc, &mut scratch);
+                    let mut ids = Vec::with_capacity(tokenized.len());
+                    let mut blocker = blocker.write();
+                    for tp in tokenized.profiles {
+                        if let Ok(id) =
+                            blocker.try_process_profile_with_token_ids(tp.profile, &tp.tokens)
+                        {
+                            ids.push(id);
+                        }
+                    }
+                    let mut emitter = emitter_slot.lock();
+                    emitter.on_increment(&blocker, &ids);
+                    let _ = emitter.drain_ops();
+                }
+                ingest_done.store(true, Ordering::SeqCst);
+            });
+        }
+
+        // Stage B: pull batches, classify sequentially, emit events.
+        {
+            let blocker = Arc::clone(&blocker);
+            let emitter_slot = Arc::clone(&emitter_slot);
+            let ingest_done = Arc::clone(&ingest_done);
+            let adaptive = Arc::clone(&adaptive);
+            let matcher = Arc::clone(&matcher);
+            let shutdown = Arc::clone(&shutdown);
+            let executed_total = Arc::clone(&executed_total);
+            scope.spawn(move || {
+                let mut backoff = IdleBackoff::new();
+                let mut executed = 0u64;
+                let over_budget =
+                    |executed: u64| start.elapsed() >= deadline || executed >= max_comparisons;
+                loop {
+                    if over_budget(executed) {
+                        break;
+                    }
+                    let batch_k = adaptive.lock().k();
+                    let batch: Vec<_> = {
+                        let blocker = blocker.read();
+                        let mut emitter = emitter_slot.lock();
+                        let cmps = emitter.next_batch(&blocker, batch_k);
+                        let _ = emitter.drain_ops();
+                        cmps.into_iter()
+                            .map(|c| {
+                                (
+                                    c,
+                                    blocker.profile_handle(c.a),
+                                    blocker.tokens_handle(c.a),
+                                    blocker.profile_handle(c.b),
+                                    blocker.tokens_handle(c.b),
+                                )
+                            })
+                            .collect()
+                    };
+                    if batch.is_empty() {
+                        // The idle tick: the empty increment driving
+                        // the GetComparisons fallback of §3.2.
+                        let tick_made_work = {
+                            let blocker = blocker.read();
+                            let mut emitter = emitter_slot.lock();
+                            emitter.on_increment(&blocker, &[]);
+                            emitter.drain_ops() > 0 || emitter.has_pending()
+                        };
+                        if tick_made_work {
+                            backoff.reset();
+                        } else {
+                            // The retired driver read the flag after
+                            // ticking; preserved verbatim.
+                            if ingest_done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            backoff.sleep();
+                        }
+                        continue;
+                    }
+                    backoff.reset();
+                    let t0 = start.elapsed().as_secs_f64();
+                    for (pair, profile_a, tokens_a, profile_b, tokens_b) in &batch {
+                        let outcome = matcher.evaluate(MatchInput {
+                            profile_a,
+                            tokens_a,
+                            profile_b,
+                            tokens_b,
+                        });
+                        executed += 1;
+                        if outcome.is_match {
+                            let _ = match_tx.send(MatchEvent {
+                                at: start.elapsed(),
+                                pair: *pair,
+                                similarity: outcome.similarity,
+                            });
+                        }
+                        if over_budget(executed) {
+                            break;
+                        }
+                    }
+                    adaptive
+                        .lock()
+                        .record_batch(start.elapsed().as_secs_f64() - t0);
+                }
+                executed_total.store(executed, Ordering::SeqCst);
+                shutdown.store(true, Ordering::SeqCst);
+                drop(match_tx);
+            });
+        }
+
+        for event in match_rx.iter() {
+            matches.push(event);
+        }
+    });
+    source.join().expect("source thread never panics");
+
+    Outcome {
+        matches,
+        comparisons: executed_total.load(Ordering::SeqCst),
+    }
+}

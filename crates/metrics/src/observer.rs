@@ -134,6 +134,7 @@ pub struct MetricsObserver {
     matches_confirmed: Arc<Counter>,
     k_changes: Arc<Counter>,
     adaptive_k: Arc<Gauge>,
+    comparisons_shed: Arc<Counter>,
     phases: [Arc<Histogram>; 4],
     recall: Arc<FloatGauge>,
     recall_ledger: Option<Mutex<RecallLedger>>,
@@ -194,6 +195,11 @@ impl MetricsObserver {
             adaptive_k: r.gauge(
                 "pier_adaptive_k",
                 "Current adaptive batch size K (0 = never adjusted).",
+                &[],
+            ),
+            comparisons_shed: r.counter(
+                "pier_comparisons_shed_total",
+                "Comparisons dropped by load shedding.",
                 &[],
             ),
             phases: Phase::ALL.map(|p| {
@@ -356,6 +362,42 @@ impl PipelineObserver for MetricsObserver {
             }
             Event::PhaseTiming { phase, secs } => {
                 self.phases[phase.index()].record_secs(secs);
+            }
+            // Supervision events are orders of magnitude rarer than the hot
+            // counters above, so their labeled families are resolved through
+            // the registry on demand instead of being cached per label.
+            Event::WorkerRestarted {
+                role,
+                recovery_secs,
+                ..
+            } => {
+                let labels: &[(&str, &str)] = &[("role", role.name())];
+                self.registry
+                    .counter(
+                        "pier_worker_restarts_total",
+                        "Supervisor worker restarts.",
+                        labels,
+                    )
+                    .inc();
+                self.registry
+                    .histogram(
+                        "pier_recovery_seconds",
+                        "Panic-to-resumed-stream recovery latency.",
+                        labels,
+                    )
+                    .record_secs(recovery_secs);
+            }
+            Event::DeadLettered { reason, .. } => {
+                self.registry
+                    .counter(
+                        "pier_dead_letters_total",
+                        "Profiles/pairs quarantined into the dead-letter queue.",
+                        &[("reason", reason.name())],
+                    )
+                    .inc();
+            }
+            Event::ComparisonsShed { count } => {
+                self.comparisons_shed.add(count as u64);
             }
         }
     }

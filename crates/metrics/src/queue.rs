@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{Receiver, RecvError, SendError, Sender};
+use crossbeam::channel::{Receiver, RecvError, SendError, Sender, TrySendError};
 
 use crate::{Counter, Gauge, Histogram, MetricsRegistry};
 
@@ -150,6 +150,23 @@ impl<T> GaugedSender<T> {
         };
         if result.is_ok() {
             g.depth.inc();
+        }
+        result
+    }
+
+    /// Sends `value` without blocking. A [`TrySendError::Full`] result is
+    /// counted as a stall (the caller is seeing backpressure) but not timed,
+    /// since no time was spent blocked.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let Some(g) = &self.gauges else {
+            return self.tx.try_send(value);
+        };
+        g.sends.inc();
+        let result = self.tx.try_send(value);
+        match &result {
+            Ok(()) => g.depth.inc(),
+            Err(TrySendError::Full(_)) => g.stalls.inc(),
+            Err(TrySendError::Disconnected(_)) => {}
         }
         result
     }

@@ -24,7 +24,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use pier_types::{Comparison, GroundTruth, MatchLedger, ProfileId, ProgressTrajectory};
 
-use crate::{Event, Phase, PipelineObserver};
+use crate::{DeadLetterReason, Event, Phase, PipelineObserver, WorkerRole};
 
 /// An observer that appends every event to a JSON-Lines file.
 ///
@@ -283,6 +283,30 @@ fn write_line(
                 json_f64(secs)
             );
         }
+        Event::WorkerRestarted {
+            role,
+            lane,
+            recovery_secs,
+        } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"WorkerRestarted\",\"role\":\"{}\",\"lane\":{lane},\"recovery_secs\":{}",
+                role.name(),
+                json_f64(recovery_secs)
+            );
+        }
+        Event::DeadLettered { reason, a, b } => {
+            let _ = write!(
+                buf,
+                ",\"event\":\"DeadLettered\",\"reason\":\"{}\",\"a\":{},\"b\":{}",
+                reason.name(),
+                a.0,
+                b.0
+            );
+        }
+        Event::ComparisonsShed { count } => {
+            let _ = write!(buf, ",\"event\":\"ComparisonsShed\",\"count\":{count}");
+        }
     }
     buf.push('}');
     buf
@@ -431,6 +455,19 @@ fn parse_line(line: &str) -> Option<TimedEvent> {
             phase: Phase::from_name(text("phase")?)?,
             secs: num("secs")?,
         },
+        "WorkerRestarted" => Event::WorkerRestarted {
+            role: WorkerRole::from_name(text("role")?)?,
+            lane: num("lane")? as u16,
+            recovery_secs: num("recovery_secs")?,
+        },
+        "DeadLettered" => Event::DeadLettered {
+            reason: DeadLetterReason::from_name(text("reason")?)?,
+            a: ProfileId(num("a")? as u32),
+            b: ProfileId(num("b")? as u32),
+        },
+        "ComparisonsShed" => Event::ComparisonsShed {
+            count: num("count")? as usize,
+        },
         _ => return None,
     };
     Some(TimedEvent {
@@ -547,6 +584,17 @@ mod tests {
                 phase: Phase::Prune,
                 secs: 0.003,
             },
+            Event::WorkerRestarted {
+                role: WorkerRole::Shard,
+                lane: 2,
+                recovery_secs: 0.0125,
+            },
+            Event::DeadLettered {
+                reason: DeadLetterReason::PoisonedProfile,
+                a: ProfileId(4),
+                b: ProfileId(4),
+            },
+            Event::ComparisonsShed { count: 17 },
         ]
     }
 

@@ -78,6 +78,82 @@ impl Phase {
     }
 }
 
+/// The supervised worker roles a [`Event::WorkerRestarted`] can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkerRole {
+    /// The single-topology stage-A ingest lane.
+    StageA,
+    /// A sharded stage-A worker thread.
+    Shard,
+    /// The stage-B merger / batch puller.
+    Merger,
+    /// A stage-B match-pool worker thread.
+    Match,
+}
+
+impl WorkerRole {
+    /// All roles, in pipeline order.
+    pub const ALL: [WorkerRole; 4] = [
+        WorkerRole::StageA,
+        WorkerRole::Shard,
+        WorkerRole::Merger,
+        WorkerRole::Match,
+    ];
+
+    /// Stable lowercase name used in JSONL output and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerRole::StageA => "stage_a",
+            WorkerRole::Shard => "shard",
+            WorkerRole::Merger => "merger",
+            WorkerRole::Match => "match",
+        }
+    }
+
+    /// Parses a [`WorkerRole::name`] back into a role.
+    pub fn from_name(name: &str) -> Option<WorkerRole> {
+        WorkerRole::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// Why a profile or pair was routed to the dead-letter queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadLetterReason {
+    /// Ingesting the profile panicked repeatably; it was quarantined.
+    PoisonedProfile,
+    /// The profile id was ingested twice; the repeat was dropped.
+    DuplicateProfile,
+    /// A confirmed match could not be delivered (match channel gone/full).
+    LostMatch,
+    /// Evaluating the pair panicked repeatably; it was quarantined.
+    PoisonedPair,
+}
+
+impl DeadLetterReason {
+    /// All reasons.
+    pub const ALL: [DeadLetterReason; 4] = [
+        DeadLetterReason::PoisonedProfile,
+        DeadLetterReason::DuplicateProfile,
+        DeadLetterReason::LostMatch,
+        DeadLetterReason::PoisonedPair,
+    ];
+
+    /// Stable lowercase name used in JSONL output and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadLetterReason::PoisonedProfile => "poisoned_profile",
+            DeadLetterReason::DuplicateProfile => "duplicate_profile",
+            DeadLetterReason::LostMatch => "lost_match",
+            DeadLetterReason::PoisonedPair => "poisoned_pair",
+        }
+    }
+
+    /// Parses a [`DeadLetterReason::name`] back into a reason.
+    pub fn from_name(name: &str) -> Option<DeadLetterReason> {
+        DeadLetterReason::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
 /// A typed pipeline event.
 ///
 /// Events are cheap `Copy` payloads; identifiers are raw (`u32` block ids)
@@ -148,6 +224,30 @@ pub enum Event {
         phase: Phase,
         /// How long it ran, in seconds (wall or virtual, as above).
         secs: f64,
+    },
+    /// The supervisor rebuilt a dead worker and resumed the stream.
+    WorkerRestarted {
+        /// Which worker role died.
+        role: WorkerRole,
+        /// Lane index (shard or worker id; 0 for singleton roles).
+        lane: u16,
+        /// Wall-clock seconds from panic to resumed stream (journal replay
+        /// included).
+        recovery_secs: f64,
+    },
+    /// A profile or pair was quarantined into the dead-letter queue.
+    DeadLettered {
+        /// Why it was quarantined.
+        reason: DeadLetterReason,
+        /// First profile of the pair (or the quarantined profile itself).
+        a: ProfileId,
+        /// Second profile of the pair (equal to `a` for profile letters).
+        b: ProfileId,
+    },
+    /// Load shedding dropped below-threshold-weight comparisons.
+    ComparisonsShed {
+        /// How many comparisons were dropped in this batch.
+        count: usize,
     },
 }
 

@@ -123,6 +123,9 @@ pub struct StatsObserver {
     k_changes: AtomicU64,
     /// Latest `K` reported by `AdaptiveKChanged` (0 = never reported).
     current_k: AtomicU64,
+    dead_letters: AtomicU64,
+    worker_restarts: AtomicU64,
+    comparisons_shed: AtomicU64,
     phases: [PhaseStats; 4],
     pc: Option<Mutex<PcTimeline>>,
     shards: Mutex<Vec<ShardCounters>>,
@@ -151,6 +154,9 @@ impl StatsObserver {
             matches_confirmed: AtomicU64::new(0),
             k_changes: AtomicU64::new(0),
             current_k: AtomicU64::new(0),
+            dead_letters: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            comparisons_shed: AtomicU64::new(0),
             phases: std::array::from_fn(|_| PhaseStats::new()),
             pc: None,
             shards: Mutex::new(Vec::new()),
@@ -202,6 +208,9 @@ impl StatsObserver {
             },
             pc,
             pc_matches,
+            dead_letters: ld(&self.dead_letters),
+            worker_restarts: ld(&self.worker_restarts),
+            comparisons_shed: ld(&self.comparisons_shed),
             phases: Phase::ALL.map(|p| self.phases[p.index()].snapshot(p)),
             shards: self
                 .shards
@@ -280,6 +289,16 @@ impl PipelineObserver for StatsObserver {
             }
             Event::PhaseTiming { phase, secs } => {
                 self.phases[phase.index()].record(secs);
+            }
+            Event::WorkerRestarted { .. } => {
+                self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::DeadLettered { .. } => {
+                self.dead_letters.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ComparisonsShed { count } => {
+                self.comparisons_shed
+                    .fetch_add(count as u64, Ordering::Relaxed);
             }
         }
     }
@@ -395,6 +414,12 @@ pub struct StatsSnapshot {
     pub pc: Option<f64>,
     /// Ground-truth matches credited so far (0 without ground truth).
     pub pc_matches: u64,
+    /// Profiles/pairs quarantined into the dead-letter queue.
+    pub dead_letters: u64,
+    /// Supervisor worker restarts.
+    pub worker_restarts: u64,
+    /// Comparisons dropped by load shedding.
+    pub comparisons_shed: u64,
     /// Per-phase latency summaries, in [`Phase::ALL`] order.
     pub phases: [PhaseSnapshot; 4],
     /// Per-shard work breakdown, indexed by shard id. Empty unless events

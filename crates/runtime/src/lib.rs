@@ -41,15 +41,17 @@ pub mod report;
 pub mod sharded;
 pub mod stages;
 pub mod streaming;
+pub mod supervisor;
 
 pub use pier_entity::{EntityIndex, EntityServer, EntitySummary};
 pub use pier_metrics::{MetricsServer, Telemetry};
 pub use pier_observe::ObserverSet;
-pub use pipeline::{default_match_workers, Pipeline, PipelineBuilder, RuntimeConfig};
+pub use pipeline::{default_match_workers, Pipeline, PipelineBuilder, RuntimeConfig, ShedPolicy};
 pub use pool::chunk_ranges;
 pub use report::{DictionaryStats, MatchEvent, RuntimeReport};
 #[allow(deprecated)]
 pub use sharded::{run_streaming_sharded, run_streaming_sharded_observed};
-pub use stages::{tokenize_increment, TokenizedIncrement, TokenizedProfile};
+pub use stages::{tokenize_increment, IdleBackoff, TokenizedIncrement, TokenizedProfile};
 #[allow(deprecated)]
 pub use streaming::{run_streaming, run_streaming_observed};
+pub use supervisor::{DeadLetter, IngestJournal, JournalEntry, Supervisor};

@@ -33,6 +33,7 @@
 //! ([`crate::report`]) — exists once; a topology contributes only its
 //! channel wiring and its `pull`/`tick` closures.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,15 +41,17 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use pier_blocking::{IncrementalBlocker, PurgePolicy, SlabStats};
+use pier_chaos::{ChaosHandle, FaultKind, FaultPlan, FaultPoint};
 use pier_collections::ScratchStats;
 use pier_core::{AdaptiveK, ComparisonEmitter, PierConfig, Strategy};
 use pier_entity::{ClusterObserver, EntityIndex, EntityServer};
 use pier_matching::MatchFunction;
 use pier_metrics::Telemetry;
-use pier_observe::{Event, ObserverSet, Phase, PipelineObserver};
+use pier_observe::{Event, Observer, ObserverSet, Phase, PipelineObserver, WorkerRole};
 use pier_shard::{ProfileStore, ShardMerger, ShardRouter, ShardWorker, ShardedConfig};
 use pier_types::{
-    EntityProfile, ErKind, PierError, SharedTokenDictionary, TokenId, Tokenizer, WeightedComparison,
+    Comparison, EntityProfile, ErKind, PierError, ProfileId, SharedTokenDictionary, SourceId,
+    TokenId, Tokenizer, WeightedComparison,
 };
 
 use crate::report::{DictionaryStats, MatchEvent, RunTotals, RuntimeReport, StageAStats};
@@ -56,6 +59,7 @@ use crate::stages::{
     collect_matches, pipeline_channel, spawn_source, tokenize_increment, MaterializedPair, StageB,
     TokenizedIncrement, TokenizedProfile,
 };
+use crate::supervisor::{IngestJournal, JournalEntry, Supervisor};
 
 /// Configuration of a real-time run.
 #[derive(Debug, Clone)]
@@ -101,6 +105,59 @@ pub struct RuntimeConfig {
     /// maintains `pier_entity_*` cluster-count/merge-rate gauges in the
     /// telemetry registry. `None` (the default) costs nothing.
     pub entities: Option<Arc<EntityIndex>>,
+    /// Capacity of the bounded pipeline channels (the match stream and the
+    /// per-shard command/reply channels). Bounded channels turn a stalled
+    /// downstream stage into backpressure instead of unbounded memory
+    /// growth; send paths retry under an [`crate::IdleBackoff`] ladder and
+    /// dead-letter a payload the receiver never accepts. Must be >= 1.
+    pub channel_capacity: usize,
+    /// Profiles each shard's ingest journal retains for crash recovery.
+    /// A shard worker that panics is rebuilt by replaying its journal;
+    /// once the journal overflows, the oldest entries are evicted (counted,
+    /// so a lossy recovery is auditable). Must be >= 1.
+    pub journal_capacity: usize,
+    /// Deterministic fault injection. When set, the pipeline arms a
+    /// [`pier_chaos::ChaosInjector`] over the plan and threads the handle
+    /// through every supervised stage; named fault points then panic,
+    /// delay, drop sends, or inject malformed profiles at exact event
+    /// counts. `None` (the default) reduces every fault check to a single
+    /// branch on an unarmed handle.
+    pub fault_plan: Option<FaultPlan>,
+    /// Load shedding under sustained overload. When set, a pull streak of
+    /// [`ShedPolicy::trigger_full_pulls`] consecutive full-`K` batches
+    /// switches the pull path to weighted mode and drops comparisons below
+    /// [`ShedPolicy::min_weight`] (counted in the report and observable as
+    /// `ComparisonsShed`). `None` (the default) never sheds and keeps the
+    /// unweighted pull path untouched.
+    pub shed: Option<ShedPolicy>,
+}
+
+/// Load-shedding policy: under sustained overload, drop only the
+/// comparisons whose priority weight says they were least likely to match
+/// anyway — the progressive analogue of tail-dropping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Comparisons with a merge weight strictly below this are dropped
+    /// while overloaded. Must be finite.
+    pub min_weight: f64,
+    /// Consecutive full pulls that count as sustained overload. Must be
+    /// >= 1; higher values shed later.
+    pub trigger_full_pulls: u32,
+    /// Pull-size ceiling while shedding is armed. The adaptive `K`
+    /// otherwise grows until a single pull swallows any backlog, which
+    /// would make "full pull" — the overload signal — unobservable. Must
+    /// be >= 1.
+    pub max_pull: usize,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            min_weight: 2.0,
+            trigger_full_pulls: 8,
+            max_pull: 1024,
+        }
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -114,6 +171,10 @@ impl Default for RuntimeConfig {
             match_workers: default_match_workers(),
             telemetry: None,
             entities: None,
+            channel_capacity: 4096,
+            journal_capacity: 65_536,
+            fault_plan: None,
+            shed: None,
         }
     }
 }
@@ -159,7 +220,81 @@ impl RuntimeConfig {
                 format!("initial K {init} outside its [{min}, {max}] bounds"),
             );
         }
+        if self.channel_capacity == 0 {
+            return invalid(
+                "channel_capacity",
+                "must be >= 1; a zero-capacity channel can never transfer anything".into(),
+            );
+        }
+        if self.journal_capacity == 0 {
+            return invalid(
+                "journal_capacity",
+                "must be >= 1; recovery needs at least one journaled profile".into(),
+            );
+        }
+        if let Some(shed) = &self.shed {
+            if !shed.min_weight.is_finite() {
+                return invalid("shed", "min_weight must be finite".into());
+            }
+            if shed.trigger_full_pulls == 0 {
+                return invalid(
+                    "shed",
+                    "trigger_full_pulls must be >= 1; zero would shed from the first pull".into(),
+                );
+            }
+            if shed.max_pull == 0 {
+                return invalid("shed", "max_pull must be >= 1".into());
+            }
+        }
         Ok(())
+    }
+}
+
+/// The pull-side overload detector + filter behind [`ShedPolicy`]: counts
+/// consecutive full-`K` pulls and, past the trigger, drops below-threshold
+/// weights (counting each drop through the supervisor).
+struct Shedder {
+    policy: ShedPolicy,
+    full_pulls: u32,
+}
+
+impl Shedder {
+    fn new(policy: ShedPolicy) -> Shedder {
+        Shedder {
+            policy,
+            full_pulls: 0,
+        }
+    }
+
+    /// Bounds a pull request so overload stays observable (see
+    /// [`ShedPolicy::max_pull`]).
+    fn clamp(&self, k: usize) -> usize {
+        k.min(self.policy.max_pull)
+    }
+
+    fn apply(
+        &mut self,
+        k: usize,
+        batch: Vec<WeightedComparison>,
+        supervisor: &Supervisor,
+        observer: &Observer,
+    ) -> Vec<Comparison> {
+        if batch.len() >= k {
+            self.full_pulls = self.full_pulls.saturating_add(1);
+        } else {
+            self.full_pulls = 0;
+        }
+        if self.full_pulls < self.policy.trigger_full_pulls {
+            return batch.into_iter().map(|wc| wc.cmp).collect();
+        }
+        let before = batch.len();
+        let kept: Vec<Comparison> = batch
+            .into_iter()
+            .filter(|wc| wc.weight >= self.policy.min_weight)
+            .map(|wc| wc.cmp)
+            .collect();
+        supervisor.shed_comparisons(before - kept.len(), observer);
+        kept
     }
 }
 
@@ -413,6 +548,97 @@ fn aggregate_stage_a(parts: &[(SlabStats, Option<ScratchStats>)]) -> Option<Stag
     Some(out)
 }
 
+/// Fires the `stage_a_ingest` fault point under an unwind guard. The trip
+/// happens before the increment mutates any state, so an injected panic is
+/// recovered by simply continuing (counted as a stage-A restart); a delay
+/// has already been served inside the trip; any other kind is returned for
+/// the ingest site to honor.
+fn trip_stage_a_ingest(
+    chaos: &ChaosHandle,
+    supervisor: &Supervisor,
+    observer: &Observer,
+) -> Option<FaultKind> {
+    let t0 = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| {
+        chaos.trip(FaultPoint::StageAIngest, None)
+    })) {
+        Ok(kind) => kind,
+        Err(_) => {
+            supervisor.worker_restarted(
+                WorkerRole::StageA,
+                0,
+                t0.elapsed().as_secs_f64(),
+                observer,
+            );
+            None
+        }
+    }
+}
+
+/// Mints the injector's next malformed profile and tokenizes it like any
+/// arriving profile, so it flows through blocking and weighting normally —
+/// and panics (via the poison registry) the moment a supervised ingest
+/// touches it. Its tokens are unique to the injection, so it shares no
+/// block with any real profile and cannot change their ghost floors.
+fn poison_profile(
+    chaos: &ChaosHandle,
+    dictionary: &SharedTokenDictionary,
+    tokenizer: &Tokenizer,
+    scratch: &mut String,
+) -> Option<TokenizedProfile> {
+    let (id, text) = chaos.poison_payload()?;
+    let profile = EntityProfile::new(ProfileId(id), SourceId(0)).with("chaos", text);
+    let tokens = dictionary.tokenize_and_intern(tokenizer, &profile, scratch);
+    Some(TokenizedProfile { profile, tokens })
+}
+
+/// Rebuilds a fresh shard worker's state by re-ingesting the journal.
+/// Journal entries already survived one ingest, so errors (duplicates
+/// rejected again by the fresh blocker) are expected and dropped.
+fn replay_journal(worker: &mut ShardWorker, journal: &IngestJournal) {
+    for entry in journal.entries() {
+        let _ = worker.ingest(std::slice::from_ref(entry));
+    }
+}
+
+/// Re-ingests a batch that killed a shard worker one profile at a time,
+/// isolating the poison: a profile that panics again is quarantined into
+/// the dead-letter queue (and the worker rebuilt once more, since the
+/// repeat panic may have corrupted it too); every survivor lands in the
+/// journal as usual.
+#[allow(clippy::too_many_arguments)]
+fn retry_batch_individually(
+    worker: &mut ShardWorker,
+    journal: &mut IngestJournal,
+    batch: &[JournalEntry],
+    shard: u16,
+    fresh: &dyn Fn() -> ShardWorker,
+    supervisor: &Supervisor,
+    observer: &Observer,
+    ingest_errors: &Mutex<Vec<String>>,
+) {
+    for entry in batch {
+        if supervisor.is_quarantined(entry.0.id.0) {
+            continue;
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            worker.ingest(std::slice::from_ref(entry))
+        })) {
+            Ok(errors) => {
+                journal.record(entry);
+                for e in errors {
+                    ingest_errors.lock().push(e.to_string());
+                }
+            }
+            Err(_) => {
+                supervisor.quarantine_profile(entry.0.id.0, Some(shard), observer);
+                *worker = fresh();
+                replay_journal(worker, journal);
+            }
+        }
+    }
+}
+
 /// The one executor behind every entry point.
 fn execute(
     kind: ErKind,
@@ -448,9 +674,16 @@ fn execute(
         }
         set.compose()
     };
+    // The fault-injection handle (unarmed unless a plan is configured —
+    // one branch per fault point) and the run-wide fault ledger.
+    let chaos = ChaosHandle::from_plan(config.fault_plan.clone());
+    let supervisor = Arc::new(Supervisor::new());
     let dictionary = SharedTokenDictionary::new();
-    let (match_tx, match_rx) =
-        pipeline_channel::<MatchEvent>(registry.as_deref(), &[("queue", "matches")], None);
+    let (match_tx, match_rx) = pipeline_channel::<MatchEvent>(
+        registry.as_deref(),
+        &[("queue", "matches")],
+        Some(config.channel_capacity),
+    );
     let ingest_done = Arc::new(AtomicBool::new(false));
     let shutdown = Arc::new(AtomicBool::new(false));
     let executed_total = Arc::new(AtomicU64::new(0));
@@ -476,6 +709,8 @@ fn execute(
         shutdown: Arc::clone(&shutdown),
         executed_total: Arc::clone(&executed_total),
         worker_comparisons: Arc::clone(&worker_comparisons),
+        chaos: chaos.clone(),
+        supervisor: Arc::clone(&supervisor),
     };
 
     // Only the topology differs below: channel wiring, stage-A threads,
@@ -524,6 +759,8 @@ fn execute(
                     let token_occurrences = Arc::clone(&token_occurrences);
                     let ingest_errors = Arc::clone(&ingest_errors);
                     let observer = observer.clone();
+                    let chaos = chaos.clone();
+                    let supervisor = Arc::clone(&supervisor);
                     scope.spawn(move || {
                         let tokenizer = Tokenizer::default();
                         let mut scratch = String::new();
@@ -537,17 +774,67 @@ fn execute(
                             // lock: stage B keeps reading the blocker while
                             // token strings are hashed/allocated exactly
                             // once for the whole pipeline.
-                            let tokenized = tokenize_increment(
+                            let mut tokenized = tokenize_increment(
                                 &dictionary,
                                 &tokenizer,
                                 seq as u64,
                                 inc,
                                 &mut scratch,
                             );
+                            if chaos.is_armed() {
+                                if let Some(kind) =
+                                    trip_stage_a_ingest(&chaos, &supervisor, &observer)
+                                {
+                                    if kind == FaultKind::MalformedProfile {
+                                        if let Some(tp) = poison_profile(
+                                            &chaos,
+                                            &dictionary,
+                                            &tokenizer,
+                                            &mut scratch,
+                                        ) {
+                                            tokenized.profiles.push(tp);
+                                        }
+                                    }
+                                }
+                            }
                             let mut ids = Vec::with_capacity(tokenized.len());
                             let mut blocker = blocker.write();
                             for tp in tokenized.profiles {
                                 let tokens_in_profile = tp.tokens.len() as u64;
+                                if chaos.is_armed() {
+                                    let profile_id = tp.profile.id.0;
+                                    if supervisor.is_quarantined(profile_id) {
+                                        continue;
+                                    }
+                                    // The poison trip fires before the
+                                    // blocker is touched, so a panicking
+                                    // profile can be quarantined and
+                                    // skipped without corrupting state.
+                                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                        chaos.poison_trip(profile_id);
+                                        blocker.try_process_profile_with_token_ids(
+                                            tp.profile.clone(),
+                                            &tp.tokens,
+                                        )
+                                    }));
+                                    match attempt {
+                                        Ok(Ok(id)) => {
+                                            occurrences += tokens_in_profile;
+                                            ids.push(id);
+                                        }
+                                        Ok(Err(e)) => {
+                                            if let PierError::DuplicateProfile(dup) = &e {
+                                                supervisor.duplicate_profile(*dup, &observer);
+                                            }
+                                            ingest_errors.lock().push(e.to_string());
+                                        }
+                                        Err(_) => {
+                                            supervisor
+                                                .quarantine_profile(profile_id, None, &observer);
+                                        }
+                                    }
+                                    continue;
+                                }
                                 match blocker
                                     .try_process_profile_with_token_ids(tp.profile, &tp.tokens)
                                 {
@@ -555,7 +842,12 @@ fn execute(
                                         occurrences += tokens_in_profile;
                                         ids.push(id);
                                     }
-                                    Err(e) => ingest_errors.lock().push(e.to_string()),
+                                    Err(e) => {
+                                        if let PierError::DuplicateProfile(dup) = &e {
+                                            supervisor.duplicate_profile(*dup, &observer);
+                                        }
+                                        ingest_errors.lock().push(e.to_string());
+                                    }
                                 }
                             }
                             if let Some(t0) = t0 {
@@ -589,6 +881,8 @@ fn execute(
                     let blocker = Arc::clone(&blocker);
                     let emitter_slot = Arc::clone(&emitter_slot);
                     let observer = observer.clone();
+                    let supervisor = Arc::clone(&supervisor);
+                    let mut shedder = config.shed.map(Shedder::new);
                     scope.spawn(move || {
                         // Pull under locks, then materialize the pairs so
                         // classification runs lock-free. Materializing is
@@ -597,7 +891,34 @@ fn execute(
                             let blocker = blocker.read();
                             let mut emitter = emitter_slot.lock();
                             let t0 = observer.is_enabled().then(Instant::now);
-                            let cmps = emitter.next_batch(&blocker, k);
+                            let cmps = match &mut shedder {
+                                None => emitter.next_batch(&blocker, k),
+                                // Shedding needs weights: prefer the
+                                // emitter's own weighted batch, fall back
+                                // to recomputed CBS weights (same dance as
+                                // a shard worker's pull).
+                                Some(shedder) => {
+                                    let k = shedder.clamp(k);
+                                    let weighted = match emitter.next_weighted_batch(&blocker, k) {
+                                        Some(batch) => batch,
+                                        None => {
+                                            let collection = blocker.collection();
+                                            emitter
+                                                .next_batch(&blocker, k)
+                                                .into_iter()
+                                                .map(|cmp| {
+                                                    WeightedComparison::new(
+                                                        cmp,
+                                                        collection.common_blocks(cmp.a, cmp.b)
+                                                            as f64,
+                                                    )
+                                                })
+                                                .collect()
+                                        }
+                                    };
+                                    shedder.apply(k, weighted, &supervisor, &observer)
+                                }
+                            };
                             if let Some(t0) = t0 {
                                 observer.emit(|| Event::PhaseTiming {
                                     phase: Phase::Prune,
@@ -630,7 +951,11 @@ fn execute(
                 // Collector (this thread): stream matches to the caller.
                 matches = collect_matches(&match_rx, &mut on_match);
             });
-            source.join().expect("source thread never panics");
+            if source.join().is_err() {
+                ingest_errors
+                    .lock()
+                    .push(PierError::WorkerPanicked { worker: "source" }.to_string());
+            }
             let stage_a_stats = {
                 let slab = blocker.read().collection().slab_stats();
                 let scratch = emitter_slot.lock().scratch_stats();
@@ -664,14 +989,14 @@ fn execute(
                 let (tx, rx) = pipeline_channel::<ShardMsg>(
                     registry.as_deref(),
                     &[("queue", "shard_cmd"), ("shard", label.as_str())],
-                    None,
+                    Some(config.channel_capacity),
                 );
                 cmd_txs.push(tx);
                 cmd_rxs.push(rx);
                 let (tx, rx) = pipeline_channel::<ShardReply>(
                     registry.as_deref(),
                     &[("queue", "shard_reply"), ("shard", label.as_str())],
-                    None,
+                    Some(config.channel_capacity),
                 );
                 reply_txs.push(tx);
                 reply_rxs.push(rx);
@@ -721,26 +1046,85 @@ fn execute(
             std::thread::scope(|scope| {
                 // Shard workers: one thread per shard, each owning its
                 // blocker + emitter, exiting when every command sender is
-                // dropped.
+                // dropped. Each thread supervises its own worker: a panic
+                // during ingest/pull/tick rebuilds the worker by replaying
+                // the thread's ingest journal instead of killing the run,
+                // and a profile that panics ingest repeatably is
+                // quarantined into the dead-letter queue.
                 for (shard, (cmd_rx, reply_tx)) in cmd_rxs.into_iter().zip(reply_txs).enumerate() {
-                    let mut worker = ShardWorker::new(
-                        shard as u16,
-                        kind,
-                        shard_config.strategy,
-                        shard_config.pier,
-                        shard_config.purge_policy,
-                        &observer,
-                    );
-                    let observer = observer.for_shard(shard as u16);
+                    let sid = shard as u16;
+                    let strategy = shard_config.strategy;
+                    let pier = shard_config.pier;
+                    let purge = shard_config.purge_policy;
+                    let base_observer = observer.clone();
+                    let observer = observer.for_shard(sid);
                     let ingest_errors = Arc::clone(&ingest_errors);
                     let stage_a_parts = Arc::clone(&stage_a_parts);
+                    let chaos = chaos.clone();
+                    let supervisor = Arc::clone(&supervisor);
+                    let journal_capacity = config.journal_capacity;
                     scope.spawn(move || {
+                        let make_worker = || {
+                            let mut w =
+                                ShardWorker::new(sid, kind, strategy, pier, purge, &base_observer);
+                            w.set_chaos(chaos.clone());
+                            w
+                        };
+                        let mut worker = make_worker();
+                        let mut journal = IngestJournal::new(journal_capacity);
+                        // Rebuild-and-replay, shared by every recovery
+                        // path. Re-emitted comparisons are absorbed by the
+                        // merger's CF dedup, so recovery cannot
+                        // double-schedule (or double-count) a pair.
+                        let rebuild =
+                            |worker: &mut ShardWorker, journal: &IngestJournal| -> ShardWorker {
+                                let mut fresh = make_worker();
+                                replay_journal(&mut fresh, journal);
+                                std::mem::replace(worker, fresh)
+                            };
                         for msg in cmd_rx.iter() {
                             match msg {
-                                ShardMsg::Ingest(batch) => {
+                                ShardMsg::Ingest(mut batch) => {
+                                    if supervisor.has_quarantined() {
+                                        batch
+                                            .retain(|(p, _, _)| !supervisor.is_quarantined(p.id.0));
+                                    }
+                                    if batch.is_empty() {
+                                        continue;
+                                    }
                                     let t0 = observer.is_enabled().then(Instant::now);
-                                    for e in worker.ingest(&batch) {
-                                        ingest_errors.lock().push(e.to_string());
+                                    match catch_unwind(AssertUnwindSafe(|| worker.ingest(&batch))) {
+                                        Ok(errors) => {
+                                            journal.record_batch(&batch);
+                                            for e in errors {
+                                                ingest_errors.lock().push(e.to_string());
+                                            }
+                                        }
+                                        Err(_) => {
+                                            // The dead worker may be
+                                            // mid-mutation: rebuild it from
+                                            // the journal, then isolate the
+                                            // poison by retrying the batch
+                                            // profile-by-profile.
+                                            let died_at = Instant::now();
+                                            let _ = rebuild(&mut worker, &journal);
+                                            retry_batch_individually(
+                                                &mut worker,
+                                                &mut journal,
+                                                &batch,
+                                                sid,
+                                                &make_worker,
+                                                &supervisor,
+                                                &observer,
+                                                &ingest_errors,
+                                            );
+                                            supervisor.worker_restarted(
+                                                WorkerRole::Shard,
+                                                sid,
+                                                died_at.elapsed().as_secs_f64(),
+                                                &observer,
+                                            );
+                                        }
                                     }
                                     if let Some(t0) = t0 {
                                         observer.emit(|| Event::PhaseTiming {
@@ -750,10 +1134,34 @@ fn execute(
                                     }
                                 }
                                 ShardMsg::Pull { k } => {
-                                    let _ = reply_tx.send(ShardReply::Batch(worker.pull(k)));
+                                    let batch = catch_unwind(AssertUnwindSafe(|| worker.pull(k)))
+                                        .unwrap_or_else(|_| {
+                                            let died_at = Instant::now();
+                                            let _ = rebuild(&mut worker, &journal);
+                                            supervisor.worker_restarted(
+                                                WorkerRole::Shard,
+                                                sid,
+                                                died_at.elapsed().as_secs_f64(),
+                                                &observer,
+                                            );
+                                            Vec::new()
+                                        });
+                                    let _ = reply_tx.send(ShardReply::Batch(batch));
                                 }
                                 ShardMsg::Tick => {
-                                    let _ = reply_tx.send(ShardReply::Tick(worker.tick()));
+                                    let made = catch_unwind(AssertUnwindSafe(|| worker.tick()))
+                                        .unwrap_or_else(|_| {
+                                            let died_at = Instant::now();
+                                            let _ = rebuild(&mut worker, &journal);
+                                            supervisor.worker_restarted(
+                                                WorkerRole::Shard,
+                                                sid,
+                                                died_at.elapsed().as_secs_f64(),
+                                                &observer,
+                                            );
+                                            true
+                                        });
+                                    let _ = reply_tx.send(ShardReply::Tick(made));
                                 }
                             }
                         }
@@ -791,15 +1199,34 @@ fn execute(
                     let router = router.clone();
                     let ingest_errors = Arc::clone(&ingest_errors);
                     let observer = observer.clone();
+                    let chaos = chaos.clone();
+                    let supervisor = Arc::clone(&supervisor);
+                    let dictionary = dictionary.clone();
                     scope.spawn(move || {
+                        let tokenizer = Tokenizer::default();
+                        let mut scratch = String::new();
                         let mut seq = 0usize;
                         // Round-robin collection mirrors dispatch: a
                         // disconnect on channel `seq % T` means no
                         // increment >= seq was sent.
-                        while let Ok(tokenized) = routed_rxs[seq % routed_rxs.len()].recv() {
+                        while let Ok(mut tokenized) = routed_rxs[seq % routed_rxs.len()].recv() {
                             adaptive
                                 .lock()
                                 .record_arrival(start.elapsed().as_secs_f64());
+                            if chaos.is_armed() {
+                                if let Some(FaultKind::MalformedProfile) =
+                                    trip_stage_a_ingest(&chaos, &supervisor, &observer)
+                                {
+                                    if let Some(poison) = poison_profile(
+                                        &chaos,
+                                        &dictionary,
+                                        &tokenizer,
+                                        &mut scratch,
+                                    ) {
+                                        tokenized.profiles.push(poison);
+                                    }
+                                }
+                            }
                             let t0 = observer.is_enabled().then(Instant::now);
                             let mut per_shard: Vec<Vec<(EntityProfile, Vec<TokenId>, usize)>> =
                                 (0..cmd_txs.len()).map(|_| Vec::new()).collect();
@@ -816,7 +1243,12 @@ fn execute(
                                 for tp in tokenized.profiles {
                                     match store.insert(tp.profile.clone(), &tp.tokens) {
                                         Ok(()) => accepted.push(tp),
-                                        Err(e) => ingest_errors.lock().push(e.to_string()),
+                                        Err(e) => {
+                                            if let PierError::DuplicateProfile(dup) = &e {
+                                                supervisor.duplicate_profile(*dup, &observer);
+                                            }
+                                            ingest_errors.lock().push(e.to_string());
+                                        }
                                     }
                                 }
                                 for tp in &accepted {
@@ -863,6 +1295,8 @@ fn execute(
                 {
                     let store = Arc::clone(&store);
                     let observer = observer.clone();
+                    let supervisor = Arc::clone(&supervisor);
+                    let mut shedder = config.shed.map(Shedder::new);
                     let mut merger = ShardMerger::new(shards);
                     merger.set_observer(observer.clone());
                     scope.spawn(move || {
@@ -871,7 +1305,7 @@ fn execute(
                         // materialize from the global store.
                         let pull = |k: usize| -> Vec<MaterializedPair> {
                             let t0 = observer.is_enabled().then(Instant::now);
-                            let cmps = merger.next_batch_with(k, |s, n| {
+                            let mut refill = |s: usize, n: usize| {
                                 if cmd_txs[s].send(ShardMsg::Pull { k: n }).is_err() {
                                     return Vec::new();
                                 }
@@ -879,7 +1313,19 @@ fn execute(
                                     Ok(ShardReply::Batch(batch)) => batch,
                                     _ => Vec::new(),
                                 }
-                            });
+                            };
+                            let cmps = match &mut shedder {
+                                None => merger.next_batch_with(k, &mut refill),
+                                Some(shedder) => {
+                                    let k = shedder.clamp(k);
+                                    shedder.apply(
+                                        k,
+                                        merger.next_weighted_batch_with(k, &mut refill),
+                                        &supervisor,
+                                        &observer,
+                                    )
+                                }
+                            };
                             if let Some(t0) = t0 {
                                 observer.emit(|| Event::PhaseTiming {
                                     phase: Phase::Prune,
@@ -924,7 +1370,11 @@ fn execute(
                 // Collector (this thread): stream matches to the caller.
                 matches = collect_matches(&match_rx, &mut on_match);
             });
-            source.join().expect("source thread never panics");
+            if source.join().is_err() {
+                ingest_errors
+                    .lock()
+                    .push(PierError::WorkerPanicked { worker: "source" }.to_string());
+            }
             let token_occurrences = store.read().token_occurrences();
             let stage_a_stats = aggregate_stage_a(&stage_a_parts.lock());
             (matches, token_occurrences, stage_a_stats)
@@ -945,6 +1395,9 @@ fn execute(
         match_workers,
         worker_comparisons: std::mem::take(&mut *worker_comparisons.lock()),
         stage_a: stage_a_stats,
+        dead_letters: supervisor.dead_letters(),
+        worker_restarts: supervisor.restarts(),
+        comparisons_shed: supervisor.comparisons_shed(),
     };
     totals.assemble(entities.as_ref(), telemetry.as_ref())
 }

@@ -29,13 +29,16 @@ use std::time::Instant;
 
 use crossbeam::channel;
 
+use pier_chaos::{ChaosHandle, FaultPoint};
 use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
 use pier_metrics::{
     queue::gauged, Counter, GaugedReceiver, GaugedSender, MetricsRegistry, QueueGauges,
 };
-use pier_observe::{Event, Observer, Phase};
+use pier_observe::{Event, Observer, Phase, WorkerRole};
+use pier_types::Comparison;
 
 use crate::stages::{MaterializedPair, WORKER_COMPARISONS_HELP};
+use crate::supervisor::Supervisor;
 
 /// One evaluated pair: the matcher's verdict plus the worker that ran it
 /// (so the coordinator can attribute the confirmation to that worker).
@@ -86,12 +89,20 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
 /// Dropping the pool closes the job channels and joins every worker.
 pub(crate) struct MatchPool {
     job_txs: Vec<GaugedSender<Job>>,
+    reply_tx: GaugedSender<Reply>,
     reply_rx: GaugedReceiver<Reply>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
     executed: Vec<u64>,
     /// Live `pier_worker_comparisons_total{worker=i}` counters, kept in
     /// lock-step with `executed` when telemetry is attached.
     counters: Option<Vec<Arc<Counter>>>,
+    // Everything a respawn needs: a dead worker is replaced with a fresh
+    // thread + job channel built from the same ingredients as the original.
+    matcher: Arc<dyn MatchFunction>,
+    observer: Observer,
+    registry: Option<Arc<MetricsRegistry>>,
+    chaos: ChaosHandle,
+    supervisor: Arc<Supervisor>,
 }
 
 impl MatchPool {
@@ -105,49 +116,122 @@ impl MatchPool {
         workers: usize,
         matcher: Arc<dyn MatchFunction>,
         observer: &Observer,
-        registry: Option<&MetricsRegistry>,
+        registry: Option<Arc<MetricsRegistry>>,
+        chaos: ChaosHandle,
+        supervisor: Arc<Supervisor>,
     ) -> MatchPool {
         let workers = workers.max(1);
-        let reply_gauges =
-            registry.map(|r| QueueGauges::register(r, &[("queue", "match_replies")], None));
+        let reply_gauges = registry
+            .as_deref()
+            .map(|r| QueueGauges::register(r, &[("queue", "match_replies")], None));
         let (reply_tx, reply_rx) = gauged(channel::unbounded::<Reply>(), reply_gauges);
-        let mut job_txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        let mut counters = registry.map(|_| Vec::with_capacity(workers));
-        for worker in 0..workers {
-            let label = worker.to_string();
-            let job_gauges = registry.map(|r| {
-                QueueGauges::register(
-                    r,
-                    &[("queue", "match_jobs"), ("worker", label.as_str())],
-                    None,
-                )
-            });
-            let (job_tx, job_rx) = gauged(channel::unbounded::<Job>(), job_gauges);
-            job_txs.push(job_tx);
-            if let (Some(counters), Some(r)) = (&mut counters, registry) {
+        let mut counters = registry.as_deref().map(|_| Vec::with_capacity(workers));
+        if let (Some(counters), Some(r)) = (&mut counters, registry.as_deref()) {
+            for worker in 0..workers {
+                let label = worker.to_string();
                 counters.push(r.counter(
                     "pier_worker_comparisons_total",
                     WORKER_COMPARISONS_HELP,
                     &[("worker", label.as_str())],
                 ));
             }
-            let matcher = Arc::clone(&matcher);
-            let observer = observer.for_worker(worker as u16);
-            let reply_tx = reply_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("pier-match-{worker}"))
-                .spawn(move || worker_loop(worker, &job_rx, &reply_tx, &*matcher, &observer))
-                .expect("spawning a match worker thread succeeds");
-            handles.push(handle);
         }
-        MatchPool {
-            job_txs,
+        let mut pool = MatchPool {
+            job_txs: Vec::with_capacity(workers),
+            reply_tx,
             reply_rx,
-            handles,
+            handles: Vec::with_capacity(workers),
             executed: vec![0; workers],
             counters,
+            matcher,
+            observer: observer.clone(),
+            registry,
+            chaos,
+            supervisor,
+        };
+        for worker in 0..workers {
+            let (job_tx, handle) = pool.spawn_worker(worker);
+            pool.job_txs.push(job_tx);
+            pool.handles.push(Some(handle));
         }
+        pool
+    }
+
+    /// Builds worker `worker`'s job channel and thread — used both at pool
+    /// construction and to replace a worker that died mid-run.
+    fn spawn_worker(&self, worker: usize) -> (GaugedSender<Job>, std::thread::JoinHandle<()>) {
+        let label = worker.to_string();
+        let job_gauges = self.registry.as_deref().map(|r| {
+            QueueGauges::register(
+                r,
+                &[("queue", "match_jobs"), ("worker", label.as_str())],
+                None,
+            )
+        });
+        let (job_tx, job_rx) = gauged(channel::unbounded::<Job>(), job_gauges);
+        let matcher = Arc::clone(&self.matcher);
+        let observer = self.observer.for_worker(worker as u16);
+        let reply_tx = self.reply_tx.clone();
+        let chaos = self.chaos.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pier-match-{worker}"))
+            .spawn(move || worker_loop(worker, &job_rx, &reply_tx, &*matcher, &observer, &chaos))
+            .expect("spawning a match worker thread succeeds");
+        (job_tx, handle)
+    }
+
+    /// Replaces a dead worker: joins its corpse, spawns a fresh thread on
+    /// a fresh job channel, and accounts the restart.
+    fn restart_worker(&mut self, worker: usize, died_at: Instant) {
+        if let Some(handle) = self.handles[worker].take() {
+            let _ = handle.join();
+        }
+        let (job_tx, handle) = self.spawn_worker(worker);
+        self.job_txs[worker] = job_tx;
+        self.handles[worker] = Some(handle);
+        self.supervisor.worker_restarted(
+            WorkerRole::Match,
+            worker as u16,
+            died_at.elapsed().as_secs_f64(),
+            &self.observer,
+        );
+    }
+
+    /// Fallback evaluation of one chunk on the coordinator after its
+    /// worker died: each pair runs under `catch_unwind`, and a pair that
+    /// panics again is quarantined (dead-lettered) and substituted with a
+    /// non-match — keeping the outcome list aligned with the batch and the
+    /// executed count identical to a fault-free run.
+    fn evaluate_chunk_here(
+        &self,
+        batch: &[MaterializedPair],
+        start: usize,
+        end: usize,
+    ) -> Vec<MatchOutcome> {
+        batch[start..end]
+            .iter()
+            .map(|pair| {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.matcher.evaluate(MatchInput {
+                        profile_a: &pair.profile_a,
+                        tokens_a: &pair.tokens_a,
+                        profile_b: &pair.profile_b,
+                        tokens_b: &pair.tokens_b,
+                    })
+                }));
+                attempt.unwrap_or_else(|_| {
+                    self.supervisor.quarantine_pair(
+                        Comparison::new(pair.profile_a.id, pair.profile_b.id),
+                        &self.observer,
+                    );
+                    MatchOutcome {
+                        is_match: false,
+                        similarity: 0.0,
+                        ops: 0,
+                    }
+                })
+            })
+            .collect()
     }
 
     /// Number of workers in the pool.
@@ -166,9 +250,18 @@ impl MatchPool {
     /// Blocks until every chunk is back. The whole batch is always
     /// evaluated — budget enforcement happens afterwards, on the
     /// coordinator, exactly as in the sequential path.
+    /// Credits `n` evaluated pairs to `worker` (report + live counter).
+    fn account(&mut self, worker: usize, n: usize) {
+        self.executed[worker] += n as u64;
+        if let Some(counters) = &self.counters {
+            counters[worker].add(n as u64);
+        }
+    }
+
     pub fn evaluate(&mut self, batch: &Arc<Vec<MaterializedPair>>) -> Vec<Evaluated> {
         let ranges = chunk_ranges(batch.len(), self.workers());
-        let mut sent = 0usize;
+        let mut slots: Vec<Option<Reply>> = (0..ranges.len()).map(|_| None).collect();
+        let mut outstanding = 0usize;
         for (chunk, &(start, end)) in ranges.iter().enumerate() {
             if start == end {
                 continue;
@@ -179,29 +272,61 @@ impl MatchPool {
                 end,
                 chunk,
             };
-            assert!(
-                self.job_txs[chunk].send(job).is_ok(),
-                "match workers outlive the pool"
-            );
-            sent += 1;
-        }
-        let mut slots: Vec<Option<Reply>> = (0..ranges.len()).map(|_| None).collect();
-        for _ in 0..sent {
-            let reply = self
-                .reply_rx
-                .recv()
-                .expect("match workers outlive the pool");
-            assert!(
-                !reply.panicked,
-                "match worker {} panicked while evaluating a chunk",
-                reply.worker
-            );
-            self.executed[reply.worker] += reply.outcomes.len() as u64;
-            if let Some(counters) = &self.counters {
-                counters[reply.worker].add(reply.outcomes.len() as u64);
+            // Chunk i always rides worker i's private channel. A closed
+            // channel means the worker is dead: respawn it and retry once;
+            // if it still cannot accept work, the coordinator evaluates
+            // the chunk itself rather than losing it.
+            if self.job_txs[chunk].send(job).is_err() {
+                self.restart_worker(chunk, Instant::now());
+                let retry = Job {
+                    batch: Arc::clone(batch),
+                    start,
+                    end,
+                    chunk,
+                };
+                if self.job_txs[chunk].send(retry).is_err() {
+                    let outcomes = self.evaluate_chunk_here(batch, start, end);
+                    self.account(chunk, outcomes.len());
+                    slots[chunk] = Some(Reply {
+                        chunk,
+                        worker: chunk,
+                        outcomes,
+                        panicked: false,
+                    });
+                    continue;
+                }
             }
-            let chunk = reply.chunk;
-            slots[chunk] = Some(reply);
+            outstanding += 1;
+        }
+        // The pool holds its own `reply_tx`, so the reply channel can
+        // never disconnect; every outstanding chunk produces exactly one
+        // reply (workers answer even a panic with a poisoned reply).
+        while outstanding > 0 {
+            let Ok(reply) = self.reply_rx.recv() else {
+                break;
+            };
+            outstanding -= 1;
+            if !reply.panicked {
+                let chunk = reply.chunk;
+                self.account(reply.worker, reply.outcomes.len());
+                slots[chunk] = Some(reply);
+                continue;
+            }
+            // The worker died mid-chunk and is unwinding. Re-evaluate the
+            // whole chunk on the coordinator (quarantining any pair that
+            // panics again), credit it to the dead worker so per-worker
+            // counts match a fault-free run, and respawn the worker.
+            let died_at = Instant::now();
+            let (start, end) = ranges[reply.chunk];
+            let outcomes = self.evaluate_chunk_here(batch, start, end);
+            self.account(reply.worker, outcomes.len());
+            slots[reply.chunk] = Some(Reply {
+                chunk: reply.chunk,
+                worker: reply.worker,
+                outcomes,
+                panicked: false,
+            });
+            self.restart_worker(reply.worker, died_at);
         }
         let mut out = Vec::with_capacity(batch.len());
         for reply in slots.into_iter().flatten() {
@@ -221,7 +346,7 @@ impl Drop for MatchPool {
     fn drop(&mut self) {
         // Closing the job channels ends each worker's receive loop.
         self.job_txs.clear();
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -236,10 +361,14 @@ fn worker_loop(
     reply_tx: &GaugedSender<Reply>,
     matcher: &dyn MatchFunction,
     observer: &Observer,
+    chaos: &ChaosHandle,
 ) {
     for job in job_rx.iter() {
         let t0 = observer.is_enabled().then(Instant::now);
         let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Fires at chunk entry, inside the unwind guard: an injected
+            // panic takes the same poisoned-reply path a real one would.
+            chaos.trip(FaultPoint::MatchWorker, Some(worker as u16));
             job.batch[job.start..job.end]
                 .iter()
                 .map(|pair| {
@@ -332,7 +461,14 @@ mod tests {
         use pier_matching::EditDistanceMatcher;
 
         let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
-        let mut pool = MatchPool::new(3, Arc::clone(&matcher), &Observer::disabled(), None);
+        let mut pool = MatchPool::new(
+            3,
+            Arc::clone(&matcher),
+            &Observer::disabled(),
+            None,
+            ChaosHandle::disabled(),
+            Arc::new(Supervisor::new()),
+        );
         // Pair i matches iff i is even; order must survive the fan-out.
         let batch: Vec<MaterializedPair> = (0..20u32)
             .map(|i| pair(2 * i, 2 * i + 1, i % 2 == 0))
@@ -356,7 +492,14 @@ mod tests {
         use pier_matching::EditDistanceMatcher;
 
         let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
-        let mut pool = MatchPool::new(2, matcher, &Observer::disabled(), None);
+        let mut pool = MatchPool::new(
+            2,
+            matcher,
+            &Observer::disabled(),
+            None,
+            ChaosHandle::disabled(),
+            Arc::new(Supervisor::new()),
+        );
         assert!(pool.evaluate(&Arc::new(Vec::new())).is_empty());
         assert_eq!(pool.executed_per_worker(), &[0, 0]);
     }
@@ -367,7 +510,14 @@ mod tests {
 
         let registry = MetricsRegistry::shared();
         let matcher: Arc<dyn MatchFunction> = Arc::new(EditDistanceMatcher::default());
-        let mut pool = MatchPool::new(2, matcher, &Observer::disabled(), Some(&registry));
+        let mut pool = MatchPool::new(
+            2,
+            matcher,
+            &Observer::disabled(),
+            Some(Arc::clone(&registry)),
+            ChaosHandle::disabled(),
+            Arc::new(Supervisor::new()),
+        );
         let batch: Vec<MaterializedPair> =
             (0..9u32).map(|i| pair(2 * i, 2 * i + 1, true)).collect();
         pool.evaluate(&Arc::new(batch));

@@ -7,6 +7,8 @@ use pier_entity::{EntityIndex, EntitySummary};
 use pier_metrics::Telemetry;
 use pier_types::{Comparison, GroundTruth, MatchLedger, ProgressTrajectory};
 
+use crate::supervisor::DeadLetter;
+
 /// One classified match, timestamped relative to pipeline start.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchEvent {
@@ -104,6 +106,16 @@ pub struct RuntimeReport {
     /// Stage-A structure occupancy (block slab + I-WNP scratch), when the
     /// driver collected it.
     pub stage_a: Option<StageAStats>,
+    /// Work the supervision layer removed from the run instead of crashing
+    /// it: quarantined profiles, rejected duplicates, and matches that
+    /// could not be delivered. Empty on a healthy run.
+    pub dead_letters: Vec<DeadLetter>,
+    /// Workers (stage-A lanes, shard workers, the merger, match workers)
+    /// rebuilt after a panic.
+    pub worker_restarts: u64,
+    /// Below-threshold comparisons dropped by load shedding
+    /// ([`crate::RuntimeConfig::shed`]); always 0 when shedding is off.
+    pub comparisons_shed: u64,
 }
 
 impl RuntimeReport {
@@ -242,6 +254,9 @@ pub(crate) struct RunTotals {
     pub match_workers: usize,
     pub worker_comparisons: Vec<u64>,
     pub stage_a: Option<StageAStats>,
+    pub dead_letters: Vec<DeadLetter>,
+    pub worker_restarts: u64,
+    pub comparisons_shed: u64,
 }
 
 impl RunTotals {
@@ -262,6 +277,9 @@ impl RunTotals {
             worker_comparisons: self.worker_comparisons,
             entity_summary: entities.map(|i| i.summary(self.profiles)),
             stage_a: self.stage_a,
+            dead_letters: self.dead_letters,
+            worker_restarts: self.worker_restarts,
+            comparisons_shed: self.comparisons_shed,
         };
         if let Some(t) = telemetry {
             report.publish_final(t);
@@ -300,6 +318,9 @@ mod tests {
             worker_comparisons: vec![10],
             entity_summary: None,
             stage_a: None,
+            dead_letters: Vec::new(),
+            worker_restarts: 0,
+            comparisons_shed: 0,
         };
         assert_eq!(report.matches_within(Duration::from_millis(10)), 1);
         assert_eq!(report.matches_within(Duration::from_millis(100)), 2);
@@ -317,6 +338,9 @@ mod tests {
             worker_comparisons: vec![comparisons],
             entity_summary: None,
             stage_a: None,
+            dead_letters: Vec::new(),
+            worker_restarts: 0,
+            comparisons_shed: 0,
         }
     }
 

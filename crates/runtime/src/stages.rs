@@ -13,19 +13,21 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel;
+use crossbeam::channel::{self, TrySendError};
 use parking_lot::Mutex;
 
+use pier_chaos::{ChaosHandle, FaultKind, FaultPoint};
 use pier_core::AdaptiveK;
 use pier_matching::{MatchFunction, MatchInput, MatchOutcome};
 use pier_metrics::{
     queue::gauged, Counter, Gauge, GaugedReceiver, GaugedSender, MetricsRegistry, QueueGauges,
 };
-use pier_observe::{Event, Observer, Phase};
-use pier_types::{EntityProfile, SharedTokenDictionary, TokenId, Tokenizer};
+use pier_observe::{Event, Observer, Phase, WorkerRole};
+use pier_types::{EntityProfile, PierError, SharedTokenDictionary, TokenId, Tokenizer};
 
 use crate::pool::MatchPool;
 use crate::report::MatchEvent;
+use crate::supervisor::Supervisor;
 
 /// A profile together with its interned sorted-distinct token ids.
 #[derive(Debug, Clone)]
@@ -172,6 +174,8 @@ pub(crate) struct Classifier<'a> {
     pub observer: &'a Observer,
     pub match_tx: GaugedSender<MatchEvent>,
     pub metrics: Option<ClassifierMetrics>,
+    pub chaos: ChaosHandle,
+    pub supervisor: &'a Supervisor,
     pub executed: u64,
 }
 
@@ -253,6 +257,25 @@ impl Classifier<'_> {
         if outcome.is_match {
             let at = self.start.elapsed();
             let cmp = pier_types::Comparison::new(pair.profile_a.id, pair.profile_b.id);
+            // The entity_apply fault point sits between confirmation and
+            // delivery: a Delay stretches the apply, a SendFail simulates a
+            // dead match channel, a Panic loses the match outright. All
+            // three end in the dead-letter queue, never in a crash.
+            let mut deliver = true;
+            if self.chaos.is_armed() {
+                let tripped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.chaos.trip(FaultPoint::EntityApply, None)
+                }));
+                match tripped {
+                    Err(_) => {
+                        self.supervisor
+                            .lost_match(cmp, outcome.similarity, self.observer);
+                        return;
+                    }
+                    Ok(Some(FaultKind::SendFail)) => deliver = false,
+                    Ok(_) => {}
+                }
+            }
             let event = || Event::MatchConfirmed {
                 cmp,
                 similarity: outcome.similarity,
@@ -262,11 +285,60 @@ impl Classifier<'_> {
                 Some(worker) => self.observer.for_worker(worker).emit(event),
                 None => self.observer.emit(event),
             }
-            let _ = self.match_tx.send(MatchEvent {
-                at,
-                pair: cmp,
-                similarity: outcome.similarity,
-            });
+            let sent = deliver
+                && send_with_backoff(
+                    &self.match_tx,
+                    MatchEvent {
+                        at,
+                        pair: cmp,
+                        similarity: outcome.similarity,
+                    },
+                    SEND_TIMEOUT,
+                    "matches",
+                )
+                .is_ok();
+            if !sent {
+                // Confirmed but undeliverable: surface the loss instead of
+                // silently dropping the event.
+                self.supervisor
+                    .lost_match(cmp, outcome.similarity, self.observer);
+            }
+        }
+    }
+}
+
+/// How long a pipeline send keeps retrying against a full bounded channel
+/// before declaring the receiver unresponsive.
+pub(crate) const SEND_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Sends `value` with bounded patience: one immediate `try_send`, then
+/// retries under an [`IdleBackoff`] ladder until `timeout`. Returns
+/// [`PierError::ChannelClosed`] when the receiver is gone — a channel that
+/// stays full past the timeout is treated the same way (the receiving
+/// stage is unresponsive), so callers can dead-letter the payload rather
+/// than block the pipeline forever.
+pub(crate) fn send_with_backoff<T>(
+    tx: &GaugedSender<T>,
+    value: T,
+    timeout: Duration,
+    channel: &'static str,
+) -> Result<(), PierError> {
+    let mut value = match tx.try_send(value) {
+        Ok(()) => return Ok(()),
+        Err(TrySendError::Disconnected(_)) => return Err(PierError::ChannelClosed { channel }),
+        Err(TrySendError::Full(v)) => v,
+    };
+    let mut backoff = IdleBackoff::new();
+    let deadline = Instant::now() + timeout;
+    loop {
+        backoff.sleep();
+        value = match tx.try_send(value) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(_)) => return Err(PierError::ChannelClosed { channel }),
+            Err(TrySendError::Full(v)) => v,
+        };
+        if Instant::now() >= deadline {
+            return Err(PierError::ChannelClosed { channel });
         }
     }
 }
@@ -277,7 +349,11 @@ impl Classifier<'_> {
 /// the ladder. The tick itself (the empty increment driving the
 /// `GetComparisons` fallback of §3.2) still runs on every iteration — only
 /// the sleep between unproductive ticks stretches.
-pub(crate) struct IdleBackoff {
+///
+/// The same ladder paces retries of a blocked pipeline send (see the
+/// bounded-channel hardening in [`crate::RuntimeConfig::channel_capacity`]).
+#[derive(Debug)]
+pub struct IdleBackoff {
     delay: Duration,
 }
 
@@ -309,6 +385,12 @@ impl IdleBackoff {
     /// Sleeps for [`IdleBackoff::next_delay`].
     pub fn sleep(&mut self) {
         std::thread::sleep(self.next_delay());
+    }
+}
+
+impl Default for IdleBackoff {
+    fn default() -> IdleBackoff {
+        IdleBackoff::new()
     }
 }
 
@@ -376,6 +458,8 @@ pub(crate) struct StageB {
     pub shutdown: Arc<AtomicBool>,
     pub executed_total: Arc<AtomicU64>,
     pub worker_comparisons: Arc<Mutex<Vec<u64>>>,
+    pub chaos: ChaosHandle,
+    pub supervisor: Arc<Supervisor>,
 }
 
 impl StageB {
@@ -403,7 +487,9 @@ impl StageB {
                 self.match_workers,
                 Arc::clone(&self.matcher),
                 &self.observer,
-                self.registry.as_deref(),
+                self.registry.clone(),
+                self.chaos.clone(),
+                Arc::clone(&self.supervisor),
             )
         });
         let mut backoff = IdleBackoff::new();
@@ -417,6 +503,8 @@ impl StageB {
             metrics: self.registry.as_deref().map(|r| {
                 ClassifierMetrics::register(r, self.max_comparisons, self.match_workers <= 1)
             }),
+            chaos: self.chaos.clone(),
+            supervisor: &self.supervisor,
             executed: 0,
         };
         loop {
@@ -424,7 +512,31 @@ impl StageB {
                 break;
             }
             let k = self.adaptive.lock().k();
-            let batch = pull(k);
+            // The merger fault point fires before the pull touches any
+            // state, so an injected panic is recovered by simply retrying
+            // the pull — and only armed runs pay for the catch_unwind.
+            let batch = if self.chaos.is_armed() {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.chaos.trip(FaultPoint::Merger, None);
+                    pull(k)
+                }));
+                match attempt {
+                    Ok(batch) => batch,
+                    Err(_) => {
+                        let t0 = Instant::now();
+                        let batch = pull(k);
+                        self.supervisor.worker_restarted(
+                            WorkerRole::Merger,
+                            0,
+                            t0.elapsed().as_secs_f64(),
+                            &self.observer,
+                        );
+                        batch
+                    }
+                }
+            } else {
+                pull(k)
+            };
             if batch.is_empty() {
                 let done_before_tick = self.ingest_done.load(Ordering::SeqCst);
                 if tick() {
@@ -570,6 +682,8 @@ mod tests {
             shutdown: Arc::new(AtomicBool::new(false)),
             executed_total: Arc::new(AtomicU64::new(0)),
             worker_comparisons: Arc::new(Mutex::new(Vec::new())),
+            chaos: ChaosHandle::disabled(),
+            supervisor: Arc::new(Supervisor::new()),
         };
         (stage, match_rx)
     }

@@ -1,0 +1,55 @@
+//! Property tests for the idle/backpressure backoff ladder shared by the
+//! stage-B idle loop and the bounded-channel send paths: the delay never
+//! exceeds the cap, never undershoots the initial rung, grows
+//! monotonically while unproductive, and drops back to the initial rung
+//! the moment progress resets it.
+
+use std::time::Duration;
+
+use pier_runtime::IdleBackoff;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backoff_stays_within_bounds_and_resets_on_progress(
+        // true = a tick made progress (reset), false = idle (escalate).
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut backoff = IdleBackoff::new();
+        let mut since_reset = 0u32;
+        for &progressed in &ops {
+            if progressed {
+                backoff.reset();
+                since_reset = 0;
+            }
+            let delay = backoff.next_delay();
+            prop_assert!(delay >= IdleBackoff::INITIAL, "undershot initial rung");
+            prop_assert!(delay <= IdleBackoff::MAX, "exceeded cap");
+            // Doubling from INITIAL: rung n is min(INITIAL << n, MAX).
+            let expect = Duration::from_nanos(
+                (IdleBackoff::INITIAL.as_nanos() as u64) << since_reset.min(10),
+            )
+            .min(IdleBackoff::MAX);
+            prop_assert_eq!(delay, expect);
+            since_reset += 1;
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotonic_until_capped(idles in 1usize..64) {
+        let mut backoff = IdleBackoff::new();
+        let mut prev = Duration::ZERO;
+        for _ in 0..idles {
+            let delay = backoff.next_delay();
+            prop_assert!(delay >= prev);
+            prop_assert!(delay <= IdleBackoff::MAX);
+            prev = delay;
+        }
+        // Enough idle rounds always end pinned at the cap.
+        if idles > 8 {
+            prop_assert_eq!(prev, IdleBackoff::MAX);
+        }
+    }
+}

@@ -62,8 +62,23 @@ impl ShardMerger {
     pub fn next_batch_with(
         &mut self,
         k: usize,
-        mut pull: impl FnMut(usize, usize) -> Vec<WeightedComparison>,
+        pull: impl FnMut(usize, usize) -> Vec<WeightedComparison>,
     ) -> Vec<Comparison> {
+        self.next_weighted_batch_with(k, pull)
+            .into_iter()
+            .map(|wc| wc.cmp)
+            .collect()
+    }
+
+    /// [`ShardMerger::next_batch_with`], but each merged comparison keeps
+    /// the weight it merged under — the weight of its best-ranked copy.
+    /// Drivers that shed load under overload use this to drop only
+    /// below-threshold pairs; everyone else takes the plain variant.
+    pub fn next_weighted_batch_with(
+        &mut self,
+        k: usize,
+        mut pull: impl FnMut(usize, usize) -> Vec<WeightedComparison>,
+    ) -> Vec<WeightedComparison> {
         let n = self.buffers.len();
         let mut exhausted = vec![false; n];
         let mut out = Vec::with_capacity(k);
@@ -93,7 +108,7 @@ impl ShardMerger {
             };
             let wc = self.buffers[s].pop_front().expect("non-empty head");
             if self.cf.insert(wc.cmp.key()) {
-                out.push(wc.cmp);
+                out.push(wc);
             } else {
                 // Cross-shard duplicate: a co-owned pair already merged.
                 self.observer.emit(|| Event::CfFiltered { cmp: wc.cmp });

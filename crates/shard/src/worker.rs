@@ -1,6 +1,7 @@
 //! One shard's stage A: a private blocker + emitter over a token subspace.
 
 use pier_blocking::{IncrementalBlocker, PurgePolicy, SlabStats};
+use pier_chaos::{ChaosHandle, FaultPoint};
 use pier_collections::ScratchStats;
 use pier_core::{ComparisonEmitter, PierConfig, Strategy};
 use pier_observe::{Event, Observer};
@@ -15,6 +16,7 @@ pub struct ShardWorker {
     blocker: IncrementalBlocker,
     emitter: Box<dyn ComparisonEmitter + Send>,
     observer: Observer,
+    chaos: ChaosHandle,
     ingests: u64,
 }
 
@@ -38,8 +40,19 @@ impl ShardWorker {
             blocker,
             emitter,
             observer: tagged,
+            chaos: ChaosHandle::disabled(),
             ingests: 0,
         }
+    }
+
+    /// Arms deterministic fault injection for this worker. The handle's
+    /// `shard_worker` fault point fires at the top of each [`ShardWorker::ingest`]
+    /// call (lane = this shard's id) and its poison registry is consulted
+    /// per profile, so a supervised driver can kill the worker (or a
+    /// specific profile's ingest) at an exact event count. A disabled
+    /// handle — the default — costs one branch per ingest.
+    pub fn set_chaos(&mut self, chaos: ChaosHandle) {
+        self.chaos = chaos;
     }
 
     /// This worker's shard id.
@@ -69,9 +82,13 @@ impl ShardWorker {
     /// increment cannot kill a worker thread mid-run; the successfully
     /// ingested profiles still reach the emitter.
     pub fn ingest(&mut self, batch: &[(EntityProfile, Vec<TokenId>, usize)]) -> Vec<PierError> {
+        self.chaos.trip(FaultPoint::ShardWorker, Some(self.shard));
         let mut ids = Vec::with_capacity(batch.len());
         let mut errors = Vec::new();
         for (profile, tokens, floor) in batch {
+            // Fires (panics) before the blocker is touched, so a poison
+            // profile leaves the worker exactly as it was.
+            self.chaos.poison_trip(profile.id.0);
             match self
                 .blocker
                 .try_process_profile_with_token_ids(profile.clone(), tokens)

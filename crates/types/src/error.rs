@@ -33,6 +33,17 @@ pub enum PierError {
     /// is a data error on the producer side; surfacing it as an error (not
     /// a panic) lets a pipeline report it without killing worker threads.
     DuplicateProfile(u32),
+    /// A pipeline channel was closed while a peer still had data to send:
+    /// the receiving stage is gone (panicked or shut down early).
+    ChannelClosed {
+        /// Name of the channel whose receiver disappeared.
+        channel: &'static str,
+    },
+    /// A worker thread panicked (observed at join or via a poisoned reply).
+    WorkerPanicked {
+        /// Name of the worker role that died.
+        worker: &'static str,
+    },
 }
 
 impl fmt::Display for PierError {
@@ -47,6 +58,12 @@ impl fmt::Display for PierError {
             }
             PierError::UnknownProfile(id) => write!(f, "unknown profile id {id}"),
             PierError::DuplicateProfile(id) => write!(f, "profile {id} ingested twice"),
+            PierError::ChannelClosed { channel } => {
+                write!(f, "channel `{channel}` closed: receiving stage is gone")
+            }
+            PierError::WorkerPanicked { worker } => {
+                write!(f, "worker `{worker}` panicked")
+            }
         }
     }
 }
@@ -109,6 +126,21 @@ mod tests {
             PierError::DuplicateProfile(7).to_string(),
             "profile 7 ingested twice"
         );
+    }
+
+    #[test]
+    fn channel_closed_display() {
+        let e = PierError::ChannelClosed { channel: "matches" };
+        assert_eq!(
+            e.to_string(),
+            "channel `matches` closed: receiving stage is gone"
+        );
+    }
+
+    #[test]
+    fn worker_panicked_display() {
+        let e = PierError::WorkerPanicked { worker: "shard" };
+        assert_eq!(e.to_string(), "worker `shard` panicked");
     }
 
     #[test]

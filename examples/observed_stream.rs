@@ -47,6 +47,13 @@
 //! `GET /clusters`, `GET /healthz`). The example prints a one-line query
 //! hint and a final entity summary. `--hold-metrics-secs N` also keeps
 //! this endpoint alive until it has served at least one request.
+//!
+//! Pass `--fault-plan FILE` to arm deterministic chaos injection from a
+//! JSON [`FaultPlan`] (see `FaultPlan::to_json` for the format), and/or
+//! `--chaos-seed N` to override the plan's seed (alone, it arms an
+//! empty plan — every chaos check taken, no fault fired). The final
+//! report then prints the supervision ledger: dead letters, worker
+//! restarts, and shed comparisons.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -105,6 +112,31 @@ fn main() {
     let hold_metrics_secs: u64 = parse_value_arg("--hold-metrics-secs")
         .map(|v| v.parse().expect("--hold-metrics-secs takes seconds"))
         .unwrap_or(0);
+    // Chaos flags: a JSON fault plan, an optional seed override, or a
+    // seed alone (arms the chaos checks without firing any fault).
+    let fault_plan = parse_value_arg("--fault-plan").map(|path| {
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--fault-plan {path} is unreadable: {e}"));
+        FaultPlan::from_json(&json).unwrap_or_else(|e| panic!("--fault-plan {path}: {e}"))
+    });
+    let chaos_seed: Option<u64> =
+        parse_value_arg("--chaos-seed").map(|v| v.parse().expect("--chaos-seed takes an integer"));
+    let fault_plan = match (fault_plan, chaos_seed) {
+        (Some(mut plan), Some(seed)) => {
+            plan.seed = seed;
+            Some(plan)
+        }
+        (plan @ Some(_), None) => plan,
+        (None, Some(seed)) => Some(FaultPlan::empty(seed)),
+        (None, None) => None,
+    };
+    if let Some(plan) = &fault_plan {
+        println!(
+            "chaos: armed with {} fault(s), seed {}",
+            plan.faults.len(),
+            plan.seed
+        );
+    }
     // The bibliographic corpus: two clean sources with known duplicates.
     let dataset = generate_bibliographic(&BibliographicConfig {
         seed: 42,
@@ -182,6 +214,7 @@ fn main() {
         deadline: Duration::from_secs(30),
         telemetry: telemetry.clone(),
         entities: entities.clone(),
+        fault_plan,
         ..RuntimeConfig::default()
     };
     if let Some(n) = match_workers {
@@ -397,6 +430,15 @@ fn main() {
     ] {
         if let Some(d) = v {
             println!("{label}       {:.1} ms", d.as_secs_f64() * 1e3);
+        }
+    }
+    if !report.dead_letters.is_empty() || report.worker_restarts > 0 || report.comparisons_shed > 0
+    {
+        println!("\n=== supervision ledger ===");
+        println!("worker restarts   {}", report.worker_restarts);
+        println!("comparisons shed  {}", report.comparisons_shed);
+        for letter in &report.dead_letters {
+            println!("dead letter       {letter:?}");
         }
     }
     let trajectory = report.progress_trajectory(&dataset.ground_truth);

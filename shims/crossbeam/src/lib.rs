@@ -16,6 +16,30 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]. Carries the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure means the receiver is gone (retrying is
+        /// pointless).
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is closed and
     /// drained.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +79,19 @@ pub mod channel {
             match &self.tx {
                 Tx::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
                 Tx::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends `value` without blocking. On a bounded channel at capacity
+        /// this returns [`TrySendError::Full`]; an unbounded channel never
+        /// reports `Full`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.tx {
+                Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+                Tx::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
             }
         }
     }
@@ -146,6 +183,29 @@ pub mod channel {
             let (tx, rx) = unbounded::<u32>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            use super::TrySendError;
+            let (tx, rx) = bounded::<u32>(1);
+            assert!(tx.try_send(1).is_ok());
+            match tx.try_send(2) {
+                Err(TrySendError::Full(2)) => {}
+                other => panic!("expected Full(2), got {other:?}"),
+            }
+            drop(rx);
+            match tx.try_send(3) {
+                Err(e @ TrySendError::Disconnected(_)) => {
+                    assert!(e.is_disconnected());
+                    assert_eq!(e.into_inner(), 3);
+                }
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
+            let (utx, urx) = unbounded::<u32>();
+            assert!(utx.try_send(1).is_ok());
+            drop(urx);
+            assert!(utx.try_send(2).unwrap_err().is_disconnected());
         }
     }
 }

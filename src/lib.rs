@@ -66,11 +66,13 @@
 //! | [`observe`] | zero-cost pipeline instrumentation, stats & JSONL export |
 //! | [`metrics`] | live telemetry: lock-free registry, queue gauges, Prometheus endpoint, Perfetto traces |
 //! | [`entity`] | incremental entity clustering: concurrent union-find index + live HTTP query endpoint |
+//! | [`chaos`] | deterministic fault injection: seeded serializable fault plans for chaos testing |
 
 #![warn(missing_docs)]
 
 pub use pier_baselines as baselines;
 pub use pier_blocking as blocking;
+pub use pier_chaos as chaos;
 pub use pier_collections as collections;
 pub use pier_core as core;
 pub use pier_datagen as datagen;
@@ -91,6 +93,7 @@ pub mod prelude {
         block_ghosting, block_stats, ghost_blocks, load_checkpoint, save_checkpoint,
         BlockCollection, BlockId, BlockStats, IncrementalBlocker, PurgePolicy,
     };
+    pub use pier_chaos::{Fault, FaultKind, FaultPlan, FaultPoint};
     pub use pier_collections::{BoundedMaxHeap, LazyMinHeap, ScalableBloomFilter};
     pub use pier_core::{
         recommend, AdaptiveK, BlockCursor, ComparisonEmitter, Ipbs, Ipcs, Ipes, PierConfig,
@@ -120,9 +123,9 @@ pub mod prelude {
         StatsSnapshot, TimedEvent, WorkerSnapshot,
     };
     pub use pier_runtime::{
-        chunk_ranges, default_match_workers, tokenize_increment, DictionaryStats, MatchEvent,
-        Pipeline, PipelineBuilder, RuntimeConfig, RuntimeReport, TokenizedIncrement,
-        TokenizedProfile,
+        chunk_ranges, default_match_workers, tokenize_increment, DeadLetter, DictionaryStats,
+        IdleBackoff, MatchEvent, Pipeline, PipelineBuilder, RuntimeConfig, RuntimeReport,
+        ShedPolicy, TokenizedIncrement, TokenizedProfile,
     };
     // The pre-`Pipeline` entry points stay importable for one release.
     #[allow(deprecated)]
